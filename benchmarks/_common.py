@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every table/figure bench both prints its table (visible with
+``pytest -s``) and writes it under ``benchmarks/results/`` so
+EXPERIMENTS.md can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> str:
+    """Print a result block and persist it to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{'=' * 70}\n{name}\n{'=' * 70}\n{text}")
+    return text
+
+
+def ratio(a: float, b: float) -> float:
+    """Safe ratio for speedup columns."""
+    return a / b if b else float("inf")
+
+
+def dp_pair(length: int, seed: int = 7):
+    """A homologous DP pair: target + ~10%-mutated query (CLR-like)."""
+    from repro.seq.alphabet import random_codes
+    from repro.seq.mutate import MutationSpec, mutate_codes
+
+    target = random_codes(length, seed=seed)
+    query, _ = mutate_codes(
+        target,
+        MutationSpec(sub_rate=0.02, ins_rate=0.05, del_rate=0.04),
+        seed=seed + 1,
+    )
+    return target, query

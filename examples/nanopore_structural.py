@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Nanopore reads over a structurally rearranged genome.
+
+The paper's real dataset is Nanopore human sequencing with a heavy
+length tail (mean ~4 kb, max 514 kb). This example exercises that
+profile on a harder scenario: the reads come from a *donor* genome that
+differs from the reference by structural variants (a deletion and an
+inversion), so alignments split and strand flips appear — the situation
+long-read aligners exist for.
+
+Run:  python examples/nanopore_structural.py
+"""
+
+import numpy as np
+
+from repro import Aligner, GenomeSpec, generate_genome
+from repro.seq.alphabet import revcomp_codes
+from repro.seq.genome import Genome
+from repro.seq.records import SeqRecord
+from repro.sim.errors import NANOPORE_R9, apply_errors
+from repro.sim.lengths import LengthModel
+from repro.sim.variants import SvSpec, apply_svs
+from repro.utils.rng import as_rng
+
+
+def make_donor(reference: Genome) -> Genome:
+    """Apply structural variants (deletion + inversion) via repro.sim.variants."""
+    donor, events = apply_svs(
+        reference,
+        SvSpec(n_del=1, n_ins=0, n_inv=1, n_dup=0,
+               min_size=6_000, max_size=10_000),
+        seed=42,
+    )
+    for ev in events:
+        print(f"  SV: {ev.kind} {ev.chrom}:{ev.start}-{ev.end} ({ev.length:,} bp)")
+    return donor
+
+
+def simulate_nanopore(donor: Genome, n: int, seed: int):
+    rng = as_rng(seed)
+    lengths = LengthModel(
+        mean=4000.0, sigma=0.8, tail_weight=0.03, tail_alpha=1.3, max_length=60_000
+    ).sample(n, rng)
+    chrom = donor.chromosomes[0]
+    reads = []
+    for i, ln in enumerate(lengths):
+        ln = int(min(ln, len(chrom)))
+        start = int(rng.integers(0, len(chrom) - ln + 1))
+        template = chrom.codes[start : start + ln]
+        if rng.random() < 0.5:
+            template = revcomp_codes(template)
+        read, _ = apply_errors(template, NANOPORE_R9, rng)
+        reads.append(SeqRecord(f"ont{i:05d}", read, meta={"donor_start": start}))
+    return reads
+
+
+def main() -> None:
+    reference = generate_genome(GenomeSpec(length=220_000), seed=5)
+    donor = make_donor(reference)
+    reads = simulate_nanopore(donor, 25, seed=6)
+    print(
+        f"donor genome: {donor.total_length:,} bp "
+        f"(reference {reference.total_length:,} bp); {len(reads)} ONT reads"
+    )
+
+    aligner = Aligner(reference, preset="map-ont", engine="manymap")
+    n_split = n_rev = n_mapped = 0
+    for read in reads:
+        alns = aligner.map_read(read, with_cigar=False)
+        if not alns:
+            continue
+        n_mapped += 1
+        primaries = [a for a in alns if a.is_primary]
+        if len(primaries) > 1:
+            n_split += 1  # read spans an SV breakpoint -> split alignment
+        if any(a.strand < 0 for a in primaries):
+            n_rev += 1
+        spans = ", ".join(
+            f"{a.tname}:{a.tstart}-{a.tend}({'+' if a.strand > 0 else '-'})"
+            for a in primaries
+        )
+        print(f"{read.name}  len={len(read):>6,}  {spans}")
+
+    print(
+        f"\nmapped {n_mapped}/{len(reads)}; "
+        f"{n_split} split alignments (SV evidence), {n_rev} with reverse strand"
+    )
+
+
+if __name__ == "__main__":
+    main()

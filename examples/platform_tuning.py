@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Choosing a kernel/platform: measured NumPy GCUPS + modeled hardware.
+
+Reproduces, in miniature, the decision the paper's §5.2 supports:
+which vector width, memory mode, and processor should run the
+base-level alignment step? Prints
+
+* measured wall-clock GCUPS of the mm2-layout and manymap-layout NumPy
+  kernels (the layout effect is real even under NumPy), and
+* modeled GCUPS for all three processors from the machine models.
+
+Run:  python examples/platform_tuning.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import XEON_GOLD_5115, XEON_PHI_7210, TESLA_V100, Scoring
+from repro.align.manymap_kernel import align_manymap
+from repro.align.mm2_kernel import align_mm2
+from repro.eval.report import render_table
+from repro.machine.isa import AVX2, AVX512BW, SSE2
+from repro.seq.alphabet import random_codes
+from repro.seq.mutate import MutationSpec, mutate_codes
+
+
+def measured_gcups(fn, length: int, repeats: int = 2) -> float:
+    target = random_codes(length, seed=1)
+    query, _ = mutate_codes(
+        target, MutationSpec(sub_rate=0.05, ins_rate=0.04, del_rate=0.04), seed=2
+    )
+    t0 = time.perf_counter()
+    cells = 0
+    for _ in range(repeats):
+        res = fn(target, query, Scoring(), mode="extend")
+        cells += res.cells
+    return cells / (time.perf_counter() - t0) / 1e9
+
+
+def main() -> None:
+    length = 2000
+    print("== measured (NumPy kernels, this machine) ==")
+    m_mm2 = measured_gcups(align_mm2, length)
+    m_many = measured_gcups(align_manymap, length)
+    print(
+        render_table(
+            ["kernel", "GCUPS", "speedup"],
+            [
+                ["mm2 layout (shifted)", m_mm2, 1.0],
+                ["manymap layout (in-place)", m_many, m_many / m_mm2],
+            ],
+        )
+    )
+
+    print("\n== modeled (paper hardware, score-only, len=4k) ==")
+    cpu, knl, gpu = XEON_GOLD_5115, XEON_PHI_7210, TESLA_V100
+    rows = [
+        ["CPU / SSE2", cpu.micro_gcups("mm2", SSE2, "score", 4000),
+         cpu.micro_gcups("manymap", SSE2, "score", 4000)],
+        ["CPU / AVX2", cpu.micro_gcups("mm2", AVX2, "score", 4000),
+         cpu.micro_gcups("manymap", AVX2, "score", 4000)],
+        ["CPU / AVX-512BW", cpu.micro_gcups("mm2", AVX512BW, "score", 4000),
+         cpu.micro_gcups("manymap", AVX512BW, "score", 4000)],
+        ["KNL (AVX2, MCDRAM)", knl.micro_gcups("mm2", "score", 4000),
+         knl.micro_gcups("manymap", "score", 4000)],
+        ["GPU (V100, 128 streams)", gpu.micro_gcups("mm2", "score", 4000),
+         gpu.micro_gcups("manymap", "score", 4000)],
+    ]
+    table = [
+        [name, mm2, many, many / mm2] for name, mm2, many in rows
+    ]
+    print(render_table(["platform", "minimap2", "manymap", "speedup"], table))
+
+    best = max(table, key=lambda r: r[2])
+    print(f"\nbest modeled platform for the DP step: {best[0]} ({best[2]:.0f} GCUPS)")
+    print("(the paper's overall conclusion: the high-end server CPU still wins")
+    print(" end-to-end because of serial stages — see bench_fig11_breakdown)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Structural-variant evidence from long-read alignments.
+
+The downstream task that motivates accurate long-read alignment
+(NGMLR's raison d'être in the paper's Table 5): simulate a donor genome
+carrying known SVs, sequence it with noisy long reads, map them back to
+the REFERENCE, and recover the variants from alignment evidence —
+deletion gaps inside CIGARs, split alignments, and strand flips.
+
+Run:  python examples/sv_detection.py
+"""
+
+from repro import Aligner, GenomeSpec, generate_genome
+from repro.eval.report import render_table
+from repro.sim.lengths import LengthModel
+from repro.sim.pbsim import ReadSimulator
+from repro.sim.variants import SvSpec, apply_svs
+from repro.seq.records import SeqRecord
+from repro.seq.alphabet import revcomp_codes
+from repro.sim.errors import PACBIO_CLR, apply_errors
+from repro.utils.rng import as_rng
+
+
+def simulate_donor_reads(donor, n, seed):
+    rng = as_rng(seed)
+    lengths = LengthModel(mean=6000.0, sigma=0.35, max_length=12000).sample(n, rng)
+    reads = []
+    chrom = donor.chromosomes[0]
+    for i, ln in enumerate(lengths):
+        ln = int(min(ln, len(chrom)))
+        start = int(rng.integers(0, len(chrom) - ln + 1))
+        template = chrom.codes[start : start + ln]
+        if rng.random() < 0.5:
+            template = revcomp_codes(template)
+        codes, _ = apply_errors(template, PACBIO_CLR, rng)
+        reads.append(SeqRecord(f"don{i:04d}", codes))
+    return reads
+
+
+def collect_evidence(aligner, reads, min_gap=300):
+    """Deletion breakpoints (from CIGAR D-runs and split alignments)."""
+    breakpoints = []  # (chrom, ref_pos, gap_length)
+    for read in reads:
+        alns = aligner.map_read(read)
+        primaries = sorted(
+            (a for a in alns if a.is_primary), key=lambda a: a.tstart
+        )
+        # 1. big deletion runs inside one alignment
+        for a in primaries:
+            tpos = a.tstart
+            for n, op in a.cigar.ops:
+                if op == "D" and n >= min_gap:
+                    breakpoints.append((a.tname, tpos, n))
+                if op in "MD":
+                    tpos += n
+        # 2. split alignments with a clean target gap
+        for left, right in zip(primaries, primaries[1:]):
+            if left.tname == right.tname:
+                gap = right.tstart - left.tend
+                if gap >= min_gap:
+                    breakpoints.append((left.tname, left.tend, gap))
+    return breakpoints
+
+
+def cluster_breakpoints(breakpoints, tolerance=600):
+    """Greedy position clustering into candidate calls."""
+    calls = []
+    for chrom, pos, gap in sorted(breakpoints):
+        for call in calls:
+            if call["chrom"] == chrom and abs(call["pos"] - pos) <= tolerance:
+                call["support"] += 1
+                call["pos"] = (call["pos"] + pos) // 2
+                break
+        else:
+            calls.append({"chrom": chrom, "pos": pos, "gap": gap, "support": 1})
+    return calls
+
+
+def main() -> None:
+    reference = generate_genome(GenomeSpec(length=250_000, chromosomes=1), seed=9)
+    donor, events = apply_svs(
+        reference,
+        SvSpec(n_del=3, n_ins=0, n_inv=0, n_dup=0, min_size=800, max_size=3000),
+        seed=10,
+    )
+    truth = {e for e in events if e.kind == "DEL"}
+    print("planted deletions:")
+    for ev in sorted(truth, key=lambda e: e.start):
+        print(f"  {ev.chrom}:{ev.start:,}-{ev.end:,}  ({ev.length:,} bp)")
+
+    reads = simulate_donor_reads(donor, 150, seed=11)
+    aligner = Aligner(reference, preset="map-pb", engine="manymap")
+    breakpoints = collect_evidence(aligner, reads)
+    calls = [c for c in cluster_breakpoints(breakpoints) if c["support"] >= 2]
+    calls.sort(key=lambda c: c["pos"])
+    rows = []
+    for call in calls:
+        hit = next(
+            (e for e in truth
+             if e.chrom == call["chrom"] and abs(e.start - call["pos"]) < 1000),
+            None,
+        )
+        rows.append([
+            f"{call['chrom']}:{call['pos']:,}", call["support"],
+            "TRUE" if hit else "false positive",
+        ])
+    print()
+    print(render_table(["call locus", "read support", "verdict"], rows,
+                       title="deletion calls (>=2 supporting reads)"))
+    found = sum(1 for r in rows if r[2] == "TRUE")
+    print(f"\nrecovered {found} loci covering {len(truth)} planted deletions")
+
+
+if __name__ == "__main__":
+    main()

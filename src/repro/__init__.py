@@ -1,0 +1,108 @@
+"""manymap — a reproduction of "Accelerating Long Read Alignment on
+Three Processors" (Feng, Qiu, Wang, Luo — ICPP 2019).
+
+A pure-Python long-read aligner built on minimap2's seed–chain–extend
+pipeline, whose base-level alignment step can run under four
+interchangeable DP kernels — including the paper's dependency-free
+revised memory layout (Eq. 4) — plus deterministic models of the three
+processors the paper evaluates (Xeon CPU, Tesla V100, Xeon Phi KNL).
+
+Quickstart::
+
+    from repro import GenomeSpec, generate_genome, simulate_reads, Aligner
+
+    genome = generate_genome(GenomeSpec(length=200_000), seed=1)
+    reads = simulate_reads(genome, 50, platform="pacbio", seed=2)
+    aligner = Aligner(genome, preset="map-pb", engine="manymap")
+    for read in reads:
+        for aln in aligner.map_read(read):
+            print(aln.tname, aln.tstart, aln.tend, aln.mapq)
+"""
+
+from ._version import __version__
+from .errors import ReproError
+
+# Sequence substrate
+from .seq.genome import Genome, GenomeSpec, generate_genome
+from .seq.records import ReadSet, SeqRecord
+from .seq.alphabet import encode, decode, revcomp
+
+# Simulation
+from .sim.pbsim import ReadSimulator, simulate_reads
+from .sim.errors import ErrorProfile, PACBIO_CLR, NANOPORE_R9
+from .sim.lengths import LengthModel
+
+# Indexing
+from .index.index import MinimizerIndex, build_index
+from .index.store import save_index, load_index
+
+# Alignment engines
+from .align.scoring import Scoring, MAP_PB, MAP_ONT
+from .align.engine import align, get_engine, ENGINES
+from .align.batch_kernel import align_batch
+from .align.two_piece import TwoPieceScoring, align_two_piece
+from .align.cigar import Cigar
+
+# The aligner
+from .core.aligner import Aligner
+from .core.alignment import Alignment, to_paf, to_sam, sam_header
+from .core.presets import Preset, get_preset
+from .core.driver import BatchDriver
+
+# Machine models
+from .machine.cpu import XEON_GOLD_5115
+from .machine.knl import XEON_PHI_7210
+from .machine.gpu import TESLA_V100
+
+# Evaluation
+from .eval.accuracy import evaluate_accuracy
+from .eval.paf import parse_paf, mapeval
+from .eval.coverage import coverage_stats
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "Genome",
+    "GenomeSpec",
+    "generate_genome",
+    "ReadSet",
+    "SeqRecord",
+    "encode",
+    "decode",
+    "revcomp",
+    "ReadSimulator",
+    "simulate_reads",
+    "ErrorProfile",
+    "PACBIO_CLR",
+    "NANOPORE_R9",
+    "LengthModel",
+    "MinimizerIndex",
+    "build_index",
+    "save_index",
+    "load_index",
+    "Scoring",
+    "MAP_PB",
+    "MAP_ONT",
+    "align",
+    "get_engine",
+    "ENGINES",
+    "align_batch",
+    "TwoPieceScoring",
+    "align_two_piece",
+    "Cigar",
+    "Aligner",
+    "Alignment",
+    "to_paf",
+    "to_sam",
+    "sam_header",
+    "Preset",
+    "get_preset",
+    "BatchDriver",
+    "XEON_GOLD_5115",
+    "XEON_PHI_7210",
+    "TESLA_V100",
+    "evaluate_accuracy",
+    "parse_paf",
+    "mapeval",
+    "coverage_stats",
+]

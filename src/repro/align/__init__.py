@@ -1,0 +1,55 @@
+"""Base-level alignment: the paper's core contribution lives here.
+
+Four interchangeable DP implementations are provided, all computing the
+same semi-global affine-gap alignment:
+
+* :mod:`dp_reference` — Equation (1), row-vectorized full-matrix H/E/F
+  dynamic programming. The correctness oracle.
+* :mod:`diff_scalar` — Equation (3), the Suzuki–Kasahara difference
+  formulation in minimap2's anti-diagonal layout, scalar loop. Mirrors
+  ksw2's logic including the temporary-variable dependency workaround.
+* :mod:`mm2_kernel` — Equation (3) vectorized per anti-diagonal, with
+  the explicit vector-shift of the ``v``/``x`` arrays that minimap2's
+  SIMD kernel needs (Figure 3a).
+* :mod:`manymap_kernel` — Equation (4): the paper's revised memory
+  layout (``t' = t - r + |Q|``) that makes every dependency land on the
+  index being overwritten, so the update is a plain in-place vector
+  operation (Figure 3b) with no shift and no temporary.
+"""
+
+from .scoring import Scoring, MAP_PB, MAP_ONT, SIMPLE  # noqa: F401
+from .cigar import Cigar, CigarOp
+from .result import AlignmentResult
+from .dp_reference import align_reference
+from .diff_scalar import align_diff_scalar
+from .mm2_kernel import align_mm2
+from .manymap_kernel import align_manymap
+from .extend import extend_alignment, ExtendResult
+from .engine import ENGINES, get_engine, align
+from .batch_kernel import align_batch
+from .ablation import align_swap
+from .two_piece import TwoPieceScoring, MAP_PB_2P, align_two_piece
+
+__all__ = [
+    "Scoring",
+    "MAP_PB",
+    "MAP_ONT",
+    "SIMPLE",
+    "Cigar",
+    "CigarOp",
+    "AlignmentResult",
+    "align_reference",
+    "align_diff_scalar",
+    "align_mm2",
+    "align_manymap",
+    "extend_alignment",
+    "ExtendResult",
+    "ENGINES",
+    "get_engine",
+    "align",
+    "align_batch",
+    "align_swap",
+    "TwoPieceScoring",
+    "MAP_PB_2P",
+    "align_two_piece",
+]

@@ -1,0 +1,62 @@
+"""Band clipping for the anti-diagonal kernels (minimap2's ``-r``).
+
+A band restricts the DP to offset diagonals ``d = j - i`` within
+``[lo, hi] = [min(0, n-m) - band, max(0, n-m) + band]`` — the
+corner-to-corner corridor widened by ``band`` on each side, which is
+what minimap2's global gap-fill uses. In ``(r, t)`` coordinates
+``d = r - 2t``, so each anti-diagonal's ``t`` range shrinks to::
+
+    t ∈ [ ceil((r - hi) / 2),  floor((r - lo) / 2) ]
+
+Because band membership depends only on ``d``, a cell's diagonal chain
+(H dependency) never crosses the band edge; only the ``u,y`` dependency
+(at ``d - 1``) of cells sitting exactly on ``d == lo``, and the ``v,x``
+dependency (at ``d + 1``) of cells on ``d == hi``, reference
+out-of-band neighbours. Those single slots per diagonal are re-seeded
+with the pessimistic-but-finite value ``-(q+e)`` — the same
+treat-the-edge-as-a-fresh-gap approximation ksw2's banded kernels use.
+The resulting score never exceeds the unbanded optimum and equals it
+whenever the optimal path stays inside the corridor (property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..errors import AlignmentError
+
+
+def band_limits(m: int, n: int, band: int) -> Tuple[int, int]:
+    """Allowed offset-diagonal interval ``[lo, hi]`` for a given band."""
+    if band < 0:
+        raise AlignmentError(f"band must be non-negative: {band}")
+    return min(0, n - m) - band, max(0, n - m) + band
+
+
+def band_range(r: int, st: int, en: int, lo: int, hi: int) -> Tuple[int, int]:
+    """Clip diagonal ``r``'s ``[st, en]`` to the band corridor."""
+    st_b = max(st, -((hi - r) // 2))  # ceil((r - hi) / 2)
+    en_b = min(en, (r - lo) // 2)  # floor((r - lo) / 2)
+    return st_b, en_b
+
+
+def edge_patches(
+    r: int, st_b: int, en_b: int, lo: int, hi: int
+) -> Tuple[Optional[int], Optional[int]]:
+    """``(uy_t, vx_t)``: the t-slots needing the edge re-seed this diagonal.
+
+    ``uy_t`` is the cell on ``d == lo`` whose ``(r-1, t)`` dependency is
+    out of band (skipped when that dependency is the j=0 boundary, i.e.
+    ``t == r``). ``vx_t`` is the cell on ``d == hi`` whose ``(r-1, t-1)``
+    dependency is out of band (skipped for the i=0 boundary, ``t == 0``).
+    """
+    uy_t = vx_t = None
+    if (r - lo) % 2 == 0:
+        t = (r - lo) // 2
+        if st_b <= t <= en_b and t <= r - 1:
+            uy_t = t
+    if (r - hi) % 2 == 0:
+        t = (r - hi) // 2
+        if st_b <= t <= en_b and t >= 1:
+            vx_t = t
+    return uy_t, vx_t

@@ -1,0 +1,101 @@
+"""Shared machinery for the anti-diagonal difference-formula kernels.
+
+Coordinate conventions (matching the paper §3.2/§4.3):
+
+* Unpadded cell ``(ti, qj)``: target index ``ti ∈ [0, m)``, query index
+  ``qj ∈ [0, n)``.
+* Diagonal coordinates: ``r = ti + qj ∈ [0, m+n-2]``, ``t = ti``.
+  Diagonal ``r`` covers ``t ∈ [st, en]`` with ``st = max(0, r-n+1)``,
+  ``en = min(m-1, r)``.
+* Difference arrays: ``u,y`` indexed by ``t`` (size m); ``v,x`` indexed
+  by ``t`` in the minimap2 layout or by ``t' = t - r + n`` in the
+  manymap layout (size n+1).
+* The running ``H`` values are kept per *offset* diagonal ``d = qj - ti``
+  (index ``dd = r - 2t + m - 1``, size m+n-1) because ``H[i][j]`` depends
+  on ``H[i-1][j-1]`` which shares the same ``d`` — an in-place update
+  with no shift in any layout.
+
+Boundary values (derived from ``H[i][0] = H[0][i] = -(q + i·e)``):
+
+* first-row/column ``u``/``v`` seed: ``-(q+e)`` at ``r = 0``, else ``-e``;
+* ``x``/``y`` seeds are always ``-(q+e)``;
+* the diagonal-H seed for row/column 0 is ``c_r = 0`` if ``r == 0`` else
+  ``-(q + r·e)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import AlignmentError
+from .cigar import Cigar
+
+#: Direction-matrix bit layout.
+SRC_MASK = 0x3  # bits 0-1: 0 = diagonal, 1 = E (deletion), 2 = F (insertion)
+SRC_DIAG = 0
+SRC_E = 1
+SRC_F = 2
+X_CONT = 0x4  # bit 2: E-chain extension (x took the max with > 0)
+Y_CONT = 0x8  # bit 3: F-chain extension
+
+
+def diag_range(r: int, m: int, n: int) -> Tuple[int, int]:
+    """Inclusive ``(st, en)`` target-index range of diagonal ``r``."""
+    return max(0, r - n + 1), min(m - 1, r)
+
+
+def boundary_c(r: int, q: int, e: int) -> int:
+    """H boundary value shared by ``H[0][r]`` and ``H[r][0]``."""
+    return 0 if r == 0 else -(q + r * e)
+
+
+def first_seed(r: int, q: int, e: int) -> int:
+    """Boundary value of ``u``/``v`` entering diagonal ``r``."""
+    return -(q + e) if r == 0 else -e
+
+
+def traceback_dir(dirmat: np.ndarray, end_ti: int, end_qj: int) -> Cigar:
+    """Backtrack a direction matrix produced by a difference kernel.
+
+    ``dirmat`` is ``(m, n)`` uint8 with the bit layout above. The state
+    machine mirrors ksw2: in state M the source bits of the current cell
+    decide; in state E/D (resp. F/I) the continuation bit of the cell
+    above (resp. left) decides whether the gap chain continues.
+    """
+    if end_ti >= dirmat.shape[0] or end_qj >= dirmat.shape[1]:
+        raise AlignmentError(
+            f"traceback start ({end_ti},{end_qj}) outside matrix {dirmat.shape}"
+        )
+    ops_rev: List[str] = []
+    ti, qj = end_ti, end_qj
+    state = "M"
+    while ti >= 0 and qj >= 0:
+        d = int(dirmat[ti, qj])
+        if state == "M":
+            src = d & SRC_MASK
+            if src == SRC_DIAG:
+                ops_rev.append("M")
+                ti -= 1
+                qj -= 1
+            elif src == SRC_E:
+                state = "E"
+            else:
+                state = "F"
+        elif state == "E":
+            ops_rev.append("D")
+            cont = ti >= 1 and (int(dirmat[ti - 1, qj]) & X_CONT)
+            ti -= 1
+            state = "E" if cont else "M"
+        else:
+            ops_rev.append("I")
+            cont = qj >= 1 and (int(dirmat[ti, qj - 1]) & Y_CONT)
+            qj -= 1
+            state = "F" if cont else "M"
+    # One of the coordinates ran off the top/left edge: the rest is gap.
+    if qj >= 0:
+        ops_rev.extend("I" * (qj + 1))
+    if ti >= 0:
+        ops_rev.extend("D" * (ti + 1))
+    return Cigar.from_ops(reversed(ops_rev))

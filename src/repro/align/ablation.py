@@ -1,0 +1,123 @@
+"""Ablation kernel: the two-array-swap alternative (§4.3.1).
+
+The paper rejects one obvious fix for the intra-loop dependency —
+"use two arrays and swap them in each iteration, but it will double the
+space usage". This kernel implements exactly that: ``v``/``x`` each get
+a read copy and a write copy, swapped per diagonal. No shift is needed
+(like manymap) but the working set doubles and an extra buffer rotation
+runs per diagonal — the benchmark ``bench_ablation_layouts`` quantifies
+both against the paper's choice.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import AlignmentError
+from ._diag import boundary_c, diag_range, first_seed
+from .dp_reference import NEG, _degenerate, _validate
+from .result import AlignmentResult
+from .scoring import Scoring
+
+
+def align_swap(
+    target: np.ndarray,
+    query: np.ndarray,
+    scoring: Scoring = Scoring(),
+    mode: str = "global",
+    path: bool = False,
+    zdrop: Optional[int] = None,
+) -> AlignmentResult:
+    """Eq. (3) with double-buffered v/x arrays (score modes only)."""
+    if path:
+        raise AlignmentError("the swap ablation kernel is score-only")
+    if mode not in ("global", "extend"):
+        raise AlignmentError(f"unknown mode {mode!r}")
+    if zdrop is not None and mode != "extend":
+        raise AlignmentError("zdrop only applies to mode='extend'")
+    t, s = _validate(target, query)
+    m, n = t.size, s.size
+    deg = _degenerate(m, n, scoring, False)
+    if deg is not None:
+        return deg
+
+    mat = scoring.matrix().astype(np.int64)
+    q, e = scoring.q, scoring.e
+    oe = q + e
+
+    U = np.zeros(m, dtype=np.int64)
+    Y = np.zeros(m, dtype=np.int64)
+    V_r = np.zeros(m, dtype=np.int64)  # read buffer (previous diagonal)
+    X_r = np.zeros(m, dtype=np.int64)
+    V_w = np.zeros(m, dtype=np.int64)  # write buffer (current diagonal)
+    X_w = np.zeros(m, dtype=np.int64)
+    HD = np.full(m + n - 1, NEG, dtype=np.int64)
+
+    track_best = mode == "extend" or zdrop is not None
+    best = NEG
+    best_cell = (0, 0)
+    cells = 0
+    zdropped = False
+    for r in range(m + n - 1):
+        st, en = diag_range(r, m, n)
+        L = en - st + 1
+        if en == r:
+            U[r] = first_seed(r, q, e)
+            Y[r] = -oe
+            HD[m - 1 - r] = boundary_c(r, q, e)
+        if st == 0:
+            HD[r + m - 1] = boundary_c(r, q, e)
+
+        sl = slice(st, en + 1)
+        # Shifted reads come from the READ buffer — no hazard, no shift
+        # instruction, but twice the arrays to keep hot.
+        vsh = np.empty(L, dtype=np.int64)
+        xsh = np.empty(L, dtype=np.int64)
+        if st == 0:
+            vsh[0] = first_seed(r, q, e)
+            xsh[0] = -oe
+            vsh[1:] = V_r[0:en]
+            xsh[1:] = X_r[0:en]
+        else:
+            vsh[:] = V_r[st - 1 : en]
+            xsh[:] = X_r[st - 1 : en]
+
+        sc = mat[t[sl], s[r - en : r - st + 1][::-1]]
+        a = xsh + vsh
+        b = Y[sl] + U[sl]
+        z = np.maximum(np.maximum(sc, a), b)
+        u_new = z - vsh
+        V_w[sl] = z - U[sl]
+        X_w[sl] = np.maximum(a - z + q, 0) - oe
+        Y[sl] = np.maximum(b - z + q, 0) - oe
+        U[sl] = u_new
+        # The swap: write buffer becomes next diagonal's read buffer.
+        V_r, V_w = V_w, V_r
+        X_r, X_w = X_w, X_r
+
+        hv = HD[r - 2 * en + m - 1 : r - 2 * st + m : 2]
+        hv += z[::-1]
+        cells += L
+        if track_best:
+            k = int(hv.argmax())
+            diag_max = int(hv[k])
+            if diag_max > best:
+                best = diag_max
+                tt_best = en - k
+                best_cell = (tt_best, r - tt_best)
+            if zdrop is not None and best - diag_max > zdrop:
+                zdropped = True
+                break
+
+    if mode == "global":
+        score = int(HD[n - 1]) if not zdropped else NEG
+        end_t, end_q = m - 1, n - 1
+    else:
+        score = best
+        end_t, end_q = best_cell
+    return AlignmentResult(
+        score=score, end_t=end_t, end_q=end_q, cigar=None,
+        cells=cells, zdropped=zdropped,
+    )

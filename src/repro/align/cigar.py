@@ -1,0 +1,153 @@
+"""CIGAR representation, validation, and scoring.
+
+Conventions match SAM: alignments are reported query-vs-target, ``M``
+consumes both sequences, ``I`` consumes query only (insertion into the
+target), ``D`` consumes target only (deletion from the target).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from ..errors import AlignmentError
+from .scoring import Scoring
+
+#: Valid CIGAR operation characters used by the aligner core.
+OPS = "MIDNSHP=X"
+
+_CIGAR_RE = re.compile(r"(\d+)([MIDNSHP=X])")
+
+CigarOp = Tuple[int, str]  # (length, op)
+
+
+@dataclass
+class Cigar:
+    """A run-length encoded alignment path."""
+
+    ops: List[CigarOp]
+
+    def __post_init__(self) -> None:
+        for length, op in self.ops:
+            if op not in OPS:
+                raise AlignmentError(f"invalid CIGAR op {op!r}")
+            if length <= 0:
+                raise AlignmentError(f"non-positive CIGAR run length {length}{op}")
+
+    @classmethod
+    def from_string(cls, s: str) -> "Cigar":
+        ops = [(int(n), op) for n, op in _CIGAR_RE.findall(s)]
+        if s and "".join(f"{n}{op}" for n, op in ops) != s:
+            raise AlignmentError(f"malformed CIGAR string {s!r}")
+        return cls(ops)
+
+    @classmethod
+    def from_ops(cls, raw: Iterable[str]) -> "Cigar":
+        """Build from a per-base op sequence, run-length encoding it."""
+        ops: List[CigarOp] = []
+        for op in raw:
+            if ops and ops[-1][1] == op:
+                ops[-1] = (ops[-1][0] + 1, op)
+            else:
+                ops.append((1, op))
+        return cls(ops)
+
+    def __str__(self) -> str:
+        return "".join(f"{n}{op}" for n, op in self.ops)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Cigar) and self.ops == other.ops
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def query_span(self) -> int:
+        """Number of query bases consumed (M, I, =, X, S)."""
+        return sum(n for n, op in self.ops if op in "MI=XS")
+
+    @property
+    def target_span(self) -> int:
+        """Number of target bases consumed (M, D, N, =, X)."""
+        return sum(n for n, op in self.ops if op in "MDN=X")
+
+    @property
+    def n_gap_bases(self) -> int:
+        return sum(n for n, op in self.ops if op in "ID")
+
+    @property
+    def n_gap_opens(self) -> int:
+        return sum(1 for _, op in self.ops if op in "ID")
+
+    def merged(self) -> "Cigar":
+        """Coalesce adjacent runs with equal ops."""
+        out: List[CigarOp] = []
+        for n, op in self.ops:
+            if out and out[-1][1] == op:
+                out[-1] = (out[-1][0] + n, op)
+            else:
+                out.append((n, op))
+        return Cigar(out)
+
+    def score(
+        self, target: np.ndarray, query: np.ndarray, scoring: Scoring
+    ) -> int:
+        """Re-score this path against the sequences independently of DP.
+
+        Used by the test suite to validate tracebacks: the path's score
+        must equal the DP score even when tie-broken differently.
+        """
+        mat = scoring.matrix()
+        ti = qi = 0
+        total = 0
+        for n, op in self.ops:
+            if op in "M=X":
+                t = target[ti : ti + n].astype(np.intp)
+                s = query[qi : qi + n].astype(np.intp)
+                if t.size != n or s.size != n:
+                    raise AlignmentError("CIGAR overruns sequence ends")
+                total += int(mat[t, s].sum())
+                ti += n
+                qi += n
+            elif op == "D":
+                total -= scoring.gap_cost(n)
+                ti += n
+            elif op == "I":
+                total -= scoring.gap_cost(n)
+                qi += n
+            elif op == "S":
+                qi += n
+            else:
+                raise AlignmentError(f"cannot score CIGAR op {op!r}")
+        if ti != target.size or qi != query.size:
+            raise AlignmentError(
+                f"CIGAR spans ({ti},{qi}) do not cover sequences "
+                f"({target.size},{query.size})"
+            )
+        return total
+
+    def identity(self, target: np.ndarray, query: np.ndarray) -> float:
+        """BLAST-style identity: matches / alignment columns."""
+        ti = qi = 0
+        matches = 0
+        columns = 0
+        for n, op in self.ops:
+            if op in "M=X":
+                matches += int(
+                    (target[ti : ti + n] == query[qi : qi + n]).sum()
+                )
+                columns += n
+                ti += n
+                qi += n
+            elif op == "D":
+                columns += n
+                ti += n
+            elif op == "I":
+                columns += n
+                qi += n
+            elif op == "S":
+                qi += n
+        return matches / columns if columns else 0.0

@@ -1,0 +1,211 @@
+"""Equation (3): the difference formula in minimap2's layout, scalar.
+
+This is the straight transcription of the paper's Algorithm-1
+*predecessor*: ``u, v, x, y`` all indexed by ``t``, iterated along each
+anti-diagonal. The intra-loop dependency the paper describes (§4.3.1)
+is visible here as the ``v_prev``/``x_prev`` temporaries that carry the
+*old* ``V[t-1]``/``X[t-1]`` across iterations — exactly minimap2's
+temporary-variable workaround, which is what blocks clean vectorization.
+
+Being a scalar Python loop this engine exists for correctness
+cross-checking and teaching, not speed; the vectorized kernels live in
+``mm2_kernel.py`` and ``manymap_kernel.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import AlignmentError
+from ._diag import (
+    SRC_DIAG,
+    SRC_E,
+    SRC_F,
+    X_CONT,
+    Y_CONT,
+    boundary_c,
+    diag_range,
+    first_seed,
+    traceback_dir,
+)
+from .dp_reference import NEG, _degenerate, _validate
+from .result import AlignmentResult
+from .scoring import Scoring
+
+
+def diff_value_bounds(
+    target: np.ndarray,
+    query: np.ndarray,
+    scoring: Scoring = Scoring(),
+) -> dict:
+    """Observed min/max of the u, v, x, y difference values.
+
+    Supports the paper's premise (§3.2) that differences — unlike raw
+    scores — stay within an 8-bit band regardless of sequence length,
+    which is what allows 16/32/64-lane 8-bit SIMD.
+    """
+    t, s = _validate(target, query)
+    m, n = t.size, s.size
+    if m == 0 or n == 0:
+        return {"u": (0, 0), "v": (0, 0), "x": (0, 0), "y": (0, 0)}
+    mat = scoring.matrix()
+    q, e = scoring.q, scoring.e
+    oe = q + e
+    U = np.zeros(m, dtype=np.int64)
+    Y = np.zeros(m, dtype=np.int64)
+    V = np.zeros(m, dtype=np.int64)
+    X = np.zeros(m, dtype=np.int64)
+    lo = {k: 1 << 30 for k in "uvxy"}
+    hi = {k: -(1 << 30) for k in "uvxy"}
+
+    def upd(key: str, val: int) -> None:
+        if val < lo[key]:
+            lo[key] = val
+        if val > hi[key]:
+            hi[key] = val
+
+    for r in range(m + n - 1):
+        st, en = diag_range(r, m, n)
+        if en == r:
+            U[r] = first_seed(r, q, e)
+            Y[r] = -oe
+        if st == 0:
+            v_prev, x_prev = first_seed(r, q, e), -oe
+        else:
+            v_prev, x_prev = int(V[st - 1]), int(X[st - 1])
+        for tt in range(st, en + 1):
+            qj = r - tt
+            u_old, y_old = int(U[tt]), int(Y[tt])
+            a = x_prev + v_prev
+            b = y_old + u_old
+            z = max(int(mat[t[tt], s[qj]]), a, b)
+            v_next, x_next = int(V[tt]), int(X[tt])
+            U[tt] = z - v_prev
+            V[tt] = z - u_old
+            X[tt] = max(0, a - z + q) - oe
+            Y[tt] = max(0, b - z + q) - oe
+            upd("u", int(U[tt]))
+            upd("v", int(V[tt]))
+            upd("x", int(X[tt]))
+            upd("y", int(Y[tt]))
+            v_prev, x_prev = v_next, x_next
+    return {k: (lo[k], hi[k]) for k in "uvxy"}
+
+
+def align_diff_scalar(
+    target: np.ndarray,
+    query: np.ndarray,
+    scoring: Scoring = Scoring(),
+    mode: str = "global",
+    path: bool = False,
+    zdrop: Optional[int] = None,
+) -> AlignmentResult:
+    """Scalar difference-formula alignment (Eq. 3, minimap2 layout)."""
+    if mode not in ("global", "extend"):
+        raise AlignmentError(f"unknown mode {mode!r}")
+    if zdrop is not None and mode != "extend":
+        raise AlignmentError("zdrop only applies to mode='extend'")
+    t, s = _validate(target, query)
+    m, n = t.size, s.size
+    deg = _degenerate(m, n, scoring, path)
+    if deg is not None:
+        return deg
+
+    mat = scoring.matrix()
+    q, e = scoring.q, scoring.e
+    oe = q + e
+
+    U = np.zeros(m, dtype=np.int64)
+    Y = np.zeros(m, dtype=np.int64)
+    V = np.zeros(m, dtype=np.int64)  # minimap2 layout: indexed by t
+    X = np.zeros(m, dtype=np.int64)
+    HD = np.full(m + n - 1, NEG, dtype=np.int64)  # H per offset diagonal
+
+    dirmat = np.zeros((m, n), dtype=np.uint8) if path else None
+
+    best = NEG
+    best_cell = (0, 0)
+    cells = 0
+    zdropped = False
+    for r in range(m + n - 1):
+        st, en = diag_range(r, m, n)
+        # Seed boundaries entering this diagonal.
+        if en == r:  # cell (r, t=r) exists: its (i, j-1) dep is column 0
+            U[r] = first_seed(r, q, e)
+            Y[r] = -oe
+            HD[m - 1 - r] = boundary_c(r, q, e)
+        if st == 0:  # cell (r, 0): its (i-1, j) dep is row 0
+            v_prev = first_seed(r, q, e)
+            x_prev = -oe
+            HD[r + m - 1] = boundary_c(r, q, e)
+        else:
+            v_prev = int(V[st - 1])
+            x_prev = int(X[st - 1])
+
+        diag_max = NEG
+        for tt in range(st, en + 1):
+            qj = r - tt
+            u_old = int(U[tt])
+            y_old = int(Y[tt])
+            a = x_prev + v_prev
+            b = y_old + u_old
+            sc = int(mat[t[tt], s[qj]])
+            z = sc if sc >= a else a
+            if b > z:
+                z = b
+            if path:
+                src = SRC_DIAG
+                if z == a and z != sc:
+                    src = SRC_E
+                if z == b and z != sc and z != a:
+                    src = SRC_F
+                bits = src
+                if a - z + q > 0:
+                    bits |= X_CONT
+                if b - z + q > 0:
+                    bits |= Y_CONT
+                dirmat[tt, qj] = bits
+            # Save old V[t]/X[t] before overwriting: the next iteration
+            # (t+1) needs them as its (r-1, t) left-neighbour values.
+            v_next, x_next = int(V[tt]), int(X[tt])
+            U[tt] = z - v_prev
+            V[tt] = z - u_old
+            xa = a - z + q
+            X[tt] = (xa if xa > 0 else 0) - oe
+            yb = b - z + q
+            Y[tt] = (yb if yb > 0 else 0) - oe
+            v_prev, x_prev = v_next, x_next
+
+            dd = r - 2 * tt + m - 1
+            h = int(HD[dd]) + z
+            HD[dd] = h
+            if h > diag_max:
+                diag_max = h
+            if h > best:
+                best = h
+                best_cell = (tt, qj)
+            cells += 1
+        if zdrop is not None and best - diag_max > zdrop:
+            zdropped = True
+            break
+
+    if mode == "global":
+        score = int(HD[n - 1]) if not zdropped else NEG
+        end_t, end_q = m - 1, n - 1
+    else:
+        score = best
+        end_t, end_q = best_cell
+
+    cigar = None
+    if path:
+        cigar = traceback_dir(dirmat, end_t, end_q)
+    return AlignmentResult(
+        score=score,
+        end_t=end_t,
+        end_q=end_q,
+        cigar=cigar,
+        cells=cells,
+        zdropped=zdropped,
+    )

@@ -1,0 +1,192 @@
+"""Equation (1) reference dynamic programming — the correctness oracle.
+
+Semi-global affine-gap alignment with the classic three-matrix
+recurrence::
+
+    H[i][j] = max(H[i-1][j-1] + s(T_i, Q_j), E[i][j], F[i][j])
+    E[i][j] = max(H[i-1][j] - q, E[i-1][j]) - e      (gap consuming T)
+    F[i][j] = max(H[i][j-1] - q, F[i][j-1]) - e      (gap consuming Q)
+
+Both sequence *beginnings* are aligned (boundary gap penalties apply);
+``mode='global'`` scores at the bottom-right cell, ``mode='extend'``
+takes the maximum over the whole matrix (free end).
+
+The implementation is row-vectorized. ``E`` is a plain vector update;
+``F``'s within-row dependency is removed with the closed form
+
+    F[i][j] = max_{j' < j} (Hnof[i][j'] - q - (j - j')·e)
+
+which is exact because a gap opening from an F-dominated ``H`` cell is
+never better than extending the existing gap (q > 0). The max is a
+single ``np.maximum.accumulate`` — the same "eliminate the sequential
+scan" spirit as the paper's kernel work, applied to the oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import AlignmentError
+from .cigar import Cigar
+from .result import AlignmentResult
+from .scoring import Scoring
+
+NEG = -(1 << 29)
+
+
+def _validate(target: np.ndarray, query: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    t = np.ascontiguousarray(target, dtype=np.uint8)
+    s = np.ascontiguousarray(query, dtype=np.uint8)
+    if t.ndim != 1 or s.ndim != 1:
+        raise AlignmentError("sequences must be 1-D code arrays")
+    return t, s
+
+
+def _degenerate(
+    m: int, n: int, scoring: Scoring, path: bool
+) -> Optional[AlignmentResult]:
+    """Handle empty-sequence alignments (pure gap or empty/empty)."""
+    if m and n:
+        return None
+    if m == 0 and n == 0:
+        return AlignmentResult(0, -1, -1, Cigar([]) if path else None, 0)
+    if m == 0:
+        cig = Cigar([(n, "I")]) if path else None
+        return AlignmentResult(-scoring.gap_cost(n), -1, n - 1, cig, 0)
+    cig = Cigar([(m, "D")]) if path else None
+    return AlignmentResult(-scoring.gap_cost(m), m - 1, -1, cig, 0)
+
+
+def align_reference(
+    target: np.ndarray,
+    query: np.ndarray,
+    scoring: Scoring = Scoring(),
+    mode: str = "global",
+    path: bool = False,
+) -> AlignmentResult:
+    """Align ``query`` against ``target`` with the Eq. (1) recurrence.
+
+    Returns the score (and CIGAR when ``path=True``). O(m·n) time and,
+    in path mode, O(m·n) memory for the stored matrices.
+    """
+    if mode not in ("global", "extend"):
+        raise AlignmentError(f"unknown mode {mode!r}")
+    t, s = _validate(target, query)
+    m, n = t.size, s.size
+    deg = _degenerate(m, n, scoring, path)
+    if deg is not None:
+        return deg
+
+    mat = scoring.matrix().astype(np.int64)
+    q, e = scoring.q, scoring.e
+    j_idx = np.arange(1, n + 1, dtype=np.int64)
+    ramp = e * np.arange(n + 1, dtype=np.int64)
+
+    Hprev = np.empty(n + 1, dtype=np.int64)
+    Hprev[0] = 0
+    Hprev[1:] = -(q + e * j_idx)
+    E = np.full(n + 1, NEG, dtype=np.int64)
+
+    keep = path
+    if keep:
+        H_all = np.empty((m + 1, n + 1), dtype=np.int64)
+        E_all = np.full((m + 1, n + 1), NEG, dtype=np.int64)
+        F_all = np.full((m + 1, n + 1), NEG, dtype=np.int64)
+        H_all[0] = Hprev
+
+    best = NEG
+    best_ij = (0, 0)
+    for i in range(1, m + 1):
+        E[1:] = np.maximum(Hprev[1:] - q, E[1:]) - e
+        srow = mat[t[i - 1], s]
+        hnof = np.maximum(Hprev[:-1] + srow, E[1:])
+        h0 = -(q + e * i)
+        # Closed-form F via prefix max of (opening candidates + e*j').
+        A = np.empty(n + 1, dtype=np.int64)
+        A[0] = h0
+        A[1:] = hnof
+        P = np.maximum.accumulate(A + ramp)
+        F = P[:-1] - q - ramp[1:]
+        Hrow = np.maximum(hnof, F)
+        Hcur = np.empty(n + 1, dtype=np.int64)
+        Hcur[0] = h0
+        Hcur[1:] = Hrow
+        if keep:
+            H_all[i] = Hcur
+            E_all[i, 1:] = E[1:]
+            F_all[i, 1:] = F
+        row_best = int(Hrow.max())
+        if row_best > best:
+            best = row_best
+            best_ij = (i, int(Hrow.argmax()) + 1)
+        Hprev = Hcur
+
+    if mode == "global":
+        score = int(Hprev[n])
+        end_i, end_j = m, n
+    else:
+        score = best
+        end_i, end_j = best_ij
+
+    cigar = None
+    if path:
+        cigar = _traceback_values(H_all, E_all, F_all, q, e, end_i, end_j)
+    return AlignmentResult(
+        score=score,
+        end_t=end_i - 1,
+        end_q=end_j - 1,
+        cigar=cigar,
+        cells=m * n,
+    )
+
+
+def _traceback_values(
+    H: np.ndarray,
+    E: np.ndarray,
+    F: np.ndarray,
+    q: int,
+    e: int,
+    i: int,
+    j: int,
+) -> Cigar:
+    """Value-based traceback over stored H/E/F matrices.
+
+    Preference order on ties: diagonal, then E (deletion), then F
+    (insertion) — the same order the difference kernels encode, so the
+    engines agree wherever paths are unique.
+    """
+    ops_rev = []
+    state = "M"
+    while i > 0 or j > 0:
+        if state == "M":
+            if i == 0:
+                ops_rev.append((j, "I"))
+                break
+            if j == 0:
+                ops_rev.append((i, "D"))
+                break
+            if H[i, j] != E[i, j] and H[i, j] != F[i, j]:
+                ops_rev.append((1, "M"))
+                i -= 1
+                j -= 1
+            elif H[i, j] == E[i, j]:
+                # A diagonal tie may exist; either path re-scores to the
+                # same value, so accepting E here is sound.
+                state = "E"
+            else:
+                state = "F"
+        elif state == "E":
+            ops_rev.append((1, "D"))
+            cont = i >= 2 and E[i, j] == E[i - 1, j] - e
+            i -= 1
+            state = "E" if cont else "M"
+        else:
+            ops_rev.append((1, "I"))
+            cont = j >= 2 and F[i, j] == F[i, j - 1] - e
+            j -= 1
+            state = "F" if cont else "M"
+    return Cigar.from_ops(
+        op for count, op in reversed(ops_rev) for _ in range(count)
+    ).merged()

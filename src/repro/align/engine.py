@@ -1,0 +1,65 @@
+"""DP engine registry: select an alignment kernel by name.
+
+Engines are interchangeable — same signature, same results — differing
+only in formulation and memory layout:
+
+========== ============================================ ==============
+name       implementation                               models
+========== ============================================ ==============
+reference  Eq. (1) full-matrix, row-vectorized          oracle
+scalar     Eq. (3) scalar loop, minimap2 layout         ksw2 logic
+mm2        Eq. (3) anti-diagonal vectors + shift        minimap2 SIMD
+manymap    Eq. (4) anti-diagonal vectors, in-place      manymap SIMD
+========== ============================================ ==============
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..errors import AlignmentError
+from .diff_scalar import align_diff_scalar
+from .dp_reference import align_reference
+from .manymap_kernel import align_manymap
+from .mm2_kernel import align_mm2
+from .result import AlignmentResult
+from .scoring import Scoring
+
+EngineFn = Callable[..., AlignmentResult]
+
+ENGINES: Dict[str, EngineFn] = {
+    "reference": align_reference,
+    "scalar": align_diff_scalar,
+    "mm2": align_mm2,
+    "manymap": align_manymap,
+}
+
+
+def get_engine(name: str) -> EngineFn:
+    """Look up an engine function by registry name."""
+    try:
+        return ENGINES[name]
+    except KeyError:
+        raise AlignmentError(
+            f"unknown engine {name!r}; available: {sorted(ENGINES)}"
+        ) from None
+
+
+def align(
+    target: np.ndarray,
+    query: np.ndarray,
+    scoring: Scoring = Scoring(),
+    engine: str = "manymap",
+    mode: str = "global",
+    path: bool = False,
+    zdrop: Optional[int] = None,
+) -> AlignmentResult:
+    """Align with the named engine (the package-level convenience API)."""
+    fn = get_engine(engine)
+    if fn is align_reference:
+        if zdrop is not None:
+            raise AlignmentError("the reference engine does not support zdrop")
+        return fn(target, query, scoring, mode=mode, path=path)
+    return fn(target, query, scoring, mode=mode, path=path, zdrop=zdrop)

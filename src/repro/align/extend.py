@@ -1,0 +1,83 @@
+"""Extension alignment with z-drop (ksw2_extz analogue).
+
+minimap2 extends outward from chain anchors: the alignment is anchored
+at the sequence beginnings and free at the ends, and the DP stops early
+once the running score falls more than ``zdrop`` below the best seen —
+cutting off hopeless tails in O(zdrop/e) extra diagonals.
+
+``direction='left'`` extends toward lower coordinates by aligning the
+reversed sequences (extension DP is symmetric under joint reversal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..errors import AlignmentError
+from .cigar import Cigar
+from .result import AlignmentResult
+from .scoring import Scoring
+
+
+@dataclass
+class ExtendResult:
+    """Result of a one-sided extension.
+
+    ``t_used`` / ``q_used`` are the number of target/query bases covered
+    by the extension (from the anchored end).
+    """
+
+    score: int
+    t_used: int
+    q_used: int
+    cigar: Optional[Cigar] = None
+    zdropped: bool = False
+
+
+def extend_alignment(
+    target: np.ndarray,
+    query: np.ndarray,
+    scoring: Scoring = Scoring(),
+    engine: Optional[Callable[..., AlignmentResult]] = None,
+    direction: str = "right",
+    path: bool = False,
+    zdrop: Optional[int] = None,
+    band: Optional[int] = None,
+) -> ExtendResult:
+    """Extend an alignment from the anchored end of both sequences."""
+    if direction not in ("left", "right"):
+        raise AlignmentError(f"unknown direction {direction!r}")
+    if engine is None:
+        from .manymap_kernel import align_manymap
+
+        engine = align_manymap
+    t = np.ascontiguousarray(target, dtype=np.uint8)
+    s = np.ascontiguousarray(query, dtype=np.uint8)
+    if direction == "left":
+        t = t[::-1].copy()
+        s = s[::-1].copy()
+    if zdrop is None:
+        zdrop = scoring.zdrop
+    kwargs = {}
+    if band is not None:
+        kwargs["band"] = band
+    res = engine(t, s, scoring, mode="extend", path=path, zdrop=zdrop, **kwargs)
+    cigar = res.cigar
+    if cigar is not None:
+        # The engine's CIGAR covers the whole matrix; clip to the argmax
+        # prefix is already guaranteed because traceback starts there.
+        if direction == "left":
+            cigar = Cigar(list(reversed(cigar.ops))).merged()
+    if res.score <= 0 and (t.size == 0 or s.size == 0 or res.score < 0):
+        # An extension that never rises above 0 is not worth keeping.
+        return ExtendResult(0, 0, 0, Cigar([]) if path else None, res.zdropped)
+    return ExtendResult(
+        score=res.score,
+        t_used=res.end_t + 1,
+        q_used=res.end_q + 1,
+        cigar=cigar,
+        zdropped=res.zdropped,
+    )

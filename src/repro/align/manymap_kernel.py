@@ -1,0 +1,163 @@
+"""Equation (4): the manymap dependency-free kernel (the paper's core).
+
+The coordinate transform ``t' = t - r + |Q|`` is applied to the ``v``
+and ``x`` matrices (Figure 2c). After the transform, cell ``(r, t)``
+reads ``v``/``x`` at index ``t'`` — the *same* index it writes — so the
+whole anti-diagonal update is a plain load/compute/store with no vector
+shift, no temporary, and no read-before-write hazard (Figure 3b). ``u``
+and ``y`` keep the ``t`` layout, whose dependency was already aligned.
+
+Space stays linear: ``v, x`` need ``|Q| + 1`` slots, ``u, y`` need
+``|T|`` (the paper's O(|Q|) claim refers to the transformed pair).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import AlignmentError
+from ._band import band_limits, band_range, edge_patches
+from ._diag import (
+    X_CONT,
+    Y_CONT,
+    boundary_c,
+    diag_range,
+    first_seed,
+    traceback_dir,
+)
+from .dp_reference import NEG, _degenerate, _validate
+from .result import AlignmentResult
+from .scoring import Scoring
+
+
+def align_manymap(
+    target: np.ndarray,
+    query: np.ndarray,
+    scoring: Scoring = Scoring(),
+    mode: str = "global",
+    path: bool = False,
+    zdrop: Optional[int] = None,
+    band: Optional[int] = None,
+) -> AlignmentResult:
+    """Vectorized Eq. (4) alignment in the manymap memory layout.
+
+    ``band`` restricts the DP to the corner-to-corner diagonal corridor
+    widened by ``band`` (minimap2's ``-r``); the banded score never
+    exceeds the unbanded optimum and equals it whenever the optimal
+    path stays inside the corridor.
+    """
+    if mode not in ("global", "extend"):
+        raise AlignmentError(f"unknown mode {mode!r}")
+    if zdrop is not None and mode != "extend":
+        raise AlignmentError("zdrop only applies to mode='extend'")
+    t, s = _validate(target, query)
+    m, n = t.size, s.size
+    deg = _degenerate(m, n, scoring, path)
+    if deg is not None:
+        return deg
+    band_lo = band_hi = None
+    if band is not None:
+        band_lo, band_hi = band_limits(m, n, band)
+
+    mat = scoring.matrix().astype(np.int64)
+    q, e = scoring.q, scoring.e
+    oe = q + e
+
+    U = np.zeros(m, dtype=np.int64)
+    Y = np.zeros(m, dtype=np.int64)
+    V = np.zeros(n + 1, dtype=np.int64)  # manymap layout: indexed by t'
+    X = np.zeros(n + 1, dtype=np.int64)
+    HD = np.full(m + n - 1, NEG, dtype=np.int64)
+    dirflat = np.zeros(m * n, dtype=np.uint8) if path else None
+    # Hoisted out of the diagonal loop: per-cell flat dir indices.
+    flat_base = np.arange(m, dtype=np.int64) * (n - 1) if path else None
+    tcodes = t.astype(np.intp)
+    scodes = s.astype(np.intp)
+
+    track_best = mode == "extend" or zdrop is not None
+    best = NEG
+    best_cell = (0, 0)
+    cells = 0
+    zdropped = False
+    for r in range(m + n - 1):
+        st, en = diag_range(r, m, n)
+        if band is not None:
+            st, en = band_range(r, st, en, band_lo, band_hi)
+            if st > en:
+                continue
+        L = en - st + 1
+        if en == r:
+            U[r] = first_seed(r, q, e)
+            Y[r] = -oe
+            HD[m - 1 - r] = boundary_c(r, q, e)
+        if st == 0:
+            # Boundary enters at t' = n - r for cell (r, t=0).
+            V[n - r] = first_seed(r, q, e)
+            X[n - r] = -oe
+            HD[r + m - 1] = boundary_c(r, q, e)
+        if band is not None:
+            uy_t, vx_t = edge_patches(r, st, en, band_lo, band_hi)
+            if uy_t is not None:
+                U[uy_t] = -oe
+                Y[uy_t] = -oe
+            if vx_t is not None:
+                V[vx_t - r + n] = -oe
+                X[vx_t - r + n] = -oe
+
+        sl = slice(st, en + 1)
+        spv = slice(st - r + n, en - r + n + 1)  # the t' window of this diagonal
+
+        sc = mat[tcodes[sl], scodes[r - en : r - st + 1][::-1]]
+        # Dependency-free loads: every read index equals its write index.
+        a = X[spv] + V[spv]
+        b = Y[sl] + U[sl]
+        z = np.maximum(np.maximum(sc, a), b)
+
+        if path:
+            bits = np.where(z == sc, 0, np.where(z == a, 1, 2))
+            bits += (a - z + q > 0) * X_CONT
+            bits += (b - z + q > 0) * Y_CONT
+            dirflat[flat_base[sl] + r] = bits
+
+        u_new = z - V[spv]
+        v_new = z - U[sl]
+        # In-place stores over the very slots the loads came from.
+        X[spv] = np.maximum(a - z + q, 0) - oe
+        Y[sl] = np.maximum(b - z + q, 0) - oe
+        U[sl] = u_new
+        V[spv] = v_new
+
+        hv = HD[r - 2 * en + m - 1 : r - 2 * st + m : 2]  # t = en .. st
+        hv += z[::-1]
+        cells += L
+        if track_best:
+            k = int(hv.argmax())
+            diag_max = int(hv[k])
+            if diag_max > best:
+                best = diag_max
+                tt_best = en - k
+                best_cell = (tt_best, r - tt_best)
+            if zdrop is not None and best - diag_max > zdrop:
+                zdropped = True
+                break
+
+    if mode == "global":
+        score = int(HD[n - 1]) if not zdropped else NEG
+        end_t, end_q = m - 1, n - 1
+    else:
+        score = best
+        end_t, end_q = best_cell
+
+    cigar = None
+    if path:
+        cigar = traceback_dir(dirflat.reshape(m, n), end_t, end_q)
+    return AlignmentResult(
+        score=score,
+        end_t=end_t,
+        end_q=end_q,
+        cigar=cigar,
+        cells=cells,
+        zdropped=zdropped,
+    )

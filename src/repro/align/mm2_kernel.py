@@ -1,0 +1,167 @@
+"""Equation (3) vectorized per anti-diagonal — minimap2's kernel model.
+
+``u, v, x, y`` are all indexed by ``t`` (minimap2's layout, Figure 2b).
+The dependency of cell ``(r, t)`` on ``v_{r-1,t-1}`` / ``x_{r-1,t-1}``
+therefore sits one slot to the *left* of the slot being overwritten, so
+each diagonal must materialize shifted copies of ``V`` and ``X`` before
+updating them — the NumPy analogue of the extra ``_mm_slli_si128`` /
+``_mm_alignr_epi8`` work in minimap2's SSE kernel (Figure 3a). Those two
+extra O(L) copies per diagonal are the measurable cost the manymap
+layout removes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import AlignmentError
+from ._band import band_limits, band_range, edge_patches
+from ._diag import (
+    X_CONT,
+    Y_CONT,
+    boundary_c,
+    diag_range,
+    first_seed,
+    traceback_dir,
+)
+from .dp_reference import NEG, _degenerate, _validate
+from .result import AlignmentResult
+from .scoring import Scoring
+
+
+def align_mm2(
+    target: np.ndarray,
+    query: np.ndarray,
+    scoring: Scoring = Scoring(),
+    mode: str = "global",
+    path: bool = False,
+    zdrop: Optional[int] = None,
+    band: Optional[int] = None,
+) -> AlignmentResult:
+    """Vectorized Eq. (3) alignment in the minimap2 memory layout.
+
+    ``band`` has the same semantics as in :func:`align_manymap`.
+    """
+    if mode not in ("global", "extend"):
+        raise AlignmentError(f"unknown mode {mode!r}")
+    if zdrop is not None and mode != "extend":
+        raise AlignmentError("zdrop only applies to mode='extend'")
+    t, s = _validate(target, query)
+    m, n = t.size, s.size
+    deg = _degenerate(m, n, scoring, path)
+    if deg is not None:
+        return deg
+    band_lo = band_hi = None
+    if band is not None:
+        band_lo, band_hi = band_limits(m, n, band)
+
+    mat = scoring.matrix().astype(np.int64)
+    q, e = scoring.q, scoring.e
+    oe = q + e
+
+    U = np.zeros(m, dtype=np.int64)
+    Y = np.zeros(m, dtype=np.int64)
+    V = np.zeros(m, dtype=np.int64)
+    X = np.zeros(m, dtype=np.int64)
+    HD = np.full(m + n - 1, NEG, dtype=np.int64)
+    dirflat = np.zeros(m * n, dtype=np.uint8) if path else None
+    flat_base = np.arange(m, dtype=np.int64) * (n - 1) if path else None
+    tcodes = t.astype(np.intp)
+    scodes = s.astype(np.intp)
+
+    track_best = mode == "extend" or zdrop is not None
+    best = NEG
+    best_cell = (0, 0)
+    cells = 0
+    zdropped = False
+    for r in range(m + n - 1):
+        st, en = diag_range(r, m, n)
+        if band is not None:
+            st, en = band_range(r, st, en, band_lo, band_hi)
+            if st > en:
+                continue
+        L = en - st + 1
+        if en == r:
+            U[r] = first_seed(r, q, e)
+            Y[r] = -oe
+            HD[m - 1 - r] = boundary_c(r, q, e)
+        if st == 0:
+            HD[r + m - 1] = boundary_c(r, q, e)
+        if band is not None:
+            uy_t, vx_t = edge_patches(r, st, en, band_lo, band_hi)
+            if uy_t is not None:
+                U[uy_t] = -oe
+                Y[uy_t] = -oe
+            if vx_t is not None:
+                # The shifted copy reads V[t-1]/X[t-1] in this layout.
+                V[vx_t - 1] = -oe
+                X[vx_t - 1] = -oe
+
+        sl = slice(st, en + 1)
+        # --- the minimap2 shift: build v_{r-1,t-1} / x_{r-1,t-1} vectors ---
+        vsh = np.empty(L, dtype=np.int64)
+        xsh = np.empty(L, dtype=np.int64)
+        if st == 0:
+            vsh[0] = first_seed(r, q, e)
+            xsh[0] = -oe
+            vsh[1:] = V[0:en]
+            xsh[1:] = X[0:en]
+        else:
+            vsh[:] = V[st - 1 : en]
+            xsh[:] = X[st - 1 : en]
+        # --------------------------------------------------------------------
+
+        sc = mat[tcodes[sl], scodes[r - en : r - st + 1][::-1]]
+        a = xsh + vsh
+        b = Y[sl] + U[sl]
+        z = np.maximum(np.maximum(sc, a), b)
+
+        if path:
+            bits = np.where(z == sc, 0, np.where(z == a, 1, 2))
+            bits += (a - z + q > 0) * X_CONT
+            bits += (b - z + q > 0) * Y_CONT
+            dirflat[flat_base[sl] + r] = bits
+
+        u_new = z - vsh
+        v_new = z - U[sl]
+        x_new = np.maximum(a - z + q, 0) - oe
+        y_new = np.maximum(b - z + q, 0) - oe
+        U[sl] = u_new
+        V[sl] = v_new
+        X[sl] = x_new
+        Y[sl] = y_new
+
+        hv = HD[r - 2 * en + m - 1 : r - 2 * st + m : 2]  # t = en .. st
+        hv += z[::-1]
+        cells += L
+        if track_best:
+            k = int(hv.argmax())
+            diag_max = int(hv[k])
+            if diag_max > best:
+                best = diag_max
+                tt_best = en - k
+                best_cell = (tt_best, r - tt_best)
+            if zdrop is not None and best - diag_max > zdrop:
+                zdropped = True
+                break
+
+    if mode == "global":
+        score = int(HD[n - 1]) if not zdropped else NEG
+        end_t, end_q = m - 1, n - 1
+    else:
+        score = best
+        end_t, end_q = best_cell
+
+    cigar = None
+    if path:
+        cigar = traceback_dir(dirflat.reshape(m, n), end_t, end_q)
+    return AlignmentResult(
+        score=score,
+        end_t=end_t,
+        end_q=end_q,
+        cigar=cigar,
+        cells=cells,
+        zdropped=zdropped,
+    )

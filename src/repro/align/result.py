@@ -1,0 +1,32 @@
+"""Common result type returned by every DP engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .cigar import Cigar
+
+
+@dataclass
+class AlignmentResult:
+    """Outcome of one base-level alignment.
+
+    ``score`` is the semi-global score of the chosen mode; ``end_t`` /
+    ``end_q`` are the 0-based coordinates of the last aligned base pair
+    (for ``mode='global'`` always the sequence ends; for extension the
+    argmax cell). ``cigar`` is present when the engine ran with
+    ``path=True``. ``cells`` counts DP cells actually computed, the
+    quantity GCUPS is defined over.
+    """
+
+    score: int
+    end_t: int
+    end_q: int
+    cigar: Optional[Cigar] = None
+    cells: int = 0
+    zdropped: bool = False
+
+    @property
+    def gcups_cells(self) -> int:
+        return self.cells

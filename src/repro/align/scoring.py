@@ -1,0 +1,79 @@
+"""Alignment scoring parameters.
+
+One-piece affine gap penalty ``q + k·e`` as in the paper's formulas
+(§3.2). The substitution matrix follows minimap2: ``+A`` for a match,
+``-B`` for a mismatch, and ambiguous bases score ``sc_ambi`` (never
+positive) so N-runs cannot create phantom matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import AlignmentError
+from ..seq.alphabet import AMBIG
+
+
+@dataclass(frozen=True)
+class Scoring:
+    """Affine-gap scoring: match +A, mismatch -B, gap cost q + k·e."""
+
+    match: int = 2
+    mismatch: int = 4
+    q: int = 4  # gap open
+    e: int = 2  # gap extend
+    sc_ambi: int = 1  # penalty (positive value, applied negatively) for N
+    zdrop: int = 400
+
+    def __post_init__(self) -> None:
+        if self.match <= 0:
+            raise AlignmentError(f"match score must be positive: {self.match}")
+        if self.mismatch < 0 or self.q < 0 or self.e <= 0:
+            raise AlignmentError(
+                f"mismatch/gap costs must be non-negative (e > 0): "
+                f"B={self.mismatch} q={self.q} e={self.e}"
+            )
+        if self.zdrop <= 0:
+            raise AlignmentError(f"zdrop must be positive: {self.zdrop}")
+
+    @property
+    def gap_open_total(self) -> int:
+        """Cost of opening a length-1 gap: q + e."""
+        return self.q + self.e
+
+    def matrix(self) -> np.ndarray:
+        """5×5 substitution matrix over codes (A,C,G,T,N) as int32."""
+        m = np.full((5, 5), -self.mismatch, dtype=np.int32)
+        np.fill_diagonal(m, self.match)
+        m[AMBIG, :] = -self.sc_ambi
+        m[:, AMBIG] = -self.sc_ambi
+        return m
+
+    def gap_cost(self, length: int) -> int:
+        """Total (positive) cost of a gap of ``length`` bases."""
+        if length < 0:
+            raise AlignmentError(f"negative gap length {length}")
+        return 0 if length == 0 else self.q + length * self.e
+
+    def fits_int8(self) -> bool:
+        """Whether difference values provably fit signed 8-bit lanes.
+
+        Suzuki–Kasahara bound: diagonal differences lie within
+        ``[-(q+e) - match, match + q + e]``; 8-bit vectorization (the
+        whole point of the difference formulation, §3.2) needs that band
+        inside [-128, 127].
+        """
+        band = self.match + self.q + self.e + self.mismatch
+        return band <= 127
+
+
+#: minimap2's ``-ax map-pb`` preset (PacBio CLR reads).
+MAP_PB = Scoring(match=2, mismatch=5, q=4, e=2, zdrop=400)
+
+#: minimap2's ``-ax map-ont`` preset (Oxford Nanopore reads).
+MAP_ONT = Scoring(match=2, mismatch=4, q=4, e=2, zdrop=400)
+
+#: A small symmetric scheme handy in unit tests.
+SIMPLE = Scoring(match=1, mismatch=1, q=1, e=1, zdrop=100)

@@ -1,0 +1,38 @@
+"""Comparator aligners for Table 5.
+
+Each baseline is a *real, simplified* reimplementation capturing the
+algorithmic signature that distinguishes the original tool from
+minimap2 — which is what drives Table 5's accuracy/speed ordering:
+
+* ``minialign`` — minimap2-style seeding with sparser minimizers and a
+  cruder single-diagonal chain: faster, a bit less accurate.
+* ``Kart`` — divide-and-conquer: fragments mapped independently by
+  diagonal voting, no base-level DP: fastest, least accurate.
+* ``BLASR`` — dense exact-match seeding (no subsampling) + full DP:
+  accurate but slow.
+* ``NGMLR`` — subsegment alignment with a convex gap model: accurate,
+  slowest of the accurate tools.
+* ``BWA-MEM`` — short-read-style long exact seeds + per-seed extension
+  without long-read chaining: mis-tuned for 13%-error reads, worst
+  accuracy and very slow.
+"""
+
+from .base import BaselineAligner, BaselineResources
+from .minialign import MinialignAligner
+from .kart import KartAligner
+from .blasr import BlasrAligner
+from .ngmlr import NgmlrAligner
+from .bwamem import BwaMemAligner
+from .registry import BASELINES, make_baseline
+
+__all__ = [
+    "BaselineAligner",
+    "BaselineResources",
+    "MinialignAligner",
+    "KartAligner",
+    "BlasrAligner",
+    "NgmlrAligner",
+    "BwaMemAligner",
+    "BASELINES",
+    "make_baseline",
+]

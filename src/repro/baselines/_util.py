@@ -1,0 +1,47 @@
+"""Shared helpers for baseline aligners."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.alignment import Alignment
+from ..index.index import MinimizerIndex
+from ..seq.records import SeqRecord
+
+
+def make_alignment(
+    read: SeqRecord,
+    index: MinimizerIndex,
+    rid: int,
+    tstart: int,
+    tend: int,
+    qstart: int,
+    qend: int,
+    strand: int,
+    score: int,
+    mapq: int,
+    n_match: Optional[int] = None,
+) -> Alignment:
+    """Assemble an :class:`Alignment` record from interval estimates."""
+    tlen = int(index.lengths[rid])
+    tstart = max(0, min(tstart, tlen - 1))
+    tend = max(tstart + 1, min(tend, tlen))
+    qlen = len(read)
+    qstart = max(0, min(qstart, qlen - 1))
+    qend = max(qstart + 1, min(qend, qlen))
+    block = max(tend - tstart, qend - qstart)
+    return Alignment(
+        qname=read.name,
+        qlen=qlen,
+        qstart=qstart,
+        qend=qend,
+        strand=strand,
+        tname=index.names[rid],
+        tlen=tlen,
+        tstart=tstart,
+        tend=tend,
+        n_match=n_match if n_match is not None else int(0.8 * block),
+        block_len=block,
+        mapq=mapq,
+        score=score,
+    )

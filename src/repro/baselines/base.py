@@ -1,0 +1,47 @@
+"""Common interface and resource accounting for baseline aligners."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.alignment import Alignment
+from ..seq.genome import Genome
+from ..seq.records import SeqRecord
+
+
+@dataclass
+class BaselineResources:
+    """Index size and rough working memory, for Table 5's columns."""
+
+    index_bytes: int = 0
+    peak_extra_bytes: int = 0
+
+    @property
+    def ram_bytes(self) -> int:
+        return self.index_bytes + self.peak_extra_bytes
+
+
+class BaselineAligner(abc.ABC):
+    """Abstract aligner: build once over a genome, then map reads."""
+
+    #: Human-readable tool name (Table 5 column header).
+    name: str = "baseline"
+
+    def __init__(self) -> None:
+        self.genome: Optional[Genome] = None
+        self.resources = BaselineResources()
+
+    @abc.abstractmethod
+    def build(self, genome: Genome) -> None:
+        """Index the reference; must set ``self.genome`` and resources."""
+
+    @abc.abstractmethod
+    def map_read(self, read: SeqRecord) -> List[Alignment]:
+        """Map one read; best alignment first; empty if unmapped."""
+
+    def map_all(self, reads) -> List[List[Alignment]]:
+        if self.genome is None:
+            raise RuntimeError(f"{self.name}: call build() before mapping")
+        return [self.map_read(r) for r in reads]

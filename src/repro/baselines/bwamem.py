@@ -1,0 +1,87 @@
+"""BWA-MEM-like baseline: short-read seeding on long noisy reads.
+
+BWA-MEM seeds with (super-)maximal exact matches — long exact
+stretches that barely exist in 13%-error PacBio CLR reads — and
+extends each seed with banded Smith–Waterman. Table 5 shows the
+consequence: worst accuracy (1.16%) and the longest runtime. The
+reimplementation keeps both signatures: long exact k-mer seeds indexed
+at every position (k=19, w=1) and per-seed banded extension with no
+long-read chaining model.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..align.manymap_kernel import align_manymap
+from ..align.scoring import Scoring
+from ..chain.anchors import collect_anchors
+from ..core.alignment import Alignment
+from ..index.index import build_index
+from ..seq.alphabet import revcomp_codes
+from ..seq.genome import Genome
+from ..seq.records import SeqRecord
+from ._util import make_alignment
+from .base import BaselineAligner
+
+#: BWA-MEM's default scoring (1/-4/6,1) — tuned for <1% error short reads,
+#: which is exactly why it struggles on CLR data.
+BWA_SCORING = Scoring(match=1, mismatch=4, q=6, e=1, zdrop=100)
+
+
+class BwaMemAligner(BaselineAligner):
+    """Exact-seed + per-seed-extension aligner (short-read heritage)."""
+
+    name = "BWA-MEM"
+
+    def __init__(self, k: int = 19, max_seeds: int = 8) -> None:
+        super().__init__()
+        self.k = k
+        self.max_seeds = max_seeds
+        self.work_cells = 0
+
+    def build(self, genome: Genome) -> None:
+        self.genome = genome
+        # Every position indexed (FM-index density), long exact seeds.
+        self.index = build_index(genome, k=self.k, w=1, occ_filter_frac=1e-4)
+        self.resources.index_bytes = self.index.nbytes
+
+    def map_read(self, read: SeqRecord) -> List[Alignment]:
+        rid, tpos, qpos, strand = collect_anchors(
+            read.codes, self.index, as_arrays=True
+        )
+        if rid.size == 0:
+            return []
+        n = len(read)
+        # Extend each seed independently (no long-read chaining): score
+        # a window around the seed and keep the best extension.
+        order = np.arange(rid.size)
+        if order.size > self.max_seeds:
+            order = np.linspace(0, order.size - 1, self.max_seeds).astype(int)
+        best = None
+        for i in order:
+            r, t0, q0, s = int(rid[i]), int(tpos[i]), int(qpos[i]), int(strand[i])
+            query = read.codes if s == 0 else revcomp_codes(read.codes)
+            # Window starts on the seed diagonal (extension mode anchors
+            # both beginnings) and allows +150 of trailing slack.
+            w_lo = max(0, t0 - q0)
+            w_hi = min(int(self.index.lengths[r]), t0 + (n - q0) + 150)
+            target = self.genome.chromosomes[r].codes[w_lo:w_hi]
+            res = align_manymap(
+                target, query, BWA_SCORING, mode="extend", zdrop=BWA_SCORING.zdrop
+            )
+            self.work_cells += res.cells
+            if best is None or res.score > best[0]:
+                best = (res.score, r, s, w_lo, w_lo + res.end_t + 1, res.end_q + 1)
+        if best is None or best[0] < n // 10:
+            return []
+        score, r, s, t_lo, t_hi, q_used = best
+        return [
+            make_alignment(
+                read, self.index, r, t_lo, t_hi, 0, q_used,
+                1 if s == 0 else -1, score=int(score),
+                mapq=40,
+            )
+        ]

@@ -1,0 +1,21 @@
+"""Chaining: clustering seed matches (anchors) into colinear chains.
+
+Implements minimap2's chaining DP (§3.1): anchors — exact minimizer
+matches between query and reference — are scored with a gap-cost model
+and linked into chains that approximate the final alignment; the
+base-level DP then only fills the gaps between anchors.
+"""
+
+from .anchors import Anchor, collect_anchors
+from .chain import Chain, ChainParams, chain_anchors
+from .select import select_chains, estimate_mapq
+
+__all__ = [
+    "Anchor",
+    "collect_anchors",
+    "Chain",
+    "ChainParams",
+    "chain_anchors",
+    "select_chains",
+    "estimate_mapq",
+]

@@ -1,0 +1,72 @@
+"""Anchor collection: query minimizers × reference index hits.
+
+An anchor records that the k-mer ending at query position ``qpos``
+matches the reference k-mer ending at ``tpos`` on relative strand
+``strand`` (0 = same strand, 1 = query maps reverse-complemented).
+For reverse-strand anchors the query coordinate is flipped into the
+reverse-complement read's frame so that colinearity is increasing in
+both coordinates on either strand — minimap2's convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..index.index import MinimizerIndex
+from ..index.minimizer import extract_minimizers
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One seed match (reference id, target pos, query pos, strand)."""
+
+    rid: int
+    tpos: int
+    qpos: int
+    strand: int  # 0 forward, 1 reverse-complement
+
+
+def collect_anchors(
+    query_codes: np.ndarray,
+    index: MinimizerIndex,
+    as_arrays: bool = False,
+):
+    """Find all anchors of ``query_codes`` against ``index``.
+
+    With ``as_arrays=True`` returns ``(rid, tpos, qpos, strand)`` int64
+    arrays sorted by (rid, strand, tpos, qpos) — the order the chaining
+    DP requires. Otherwise returns a sorted list of :class:`Anchor`.
+    """
+    k = index.k
+    n = int(query_codes.size)
+    values, qpos, qstrand = extract_minimizers(
+        query_codes, k=index.k, w=index.w, as_arrays=True,
+        hpc=getattr(index, "hpc", False),
+    )
+    qidx, rid, tpos, tstrand = index.lookup_many(values)
+    if qidx.size == 0:
+        if as_arrays:
+            z = np.empty(0, dtype=np.int64)
+            return z, z, z, z
+        return []
+
+    q_at = qpos[qidx]
+    strand_rel = (qstrand[qidx].astype(np.int64) ^ tstrand.astype(np.int64))
+    # Flip reverse-strand query coordinates into the RC read frame:
+    # the k-mer [i-k+1, i] occupies end position n-1-i+k-1 after RC.
+    q_final = np.where(strand_rel == 1, n - 1 - q_at + k - 1, q_at)
+
+    order = np.lexsort((q_final, tpos, strand_rel, rid))
+    rid_s = rid[order].astype(np.int64)
+    tpos_s = tpos[order].astype(np.int64)
+    qpos_s = q_final[order].astype(np.int64)
+    strand_s = strand_rel[order].astype(np.int64)
+    if as_arrays:
+        return rid_s, tpos_s, qpos_s, strand_s
+    return [
+        Anchor(int(r), int(t), int(qq), int(s))
+        for r, t, qq, s in zip(rid_s, tpos_s, qpos_s, strand_s)
+    ]

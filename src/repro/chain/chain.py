@@ -1,0 +1,173 @@
+"""minimap2's chaining dynamic program, vectorized over predecessors.
+
+For anchors sorted by (rid, strand, tpos, qpos), the chain score is
+
+    f(i) = max( w_k,  max_{j<i}  f(j) + match(j,i) - cost(j,i) )
+
+where ``match = min(dq, dt, k)`` caps the credited seed overlap and
+``cost`` penalizes the gap ``dd = |dt - dq|`` with minimap2's
+``0.01·k·dd + 0.5·log2(dd)`` term. Each anchor scans at most
+``max_pred`` predecessors (minimap2's ``-h``), giving O(n·h) with the
+inner scan done as one NumPy reduction per anchor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import ChainError
+
+
+@dataclass(frozen=True)
+class ChainParams:
+    """Chaining parameters (minimap2 flag in parentheses)."""
+
+    k: int = 15  # seed length, caps per-anchor match credit
+    max_dist_t: int = 5000  # max target gap between adjacent anchors (-g)
+    max_dist_q: int = 5000  # max query gap
+    bandwidth: int = 500  # max |dt - dq| (-r)
+    max_pred: int = 50  # predecessors scanned per anchor (-h... max-chain-iter)
+    min_score: int = 40  # minimum chain score (-m)
+    min_count: int = 3  # minimum anchors per chain (-n)
+    max_chains: int = 64  # chains kept per query
+
+    def __post_init__(self) -> None:
+        if self.k < 1 or self.max_pred < 1 or self.max_chains < 1:
+            raise ChainError(f"invalid chain parameters: {self}")
+        if self.max_dist_t < 1 or self.max_dist_q < 1 or self.bandwidth < 0:
+            raise ChainError(f"invalid chain distances: {self}")
+
+
+@dataclass
+class Chain:
+    """A colinear anchor chain on one reference/strand."""
+
+    rid: int
+    strand: int
+    score: float
+    anchors: List[Tuple[int, int]] = field(default_factory=list)  # (tpos, qpos)
+
+    @property
+    def n_anchors(self) -> int:
+        return len(self.anchors)
+
+    @property
+    def t_start(self) -> int:
+        return self.anchors[0][0]
+
+    @property
+    def t_end(self) -> int:
+        return self.anchors[-1][0]
+
+    @property
+    def q_start(self) -> int:
+        return self.anchors[0][1]
+
+    @property
+    def q_end(self) -> int:
+        return self.anchors[-1][1]
+
+    def query_interval(self) -> Tuple[int, int]:
+        """Query span covered by the chain (k-mer end positions)."""
+        return self.q_start, self.q_end
+
+
+def _gap_cost(dd: np.ndarray, avg_len: float) -> np.ndarray:
+    """minimap2's concave gap cost: 0.01·k̄·dd + 0.5·log2(dd)."""
+    cost = np.zeros_like(dd, dtype=np.float64)
+    pos = dd > 0
+    ddp = dd[pos].astype(np.float64)
+    cost[pos] = 0.01 * avg_len * ddp + 0.5 * np.log2(ddp)
+    return cost
+
+
+def chain_anchors(
+    rid: np.ndarray,
+    tpos: np.ndarray,
+    qpos: np.ndarray,
+    strand: np.ndarray,
+    params: ChainParams = ChainParams(),
+) -> List[Chain]:
+    """Run the chaining DP and return chains sorted by score, best first.
+
+    Inputs must be sorted by (rid, strand, tpos, qpos) — the order
+    :func:`repro.chain.anchors.collect_anchors` produces. Chains reuse
+    no anchors (each anchor belongs to its best chain only).
+    """
+    n = int(tpos.size)
+    if not (rid.size == qpos.size == strand.size == n):
+        raise ChainError("anchor arrays must have equal length")
+    if n == 0:
+        return []
+    if (np.lexsort((qpos, tpos, strand, rid)) != np.arange(n)).any():
+        raise ChainError("anchors must be sorted by (rid, strand, tpos, qpos)")
+
+    f = np.full(n, float(params.k), dtype=np.float64)  # best score ending at i
+    pred = np.full(n, -1, dtype=np.int64)
+
+    h = params.max_pred
+    for i in range(1, n):
+        j0 = max(0, i - h)
+        js = slice(j0, i)
+        same = (rid[js] == rid[i]) & (strand[js] == strand[i])
+        dt = tpos[i] - tpos[js]
+        dq = qpos[i] - qpos[js]
+        dd = np.abs(dt - dq)
+        ok = (
+            same
+            & (dt > 0)
+            & (dq > 0)
+            & (dt <= params.max_dist_t)
+            & (dq <= params.max_dist_q)
+            & (dd <= params.bandwidth)
+        )
+        if not ok.any():
+            continue
+        match = np.minimum(np.minimum(dq, dt), params.k).astype(np.float64)
+        cand = f[js] + match - _gap_cost(dd, params.k)
+        cand = np.where(ok, cand, -np.inf)
+        best_j = int(np.argmax(cand))
+        if cand[best_j] > f[i]:
+            f[i] = cand[best_j]
+            pred[i] = j0 + best_j
+
+    # Extract chains greedily by descending end-score, skipping used anchors.
+    order = np.argsort(-f, kind="stable")
+    used = np.zeros(n, dtype=bool)
+    chains: List[Chain] = []
+    for i0 in order:
+        if used[i0] or f[i0] < params.min_score:
+            continue
+        trail = []
+        i = int(i0)
+        cut_score = 0.0
+        while i != -1:
+            if used[i]:
+                # Chain truncated where a better chain already claimed the
+                # anchor: only the score accumulated past the cut counts
+                # (minimap2's backtrack does the same subtraction).
+                cut_score = float(f[i])
+                break
+            trail.append(i)
+            i = int(pred[i])
+        score = float(f[i0]) - cut_score
+        if len(trail) < params.min_count or score < params.min_score:
+            continue
+        for i in trail:
+            used[i] = True
+        trail.reverse()
+        chains.append(
+            Chain(
+                rid=int(rid[i0]),
+                strand=int(strand[i0]),
+                score=score,
+                anchors=[(int(tpos[i]), int(qpos[i])) for i in trail],
+            )
+        )
+        if len(chains) >= params.max_chains:
+            break
+    chains.sort(key=lambda c: -c.score)
+    return chains

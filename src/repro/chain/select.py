@@ -1,0 +1,59 @@
+"""Primary/secondary chain selection and mapping-quality estimation.
+
+Chains whose query intervals overlap a better chain by more than
+``mask_level`` are secondary (minimap2 ``--mask-level``); the rest are
+primary. MAPQ follows minimap2's shape: scaled by how far the best
+secondary score f₂ falls below the primary f₁ and by anchor support.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from .chain import Chain
+
+
+def _overlap(a: Tuple[int, int], b: Tuple[int, int]) -> int:
+    return max(0, min(a[1], b[1]) - max(a[0], b[0]) + 1)
+
+
+def select_chains(
+    chains: Sequence[Chain], mask_level: float = 0.5
+) -> Tuple[List[Chain], List[Chain]]:
+    """Split score-sorted chains into (primary, secondary) lists."""
+    if not 0.0 <= mask_level <= 1.0:
+        raise ValueError(f"mask level {mask_level} out of [0, 1]")
+    primary: List[Chain] = []
+    secondary: List[Chain] = []
+    for c in sorted(chains, key=lambda c: -c.score):
+        iv = c.query_interval()
+        span = iv[1] - iv[0] + 1
+        shadowed = False
+        for p in primary:
+            if _overlap(iv, p.query_interval()) > mask_level * span:
+                shadowed = True
+                break
+        (secondary if shadowed else primary).append(c)
+    return primary, secondary
+
+
+def estimate_mapq(
+    primary: Chain, secondary: Sequence[Chain], max_mapq: int = 60
+) -> int:
+    """minimap2-style MAPQ from the primary/secondary score ratio.
+
+    ``mapq = 40 · (1 - f2/f1) · min(1, n/10) · ln f1`` clipped to
+    ``[0, max_mapq]`` — unique strong chains get high confidence,
+    repeats (f2 ≈ f1) drop toward 0.
+    """
+    f1 = max(primary.score, 1.0)
+    competing = [
+        c.score
+        for c in secondary
+        if c is not primary
+        and _overlap(c.query_interval(), primary.query_interval()) > 0
+    ]
+    f2 = max(competing) if competing else 0.0
+    mapq = 40.0 * (1.0 - f2 / f1) * min(1.0, primary.n_anchors / 10.0) * math.log(f1)
+    return int(max(0, min(max_mapq, round(mapq))))

@@ -1,0 +1,189 @@
+"""``manymap`` command-line interface.
+
+Subcommands mirror the minimap2 workflow on synthetic data:
+
+* ``index``    — build and save a minimizer index from a FASTA file.
+* ``map``      — map FASTA/FASTQ reads against a reference, PAF/SAM out.
+* ``simulate`` — generate a synthetic genome and/or simulated reads.
+* ``bench``    — print a modeled paper table/figure (the measured +
+  asserted versions live in ``benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ._version import __version__
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    from .index.index import build_index
+    from .index.store import save_index
+    from .seq.fasta import read_fasta
+    from .seq.genome import Genome
+
+    genome = Genome(read_fasta(args.reference))
+    index = build_index(genome, k=args.k, w=args.w)
+    written = save_index(index, args.output)
+    print(
+        f"indexed {len(genome)} sequence(s), {index.n_minimizers} minimizers, "
+        f"{written} bytes -> {args.output}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from .core.aligner import Aligner
+    from .core.alignment import sam_header, to_paf, to_sam
+    from .seq.fasta import read_fasta, read_fastq
+    from .seq.genome import Genome
+
+    genome = Genome(read_fasta(args.reference))
+    aligner = Aligner(genome, preset=args.preset, engine=args.engine)
+    reads = (
+        read_fastq(args.reads)
+        if args.reads.endswith((".fq", ".fastq"))
+        else read_fasta(args.reads)
+    )
+    if args.threads > 1:
+        from .runtime.parallel import parallel_map_reads
+
+        results = parallel_map_reads(
+            aligner, reads, threads=args.threads, with_cigar=not args.no_cigar
+        )
+    else:
+        results = [
+            aligner.map_read(r, with_cigar=not args.no_cigar) for r in reads
+        ]
+    out = open(args.output, "w") if args.output else sys.stdout
+    try:
+        if args.sam:
+            print(sam_header(aligner.index.names, aligner.index.lengths), file=out)
+        n_mapped = 0
+        for read, alns in zip(reads, results):
+            if alns:
+                n_mapped += 1
+            for aln in alns:
+                print(to_sam(aln, read) if args.sam else to_paf(aln), file=out)
+        print(f"mapped {n_mapped}/{len(reads)} reads", file=sys.stderr)
+    finally:
+        if args.output:
+            out.close()
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .seq.fasta import write_fasta, write_fastq
+    from .seq.genome import GenomeSpec, generate_genome
+    from .sim.pbsim import simulate_reads
+
+    genome = generate_genome(
+        GenomeSpec(length=args.genome_length, chromosomes=args.chromosomes),
+        seed=args.seed,
+    )
+    write_fasta(args.reference_out, genome.chromosomes)
+    print(f"wrote genome -> {args.reference_out}", file=sys.stderr)
+    if args.reads_out:
+        reads = simulate_reads(
+            genome, args.n_reads, platform=args.platform, seed=args.seed + 1
+        )
+        write_fastq(args.reads_out, reads)
+        print(f"wrote {len(reads)} reads -> {args.reads_out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .index.store import index_file_size, load_index
+    from .utils.fmt import human_bytes, human_count
+
+    idx = load_index(args.index, mode="mmap")
+    s = idx.stats()
+    rows = [
+        ("sequences", human_count(s["n_sequences"])),
+        ("k / w / hpc", f"{idx.k} / {idx.w} / {idx.hpc}"),
+        ("minimizers", human_count(s["n_minimizers"])),
+        ("distinct keys", human_count(s["n_keys"])),
+        ("mean occurrences", f"{s['mean_occ']:.2f}"),
+        ("max occurrences", human_count(s["max_occ_observed"])),
+        ("occurrence cutoff", str(idx.max_occ)),
+        ("in-memory size", human_bytes(s["bytes"])),
+        ("file size", human_bytes(index_file_size(args.index))),
+    ]
+    width = max(len(k) for k, _ in rows)
+    for k, v in rows:
+        print(f"{k:<{width}}  {v}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .machine.figures import FIGURES, available
+
+    if args.figure == "list" or args.figure not in FIGURES:
+        print("available:", ", ".join(available()))
+        return 0 if args.figure == "list" else 1
+    print(FIGURES[args.figure]())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="manymap",
+        description="Long read alignment accelerated on three (modeled) processors",
+    )
+    p.add_argument("--version", action="version", version=f"manymap {__version__}")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    pi = sub.add_parser("index", help="build a minimizer index")
+    pi.add_argument("reference", help="reference FASTA")
+    pi.add_argument("-o", "--output", required=True, help="index output path")
+    pi.add_argument("-k", type=int, default=15, help="k-mer size")
+    pi.add_argument("-w", type=int, default=10, help="minimizer window")
+    pi.set_defaults(fn=_cmd_index)
+
+    pm = sub.add_parser("map", help="map reads to a reference")
+    pm.add_argument("reference", help="reference FASTA")
+    pm.add_argument("reads", help="reads FASTA/FASTQ")
+    pm.add_argument("-o", "--output", help="output file (default stdout)")
+    pm.add_argument("-x", "--preset", default="map-pb", help="parameter preset")
+    pm.add_argument(
+        "--engine",
+        default="manymap",
+        choices=["manymap", "mm2", "scalar", "reference"],
+        help="base-level DP engine",
+    )
+    pm.add_argument("-t", "--threads", type=int, default=1, help="mapping threads")
+    pm.add_argument("--sam", action="store_true", help="emit SAM instead of PAF")
+    pm.add_argument("--no-cigar", action="store_true", help="skip path DP")
+    pm.set_defaults(fn=_cmd_map)
+
+    ps = sub.add_parser("simulate", help="generate synthetic genome + reads")
+    ps.add_argument("--genome-length", type=int, default=1_000_000)
+    ps.add_argument("--chromosomes", type=int, default=1)
+    ps.add_argument("--n-reads", type=int, default=100)
+    ps.add_argument("--platform", default="pacbio", choices=["pacbio", "nanopore"])
+    ps.add_argument("--seed", type=int, default=0)
+    ps.add_argument("--reference-out", default="ref.fa")
+    ps.add_argument("--reads-out", default=None)
+    ps.set_defaults(fn=_cmd_simulate)
+
+    pst = sub.add_parser("stats", help="summarize a saved index")
+    pst.add_argument("index", help="path to a .mmi index file")
+    pst.set_defaults(fn=_cmd_stats)
+
+    pb = sub.add_parser("bench", help="print a modeled paper table/figure")
+    pb.add_argument("figure", help="fig5|fig6|fig7|fig8|table3|list")
+    pb.set_defaults(fn=_cmd_bench)
+
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

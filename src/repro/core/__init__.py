@@ -1,0 +1,33 @@
+"""The manymap aligner: public API tying all substrates together.
+
+:class:`Aligner` implements the full seed–chain–extend pipeline of
+minimap2 (§3.1) with a pluggable base-level DP engine, so the original
+(``engine='mm2'``) and revised (``engine='manymap'``) kernels can be
+swapped while producing identical alignments — the property Table 5
+relies on ("manymap produces the same alignment result as minimap2").
+"""
+
+from .presets import Preset, get_preset, PRESETS
+from .alignment import Alignment, to_paf, to_sam, sam_header
+from .aligner import Aligner
+from .profiling import PipelineProfile
+from .driver import BatchDriver
+from .platform import PlatformProjection
+from .tags import cigar_eqx, md_tag, nm_distance
+
+__all__ = [
+    "Preset",
+    "get_preset",
+    "PRESETS",
+    "Alignment",
+    "to_paf",
+    "to_sam",
+    "sam_header",
+    "Aligner",
+    "PipelineProfile",
+    "BatchDriver",
+    "PlatformProjection",
+    "cigar_eqx",
+    "md_tag",
+    "nm_distance",
+]

@@ -1,0 +1,403 @@
+"""The manymap/minimap2 aligner: seed → chain → extend.
+
+``Aligner.map_read`` runs the full pipeline of §3.1 for one read:
+
+1. **Seed** — extract query minimizers, look them up in the reference
+   index (anchors).
+2. **Chain** — cluster anchors into colinear chains with the chaining
+   DP; pick primary chains.
+3. **Extend** — fill inter-anchor gaps with global base-level DP and
+   extend past the terminal anchors with z-drop extension, stitching
+   the per-segment CIGARs into the final alignment.
+
+The base-level step takes any engine from :mod:`repro.align.engine`, so
+the minimap2-layout and manymap-layout kernels are interchangeable and
+— by the engine-equivalence property — produce identical alignments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..align.cigar import Cigar
+from ..align.engine import get_engine
+from ..align.extend import extend_alignment
+from ..chain.anchors import collect_anchors
+from ..chain.chain import Chain, chain_anchors
+from ..chain.select import estimate_mapq, select_chains
+from ..errors import AlignmentError
+from ..index.index import MinimizerIndex, build_index
+from ..seq.alphabet import AMBIG, revcomp_codes
+from ..seq.genome import Genome
+from ..seq.records import SeqRecord
+from .alignment import Alignment
+from .presets import Preset, get_preset
+
+
+@dataclass
+class MappingPlan:
+    """Output of the seed-and-chain phase, input to the align phase."""
+
+    chains: List[Chain]
+    primary: List[Chain]
+    secondary: List[Chain]
+
+    @property
+    def mapped(self) -> bool:
+        return bool(self.primary)
+
+
+@dataclass
+class _ChainAlignment:
+    """Internal: a chain turned into a base-level alignment (RC frame)."""
+
+    score: int
+    cigar: Cigar
+    tstart: int
+    tend: int  # exclusive
+    qstart: int  # RC frame when strand == 1
+    qend: int  # exclusive
+
+
+class Aligner:
+    """Long-read aligner over a prebuilt or freshly built minimizer index.
+
+    Parameters
+    ----------
+    genome:
+        The reference; required for base-level alignment.
+    preset:
+        Name ('map-pb', 'map-ont', 'test') or a :class:`Preset`.
+    engine:
+        Base-level DP engine name ('manymap', 'mm2', 'scalar',
+        'reference'). Default is the paper's revised kernel.
+    index:
+        Reuse an existing :class:`MinimizerIndex` (must match the
+        preset's k and w) instead of building one.
+    """
+
+    def __init__(
+        self,
+        genome: Genome,
+        preset: Union[str, Preset] = "map-pb",
+        engine: str = "manymap",
+        index: Optional[MinimizerIndex] = None,
+        max_ext: int = 2000,
+        batch_segments: bool = True,
+    ) -> None:
+        import inspect
+
+        self.batch_segments = batch_segments
+        self.genome = genome
+        self.preset = get_preset(preset) if isinstance(preset, str) else preset
+        self.engine_name = engine
+        self.engine = get_engine(engine)
+        # The vectorized kernels support banded DP (minimap2 -r); the
+        # oracle/scalar engines do not, and silently run unbanded.
+        self._banded = "band" in inspect.signature(self.engine).parameters
+        if index is not None:
+            if (
+                index.k != self.preset.k
+                or index.w != self.preset.w
+                or index.hpc != self.preset.hpc
+            ):
+                raise AlignmentError(
+                    f"index (k={index.k}, w={index.w}, hpc={index.hpc}) does "
+                    f"not match preset (k={self.preset.k}, w={self.preset.w}, "
+                    f"hpc={self.preset.hpc})"
+                )
+            self.index = index
+        else:
+            self.index = build_index(
+                genome,
+                k=self.preset.k,
+                w=self.preset.w,
+                occ_filter_frac=self.preset.occ_filter_frac,
+                hpc=self.preset.hpc,
+            )
+        self.max_ext = max_ext
+
+    # ------------------------------------------------------------------ #
+
+    def seed_and_chain(self, read: SeqRecord) -> "MappingPlan":
+        """Phase 1 (paper stage "Seed & Chain"): anchors → chains."""
+        arrays = collect_anchors(read.codes, self.index, as_arrays=True)
+        chains = chain_anchors(*arrays, params=self.preset.chain)
+        if not chains:
+            return MappingPlan([], [], [])
+        primary, secondary = select_chains(chains, self.preset.mask_level)
+        return MappingPlan(chains, primary, secondary)
+
+    def align_plan(
+        self,
+        read: SeqRecord,
+        plan: "MappingPlan",
+        with_cigar: bool = True,
+        max_secondary: int = 0,
+    ) -> List[Alignment]:
+        """Phase 2 (paper stage "Align"): base-level gap fill + extension."""
+        out: List[Alignment] = []
+        for chain in plan.primary + plan.secondary[:max_secondary]:
+            is_primary = any(c is chain for c in plan.primary)
+            aln = self._finalize(read, chain, plan.chains, with_cigar, is_primary)
+            if aln is not None:
+                out.append(aln)
+        out.sort(key=lambda a: (-int(a.is_primary), -a.score))
+        return out
+
+    def map_read(
+        self,
+        read: SeqRecord,
+        with_cigar: bool = True,
+        max_secondary: int = 0,
+    ) -> List[Alignment]:
+        """Map one read; returns alignments sorted best-first.
+
+        Primary chains each yield one alignment; up to ``max_secondary``
+        secondary chains are reported with ``is_primary=False``.
+        """
+        plan = self.seed_and_chain(read)
+        return self.align_plan(
+            read, plan, with_cigar=with_cigar, max_secondary=max_secondary
+        )
+
+    def map_batch(
+        self, reads: Sequence[SeqRecord], with_cigar: bool = True
+    ) -> List[List[Alignment]]:
+        """Map a batch of reads sequentially (see runtime.* for pipelines)."""
+        return [self.map_read(r, with_cigar=with_cigar) for r in reads]
+
+    # ------------------------------------------------------------------ #
+
+    def _finalize(
+        self,
+        read: SeqRecord,
+        chain: Chain,
+        all_chains: Sequence[Chain],
+        with_cigar: bool,
+        is_primary: bool,
+    ) -> Optional[Alignment]:
+        ca = self._align_chain(read.codes, chain, with_cigar)
+        if ca is None:
+            return None
+        qlen = int(read.codes.size)
+        if chain.strand == 0:
+            qstart, qend = ca.qstart, ca.qend
+        else:
+            qstart, qend = qlen - ca.qend, qlen - ca.qstart
+        n_match, block_len = self._match_stats(read.codes, chain, ca)
+        mapq = estimate_mapq(chain, [c for c in all_chains if c is not chain])
+        return Alignment(
+            qname=read.name,
+            qlen=qlen,
+            qstart=qstart,
+            qend=qend,
+            strand=1 if chain.strand == 0 else -1,
+            tname=self.index.names[chain.rid],
+            tlen=int(self.index.lengths[chain.rid]),
+            tstart=ca.tstart,
+            tend=ca.tend,
+            n_match=n_match,
+            block_len=block_len,
+            mapq=mapq if is_primary else 0,
+            score=ca.score,
+            cigar=ca.cigar if with_cigar else None,
+            is_primary=is_primary,
+            tags={"chain_score": chain.score, "n_anchors": chain.n_anchors},
+        )
+
+    def _match_stats(self, codes, chain, ca) -> tuple:
+        if ca.cigar is None or len(ca.cigar) == 0:
+            span = ca.tend - ca.tstart
+            return span, span
+        qseq = codes if chain.strand == 0 else revcomp_codes(codes)
+        tseq = self.genome.chromosomes[chain.rid].codes
+        t_sub = tseq[ca.tstart : ca.tend]
+        q_sub = qseq[ca.qstart : ca.qend]
+        ti = qi = 0
+        matches = 0
+        block = 0
+        for n, op in ca.cigar.ops:
+            if op == "M":
+                matches += int((t_sub[ti : ti + n] == q_sub[qi : qi + n]).sum())
+                ti += n
+                qi += n
+                block += n
+            elif op == "D":
+                ti += n
+                block += n
+            elif op == "I":
+                qi += n
+                block += n
+        return matches, block
+
+    #: segments whose longer side is at most this go through the batched
+    #: kernel, bucketed by padded size so one long outlier cannot inflate
+    #: the whole batch's padding.
+    _BATCH_MAX = 192
+    _BATCH_BUCKETS = (24, 48, 96, 192)
+
+    def _run_segments(
+        self,
+        batch_t: List[np.ndarray],
+        batch_q: List[np.ndarray],
+        scoring,
+        with_cigar: bool,
+    ) -> List:
+        """Align gap segments: size-bucketed batches + per-pair fallback."""
+        if not batch_t:
+            return []
+        results: List = [None] * len(batch_t)
+        singles: List[int] = []
+        if self.batch_segments:
+            buckets: dict = {}
+            for i, (tseg, qseg) in enumerate(zip(batch_t, batch_q)):
+                size = max(tseg.size, qseg.size)
+                if size > self._BATCH_MAX:
+                    singles.append(i)
+                    continue
+                for cap in self._BATCH_BUCKETS:
+                    if size <= cap:
+                        buckets.setdefault(cap, []).append(i)
+                        break
+            from ..align.batch_kernel import align_batch
+
+            for cap, idxs in buckets.items():
+                if len(idxs) == 1:
+                    singles.extend(idxs)
+                    continue
+                out = align_batch(
+                    [batch_t[i] for i in idxs],
+                    [batch_q[i] for i in idxs],
+                    scoring,
+                    path=with_cigar,
+                )
+                for i, res in zip(idxs, out):
+                    results[i] = res
+        else:
+            singles = list(range(len(batch_t)))
+        for i in singles:
+            tseg, qseg = batch_t[i], batch_q[i]
+            kwargs = {}
+            if self._banded:
+                # Chained anchors bound the off-diagonal drift, so a
+                # corridor of the length difference plus slack is exact
+                # in practice.
+                kwargs["band"] = abs(tseg.size - qseg.size) + 64
+            results[i] = self.engine(
+                tseg, qseg, scoring, mode="global", path=with_cigar, **kwargs
+            )
+        return results
+
+    def _align_chain(
+        self, codes: np.ndarray, chain: Chain, with_cigar: bool
+    ) -> Optional[_ChainAlignment]:
+        """Fill gaps between anchors and extend past the chain ends."""
+        k = self.index.k
+        scoring = self.preset.scoring
+        qseq = codes if chain.strand == 0 else revcomp_codes(codes)
+        tseq = self.genome.chromosomes[chain.rid].codes
+        anchors = chain.anchors
+
+        ops: List = []
+        score = 0
+
+        # First anchor k-mer: exact match by construction. Under HPC
+        # seeding only the k-mer's FINAL base is guaranteed to match in
+        # original coordinates (runs may differ in length), so the
+        # anchored exact block shrinks to one base.
+        klen = 1 if self.index.hpc else k
+        t0, q0 = anchors[0]
+        if q0 - klen + 1 < 0 or t0 - klen + 1 < 0:
+            return None  # defensive: malformed anchor
+        ops.append((klen, "M"))
+        score += klen * scoring.match
+
+        # Left extension before the first anchor.
+        lt0 = t0 - klen + 1
+        lq0 = q0 - klen + 1
+        ext_t0 = max(0, lt0 - min(self.max_ext, lq0 + self.preset.chain.bandwidth))
+        ext_band = self.preset.chain.bandwidth if self._banded else None
+        left = extend_alignment(
+            tseq[ext_t0:lt0][::-1].copy(),
+            qseq[max(0, lq0 - self.max_ext) : lq0][::-1].copy(),
+            scoring,
+            engine=self.engine,
+            path=with_cigar,
+            zdrop=scoring.zdrop,
+            band=ext_band,
+        )
+        tstart = lt0 - left.t_used
+        qstart = lq0 - left.q_used
+        score += left.score
+        left_ops = (
+            list(reversed(left.cigar.ops)) if with_cigar and left.cigar else []
+        )
+
+        # Inter-anchor segments (global alignment of each gap). Exact
+        # segments short-circuit; the rest either go through the batched
+        # inter-sequence kernel (SWIPE-style, the fast path) or the
+        # configured per-pair engine.
+        mid_plan: List = []  # ("M", dt) | ("DP", index_into_batch)
+        batch_t: List[np.ndarray] = []
+        batch_q: List[np.ndarray] = []
+        prev_t, prev_q = t0, q0
+        for t_i, q_i in anchors[1:]:
+            dt, dq = t_i - prev_t, q_i - prev_q
+            tseg = tseq[prev_t + 1 : t_i + 1]
+            qseg = qseq[prev_q + 1 : q_i + 1]
+            if dt == dq and np.array_equal(tseg, qseg) and (tseg < AMBIG).all():
+                mid_plan.append(("M", dt))
+                score += dt * scoring.match
+            else:
+                mid_plan.append(("DP", len(batch_t)))
+                batch_t.append(tseg)
+                batch_q.append(qseg)
+            prev_t, prev_q = t_i, q_i
+
+        seg_results = self._run_segments(batch_t, batch_q, scoring, with_cigar)
+        mid_ops: List = []
+        for kind, payload in mid_plan:
+            if kind == "M":
+                mid_ops.append((payload, "M"))
+            else:
+                res = seg_results[payload]
+                score += res.score
+                if with_cigar:
+                    mid_ops.extend(res.cigar.ops)
+
+        # Right extension past the last anchor.
+        rq0 = prev_q + 1
+        rt0 = prev_t + 1
+        q_tail = qseq[rq0:]
+        t_hi = min(
+            tseq.size, rt0 + q_tail.size + self.preset.chain.bandwidth
+        )
+        right = extend_alignment(
+            tseq[rt0:t_hi],
+            q_tail,
+            scoring,
+            engine=self.engine,
+            path=with_cigar,
+            zdrop=scoring.zdrop,
+            band=ext_band,
+        )
+        tend = rt0 + right.t_used
+        qend = rq0 + right.q_used
+        score += right.score
+        right_ops = list(right.cigar.ops) if with_cigar and right.cigar else []
+
+        cigar = None
+        if with_cigar:
+            cigar = Cigar(left_ops + ops + mid_ops + right_ops).merged()
+        return _ChainAlignment(
+            score=int(score),
+            cigar=cigar,
+            tstart=int(tstart),
+            tend=int(tend),
+            qstart=int(qstart),
+            qend=int(qend),
+        )

@@ -1,0 +1,138 @@
+"""Alignment records and PAF/SAM formatting.
+
+Coordinates follow PAF: 0-based half-open, with query coordinates in
+the *original read orientation* (for reverse-strand hits the internal
+RC-frame interval is flipped before reporting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..align.cigar import Cigar
+from ..seq.alphabet import decode, revcomp_codes
+from ..seq.records import SeqRecord
+
+
+@dataclass
+class Alignment:
+    """One reported alignment of a read against the reference."""
+
+    qname: str
+    qlen: int
+    qstart: int  # 0-based, original read orientation
+    qend: int  # exclusive
+    strand: int  # +1 / -1
+    tname: str
+    tlen: int
+    tstart: int  # 0-based
+    tend: int  # exclusive
+    n_match: int
+    block_len: int
+    mapq: int
+    score: int
+    cigar: Optional[Cigar] = None
+    is_primary: bool = True
+    tags: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def identity(self) -> float:
+        """Matching bases over alignment block length (PAF convention)."""
+        return self.n_match / self.block_len if self.block_len else 0.0
+
+    def overlaps_truth(self, chrom: str, start: int, end: int, slop: int = 0) -> bool:
+        """Whether this alignment hits interval ``chrom:start-end``.
+
+        Used for the paper's accuracy metric: an alignment is *correct*
+        when it overlaps the simulated read's true origin.
+        """
+        if self.tname != chrom:
+            return False
+        return self.tstart < end + slop and self.tend > start - slop
+
+
+def to_paf(aln: Alignment) -> str:
+    """Render one alignment as a PAF line (with cg/AS/tp tags)."""
+    fields = [
+        aln.qname,
+        str(aln.qlen),
+        str(aln.qstart),
+        str(aln.qend),
+        "+" if aln.strand > 0 else "-",
+        aln.tname,
+        str(aln.tlen),
+        str(aln.tstart),
+        str(aln.tend),
+        str(aln.n_match),
+        str(aln.block_len),
+        str(aln.mapq),
+    ]
+    fields.append(f"tp:A:{'P' if aln.is_primary else 'S'}")
+    fields.append(f"AS:i:{aln.score}")
+    if aln.cigar is not None:
+        fields.append(f"cg:Z:{aln.cigar}")
+    return "\t".join(fields)
+
+
+def sam_header(names: Sequence[str], lengths: Sequence[int]) -> str:
+    """Minimal SAM header with @SQ lines and a @PG record."""
+    lines = ["@HD\tVN:1.6\tSO:unsorted"]
+    for name, ln in zip(names, lengths):
+        lines.append(f"@SQ\tSN:{name}\tLN:{int(ln)}")
+    lines.append("@PG\tID:manymap\tPN:manymap\tVN:0.1.0")
+    return "\n".join(lines)
+
+
+def to_sam(aln: Alignment, read: SeqRecord) -> str:
+    """Render one alignment as a SAM line.
+
+    Reverse-strand alignments emit the reverse-complemented sequence
+    with flag 16, per the SAM spec. Unaligned query ends become soft
+    clips around the CIGAR.
+    """
+    flag = 0
+    codes = read.codes
+    if aln.strand < 0:
+        flag |= 16
+        codes = revcomp_codes(codes)
+    if not aln.is_primary:
+        flag |= 256
+    cig = aln.cigar
+    if cig is None:
+        cigar_str = "*"
+    else:
+        # Clip coordinates are in the aligned (possibly RC) orientation.
+        if aln.strand > 0:
+            lead, tail = aln.qstart, aln.qlen - aln.qend
+        else:
+            lead, tail = aln.qlen - aln.qend, aln.qstart
+        ops = list(cig.ops)
+        if lead:
+            ops.insert(0, (lead, "S"))
+        if tail:
+            ops.append((tail, "S"))
+        cigar_str = str(Cigar(ops))
+    qual = (
+        (read.quality + 33).astype(np.uint8).tobytes().decode("ascii")
+        if read.quality is not None and aln.strand > 0
+        else "*"
+    )
+    fields = [
+        aln.qname,
+        str(flag),
+        aln.tname,
+        str(aln.tstart + 1),  # SAM is 1-based
+        str(aln.mapq),
+        cigar_str,
+        "*",
+        "0",
+        "0",
+        decode(codes),
+        qual,
+        f"AS:i:{aln.score}",
+        f"NM:i:{max(0, aln.block_len - aln.n_match)}",
+    ]
+    return "\t".join(fields)

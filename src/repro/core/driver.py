@@ -1,0 +1,99 @@
+"""Batch driver: runs the full pipeline with per-stage instrumentation.
+
+This is the single-threaded measured pipeline behind Table 2 and
+Figure 11 — load index, load query, seed & chain, align, output — with
+real wall-clock timing per stage. Pipelined/parallel execution lives in
+:mod:`repro.runtime`; this driver is deliberately serial so its stage
+times can feed the machine models.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import List, Optional, Sequence, Union
+
+from ..errors import ReproError
+from ..index.store import load_index
+from ..seq.fasta import read_fasta, read_fastq
+from ..seq.genome import Genome
+from ..seq.records import ReadSet, SeqRecord
+from .aligner import Aligner
+from .alignment import Alignment, to_paf
+from .profiling import PipelineProfile
+
+
+class BatchDriver:
+    """Runs reads through an :class:`Aligner`, timing the paper's stages."""
+
+    def __init__(self, aligner: Aligner, label: str = "") -> None:
+        self.aligner = aligner
+        self.profile = PipelineProfile(label=label)
+
+    @classmethod
+    def from_index_file(
+        cls,
+        genome: Genome,
+        index_path: Union[str, os.PathLike],
+        load_mode: str = "buffered",
+        preset: str = "map-pb",
+        engine: str = "manymap",
+        label: str = "",
+    ) -> "BatchDriver":
+        """Build a driver whose index-load time is measured for real.
+
+        ``load_mode='mmap'`` exercises the paper's memory-mapped I/O
+        path (§4.4.2) — the load returns almost immediately because
+        pages are faulted in on demand.
+        """
+        profile = PipelineProfile(label=label)
+        with profile.stage("Load Index"):
+            index = load_index(index_path, mode=load_mode)
+        aligner = Aligner(genome, preset=preset, engine=engine, index=index)
+        driver = cls(aligner, label=label)
+        driver.profile = profile
+        return driver
+
+    def load_reads(self, source) -> ReadSet:
+        """Load query reads (paths, handles, or pass-through ReadSet)."""
+        with self.profile.stage("Load Query"):
+            if isinstance(source, ReadSet):
+                return source
+            if isinstance(source, (list, tuple)):
+                rs = ReadSet(reads=list(source))
+                return rs
+            path = os.fspath(source)
+            records = (
+                read_fastq(path)
+                if path.endswith((".fq", ".fastq"))
+                else read_fasta(path)
+            )
+            return ReadSet(reads=records)
+
+    def run(
+        self,
+        reads: Union[ReadSet, Sequence[SeqRecord]],
+        output: Optional[io.TextIOBase] = None,
+        with_cigar: bool = True,
+    ) -> List[List[Alignment]]:
+        """Map every read, timing seed&chain / align / output separately."""
+        if isinstance(reads, ReadSet):
+            records = list(reads)
+        else:
+            records = list(reads)
+        results: List[List[Alignment]] = []
+        for read in records:
+            with self.profile.stage("Seed & Chain"):
+                plan = self.aligner.seed_and_chain(read)
+            with self.profile.stage("Align"):
+                alns = self.aligner.align_plan(read, plan, with_cigar=with_cigar)
+            results.append(alns)
+        with self.profile.stage("Output"):
+            lines = [to_paf(a) for alns in results for a in alns]
+            text = "\n".join(lines) + ("\n" if lines else "")
+            if output is not None:
+                output.write(text)
+        return results
+
+    def n_mapped(self, results: List[List[Alignment]]) -> int:
+        return sum(1 for alns in results if alns)

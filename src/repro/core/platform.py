@@ -1,0 +1,102 @@
+"""Projecting a measured pipeline profile onto the three processors.
+
+Figure 11's logic as a library: take a *measured* single-thread CPU
+stage profile of the mm2-engine pipeline and derive the other four
+configurations of the paper's comparison — CPU manymap, KNL minimap2,
+KNL manymap, GPU manymap — from the machine models. Calibrated
+constants (documented in EXPERIMENTS.md):
+
+* ``dp_frac_cpu`` / ``dp_frac_knl`` — the DP-kernel share of the macro
+  Align stage, reconciling the micro kernel ratios with the paper's
+  overall 1.4x / 2.3x speedups;
+* ``gpu_occupancy`` — average achieved GPU occupancy of the macro
+  pipeline, calibrated to the paper's narrow GPU-vs-CPU margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..machine.cpu import CpuModel, XEON_GOLD_5115
+from ..machine.gpu import GpuModel, TESLA_V100
+from ..machine.isa import AVX512BW, SSE2
+from ..machine.knl import KnlModel, XEON_PHI_7210
+from .profiling import STAGES, PipelineProfile
+
+
+@dataclass
+class PlatformProjection:
+    """Derives modeled platform profiles from one measured CPU profile."""
+
+    cpu: CpuModel = field(default_factory=lambda: XEON_GOLD_5115)
+    knl: KnlModel = field(default_factory=lambda: XEON_PHI_7210)
+    gpu: GpuModel = field(default_factory=lambda: TESLA_V100)
+    dp_frac_cpu: float = 0.55
+    dp_frac_knl: float = 0.85
+    gpu_occupancy: float = 0.58
+    probe_length: int = 4000
+
+    @staticmethod
+    def _stage_speedup(kernel_ratio: float, dp_frac: float) -> float:
+        return 1.0 / ((1.0 - dp_frac) + dp_frac / kernel_ratio)
+
+    def kernel_ratio_cpu(self, mode: str = "path") -> float:
+        """manymap(AVX-512) over original minimap2(SSE2) on the CPU."""
+        return self.cpu.micro_gcups(
+            "manymap", AVX512BW, mode, self.probe_length
+        ) / self.cpu.micro_gcups("mm2", SSE2, mode, self.probe_length)
+
+    def kernel_ratio_knl(self, mode: str = "path") -> float:
+        return self.knl.micro_gcups(
+            "manymap", mode, self.probe_length
+        ) / self.knl.micro_gcups("mm2", mode, self.probe_length)
+
+    def project(self, cpu_mm2: PipelineProfile) -> Dict[str, PipelineProfile]:
+        """Return all five configurations keyed like Figure 11."""
+        cpu_many = PipelineProfile(label="CPU manymap")
+        r_cpu = self.kernel_ratio_cpu()
+        for stage in STAGES:
+            t = cpu_mm2.seconds(stage)
+            if stage == "Align":
+                t /= self._stage_speedup(r_cpu, self.dp_frac_cpu)
+            elif stage == "Load Index":
+                t /= 2.0  # memory-mapped I/O (§4.4.2)
+            cpu_many.add(stage, t)
+
+        knl_mm2 = PipelineProfile(label="KNL minimap2")
+        for stage in STAGES:
+            knl_mm2.add(stage, cpu_mm2.seconds(stage) * self.knl.stage_slowdown[stage])
+
+        knl_many = PipelineProfile(label="KNL manymap")
+        r_knl = self.kernel_ratio_knl()
+        for stage in STAGES:
+            t = knl_mm2.seconds(stage)
+            if stage == "Align":
+                t /= self._stage_speedup(r_knl, self.dp_frac_knl)
+            elif stage in ("Load Index", "Load Query", "Output"):
+                t /= 2.0  # mmap + dedicated I/O thread (§4.4.2-4.4.4)
+            knl_many.add(stage, t)
+
+        gpu_many = PipelineProfile(label="GPU manymap")
+        gpu_ratio = (
+            self.gpu.micro_gcups("manymap", "path", self.probe_length)
+            * self.gpu_occupancy
+            / self.cpu.micro_gcups("manymap", AVX512BW, "path", self.probe_length)
+        )
+        for stage in STAGES:
+            t = cpu_many.seconds(stage)
+            if stage == "Align":
+                t /= max(gpu_ratio, 1e-9)
+            gpu_many.add(stage, t)
+
+        cpu_mm2_out = PipelineProfile(label="CPU minimap2")
+        for stage in STAGES:
+            cpu_mm2_out.add(stage, cpu_mm2.seconds(stage))
+        return {
+            "CPU mm2": cpu_mm2_out,
+            "CPU many": cpu_many,
+            "KNL mm2": knl_mm2,
+            "KNL many": knl_many,
+            "GPU many": gpu_many,
+        }

@@ -1,0 +1,78 @@
+"""Parameter presets mirroring minimap2's ``-ax map-pb`` / ``map-ont``.
+
+Deviation from upstream: minimap2's map-pb preset uses homopolymer-
+compressed k=19 seeds; HPC seeding is orthogonal to everything this
+reproduction measures, so both presets here use plain k=15 minimizers
+(documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..align.scoring import MAP_ONT, MAP_PB, Scoring
+from ..chain.chain import ChainParams
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class Preset:
+    """A named bundle of indexing, chaining and scoring parameters."""
+
+    name: str
+    k: int
+    w: int
+    scoring: Scoring
+    chain: ChainParams
+    occ_filter_frac: float = 2e-4
+    mask_level: float = 0.5
+    hpc: bool = False
+
+    def with_overrides(self, **kwargs) -> "Preset":
+        return replace(self, **kwargs)
+
+
+PRESETS = {
+    "map-pb": Preset(
+        name="map-pb",
+        k=15,
+        w=10,
+        scoring=MAP_PB,
+        chain=ChainParams(k=15, bandwidth=500, min_score=40, min_count=3),
+    ),
+    "map-ont": Preset(
+        name="map-ont",
+        k=15,
+        w=10,
+        scoring=MAP_ONT,
+        chain=ChainParams(k=15, bandwidth=500, min_score=40, min_count=3),
+    ),
+    # Upstream map-pb's actual seeding: homopolymer-compressed k=19.
+    "map-pb-hpc": Preset(
+        name="map-pb-hpc",
+        k=19,
+        w=10,
+        scoring=MAP_PB,
+        chain=ChainParams(k=19, bandwidth=500, min_score=40, min_count=3),
+        hpc=True,
+    ),
+    # Small-genome testing preset: shorter seeds, permissive chain filter.
+    "test": Preset(
+        name="test",
+        k=13,
+        w=5,
+        scoring=MAP_PB,
+        chain=ChainParams(k=13, bandwidth=500, min_score=25, min_count=3),
+        occ_filter_frac=1e-3,
+    ),
+}
+
+
+def get_preset(name: str) -> Preset:
+    """Look up a preset by name ('map-pb', 'map-ont', 'test')."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown preset {name!r}; available: {sorted(PRESETS)}"
+        ) from None

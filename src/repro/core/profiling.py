@@ -1,0 +1,80 @@
+"""Per-stage pipeline profiling (paper Table 2 / Figure 11).
+
+The paper breaks minimap2's runtime into Load Index / Load Query /
+Seed & Chain / Align / Output and shows Align dominating (65% on CPU,
+83% on KNL). :class:`PipelineProfile` collects the same five stages
+from an instrumented run of our pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..utils.timers import StageTimer
+
+#: Canonical stage order used by Table 2 and Figure 11.
+STAGES = ["Load Index", "Load Query", "Seed & Chain", "Align", "Output"]
+
+
+@dataclass
+class PipelineProfile:
+    """Stage-timing container with the paper's table renderers."""
+
+    timer: StageTimer = field(default_factory=StageTimer)
+    label: str = ""
+
+    def add(self, stage: str, seconds: float) -> None:
+        if stage not in STAGES:
+            raise ValueError(f"unknown stage {stage!r}; expected one of {STAGES}")
+        self.timer.add(stage, seconds)
+
+    def stage(self, name: str):
+        if name not in STAGES:
+            raise ValueError(f"unknown stage {name!r}; expected one of {STAGES}")
+        return self.timer.stage(name)
+
+    @property
+    def total(self) -> float:
+        return self.timer.total
+
+    def seconds(self, stage: str) -> float:
+        return self.timer.stages.get(stage, 0.0)
+
+    def percentage(self, stage: str) -> float:
+        total = self.total or 1.0
+        return 100.0 * self.seconds(stage) / total
+
+    def rows(self) -> List[Tuple[str, float, float]]:
+        """``(stage, seconds, percent)`` in canonical order."""
+        return [(s, self.seconds(s), self.percentage(s)) for s in STAGES]
+
+    def render(self) -> str:
+        lines = []
+        if self.label:
+            lines.append(self.label)
+        lines.append(f"{'Stage':<14}{'Time (s)':>12}{'Percentage':>12}")
+        for stage, sec, pct in self.rows():
+            lines.append(f"{stage:<14}{sec:>12.3f}{pct:>12.2f}")
+        lines.append(f"{'Total':<14}{self.total:>12.3f}{100.0:>12.2f}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def compare(profiles: Dict[str, "PipelineProfile"]) -> str:
+        """Side-by-side breakdown table (Table 2's CPU-vs-KNL layout)."""
+        keys = list(profiles)
+        header = f"{'Stage':<14}" + "".join(
+            f"{k + ' (s)':>14}{'%':>8}" for k in keys
+        )
+        lines = [header]
+        for stage in STAGES:
+            row = f"{stage:<14}"
+            for k in keys:
+                p = profiles[k]
+                row += f"{p.seconds(stage):>14.3f}{p.percentage(stage):>8.2f}"
+            lines.append(row)
+        row = f"{'Total':<14}"
+        for k in keys:
+            row += f"{profiles[k].total:>14.3f}{100.0:>8.2f}"
+        lines.append(row)
+        return "\n".join(lines)

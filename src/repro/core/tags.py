@@ -1,0 +1,106 @@
+"""SAM fidelity helpers: =/X CIGARs, MD tags, exact NM.
+
+minimap2 offers ``--eqx`` (emit =/X instead of M) and ``--MD``; variant
+callers downstream rely on them. These operate on the aligned slices of
+the target/query, independent of the DP engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..align.cigar import Cigar
+from ..errors import AlignmentError
+from ..seq.alphabet import decode
+
+
+def cigar_eqx(cigar: Cigar, target: np.ndarray, query: np.ndarray) -> Cigar:
+    """Split M runs into = (match) and X (mismatch) runs.
+
+    ``target``/``query`` are the aligned slices (the CIGAR must cover
+    them exactly).
+    """
+    ops: List[Tuple[int, str]] = []
+    ti = qi = 0
+    for n, op in cigar.ops:
+        if op == "M":
+            t = target[ti : ti + n]
+            q = query[qi : qi + n]
+            if t.size != n or q.size != n:
+                raise AlignmentError("CIGAR overruns the aligned slices")
+            eq = t == q
+            # Run-length encode the equality vector.
+            start = 0
+            for i in range(1, n + 1):
+                if i == n or eq[i] != eq[start]:
+                    ops.append((i - start, "=" if eq[start] else "X"))
+                    start = i
+            ti += n
+            qi += n
+        else:
+            ops.append((n, op))
+            if op in "D":
+                ti += n
+            elif op in "I":
+                qi += n
+    if ti != target.size or qi != query.size:
+        raise AlignmentError(
+            f"CIGAR spans ({ti},{qi}) do not cover slices "
+            f"({target.size},{query.size})"
+        )
+    return Cigar(ops).merged()
+
+
+def nm_distance(cigar: Cigar, target: np.ndarray, query: np.ndarray) -> int:
+    """Exact SAM NM: mismatches + inserted + deleted bases."""
+    ti = qi = 0
+    nm = 0
+    for n, op in cigar.ops:
+        if op in "M=X":
+            nm += int((target[ti : ti + n] != query[qi : qi + n]).sum())
+            ti += n
+            qi += n
+        elif op == "D":
+            nm += n
+            ti += n
+        elif op == "I":
+            nm += n
+            qi += n
+        elif op == "S":
+            qi += n
+    return nm
+
+
+def md_tag(cigar: Cigar, target: np.ndarray, query: np.ndarray) -> str:
+    """SAM MD string: match counts, mismatched ref bases, ^-deletions.
+
+    Insertions are invisible to MD (it describes the reference bases
+    covered by the alignment), per the SAM optional-field spec.
+    """
+    parts: List[str] = []
+    run = 0
+    ti = qi = 0
+    for n, op in cigar.ops:
+        if op in "M=X":
+            t = target[ti : ti + n]
+            q = query[qi : qi + n]
+            for i in range(n):
+                if t[i] == q[i]:
+                    run += 1
+                else:
+                    parts.append(str(run))
+                    parts.append(decode(t[i : i + 1]))
+                    run = 0
+            ti += n
+            qi += n
+        elif op == "D":
+            parts.append(str(run))
+            run = 0
+            parts.append("^" + decode(target[ti : ti + n]))
+            ti += n
+        elif op in "IS":
+            qi += n
+    parts.append(str(run))
+    return "".join(parts)

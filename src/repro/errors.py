@@ -1,0 +1,43 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+applications can catch a single base class at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SequenceError(ReproError):
+    """Invalid sequence data (bad characters, empty input, length mismatch)."""
+
+
+class ParseError(ReproError):
+    """Malformed FASTA/FASTQ or binary index input."""
+
+
+class IndexError_(ReproError):
+    """Problems building, saving, or loading a minimizer index."""
+
+
+class AlignmentError(ReproError):
+    """Invalid alignment parameters or internal DP inconsistency."""
+
+
+class ChainError(ReproError):
+    """Invalid chaining input (unsorted anchors, bad parameters)."""
+
+
+class MachineModelError(ReproError):
+    """Inconsistent hardware-model configuration."""
+
+
+class SchedulerError(ReproError):
+    """Invalid thread/affinity/pipeline configuration."""
+
+
+class SimulationError(ReproError):
+    """Invalid read-simulation parameters."""

@@ -1,0 +1,29 @@
+"""Evaluation: accuracy vs simulator ground truth, resource accounting."""
+
+from .accuracy import AccuracyReport, evaluate_accuracy
+from .resources import peak_rss_bytes, measure_ram
+from .report import render_table
+from .paf import parse_paf, parse_paf_line, mapeval, MapevalRow
+from .coverage import CoverageStats, coverage_stats, depth_vector
+from .dotplot import dotplot, chain_dotplot
+from .sam import SamRecord, parse_sam, parse_sam_line
+
+__all__ = [
+    "AccuracyReport",
+    "evaluate_accuracy",
+    "peak_rss_bytes",
+    "measure_ram",
+    "render_table",
+    "parse_paf",
+    "parse_paf_line",
+    "mapeval",
+    "MapevalRow",
+    "CoverageStats",
+    "coverage_stats",
+    "depth_vector",
+    "dotplot",
+    "chain_dotplot",
+    "SamRecord",
+    "parse_sam",
+    "parse_sam_line",
+]

@@ -1,0 +1,80 @@
+"""Alignment accuracy against simulator ground truth.
+
+The paper's metric (Table 5): *error rate = wrong alignments / aligned
+reads*, where an alignment is wrong if its primary placement does not
+overlap the read's true source interval. Reads the aligner refuses to
+map count as unmapped, not wrong (matching mapeval conventions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.alignment import Alignment
+from ..seq.records import ReadSet, SeqRecord
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Counts and rates of an accuracy evaluation."""
+
+    n_reads: int
+    n_aligned: int
+    n_correct: int
+    n_wrong: int
+
+    @property
+    def error_rate(self) -> float:
+        """Wrong / aligned — the paper's Table 5 'Error Rate (%)' / 100."""
+        return self.n_wrong / self.n_aligned if self.n_aligned else 0.0
+
+    @property
+    def aligned_fraction(self) -> float:
+        return self.n_aligned / self.n_reads if self.n_reads else 0.0
+
+    @property
+    def sensitivity(self) -> float:
+        """Correct / total reads."""
+        return self.n_correct / self.n_reads if self.n_reads else 0.0
+
+    def render(self) -> str:
+        return (
+            f"reads={self.n_reads} aligned={self.n_aligned} "
+            f"correct={self.n_correct} wrong={self.n_wrong} "
+            f"error_rate={100 * self.error_rate:.3f}% "
+            f"sensitivity={100 * self.sensitivity:.1f}%"
+        )
+
+
+def evaluate_accuracy(
+    reads: Sequence[SeqRecord],
+    results: Sequence[List[Alignment]],
+    slop: int = 100,
+) -> AccuracyReport:
+    """Score primary alignments against each read's ``meta['truth']``.
+
+    ``slop`` tolerates boundary fuzz from clipped extensions. Reads
+    without ground truth raise — accuracy is only defined on simulated
+    data.
+    """
+    if len(reads) != len(results):
+        raise ValueError(
+            f"reads ({len(reads)}) and results ({len(results)}) differ in length"
+        )
+    aligned = correct = wrong = 0
+    for read, alns in zip(reads, results):
+        truth = read.meta.get("truth")
+        if truth is None:
+            raise ValueError(f"read {read.name} has no simulation ground truth")
+        primary = next((a for a in alns if a.is_primary), None)
+        if primary is None:
+            continue
+        aligned += 1
+        if primary.overlaps_truth(truth.chrom, truth.start, truth.end, slop=slop):
+            correct += 1
+        else:
+            wrong += 1
+    return AccuracyReport(
+        n_reads=len(reads), n_aligned=aligned, n_correct=correct, n_wrong=wrong
+    )

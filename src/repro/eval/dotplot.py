@@ -1,0 +1,63 @@
+"""ASCII dotplots of anchors and chains (a debugging lens).
+
+Seed-and-chain behaviour is hard to reason about from coordinate lists;
+a dotplot (target on x, query on y, one glyph per anchor) makes
+diagonals, repeats, and inversions visible in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def dotplot(
+    tpos: np.ndarray,
+    qpos: np.ndarray,
+    strand: Optional[np.ndarray] = None,
+    width: int = 72,
+    height: int = 24,
+    t_range: Optional[Tuple[int, int]] = None,
+    q_range: Optional[Tuple[int, int]] = None,
+) -> str:
+    """Render anchors as an ASCII grid ('.' forward, 'x' reverse).
+
+    Cells holding both strands show '*'. Axes are annotated with the
+    coordinate ranges.
+    """
+    if width < 2 or height < 2:
+        raise ValueError(f"grid too small: {width}x{height}")
+    tpos = np.asarray(tpos, dtype=np.int64)
+    qpos = np.asarray(qpos, dtype=np.int64)
+    if tpos.size == 0:
+        return "(no anchors)"
+    if strand is None:
+        strand = np.zeros(tpos.size, dtype=np.int64)
+    t_lo, t_hi = t_range if t_range else (int(tpos.min()), int(tpos.max()) + 1)
+    q_lo, q_hi = q_range if q_range else (int(qpos.min()), int(qpos.max()) + 1)
+    t_span = max(1, t_hi - t_lo)
+    q_span = max(1, q_hi - q_lo)
+
+    grid = np.full((height, width), 0, dtype=np.int8)  # bit1 fwd, bit2 rev
+    xs = np.clip((tpos - t_lo) * width // t_span, 0, width - 1)
+    ys = np.clip((qpos - q_lo) * height // q_span, 0, height - 1)
+    fwd = strand == 0
+    np.bitwise_or.at(grid, (ys[fwd], xs[fwd]), 1)
+    np.bitwise_or.at(grid, (ys[~fwd], xs[~fwd]), 2)
+
+    glyphs = {0: " ", 1: ".", 2: "x", 3: "*"}
+    lines = [f"query {q_lo:,}..{q_hi:,} (rows) vs target {t_lo:,}..{t_hi:,} (cols)"]
+    # Highest query coordinate at the top, like a maths plot.
+    for row in range(height - 1, -1, -1):
+        lines.append("|" + "".join(glyphs[int(c)] for c in grid[row]) + "|")
+    lines.append("+" + "-" * width + "+")
+    return "\n".join(lines)
+
+
+def chain_dotplot(chain, width: int = 72, height: int = 24) -> str:
+    """Dotplot of one chain's anchors."""
+    t = np.array([a[0] for a in chain.anchors])
+    q = np.array([a[1] for a in chain.anchors])
+    s = np.full(t.size, chain.strand)
+    return dotplot(t, q, s, width=width, height=height)

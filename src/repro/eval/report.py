@@ -1,0 +1,48 @@
+"""ASCII table rendering shared by the benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    align_right: bool = True,
+) -> str:
+    """Render a simple padded table (first column left-aligned)."""
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        cells.append([_fmt(c) for c in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for ri, row in enumerate(cells):
+        parts = []
+        for i, cell in enumerate(row):
+            if i == 0 or not align_right:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        lines.append("  ".join(parts).rstrip())
+        if ri == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,41 @@
+"""Memory accounting for Table 5's Index Size / RAM Usage columns."""
+
+from __future__ import annotations
+
+import resource
+import sys
+import tracemalloc
+from contextlib import contextmanager
+from typing import Callable, Iterator, Tuple
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux, bytes on macOS.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+@contextmanager
+def measure_ram() -> Iterator[dict]:
+    """Track Python-level allocations of a block via tracemalloc.
+
+    Yields a dict later populated with ``current`` and ``peak`` bytes —
+    the closest per-phase equivalent of the paper's per-tool RAM column
+    (process RSS is cumulative across tools within one process).
+    """
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    stats: dict = {}
+    try:
+        yield stats
+    finally:
+        current, peak = tracemalloc.get_traced_memory()
+        stats["current"] = current
+        stats["peak"] = peak
+        if not was_tracing:
+            tracemalloc.stop()

@@ -1,0 +1,129 @@
+"""Minimal SAM parsing — the read-back half of ``core.alignment.to_sam``.
+
+Only the alignment-level fields the evaluation needs are recovered
+(coordinates, flags, CIGAR, MAPQ, AS/NM tags); base-level fields (SEQ,
+QUAL) are kept as raw strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..align.cigar import Cigar
+from ..core.alignment import Alignment
+from ..errors import ParseError
+
+FLAG_REVERSE = 16
+FLAG_SECONDARY = 256
+FLAG_UNMAPPED = 4
+
+
+@dataclass
+class SamRecord:
+    """One parsed SAM alignment line."""
+
+    qname: str
+    flag: int
+    rname: str
+    pos: int  # 1-based, as in the file
+    mapq: int
+    cigar: Optional[Cigar]
+    seq: str
+    qual: str
+    tags: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def is_reverse(self) -> bool:
+        return bool(self.flag & FLAG_REVERSE)
+
+    @property
+    def is_secondary(self) -> bool:
+        return bool(self.flag & FLAG_SECONDARY)
+
+    @property
+    def is_unmapped(self) -> bool:
+        return bool(self.flag & FLAG_UNMAPPED)
+
+    def to_alignment(self, tlen: int = 0) -> Alignment:
+        """Convert to the PAF-style Alignment record.
+
+        Soft clips become the unaligned query ends; query coordinates
+        are reported in the original read orientation (PAF convention).
+        """
+        if self.cigar is None:
+            raise ParseError(f"{self.qname}: cannot convert a CIGAR-less record")
+        lead = self.cigar.ops[0][0] if self.cigar.ops[0][1] == "S" else 0
+        tail = self.cigar.ops[-1][0] if self.cigar.ops[-1][1] == "S" else 0
+        core = Cigar([(n, op) for n, op in self.cigar.ops if op != "S"])
+        qlen = self.cigar.query_span
+        # In SAM, clips are in the aligned orientation; flip for reverse.
+        if self.is_reverse:
+            qstart, qend = tail, qlen - lead
+        else:
+            qstart, qend = lead, qlen - tail
+        tstart = self.pos - 1
+        return Alignment(
+            qname=self.qname,
+            qlen=qlen,
+            qstart=qstart,
+            qend=qend,
+            strand=-1 if self.is_reverse else 1,
+            tname=self.rname,
+            tlen=tlen,
+            tstart=tstart,
+            tend=tstart + core.target_span,
+            n_match=max(0, core.target_span - int(self.tags.get("NM", 0))),
+            block_len=sum(n for n, op in core.ops if op in "MID=X"),
+            mapq=self.mapq,
+            score=int(self.tags.get("AS", 0)),
+            cigar=core,
+            is_primary=not self.is_secondary,
+        )
+
+
+def parse_sam_line(line: str) -> SamRecord:
+    """Parse one alignment line (headers rejected — filter them first)."""
+    if line.startswith("@"):
+        raise ParseError("header line passed to parse_sam_line")
+    fields = line.rstrip("\n").split("\t")
+    if len(fields) < 11:
+        raise ParseError(f"SAM line has {len(fields)} fields, expected >= 11")
+    try:
+        flag = int(fields[1])
+        pos = int(fields[3])
+        mapq = int(fields[4])
+    except ValueError as exc:
+        raise ParseError(f"non-numeric SAM field: {exc}") from None
+    cigar = None if fields[5] == "*" else Cigar.from_string(fields[5])
+    tags: Dict[str, object] = {}
+    for tag in fields[11:]:
+        parts = tag.split(":", 2)
+        if len(parts) == 3:
+            name, typ, value = parts
+            tags[name] = int(value) if typ == "i" else value
+    return SamRecord(
+        qname=fields[0], flag=flag, rname=fields[2], pos=pos, mapq=mapq,
+        cigar=cigar, seq=fields[9], qual=fields[10], tags=tags,
+    )
+
+
+def parse_sam(
+    lines: Iterable[str],
+) -> Tuple[Dict[str, int], List[SamRecord]]:
+    """Parse a SAM stream; returns ({ref name: length}, records)."""
+    refs: Dict[str, int] = {}
+    records: List[SamRecord] = []
+    for line in lines:
+        if not line.strip():
+            continue
+        if line.startswith("@"):
+            if line.startswith("@SQ"):
+                parts = dict(
+                    p.split(":", 1) for p in line.rstrip("\n").split("\t")[1:]
+                )
+                if "SN" in parts and "LN" in parts:
+                    refs[parts["SN"]] = int(parts["LN"])
+            continue
+        records.append(parse_sam_line(line))
+    return refs, records

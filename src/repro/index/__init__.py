@@ -1,0 +1,32 @@
+"""Minimizer indexing: the seeding substrate of minimap2/manymap.
+
+Implements (w,k)-minimizer extraction (Roberts et al. 2004) with
+minimap2's canonical-strand convention and invertible hash, a
+sorted-array reference index with occurrence filtering, and a binary
+on-disk format loadable through either buffered reads or ``np.memmap``
+(the paper's memory-mapped I/O optimization, §4.4.2).
+"""
+
+from .kmer import pack_kmers, rc_packed, hash64, unpack_kmer
+from .minimizer import Minimizer, extract_minimizers
+from .index import MinimizerIndex, build_index
+from .multipart import MultipartIndex, build_multipart_index
+from .hpc import hpc_compress
+from .store import save_index, load_index, index_file_size
+
+__all__ = [
+    "pack_kmers",
+    "rc_packed",
+    "hash64",
+    "unpack_kmer",
+    "Minimizer",
+    "extract_minimizers",
+    "MinimizerIndex",
+    "build_index",
+    "MultipartIndex",
+    "build_multipart_index",
+    "hpc_compress",
+    "save_index",
+    "load_index",
+    "index_file_size",
+]

@@ -1,0 +1,46 @@
+"""Homopolymer compression (HPC) for seeding.
+
+minimap2's ``map-pb`` preset extracts minimizers from the
+homopolymer-compressed sequence (runs of identical bases collapse to
+one), because PacBio CLR's dominant error mode is indels inside
+homopolymer runs — compressing them makes seeds indel-tolerant.
+Minimizer *positions* are mapped back to original coordinates so
+chaining and base-level alignment still operate on the raw sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def hpc_compress(codes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Collapse homopolymer runs.
+
+    Returns ``(compressed, positions)`` where ``positions[i]`` is the
+    original index of the FIRST base of the run that produced
+    ``compressed[i]``.
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.size == 0:
+        return codes.copy(), np.empty(0, dtype=np.int64)
+    keep = np.empty(codes.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(codes[1:], codes[:-1], out=keep[1:])
+    positions = np.nonzero(keep)[0].astype(np.int64)
+    return codes[positions], positions
+
+
+def run_end_positions(codes: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    """Original index of the LAST base of each compressed run.
+
+    Minimizer end positions in compressed space map through this so the
+    k-mer-end convention survives compression.
+    """
+    if positions.size == 0:
+        return positions.copy()
+    ends = np.empty_like(positions)
+    ends[:-1] = positions[1:] - 1
+    ends[-1] = codes.size - 1
+    return ends

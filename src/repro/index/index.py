@@ -1,0 +1,210 @@
+"""The reference minimizer index (minimap2's hash table equivalent).
+
+minimap2 buckets minimizers in a hash table; we get the same O(log n)
+lookups with pure NumPy by storing hits sorted by hashed minimizer
+value plus a unique-key offset table (a static open-addressing table
+brings no benefit under CPython). The layout is also what makes the
+index trivially serializable and ``mmap``-loadable (see ``store.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import IndexError_
+from ..seq.genome import Genome
+from .minimizer import extract_minimizers
+
+
+@dataclass
+class MinimizerIndex:
+    """Sorted-array minimizer index over a set of reference sequences.
+
+    Attributes
+    ----------
+    k, w:
+        Minimizer parameters used at build time (queries must match).
+    keys:
+        Unique hashed minimizer values, ascending (uint64).
+    starts:
+        ``starts[i]:starts[i+1]`` delimits the hits of ``keys[i]``
+        (int64, length ``len(keys) + 1``).
+    hit_rid, hit_pos, hit_strand:
+        Per-hit reference id, k-mer end position, and strand, grouped by
+        key in ``keys`` order.
+    names, lengths:
+        Reference sequence names and lengths (rid order).
+    """
+
+    k: int
+    w: int
+    keys: np.ndarray
+    starts: np.ndarray
+    hit_rid: np.ndarray
+    hit_pos: np.ndarray
+    hit_strand: np.ndarray
+    names: List[str]
+    lengths: np.ndarray
+    max_occ: Optional[int] = None
+    hpc: bool = False
+
+    @property
+    def n_minimizers(self) -> int:
+        return int(self.hit_pos.size)
+
+    @property
+    def n_keys(self) -> int:
+        return int(self.keys.size)
+
+    @property
+    def nbytes(self) -> int:
+        """In-memory footprint of the index arrays (Table 5's Index Size)."""
+        return int(
+            self.keys.nbytes
+            + self.starts.nbytes
+            + self.hit_rid.nbytes
+            + self.hit_pos.nbytes
+            + self.hit_strand.nbytes
+            + self.lengths.nbytes
+        )
+
+    def occurrence_cutoff(self, frac: float = 2e-4) -> int:
+        """Occurrence threshold dropping the most frequent ``frac`` of keys.
+
+        Mirrors minimap2's ``-f``: returns the smallest count c such that
+        keys with more than c hits make up at most ``frac`` of distinct
+        keys. Always at least 1.
+        """
+        if not 0.0 <= frac < 1.0:
+            raise IndexError_(f"fraction {frac} out of [0, 1)")
+        if self.n_keys == 0:
+            return 1
+        counts = np.diff(self.starts)
+        rank = int(np.ceil(frac * self.n_keys))
+        if rank <= 0:
+            return max(1, int(counts.max()))
+        part = np.sort(counts)[::-1]
+        return max(1, int(part[min(rank, part.size - 1)]))
+
+    def lookup(
+        self, value: int | np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(rid, pos, strand)`` hits for one hashed value.
+
+        Hits beyond ``max_occ`` (when set) are suppressed entirely, as
+        minimap2 does for repetitive seeds.
+        """
+        i = np.searchsorted(self.keys, np.uint64(value))
+        if i >= self.keys.size or self.keys[i] != np.uint64(value):
+            z = np.empty(0, dtype=np.int64)
+            return z, z, z.astype(np.int8)
+        lo, hi = int(self.starts[i]), int(self.starts[i + 1])
+        if self.max_occ is not None and hi - lo > self.max_occ:
+            z = np.empty(0, dtype=np.int64)
+            return z, z, z.astype(np.int8)
+        return (
+            self.hit_rid[lo:hi],
+            self.hit_pos[lo:hi],
+            self.hit_strand[lo:hi],
+        )
+
+    def lookup_many(
+        self, values: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Batched lookup for all query minimizers at once.
+
+        Returns ``(query_index, rid, pos, strand)`` arrays where
+        ``query_index[j]`` says which input value produced hit ``j``.
+        This is the vectorized fast path used by the aligner.
+        """
+        values = np.asarray(values, dtype=np.uint64)
+        idx = np.searchsorted(self.keys, values)
+        idx_clipped = np.minimum(idx, max(self.keys.size - 1, 0))
+        found = (
+            (self.keys.size > 0)
+            & (idx < self.keys.size)
+            & (self.keys[idx_clipped] == values)
+        )
+        lo = self.starts[idx_clipped]
+        hi = self.starts[np.minimum(idx_clipped + 1, self.starts.size - 1)]
+        counts = np.where(found, hi - lo, 0)
+        if self.max_occ is not None:
+            counts = np.where(counts > self.max_occ, 0, counts)
+        total = int(counts.sum())
+        if total == 0:
+            z = np.empty(0, dtype=np.int64)
+            return z, z, z, z.astype(np.int8)
+        qidx = np.repeat(np.arange(values.size), counts)
+        # Hit offsets: for each emitted hit, its index into the hit arrays.
+        starts_rep = np.repeat(lo, counts)
+        within = np.arange(total) - np.repeat(
+            np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+        )
+        flat = starts_rep + within
+        return qidx, self.hit_rid[flat], self.hit_pos[flat], self.hit_strand[flat]
+
+    def stats(self) -> Dict[str, float]:
+        counts = np.diff(self.starts) if self.n_keys else np.zeros(1)
+        return {
+            "n_sequences": len(self.names),
+            "n_minimizers": self.n_minimizers,
+            "n_keys": self.n_keys,
+            "mean_occ": float(counts.mean()),
+            "max_occ_observed": int(counts.max()) if self.n_keys else 0,
+            "bytes": self.nbytes,
+        }
+
+
+def build_index(
+    genome: Genome | Sequence,
+    k: int = 15,
+    w: int = 10,
+    occ_filter_frac: Optional[float] = 2e-4,
+    hpc: bool = False,
+) -> MinimizerIndex:
+    """Build a :class:`MinimizerIndex` from a genome or record list.
+
+    ``occ_filter_frac`` sets ``max_occ`` from the occurrence cutoff (pass
+    ``None`` to disable repetitive-seed suppression). ``hpc`` selects
+    homopolymer-compressed seeding (queries must match).
+    """
+    records = list(genome)
+    if not records:
+        raise IndexError_("cannot index an empty genome")
+    vals_all, rids_all, pos_all, strand_all = [], [], [], []
+    for rid, rec in enumerate(records):
+        values, positions, strands = extract_minimizers(
+            rec.codes, k=k, w=w, as_arrays=True, hpc=hpc
+        )
+        vals_all.append(values)
+        pos_all.append(positions)
+        strand_all.append(strands)
+        rids_all.append(np.full(values.size, rid, dtype=np.int64))
+    values = np.concatenate(vals_all)
+    positions = np.concatenate(pos_all)
+    strands = np.concatenate(strand_all)
+    rids = np.concatenate(rids_all)
+
+    order = np.argsort(values, kind="stable")
+    values = values[order]
+    keys, key_starts = np.unique(values, return_index=True)
+    starts = np.concatenate([key_starts, [values.size]]).astype(np.int64)
+
+    idx = MinimizerIndex(
+        k=k,
+        w=w,
+        keys=keys,
+        starts=starts,
+        hit_rid=rids[order],
+        hit_pos=positions[order],
+        hit_strand=strands[order],
+        names=[r.name for r in records],
+        lengths=np.array([len(r) for r in records], dtype=np.int64),
+        hpc=hpc,
+    )
+    if occ_filter_frac is not None:
+        idx.max_occ = idx.occurrence_cutoff(occ_filter_frac)
+    return idx

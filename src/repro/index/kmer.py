@@ -1,0 +1,99 @@
+"""K-mer packing and hashing, fully vectorized.
+
+A k-mer is packed into a ``uint64`` with 2 bits per base, first base in
+the most significant position (minimap2's convention). Packing is done
+with k shifted vector adds — O(n·k) arithmetic but no Python-level loop
+over positions, following the NumPy vectorization guide.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import SequenceError
+from ..seq.alphabet import AMBIG
+
+#: Largest k such that 2k bits fit a uint64 with room for the hash mask.
+MAX_K = 28
+
+
+def _check_k(k: int) -> None:
+    if not 1 <= k <= MAX_K:
+        raise SequenceError(f"k must be in [1, {MAX_K}]: {k}")
+
+
+def pack_kmers(codes: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack every k-mer of ``codes`` into uint64 values.
+
+    Returns ``(kmers, valid)`` where ``kmers[i]`` encodes
+    ``codes[i:i+k]`` and ``valid[i]`` is False when the window contains
+    an ambiguous base. Output length is ``len(codes) - k + 1`` (empty
+    for short inputs).
+    """
+    _check_k(k)
+    codes = np.asarray(codes, dtype=np.uint8)
+    n = codes.size - k + 1
+    if n <= 0:
+        return np.empty(0, dtype=np.uint64), np.empty(0, dtype=bool)
+    kmers = np.zeros(n, dtype=np.uint64)
+    ambig = codes >= AMBIG
+    valid = np.ones(n, dtype=bool)
+    for j in range(k):
+        window = codes[j : j + n]
+        kmers |= (window & np.uint8(3)).astype(np.uint64) << np.uint64(2 * (k - 1 - j))
+        valid &= ~ambig[j : j + n]
+    return kmers, valid
+
+
+def rc_packed(kmers: np.ndarray, k: int) -> np.ndarray:
+    """Reverse-complement packed k-mers (vectorized bit games).
+
+    Complement is XOR with all-ones over 2k bits; reversal swaps 2-bit
+    groups via successive masked shifts (the classic bit-reversal
+    network, here on uint64 lanes).
+    """
+    _check_k(k)
+    x = np.asarray(kmers, dtype=np.uint64)
+    # Complement every base: ~x over the low 2k bits.
+    x = ~x
+    # Reverse 2-bit groups within the full 64-bit word...
+    m1 = np.uint64(0x3333333333333333)
+    m2 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    x = ((x >> np.uint64(2)) & m1) | ((x & m1) << np.uint64(2))
+    x = ((x >> np.uint64(4)) & m2) | ((x & m2) << np.uint64(4))
+    x = x.byteswap()  # reverse the 8 bytes of each lane
+    # ...then shift right so the k-mer occupies the low 2k bits again.
+    return x >> np.uint64(64 - 2 * k)
+
+
+def hash64(keys: np.ndarray, bits: int) -> np.ndarray:
+    """minimap2's invertible integer hash over ``bits``-bit keys.
+
+    Applied to packed k-mers before minimizer selection so that the
+    lexicographic minimizer bias (poly-A tracts) disappears.
+    """
+    if not 1 <= bits <= 64:
+        raise SequenceError(f"bits must be in [1, 64]: {bits}")
+    mask = np.uint64((1 << bits) - 1) if bits < 64 else np.uint64(0xFFFFFFFFFFFFFFFF)
+    key = np.asarray(keys, dtype=np.uint64) & mask
+    with np.errstate(over="ignore"):
+        key = (~key + (key << np.uint64(21))) & mask
+        key = key ^ (key >> np.uint64(24))
+        key = (key + (key << np.uint64(3)) + (key << np.uint64(8))) & mask
+        key = key ^ (key >> np.uint64(14))
+        key = (key + (key << np.uint64(2)) + (key << np.uint64(4))) & mask
+        key = key ^ (key >> np.uint64(28))
+        key = (key + (key << np.uint64(31))) & mask
+    return key
+
+
+def unpack_kmer(kmer: int, k: int) -> str:
+    """Decode one packed k-mer back to an ASCII string (for debugging)."""
+    _check_k(k)
+    bases = "ACGT"
+    out = []
+    for j in range(k):
+        out.append(bases[(int(kmer) >> (2 * (k - 1 - j))) & 3])
+    return "".join(out)

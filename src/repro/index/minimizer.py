@@ -1,0 +1,100 @@
+"""(w,k)-minimizer extraction with minimap2's canonical-strand rule.
+
+A position ``i`` yields a minimizer when its hashed canonical k-mer is
+the minimum of at least one length-``w`` window of consecutive k-mers.
+Strand-symmetric (palindromic) k-mers are skipped, as in minimap2,
+because their strand is undefined. Everything is vectorized: the window
+minimum is computed with ``w`` shifted ``np.minimum`` passes (O(n·w)
+flops, zero Python-per-position work — fine for the w ≤ 32 regime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..errors import SequenceError
+from .kmer import hash64, pack_kmers, rc_packed
+
+
+@dataclass(frozen=True)
+class Minimizer:
+    """One minimizer hit: hashed value, end position of k-mer, strand."""
+
+    value: int
+    pos: int  # position of the k-mer's LAST base (minimap2 convention)
+    strand: int  # 0 = forward canonical, 1 = reverse canonical
+
+
+def extract_minimizers(
+    codes: np.ndarray, k: int = 15, w: int = 10, as_arrays: bool = False,
+    hpc: bool = False,
+):
+    """Extract (w,k)-minimizers from a code array.
+
+    Returns a list of :class:`Minimizer` (or, with ``as_arrays=True``,
+    a tuple ``(values, positions, strands)`` of NumPy arrays, the form
+    the index builder and the query pipeline use).
+
+    With ``hpc=True`` minimizers are computed over the
+    homopolymer-compressed sequence (minimap2's map-pb behaviour);
+    reported positions refer to the ORIGINAL coordinates (the last base
+    of the run ending the k-mer).
+    """
+    if w < 1:
+        raise SequenceError(f"window size must be >= 1: {w}")
+    codes = np.asarray(codes, dtype=np.uint8)
+    pos_map = None
+    if hpc:
+        from .hpc import hpc_compress, run_end_positions
+
+        compressed, starts = hpc_compress(codes)
+        pos_map = run_end_positions(codes, starts)
+        codes = compressed
+    fwd, valid = pack_kmers(codes, k)
+    n = fwd.size
+    empty = (
+        (np.empty(0, np.uint64), np.empty(0, np.int64), np.empty(0, np.int8))
+        if as_arrays
+        else []
+    )
+    if n == 0:
+        return empty
+    rev = rc_packed(fwd, k)
+    strand = (rev < fwd).astype(np.int8)  # 1 when reverse strand is canonical
+    canonical = np.minimum(fwd, rev)
+    symmetric = fwd == rev
+    h = hash64(canonical, 2 * k)
+    # Invalid or symmetric k-mers never win a window: give them +inf rank.
+    sentinel = np.uint64(0xFFFFFFFFFFFFFFFF)
+    h = np.where(valid & ~symmetric, h, sentinel)
+
+    nw = n - w + 1
+    if nw <= 0:
+        # Sequence shorter than one full window: single window over all.
+        nw, w = 1, n
+    # Sliding window minimum via w shifted minimum passes.
+    wmin = h[:nw].copy()
+    for d in range(1, w):
+        np.minimum(wmin, h[d : d + nw], out=wmin)
+    # Position i is a minimizer iff it equals the min of a window containing it.
+    is_min = np.zeros(n, dtype=bool)
+    for d in range(w):
+        seg = slice(d, d + nw)
+        is_min[seg] |= h[seg] == wmin
+    is_min &= h != sentinel
+
+    idx = np.nonzero(is_min)[0]
+    values = h[idx]
+    positions = (idx + (k - 1)).astype(np.int64)  # last base of the k-mer
+    if pos_map is not None:
+        positions = pos_map[positions]  # back to original coordinates
+    strands = strand[idx]
+    if as_arrays:
+        return values, positions, strands
+    return [
+        Minimizer(int(v), int(p), int(s))
+        for v, p, s in zip(values, positions, strands)
+    ]

@@ -1,0 +1,132 @@
+"""Multi-part indexing (minimap2's ``-I``).
+
+minimap2 splits huge references into parts of at most ``-I`` bases,
+indexes each part separately, and streams queries across the parts —
+bounding peak index memory to one part. :class:`MultipartIndex`
+duck-types the query surface of :class:`MinimizerIndex` (``k``, ``w``,
+``hpc``, ``names``, ``lengths``, ``lookup_many``) so the anchor
+collector and the aligner work on it unchanged; anchors come back with
+*global* reference ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import IndexError_
+from ..seq.genome import Genome
+from .index import MinimizerIndex, build_index
+
+
+@dataclass
+class MultipartIndex:
+    """A sequence of per-part minimizer indexes with global rid mapping."""
+
+    parts: List[MinimizerIndex]
+    rid_offsets: List[int]  # global rid of each part's rid 0
+
+    def __post_init__(self) -> None:
+        if not self.parts:
+            raise IndexError_("multipart index needs at least one part")
+        k, w, hpc = self.parts[0].k, self.parts[0].w, self.parts[0].hpc
+        for p in self.parts[1:]:
+            if (p.k, p.w, p.hpc) != (k, w, hpc):
+                raise IndexError_("all parts must share k, w, and hpc")
+
+    # --- the MinimizerIndex query surface ------------------------------- #
+
+    @property
+    def k(self) -> int:
+        return self.parts[0].k
+
+    @property
+    def w(self) -> int:
+        return self.parts[0].w
+
+    @property
+    def hpc(self) -> bool:
+        return self.parts[0].hpc
+
+    @property
+    def names(self) -> List[str]:
+        return [name for p in self.parts for name in p.names]
+
+    @property
+    def lengths(self) -> np.ndarray:
+        return np.concatenate([p.lengths for p in self.parts])
+
+    @property
+    def n_minimizers(self) -> int:
+        return sum(p.n_minimizers for p in self.parts)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(p.nbytes for p in self.parts)
+
+    @property
+    def peak_part_bytes(self) -> int:
+        """The memory bound ``-I`` buys: the largest single part."""
+        return max(p.nbytes for p in self.parts)
+
+    def lookup_many(
+        self, values: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Query every part; hits carry global reference ids."""
+        qs, rids, poss, strands = [], [], [], []
+        for part, off in zip(self.parts, self.rid_offsets):
+            qidx, rid, pos, strand = part.lookup_many(values)
+            if qidx.size:
+                qs.append(qidx)
+                rids.append(rid + off)
+                poss.append(pos)
+                strands.append(strand)
+        if not qs:
+            z = np.empty(0, dtype=np.int64)
+            return z, z, z, z.astype(np.int8)
+        return (
+            np.concatenate(qs),
+            np.concatenate(rids),
+            np.concatenate(poss),
+            np.concatenate(strands),
+        )
+
+
+def build_multipart_index(
+    genome: Genome,
+    k: int = 15,
+    w: int = 10,
+    part_bases: int = 4_000_000_000,
+    occ_filter_frac: Optional[float] = 2e-4,
+    hpc: bool = False,
+) -> MultipartIndex:
+    """Split the genome into ≤``part_bases`` chunks of whole chromosomes.
+
+    A chromosome larger than ``part_bases`` still forms its own part
+    (minimap2 behaves the same; it never splits one sequence).
+    """
+    if part_bases <= 0:
+        raise IndexError_(f"part size must be positive: {part_bases}")
+    groups: List[List] = []
+    cur: List = []
+    acc = 0
+    for chrom in genome:
+        if cur and acc + len(chrom) > part_bases:
+            groups.append(cur)
+            cur, acc = [], 0
+        cur.append(chrom)
+        acc += len(chrom)
+    if cur:
+        groups.append(cur)
+    parts = []
+    offsets = []
+    rid = 0
+    for group in groups:
+        parts.append(
+            build_index(group, k=k, w=w, occ_filter_frac=occ_filter_frac, hpc=hpc)
+        )
+        offsets.append(rid)
+        rid += len(group)
+    return MultipartIndex(parts=parts, rid_offsets=offsets)

@@ -1,0 +1,138 @@
+"""Binary index serialization with buffered and memory-mapped loaders.
+
+The on-disk layout is a JSON header (parameters, sequence names, array
+descriptors) followed by 64-byte-aligned raw little-endian arrays.
+Alignment plus a fixed descriptor table is exactly what makes the
+``np.memmap`` path possible: each array becomes a zero-copy view of the
+page cache instead of a parsed-and-reallocated copy — the Python
+analogue of the paper's memory-mapped index loading (§4.4.2), which
+replaced minimap2's "highly fragmented" allocation-while-parsing loop
+with consecutive reads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from ..errors import IndexError_
+from .index import MinimizerIndex
+
+MAGIC = b"MMIDX01\n"
+ALIGN = 64
+
+_ARRAYS = ["keys", "starts", "hit_rid", "hit_pos", "hit_strand", "lengths"]
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGN - 1) // ALIGN * ALIGN
+
+
+def save_index(index: MinimizerIndex, path: Union[str, os.PathLike]) -> int:
+    """Write ``index`` to ``path``; returns bytes written."""
+    descriptors: List[Dict[str, object]] = []
+    arrays: List[np.ndarray] = []
+    offset = 0  # relative to start of data section
+    for name in _ARRAYS:
+        arr = np.ascontiguousarray(getattr(index, name))
+        if arr.dtype.byteorder == ">":
+            arr = arr.astype(arr.dtype.newbyteorder("<"))
+        offset = _align(offset)
+        descriptors.append(
+            {
+                "name": name,
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+                "offset": offset,
+                "nbytes": int(arr.nbytes),
+            }
+        )
+        arrays.append(arr)
+        offset += arr.nbytes
+    header = {
+        "k": index.k,
+        "w": index.w,
+        "max_occ": index.max_occ,
+        "hpc": index.hpc,
+        "names": index.names,
+        "arrays": descriptors,
+    }
+    header_bytes = json.dumps(header).encode("utf-8")
+    # Data section begins at the first aligned offset past magic+len+header.
+    prefix = len(MAGIC) + 8 + len(header_bytes)
+    data_start = _align(prefix)
+    with open(path, "wb") as f:
+        f.write(MAGIC)
+        f.write(len(header_bytes).to_bytes(8, "little"))
+        f.write(header_bytes)
+        f.write(b"\0" * (data_start - prefix))
+        for desc, arr in zip(descriptors, arrays):
+            f.seek(data_start + int(desc["offset"]))
+            f.write(arr.tobytes())
+        total = f.tell()
+    return total
+
+
+def _read_header(f) -> Tuple[dict, int]:
+    magic = f.read(len(MAGIC))
+    if magic != MAGIC:
+        raise IndexError_(f"bad index magic {magic!r}")
+    (hlen,) = (int.from_bytes(f.read(8), "little"),)
+    header = json.loads(f.read(hlen).decode("utf-8"))
+    data_start = _align(len(MAGIC) + 8 + hlen)
+    return header, data_start
+
+
+def load_index(
+    path: Union[str, os.PathLike], mode: str = "buffered"
+) -> MinimizerIndex:
+    """Load an index.
+
+    ``mode='buffered'`` reads each array into fresh memory with
+    ``np.fromfile`` (minimap2's conventional loader). ``mode='mmap'``
+    returns ``np.memmap`` views: loading is lazy and demand-paged, so
+    the call returns almost immediately and only touched pages are ever
+    read — the manymap behaviour that halved KNL index-load time.
+    """
+    if mode not in ("buffered", "mmap"):
+        raise IndexError_(f"unknown load mode {mode!r}")
+    with open(path, "rb") as f:
+        header, data_start = _read_header(f)
+        fields: Dict[str, np.ndarray] = {}
+        if mode == "buffered":
+            for desc in header["arrays"]:
+                f.seek(data_start + desc["offset"])
+                arr = np.fromfile(
+                    f, dtype=np.dtype(desc["dtype"]), count=int(np.prod(desc["shape"]))
+                ).reshape(desc["shape"])
+                fields[desc["name"]] = arr
+    if mode == "mmap":
+        for desc in header["arrays"]:
+            fields[desc["name"]] = np.memmap(
+                path,
+                dtype=np.dtype(desc["dtype"]),
+                mode="r",
+                offset=data_start + desc["offset"],
+                shape=tuple(desc["shape"]),
+            )
+    return MinimizerIndex(
+        k=int(header["k"]),
+        w=int(header["w"]),
+        max_occ=header["max_occ"],
+        hpc=bool(header.get("hpc", False)),
+        names=list(header["names"]),
+        keys=fields["keys"],
+        starts=fields["starts"],
+        hit_rid=fields["hit_rid"],
+        hit_pos=fields["hit_pos"],
+        hit_strand=fields["hit_strand"],
+        lengths=fields["lengths"],
+    )
+
+
+def index_file_size(path: Union[str, os.PathLike]) -> int:
+    """Size of a serialized index file in bytes."""
+    return os.stat(path).st_size

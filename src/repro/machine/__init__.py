@@ -1,0 +1,43 @@
+"""Simulated hardware: vector ISAs, memory systems, and processors.
+
+Real SSE/AVX-512 units, a Tesla V100, and a Xeon Phi 7210 are not
+available to a pure-Python reproduction, so this subpackage models them
+(DESIGN.md §2). Models are deterministic: per-cell instruction counts
+of each DP kernel (``kernel_trace``) are priced by a vector-ISA cost
+table (``isa``), bounded by a memory hierarchy (``memory``), and
+aggregated by processor descriptions (``cpu``, ``knl``, ``gpu``) into
+GCUPS — the paper's micro-benchmark metric. Constants either come from
+published hardware specs (lane widths, capacities, bandwidths, clock
+rates) or are calibrated to the paper's own measured ratios; EXPERIMENTS.md
+labels which is which.
+"""
+
+from .isa import VectorISA, SSE2, AVX2, AVX512BW, KNL_AVX2, GPU_SIMT, ISAS
+from .kernel_trace import KernelTrace, trace_for
+from .memory import MemoryLevel, MemorySystem
+from .cpu import XEON_GOLD_5115, CpuModel
+from .knl import XEON_PHI_7210, KnlModel
+from .gpu import TESLA_V100, GpuModel
+from .cost import kernel_gcups, working_set_bytes
+
+__all__ = [
+    "VectorISA",
+    "SSE2",
+    "AVX2",
+    "AVX512BW",
+    "KNL_AVX2",
+    "GPU_SIMT",
+    "ISAS",
+    "KernelTrace",
+    "trace_for",
+    "MemoryLevel",
+    "MemorySystem",
+    "CpuModel",
+    "KnlModel",
+    "GpuModel",
+    "XEON_GOLD_5115",
+    "XEON_PHI_7210",
+    "TESLA_V100",
+    "kernel_gcups",
+    "working_set_bytes",
+]

@@ -1,0 +1,91 @@
+"""Roofline-style GCUPS model: compute bound vs memory bound.
+
+``kernel_gcups`` prices a DP kernel on a vector ISA at a clock rate,
+then caps it by the bandwidth of wherever the working set lives:
+
+    GCUPS = min( lanes·f / cycles_per_iter,  BW / bytes_per_cell ) · units
+
+This is the deterministic backbone of the micro-benchmark figures
+(5, 6, 8); processors add their own occupancy/contention terms on top.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import MachineModelError
+from .isa import VectorISA
+from .kernel_trace import KernelTrace
+from .memory import MemorySystem
+
+#: Linear-space score-only DP: u, v, x, y byte arrays plus the int32
+#: H-tracking diagonal — roughly 10 bytes of state per sequence base.
+SCORE_BYTES_PER_BASE = 10
+
+#: Path mode stores ~2 bytes per DP cell (direction byte + traceback
+#: touches), matching the paper's "32 kbp pair needs 2 GB" (§4.5.2).
+PATH_BYTES_PER_CELL = 2
+
+
+def working_set_bytes(length: int, mode: str, concurrent: int = 1) -> int:
+    """Bytes of DP state live at once for ``concurrent`` equal-size pairs."""
+    if length < 0 or concurrent < 1:
+        raise MachineModelError(
+            f"bad working-set query: length={length} concurrent={concurrent}"
+        )
+    if mode == "score":
+        per_pair = SCORE_BYTES_PER_BASE * length
+    elif mode == "path":
+        per_pair = PATH_BYTES_PER_CELL * length * length
+    else:
+        raise MachineModelError(f"unknown mode {mode!r}")
+    return per_pair * concurrent
+
+
+def dram_bytes_per_cell(mode: str) -> float:
+    """DRAM traffic per DP cell once the state spills cache.
+
+    Score mode streams the four byte arrays plus H every diagonal
+    (~10 B/cell). Path mode only *writes* the direction byte once per
+    cell (the linear arrays stay cached and the traceback reads just
+    O(m+n) of the matrix), and write-combining coalesces those stores
+    — ~0.75 B/cell of effective traffic.
+    """
+    if mode == "score":
+        return float(SCORE_BYTES_PER_BASE)
+    if mode == "path":
+        return 0.75
+    raise MachineModelError(f"unknown mode {mode!r}")
+
+
+def access_pattern(mode: str) -> str:
+    """Memory access pattern of each mode (see MemoryLevel.bandwidth)."""
+    if mode == "score":
+        return "stream"
+    if mode == "path":
+        return "scatter"
+    raise MachineModelError(f"unknown mode {mode!r}")
+
+
+def kernel_gcups(
+    trace: KernelTrace,
+    isa: VectorISA,
+    freq_ghz: float,
+    memory: Optional[MemorySystem] = None,
+    working_set: int = 0,
+    mode: str = "score",
+    units: float = 1.0,
+    efficiency: float = 1.0,
+) -> float:
+    """Modeled GCUPS for ``units`` parallel executions of a kernel."""
+    if freq_ghz <= 0 or units <= 0 or not 0 < efficiency <= 1.0:
+        raise MachineModelError(
+            f"bad model inputs: f={freq_ghz} units={units} eff={efficiency}"
+        )
+    compute = isa.lanes * freq_ghz / trace.cycles(isa)
+    bound = compute
+    if memory is not None:
+        bw = memory.bandwidth_for(working_set, access_pattern(mode))
+        mem_bound = bw / dram_bytes_per_cell(mode)
+        bound = min(compute, mem_bound / max(units, 1.0))
+    return bound * units * efficiency

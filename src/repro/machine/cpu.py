@@ -1,0 +1,93 @@
+"""Xeon Gold 5115 model (the paper's gpu1 host CPU, Table 3).
+
+Published parameters: 20 cores (2 × 10-core sockets), 2 hyper-threads
+per core, 2.4 GHz base / 3.2 GHz turbo, AVX-512 capable with the usual
+heavy-vector downclock, six-channel DDR4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..errors import MachineModelError
+from .cost import kernel_gcups, working_set_bytes
+from .isa import AVX2, AVX512BW, SSE2, VectorISA
+from .kernel_trace import trace_for
+from .memory import GiB, MiB, MemoryLevel, MemorySystem
+
+
+def _cpu_memory() -> MemorySystem:
+    return MemorySystem(
+        [
+            MemoryLevel("l2", 20 * MiB, 2000.0, latency_ns=12),
+            MemoryLevel("l3", 28 * MiB, 800.0, latency_ns=40),
+            MemoryLevel("ddr4", None, 115.0, latency_ns=90),
+        ]
+    )
+
+
+@dataclass
+class CpuModel:
+    """Multicore CPU with per-ISA clock rates and an HT throughput gain."""
+
+    name: str = "Xeon Gold 5115"
+    cores: int = 20
+    threads_per_core: int = 2
+    freq_ghz: Dict[str, float] = field(
+        default_factory=lambda: {"sse2": 3.2, "avx2": 3.0, "avx512bw": 2.4}
+    )
+    #: throughput multiplier from running 2 hyper-threads per core
+    ht_gain: float = 1.25
+    memory: MemorySystem = field(default_factory=_cpu_memory)
+
+    @property
+    def max_threads(self) -> int:
+        return self.cores * self.threads_per_core
+
+    def frequency(self, isa: VectorISA) -> float:
+        try:
+            return self.freq_ghz[isa.name]
+        except KeyError:
+            raise MachineModelError(
+                f"{self.name} has no clock entry for ISA {isa.name!r}"
+            ) from None
+
+    def micro_gcups(
+        self,
+        kernel: str,
+        isa: VectorISA,
+        mode: str,
+        length: int,
+        threads: int | None = None,
+    ) -> float:
+        """Modeled aggregate GCUPS of the base-level kernel (Fig. 5/8a-b).
+
+        All hardware threads align independent pairs, as in the paper's
+        micro benchmarks (40 threads on CPU).
+        """
+        if threads is None:
+            threads = self.max_threads
+        if not 1 <= threads <= self.max_threads:
+            raise MachineModelError(
+                f"threads={threads} outside [1, {self.max_threads}]"
+            )
+        trace = trace_for(kernel, mode)
+        cores_busy = min(threads, self.cores)
+        units = cores_busy * (
+            self.ht_gain if threads > self.cores else 1.0
+        )
+        ws = working_set_bytes(length, mode, concurrent=min(threads, 2 * self.cores))
+        return kernel_gcups(
+            trace,
+            isa,
+            self.frequency(isa),
+            memory=self.memory,
+            working_set=ws,
+            mode=mode,
+            units=units,
+        )
+
+
+#: The paper's CPU, ready to use.
+XEON_GOLD_5115 = CpuModel()

@@ -1,0 +1,113 @@
+"""Model-driven figure tables, callable without the benchmark harness.
+
+Used by ``manymap bench <figure>`` so the paper's modeled results are
+one command away; the pytest benchmarks add measured components and
+shape assertions on top.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..eval.report import render_table
+from .cpu import XEON_GOLD_5115
+from .gpu import TESLA_V100
+from .isa import AVX2, AVX512BW, SSE2
+from .knl import KnlModel, XEON_PHI_7210
+
+LENGTHS = [1000, 2000, 4000, 8000, 16000, 32000]
+
+
+def fig5_table() -> str:
+    """SIMD instruction sets (modeled, Figure 5)."""
+    cpu = XEON_GOLD_5115
+    rows = []
+    for isa in (SSE2, AVX2, AVX512BW):
+        for mode in ("score", "path"):
+            many = cpu.micro_gcups("manymap", isa, mode, 4000)
+            mm2 = cpu.micro_gcups("mm2", isa, mode, 4000)
+            rows.append([f"{isa.name}/{mode}", f"{mm2:.0f}", f"{many:.0f}",
+                         f"{many / mm2:.2f}x"])
+    return render_table(
+        ["ISA/mode", "minimap2", "manymap", "speedup"], rows,
+        title="Figure 5: SIMD instruction sets (modeled GCUPS)",
+    )
+
+
+def fig6_table() -> str:
+    """KNL memory modes (modeled, Figure 6)."""
+    flat = XEON_PHI_7210
+    ddr = KnlModel(memory_mode="ddr")
+    rows = []
+    for mode in ("score", "path"):
+        for length in LENGTHS:
+            a = flat.micro_gcups("manymap", mode, length)
+            b = ddr.micro_gcups("manymap", mode, length)
+            rows.append([f"{mode}/{length}", f"{a:.1f}", f"{b:.1f}", f"{a / b:.2f}x"])
+    return render_table(
+        ["mode/len", "MCDRAM", "DDR", "speedup"], rows,
+        title="Figure 6: KNL memory modes (modeled GCUPS)",
+    )
+
+
+def fig7_table() -> str:
+    """CUDA stream scaling (modeled, Figure 7)."""
+    gpu = TESLA_V100
+    rows = [
+        [n, f"{gpu.stream_speedup(n, 'score'):.1f}",
+         f"{gpu.stream_speedup(n, 'path'):.1f}"]
+        for n in (1, 2, 4, 8, 16, 32, 64, 128)
+    ]
+    return render_table(
+        ["streams", "score speedup", "path speedup"], rows,
+        title="Figure 7: concurrent CUDA streams (modeled)",
+    )
+
+
+def fig8_table(mode: str = "score") -> str:
+    """Three processors vs length (modeled, Figure 8)."""
+    cpu, knl, gpu = XEON_GOLD_5115, XEON_PHI_7210, TESLA_V100
+    rows = []
+    for length in LENGTHS:
+        rows.append([
+            length,
+            f"{cpu.micro_gcups('mm2', SSE2, mode, length):.0f}",
+            f"{cpu.micro_gcups('manymap', AVX512BW, mode, length):.0f}",
+            f"{knl.micro_gcups('mm2', mode, length):.0f}",
+            f"{knl.micro_gcups('manymap', mode, length):.0f}",
+            f"{gpu.micro_gcups('mm2', mode, length):.0f}",
+            f"{gpu.micro_gcups('manymap', mode, length):.0f}",
+        ])
+    return render_table(
+        ["len", "CPU mm2", "CPU many", "KNL mm2", "KNL many",
+         "GPU mm2", "GPU many"],
+        rows, title=f"Figure 8 ({mode}): processors vs length (modeled GCUPS)",
+    )
+
+
+def hardware_table() -> str:
+    """Table 3: the modeled hardware configurations."""
+    cpu, knl, gpu = XEON_GOLD_5115, XEON_PHI_7210, TESLA_V100
+    rows = [
+        ["Model", cpu.name, gpu.name, knl.name],
+        ["# Cores", cpu.cores, gpu.cuda_cores, knl.cores],
+        ["Max threads", cpu.max_threads, gpu.max_resident_grids * gpu.threads_per_block,
+         knl.max_threads],
+        ["Freq (GHz)", cpu.freq_ghz["sse2"], gpu.freq_ghz, knl.freq_ghz],
+        ["Device mem", "-", "16 GB HBM2", "16 GB MCDRAM"],
+    ]
+    return render_table(["", "CPU", "GPU", "Xeon Phi"], rows,
+                        title="Table 3: hardware configurations (models)")
+
+
+FIGURES = {
+    "fig5": fig5_table,
+    "fig6": fig6_table,
+    "fig7": fig7_table,
+    "fig8": lambda: fig8_table("score") + "\n\n" + fig8_table("path"),
+    "table3": hardware_table,
+}
+
+
+def available() -> List[str]:
+    return sorted(FIGURES)

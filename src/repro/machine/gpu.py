@@ -1,0 +1,131 @@
+"""Tesla V100 model (Table 3): SMs, streams, shared memory, HBM2.
+
+Published parameters: 80 SMs / 5120 CUDA cores at 1.245-1.38 GHz, 16 GB
+HBM2 at ~900 GB/s, up to 96 KB shared memory per SM (the kernels
+configure 48 KB), and — on compute capability ≥ 7.0 — at most 128
+resident grids, which is exactly the paper's 128-stream ceiling
+(§4.5.1).
+
+Execution model: one alignment pair per kernel, one 512-thread block
+per kernel (the paper's design). A block's 16 warps issue on the SM's
+4 schedulers, so per "vector iteration" of 512 cells the block takes
+``ops × 4`` scheduler cycles plus, for the minimap2 port, a block-wide
+``__syncthreads`` + divergent-branch penalty (Fig. 4a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..errors import MachineModelError
+from .cost import working_set_bytes
+from .kernel_trace import KernelTrace, trace_for
+from .memory import GiB, MiB, MemoryLevel, MemorySystem
+
+KiB = 1024
+
+
+def _gpu_memory() -> MemorySystem:
+    return MemorySystem(
+        [
+            MemoryLevel("shared", 48 * KiB, 8000.0, latency_ns=5),
+            MemoryLevel("hbm2", None, 900.0, latency_ns=300),
+        ]
+    )
+
+
+@dataclass
+class GpuModel:
+    """V100 with concurrent-kernel (stream) execution."""
+
+    name: str = "Tesla V100"
+    sms: int = 80
+    cuda_cores: int = 5120
+    freq_ghz: float = 1.38
+    threads_per_block: int = 512
+    warp_schedulers: int = 4
+    warp_size: int = 32
+    max_resident_grids: int = 128
+    global_mem_bytes: int = 16 * GiB
+    shared_mem_bytes: int = 48 * KiB
+    #: block-wide __syncthreads + divergence cost per iteration for the
+    #: minimap2 port (calibrated to Figure 8's ~3.2× GPU kernel gap).
+    sync_cycles: float = 190.0
+    #: kernel launch + memory-pool dispatch overhead, in microseconds.
+    launch_overhead_us: float = 20.0
+    #: marginal stream efficiency past 64 concurrent streams, calibrated
+    #: to Figure 7 (speedup 90 at 128 for score, 77.4 for path).
+    stream_marginal: Dict[str, float] = field(
+        default_factory=lambda: {"score": 0.406, "path": 0.209}
+    )
+    memory: MemorySystem = field(default_factory=_gpu_memory)
+
+    # ------------------------------------------------------------------ #
+
+    def block_iter_cycles(self, trace: KernelTrace) -> float:
+        """Scheduler cycles for one 512-cell anti-diagonal iteration."""
+        lanes_per_cycle = self.warp_schedulers * self.warp_size  # 128
+        waves = self.threads_per_block / lanes_per_cycle  # 4
+        c = (trace.loads + trace.stores + trace.alu) * waves
+        if trace.divergent_sync:
+            c += self.sync_cycles
+        return c
+
+    def kernel_gcups_single(self, kernel: str, mode: str, length: int) -> float:
+        """Modeled GCUPS of ONE kernel (one stream, one block)."""
+        trace = trace_for(kernel, mode)
+        cycles = self.block_iter_cycles(trace)
+        compute = self.threads_per_block * self.freq_ghz / cycles
+        # Memory bound: does the per-pair DP state fit in shared memory?
+        ws = working_set_bytes(length, mode, concurrent=1)
+        if ws > self.shared_mem_bytes:
+            # Spill to HBM2: cap by this kernel's share of global bandwidth.
+            bw_share = self.memory.level_named("hbm2").bandwidth_gbps / max(
+                1, self.concurrency(mode, length)
+            )
+            bytes_per_cell = 3.0 if mode == "score" else 2.0
+            compute = min(compute, bw_share / bytes_per_cell)
+        # Launch overhead amortized over the kernel's cells.
+        cells = float(length) * float(length)
+        kernel_s = cells / (compute * 1e9)
+        eff = kernel_s / (kernel_s + self.launch_overhead_us * 1e-6)
+        return compute * eff
+
+    def concurrency(self, mode: str, length: int) -> int:
+        """How many kernels can be resident at once (§4.5.2).
+
+        Bounded by the 128-resident-grid limit and by global memory:
+        a 32 kbp path-mode pair needs 2 GB, so only 8 kernels fit —
+        the paper's example.
+        """
+        per_pair = working_set_bytes(length, mode, concurrent=1)
+        # Each stream also owns a slice of the memory pool for I/O buffers.
+        per_pair = max(per_pair, 1)
+        mem_limit = max(1, self.global_mem_bytes // per_pair)
+        return int(min(self.max_resident_grids, mem_limit))
+
+    def stream_speedup(self, n_streams: int, mode: str) -> float:
+        """Aggregate speedup over one stream (Figure 7).
+
+        Linear to 64 streams; past 64 each extra stream adds only the
+        calibrated marginal fraction (scheduler/copy-engine contention).
+        """
+        if n_streams < 1:
+            raise MachineModelError(f"need >= 1 stream: {n_streams}")
+        n = min(n_streams, self.max_resident_grids)
+        if n <= 64:
+            return float(n)
+        return 64.0 + (n - 64) * self.stream_marginal[mode]
+
+    def micro_gcups(
+        self, kernel: str, mode: str, length: int, n_streams: int = 128
+    ) -> float:
+        """Modeled aggregate GCUPS with concurrent streams (Fig. 7/8)."""
+        single = self.kernel_gcups_single(kernel, mode, length)
+        n = min(n_streams, self.concurrency(mode, length))
+        return single * self.stream_speedup(n, mode)
+
+
+#: The paper's GPU.
+TESLA_V100 = GpuModel()

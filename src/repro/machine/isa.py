@@ -1,0 +1,87 @@
+"""Vector ISA models.
+
+Each ISA prices the handful of operation classes the DP inner loop
+uses. Lane counts and the *relative* shift costs are hardware facts:
+
+* SSE2's 128-bit ``palignr``/``pslldq`` shift is a single cheap op;
+* AVX2 has no single-instruction byte shift across its two 128-bit
+  lanes — a ``vperm2i128`` + ``vpalignr`` pair (plus a scalar insert
+  when carrying the wrap value) is needed, which is precisely the
+  paper's observation that "AVX2 uses more instructions to shift
+  vectors than other two instruction sets" (§5.2.1);
+* AVX-512BW shifts with a two-op ``valignd``-style sequence;
+* the GPU "shift" in minimap2's SIMT port is the divergent
+  ``tid == 0`` branch plus a block-wide ``__syncthreads()`` (Fig. 4a),
+  priced as ``sync_cost``.
+
+``serial_penalty`` models the loop-carried dependency introduced by
+minimap2's temporary-variable workaround: the shifted value must be
+produced before the next vector iteration can issue, shortening the
+pipeline's effective ILP. It is calibrated against Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MachineModelError
+
+
+@dataclass(frozen=True)
+class VectorISA:
+    """Cost table for one vector instruction set."""
+
+    name: str
+    vector_bits: int
+    #: cycles per simple vector ALU op (add/sub/max/cmp/blend)
+    alu_cost: float = 1.0
+    #: cycles per aligned vector load/store
+    mem_cost: float = 1.0
+    #: cycles for one full vector-shift sequence (incl. temp upkeep)
+    shift_cost: float = 1.0
+    #: extra cycles per iteration lost to the shift's dependency chain
+    serial_penalty: float = 0.0
+    #: cycles for SIMT branch divergence + thread sync (GPU only)
+    sync_cost: float = 0.0
+    #: lanes operate on 8-bit cells
+    lane_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.vector_bits % self.lane_bits:
+            raise MachineModelError(
+                f"{self.name}: vector width {self.vector_bits} not a "
+                f"multiple of lane width {self.lane_bits}"
+            )
+        if self.vector_bits <= 0 or self.lane_bits <= 0:
+            raise MachineModelError(f"{self.name}: non-positive widths")
+
+    @property
+    def lanes(self) -> int:
+        """Cells updated per vector operation."""
+        return self.vector_bits // self.lane_bits
+
+
+#: SSE2: 16 × 8-bit lanes; single-op shifts; short dependency stall.
+SSE2 = VectorISA("sse2", 128, shift_cost=1.0, serial_penalty=1.0)
+
+#: AVX2: 32 lanes; cross-lane shifts cost ~3 ops and the carried value
+#: serializes the deeply pipelined core badly (penalty calibrated to
+#: Figure 5's 2.2× score-mode gap).
+AVX2 = VectorISA("avx2", 256, shift_cost=3.0, serial_penalty=19.0)
+
+#: AVX-512BW: 64 lanes; two-op shifts, moderate serialization
+#: (calibrated to Figure 5's ~1.5×).
+AVX512BW = VectorISA("avx512bw", 512, shift_cost=2.0, serial_penalty=8.0)
+
+#: KNL runs the AVX2 byte kernels (its AVX-512 lacks BW byte ops); the
+#: 2-wide in-order-leaning core pays the same relative stall.
+KNL_AVX2 = VectorISA("knl-avx2", 256, shift_cost=3.0, serial_penalty=19.0)
+
+#: GPU SIMT: one 512-thread block as a "vector"; no shift, but the
+#: minimap2 port pays a divergent branch + block-wide __syncthreads per
+#: iteration (Fig. 4a) — calibrated to Figure 8's ~3.2-3.9× GPU gap.
+GPU_SIMT = VectorISA(
+    "gpu-simt", 512 * 8, shift_cost=0.0, serial_penalty=0.0, sync_cost=52.0
+)
+
+ISAS = {isa.name: isa for isa in (SSE2, AVX2, AVX512BW, KNL_AVX2, GPU_SIMT)}

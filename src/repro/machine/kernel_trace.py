@@ -1,0 +1,87 @@
+"""Per-cell instruction counts of the DP kernels.
+
+The inner loop of the difference-formula DP (Algorithm 1) performs, per
+vector of cells, a fixed mix of loads, ALU ops, and stores. The counts
+below are read off our own kernel implementations (they match ksw2's
+instruction mix to within a couple of ops):
+
+========================== ====== =======
+operation class             mm2   manymap
+========================== ====== =======
+vector loads (u,y,v,x,s)      5       5
+vector stores (u,y,v,x)       4       4
+ALU (add/sub/max/blend)      12      12
+shift sequences (v and x)     2       0
+========================== ====== =======
+
+Path mode adds the direction-byte computation: ~4 ALU ops (compares +
+or-ing the bits) and one extra store per vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MachineModelError
+from .isa import VectorISA
+
+
+@dataclass(frozen=True)
+class KernelTrace:
+    """Instruction mix for one anti-diagonal vector iteration."""
+
+    name: str
+    loads: int
+    stores: int
+    alu: int
+    shifts: int  # vector-shift sequences per iteration
+    divergent_sync: bool = False  # GPU: per-iteration branch + syncthreads
+    #: how much independent work the iteration offers to hide the shift's
+    #: dependency stall behind (path mode's direction-byte computation
+    #: fills stall slots, so its effective penalty is halved).
+    ilp_slack: float = 1.0
+
+    def cycles(self, isa: VectorISA) -> float:
+        """Price one vector iteration (= ``isa.lanes`` cells) in cycles."""
+        c = (
+            (self.loads + self.stores) * isa.mem_cost
+            + self.alu * isa.alu_cost
+            + self.shifts * isa.shift_cost
+        )
+        if self.shifts:
+            c += isa.serial_penalty / self.ilp_slack
+        if self.divergent_sync:
+            c += isa.sync_cost
+        return c
+
+    def cycles_per_cell(self, isa: VectorISA) -> float:
+        return self.cycles(isa) / isa.lanes
+
+
+#: minimap2's kernel: shifted v/x loads (Fig. 3a); on GPU, the
+#: tid==0 branch + __syncthreads (Fig. 4a).
+MM2_SCORE = KernelTrace("mm2-score", loads=5, stores=4, alu=12, shifts=2, divergent_sync=True)
+MM2_PATH = KernelTrace(
+    "mm2-path", loads=5, stores=5, alu=16, shifts=2, divergent_sync=True, ilp_slack=2.0
+)
+
+#: manymap's kernel: plain loads at the write index (Fig. 3b / 4b).
+MANYMAP_SCORE = KernelTrace("manymap-score", loads=5, stores=4, alu=12, shifts=0)
+MANYMAP_PATH = KernelTrace("manymap-path", loads=5, stores=5, alu=16, shifts=0)
+
+_TRACES = {
+    ("mm2", "score"): MM2_SCORE,
+    ("mm2", "path"): MM2_PATH,
+    ("manymap", "score"): MANYMAP_SCORE,
+    ("manymap", "path"): MANYMAP_PATH,
+}
+
+
+def trace_for(kernel: str, mode: str) -> KernelTrace:
+    """Trace lookup: kernel in {'mm2', 'manymap'}, mode in {'score', 'path'}."""
+    try:
+        return _TRACES[(kernel, mode)]
+    except KeyError:
+        raise MachineModelError(
+            f"no trace for kernel={kernel!r} mode={mode!r}"
+        ) from None

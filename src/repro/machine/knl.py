@@ -1,0 +1,147 @@
+"""Xeon Phi 7210 (Knights Landing) model (the paper's knl1, Table 3).
+
+Published parameters: 64 cores at 1.3/1.5 GHz, 4 hyper-threads per
+core, cores paired into 32 tiles sharing 1 MB L2 each, 16 GB on-package
+MCDRAM (~400 GB/s) over 96 GB DDR4 (~90 GB/s). The memory mode (§4.4.1)
+decides where the DP working set lives:
+
+* ``flat``  — manymap's choice: MCDRAM is addressable; the model places
+  the working set in MCDRAM while it fits in 16 GB, else DDR.
+* ``cache`` — MCDRAM acts as a last-level cache (slightly lower
+  effective bandwidth from tag overhead).
+* ``ddr``   — MCDRAM unused; everything streams from DDR4.
+
+Single-thread behaviour: a KNL core is ~2-wide with modest
+out-of-order depth, so unoptimized scalar/SSE code ported directly from
+the CPU runs several times slower per clock — the paper's Table 2 shows
+stage-dependent slowdowns of 6-19× vs the Xeon, which
+``stage_slowdown`` encodes (calibrated from that table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..errors import MachineModelError
+from .cost import dram_bytes_per_cell, kernel_gcups, working_set_bytes
+from .isa import KNL_AVX2, SSE2, VectorISA
+from .kernel_trace import trace_for
+from .memory import GiB, MiB, MemoryLevel, MemorySystem
+
+
+def _knl_memory(mode: str) -> MemorySystem:
+    l2 = MemoryLevel("l2", 32 * MiB, 1500.0, latency_ns=20)
+    mcdram = MemoryLevel("mcdram", 16 * GiB, 400.0, latency_ns=150, scatter_gbps=380.0)
+    mcdram_cache = MemoryLevel(
+        "mcdram-cache", 16 * GiB, 330.0, latency_ns=170, scatter_gbps=310.0
+    )
+    # KNL's six-channel DDR4 streams ~80 GB/s but collapses to ~52 GB/s
+    # under 256-thread mixed write traffic (Jeffers et al., ch. 4).
+    ddr = MemoryLevel("ddr4", None, 80.0, latency_ns=130, scatter_gbps=52.0)
+    if mode == "flat":
+        return MemorySystem([l2, mcdram, ddr])
+    if mode == "cache":
+        return MemorySystem([l2, mcdram_cache, ddr])
+    if mode == "ddr":
+        return MemorySystem([l2, ddr])
+    raise MachineModelError(f"unknown KNL memory mode {mode!r}")
+
+
+@dataclass
+class KnlModel:
+    """Knights Landing processor with selectable memory mode."""
+
+    name: str = "Xeon Phi 7210"
+    cores: int = 64
+    threads_per_core: int = 4
+    tiles: int = 32  # 2 cores per tile share 1 MB L2
+    freq_ghz: float = 1.3
+    memory_mode: str = "flat"
+    #: hyper-thread aggregate throughput per core: 1, 2, 3, 4 threads.
+    #: Calibrated to §5.3.1: "only 21% faster using four threads per core".
+    ht_curve: Dict[int, float] = field(
+        default_factory=lambda: {1: 1.00, 2: 1.12, 3: 1.18, 4: 1.21}
+    )
+    #: single-thread slowdown vs the Xeon Gold per pipeline stage,
+    #: calibrated from the paper's Table 2 (direct-port minimap2).
+    stage_slowdown: Dict[str, float] = field(
+        default_factory=lambda: {
+            "Load Index": 6.1,
+            "Load Query": 8.3,
+            "Seed & Chain": 7.5,
+            "Align": 18.7,
+            "Output": 10.6,
+        }
+    )
+    #: extra per-clock penalty the 2-wide KNL core pays running the
+    #: direct-port (mm2) kernel's scalar bookkeeping (calibrated to the
+    #: paper's "up to 3.4×" KNL kernel speedup).
+    legacy_port_factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        self.memory = _knl_memory(self.memory_mode)
+
+    @property
+    def max_threads(self) -> int:
+        return self.cores * self.threads_per_core
+
+    def ht_throughput(self, threads_on_core: int) -> float:
+        """Aggregate throughput of one core running N hyper-threads."""
+        if not 1 <= threads_on_core <= self.threads_per_core:
+            raise MachineModelError(f"bad thread count {threads_on_core}")
+        return self.ht_curve[threads_on_core]
+
+    def parallel_units(self, threads: int) -> float:
+        """Effective core-equivalents for ``threads`` evenly spread."""
+        if not 1 <= threads <= self.max_threads:
+            raise MachineModelError(
+                f"threads={threads} outside [1, {self.max_threads}]"
+            )
+        full, rem = divmod(threads, self.cores)
+        units = 0.0
+        if full:
+            units += (self.cores - rem) * self.ht_throughput(full)
+        if rem:
+            units += rem * self.ht_throughput(full + 1)
+        if full == 0:
+            units = rem * self.ht_throughput(1)
+        return units
+
+    def micro_gcups(
+        self,
+        kernel: str,
+        mode: str,
+        length: int,
+        threads: int | None = None,
+        isa: VectorISA | None = None,
+    ) -> float:
+        """Modeled aggregate kernel GCUPS on KNL (Fig. 6 and 8).
+
+        ``kernel='mm2'`` is the direct port (SSE2 + legacy penalty),
+        ``kernel='manymap'`` the revised kernel on AVX2 byte lanes.
+        """
+        if threads is None:
+            threads = self.max_threads
+        if isa is None:
+            isa = SSE2 if kernel == "mm2" else KNL_AVX2
+        trace = trace_for(kernel, mode)
+        units = self.parallel_units(threads)
+        concurrent = min(threads, self.max_threads)
+        ws = working_set_bytes(length, mode, concurrent=concurrent)
+        g = kernel_gcups(
+            trace,
+            isa,
+            self.freq_ghz,
+            memory=self.memory,
+            working_set=ws,
+            mode=mode,
+            units=units,
+        )
+        if kernel == "mm2":
+            g /= self.legacy_port_factor
+        return g
+
+
+#: The paper's KNL in its three memory configurations.
+XEON_PHI_7210 = KnlModel()

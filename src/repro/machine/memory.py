@@ -1,0 +1,86 @@
+"""Memory hierarchy models.
+
+A :class:`MemorySystem` is an ordered list of levels (fastest first).
+The model places a working set in the smallest level that holds it and
+charges that level's bandwidth — the first-order behaviour behind the
+paper's Figure 6 (MCDRAM's 16 GB capacity crossover) and the KNL/GPU
+performance cliffs in Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import MachineModelError
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """One level: capacity (None = unbounded) and bandwidths.
+
+    ``bandwidth_gbps`` is sequential-stream bandwidth;
+    ``scatter_gbps`` (defaults to the stream value) is the effective
+    bandwidth under the mixed write/scatter pattern of path-mode DP —
+    DDR on KNL in particular degrades badly under 256-thread scatter.
+    """
+
+    name: str
+    capacity_bytes: Optional[int]
+    bandwidth_gbps: float
+    latency_ns: float = 100.0
+    scatter_gbps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise MachineModelError(f"{self.name}: non-positive bandwidth")
+        if self.scatter_gbps is not None and self.scatter_gbps <= 0:
+            raise MachineModelError(f"{self.name}: non-positive scatter bandwidth")
+        if self.capacity_bytes is not None and self.capacity_bytes <= 0:
+            raise MachineModelError(f"{self.name}: non-positive capacity")
+
+    def bandwidth(self, pattern: str = "stream") -> float:
+        if pattern == "stream":
+            return self.bandwidth_gbps
+        if pattern == "scatter":
+            return self.scatter_gbps if self.scatter_gbps is not None else self.bandwidth_gbps
+        raise MachineModelError(f"unknown access pattern {pattern!r}")
+
+    def fits(self, working_set: int) -> bool:
+        return self.capacity_bytes is None or working_set <= self.capacity_bytes
+
+
+@dataclass
+class MemorySystem:
+    """Ordered memory levels, fastest (and smallest) first."""
+
+    levels: List[MemoryLevel] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise MachineModelError("memory system needs at least one level")
+        if self.levels[-1].capacity_bytes is not None:
+            raise MachineModelError("last memory level must be unbounded")
+
+    def placement(self, working_set: int) -> MemoryLevel:
+        """Smallest level that holds ``working_set``."""
+        if working_set < 0:
+            raise MachineModelError(f"negative working set {working_set}")
+        for level in self.levels:
+            if level.fits(working_set):
+                return level
+        raise AssertionError("unreachable: last level is unbounded")
+
+    def bandwidth_for(self, working_set: int, pattern: str = "stream") -> float:
+        """Bandwidth (GB/s) the working set sees under ``pattern``."""
+        return self.placement(working_set).bandwidth(pattern)
+
+    def level_named(self, name: str) -> MemoryLevel:
+        for level in self.levels:
+            if level.name == name:
+                return level
+        raise MachineModelError(f"no memory level named {name!r}")
+
+
+GiB = 1024**3
+MiB = 1024**2

@@ -1,0 +1,55 @@
+"""Host↔device transfer model: pinned vs pageable memory (§4.5.2).
+
+manymap "allocate[s] pinned memory on the host side to achieve the
+highest bandwidth". The model prices a transfer as latency + size/BW,
+with the published PCIe 3.0 x16 characteristics: pinned (DMA-able)
+buffers stream at ~12 GB/s; pageable buffers bounce through a staging
+copy at roughly half that, plus a higher per-call overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MachineModelError
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """PCIe transfer cost model."""
+
+    pinned_gbps: float = 12.0
+    pageable_gbps: float = 6.0
+    pinned_latency_us: float = 8.0
+    pageable_latency_us: float = 20.0
+
+    def __post_init__(self) -> None:
+        if min(self.pinned_gbps, self.pageable_gbps) <= 0:
+            raise MachineModelError("non-positive transfer bandwidth")
+        if self.pageable_gbps > self.pinned_gbps:
+            raise MachineModelError("pageable cannot beat pinned bandwidth")
+
+    def seconds(self, n_bytes: int, pinned: bool = True) -> float:
+        """One-way transfer time for ``n_bytes``."""
+        if n_bytes < 0:
+            raise MachineModelError(f"negative transfer size {n_bytes}")
+        bw = self.pinned_gbps if pinned else self.pageable_gbps
+        lat = self.pinned_latency_us if pinned else self.pageable_latency_us
+        return lat * 1e-6 + n_bytes / (bw * 1e9)
+
+    def batch_seconds(
+        self, n_bytes_each: int, n_transfers: int, pinned: bool = True
+    ) -> float:
+        """Many small transfers — the aligner's per-pair pattern.
+
+        The latency term dominates for small batches, which is exactly
+        why the paper pairs pinned memory with a reusable memory pool
+        (fewer, larger transfers).
+        """
+        if n_transfers < 0:
+            raise MachineModelError(f"negative transfer count {n_transfers}")
+        return n_transfers * self.seconds(n_bytes_each, pinned)
+
+
+#: The V100 host link in the paper's gpu1 server.
+PCIE3_X16 = TransferModel()

@@ -1,0 +1,43 @@
+"""Execution substrate: batching, pipelines, affinity, schedulers.
+
+Two kinds of components live here:
+
+* **Real executors** — :mod:`threaded` (a 3-stage threading pipeline
+  that actually overlaps I/O and compute under CPython) and
+  :mod:`mmio` (buffered vs ``mmap`` file loading, genuinely measurable).
+* **Discrete-event simulators** — :mod:`scheduler` (multi-thread
+  makespan with hyper-thread contention, Figure 9), :mod:`affinity`
+  (compact/scatter/optimized placement, Figure 10), :mod:`pipeline`
+  (2- vs 3-thread batch pipelines, §4.4.4), and :mod:`gpu_streams`
+  (concurrent-kernel scheduling with a memory pool, §4.5).
+"""
+
+from .batch import make_batches, sort_longest_first
+from .affinity import AffinityPolicy, assign_threads, COMPACT, SCATTER, OPTIMIZED
+from .scheduler import simulate_makespan, lpt_makespan
+from .pipeline import PipelineStageCost, simulate_pipeline
+from .gpu_streams import StreamScheduler, KernelTask, MemoryPool
+from .mmio import load_bytes_buffered, load_bytes_mmap
+from .threaded import ThreadedPipeline
+from .parallel import parallel_map_reads
+
+__all__ = [
+    "make_batches",
+    "sort_longest_first",
+    "AffinityPolicy",
+    "assign_threads",
+    "COMPACT",
+    "SCATTER",
+    "OPTIMIZED",
+    "simulate_makespan",
+    "lpt_makespan",
+    "PipelineStageCost",
+    "simulate_pipeline",
+    "StreamScheduler",
+    "KernelTask",
+    "MemoryPool",
+    "load_bytes_buffered",
+    "load_bytes_mmap",
+    "ThreadedPipeline",
+    "parallel_map_reads",
+]

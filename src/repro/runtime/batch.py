@@ -1,0 +1,45 @@
+"""Read batching and longest-first ordering (§4.4.4).
+
+minimap2 processes reads in mini-batches so a two/three-thread pipeline
+can overlap I/O with alignment; manymap additionally sorts each batch
+longest-read-first so stragglers start early and threads drain evenly
+(classic LPT scheduling).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, TypeVar
+
+from ..errors import SchedulerError
+from ..seq.records import SeqRecord
+
+T = TypeVar("T")
+
+
+def make_batches(
+    reads: Sequence[SeqRecord], batch_bases: int = 500_000
+) -> List[List[SeqRecord]]:
+    """Split reads into batches of at most ``batch_bases`` total bases.
+
+    A single read longer than the budget still forms its own batch
+    (minimap2 behaves the same way with its 500M base mini-batches).
+    """
+    if batch_bases <= 0:
+        raise SchedulerError(f"batch size must be positive: {batch_bases}")
+    batches: List[List[SeqRecord]] = []
+    cur: List[SeqRecord] = []
+    acc = 0
+    for read in reads:
+        if cur and acc + len(read) > batch_bases:
+            batches.append(cur)
+            cur, acc = [], 0
+        cur.append(read)
+        acc += len(read)
+    if cur:
+        batches.append(cur)
+    return batches
+
+
+def sort_longest_first(reads: Sequence[SeqRecord]) -> List[SeqRecord]:
+    """Stable sort, longest read first (manymap's load-balance fix)."""
+    return sorted(reads, key=lambda r: -len(r))

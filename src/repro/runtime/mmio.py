@@ -1,0 +1,38 @@
+"""Buffered vs memory-mapped file loading (§4.4.2) — real, measurable.
+
+``load_bytes_buffered`` copies the file through read(2) into fresh
+memory; ``load_bytes_mmap`` maps it and returns a zero-copy NumPy view
+whose pages fault in on first touch. On any OS the mmap call itself is
+near-instant, which is exactly the property manymap exploits to halve
+index load time on KNL's slow single-thread read path.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..utils.timers import timed
+
+PathLike = Union[str, os.PathLike]
+
+
+def load_bytes_buffered(path: PathLike) -> Tuple[np.ndarray, float]:
+    """Read the whole file into memory; returns (array, seconds)."""
+    with timed() as t:
+        with open(path, "rb") as f:
+            data = np.frombuffer(f.read(), dtype=np.uint8)
+    return data, t.elapsed
+
+
+def load_bytes_mmap(path: PathLike) -> Tuple[np.ndarray, float]:
+    """Map the file; returns (zero-copy view, seconds-to-map)."""
+    with timed() as t:
+        size = os.path.getsize(path)
+        with open(path, "rb") as f:
+            mm = mmap.mmap(f.fileno(), size, access=mmap.ACCESS_READ)
+        data = np.frombuffer(mm, dtype=np.uint8)
+    return data, t.elapsed

@@ -1,0 +1,49 @@
+"""Sequence substrate: DNA encoding, FASTA/FASTQ I/O, synthetic genomes.
+
+This subpackage replaces the paper's external data dependencies (hg38,
+PacBio/Nanopore read files) with fully synthetic but statistically
+controlled equivalents — see DESIGN.md §2.
+"""
+
+from .alphabet import (
+    BASES,
+    decode,
+    encode,
+    complement_codes,
+    revcomp,
+    revcomp_codes,
+    random_codes,
+)
+from .records import SeqRecord, ReadSet
+from .fasta import (
+    read_fasta,
+    read_fastq,
+    write_fasta,
+    write_fastq,
+)
+from .genome import Genome, GenomeSpec, generate_genome
+from .mutate import MutationSpec, mutate_codes
+from .stats import DatasetStats, dataset_stats
+
+__all__ = [
+    "BASES",
+    "decode",
+    "encode",
+    "complement_codes",
+    "revcomp",
+    "revcomp_codes",
+    "random_codes",
+    "SeqRecord",
+    "ReadSet",
+    "read_fasta",
+    "read_fastq",
+    "write_fasta",
+    "write_fastq",
+    "Genome",
+    "GenomeSpec",
+    "generate_genome",
+    "MutationSpec",
+    "mutate_codes",
+    "DatasetStats",
+    "dataset_stats",
+]

@@ -1,0 +1,101 @@
+"""2-bit DNA encoding and vectorized sequence primitives.
+
+Sequences are stored as ``uint8`` NumPy arrays of *codes* 0..3 for
+``ACGT`` (4 marks an ambiguous base, which minimap2 also treats as a
+never-matching filler). All hot paths (encode, decode, revcomp) are
+single vectorized table lookups, per the NumPy optimization guide:
+no Python-level loops, no copies beyond the output array.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..errors import SequenceError
+from ..utils.rng import SeedLike, as_rng
+
+#: Canonical base order; code ``i`` encodes ``BASES[i]``.
+BASES = "ACGTN"
+
+#: Number of unambiguous nucleotide codes.
+NUC = 4
+
+#: Code used for 'N' / ambiguous bases.
+AMBIG = 4
+
+# ASCII -> code lookup (256 entries; unknown characters map to 255).
+_ENC = np.full(256, 255, dtype=np.uint8)
+for _i, _b in enumerate(BASES):
+    _ENC[ord(_b)] = _i
+    _ENC[ord(_b.lower())] = _i
+# IUPAC ambiguity codes all collapse to AMBIG, as minimap2 does.
+for _b in "RYSWKMBDHV":
+    _ENC[ord(_b)] = AMBIG
+    _ENC[ord(_b.lower())] = AMBIG
+
+# code -> ASCII lookup.
+_DEC = np.frombuffer(BASES.encode(), dtype=np.uint8).copy()
+
+# code -> complement code (A<->T, C<->G, N->N).
+_COMP = np.array([3, 2, 1, 0, 4], dtype=np.uint8)
+
+
+def encode(seq: Union[str, bytes]) -> np.ndarray:
+    """Encode an ASCII DNA string into a ``uint8`` code array.
+
+    Raises :class:`SequenceError` on characters outside the IUPAC
+    alphabet; ambiguity codes become ``AMBIG``.
+    """
+    if isinstance(seq, str):
+        raw = np.frombuffer(seq.encode("ascii", "strict"), dtype=np.uint8)
+    else:
+        raw = np.frombuffer(seq, dtype=np.uint8)
+    codes = _ENC[raw]
+    if codes.max(initial=0) == 255:
+        bad = chr(int(raw[codes == 255][0]))
+        raise SequenceError(f"invalid DNA character {bad!r}")
+    return codes
+
+
+def decode(codes: np.ndarray) -> str:
+    """Decode a code array back to an ASCII string."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.size and codes.max() > AMBIG:
+        raise SequenceError(f"invalid code {int(codes.max())}")
+    return _DEC[codes].tobytes().decode("ascii")
+
+
+def complement_codes(codes: np.ndarray) -> np.ndarray:
+    """Return the base-complement of a code array (no reversal)."""
+    return _COMP[np.asarray(codes, dtype=np.uint8)]
+
+
+def revcomp_codes(codes: np.ndarray) -> np.ndarray:
+    """Reverse-complement a code array."""
+    return _COMP[np.asarray(codes, dtype=np.uint8)[::-1]]
+
+
+def revcomp(seq: str) -> str:
+    """Reverse-complement an ASCII DNA string."""
+    return decode(revcomp_codes(encode(seq)))
+
+
+def random_codes(
+    n: int, seed: SeedLike = None, gc: float = 0.5
+) -> np.ndarray:
+    """Draw ``n`` random base codes with the given GC fraction.
+
+    The GC mass is split evenly between G and C (and AT mass between A
+    and T), matching how simple genome simulators parameterize
+    composition.
+    """
+    if n < 0:
+        raise SequenceError(f"negative length {n}")
+    if not 0.0 <= gc <= 1.0:
+        raise SequenceError(f"GC fraction {gc} outside [0, 1]")
+    rng = as_rng(seed)
+    at = (1.0 - gc) / 2.0
+    p = np.array([at, gc / 2.0, gc / 2.0, at])
+    return rng.choice(NUC, size=n, p=p).astype(np.uint8)

@@ -1,0 +1,174 @@
+"""FASTA/FASTQ parsing and writing.
+
+Two read paths are provided, mirroring the paper's I/O discussion
+(§4.4.2): a conventional buffered line parser, and a whole-file path that
+works over a ``memoryview`` so it can run on top of an ``mmap``-backed
+buffer from :mod:`repro.runtime.mmio` without copying the file into
+Python objects first.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import IO, Iterable, Iterator, List, Union
+
+import numpy as np
+
+from ..errors import ParseError
+from .alphabet import encode
+from .records import SeqRecord
+
+PathOrHandle = Union[str, os.PathLike, IO[str]]
+
+
+def _open_text(path: PathOrHandle, mode: str) -> IO[str]:
+    if hasattr(path, "read") or hasattr(path, "write"):
+        return path  # type: ignore[return-value]
+    if str(path).endswith(".gz"):
+        import gzip
+
+        return gzip.open(path, mode + "t")  # type: ignore[return-value]
+    return open(path, mode)
+
+
+def iter_fasta(path: PathOrHandle) -> Iterator[SeqRecord]:
+    """Stream records from a FASTA file (buffered line parser)."""
+    handle = _open_text(path, "r")
+    close = handle is not path
+    try:
+        name: str | None = None
+        chunks: List[str] = []
+        for raw in handle:
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    yield SeqRecord(name, encode("".join(chunks)))
+                name = line[1:].split()[0] if len(line) > 1 else ""
+                if not name:
+                    raise ParseError("FASTA header with empty name")
+                chunks = []
+            else:
+                if name is None:
+                    raise ParseError("FASTA sequence data before first header")
+                chunks.append(line)
+        if name is not None:
+            yield SeqRecord(name, encode("".join(chunks)))
+    finally:
+        if close:
+            handle.close()
+
+
+def read_fasta(path: PathOrHandle) -> List[SeqRecord]:
+    """Read a whole FASTA file into a list of records."""
+    return list(iter_fasta(path))
+
+
+def iter_fastq(path: PathOrHandle) -> Iterator[SeqRecord]:
+    """Stream records from a FASTQ file (4-line records)."""
+    handle = _open_text(path, "r")
+    close = handle is not path
+    try:
+        while True:
+            header = handle.readline()
+            if not header:
+                return
+            header = header.rstrip("\n")
+            if not header:
+                continue
+            if not header.startswith("@"):
+                raise ParseError(f"FASTQ header must start with '@': {header!r}")
+            seq = handle.readline().rstrip("\n")
+            plus = handle.readline().rstrip("\n")
+            qual = handle.readline().rstrip("\n")
+            if not plus.startswith("+"):
+                raise ParseError(f"FASTQ separator must start with '+': {plus!r}")
+            if len(qual) != len(seq):
+                raise ParseError(
+                    f"FASTQ quality length {len(qual)} != sequence length {len(seq)}"
+                )
+            name = header[1:].split()[0]
+            q = np.frombuffer(qual.encode("ascii"), dtype=np.uint8) - 33
+            yield SeqRecord(name, encode(seq), quality=q)
+    finally:
+        if close:
+            handle.close()
+
+
+def read_fastq(path: PathOrHandle) -> List[SeqRecord]:
+    """Read a whole FASTQ file into a list of records."""
+    return list(iter_fastq(path))
+
+
+def parse_fasta_buffer(buf: Union[bytes, memoryview, np.ndarray]) -> List[SeqRecord]:
+    """Parse FASTA from an in-memory buffer (the mmap-friendly path).
+
+    The buffer is scanned once for record boundaries; sequence bytes are
+    encoded directly from slices of the buffer, never materialized as
+    Python strings. This is the "consecutive file reads" layout the paper
+    uses to replace fragmented parsing (§4.4.2).
+    """
+    if isinstance(buf, np.ndarray):
+        data = buf.tobytes()
+    else:
+        data = bytes(buf)
+    records: List[SeqRecord] = []
+    pos = 0
+    n = len(data)
+    if data.find(b">") == -1:
+        raise ParseError("buffer contains no FASTA records")
+    while pos < n:
+        if data[pos : pos + 1] != b">":
+            nxt = data.find(b">", pos)
+            if nxt == -1:
+                break
+            pos = nxt
+            continue
+        eol = data.find(b"\n", pos)
+        if eol == -1:
+            raise ParseError("truncated FASTA header")
+        name = data[pos + 1 : eol].split()[0].decode("ascii") if eol > pos + 1 else ""
+        if not name:
+            raise ParseError("FASTA header with empty name")
+        nxt = data.find(b">", eol)
+        body = data[eol + 1 : nxt if nxt != -1 else n]
+        seq = body.replace(b"\n", b"").replace(b"\r", b"")
+        records.append(SeqRecord(name, encode(seq)))
+        pos = nxt if nxt != -1 else n
+    return records
+
+
+def write_fasta(
+    path: PathOrHandle, records: Iterable[SeqRecord], width: int = 80
+) -> None:
+    """Write records as FASTA with fixed line width."""
+    handle = _open_text(path, "w")
+    close = handle is not path
+    try:
+        for rec in records:
+            handle.write(f">{rec.name}\n")
+            s = rec.seq
+            for i in range(0, len(s), width):
+                handle.write(s[i : i + width])
+                handle.write("\n")
+    finally:
+        if close:
+            handle.close()
+
+
+def write_fastq(path: PathOrHandle, records: Iterable[SeqRecord]) -> None:
+    """Write records as FASTQ (flat quality 'I' when absent)."""
+    handle = _open_text(path, "w")
+    close = handle is not path
+    try:
+        for rec in records:
+            if rec.quality is not None:
+                qual = (rec.quality + 33).astype(np.uint8).tobytes().decode("ascii")
+            else:
+                qual = "I" * len(rec)
+            handle.write(f"@{rec.name}\n{rec.seq}\n+\n{qual}\n")
+    finally:
+        if close:
+            handle.close()

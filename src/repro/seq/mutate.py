@@ -1,0 +1,80 @@
+"""Variant injection: derive a diverged sequence from a template.
+
+Used to build test pairs with known relatedness (e.g. "two sequences 5%
+diverged") for DP and chaining tests, independent of the full read
+simulator in :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import SequenceError
+from ..utils.rng import SeedLike, as_rng
+from .alphabet import NUC
+
+
+@dataclass(frozen=True)
+class MutationSpec:
+    """Per-base mutation rates applied independently."""
+
+    sub_rate: float = 0.0
+    ins_rate: float = 0.0
+    del_rate: float = 0.0
+    max_indel: int = 3
+
+    def __post_init__(self) -> None:
+        total = self.sub_rate + self.ins_rate + self.del_rate
+        if not 0.0 <= total < 1.0:
+            raise SequenceError(f"total mutation rate {total} out of [0, 1)")
+        if self.max_indel < 1:
+            raise SequenceError(f"max_indel must be >= 1: {self.max_indel}")
+
+
+def mutate_codes(
+    codes: np.ndarray, spec: MutationSpec, seed: SeedLike = None
+) -> Tuple[np.ndarray, List[Tuple[int, str, int]]]:
+    """Apply ``spec`` to ``codes``; return (mutated, event log).
+
+    The event log holds ``(template_position, kind, length)`` tuples with
+    ``kind`` in ``{'S','I','D'}`` so tests can check the mutated sequence
+    aligns back with roughly the expected edit structure.
+    """
+    rng = as_rng(seed)
+    out: List[np.ndarray] = []
+    events: List[Tuple[int, str, int]] = []
+    n = codes.size
+    # Draw one uniform per template base and partition into event kinds.
+    u = rng.random(n)
+    sub_hi = spec.sub_rate
+    ins_hi = sub_hi + spec.ins_rate
+    del_hi = ins_hi + spec.del_rate
+    i = 0
+    while i < n:
+        ui = u[i]
+        if ui < sub_hi:
+            new = (int(codes[i]) + int(rng.integers(1, NUC))) % NUC
+            out.append(np.array([new], dtype=np.uint8))
+            events.append((i, "S", 1))
+            i += 1
+        elif ui < ins_hi:
+            ln = int(rng.integers(1, spec.max_indel + 1))
+            ins = rng.integers(0, NUC, size=ln).astype(np.uint8)
+            out.append(np.array([codes[i]], dtype=np.uint8))
+            out.append(ins)
+            events.append((i, "I", ln))
+            i += 1
+        elif ui < del_hi:
+            ln = int(rng.integers(1, spec.max_indel + 1))
+            ln = min(ln, n - i)
+            events.append((i, "D", ln))
+            i += ln
+        else:
+            out.append(codes[i : i + 1])
+            i += 1
+    if not out:
+        return np.empty(0, dtype=np.uint8), events
+    return np.concatenate(out).astype(np.uint8), events

@@ -1,0 +1,74 @@
+"""Sequence record containers shared across the pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from ..errors import SequenceError
+from .alphabet import decode, encode
+
+
+@dataclass
+class SeqRecord:
+    """One named sequence, stored as a code array.
+
+    ``meta`` carries simulator ground truth (origin chromosome, strand,
+    interval) for accuracy evaluation; real-world records leave it empty.
+    """
+
+    name: str
+    codes: np.ndarray
+    quality: Optional[np.ndarray] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.codes = np.asarray(self.codes, dtype=np.uint8)
+        if self.quality is not None:
+            self.quality = np.asarray(self.quality, dtype=np.uint8)
+            if self.quality.shape != self.codes.shape:
+                raise SequenceError(
+                    f"{self.name}: quality length {self.quality.size} != "
+                    f"sequence length {self.codes.size}"
+                )
+
+    @classmethod
+    def from_str(cls, name: str, seq: str, **meta: object) -> "SeqRecord":
+        return cls(name=name, codes=encode(seq), meta=dict(meta))
+
+    @property
+    def seq(self) -> str:
+        """The record decoded back to an ASCII string."""
+        return decode(self.codes)
+
+    def __len__(self) -> int:
+        return int(self.codes.size)
+
+
+@dataclass
+class ReadSet:
+    """An ordered collection of reads plus dataset-level metadata."""
+
+    reads: List[SeqRecord] = field(default_factory=list)
+    platform: str = "unknown"
+
+    def __iter__(self) -> Iterator[SeqRecord]:
+        return iter(self.reads)
+
+    def __len__(self) -> int:
+        return len(self.reads)
+
+    def __getitem__(self, i: int) -> SeqRecord:
+        return self.reads[i]
+
+    def append(self, read: SeqRecord) -> None:
+        self.reads.append(read)
+
+    @property
+    def total_bases(self) -> int:
+        return sum(len(r) for r in self.reads)
+
+    def lengths(self) -> np.ndarray:
+        return np.array([len(r) for r in self.reads], dtype=np.int64)

@@ -1,0 +1,47 @@
+"""Dataset statistics — the columns of the paper's Table 4."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..utils.fmt import human_count
+from .records import ReadSet
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Summary statistics of a read dataset (paper Table 4 rows)."""
+
+    platform: str
+    n_reads: int
+    mean_length: float
+    max_length: int
+    total_bases: int
+
+    def render(self) -> str:
+        rows = [
+            ("Platform", self.platform),
+            ("Number of Reads", human_count(self.n_reads)),
+            ("Average Length (bp)", f"{self.mean_length:,.1f}"),
+            ("Maximum Length (bp)", human_count(self.max_length)),
+            ("Total Bases", human_count(self.total_bases)),
+        ]
+        width = max(len(k) for k, _ in rows)
+        return "\n".join(f"{k:<{width}}  {v}" for k, v in rows)
+
+
+def dataset_stats(reads: ReadSet) -> DatasetStats:
+    """Compute :class:`DatasetStats` for a read set."""
+    lengths = reads.lengths()
+    if lengths.size == 0:
+        return DatasetStats(reads.platform, 0, 0.0, 0, 0)
+    return DatasetStats(
+        platform=reads.platform,
+        n_reads=int(lengths.size),
+        mean_length=float(lengths.mean()),
+        max_length=int(lengths.max()),
+        total_bases=int(lengths.sum()),
+    )

@@ -1,0 +1,23 @@
+"""Read simulation: the PBSIM / real-Nanopore-data substitute.
+
+Generates long reads from a reference with platform-specific length
+distributions and error profiles, recording ground-truth origins so the
+paper's accuracy metric (wrong alignments / aligned reads, Table 5) can
+be computed exactly.
+"""
+
+from .lengths import LengthModel, lognormal_lengths
+from .errors import ErrorProfile, PACBIO_CLR, NANOPORE_R9, apply_errors
+from .pbsim import ReadSimulator, SimulatedRead, simulate_reads
+
+__all__ = [
+    "LengthModel",
+    "lognormal_lengths",
+    "ErrorProfile",
+    "PACBIO_CLR",
+    "NANOPORE_R9",
+    "apply_errors",
+    "ReadSimulator",
+    "SimulatedRead",
+    "simulate_reads",
+]

@@ -1,0 +1,152 @@
+"""Structural-variant simulation: derive a donor genome from a reference.
+
+Long reads exist largely to resolve structural variation (NGMLR's whole
+reason for being in Table 5). This module applies deletions,
+insertions, inversions, tandem duplications, and translocations to a
+reference, tracking every event so tests and examples can check that
+split/strand-flipped alignments land where the truth says.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..seq.alphabet import random_codes, revcomp_codes
+from ..seq.genome import Genome
+from ..seq.records import SeqRecord
+from ..utils.rng import SeedLike, as_rng
+
+SV_KINDS = ("DEL", "INS", "INV", "DUP", "TRA")
+
+
+@dataclass(frozen=True)
+class StructuralVariant:
+    """One applied SV event, in REFERENCE coordinates."""
+
+    kind: str
+    chrom: str
+    start: int
+    end: int  # reference span affected ([start, start) for INS)
+    length: int
+    dest: Optional[Tuple[str, int]] = None  # TRA target (chrom, pos)
+
+    def __post_init__(self) -> None:
+        if self.kind not in SV_KINDS:
+            raise SimulationError(f"unknown SV kind {self.kind!r}")
+        if self.length <= 0:
+            raise SimulationError(f"SV length must be positive: {self.length}")
+
+
+@dataclass(frozen=True)
+class SvSpec:
+    """How many of each event to draw, and their size distribution."""
+
+    n_del: int = 2
+    n_ins: int = 2
+    n_inv: int = 1
+    n_dup: int = 1
+    n_tra: int = 0
+    min_size: int = 500
+    max_size: int = 8000
+
+    def __post_init__(self) -> None:
+        if self.min_size < 1 or self.max_size < self.min_size:
+            raise SimulationError(
+                f"bad SV size range [{self.min_size}, {self.max_size}]"
+            )
+        if min(self.n_del, self.n_ins, self.n_inv, self.n_dup, self.n_tra) < 0:
+            raise SimulationError("negative SV counts")
+
+    @property
+    def total(self) -> int:
+        return self.n_del + self.n_ins + self.n_inv + self.n_dup + self.n_tra
+
+
+def apply_svs(
+    genome: Genome, spec: SvSpec = SvSpec(), seed: SeedLike = None
+) -> Tuple[Genome, List[StructuralVariant]]:
+    """Build a donor genome carrying ``spec``'s variants.
+
+    Events are placed uniformly at random, non-overlapping (with
+    rejection sampling), applied per chromosome from right to left so
+    earlier coordinates stay valid. Returns the donor and the event
+    list in reference coordinates.
+    """
+    rng = as_rng(seed)
+    events: List[StructuralVariant] = []
+    taken: List[Tuple[str, int, int]] = []
+
+    kinds = (
+        ["DEL"] * spec.n_del + ["INS"] * spec.n_ins + ["INV"] * spec.n_inv
+        + ["DUP"] * spec.n_dup + ["TRA"] * spec.n_tra
+    )
+    for kind in kinds:
+        for _ in range(200):  # rejection attempts
+            chrom = genome.chromosomes[int(rng.integers(len(genome)))]
+            size = int(rng.integers(spec.min_size, spec.max_size + 1))
+            if size >= len(chrom) // 2:
+                continue
+            start = int(rng.integers(0, len(chrom) - size))
+            span = (chrom.name, start, start + size)
+            if any(
+                c == span[0] and s < span[2] and e > span[1]
+                for c, s, e in taken
+            ):
+                continue
+            taken.append(span)
+            dest = None
+            if kind == "TRA":
+                other = genome.chromosomes[int(rng.integers(len(genome)))]
+                dest = (other.name, int(rng.integers(0, len(other))))
+            events.append(
+                StructuralVariant(
+                    kind=kind, chrom=chrom.name, start=start,
+                    end=start if kind == "INS" else start + size,
+                    length=size, dest=dest,
+                )
+            )
+            break
+        else:
+            raise SimulationError(
+                f"could not place a {kind} of size <= {spec.max_size}; "
+                "genome too small or too crowded"
+            )
+
+    donor_chroms = {}
+    inserts: dict = {}
+    # Collect translocated payloads first (they copy reference material).
+    for ev in events:
+        if ev.kind == "TRA":
+            payload = genome.fetch(ev.chrom, ev.start, ev.end)
+            inserts.setdefault(ev.dest[0], []).append((ev.dest[1], payload))
+
+    for chrom in genome.chromosomes:
+        codes = chrom.codes.copy()
+        chrom_events = [e for e in events if e.chrom == chrom.name]
+        # Right-to-left so reference coordinates stay valid during edits.
+        for ev in sorted(chrom_events, key=lambda e: -e.start):
+            if ev.kind == "DEL" or ev.kind == "TRA":
+                codes = np.concatenate([codes[: ev.start], codes[ev.end :]])
+            elif ev.kind == "INS":
+                novel = random_codes(ev.length, rng)
+                codes = np.concatenate([codes[: ev.start], novel, codes[ev.start :]])
+            elif ev.kind == "INV":
+                codes[ev.start : ev.end] = revcomp_codes(codes[ev.start : ev.end])
+            elif ev.kind == "DUP":
+                codes = np.concatenate(
+                    [codes[: ev.end], codes[ev.start : ev.end], codes[ev.end :]]
+                )
+        # Apply translocation arrivals (in this chromosome's own frame).
+        for pos, payload in sorted(inserts.get(chrom.name, []), key=lambda x: -x[0]):
+            pos = min(pos, codes.size)
+            codes = np.concatenate([codes[:pos], payload, codes[pos:]])
+        donor_chroms[chrom.name] = codes
+
+    donor = Genome(
+        [SeqRecord(name, donor_chroms[name]) for name in genome.names]
+    )
+    return donor, events

@@ -1,0 +1,16 @@
+"""Small shared utilities: timers, RNG plumbing, size formatting."""
+
+from .timers import StageTimer, Timer, timed
+from .rng import as_rng, spawn_rngs
+from .fmt import human_bytes, human_count, si
+
+__all__ = [
+    "StageTimer",
+    "Timer",
+    "timed",
+    "as_rng",
+    "spawn_rngs",
+    "human_bytes",
+    "human_count",
+    "si",
+]

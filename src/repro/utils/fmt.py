@@ -1,0 +1,37 @@
+"""Human-readable formatting for sizes, counts, and rates."""
+
+from __future__ import annotations
+
+_BYTE_UNITS = ["B", "KB", "MB", "GB", "TB", "PB"]
+_SI_UNITS = ["", "K", "M", "G", "T", "P"]
+
+
+def human_bytes(n: float) -> str:
+    """Format a byte count: ``human_bytes(5362*2**20) == '5.24 GB'``."""
+    n = float(n)
+    neg = n < 0
+    n = abs(n)
+    for unit in _BYTE_UNITS:
+        if n < 1024.0 or unit == _BYTE_UNITS[-1]:
+            break
+        n /= 1024.0
+    s = f"{n:.2f}".rstrip("0").rstrip(".")
+    return f"{'-' if neg else ''}{s} {unit}"
+
+
+def si(n: float, suffix: str = "") -> str:
+    """Format with SI multipliers: ``si(4985012420) == '4.99G'``."""
+    n = float(n)
+    neg = n < 0
+    n = abs(n)
+    for unit in _SI_UNITS:
+        if n < 1000.0 or unit == _SI_UNITS[-1]:
+            break
+        n /= 1000.0
+    s = f"{n:.2f}".rstrip("0").rstrip(".")
+    return f"{'-' if neg else ''}{s}{unit}{suffix}"
+
+
+def human_count(n: int) -> str:
+    """Format an integer with thousands separators."""
+    return f"{int(n):,}"

@@ -1,0 +1,42 @@
+"""Deterministic random-number plumbing.
+
+All stochastic components (genome generation, read simulation, workload
+synthesis) accept either a seed or a ``numpy.random.Generator`` so every
+experiment in EXPERIMENTS.md is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, np.random.SeedSequence, None]
+
+
+def as_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged, so callers can
+    thread one RNG through a pipeline without reseeding.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> List[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``seed``.
+
+    Used by multi-worker simulation so each worker gets a decorrelated
+    stream while the whole run stays reproducible from one seed.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    if isinstance(seed, np.random.Generator):
+        seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+    elif isinstance(seed, np.random.SeedSequence):
+        seq = seed
+    else:
+        seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in seq.spawn(n)]

@@ -1,0 +1,103 @@
+"""Wall-clock timing helpers used by the profiling layer and benchmarks.
+
+The aligner's per-stage breakdown (paper Table 2 / Figure 11) is produced
+by :class:`StageTimer`, which accumulates seconds per named stage and can
+render itself as the paper's percentage table.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+
+@dataclass
+class Timer:
+    """A resumable stopwatch accumulating elapsed wall-clock seconds."""
+
+    elapsed: float = 0.0
+    _started: float | None = None
+
+    def start(self) -> "Timer":
+        if self._started is not None:
+            raise RuntimeError("timer already running")
+        self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError("timer not running")
+        self.elapsed += time.perf_counter() - self._started
+        self._started = None
+        return self.elapsed
+
+    @property
+    def running(self) -> bool:
+        return self._started is not None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass
+class StageTimer:
+    """Accumulates elapsed time under named stages.
+
+    Stages preserve first-use order so breakdown tables print in pipeline
+    order (load index, load query, seed & chain, align, output).
+    """
+
+    stages: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stages[name] = self.stages.get(name, 0.0) + (
+                time.perf_counter() - t0
+            )
+
+    def add(self, name: str, seconds: float) -> None:
+        """Credit ``seconds`` to ``name`` without running anything."""
+        if seconds < 0:
+            raise ValueError(f"negative duration for stage {name!r}: {seconds}")
+        self.stages[name] = self.stages.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.stages.values())
+
+    def breakdown(self) -> List[Tuple[str, float, float]]:
+        """Return ``(stage, seconds, percent)`` rows in first-use order."""
+        total = self.total or 1.0
+        return [(k, v, 100.0 * v / total) for k, v in self.stages.items()]
+
+    def render(self, title: str = "") -> str:
+        lines = []
+        if title:
+            lines.append(title)
+        width = max([len(k) for k in self.stages] + [10])
+        lines.append(f"{'Stage':<{width}}  {'Time (s)':>10}  {'%':>6}")
+        for name, sec, pct in self.breakdown():
+            lines.append(f"{name:<{width}}  {sec:>10.3f}  {pct:>6.2f}")
+        lines.append(f"{'Total':<{width}}  {self.total:>10.3f}  {100.0:>6.2f}")
+        return "\n".join(lines)
+
+
+@contextmanager
+def timed() -> Iterator[Timer]:
+    """Context manager yielding a :class:`Timer` measuring the block."""
+    t = Timer()
+    t.start()
+    try:
+        yield t
+    finally:
+        if t.running:
+            t.stop()

@@ -1,0 +1,157 @@
+"""Tests for banded DP and the batched inter-sequence kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align._band import band_limits, band_range, edge_patches
+from repro.align.batch_kernel import align_batch
+from repro.align.dp_reference import align_reference
+from repro.align.manymap_kernel import align_manymap
+from repro.align.mm2_kernel import align_mm2
+from repro.align.scoring import Scoring
+from repro.errors import AlignmentError
+from repro.seq.alphabet import random_codes
+from repro.seq.mutate import MutationSpec, mutate_codes
+
+SC = Scoring()
+
+
+def homologous_pair(m, seed, rate=0.06):
+    t = random_codes(m, seed=seed)
+    q, _ = mutate_codes(
+        t, MutationSpec(sub_rate=rate, ins_rate=rate / 2, del_rate=rate / 2),
+        seed=seed + 1,
+    )
+    if q.size == 0:
+        q = random_codes(1, seed=seed + 2)
+    return t, q
+
+
+class TestBandMath:
+    def test_limits(self):
+        assert band_limits(10, 10, 3) == (-3, 3)
+        assert band_limits(10, 14, 2) == (-2, 6)
+
+    def test_negative_band_raises(self):
+        with pytest.raises(AlignmentError):
+            band_limits(5, 5, -1)
+
+    def test_range_clips(self):
+        lo, hi = band_limits(100, 100, 4)
+        st, en = band_range(50, 0, 49, lo, hi)
+        assert st == 23 and en == 27  # |50 - 2t| <= 4
+
+    def test_edge_patches_skip_boundaries(self):
+        lo, hi = band_limits(100, 100, 0)
+        # r=0: the only cell is (0,0); deps are boundaries, no patches.
+        assert edge_patches(0, 0, 0, lo, hi) == (None, None)
+
+
+class TestBandedKernels:
+    @given(st.integers(5, 90), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_generous_band_exact(self, m, seed):
+        t, q = homologous_pair(m, seed)
+        full = align_reference(t, q, SC).score
+        band = abs(t.size - q.size) + max(t.size, q.size)
+        for fn in (align_manymap, align_mm2):
+            assert fn(t, q, SC, band=band).score == full
+
+    @given(st.integers(5, 90), st.integers(0, 10**6), st.integers(0, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_band_never_exceeds_optimum(self, m, seed, band):
+        t, q = homologous_pair(m, seed, rate=0.15)
+        full = align_reference(t, q, SC).score
+        for fn in (align_manymap, align_mm2):
+            assert fn(t, q, SC, band=band).score <= full
+
+    def test_band_reduces_cells(self):
+        t, q = homologous_pair(1500, seed=3)
+        full = align_manymap(t, q, SC)
+        banded = align_manymap(t, q, SC, band=64)
+        assert banded.cells < full.cells / 4
+        assert banded.score == full.score
+
+    def test_banded_path_rescoring(self):
+        t, q = homologous_pair(300, seed=4)
+        for fn in (align_manymap, align_mm2):
+            res = fn(t, q, SC, band=80, path=True)
+            assert res.cigar.score(t, q, SC) == res.score
+
+    def test_band_zero_is_diagonal_only(self):
+        t = random_codes(50, seed=5)
+        res = align_manymap(t, t.copy(), SC, band=0)
+        assert res.score == 50 * SC.match
+
+    def test_engines_agree_banded(self):
+        t, q = homologous_pair(400, seed=6)
+        for band in (8, 32, 100):
+            a = align_manymap(t, q, SC, band=band).score
+            b = align_mm2(t, q, SC, band=band).score
+            assert a == b
+
+
+class TestBatchKernel:
+    @given(st.integers(1, 12), st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_per_pair(self, bsize, seed):
+        rng = np.random.default_rng(seed)
+        ts, qs = [], []
+        for _ in range(bsize):
+            m = int(rng.integers(1, 50))
+            t = random_codes(m, rng)
+            q = random_codes(int(rng.integers(1, 50)), rng)
+            ts.append(t)
+            qs.append(q)
+        batch = align_batch(ts, qs, SC, path=True)
+        for t, q, res in zip(ts, qs, batch):
+            single = align_manymap(t, q, SC, mode="global", path=True)
+            assert res.score == single.score
+            assert res.cigar.score(t, q, SC) == res.score
+
+    def test_empty_batch(self):
+        assert align_batch([], [], SC) == []
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(AlignmentError):
+            align_batch([random_codes(5, seed=0)], [], SC)
+
+    def test_degenerate_members(self):
+        empty = np.empty(0, dtype=np.uint8)
+        t = random_codes(10, seed=1)
+        out = align_batch([t, empty, t], [t.copy(), t, empty], SC, path=True)
+        assert out[0].score == 10 * SC.match
+        assert out[1].score == -SC.gap_cost(10)
+        assert str(out[2].cigar) == "10D"
+
+    def test_single_member(self):
+        t, q = homologous_pair(60, seed=7)
+        out = align_batch([t], [q], SC)
+        assert out[0].score == align_reference(t, q, SC).score
+
+    def test_very_ragged_batch(self):
+        ts = [random_codes(m, seed=m) for m in (1, 3, 200, 7)]
+        qs = [random_codes(n, seed=100 + n) for n in (150, 2, 5, 7)]
+        out = align_batch(ts, qs, SC)
+        for t, q, res in zip(ts, qs, out):
+            assert res.score == align_reference(t, q, SC).score
+
+
+class TestAlignerBatching:
+    def test_batched_identical_to_unbatched(self, small_genome):
+        from repro.core.aligner import Aligner
+        from repro.sim.lengths import LengthModel
+        from repro.sim.pbsim import ReadSimulator
+
+        sim = ReadSimulator.preset(small_genome, "pacbio")
+        sim.length_model = LengthModel(mean=900.0, sigma=0.25, max_length=1500)
+        reads = sim.simulate(5, seed=51)
+        a_on = Aligner(small_genome, preset="test", batch_segments=True)
+        a_off = Aligner(small_genome, preset="test", batch_segments=False)
+        for r in reads:
+            on = a_on.map_read(r)
+            off = a_off.map_read(r)
+            assert [(x.tstart, x.tend, x.score, str(x.cigar)) for x in on] == [
+                (x.tstart, x.tend, x.score, str(x.cigar)) for x in off
+            ]

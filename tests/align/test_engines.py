@@ -1,0 +1,238 @@
+"""Engine equivalence: the paper's correctness claim, property-tested.
+
+manymap "produces the same alignment result as minimap2" (§5.3.3); here
+all four engines — the Eq.(1) oracle, the Eq.(3) scalar, the
+mm2-layout vectorized, and the manymap-layout vectorized kernels — are
+checked against an independent O(mn) brute force and against each other.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align import (
+    ENGINES,
+    AlignmentResult,
+    Scoring,
+    align,
+    align_diff_scalar,
+    align_manymap,
+    align_mm2,
+    align_reference,
+    get_engine,
+)
+from repro.align.diff_scalar import diff_value_bounds
+from repro.errors import AlignmentError
+from repro.seq.alphabet import encode, random_codes
+
+NEG = -(10**9)
+
+
+def brute_force(t, q, sc, mode="global"):
+    """Independent Eq.(1) implementation with explicit Python loops."""
+    m, n = len(t), len(q)
+    mat = sc.matrix()
+    H = [[NEG] * (n + 1) for _ in range(m + 1)]
+    E = [[NEG] * (n + 1) for _ in range(m + 1)]
+    F = [[NEG] * (n + 1) for _ in range(m + 1)]
+    H[0][0] = 0
+    for i in range(1, m + 1):
+        H[i][0] = -(sc.q + sc.e * i)
+    for j in range(1, n + 1):
+        H[0][j] = -(sc.q + sc.e * j)
+    best = NEG
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            E[i][j] = max(H[i - 1][j] - sc.q, E[i - 1][j]) - sc.e
+            F[i][j] = max(H[i][j - 1] - sc.q, F[i][j - 1]) - sc.e
+            H[i][j] = max(
+                H[i - 1][j - 1] + int(mat[t[i - 1], q[j - 1]]), E[i][j], F[i][j]
+            )
+            best = max(best, H[i][j])
+    return H[m][n] if mode == "global" else best
+
+
+ALL_ENGINES = [align_reference, align_diff_scalar, align_mm2, align_manymap]
+VEC_ENGINES = [align_mm2, align_manymap]
+
+dna_codes = st.integers(1, 40).flatmap(
+    lambda n: st.lists(st.integers(0, 3), min_size=n, max_size=n)
+)
+scorings = st.sampled_from(
+    [
+        Scoring(),
+        Scoring(match=1, mismatch=1, q=1, e=1, zdrop=100),
+        Scoring(match=3, mismatch=2, q=6, e=3),
+        Scoring(match=2, mismatch=5, q=4, e=2),  # map-pb
+    ]
+)
+
+
+class TestEquivalenceProperty:
+    @given(dna_codes, dna_codes, scorings, st.sampled_from(["global", "extend"]))
+    @settings(max_examples=60, deadline=None)
+    def test_all_engines_match_bruteforce(self, tl, ql, sc, mode):
+        t = np.array(tl, dtype=np.uint8)
+        q = np.array(ql, dtype=np.uint8)
+        expected = brute_force(t, q, sc, mode)
+        for fn in ALL_ENGINES:
+            assert fn(t, q, sc, mode=mode).score == expected
+
+    @given(dna_codes, dna_codes, scorings, st.sampled_from(["global", "extend"]))
+    @settings(max_examples=40, deadline=None)
+    def test_paths_rescore_to_dp_score(self, tl, ql, sc, mode):
+        t = np.array(tl, dtype=np.uint8)
+        q = np.array(ql, dtype=np.uint8)
+        for fn in ALL_ENGINES:
+            res = fn(t, q, sc, mode=mode, path=True)
+            tt, qq = t[: res.end_t + 1], q[: res.end_q + 1]
+            assert res.cigar.score(tt, qq, sc) == res.score
+
+    @given(dna_codes, dna_codes)
+    @settings(max_examples=40, deadline=None)
+    def test_diff_values_fit_int8(self, tl, ql):
+        """Suzuki–Kasahara: differences stay in an 8-bit band (§3.2)."""
+        t = np.array(tl, dtype=np.uint8)
+        q = np.array(ql, dtype=np.uint8)
+        sc = Scoring()  # default minimap2-like parameters
+        bounds = diff_value_bounds(t, q, sc)
+        for key, (lo, hi) in bounds.items():
+            assert -128 <= lo <= hi <= 127, (key, lo, hi)
+        # And the sharper theoretical band for x, y:
+        assert bounds["x"][0] >= -(sc.q + sc.e)
+        assert bounds["x"][1] <= -sc.e
+        assert bounds["y"][0] >= -(sc.q + sc.e)
+        assert bounds["y"][1] <= -sc.e
+
+
+class TestKnownAlignments:
+    def test_perfect_match(self):
+        t = encode("ACGTACGTAC")
+        for fn in ALL_ENGINES:
+            res = fn(t, t.copy(), Scoring(match=2), path=True)
+            assert res.score == 20
+            assert str(res.cigar) == "10M"
+
+    def test_single_mismatch(self):
+        t = encode("ACGTACGTAC")
+        q = encode("ACGTTCGTAC")
+        for fn in ALL_ENGINES:
+            res = fn(t, q, Scoring(match=2, mismatch=4))
+            assert res.score == 18 - 4
+
+    def test_single_deletion(self):
+        t = encode("ACGTACGTAC")
+        q = encode("ACGTCGTAC")  # A deleted
+        sc = Scoring(match=2, mismatch=4, q=4, e=2)
+        for fn in ALL_ENGINES:
+            res = fn(t, q, sc, path=True)
+            assert res.score == 9 * 2 - 6
+            assert res.cigar.target_span == 10
+            assert res.cigar.query_span == 9
+
+    def test_single_insertion(self):
+        t = encode("ACGTACGTAC")
+        q = encode("ACGTAACGTAC")
+        sc = Scoring(match=2, mismatch=4, q=4, e=2)
+        for fn in ALL_ENGINES:
+            res = fn(t, q, sc)
+            assert res.score == 10 * 2 - 6
+
+    def test_long_gap_affine(self):
+        t = encode("AAAA" + "CCCCCC" + "GGGG")
+        q = encode("AAAAGGGG")
+        sc = Scoring(match=2, mismatch=4, q=4, e=1)
+        for fn in ALL_ENGINES:
+            res = fn(t, q, sc, path=True)
+            assert res.score == 16 - (4 + 6)
+            assert str(res.cigar) == "4M6D4M"
+
+    def test_extend_stops_at_best_prefix(self):
+        # Query diverges after 8 bases; extension should report prefix.
+        t = encode("ACGTACGT" + "TTTTTTTTTT")
+        q = encode("ACGTACGT" + "AAAAAAAAAA")
+        sc = Scoring(match=2, mismatch=4, q=4, e=2)
+        for fn in ALL_ENGINES:
+            res = fn(t, q, sc, mode="extend")
+            assert res.score == 16
+            assert res.end_t == 7 and res.end_q == 7
+
+    def test_empty_sequences(self):
+        sc = Scoring(q=4, e=2)
+        empty = np.empty(0, dtype=np.uint8)
+        t = encode("ACGT")
+        for fn in ALL_ENGINES:
+            assert fn(empty, empty, sc).score == 0
+            assert fn(t, empty, sc).score == -(4 + 2 * 4)
+            assert fn(empty, t, sc).score == -(4 + 2 * 4)
+
+    def test_empty_paths(self):
+        sc = Scoring()
+        empty = np.empty(0, dtype=np.uint8)
+        t = encode("ACG")
+        for fn in ALL_ENGINES:
+            assert str(fn(t, empty, sc, path=True).cigar) == "3D"
+            assert str(fn(empty, t, sc, path=True).cigar) == "3I"
+            assert str(fn(empty, empty, sc, path=True).cigar) == ""
+
+    def test_ambiguous_bases_never_match(self):
+        t = encode("NNNN")
+        q = encode("NNNN")
+        res = align_manymap(t, q, Scoring(match=2, sc_ambi=1))
+        assert res.score == -4  # four ambiguous columns at -1 each
+
+
+class TestZdrop:
+    def test_zdrop_truncates(self):
+        # Strong prefix match then a long random tail: z-drop should stop
+        # the DP before computing the full matrix.
+        rng = np.random.default_rng(0)
+        prefix = random_codes(200, seed=1)
+        t = np.concatenate([prefix, random_codes(800, seed=2)])
+        q = np.concatenate([prefix, random_codes(800, seed=3)])
+        sc = Scoring(match=2, mismatch=4, q=4, e=2, zdrop=50)
+        for fn in [align_diff_scalar, align_mm2, align_manymap]:
+            full = fn(t, q, sc, mode="extend")
+            dropped = fn(t, q, sc, mode="extend", zdrop=50)
+            assert dropped.zdropped
+            assert dropped.cells < full.cells
+            # The strong prefix score must be retained.
+            assert dropped.score >= 200 * 2 * 0.8
+
+    def test_zdrop_rejected_in_global(self):
+        t = encode("ACGT")
+        for fn in [align_diff_scalar, align_mm2, align_manymap]:
+            with pytest.raises(AlignmentError):
+                fn(t, t, Scoring(), mode="global", zdrop=10)
+
+    def test_no_zdrop_on_clean_match(self):
+        t = random_codes(500, seed=4)
+        res = align_manymap(t, t.copy(), Scoring(), mode="extend", zdrop=100)
+        assert not res.zdropped
+        assert res.score == 1000
+
+
+class TestEngineRegistry:
+    def test_all_registered(self):
+        assert set(ENGINES) == {"reference", "scalar", "mm2", "manymap"}
+
+    def test_get_engine_unknown(self):
+        with pytest.raises(AlignmentError):
+            get_engine("turbo")
+
+    def test_align_dispatches(self):
+        t = encode("ACGT")
+        res = align(t, t.copy(), engine="manymap")
+        assert isinstance(res, AlignmentResult)
+        assert res.score == 8
+
+    def test_reference_rejects_zdrop(self):
+        t = encode("ACGT")
+        with pytest.raises(AlignmentError):
+            align(t, t, engine="reference", mode="extend", zdrop=5)
+
+    def test_bad_mode_raises(self):
+        t = encode("ACGT")
+        for name in ENGINES:
+            with pytest.raises(AlignmentError):
+                align(t, t, engine=name, mode="sideways")

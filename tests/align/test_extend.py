@@ -1,0 +1,66 @@
+"""Tests for the extension-alignment wrapper (z-drop, left/right)."""
+
+import numpy as np
+import pytest
+
+from repro.align import Scoring, extend_alignment
+from repro.align.manymap_kernel import align_manymap
+from repro.errors import AlignmentError
+from repro.seq.alphabet import encode, random_codes
+
+
+class TestExtend:
+    def test_right_extension_simple(self):
+        t = encode("ACGTACGTGG")
+        q = encode("ACGTACGT")
+        res = extend_alignment(t, q, Scoring(match=2))
+        assert res.score == 16
+        assert res.q_used == 8
+        assert res.t_used == 8
+
+    def test_left_extension_mirrors_right(self):
+        # Left extension on (t, q) == right extension on reversed inputs.
+        t = random_codes(300, seed=0)
+        q = np.concatenate([random_codes(30, seed=1), t[-200:]])
+        sc = Scoring()
+        left = extend_alignment(t, q, sc, direction="left")
+        right = extend_alignment(t[::-1].copy(), q[::-1].copy(), sc, direction="right")
+        assert left.score == right.score
+        assert left.t_used == right.t_used
+        assert left.q_used == right.q_used
+
+    def test_path_produced(self):
+        t = encode("ACGTACGT")
+        res = extend_alignment(t, t.copy(), Scoring(match=2), path=True)
+        assert str(res.cigar) == "8M"
+
+    def test_left_path_reversed(self):
+        t = encode("TTACGTACGT")
+        q = encode("ACGTACGT")
+        res = extend_alignment(t, q, Scoring(match=2, mismatch=4), direction="left", path=True)
+        # Aligning from the right ends: all 8 query bases match.
+        assert res.score == 16
+        assert res.cigar.query_span == 8
+
+    def test_zdrop_propagates(self):
+        t = np.concatenate([random_codes(150, seed=2), random_codes(600, seed=3)])
+        q = np.concatenate([t[:150], random_codes(600, seed=4)])
+        res = extend_alignment(t, q, Scoring(), zdrop=40)
+        assert res.zdropped
+
+    def test_bad_direction_raises(self):
+        t = encode("ACGT")
+        with pytest.raises(AlignmentError):
+            extend_alignment(t, t, direction="up")
+
+    def test_custom_engine(self):
+        t = encode("ACGTACGT")
+        res = extend_alignment(t, t.copy(), Scoring(match=2), engine=align_manymap)
+        assert res.score == 16
+
+    def test_hopeless_extension_scores_zero(self):
+        t = encode("AAAA")
+        q = encode("TTTT")
+        res = extend_alignment(t, q, Scoring(match=1, mismatch=10, q=5, e=5))
+        assert res.score == 0
+        assert res.t_used == 0 and res.q_used == 0

@@ -1,0 +1,109 @@
+"""Tests for scoring parameters and CIGAR handling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlignmentError
+from repro.align.cigar import Cigar
+from repro.align.scoring import MAP_ONT, MAP_PB, SIMPLE, Scoring
+from repro.seq.alphabet import encode
+
+
+class TestScoring:
+    def test_presets_valid(self):
+        assert MAP_PB.mismatch == 5
+        assert MAP_ONT.mismatch == 4
+        assert SIMPLE.match == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"match": 0}, {"mismatch": -1}, {"e": 0}, {"q": -2}, {"zdrop": 0}],
+    )
+    def test_invalid_raises(self, kwargs):
+        with pytest.raises(AlignmentError):
+            Scoring(**kwargs)
+
+    def test_matrix_shape_and_values(self):
+        m = Scoring(match=2, mismatch=4).matrix()
+        assert m.shape == (5, 5)
+        assert m[0, 0] == 2 and m[0, 1] == -4
+        assert (m[4, :] == -1).all() and (m[:, 4] == -1).all()
+
+    def test_gap_cost(self):
+        sc = Scoring(q=4, e=2)
+        assert sc.gap_cost(0) == 0
+        assert sc.gap_cost(1) == 6
+        assert sc.gap_cost(5) == 14
+
+    def test_gap_cost_negative_raises(self):
+        with pytest.raises(AlignmentError):
+            Scoring().gap_cost(-1)
+
+    def test_fits_int8(self):
+        assert MAP_PB.fits_int8()
+        assert not Scoring(match=100, mismatch=20, q=5, e=5).fits_int8()
+
+
+class TestCigar:
+    def test_string_roundtrip(self):
+        c = Cigar.from_string("10M2I3D1M")
+        assert str(c) == "10M2I3D1M"
+        assert len(c) == 4
+
+    def test_malformed_raises(self):
+        with pytest.raises(AlignmentError):
+            Cigar.from_string("10M2Q")
+
+    def test_zero_length_raises(self):
+        with pytest.raises(AlignmentError):
+            Cigar([(0, "M")])
+
+    def test_from_ops_rle(self):
+        c = Cigar.from_ops("MMMIID")
+        assert str(c) == "3M2I1D"
+
+    def test_spans(self):
+        c = Cigar.from_string("5M2I3D")
+        assert c.query_span == 7
+        assert c.target_span == 8
+        assert c.n_gap_bases == 5
+        assert c.n_gap_opens == 2
+
+    def test_merged(self):
+        c = Cigar([(2, "M"), (3, "M"), (1, "I")])
+        assert str(c.merged()) == "5M1I"
+
+    def test_score_matches_manual(self):
+        sc = Scoring(match=2, mismatch=4, q=4, e=2)
+        t = encode("ACGTT")
+        q = encode("ACGAT")  # one mismatch at position 3
+        c = Cigar.from_string("5M")
+        assert c.score(t, q, sc) == 4 * 2 - 4
+
+    def test_score_with_gaps(self):
+        sc = Scoring(match=2, mismatch=4, q=4, e=2)
+        t = encode("ACGT")
+        q = encode("AT")
+        c = Cigar.from_string("1M2D1M")
+        assert c.score(t, q, sc) == 2 + 2 - (4 + 2 * 2)
+
+    def test_score_overrun_raises(self):
+        sc = Scoring()
+        with pytest.raises(AlignmentError):
+            Cigar.from_string("10M").score(encode("ACGT"), encode("ACGT"), sc)
+
+    def test_score_partial_coverage_raises(self):
+        sc = Scoring()
+        with pytest.raises(AlignmentError):
+            Cigar.from_string("2M").score(encode("ACGT"), encode("ACGT"), sc)
+
+    def test_identity(self):
+        t = encode("ACGT")
+        q = encode("AGGT")
+        assert Cigar.from_string("4M").identity(t, q) == 0.75
+
+    def test_identity_with_gap_columns(self):
+        t = encode("ACGT")
+        q = encode("AT")
+        c = Cigar.from_string("1M2D1M")
+        assert c.identity(t, q) == 0.5

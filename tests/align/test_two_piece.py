@@ -1,0 +1,147 @@
+"""Tests for two-piece affine gap alignment (minimap2's real model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.dp_reference import align_reference
+from repro.align.scoring import Scoring
+from repro.align.two_piece import (
+    MAP_PB_2P,
+    TwoPieceScoring,
+    align_two_piece,
+    score_cigar_two_piece,
+)
+from repro.errors import AlignmentError
+from repro.seq.alphabet import encode, random_codes
+
+NEGINF = -(10**9)
+
+
+def brute_two_piece(t, q, sc, mode="global"):
+    """Explicit five-matrix DP, the independent oracle."""
+    m, n = len(t), len(q)
+    mat = sc.matrix()
+    H = [[NEGINF] * (n + 1) for _ in range(m + 1)]
+    E = [[NEGINF] * (n + 1) for _ in range(m + 1)]
+    E2 = [[NEGINF] * (n + 1) for _ in range(m + 1)]
+    F = [[NEGINF] * (n + 1) for _ in range(m + 1)]
+    F2 = [[NEGINF] * (n + 1) for _ in range(m + 1)]
+    H[0][0] = 0
+    for i in range(1, m + 1):
+        H[i][0] = -sc.gap_cost(i)
+    for j in range(1, n + 1):
+        H[0][j] = -sc.gap_cost(j)
+    best = NEGINF
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            E[i][j] = max(H[i - 1][j] - sc.q, E[i - 1][j]) - sc.e
+            E2[i][j] = max(H[i - 1][j] - sc.q2, E2[i - 1][j]) - sc.e2
+            F[i][j] = max(H[i][j - 1] - sc.q, F[i][j - 1]) - sc.e
+            F2[i][j] = max(H[i][j - 1] - sc.q2, F2[i][j - 1]) - sc.e2
+            H[i][j] = max(
+                H[i - 1][j - 1] + int(mat[t[i - 1], q[j - 1]]),
+                E[i][j], E2[i][j], F[i][j], F2[i][j],
+            )
+            best = max(best, H[i][j])
+    return H[m][n] if mode == "global" else best
+
+
+dna_codes = st.integers(1, 30).flatmap(
+    lambda k: st.lists(st.integers(0, 3), min_size=k, max_size=k)
+)
+
+
+class TestScoringModel:
+    def test_defaults_valid(self):
+        TwoPieceScoring()
+        assert MAP_PB_2P.q2 == 24
+
+    def test_slope_order_enforced(self):
+        with pytest.raises(AlignmentError):
+            TwoPieceScoring(e=1, e2=2)
+        with pytest.raises(AlignmentError):
+            TwoPieceScoring(q=10, q2=5, e=2, e2=1)
+
+    def test_gap_cost_piecewise(self):
+        sc = TwoPieceScoring(q=4, e=2, q2=24, e2=1)
+        assert sc.gap_cost(1) == 6  # piece 1
+        assert sc.gap_cost(100) == 124  # piece 2
+        assert sc.crossover_length == 20
+        assert sc.gap_cost(sc.crossover_length) == min(
+            4 + 2 * 20, 24 + 1 * 20
+        )
+
+    def test_one_piece_view(self):
+        assert TwoPieceScoring().one_piece.q == 4
+
+
+class TestAlignment:
+    @given(dna_codes, dna_codes, st.sampled_from(["global", "extend"]))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_bruteforce(self, tl, ql, mode):
+        t = np.array(tl, dtype=np.uint8)
+        q = np.array(ql, dtype=np.uint8)
+        sc = TwoPieceScoring(q=3, e=3, q2=10, e2=1)
+        assert align_two_piece(t, q, sc, mode=mode).score == brute_two_piece(
+            t, q, sc, mode
+        )
+
+    @given(dna_codes, dna_codes)
+    @settings(max_examples=30, deadline=None)
+    def test_paths_rescore(self, tl, ql):
+        t = np.array(tl, dtype=np.uint8)
+        q = np.array(ql, dtype=np.uint8)
+        sc = TwoPieceScoring(q=3, e=3, q2=10, e2=1)
+        res = align_two_piece(t, q, sc, mode="global", path=True)
+        assert score_cigar_two_piece(res.cigar, t, q, sc) == res.score
+
+    def test_long_gap_cheaper_than_one_piece(self):
+        """The whole point: a 100-base deletion is affordable."""
+        t = np.concatenate([random_codes(50, seed=1), random_codes(100, seed=2),
+                            random_codes(50, seed=3)])
+        q = np.concatenate([t[:50], t[150:]])
+        sc2 = TwoPieceScoring(match=2, mismatch=5, q=4, e=2, q2=24, e2=1)
+        two = align_two_piece(t, q, sc2).score
+        one = align_reference(t, q, sc2.one_piece).score
+        # one-piece pays 4 + 200, two-piece only 24 + 100.
+        assert two == 100 * 2 - (24 + 100)
+        assert two > one
+
+    def test_short_gap_uses_first_piece(self):
+        t = encode("ACGTACGTAC")
+        q = encode("ACGTCGTAC")  # 1-base deletion
+        sc2 = TwoPieceScoring(match=2, mismatch=5, q=4, e=2, q2=24, e2=1)
+        assert align_two_piece(t, q, sc2).score == 18 - 6
+
+    def test_long_deletion_cigar_exact(self):
+        t = np.concatenate([random_codes(40, seed=4), random_codes(60, seed=5),
+                            random_codes(40, seed=6)])
+        q = np.concatenate([t[:40], t[100:]])
+        res = align_two_piece(t, q, MAP_PB_2P, path=True)
+        assert str(res.cigar) == "40M60D40M"
+
+    def test_empty_sequences(self):
+        sc = TwoPieceScoring()
+        empty = np.empty(0, dtype=np.uint8)
+        t = random_codes(30, seed=7)
+        assert align_two_piece(empty, empty, sc).score == 0
+        assert align_two_piece(t, empty, sc).score == -sc.gap_cost(30)
+        res = align_two_piece(empty, t, sc, path=True)
+        assert str(res.cigar) == "30I"
+
+    def test_bad_mode_raises(self):
+        t = encode("ACGT")
+        with pytest.raises(AlignmentError):
+            align_two_piece(t, t, mode="diagonal")
+
+    def test_reduces_to_one_piece_when_pieces_agree(self):
+        """With q2,e2 never cheaper, results equal the one-piece oracle."""
+        rng = np.random.default_rng(8)
+        sc2 = TwoPieceScoring(q=2, e=2, q2=1000, e2=1)
+        sc1 = Scoring(match=2, mismatch=4, q=2, e=2)
+        for _ in range(10):
+            t = random_codes(int(rng.integers(1, 40)), rng)
+            q = random_codes(int(rng.integers(1, 40)), rng)
+            # q2 so large piece 2 never wins at these lengths
+            assert align_two_piece(t, q, sc2).score == align_reference(t, q, sc1).score

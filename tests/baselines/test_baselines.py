@@ -1,0 +1,154 @@
+"""Tests for the comparator aligners and accuracy evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BASELINES, make_baseline
+from repro.baselines.registry import OurAligner
+from repro.errors import ReproError
+from repro.eval.accuracy import evaluate_accuracy
+from repro.eval.report import render_table
+from repro.eval.resources import measure_ram, peak_rss_bytes
+from repro.seq.records import SeqRecord
+from repro.sim.lengths import LengthModel
+from repro.sim.pbsim import ReadSimulator
+
+
+@pytest.fixture(scope="module")
+def pb_reads(small_genome):
+    sim = ReadSimulator.preset(small_genome, "pacbio")
+    sim.length_model = LengthModel(mean=1200.0, sigma=0.25, max_length=2200)
+    return sim.simulate(10, seed=21)
+
+
+def _accuracy(tool, genome, reads):
+    tool.build(genome)
+    results = tool.map_all(reads)
+    return evaluate_accuracy(list(reads), results)
+
+
+class TestRegistry:
+    def test_all_present(self):
+        assert set(BASELINES) == {
+            "manymap", "minimap2", "minialign", "Kart", "BLASR", "NGMLR", "BWA-MEM",
+        }
+
+    def test_unknown_raises(self):
+        with pytest.raises(ReproError):
+            make_baseline("bowtie")
+
+    def test_map_before_build_raises(self):
+        tool = make_baseline("minialign")
+        with pytest.raises(RuntimeError):
+            tool.map_all([])
+
+
+@pytest.mark.parametrize("name", ["manymap", "minimap2", "minialign", "Kart"])
+class TestFastBaselines:
+    def test_maps_most_reads_correctly(self, name, small_genome, pb_reads):
+        rep = _accuracy(make_baseline(name), small_genome, pb_reads)
+        assert rep.n_aligned >= 7
+        assert rep.sensitivity >= 0.6
+
+    def test_index_bytes_recorded(self, name, small_genome):
+        tool = make_baseline(name)
+        tool.build(small_genome)
+        assert tool.resources.index_bytes > 0
+
+
+class TestSlowBaselines:
+    """BLASR / NGMLR / BWA-MEM run on a reduced read set (they do full DP)."""
+
+    def test_blasr_accurate(self, small_genome, pb_reads):
+        rep = _accuracy(make_baseline("BLASR"), small_genome, list(pb_reads)[:4])
+        assert rep.sensitivity >= 0.7
+
+    def test_blasr_index_denser_than_minimap(self, small_genome):
+        blasr = make_baseline("BLASR")
+        blasr.build(small_genome)
+        ours = make_baseline("manymap")
+        ours.build(small_genome)
+        assert blasr.resources.index_bytes > 2 * ours.resources.index_bytes
+
+    def test_ngmlr_maps(self, small_genome, pb_reads):
+        rep = _accuracy(make_baseline("NGMLR"), small_genome, list(pb_reads)[:3])
+        assert rep.n_aligned >= 2
+
+    def test_bwamem_runs_and_counts_cells(self, small_genome, pb_reads):
+        tool = make_baseline("BWA-MEM")
+        tool.build(small_genome)
+        tool.map_all(list(pb_reads)[:2])
+        assert tool.work_cells > 0
+
+    def test_bwamem_seeding_sparser_on_noisy_reads(self, small_genome, pb_reads):
+        """Exact 19-mers barely survive 13% error — the BWA-MEM failure mode."""
+        from repro.chain.anchors import collect_anchors
+
+        bwa = make_baseline("BWA-MEM")
+        bwa.build(small_genome)
+        ours = make_baseline("manymap")
+        ours.build(small_genome)
+        read = pb_reads[0]
+        n_bwa = collect_anchors(read.codes, bwa.index, as_arrays=True)[0].size
+        n_ours = collect_anchors(read.codes, ours.aligner.index, as_arrays=True)[0].size
+        # Normalize by index density: BWA indexes ~w times more positions.
+        assert n_bwa < n_ours * 3
+
+
+class TestEngineParityTable5:
+    def test_manymap_equals_minimap2_results(self, small_genome, pb_reads):
+        """Table 5: same error rate because identical alignments."""
+        ours = make_baseline("manymap")
+        mm2 = make_baseline("minimap2")
+        ours.build(small_genome)
+        mm2.build(small_genome)
+        for read in list(pb_reads)[:4]:
+            a = ours.map_read(read)
+            b = mm2.map_read(read)
+            assert [(x.tstart, x.tend, x.score) for x in a] == [
+                (x.tstart, x.tend, x.score) for x in b
+            ]
+
+
+class TestAccuracyEval:
+    def test_counts(self, small_genome, pb_reads):
+        tool = OurAligner()
+        rep = _accuracy(tool, small_genome, pb_reads)
+        assert rep.n_reads == len(pb_reads)
+        assert rep.n_aligned == rep.n_correct + rep.n_wrong
+        assert 0.0 <= rep.error_rate <= 1.0
+        assert "error_rate" in rep.render()
+
+    def test_length_mismatch_raises(self, pb_reads):
+        with pytest.raises(ValueError):
+            evaluate_accuracy(list(pb_reads), [])
+
+    def test_missing_truth_raises(self):
+        read = SeqRecord("x", np.zeros(10, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            evaluate_accuracy([read], [[]])
+
+    def test_unmapped_not_wrong(self, pb_reads):
+        rep = evaluate_accuracy(list(pb_reads), [[] for _ in pb_reads])
+        assert rep.n_aligned == 0 and rep.error_rate == 0.0
+
+
+class TestResources:
+    def test_peak_rss_positive(self):
+        assert peak_rss_bytes() > 1 << 20
+
+    def test_measure_ram_tracks_alloc(self):
+        with measure_ram() as stats:
+            blob = np.zeros(4 << 20, dtype=np.uint8)
+            del blob
+        assert stats["peak"] >= 4 << 20
+
+
+class TestRenderTable:
+    def test_basic(self):
+        out = render_table(["tool", "time"], [["x", 1.5], ["y", 2.0]], title="T")
+        assert "tool" in out and "1.50" in out
+
+    def test_bad_row_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])

@@ -1,0 +1,191 @@
+"""Tests for anchor collection, chaining DP, and chain selection."""
+
+import numpy as np
+import pytest
+
+from repro.chain.anchors import Anchor, collect_anchors
+from repro.chain.chain import Chain, ChainParams, chain_anchors
+from repro.chain.select import estimate_mapq, select_chains
+from repro.errors import ChainError
+from repro.index.index import build_index
+from repro.seq.alphabet import revcomp_codes
+from repro.sim.errors import CLEAN, PACBIO_CLR, apply_errors
+
+
+@pytest.fixture(scope="module")
+def indexed(small_genome):
+    return build_index(small_genome, k=15, w=10)
+
+
+def _read_from(genome, start, length, strand=1, profile=CLEAN, seed=0):
+    codes = genome.fetch("chr1", start, start + length)
+    if strand < 0:
+        codes = revcomp_codes(codes)
+    read, _ = apply_errors(codes, profile, seed=seed)
+    return read
+
+
+class TestCollectAnchors:
+    def test_exact_read_produces_colinear_anchors(self, small_genome, indexed):
+        read = _read_from(small_genome, 5000, 2000)
+        rid, tpos, qpos, strand = collect_anchors(read, indexed, as_arrays=True)
+        assert rid.size > 50
+        fwd = strand == 0
+        # Diagonal (tpos - qpos) of true matches is constant at 5000.
+        diags = tpos[fwd] - qpos[fwd]
+        assert (diags == 5000).mean() > 0.8
+
+    def test_reverse_read_flipped_coordinates(self, small_genome, indexed):
+        read = _read_from(small_genome, 8000, 1500, strand=-1)
+        rid, tpos, qpos, strand = collect_anchors(read, indexed, as_arrays=True)
+        rev = strand == 1
+        assert rev.sum() > 30
+        diags = tpos[rev] - qpos[rev]
+        assert (diags == 8000).mean() > 0.5
+
+    def test_sorted_output(self, small_genome, indexed):
+        read = _read_from(small_genome, 2000, 3000, profile=PACBIO_CLR)
+        rid, tpos, qpos, strand = collect_anchors(read, indexed, as_arrays=True)
+        order = np.lexsort((qpos, tpos, strand, rid))
+        assert (order == np.arange(rid.size)).all()
+
+    def test_object_api(self, small_genome, indexed):
+        read = _read_from(small_genome, 100, 600)
+        anchors = collect_anchors(read, indexed)
+        assert anchors and isinstance(anchors[0], Anchor)
+
+    def test_no_anchors_for_foreign_sequence(self, indexed, rng):
+        foreign = rng.integers(0, 4, size=500).astype(np.uint8)
+        anchors = collect_anchors(foreign, indexed)
+        assert len(anchors) <= 2  # chance collisions only
+
+
+class TestChainParams:
+    def test_invalid(self):
+        with pytest.raises(ChainError):
+            ChainParams(k=0)
+        with pytest.raises(ChainError):
+            ChainParams(max_dist_t=0)
+
+
+class TestChainDP:
+    def test_perfect_diagonal_chains_fully(self):
+        n = 50
+        tpos = np.arange(100, 100 + 20 * n, 20, dtype=np.int64)
+        qpos = np.arange(0, 20 * n, 20, dtype=np.int64)
+        rid = np.zeros(n, dtype=np.int64)
+        strand = np.zeros(n, dtype=np.int64)
+        chains = chain_anchors(rid, tpos, qpos, strand)
+        assert len(chains) == 1
+        assert chains[0].n_anchors == n
+        assert chains[0].score > 40
+
+    def test_two_diagonals_two_chains(self):
+        n = 30
+        t1 = np.arange(0, 20 * n, 20)
+        q1 = np.arange(0, 20 * n, 20)
+        t2 = np.arange(30000, 30000 + 20 * n, 20)
+        q2 = np.arange(0, 20 * n, 20)
+        tpos = np.concatenate([t1, t2]).astype(np.int64)
+        qpos = np.concatenate([q1, q2]).astype(np.int64)
+        rid = np.zeros(2 * n, dtype=np.int64)
+        strand = np.zeros(2 * n, dtype=np.int64)
+        order = np.lexsort((qpos, tpos, strand, rid))
+        chains = chain_anchors(rid[order], tpos[order], qpos[order], strand[order])
+        assert len(chains) == 2
+
+    def test_bandwidth_splits_offdiagonal(self):
+        # Second half jumps 2000 off-diagonal: more than the bandwidth.
+        t1 = np.arange(0, 400, 20)
+        q1 = np.arange(0, 400, 20)
+        t2 = np.arange(3000, 3400, 20)
+        q2 = np.arange(400, 800, 20)
+        tpos = np.concatenate([t1, t2]).astype(np.int64)
+        qpos = np.concatenate([q1, q2]).astype(np.int64)
+        rid = np.zeros(tpos.size, dtype=np.int64)
+        strand = np.zeros(tpos.size, dtype=np.int64)
+        params = ChainParams(bandwidth=500, min_score=20, min_count=3)
+        chains = chain_anchors(rid, tpos, qpos, strand, params)
+        assert len(chains) == 2
+
+    def test_strands_never_mix(self):
+        n = 20
+        tpos = np.tile(np.arange(0, 20 * n, 20), 2).astype(np.int64)
+        qpos = np.tile(np.arange(0, 20 * n, 20), 2).astype(np.int64)
+        rid = np.zeros(2 * n, dtype=np.int64)
+        strand = np.repeat([0, 1], n).astype(np.int64)
+        order = np.lexsort((qpos, tpos, strand, rid))
+        chains = chain_anchors(rid[order], tpos[order], qpos[order], strand[order])
+        assert len(chains) == 2
+        assert {c.strand for c in chains} == {0, 1}
+
+    def test_min_count_filters(self):
+        tpos = np.array([0, 20], dtype=np.int64)
+        qpos = np.array([0, 20], dtype=np.int64)
+        rid = np.zeros(2, dtype=np.int64)
+        strand = np.zeros(2, dtype=np.int64)
+        chains = chain_anchors(rid, tpos, qpos, strand, ChainParams(min_score=1))
+        assert chains == []
+
+    def test_empty_input(self):
+        z = np.empty(0, dtype=np.int64)
+        assert chain_anchors(z, z, z, z) == []
+
+    def test_unsorted_raises(self):
+        tpos = np.array([100, 0], dtype=np.int64)
+        qpos = np.array([0, 20], dtype=np.int64)
+        z = np.zeros(2, dtype=np.int64)
+        with pytest.raises(ChainError):
+            chain_anchors(z, tpos, qpos, z)
+
+    def test_mismatched_lengths_raise(self):
+        z = np.zeros(3, dtype=np.int64)
+        with pytest.raises(ChainError):
+            chain_anchors(z, z[:2], z, z)
+
+    def test_anchors_monotone_within_chain(self, small_genome, indexed):
+        read = _read_from(small_genome, 10_000, 4000, profile=PACBIO_CLR, seed=3)
+        arrays = collect_anchors(read, indexed, as_arrays=True)
+        chains = chain_anchors(*arrays)
+        assert chains
+        for c in chains:
+            ts = [a[0] for a in c.anchors]
+            qs = [a[1] for a in c.anchors]
+            assert ts == sorted(ts) and qs == sorted(qs)
+
+
+class TestSelect:
+    def _chain(self, score, q0, q1, strand=0):
+        return Chain(rid=0, strand=strand, score=score, anchors=[(q0, q0), (q1, q1)])
+
+    def test_non_overlapping_both_primary(self):
+        a = self._chain(100, 0, 500)
+        b = self._chain(80, 1000, 1500)
+        primary, secondary = select_chains([a, b])
+        assert len(primary) == 2 and not secondary
+
+    def test_overlapping_best_wins(self):
+        a = self._chain(100, 0, 500)
+        b = self._chain(80, 100, 600)
+        primary, secondary = select_chains([a, b])
+        assert primary == [a]
+        assert secondary == [b]
+
+    def test_bad_mask_level_raises(self):
+        with pytest.raises(ValueError):
+            select_chains([], mask_level=2.0)
+
+    def test_mapq_high_when_unique(self):
+        c = Chain(rid=0, strand=0, score=500, anchors=[(i, i) for i in range(20)])
+        assert estimate_mapq(c, []) == 60
+
+    def test_mapq_zero_when_tied(self):
+        a = Chain(rid=0, strand=0, score=500, anchors=[(i, i) for i in range(20)])
+        b = Chain(rid=1, strand=0, score=500, anchors=[(i, i) for i in range(20)])
+        assert estimate_mapq(a, [b]) == 0
+
+    def test_mapq_monotone_in_gap(self):
+        a = Chain(rid=0, strand=0, score=500, anchors=[(i, i) for i in range(20)])
+        weaker = Chain(rid=1, strand=0, score=100, anchors=[(i, i) for i in range(20)])
+        stronger = Chain(rid=1, strand=0, score=450, anchors=[(i, i) for i in range(20)])
+        assert estimate_mapq(a, [weaker]) > estimate_mapq(a, [stronger])

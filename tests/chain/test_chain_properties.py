@@ -1,0 +1,85 @@
+"""Property-based tests for the chaining DP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chain.chain import ChainParams, chain_anchors
+
+PARAMS = ChainParams(k=10, min_score=15, min_count=2, bandwidth=200)
+
+
+def make_sorted(rid, tpos, qpos, strand):
+    order = np.lexsort((qpos, tpos, strand, rid))
+    return rid[order], tpos[order], qpos[order], strand[order]
+
+
+anchor_sets = st.integers(2, 40).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.integers(0, 1), min_size=n, max_size=n),  # rid
+        st.lists(st.integers(0, 3000), min_size=n, max_size=n),  # tpos
+        st.lists(st.integers(0, 3000), min_size=n, max_size=n),  # qpos
+        st.lists(st.integers(0, 1), min_size=n, max_size=n),  # strand
+    )
+)
+
+
+class TestChainProperties:
+    @given(anchor_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_chains_are_strictly_colinear(self, data):
+        rid, tpos, qpos, strand = (np.array(x, dtype=np.int64) for x in data)
+        chains = chain_anchors(*make_sorted(rid, tpos, qpos, strand), PARAMS)
+        for c in chains:
+            ts = [a[0] for a in c.anchors]
+            qs = [a[1] for a in c.anchors]
+            assert all(b > a for a, b in zip(ts, ts[1:]))
+            assert all(b > a for a, b in zip(qs, qs[1:]))
+
+    @given(anchor_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_no_anchor_reuse(self, data):
+        rid, tpos, qpos, strand = (np.array(x, dtype=np.int64) for x in data)
+        chains = chain_anchors(*make_sorted(rid, tpos, qpos, strand), PARAMS)
+        seen = set()
+        for c in chains:
+            for a in c.anchors:
+                key = (c.rid, c.strand, a)
+                assert key not in seen
+                seen.add(key)
+
+    @given(anchor_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_gap_bounds_respected(self, data):
+        rid, tpos, qpos, strand = (np.array(x, dtype=np.int64) for x in data)
+        chains = chain_anchors(*make_sorted(rid, tpos, qpos, strand), PARAMS)
+        for c in chains:
+            for (t1, q1), (t2, q2) in zip(c.anchors, c.anchors[1:]):
+                assert t2 - t1 <= PARAMS.max_dist_t
+                assert q2 - q1 <= PARAMS.max_dist_q
+                assert abs((t2 - t1) - (q2 - q1)) <= PARAMS.bandwidth
+
+    @given(anchor_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_scores_bounded_by_perfect_chain(self, data):
+        """No chain scores above k per anchor (the match credit cap)."""
+        rid, tpos, qpos, strand = (np.array(x, dtype=np.int64) for x in data)
+        chains = chain_anchors(*make_sorted(rid, tpos, qpos, strand), PARAMS)
+        for c in chains:
+            assert c.score <= PARAMS.k * c.n_anchors + 1e-9
+            assert c.score >= PARAMS.min_score
+
+    @given(st.integers(3, 30), st.integers(10, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_perfect_diagonal_always_one_chain(self, n, step):
+        """With anchor spacing >= k, skipping an anchor always loses
+        match credit, so the optimal chain is unique and complete.
+        (Below k, equal-score chainings exist and ties may split.)
+        """
+        tpos = np.arange(0, n * step, step, dtype=np.int64)
+        qpos = tpos.copy()
+        z = np.zeros(n, dtype=np.int64)
+        chains = chain_anchors(z, tpos, qpos, z, PARAMS)
+        if step <= PARAMS.max_dist_t:
+            assert len(chains) == 1
+            assert chains[0].n_anchors == n

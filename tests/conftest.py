@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.seq.genome import GenomeSpec, generate_genome
+
+
+@pytest.fixture(scope="session")
+def small_genome():
+    """A 60 kbp single-chromosome genome used across integration tests."""
+    return generate_genome(GenomeSpec(length=60_000, chromosomes=1), seed=11)
+
+
+@pytest.fixture(scope="session")
+def multi_genome():
+    """A 120 kbp three-chromosome genome with repeats."""
+    return generate_genome(
+        GenomeSpec(length=120_000, chromosomes=3, repeat_fraction=0.15), seed=7
+    )
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,155 @@
+"""End-to-end tests for the Aligner (seed–chain–extend pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.align.scoring import MAP_PB
+from repro.core.aligner import Aligner, MappingPlan
+from repro.core.presets import get_preset
+from repro.errors import AlignmentError, ReproError
+from repro.index.index import build_index
+from repro.seq.alphabet import revcomp_codes
+from repro.seq.records import SeqRecord
+from repro.sim.errors import CLEAN, PACBIO_CLR
+from repro.sim.lengths import LengthModel
+from repro.sim.pbsim import ReadSimulator, simulate_reads
+
+
+@pytest.fixture(scope="module")
+def aligner(small_genome):
+    return Aligner(small_genome, preset="test", engine="manymap")
+
+
+@pytest.fixture(scope="module")
+def pb_reads(small_genome):
+    sim = ReadSimulator.preset(small_genome, "pacbio")
+    sim.length_model = LengthModel(mean=1500.0, sigma=0.3, max_length=3000)
+    return sim.simulate(12, seed=42)
+
+
+class TestMapping:
+    def test_maps_to_true_origin(self, aligner, pb_reads):
+        correct = 0
+        for read in pb_reads:
+            alns = aligner.map_read(read)
+            truth = read.meta["truth"]
+            if alns and alns[0].overlaps_truth(truth.chrom, truth.start, truth.end):
+                correct += 1
+        assert correct >= 11  # >90% of noisy PacBio reads map correctly
+
+    def test_strand_recovered(self, aligner, small_genome):
+        sim = ReadSimulator.preset(small_genome, "pacbio")
+        sim.length_model = LengthModel(mean=1200.0, sigma=0.2, max_length=2500)
+        reads = sim.simulate(10, seed=7)
+        for read in reads:
+            alns = aligner.map_read(read, with_cigar=False)
+            if not alns:
+                continue
+            assert alns[0].strand == read.meta["truth"].strand
+
+    def test_clean_read_full_identity(self, aligner, small_genome):
+        codes = small_genome.fetch("chr1", 3000, 4500)
+        read = SeqRecord("clean", codes.copy())
+        alns = aligner.map_read(read)
+        assert alns
+        a = alns[0]
+        assert a.tstart == 3000 and a.tend == 4500
+        assert a.qstart == 0 and a.qend == 1500
+        assert a.identity == 1.0
+        assert str(a.cigar) == "1500M"
+        assert a.score == 1500 * MAP_PB.match
+
+    def test_cigar_spans_match_intervals(self, aligner, pb_reads):
+        for read in pb_reads:
+            for a in aligner.map_read(read):
+                assert a.cigar.query_span == a.qend - a.qstart
+                assert a.cigar.target_span == a.tend - a.tstart
+
+    def test_reverse_strand_coordinates(self, aligner, small_genome):
+        codes = revcomp_codes(small_genome.fetch("chr1", 10_000, 11_000))
+        read = SeqRecord("rc", codes.copy())
+        alns = aligner.map_read(read)
+        assert alns
+        a = alns[0]
+        assert a.strand == -1
+        assert a.tstart == 10_000 and a.tend == 11_000
+        assert a.qstart == 0 and a.qend == 1000
+
+    def test_unmappable_read_returns_empty(self, aligner, rng):
+        junk = SeqRecord("junk", rng.integers(0, 4, 800).astype(np.uint8))
+        assert aligner.map_read(junk) == []
+
+    def test_without_cigar(self, aligner, small_genome):
+        codes = small_genome.fetch("chr1", 2000, 3000)
+        alns = aligner.map_read(SeqRecord("x", codes.copy()), with_cigar=False)
+        assert alns and alns[0].cigar is None
+
+    def test_map_batch(self, aligner, pb_reads):
+        batch = aligner.map_batch(list(pb_reads)[:3])
+        assert len(batch) == 3
+
+    def test_mapq_positive_for_unique_hits(self, aligner, small_genome):
+        codes = small_genome.fetch("chr1", 20_000, 22_000)
+        alns = aligner.map_read(SeqRecord("u", codes.copy()))
+        assert alns[0].mapq >= 30
+
+
+class TestPhases:
+    def test_seed_and_chain_plan(self, aligner, small_genome):
+        codes = small_genome.fetch("chr1", 5000, 6500)
+        plan = aligner.seed_and_chain(SeqRecord("p", codes.copy()))
+        assert isinstance(plan, MappingPlan)
+        assert plan.mapped
+        assert plan.primary[0].rid == 0
+
+    def test_align_plan_equals_map_read(self, aligner, pb_reads):
+        read = pb_reads[0]
+        plan = aligner.seed_and_chain(read)
+        a1 = aligner.align_plan(read, plan)
+        a2 = aligner.map_read(read)
+        assert [(x.tstart, x.tend, x.score) for x in a1] == [
+            (x.tstart, x.tend, x.score) for x in a2
+        ]
+
+    def test_empty_plan(self, aligner, rng):
+        junk = SeqRecord("j", rng.integers(0, 4, 500).astype(np.uint8))
+        plan = aligner.seed_and_chain(junk)
+        assert not plan.mapped
+        assert aligner.align_plan(junk, plan) == []
+
+
+class TestEngineEquivalenceEndToEnd:
+    """manymap and mm2 engines must produce identical alignments (§5.3.3)."""
+
+    def test_identical_alignments(self, small_genome, pb_reads):
+        a_mm2 = Aligner(small_genome, preset="test", engine="mm2")
+        a_many = Aligner(small_genome, preset="test", engine="manymap")
+        for read in list(pb_reads)[:5]:
+            r1 = a_mm2.map_read(read)
+            r2 = a_many.map_read(read)
+            assert [(x.tstart, x.tend, x.score, str(x.cigar)) for x in r1] == [
+                (x.tstart, x.tend, x.score, str(x.cigar)) for x in r2
+            ]
+
+
+class TestConstruction:
+    def test_reuse_index(self, small_genome):
+        preset = get_preset("test")
+        idx = build_index(small_genome, k=preset.k, w=preset.w)
+        al = Aligner(small_genome, preset="test", index=idx)
+        assert al.index is idx
+
+    def test_mismatched_index_raises(self, small_genome):
+        idx = build_index(small_genome, k=11, w=3)
+        with pytest.raises(AlignmentError):
+            Aligner(small_genome, preset="test", index=idx)
+
+    def test_unknown_preset_raises(self, small_genome):
+        with pytest.raises(ReproError):
+            Aligner(small_genome, preset="map-zx")
+
+    def test_multi_chromosome(self, multi_genome):
+        al = Aligner(multi_genome, preset="test")
+        codes = multi_genome.chromosomes[2].codes[1000:2200]
+        alns = al.map_read(SeqRecord("m", codes.copy()))
+        assert alns and alns[0].tname == multi_genome.names[2]

@@ -1,0 +1,184 @@
+"""Tests for PAF/SAM output, presets, profiling, and the batch driver."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.align.cigar import Cigar
+from repro.core.alignment import Alignment, sam_header, to_paf, to_sam
+from repro.core.aligner import Aligner
+from repro.core.driver import BatchDriver
+from repro.core.presets import PRESETS, get_preset
+from repro.core.profiling import STAGES, PipelineProfile
+from repro.errors import ReproError
+from repro.index.store import save_index
+from repro.seq.records import ReadSet, SeqRecord
+from repro.sim.pbsim import ReadSimulator
+from repro.sim.lengths import LengthModel
+
+
+def make_aln(**kw):
+    base = dict(
+        qname="r1",
+        qlen=100,
+        qstart=5,
+        qend=95,
+        strand=1,
+        tname="chr1",
+        tlen=1000,
+        tstart=200,
+        tend=290,
+        n_match=85,
+        block_len=92,
+        mapq=60,
+        score=150,
+        cigar=Cigar.from_string("90M"),
+    )
+    base.update(kw)
+    return Alignment(**base)
+
+
+class TestPaf:
+    def test_fields(self):
+        line = to_paf(make_aln())
+        f = line.split("\t")
+        assert f[:12] == [
+            "r1", "100", "5", "95", "+", "chr1", "1000", "200", "290", "85", "92", "60",
+        ]
+        assert "tp:A:P" in f and "AS:i:150" in f and "cg:Z:90M" in f
+
+    def test_reverse_strand_sign(self):
+        assert to_paf(make_aln(strand=-1)).split("\t")[4] == "-"
+
+    def test_secondary_tag(self):
+        assert "tp:A:S" in to_paf(make_aln(is_primary=False))
+
+    def test_no_cigar(self):
+        assert "cg:Z" not in to_paf(make_aln(cigar=None))
+
+    def test_identity(self):
+        assert make_aln().identity == pytest.approx(85 / 92)
+
+
+class TestSam:
+    def test_header(self):
+        h = sam_header(["chr1", "chr2"], [100, 200])
+        assert "@SQ\tSN:chr1\tLN:100" in h
+        assert h.startswith("@HD")
+
+    def test_forward_line(self):
+        read = SeqRecord.from_str("r1", "A" * 100)
+        f = to_sam(make_aln(), read).split("\t")
+        assert f[1] == "0"
+        assert f[3] == "201"  # 1-based
+        assert f[5] == "5S90M5S"
+        assert len(f[9]) == 100
+
+    def test_reverse_flag_and_seq(self):
+        read = SeqRecord.from_str("r1", "ACGT" * 25)
+        f = to_sam(make_aln(strand=-1), read).split("\t")
+        assert int(f[1]) & 16
+        # Sequence emitted reverse-complemented.
+        assert f[9] == "ACGT" * 25  # ACGT is its own revcomp pattern here
+
+    def test_secondary_flag(self):
+        read = SeqRecord.from_str("r1", "A" * 100)
+        f = to_sam(make_aln(is_primary=False), read).split("\t")
+        assert int(f[1]) & 256
+
+    def test_clip_symmetry_reverse(self):
+        read = SeqRecord.from_str("r1", "A" * 100)
+        f = to_sam(make_aln(strand=-1), read).split("\t")
+        # qstart=5 on original orientation becomes the trailing clip.
+        assert f[5] == "5S90M5S"  # symmetric here; both clips 5
+
+
+class TestProfile:
+    def test_stage_accumulation(self):
+        p = PipelineProfile(label="x")
+        p.add("Align", 3.0)
+        p.add("Seed & Chain", 1.0)
+        assert p.total == 4.0
+        assert p.percentage("Align") == 75.0
+
+    def test_unknown_stage_raises(self):
+        with pytest.raises(ValueError):
+            PipelineProfile().add("Fly", 1.0)
+        with pytest.raises(ValueError):
+            with PipelineProfile().stage("Fly"):
+                pass
+
+    def test_rows_in_canonical_order(self):
+        p = PipelineProfile()
+        p.add("Output", 1.0)
+        p.add("Load Index", 2.0)
+        assert [r[0] for r in p.rows()] == STAGES
+
+    def test_render_and_compare(self):
+        p1 = PipelineProfile(label="CPU")
+        p1.add("Align", 2.0)
+        p2 = PipelineProfile(label="KNL")
+        p2.add("Align", 6.0)
+        out = PipelineProfile.compare({"CPU": p1, "KNL": p2})
+        assert "Align" in out and "CPU" in out
+
+
+class TestPresets:
+    def test_known_presets(self):
+        assert set(PRESETS) >= {"map-pb", "map-ont", "test"}
+        assert get_preset("map-pb").scoring.mismatch == 5
+
+    def test_unknown_raises(self):
+        with pytest.raises(ReproError):
+            get_preset("map-hifi")
+
+    def test_with_overrides(self):
+        p = get_preset("map-pb").with_overrides(k=13)
+        assert p.k == 13 and get_preset("map-pb").k == 15
+
+
+class TestDriver:
+    @pytest.fixture(scope="class")
+    def reads(self, small_genome):
+        sim = ReadSimulator.preset(small_genome, "pacbio")
+        sim.length_model = LengthModel(mean=800.0, sigma=0.2, max_length=1500)
+        return sim.simulate(4, seed=5)
+
+    def test_run_and_stage_times(self, small_genome, reads):
+        driver = BatchDriver(Aligner(small_genome, preset="test"))
+        out = io.StringIO()
+        results = driver.run(reads, output=out)
+        assert len(results) == 4
+        assert driver.n_mapped(results) >= 3
+        assert driver.profile.seconds("Align") > 0
+        assert driver.profile.seconds("Seed & Chain") > 0
+        assert out.getvalue().count("\n") >= 3
+
+    def test_align_dominates_runtime(self, small_genome, reads):
+        """The paper's profiling premise: Align is the bottleneck stage."""
+        driver = BatchDriver(Aligner(small_genome, preset="test"))
+        driver.run(reads)
+        p = driver.profile
+        assert p.seconds("Align") > p.seconds("Seed & Chain")
+
+    def test_from_index_file(self, small_genome, reads, tmp_path):
+        preset = get_preset("test")
+        from repro.index.index import build_index
+
+        idx = build_index(small_genome, k=preset.k, w=preset.w)
+        path = tmp_path / "ref.mmi"
+        save_index(idx, path)
+        for mode in ("buffered", "mmap"):
+            driver = BatchDriver.from_index_file(
+                small_genome, path, load_mode=mode, preset="test"
+            )
+            assert driver.profile.seconds("Load Index") > 0
+            results = driver.run(list(reads)[:2])
+            assert len(results) == 2
+
+    def test_load_reads_from_readset(self, small_genome, reads):
+        driver = BatchDriver(Aligner(small_genome, preset="test"))
+        rs = driver.load_reads(reads)
+        assert isinstance(rs, ReadSet)
+        assert driver.profile.seconds("Load Query") >= 0

@@ -1,0 +1,60 @@
+"""Tests for the platform projection (Figure 11 as a library)."""
+
+import pytest
+
+from repro.core.platform import PlatformProjection
+from repro.core.profiling import STAGES, PipelineProfile
+
+
+def paper_cpu_profile() -> PipelineProfile:
+    """The paper's own Table 2 CPU column, as input."""
+    p = PipelineProfile(label="CPU minimap2")
+    p.add("Load Index", 4.71)
+    p.add("Load Query", 0.43)
+    p.add("Seed & Chain", 35.79)
+    p.add("Align", 79.22)
+    p.add("Output", 0.93)
+    return p
+
+
+class TestProjection:
+    def test_five_configurations(self):
+        out = PlatformProjection().project(paper_cpu_profile())
+        assert set(out) == {"CPU mm2", "CPU many", "KNL mm2", "KNL many", "GPU many"}
+
+    def test_paper_table2_reproduces_paper_speedups(self):
+        """Feeding the paper's own CPU column yields ~1.4x / ~2.3x."""
+        out = PlatformProjection().project(paper_cpu_profile())
+        sp_cpu = out["CPU mm2"].total / out["CPU many"].total
+        sp_knl = out["KNL mm2"].total / out["KNL many"].total
+        assert 1.3 <= sp_cpu <= 1.6  # paper: 1.4
+        assert 2.0 <= sp_knl <= 2.6  # paper: 2.3
+
+    def test_gpu_marginally_beats_cpu_manymap(self):
+        out = PlatformProjection().project(paper_cpu_profile())
+        assert out["GPU many"].total < out["CPU many"].total
+        assert out["GPU many"].total > 0.7 * out["CPU many"].total
+
+    def test_input_profile_not_mutated(self):
+        src = paper_cpu_profile()
+        before = dict(src.timer.stages)
+        PlatformProjection().project(src)
+        assert src.timer.stages == before
+
+    def test_kernel_ratios_sane(self):
+        proj = PlatformProjection()
+        assert 2.5 <= proj.kernel_ratio_cpu() <= 4.0
+        assert 2.5 <= proj.kernel_ratio_knl() <= 4.0
+
+    def test_mmap_halves_index_load(self):
+        out = PlatformProjection().project(paper_cpu_profile())
+        assert out["CPU many"].seconds("Load Index") == pytest.approx(4.71 / 2)
+
+    def test_knl_io_stages_slow_then_halved(self):
+        out = PlatformProjection().project(paper_cpu_profile())
+        knl_mm2 = out["KNL mm2"]
+        knl_many = out["KNL many"]
+        assert knl_mm2.seconds("Load Index") > 4.71  # slower than CPU
+        assert knl_many.seconds("Load Index") == pytest.approx(
+            knl_mm2.seconds("Load Index") / 2
+        )

@@ -1,0 +1,139 @@
+"""Tests for =/X CIGARs, MD tags, and NM distances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.cigar import Cigar
+from repro.align.dp_reference import align_reference
+from repro.align.scoring import Scoring
+from repro.core.tags import cigar_eqx, md_tag, nm_distance
+from repro.errors import AlignmentError
+from repro.seq.alphabet import encode, random_codes
+from repro.seq.mutate import MutationSpec, mutate_codes
+
+
+class TestEqx:
+    def test_all_match(self):
+        t = encode("ACGT")
+        c = cigar_eqx(Cigar.from_string("4M"), t, t.copy())
+        assert str(c) == "4="
+
+    def test_mixed(self):
+        t = encode("ACGTA")
+        q = encode("ACCTA")
+        c = cigar_eqx(Cigar.from_string("5M"), t, q)
+        assert str(c) == "2=1X2="
+
+    def test_gaps_passthrough(self):
+        t = encode("ACGTAC")
+        q = encode("ACAC")
+        c = cigar_eqx(Cigar.from_string("2M2D2M"), t, q)
+        assert str(c) == "2=2D2="
+
+    def test_overrun_raises(self):
+        t = encode("AC")
+        with pytest.raises(AlignmentError):
+            cigar_eqx(Cigar.from_string("5M"), t, t)
+
+    def test_partial_coverage_raises(self):
+        t = encode("ACGT")
+        with pytest.raises(AlignmentError):
+            cigar_eqx(Cigar.from_string("2M"), t, t)
+
+    @given(st.integers(2, 80), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_eqx_spans_preserved(self, m, seed):
+        t = random_codes(m, seed=seed)
+        q, _ = mutate_codes(
+            t, MutationSpec(sub_rate=0.1, ins_rate=0.05, del_rate=0.05),
+            seed=seed + 1,
+        )
+        if q.size == 0:
+            return
+        res = align_reference(t, q, Scoring(), path=True)
+        eqx = cigar_eqx(res.cigar, t, q)
+        assert eqx.query_span == res.cigar.query_span
+        assert eqx.target_span == res.cigar.target_span
+        # Only = runs where bases equal; X runs where they differ.
+        assert "M" not in str(eqx)
+
+
+class TestNm:
+    def test_exact(self):
+        t = encode("ACGTA")
+        q = encode("ACCTA")
+        assert nm_distance(Cigar.from_string("5M"), t, q) == 1
+
+    def test_gaps_counted(self):
+        t = encode("ACGTAC")
+        q = encode("ACAC")
+        assert nm_distance(Cigar.from_string("2M2D2M"), t, q) == 2
+
+    @given(st.integers(2, 60), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_nm_lower_bounds_edit_structure(self, m, seed):
+        t = random_codes(m, seed=seed)
+        q, _ = mutate_codes(
+            t, MutationSpec(sub_rate=0.08, ins_rate=0.04, del_rate=0.04),
+            seed=seed + 1,
+        )
+        if q.size == 0:
+            return
+        res = align_reference(t, q, Scoring(), path=True)
+        nm = nm_distance(res.cigar, t, q)
+        assert nm >= abs(t.size - q.size)  # length change needs >= that many edits
+
+
+class TestMd:
+    def test_perfect(self):
+        t = encode("ACGT")
+        assert md_tag(Cigar.from_string("4M"), t, t.copy()) == "4"
+
+    def test_mismatch(self):
+        t = encode("ACGTA")
+        q = encode("ACCTA")
+        assert md_tag(Cigar.from_string("5M"), t, q) == "2G2"
+
+    def test_deletion(self):
+        t = encode("ACGTAC")
+        q = encode("ACAC")
+        assert md_tag(Cigar.from_string("2M2D2M"), t, q) == "2^GT2"
+
+    def test_insertion_invisible(self):
+        t = encode("ACAC")
+        q = encode("ACGTAC")
+        assert md_tag(Cigar.from_string("2M2I2M"), t, q) == "4"
+
+    def test_leading_mismatch_keeps_zero(self):
+        t = encode("ACGT")
+        q = encode("TCGT")
+        assert md_tag(Cigar.from_string("4M"), t, q) == "0A3"
+
+    @given(st.integers(2, 60), st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_md_reference_bases_reconstruct(self, m, seed):
+        """MD + query reconstructs the aligned reference (spec property)."""
+        import re
+
+        t = random_codes(m, seed=seed)
+        q, _ = mutate_codes(
+            t, MutationSpec(sub_rate=0.1, ins_rate=0.05, del_rate=0.05),
+            seed=seed + 1,
+        )
+        if q.size == 0:
+            return
+        res = align_reference(t, q, Scoring(), path=True)
+        md = md_tag(res.cigar, t, q)
+        # Total reference length described by MD == target span minus
+        # nothing (matches + mismatch letters + deletion runs).
+        tokens = re.findall(r"(\d+)|\^([ACGTN]+)|([ACGTN])", md)
+        covered = 0
+        for num, dele, sub in tokens:
+            if num:
+                covered += int(num)
+            elif dele:
+                covered += len(dele)
+            else:
+                covered += 1
+        assert covered == res.cigar.target_span

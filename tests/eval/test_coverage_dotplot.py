@@ -1,0 +1,104 @@
+"""Tests for coverage statistics and ASCII dotplots."""
+
+import numpy as np
+import pytest
+
+from repro.align.cigar import Cigar
+from repro.core.alignment import Alignment
+from repro.eval.coverage import coverage_stats, depth_vector
+from repro.eval.dotplot import chain_dotplot, dotplot
+from repro.chain.chain import Chain
+
+
+def aln(tstart, tend, name="chr1", primary=True):
+    return Alignment(
+        qname="r", qlen=tend - tstart, qstart=0, qend=tend - tstart, strand=1,
+        tname=name, tlen=1000, tstart=tstart, tend=tend,
+        n_match=tend - tstart, block_len=tend - tstart, mapq=60, score=10,
+    )
+
+
+class TestCoverage:
+    def test_single_alignment(self):
+        depth = depth_vector([aln(10, 20)], "chr1", 100)
+        assert depth[9] == 0 and depth[10] == 1 and depth[19] == 1 and depth[20] == 0
+
+    def test_overlap_stacks(self):
+        depth = depth_vector([aln(0, 50), aln(25, 75)], "chr1", 100)
+        assert depth[30] == 2
+        assert depth[10] == 1 and depth[60] == 1
+
+    def test_secondary_and_other_refs_ignored(self):
+        secondary = aln(0, 50)
+        secondary.is_primary = False
+        other = aln(0, 50, name="chr2")
+        depth = depth_vector([secondary, other], "chr1", 100)
+        assert depth.max() == 0
+
+    def test_clamps_out_of_range(self):
+        a = aln(900, 1200)
+        depth = depth_vector([a], "chr1", 1000)
+        assert depth[950] == 1 and depth.size == 1000
+
+    def test_stats(self):
+        stats = coverage_stats([aln(0, 50)], ["chr1"], [100])
+        s = stats[0]
+        assert s.mean_depth == pytest.approx(0.5)
+        assert s.max_depth == 1
+        assert s.covered_fraction == pytest.approx(0.5)
+        assert "chr1" in s.render()
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            depth_vector([], "chr1", 0)
+        with pytest.raises(ValueError):
+            coverage_stats([], ["a"], [1, 2])
+
+    def test_simulated_coverage_close_to_expected(self, small_genome):
+        from repro.core.aligner import Aligner
+        from repro.sim.lengths import LengthModel
+        from repro.sim.pbsim import ReadSimulator
+
+        sim = ReadSimulator.preset(small_genome, "pacbio")
+        sim.length_model = LengthModel(mean=1200.0, sigma=0.2, max_length=2000)
+        reads = sim.simulate(30, seed=81)
+        al = Aligner(small_genome, preset="test")
+        alns = [a for r in reads for a in al.map_read(r, with_cigar=False)]
+        stats = coverage_stats(
+            alns, small_genome.names, [len(c) for c in small_genome]
+        )[0]
+        expected = reads.total_bases / small_genome.total_length
+        assert abs(stats.mean_depth - expected) / expected < 0.25
+
+
+class TestDotplot:
+    def test_forward_diagonal(self):
+        t = np.arange(0, 1000, 10)
+        q = np.arange(0, 1000, 10)
+        out = dotplot(t, q, width=20, height=10)
+        assert "." in out and "x" not in out
+
+    def test_reverse_marked(self):
+        t = np.arange(0, 100, 5)
+        q = np.arange(0, 100, 5)
+        out = dotplot(t, q, strand=np.ones(t.size), width=20, height=10)
+        assert "x" in out and "." not in out.replace("..", "")
+
+    def test_mixed_cell_star(self):
+        t = np.array([0, 0])
+        q = np.array([0, 0])
+        out = dotplot(t, q, strand=np.array([0, 1]), width=5, height=5)
+        assert "*" in out
+
+    def test_empty(self):
+        assert dotplot(np.empty(0), np.empty(0)) == "(no anchors)"
+
+    def test_small_grid_raises(self):
+        with pytest.raises(ValueError):
+            dotplot(np.array([1]), np.array([1]), width=1, height=1)
+
+    def test_chain_dotplot(self):
+        chain = Chain(rid=0, strand=0, score=100,
+                      anchors=[(i * 10, i * 10) for i in range(20)])
+        out = chain_dotplot(chain, width=30, height=12)
+        assert out.count("\n") == 13

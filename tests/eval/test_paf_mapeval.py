@@ -1,0 +1,121 @@
+"""Tests for PAF parsing and the mapeval accuracy curve."""
+
+import pytest
+
+from repro.core.alignment import Alignment, to_paf
+from repro.errors import ParseError
+from repro.eval.paf import MapevalRow, mapeval, parse_paf, parse_paf_line
+from repro.align.cigar import Cigar
+
+
+def make_aln(name="r1", mapq=60, tstart=100, tend=200, primary=True):
+    return Alignment(
+        qname=name, qlen=120, qstart=0, qend=100, strand=1,
+        tname="chr1", tlen=1000, tstart=tstart, tend=tend,
+        n_match=95, block_len=100, mapq=mapq, score=180,
+        cigar=Cigar.from_string("100M"), is_primary=primary,
+    )
+
+
+class TestParse:
+    def test_roundtrip(self):
+        a = make_aln()
+        b = parse_paf_line(to_paf(a))
+        assert (b.qname, b.qlen, b.qstart, b.qend) == (a.qname, a.qlen, a.qstart, a.qend)
+        assert (b.tname, b.tstart, b.tend, b.mapq) == (a.tname, a.tstart, a.tend, a.mapq)
+        assert b.score == a.score
+        assert str(b.cigar) == str(a.cigar)
+        assert b.is_primary == a.is_primary
+
+    def test_reverse_strand(self):
+        a = make_aln()
+        a.strand = -1
+        assert parse_paf_line(to_paf(a)).strand == -1
+
+    def test_secondary_tag(self):
+        a = make_aln(primary=False)
+        assert not parse_paf_line(to_paf(a)).is_primary
+
+    def test_too_few_fields_raises(self):
+        with pytest.raises(ParseError):
+            parse_paf_line("a\tb\tc")
+
+    def test_bad_strand_raises(self):
+        line = to_paf(make_aln()).split("\t")
+        line[4] = "?"
+        with pytest.raises(ParseError):
+            parse_paf_line("\t".join(line))
+
+    def test_non_numeric_raises(self):
+        line = to_paf(make_aln()).split("\t")
+        line[1] = "xyz"
+        with pytest.raises(ParseError):
+            parse_paf_line("\t".join(line))
+
+    def test_parse_stream_skips_blanks(self):
+        text = to_paf(make_aln()) + "\n\n" + to_paf(make_aln(name="r2")) + "\n"
+        alns = parse_paf(text.splitlines())
+        assert [a.qname for a in alns] == ["r1", "r2"]
+
+
+class TestMapeval:
+    def _truths(self):
+        return {
+            "good60": ("chr1", 100, 200),
+            "good30": ("chr1", 400, 500),
+            "bad30": ("chr2", 0, 100),  # aligned to the wrong chromosome
+            "good10": ("chr1", 700, 800),
+        }
+
+    def _alns(self):
+        return [
+            make_aln("good60", mapq=60, tstart=100, tend=200),
+            make_aln("good30", mapq=30, tstart=400, tend=500),
+            make_aln("bad30", mapq=30, tstart=100, tend=200),
+            make_aln("good10", mapq=10, tstart=700, tend=800),
+        ]
+
+    def test_curve(self):
+        rows = mapeval(self._alns(), self._truths(), n_reads=5)
+        assert [r.mapq for r in rows] == [60, 30, 10]
+        assert rows[0].cum_error_rate == 0.0
+        assert rows[1].n_mapped == 3 and rows[1].n_wrong == 1
+        assert rows[1].cum_error_rate == pytest.approx(1 / 3)
+        assert rows[2].cum_mapped_frac == pytest.approx(4 / 5)
+
+    def test_error_rate_monotone_pattern(self):
+        """Higher MAPQ thresholds must not have higher error rates here."""
+        rows = mapeval(self._alns(), self._truths(), n_reads=5)
+        assert rows[0].cum_error_rate <= rows[-1].cum_error_rate + 1e-12
+
+    def test_secondary_ignored(self):
+        alns = self._alns() + [make_aln("good60", mapq=0, primary=False, tstart=900, tend=950)]
+        rows = mapeval(alns, self._truths(), n_reads=5)
+        assert rows[-1].n_mapped == 4
+
+    def test_missing_truth_raises(self):
+        with pytest.raises(ValueError):
+            mapeval([make_aln("mystery")], {}, n_reads=1)
+
+    def test_bad_n_reads(self):
+        with pytest.raises(ValueError):
+            mapeval([], {}, n_reads=0)
+
+    def test_end_to_end_curve(self, small_genome):
+        from repro.core.aligner import Aligner
+        from repro.sim.lengths import LengthModel
+        from repro.sim.pbsim import ReadSimulator
+
+        sim = ReadSimulator.preset(small_genome, "pacbio")
+        sim.length_model = LengthModel(mean=900.0, sigma=0.25, max_length=1600)
+        reads = sim.simulate(10, seed=61)
+        al = Aligner(small_genome, preset="test")
+        alns = [a for r in reads for a in al.map_read(r, with_cigar=False)]
+        truths = {
+            r.name: (r.meta["truth"].chrom, r.meta["truth"].start, r.meta["truth"].end)
+            for r in reads
+        }
+        rows = mapeval(alns, truths, n_reads=len(reads))
+        assert rows
+        assert rows[-1].cum_mapped_frac >= 0.8
+        assert rows[0].cum_error_rate <= 0.2

@@ -1,0 +1,82 @@
+"""Tests for SAM parsing and the SAM↔Alignment round trip."""
+
+import pytest
+
+from repro.core.aligner import Aligner
+from repro.core.alignment import sam_header, to_sam
+from repro.errors import ParseError
+from repro.eval.sam import parse_sam, parse_sam_line
+from repro.seq.records import SeqRecord
+from repro.sim.lengths import LengthModel
+from repro.sim.pbsim import ReadSimulator
+
+
+class TestParseLine:
+    LINE = "r1\t0\tchr1\t101\t60\t5S90M5S\t*\t0\t0\t" + "A" * 100 + "\t*\tAS:i:150\tNM:i:7"
+
+    def test_fields(self):
+        rec = parse_sam_line(self.LINE)
+        assert rec.qname == "r1"
+        assert rec.pos == 101 and rec.mapq == 60
+        assert str(rec.cigar) == "5S90M5S"
+        assert rec.tags["AS"] == 150 and rec.tags["NM"] == 7
+        assert not rec.is_reverse and not rec.is_secondary
+
+    def test_flags(self):
+        rec = parse_sam_line(self.LINE.replace("\t0\t", "\t272\t", 1))
+        assert rec.is_reverse and rec.is_secondary
+
+    def test_header_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sam_line("@HD\tVN:1.6")
+
+    def test_short_line_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sam_line("a\tb\tc")
+
+    def test_star_cigar(self):
+        rec = parse_sam_line(self.LINE.replace("5S90M5S", "*"))
+        assert rec.cigar is None
+        with pytest.raises(ParseError):
+            rec.to_alignment()
+
+    def test_to_alignment_forward(self):
+        a = parse_sam_line(self.LINE).to_alignment(tlen=1000)
+        assert (a.qstart, a.qend, a.qlen) == (5, 95, 100)
+        assert (a.tstart, a.tend) == (100, 190)
+        assert a.n_match == 90 - 7
+
+    def test_to_alignment_reverse_clips_flip(self):
+        line = self.LINE.replace("\t0\t", "\t16\t", 1).replace("5S90M5S", "3S90M7S")
+        a = parse_sam_line(line).to_alignment()
+        # leading clip (3) is the END of the original read.
+        assert (a.qstart, a.qend) == (7, 97)
+        assert a.strand == -1
+
+
+class TestStream:
+    def test_header_and_records(self):
+        text = (
+            sam_header(["chr1"], [500])
+            + "\nr1\t0\tchr1\t1\t60\t10M\t*\t0\t0\tACGTACGTAC\t*\n"
+        )
+        refs, records = parse_sam(text.splitlines())
+        assert refs == {"chr1": 500}
+        assert len(records) == 1
+
+
+class TestRoundTrip:
+    def test_sam_roundtrip_through_aligner(self, small_genome):
+        sim = ReadSimulator.preset(small_genome, "pacbio")
+        sim.length_model = LengthModel(mean=900.0, sigma=0.25, max_length=1500)
+        reads = sim.simulate(5, seed=91)
+        aligner = Aligner(small_genome, preset="test")
+        for read in reads:
+            for orig in aligner.map_read(read):
+                line = to_sam(orig, read)
+                back = parse_sam_line(line).to_alignment(tlen=orig.tlen)
+                assert back.qname == orig.qname
+                assert (back.tstart, back.tend) == (orig.tstart, orig.tend)
+                assert (back.qstart, back.qend) == (orig.qstart, orig.qend)
+                assert back.strand == orig.strand
+                assert back.score == orig.score

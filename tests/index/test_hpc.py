@@ -1,0 +1,118 @@
+"""Tests for homopolymer-compressed seeding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.hpc import hpc_compress, run_end_positions
+from repro.index.index import build_index
+from repro.index.minimizer import extract_minimizers
+from repro.index.store import load_index, save_index
+from repro.seq.alphabet import encode, random_codes, revcomp_codes
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=150)
+
+
+class TestCompress:
+    def test_basic(self):
+        comp, pos = hpc_compress(encode("AAACCGTTT"))
+        assert (comp == encode("ACGT")).all()
+        assert pos.tolist() == [0, 3, 5, 6]
+
+    def test_no_runs_identity(self):
+        codes = encode("ACGTACGT")
+        comp, pos = hpc_compress(codes)
+        assert (comp == codes).all()
+        assert (pos == np.arange(8)).all()
+
+    def test_empty(self):
+        comp, pos = hpc_compress(np.empty(0, dtype=np.uint8))
+        assert comp.size == 0 and pos.size == 0
+
+    @given(dna)
+    @settings(max_examples=50, deadline=None)
+    def test_no_adjacent_duplicates(self, s):
+        comp, _ = hpc_compress(encode(s))
+        if comp.size > 1:
+            assert (comp[1:] != comp[:-1]).all()
+
+    @given(dna)
+    @settings(max_examples=50, deadline=None)
+    def test_idempotent(self, s):
+        comp, _ = hpc_compress(encode(s))
+        comp2, _ = hpc_compress(comp)
+        assert (comp == comp2).all()
+
+    @given(dna)
+    @settings(max_examples=50, deadline=None)
+    def test_commutes_with_revcomp(self, s):
+        codes = encode(s)
+        a, _ = hpc_compress(revcomp_codes(codes))
+        b = revcomp_codes(hpc_compress(codes)[0])
+        assert (a == b).all()
+
+    def test_run_end_positions(self):
+        codes = encode("AAACCGTTT")
+        comp, pos = hpc_compress(codes)
+        ends = run_end_positions(codes, pos)
+        assert ends.tolist() == [2, 4, 5, 8]
+
+
+class TestHpcMinimizers:
+    def test_indel_in_homopolymer_preserves_minimizers(self):
+        """The raison d'etre: run-length indels do not break HPC seeds."""
+        base = "ACGTTTGACGTCAGATTTCACGGATCGAACTGACGTACGTTGCA" * 3
+        stretched = base.replace("TTT", "TTTTT")
+        v1 = extract_minimizers(encode(base), k=7, w=4, as_arrays=True, hpc=True)[0]
+        v2 = extract_minimizers(encode(stretched), k=7, w=4, as_arrays=True, hpc=True)[0]
+        assert set(v1.tolist()) == set(v2.tolist())
+        # Without HPC, the stretch changes the seed set.
+        u1 = extract_minimizers(encode(base), k=7, w=4, as_arrays=True)[0]
+        u2 = extract_minimizers(encode(stretched), k=7, w=4, as_arrays=True)[0]
+        assert set(u1.tolist()) != set(u2.tolist())
+
+    def test_positions_in_original_coordinates(self):
+        codes = encode("AAAA" + "ACGTCAGTTAGC" * 5)
+        _, pos, _ = extract_minimizers(codes, k=5, w=3, as_arrays=True, hpc=True)
+        assert pos.max() < codes.size
+        assert pos.min() >= 0
+        assert (np.diff(pos) > 0).all()  # still sorted
+
+    def test_index_hpc_roundtrip(self, small_genome, tmp_path):
+        idx = build_index(small_genome, k=15, w=8, hpc=True)
+        assert idx.hpc
+        path = tmp_path / "hpc.mmi"
+        save_index(idx, path)
+        back = load_index(path)
+        assert back.hpc
+
+    def test_hpc_index_smaller(self, small_genome):
+        plain = build_index(small_genome, k=15, w=8)
+        hpc = build_index(small_genome, k=15, w=8, hpc=True)
+        # Compression shortens the sequence, so fewer minimizers.
+        assert hpc.n_minimizers <= plain.n_minimizers
+
+
+class TestHpcAligner:
+    def test_map_pb_hpc_preset(self, small_genome):
+        from repro.core.aligner import Aligner
+        from repro.seq.records import SeqRecord
+
+        al = Aligner(small_genome, preset="map-pb-hpc")
+        assert al.index.hpc
+        codes = small_genome.fetch("chr1", 4000, 6000)
+        alns = al.map_read(SeqRecord("x", codes.copy()))
+        assert alns
+        a = alns[0]
+        assert a.tstart == 4000 and a.tend == 6000
+        assert a.cigar.query_span == a.qend - a.qstart
+
+    def test_mismatched_hpc_index_raises(self, small_genome):
+        from repro.core.aligner import Aligner
+        from repro.core.presets import get_preset
+        from repro.errors import AlignmentError
+
+        preset = get_preset("map-pb-hpc")
+        plain = build_index(small_genome, k=preset.k, w=preset.w, hpc=False)
+        with pytest.raises(AlignmentError):
+            Aligner(small_genome, preset="map-pb-hpc", index=plain)

@@ -1,0 +1,151 @@
+"""Tests for the minimizer index and its binary serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.index import MinimizerIndex, build_index
+from repro.index.minimizer import extract_minimizers
+from repro.index.store import index_file_size, load_index, save_index
+from repro.seq.genome import Genome
+from repro.seq.records import SeqRecord
+
+
+@pytest.fixture(scope="module")
+def index(multi_genome):
+    return build_index(multi_genome, k=13, w=7)
+
+
+class TestBuild:
+    def test_keys_sorted_unique(self, index):
+        assert (np.diff(index.keys.astype(np.int64)) > 0).all() or index.n_keys <= 1
+        assert index.starts.size == index.n_keys + 1
+        assert index.starts[-1] == index.n_minimizers
+
+    def test_all_minimizers_present(self, multi_genome, index):
+        total = 0
+        for rec in multi_genome:
+            vals = extract_minimizers(rec.codes, k=13, w=7, as_arrays=True)[0]
+            total += vals.size
+        assert index.n_minimizers == total
+
+    def test_lookup_finds_source_position(self, multi_genome, index):
+        rec = multi_genome.chromosomes[1]
+        values, positions, strands = extract_minimizers(
+            rec.codes, k=13, w=7, as_arrays=True
+        )
+        # Check the first dozen minimizers are retrievable at their position.
+        found = 0
+        for v, p in zip(values[:12], positions[:12]):
+            rid, pos, _ = index.lookup(int(v))
+            if ((rid == 1) & (pos == p)).any():
+                found += 1
+        # Occurrence filtering may drop repetitive ones, but most survive.
+        assert found >= 8
+
+    def test_lookup_missing_value(self, index):
+        rid, pos, strand = index.lookup(0xDEADBEEF)
+        assert rid.size == 0
+
+    def test_empty_genome_raises(self):
+        with pytest.raises(IndexError_):
+            build_index(Genome([]))
+
+    def test_names_and_lengths(self, multi_genome, index):
+        assert index.names == multi_genome.names
+        assert (index.lengths == [len(c) for c in multi_genome]).all()
+
+    def test_stats(self, index):
+        s = index.stats()
+        assert s["n_sequences"] == 3
+        assert s["n_minimizers"] > 0
+        assert s["bytes"] == index.nbytes
+
+
+class TestOccurrenceFilter:
+    def test_cutoff_monotone(self, index):
+        loose = index.occurrence_cutoff(1e-1)
+        tight = index.occurrence_cutoff(1e-6)
+        assert tight >= loose >= 1
+
+    def test_bad_frac_raises(self, index):
+        with pytest.raises(IndexError_):
+            index.occurrence_cutoff(1.5)
+
+    def test_max_occ_suppresses(self, multi_genome):
+        idx = build_index(multi_genome, k=13, w=7, occ_filter_frac=None)
+        counts = np.diff(idx.starts)
+        heavy = int(np.argmax(counts))
+        value = int(idx.keys[heavy])
+        assert idx.lookup(value)[0].size == counts[heavy]
+        idx.max_occ = int(counts[heavy]) - 1
+        assert idx.lookup(value)[0].size == 0
+
+
+class TestLookupMany:
+    def test_matches_single_lookups(self, index):
+        values = index.keys[:: max(1, index.n_keys // 50)][:40]
+        qidx, rid, pos, strand = index.lookup_many(values)
+        for qi in range(values.size):
+            mask = qidx == qi
+            r1, p1, s1 = index.lookup(int(values[qi]))
+            assert (rid[mask] == r1).all()
+            assert (pos[mask] == p1).all()
+
+    def test_missing_values_yield_nothing(self, index):
+        qidx, rid, pos, strand = index.lookup_many(
+            np.array([1, 2, 3], dtype=np.uint64)
+        )
+        # These hash values are essentially never real minimizers.
+        assert qidx.size == rid.size == pos.size
+
+    def test_empty_input(self, index):
+        qidx, rid, pos, strand = index.lookup_many(np.empty(0, dtype=np.uint64))
+        assert qidx.size == 0
+
+
+class TestStore:
+    def test_roundtrip_buffered(self, index, tmp_path):
+        path = tmp_path / "ref.mmi"
+        written = save_index(index, path)
+        assert written == index_file_size(path)
+        back = load_index(path, mode="buffered")
+        assert back.k == index.k and back.w == index.w
+        assert back.max_occ == index.max_occ
+        assert back.names == index.names
+        assert (back.keys == index.keys).all()
+        assert (back.hit_pos == index.hit_pos).all()
+
+    def test_roundtrip_mmap(self, index, tmp_path):
+        path = tmp_path / "ref.mmi"
+        save_index(index, path)
+        back = load_index(path, mode="mmap")
+        assert isinstance(back.keys, np.memmap)
+        assert (np.asarray(back.keys) == index.keys).all()
+        # mmap-backed index must answer queries identically.
+        v = int(index.keys[index.n_keys // 2])
+        assert (back.lookup(v)[1] == index.lookup(v)[1]).all()
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "junk.mmi"
+        path.write_bytes(b"NOTANIDX" + b"\0" * 100)
+        with pytest.raises(IndexError_):
+            load_index(path)
+
+    def test_bad_mode_raises(self, index, tmp_path):
+        path = tmp_path / "ref.mmi"
+        save_index(index, path)
+        with pytest.raises(IndexError_):
+            load_index(path, mode="turbo")
+
+    def test_alignment_of_data(self, index, tmp_path):
+        """All array offsets are 64-byte aligned (mmap-friendliness)."""
+        import json
+
+        path = tmp_path / "ref.mmi"
+        save_index(index, path)
+        raw = path.read_bytes()
+        hlen = int.from_bytes(raw[8:16], "little")
+        header = json.loads(raw[16 : 16 + hlen])
+        for desc in header["arrays"]:
+            assert desc["offset"] % 64 == 0

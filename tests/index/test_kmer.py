@@ -1,0 +1,91 @@
+"""Tests for k-mer packing, reverse complement, and hashing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SequenceError
+from repro.index.kmer import MAX_K, hash64, pack_kmers, rc_packed, unpack_kmer
+from repro.seq.alphabet import encode, revcomp
+
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=80)
+
+
+class TestPack:
+    def test_single_kmer_value(self):
+        kmers, valid = pack_kmers(encode("ACGT"), 4)
+        # A=00 C=01 G=10 T=11 -> 0b00011011 = 27
+        assert kmers[0] == 27 and valid[0]
+
+    def test_sliding(self):
+        kmers, _ = pack_kmers(encode("ACGTA"), 4)
+        assert kmers.size == 2
+        assert unpack_kmer(kmers[1], 4) == "CGTA"
+
+    def test_ambiguous_masks_window(self):
+        _, valid = pack_kmers(encode("ACGNACG"), 3)
+        # windows covering index 3 ('N') are invalid: windows 1,2,3
+        assert valid.tolist() == [True, False, False, False, True]
+
+    def test_short_input_empty(self):
+        kmers, valid = pack_kmers(encode("AC"), 5)
+        assert kmers.size == 0 and valid.size == 0
+
+    @pytest.mark.parametrize("k", [0, MAX_K + 1])
+    def test_bad_k_raises(self, k):
+        with pytest.raises(SequenceError):
+            pack_kmers(encode("ACGT"), k)
+
+    @given(dna, st.integers(1, 12))
+    @settings(max_examples=50, deadline=None)
+    def test_unpack_roundtrip(self, s, k):
+        if len(s) < k:
+            return
+        kmers, _ = pack_kmers(encode(s), k)
+        for i, km in enumerate(kmers):
+            assert unpack_kmer(int(km), k) == s[i : i + k]
+
+
+class TestRcPacked:
+    @given(dna, st.integers(1, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_string_revcomp(self, s, k):
+        if len(s) < k:
+            return
+        kmers, _ = pack_kmers(encode(s), k)
+        rcs = rc_packed(kmers, k)
+        for i in range(kmers.size):
+            assert unpack_kmer(int(rcs[i]), k) == revcomp(s[i : i + k])
+
+    @given(dna, st.integers(1, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_involution(self, s, k):
+        if len(s) < k:
+            return
+        kmers, _ = pack_kmers(encode(s), k)
+        assert (rc_packed(rc_packed(kmers, k), k) == kmers).all()
+
+
+class TestHash64:
+    def test_deterministic(self):
+        keys = np.arange(100, dtype=np.uint64)
+        assert (hash64(keys, 30) == hash64(keys, 30)).all()
+
+    def test_stays_in_mask(self):
+        keys = np.arange(1000, dtype=np.uint64)
+        assert hash64(keys, 30).max() < (1 << 30)
+
+    def test_injective_on_small_domain(self):
+        # The hash is invertible, so distinct keys must map to distinct values.
+        keys = np.arange(200_000, dtype=np.uint64)
+        out = hash64(keys, 30)
+        assert np.unique(out).size == keys.size
+
+    def test_bad_bits_raises(self):
+        with pytest.raises(SequenceError):
+            hash64(np.zeros(1, np.uint64), 0)
+
+    def test_full_width(self):
+        out = hash64(np.array([2**63], dtype=np.uint64), 64)
+        assert out.dtype == np.uint64

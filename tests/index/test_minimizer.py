@@ -1,0 +1,90 @@
+"""Tests for minimizer extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SequenceError
+from repro.index.kmer import hash64, pack_kmers, rc_packed
+from repro.index.minimizer import extract_minimizers
+from repro.seq.alphabet import encode, random_codes, revcomp_codes
+
+dna = st.text(alphabet="ACGT", min_size=20, max_size=300)
+
+
+def brute_force_minimizers(codes, k, w):
+    """Reference implementation: enumerate every window explicitly."""
+    fwd, valid = pack_kmers(codes, k)
+    if fwd.size == 0:
+        return set()
+    rev = rc_packed(fwd, k)
+    canonical = np.minimum(fwd, rev)
+    sym = fwd == rev
+    h = hash64(canonical, 2 * k)
+    big = np.uint64(0xFFFFFFFFFFFFFFFF)
+    h = np.where(valid & ~sym, h, big)
+    n = h.size
+    out = set()
+    ww = min(w, n)
+    for j in range(max(1, n - ww + 1)):
+        window = h[j : j + ww]
+        m = window.min()
+        if m == big:
+            continue
+        for d in range(ww):
+            if window[d] == m:
+                out.add((int(h[j + d]), j + d + k - 1))
+    return out
+
+
+class TestExtract:
+    @given(dna, st.integers(3, 9), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_bruteforce(self, s, k, w):
+        codes = encode(s)
+        got = extract_minimizers(codes, k=k, w=w)
+        expected = brute_force_minimizers(codes, k, w)
+        assert {(m.value, m.pos) for m in got} == expected
+
+    def test_empty_for_short_input(self):
+        assert extract_minimizers(encode("AC"), k=5, w=3) == []
+
+    def test_bad_window_raises(self):
+        with pytest.raises(SequenceError):
+            extract_minimizers(encode("ACGTACGT"), k=3, w=0)
+
+    def test_density_roughly_2_over_w1(self):
+        # Expected minimizer density is ~2/(w+1) for random sequences.
+        codes = random_codes(200_000, seed=0)
+        k, w = 15, 10
+        mins = extract_minimizers(codes, k=k, w=w, as_arrays=True)
+        density = mins[1].size / codes.size
+        assert abs(density - 2 / (w + 1)) < 0.03
+
+    def test_positions_are_kmer_ends(self):
+        codes = random_codes(1000, seed=1)
+        values, positions, strands = extract_minimizers(codes, k=11, w=5, as_arrays=True)
+        assert positions.min() >= 10
+        assert positions.max() <= 999
+
+    def test_strand_symmetry(self):
+        """Minimizer values are identical on the reverse complement strand."""
+        codes = random_codes(5000, seed=2)
+        fwd = extract_minimizers(codes, k=13, w=7, as_arrays=True)
+        rc = extract_minimizers(revcomp_codes(codes), k=13, w=7, as_arrays=True)
+        assert set(fwd[0].tolist()) == set(rc[0].tolist())
+
+    def test_ambiguous_bases_skipped(self):
+        codes = encode("ACGT" * 10 + "N" * 20 + "TGCA" * 10)
+        values, positions, _ = extract_minimizers(codes, k=5, w=3, as_arrays=True)
+        # No minimizer's k-mer may overlap the N block (positions 40..59).
+        for p in positions:
+            assert p < 40 or p - 4 >= 60
+
+    def test_as_arrays_consistent_with_objects(self):
+        codes = random_codes(2000, seed=3)
+        objs = extract_minimizers(codes, k=9, w=4)
+        arrs = extract_minimizers(codes, k=9, w=4, as_arrays=True)
+        assert [(m.value, m.pos, m.strand) for m in objs] == list(
+            zip(arrs[0].tolist(), arrs[1].tolist(), arrs[2].tolist())
+        )

@@ -1,0 +1,91 @@
+"""Tests for the multi-part index."""
+
+import numpy as np
+import pytest
+
+from repro.chain.anchors import collect_anchors
+from repro.errors import IndexError_
+from repro.index.index import build_index
+from repro.index.multipart import MultipartIndex, build_multipart_index
+from repro.seq.records import SeqRecord
+from repro.sim.errors import PACBIO_CLR, apply_errors
+
+
+@pytest.fixture(scope="module")
+def mono(multi_genome):
+    return build_index(multi_genome, k=13, w=7, occ_filter_frac=None)
+
+
+@pytest.fixture(scope="module")
+def multi(multi_genome):
+    # Force one chromosome per part.
+    return build_multipart_index(
+        multi_genome, k=13, w=7, part_bases=1, occ_filter_frac=None
+    )
+
+
+class TestBuild:
+    def test_parts_split_by_budget(self, multi_genome, multi):
+        assert len(multi.parts) == len(multi_genome)
+        assert multi.rid_offsets == list(range(len(multi_genome)))
+
+    def test_one_part_when_budget_large(self, multi_genome):
+        mp = build_multipart_index(multi_genome, k=13, w=7, part_bases=10**9)
+        assert len(mp.parts) == 1
+
+    def test_names_lengths_global(self, multi_genome, multi, mono):
+        assert multi.names == mono.names
+        assert (multi.lengths == mono.lengths).all()
+
+    def test_total_minimizers_match(self, multi, mono):
+        assert multi.n_minimizers == mono.n_minimizers
+
+    def test_peak_part_smaller_than_total(self, multi):
+        assert multi.peak_part_bytes < multi.nbytes
+
+    def test_bad_part_size(self, multi_genome):
+        with pytest.raises(IndexError_):
+            build_multipart_index(multi_genome, part_bases=0)
+
+    def test_mismatched_parts_rejected(self, multi_genome):
+        a = build_index(multi_genome.chromosomes[:1], k=13, w=7)
+        b = build_index(multi_genome.chromosomes[1:], k=15, w=7)
+        with pytest.raises(IndexError_):
+            MultipartIndex(parts=[a, b], rid_offsets=[0, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(IndexError_):
+            MultipartIndex(parts=[], rid_offsets=[])
+
+
+class TestQuery:
+    def _read(self, genome, rid, start, length, seed=0):
+        codes = genome.chromosomes[rid].codes[start : start + length]
+        read, _ = apply_errors(codes, PACBIO_CLR, seed=seed)
+        return read
+
+    def test_anchors_identical_to_monolithic(self, multi_genome, mono, multi):
+        for rid in range(3):
+            read = self._read(multi_genome, rid, 2000, 1500, seed=rid)
+            a = collect_anchors(read, mono, as_arrays=True)
+            b = collect_anchors(read, multi, as_arrays=True)
+            for x, y in zip(a, b):
+                assert (x == y).all()
+
+    def test_global_rids(self, multi_genome, multi):
+        read = self._read(multi_genome, 2, 1000, 1200, seed=9)
+        rid, tpos, qpos, strand = collect_anchors(read, multi, as_arrays=True)
+        assert rid.size > 0
+        assert (rid == 2).mean() > 0.8
+
+    def test_aligner_over_multipart(self, multi_genome, multi):
+        from repro.core.aligner import Aligner
+        from repro.core.presets import get_preset
+
+        preset = get_preset("test").with_overrides(k=13, w=7)
+        al = Aligner(multi_genome, preset=preset, index=multi)
+        codes = multi_genome.chromosomes[1].codes[3000:4500]
+        alns = al.map_read(SeqRecord("m", codes.copy()))
+        assert alns
+        assert alns[0].tname == multi_genome.names[1]
+        assert alns[0].tstart == 3000

@@ -1,0 +1,70 @@
+"""Property tests for the roofline cost model and figure helpers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.cost import kernel_gcups, working_set_bytes
+from repro.machine.figures import FIGURES, available, fig8_table
+from repro.machine.isa import AVX2, AVX512BW, SSE2
+from repro.machine.kernel_trace import trace_for
+from repro.machine.memory import MemoryLevel, MemorySystem
+
+
+def simple_mem(bw: float) -> MemorySystem:
+    return MemorySystem([MemoryLevel("dram", None, bw)])
+
+
+class TestCostProperties:
+    @given(st.floats(0.5, 4.0), st.floats(1.0, 1000.0), st.integers(100, 100_000))
+    @settings(max_examples=50, deadline=None)
+    def test_gcups_monotone_in_bandwidth(self, freq, bw, ws):
+        trace = trace_for("manymap", "score")
+        lo = kernel_gcups(trace, AVX2, freq, memory=simple_mem(bw),
+                          working_set=ws, units=16)
+        hi = kernel_gcups(trace, AVX2, freq, memory=simple_mem(bw * 2),
+                          working_set=ws, units=16)
+        assert hi >= lo - 1e-12
+
+    @given(st.floats(0.5, 4.0))
+    @settings(max_examples=30, deadline=None)
+    def test_gcups_monotone_in_lanes(self, freq):
+        trace = trace_for("manymap", "score")
+        a = kernel_gcups(trace, SSE2, freq)
+        b = kernel_gcups(trace, AVX2, freq)
+        c = kernel_gcups(trace, AVX512BW, freq)
+        assert a < b < c
+
+    @given(st.floats(0.5, 4.0), st.integers(1, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_units_scale_compute_bound(self, freq, units):
+        trace = trace_for("manymap", "score")
+        single = kernel_gcups(trace, AVX2, freq)
+        multi = kernel_gcups(trace, AVX2, freq, units=units)
+        assert multi == pytest.approx(single * units)
+
+    @given(st.integers(1, 100_000), st.integers(1, 256))
+    @settings(max_examples=40, deadline=None)
+    def test_working_set_linear_in_concurrency(self, length, conc):
+        assert working_set_bytes(length, "score", conc) == conc * working_set_bytes(
+            length, "score", 1
+        )
+
+    def test_memory_cap_is_aggregate(self):
+        """Many units cannot exceed the bandwidth roof collectively."""
+        trace = trace_for("manymap", "score")
+        capped = kernel_gcups(
+            trace, AVX2, 3.0, memory=simple_mem(50.0),
+            working_set=1 << 34, units=1000,
+        )
+        assert capped == pytest.approx(50.0 / 10.0)  # BW / bytes_per_cell
+
+
+class TestFigureHelpers:
+    def test_all_available_render(self):
+        for name in available():
+            text = FIGURES[name]()
+            assert len(text.splitlines()) > 3
+
+    def test_fig8_both_modes(self):
+        assert "score" in fig8_table("score")
+        assert "path" in fig8_table("path")

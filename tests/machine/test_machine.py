@@ -1,0 +1,240 @@
+"""Tests for the hardware models: ISAs, traces, memory, processors.
+
+The key assertions mirror the paper's measured shapes (Figures 5-8):
+these are the model's calibration targets, so regressions here mean
+the reproduction no longer reproduces.
+"""
+
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine.cost import kernel_gcups, working_set_bytes, dram_bytes_per_cell
+from repro.machine.cpu import XEON_GOLD_5115, CpuModel
+from repro.machine.gpu import TESLA_V100, GpuModel
+from repro.machine.isa import AVX2, AVX512BW, GPU_SIMT, ISAS, KNL_AVX2, SSE2, VectorISA
+from repro.machine.kernel_trace import trace_for
+from repro.machine.knl import XEON_PHI_7210, KnlModel
+from repro.machine.memory import GiB, MiB, MemoryLevel, MemorySystem
+
+
+class TestIsa:
+    def test_lanes(self):
+        assert SSE2.lanes == 16
+        assert AVX2.lanes == 32
+        assert AVX512BW.lanes == 64
+        assert GPU_SIMT.lanes == 512
+
+    def test_registry(self):
+        assert set(ISAS) == {"sse2", "avx2", "avx512bw", "knl-avx2", "gpu-simt"}
+
+    def test_invalid_width_raises(self):
+        with pytest.raises(MachineModelError):
+            VectorISA("bad", 100)  # not a multiple of 8
+
+
+class TestTrace:
+    def test_manymap_cheaper_on_every_isa(self):
+        for isa in (SSE2, AVX2, AVX512BW, KNL_AVX2):
+            for mode in ("score", "path"):
+                mm2 = trace_for("mm2", mode).cycles(isa)
+                many = trace_for("manymap", mode).cycles(isa)
+                assert many < mm2, (isa.name, mode)
+
+    def test_unknown_trace_raises(self):
+        with pytest.raises(MachineModelError):
+            trace_for("turbo", "score")
+
+    def test_fig5_ratios(self):
+        """Figure 5 calibration: SSE2 ~1.1x, AVX2 2.2x/1.6x, AVX512 ~1.5x."""
+        def ratio(isa, mode):
+            return trace_for("mm2", mode).cycles(isa) / trace_for(
+                "manymap", mode
+            ).cycles(isa)
+
+        assert 1.05 <= ratio(SSE2, "score") <= 1.2
+        assert 1.05 <= ratio(SSE2, "path") <= 1.2
+        assert 2.0 <= ratio(AVX2, "score") <= 2.4
+        assert 1.45 <= ratio(AVX2, "path") <= 1.75
+        assert 1.35 <= ratio(AVX512BW, "score") <= 1.7
+
+
+class TestMemory:
+    def test_placement_order(self):
+        ms = MemorySystem(
+            [
+                MemoryLevel("l2", 1 * MiB, 1000.0),
+                MemoryLevel("hbm", 16 * GiB, 400.0),
+                MemoryLevel("ddr", None, 90.0),
+            ]
+        )
+        assert ms.placement(1024).name == "l2"
+        assert ms.placement(2 * MiB).name == "hbm"
+        assert ms.placement(32 * GiB).name == "ddr"
+
+    def test_last_level_must_be_unbounded(self):
+        with pytest.raises(MachineModelError):
+            MemorySystem([MemoryLevel("l2", 1 * MiB, 100.0)])
+
+    def test_scatter_bandwidth_fallback(self):
+        lvl = MemoryLevel("x", None, 100.0)
+        assert lvl.bandwidth("scatter") == 100.0
+        lvl2 = MemoryLevel("y", None, 100.0, scatter_gbps=60.0)
+        assert lvl2.bandwidth("scatter") == 60.0
+        with pytest.raises(MachineModelError):
+            lvl.bandwidth("zigzag")
+
+    def test_negative_ws_raises(self):
+        ms = MemorySystem([MemoryLevel("ddr", None, 90.0)])
+        with pytest.raises(MachineModelError):
+            ms.placement(-1)
+
+    def test_level_named(self):
+        ms = MemorySystem([MemoryLevel("ddr", None, 90.0)])
+        assert ms.level_named("ddr").bandwidth_gbps == 90.0
+        with pytest.raises(MachineModelError):
+            ms.level_named("hbm")
+
+
+class TestCost:
+    def test_working_set(self):
+        assert working_set_bytes(1000, "score") == 10_000
+        assert working_set_bytes(32_000, "path") == 2 * 32_000**2  # the 2 GB example
+        assert working_set_bytes(100, "score", concurrent=4) == 4_000
+
+    def test_working_set_invalid(self):
+        with pytest.raises(MachineModelError):
+            working_set_bytes(-1, "score")
+        with pytest.raises(MachineModelError):
+            working_set_bytes(10, "blended")
+
+    def test_gcups_positive_and_memory_capped(self):
+        ms = MemorySystem([MemoryLevel("ddr", None, 10.0)])
+        g = kernel_gcups(
+            trace_for("manymap", "score"), AVX2, 3.0, memory=ms,
+            working_set=1 << 30, mode="score", units=100,
+        )
+        assert g == pytest.approx(10.0 / dram_bytes_per_cell("score"))
+
+    def test_gcups_bad_inputs(self):
+        with pytest.raises(MachineModelError):
+            kernel_gcups(trace_for("manymap", "score"), AVX2, -1.0)
+
+
+class TestCpuModel:
+    def test_fig5_end_to_end_ratios(self):
+        cpu = XEON_GOLD_5115
+        r = cpu.micro_gcups("manymap", AVX2, "score", 4000) / cpu.micro_gcups(
+            "mm2", AVX2, "score", 4000
+        )
+        assert 2.0 <= r <= 2.4
+
+    def test_fig8_cpu_speedup_band(self):
+        """manymap(AVX-512) vs original minimap2(SSE2): 3.3-4.5x (Fig 8a)."""
+        cpu = XEON_GOLD_5115
+        for length in (1000, 4000, 16000):
+            r = cpu.micro_gcups("manymap", AVX512BW, "score", length) / cpu.micro_gcups(
+                "mm2", SSE2, "score", length
+            )
+            assert 3.0 <= r <= 4.6
+
+    def test_thread_bounds(self):
+        with pytest.raises(MachineModelError):
+            XEON_GOLD_5115.micro_gcups("mm2", SSE2, "score", 1000, threads=1000)
+
+    def test_unknown_isa_frequency(self):
+        with pytest.raises(MachineModelError):
+            CpuModel().frequency(GPU_SIMT)
+
+
+class TestKnlModel:
+    def test_fig8_knl_speedup(self):
+        """Direct port vs manymap on KNL: ~3.4x at 8 kbp (Fig 8a)."""
+        knl = XEON_PHI_7210
+        r = knl.micro_gcups("manymap", "score", 8000) / knl.micro_gcups(
+            "mm2", "score", 8000
+        )
+        assert 3.0 <= r <= 3.8
+
+    def test_fig6_score_crossover(self):
+        """MCDRAM pays off only past the cache crossover (~16 kbp)."""
+        flat = XEON_PHI_7210
+        ddr = KnlModel(memory_mode="ddr")
+        short = flat.micro_gcups("manymap", "score", 1000) / ddr.micro_gcups(
+            "manymap", "score", 1000
+        )
+        long_ = flat.micro_gcups("manymap", "score", 32000) / ddr.micro_gcups(
+            "manymap", "score", 32000
+        )
+        assert short == pytest.approx(1.0)
+        assert 4.0 <= long_ <= 6.0  # paper: "up to 5 times speedup"
+
+    def test_fig6_path_mcdram_capacity(self):
+        """Path mode: ~1.8x while fitting in 16 GB, parity once spilled."""
+        flat = XEON_PHI_7210
+        ddr = KnlModel(memory_mode="ddr")
+        fit = flat.micro_gcups("manymap", "path", 4000) / ddr.micro_gcups(
+            "manymap", "path", 4000
+        )
+        spill = flat.micro_gcups("manymap", "path", 16000) / ddr.micro_gcups(
+            "manymap", "path", 16000
+        )
+        assert 1.6 <= fit <= 2.0
+        assert spill == pytest.approx(1.0)
+
+    def test_knl_perf_declines_past_8k(self):
+        knl = XEON_PHI_7210
+        assert knl.micro_gcups("manymap", "score", 16000) < knl.micro_gcups(
+            "manymap", "score", 8000
+        )
+
+    def test_ht_curve_21_percent(self):
+        """§5.3.1: 4 threads/core only ~21% faster than 1 thread/core."""
+        knl = XEON_PHI_7210
+        assert knl.ht_throughput(4) / knl.ht_throughput(1) == pytest.approx(1.21)
+
+    def test_parallel_units_monotone(self):
+        knl = XEON_PHI_7210
+        prev = 0.0
+        for t in (1, 16, 64, 128, 192, 256):
+            u = knl.parallel_units(t)
+            assert u >= prev
+            prev = u
+
+    def test_bad_memory_mode(self):
+        with pytest.raises(MachineModelError):
+            KnlModel(memory_mode="turbo")
+
+
+class TestGpuModel:
+    def test_fig7_stream_speedups(self):
+        gpu = TESLA_V100
+        assert gpu.stream_speedup(64, "score") == 64.0
+        assert gpu.stream_speedup(128, "score") == pytest.approx(90.0, abs=1.0)
+        assert gpu.stream_speedup(128, "path") == pytest.approx(77.4, abs=1.0)
+
+    def test_fig8_gpu_kernel_gap(self):
+        gpu = TESLA_V100
+        r = gpu.micro_gcups("manymap", "score", 4000) / gpu.micro_gcups(
+            "mm2", "score", 4000
+        )
+        assert 3.0 <= r <= 3.6
+
+    def test_score_peak_at_4k(self):
+        """Fig 8a: GPU peaks near 4 kbp, drops when shared memory spills."""
+        gpu = TESLA_V100
+        g1 = gpu.micro_gcups("manymap", "score", 1000)
+        g4 = gpu.micro_gcups("manymap", "score", 4000)
+        g16 = gpu.micro_gcups("manymap", "score", 16000)
+        assert g4 > g1
+        assert g4 > g16
+
+    def test_concurrency_32k_path_is_8(self):
+        """§4.5.2's example: 32 kbp path pairs → 2 GB each → 8 kernels."""
+        assert TESLA_V100.concurrency("path", 32_000) == 8
+
+    def test_concurrency_capped_at_128(self):
+        assert TESLA_V100.concurrency("score", 1000) == 128
+
+    def test_bad_streams(self):
+        with pytest.raises(MachineModelError):
+            TESLA_V100.stream_speedup(0, "score")

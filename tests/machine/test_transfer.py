@@ -1,0 +1,41 @@
+"""Tests for the host-device transfer model."""
+
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine.transfer import PCIE3_X16, TransferModel
+
+
+class TestTransfer:
+    def test_pinned_faster(self):
+        assert PCIE3_X16.seconds(1 << 30, pinned=True) < PCIE3_X16.seconds(
+            1 << 30, pinned=False
+        )
+
+    def test_latency_dominates_small(self):
+        small_pinned = PCIE3_X16.seconds(64, pinned=True)
+        assert small_pinned == pytest.approx(8e-6, rel=0.01)
+
+    def test_bandwidth_dominates_large(self):
+        t = PCIE3_X16.seconds(12 * 10**9, pinned=True)
+        assert t == pytest.approx(1.0, rel=0.01)
+
+    def test_batch_scales_linearly(self):
+        one = PCIE3_X16.seconds(1000)
+        assert PCIE3_X16.batch_seconds(1000, 50) == pytest.approx(50 * one)
+
+    def test_pool_motivation(self):
+        """Few large transfers beat many small ones of equal volume."""
+        many = PCIE3_X16.batch_seconds(10_000, 1000)
+        few = PCIE3_X16.batch_seconds(10_000_000, 1)
+        assert few < many
+
+    def test_invalid_configs(self):
+        with pytest.raises(MachineModelError):
+            TransferModel(pinned_gbps=0)
+        with pytest.raises(MachineModelError):
+            TransferModel(pinned_gbps=5, pageable_gbps=10)
+        with pytest.raises(MachineModelError):
+            PCIE3_X16.seconds(-1)
+        with pytest.raises(MachineModelError):
+            PCIE3_X16.batch_seconds(10, -1)

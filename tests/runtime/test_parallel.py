@@ -1,0 +1,59 @@
+"""Tests for the multi-threaded batch mapper."""
+
+import pytest
+
+from repro.core.aligner import Aligner
+from repro.core.alignment import to_paf
+from repro.errors import SchedulerError
+from repro.runtime.parallel import parallel_map_reads
+from repro.sim.lengths import LengthModel
+from repro.sim.pbsim import ReadSimulator
+
+
+@pytest.fixture(scope="module")
+def setup(small_genome):
+    sim = ReadSimulator.preset(small_genome, "pacbio")
+    sim.length_model = LengthModel(mean=700.0, sigma=0.3, max_length=1400)
+    reads = sim.simulate(8, seed=71)
+    return Aligner(small_genome, preset="test"), list(reads)
+
+
+class TestParallel:
+    def test_results_match_serial(self, setup):
+        aligner, reads = setup
+        serial = [
+            [to_paf(a) for a in aligner.map_read(r, with_cigar=False)]
+            for r in reads
+        ]
+        for threads in (2, 4):
+            par = parallel_map_reads(aligner, reads, threads=threads, with_cigar=False)
+            assert [[to_paf(a) for a in alns] for alns in par] == serial
+
+    def test_order_preserved_despite_longest_first(self, setup):
+        aligner, reads = setup
+        out = parallel_map_reads(aligner, reads, threads=3, with_cigar=False)
+        for read, alns in zip(reads, out):
+            for a in alns:
+                assert a.qname == read.name
+
+    def test_single_thread_path(self, setup):
+        aligner, reads = setup
+        out = parallel_map_reads(aligner, reads[:2], threads=1, with_cigar=False)
+        assert len(out) == 2
+
+    def test_bad_threads_raises(self, setup):
+        aligner, reads = setup
+        with pytest.raises(SchedulerError):
+            parallel_map_reads(aligner, reads, threads=0)
+
+    def test_empty_input(self, setup):
+        aligner, _ = setup
+        assert parallel_map_reads(aligner, [], threads=4) == []
+
+    def test_exception_propagates(self, setup):
+        aligner, reads = setup
+        bad = reads[0]
+        bad2 = type(bad)("broken", bad.codes)
+        bad2.codes = "not an array"  # will blow up inside map_read
+        with pytest.raises(Exception):
+            parallel_map_reads(aligner, [bad2] * 3, threads=2)

@@ -1,0 +1,65 @@
+"""Property-based tests for the discrete-event pipeline simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.pipeline import PipelineStageCost, simulate_pipeline
+
+costs = st.lists(
+    st.tuples(
+        st.floats(0, 5, allow_nan=False),
+        st.floats(0, 5, allow_nan=False),
+        st.floats(0, 5, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=20,
+).map(lambda xs: [PipelineStageCost(*x) for x in xs])
+
+
+class TestPipelineProperties:
+    @given(costs)
+    @settings(max_examples=80, deadline=None)
+    def test_more_threads_never_slower(self, batches):
+        s1 = simulate_pipeline(batches, threads=1)
+        s2 = simulate_pipeline(batches, threads=2)
+        s3 = simulate_pipeline(batches, threads=3)
+        assert s3 <= s2 + 1e-9
+        assert s2 <= s1 + 1e-9
+
+    @given(costs)
+    @settings(max_examples=60, deadline=None)
+    def test_lower_bounds(self, batches):
+        """No schedule beats the per-resource work lower bounds."""
+        if not batches:
+            return
+        total_compute = sum(b.compute for b in batches)
+        total_io = sum(b.load + b.output for b in batches)
+        for threads in (2, 3):
+            span = simulate_pipeline(batches, threads=threads)
+            assert span >= total_compute - 1e-9
+            if threads == 2:
+                # One thread does ALL the I/O in the 2-thread pipeline.
+                assert span >= total_io - 1e-9
+
+    @given(costs)
+    @settings(max_examples=60, deadline=None)
+    def test_three_thread_critical_path(self, batches):
+        """3-thread makespan is within lead-in/drain of the bottleneck."""
+        if not batches:
+            return
+        span = simulate_pipeline(batches, threads=3)
+        bottleneck = max(
+            sum(b.load for b in batches),
+            sum(b.compute for b in batches),
+            sum(b.output for b in batches),
+        )
+        slack = sum(
+            max(b.load, b.compute, b.output) for b in batches[:1]
+        ) + max((b.load + b.compute + b.output for b in batches), default=0.0)
+        assert bottleneck - 1e-9 <= span <= bottleneck + 2 * slack + 1e-9
+
+    @given(costs)
+    @settings(max_examples=40, deadline=None)
+    def test_serial_is_sum(self, batches):
+        expected = sum(b.load + b.compute + b.output for b in batches)
+        assert simulate_pipeline(batches, threads=1) == pytest.approx(expected)

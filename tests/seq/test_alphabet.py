@@ -1,0 +1,95 @@
+"""Tests for DNA encoding primitives, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SequenceError
+from repro.seq.alphabet import (
+    AMBIG,
+    BASES,
+    complement_codes,
+    decode,
+    encode,
+    random_codes,
+    revcomp,
+    revcomp_codes,
+)
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=200)
+dna_n = st.text(alphabet="ACGTN", min_size=0, max_size=200)
+
+
+class TestEncodeDecode:
+    def test_basic(self):
+        assert (encode("ACGT") == np.array([0, 1, 2, 3])).all()
+
+    def test_lowercase(self):
+        assert (encode("acgt") == encode("ACGT")).all()
+
+    def test_n_maps_to_ambig(self):
+        assert encode("N")[0] == AMBIG
+
+    def test_iupac_collapse(self):
+        assert (encode("RYSWKM") == AMBIG).all()
+
+    def test_invalid_raises(self):
+        with pytest.raises(SequenceError):
+            encode("ACGX")
+
+    def test_decode_invalid_code(self):
+        with pytest.raises(SequenceError):
+            decode(np.array([9], dtype=np.uint8))
+
+    def test_empty(self):
+        assert decode(encode("")) == ""
+
+    @given(dna_n)
+    def test_roundtrip(self, s):
+        assert decode(encode(s)) == s
+
+
+class TestRevcomp:
+    def test_known(self):
+        assert revcomp("ACGT") == "ACGT"
+        assert revcomp("AACG") == "CGTT"
+
+    def test_n_preserved(self):
+        assert revcomp("ANT") == "ANT"
+
+    @given(dna_n)
+    def test_involution(self, s):
+        assert revcomp(revcomp(s)) == s
+
+    @given(dna)
+    def test_complement_pointwise(self, s):
+        comp = complement_codes(encode(s))
+        table = {"A": "T", "C": "G", "G": "C", "T": "A"}
+        assert decode(comp) == "".join(table[c] for c in s)
+
+    @given(dna_n)
+    def test_revcomp_codes_matches_string_version(self, s):
+        assert decode(revcomp_codes(encode(s))) == revcomp(s)
+
+
+class TestRandomCodes:
+    def test_length_and_range(self):
+        codes = random_codes(1000, seed=0)
+        assert codes.size == 1000
+        assert codes.max() < 4
+
+    def test_gc_fraction(self):
+        codes = random_codes(200_000, seed=0, gc=0.7)
+        gc = np.isin(codes, [1, 2]).mean()
+        assert abs(gc - 0.7) < 0.01
+
+    def test_deterministic(self):
+        assert (random_codes(50, seed=3) == random_codes(50, seed=3)).all()
+
+    def test_negative_raises(self):
+        with pytest.raises(SequenceError):
+            random_codes(-1)
+
+    def test_bad_gc_raises(self):
+        with pytest.raises(SequenceError):
+            random_codes(10, gc=1.5)

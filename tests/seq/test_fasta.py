@@ -1,0 +1,129 @@
+"""Tests for FASTA/FASTQ I/O, both buffered and buffer-based paths."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import ParseError
+from repro.seq.fasta import (
+    parse_fasta_buffer,
+    read_fasta,
+    read_fastq,
+    write_fasta,
+    write_fastq,
+)
+from repro.seq.records import SeqRecord
+
+
+FASTA = ">chr1 description here\nACGTACGT\nACGT\n>chr2\nTTTT\n"
+FASTQ = "@r1\nACGT\n+\nIIII\n@r2 extra\nGG\n+x\nI!\n"
+
+
+class TestFastaRead:
+    def test_parses_records(self):
+        recs = read_fasta(io.StringIO(FASTA))
+        assert [r.name for r in recs] == ["chr1", "chr2"]
+        assert recs[0].seq == "ACGTACGTACGT"
+        assert recs[1].seq == "TTTT"
+
+    def test_blank_lines_skipped(self):
+        recs = read_fasta(io.StringIO(">a\nAC\n\nGT\n"))
+        assert recs[0].seq == "ACGT"
+
+    def test_data_before_header_raises(self):
+        with pytest.raises(ParseError):
+            read_fasta(io.StringIO("ACGT\n>a\nAC\n"))
+
+    def test_empty_name_raises(self):
+        with pytest.raises(ParseError):
+            read_fasta(io.StringIO(">\nACGT\n"))
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "x.fa"
+        recs = [SeqRecord.from_str("a", "ACGT" * 50), SeqRecord.from_str("b", "TT")]
+        write_fasta(path, recs)
+        back = read_fasta(path)
+        assert [r.name for r in back] == ["a", "b"]
+        assert back[0].seq == "ACGT" * 50
+
+    def test_line_width(self, tmp_path):
+        path = tmp_path / "x.fa"
+        write_fasta(path, [SeqRecord.from_str("a", "A" * 100)], width=10)
+        lines = path.read_text().splitlines()
+        assert lines[1] == "A" * 10
+        assert len(lines) == 11
+
+
+class TestFastaBuffer:
+    def test_matches_line_parser(self):
+        recs1 = read_fasta(io.StringIO(FASTA))
+        recs2 = parse_fasta_buffer(FASTA.encode())
+        assert [(r.name, r.seq) for r in recs1] == [(r.name, r.seq) for r in recs2]
+
+    def test_crlf_handled(self):
+        recs = parse_fasta_buffer(b">a\r\nAC\r\nGT\r\n")
+        assert recs[0].seq == "ACGT"
+
+    def test_empty_buffer_raises(self):
+        with pytest.raises(ParseError):
+            parse_fasta_buffer(b"")
+
+    def test_memoryview_input(self):
+        recs = parse_fasta_buffer(memoryview(b">a\nACGT\n"))
+        assert recs[0].seq == "ACGT"
+
+    def test_truncated_header_raises(self):
+        with pytest.raises(ParseError):
+            parse_fasta_buffer(b">name_without_newline")
+
+
+class TestFastq:
+    def test_parses_records(self):
+        recs = read_fastq(io.StringIO(FASTQ))
+        assert [r.name for r in recs] == ["r1", "r2"]
+        assert recs[0].seq == "ACGT"
+        assert (recs[0].quality == 40).all()
+        assert recs[1].quality[1] == 0
+
+    def test_bad_header_raises(self):
+        with pytest.raises(ParseError):
+            read_fastq(io.StringIO("r1\nACGT\n+\nIIII\n"))
+
+    def test_bad_separator_raises(self):
+        with pytest.raises(ParseError):
+            read_fastq(io.StringIO("@r1\nACGT\nX\nIIII\n"))
+
+    def test_quality_length_mismatch_raises(self):
+        with pytest.raises(ParseError):
+            read_fastq(io.StringIO("@r1\nACGT\n+\nII\n"))
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "x.fq"
+        rec = SeqRecord.from_str("r", "ACGTACGT")
+        rec.quality = np.full(8, 30, dtype=np.uint8)
+        write_fastq(path, [rec])
+        back = read_fastq(path)
+        assert back[0].seq == rec.seq
+        assert (back[0].quality == 30).all()
+
+    def test_write_without_quality(self, tmp_path):
+        path = tmp_path / "x.fq"
+        write_fastq(path, [SeqRecord.from_str("r", "ACGT")])
+        assert "IIII" in path.read_text()
+
+
+class TestGzip:
+    def test_fasta_gz_roundtrip(self, tmp_path):
+        path = tmp_path / "x.fa.gz"
+        recs = [SeqRecord.from_str("a", "ACGT" * 30)]
+        write_fasta(path, recs)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"  # gzip magic
+        back = read_fasta(path)
+        assert back[0].seq == "ACGT" * 30
+
+    def test_fastq_gz_roundtrip(self, tmp_path):
+        path = tmp_path / "x.fq.gz"
+        write_fastq(path, [SeqRecord.from_str("r", "ACGTACGT")])
+        back = read_fastq(path)
+        assert back[0].seq == "ACGTACGT"

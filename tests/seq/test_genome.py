@@ -1,0 +1,95 @@
+"""Tests for the synthetic genome generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SequenceError
+from repro.seq.genome import Genome, GenomeSpec, generate_genome
+from repro.seq.records import SeqRecord
+
+
+class TestGenomeSpec:
+    def test_defaults_valid(self):
+        GenomeSpec()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"length": 0},
+            {"chromosomes": 0},
+            {"repeat_fraction": 1.0},
+            {"tandem_fraction": -0.1},
+        ],
+    )
+    def test_invalid_raises(self, kwargs):
+        with pytest.raises(SequenceError):
+            GenomeSpec(**kwargs)
+
+
+class TestGenerate:
+    def test_total_length_close(self):
+        g = generate_genome(GenomeSpec(length=100_000, chromosomes=4), seed=1)
+        assert len(g) == 4
+        assert abs(g.total_length - 100_000) <= 4
+
+    def test_deterministic(self):
+        a = generate_genome(GenomeSpec(length=20_000), seed=5)
+        b = generate_genome(GenomeSpec(length=20_000), seed=5)
+        assert (a.chromosomes[0].codes == b.chromosomes[0].codes).all()
+
+    def test_seed_changes_output(self):
+        a = generate_genome(GenomeSpec(length=20_000), seed=5)
+        b = generate_genome(GenomeSpec(length=20_000), seed=6)
+        assert not (a.chromosomes[0].codes == b.chromosomes[0].codes).all()
+
+    def test_gc_content(self):
+        g = generate_genome(
+            GenomeSpec(length=400_000, gc=0.41, repeat_fraction=0.0, tandem_fraction=0.0),
+            seed=2,
+        )
+        codes = g.chromosomes[0].codes
+        gc = np.isin(codes, [1, 2]).mean()
+        assert abs(gc - 0.41) < 0.01
+
+    def test_codes_in_range(self, multi_genome):
+        for c in multi_genome:
+            assert c.codes.max() < 4
+
+    def test_repeats_create_duplicate_kmers(self):
+        spec = GenomeSpec(length=100_000, repeat_fraction=0.3, repeat_length=500)
+        g = generate_genome(spec, seed=3)
+        codes = g.chromosomes[0].codes
+        # Sample 31-mers; with 30% repeat coverage some must recur.
+        k = 31
+        view = np.lib.stride_tricks.sliding_window_view(codes, k)
+        sample = view[:: max(1, len(view) // 5000)]
+        packed = sample @ (4 ** np.arange(k, dtype=object))
+        assert len(set(packed.tolist())) < len(packed)
+
+    def test_names(self):
+        g = generate_genome(GenomeSpec(length=10_000, chromosomes=2), seed=0)
+        assert g.names == ["chr1", "chr2"]
+
+
+class TestGenomeContainer:
+    def test_get_and_fetch(self, small_genome):
+        chrom = small_genome.get("chr1")
+        region = small_genome.fetch("chr1", 100, 200)
+        assert (region == chrom.codes[100:200]).all()
+
+    def test_fetch_clamps(self, small_genome):
+        n = len(small_genome.get("chr1"))
+        region = small_genome.fetch("chr1", -50, n + 50)
+        assert region.size == n
+
+    def test_fetch_empty_raises(self, small_genome):
+        with pytest.raises(SequenceError):
+            small_genome.fetch("chr1", 500, 500)
+
+    def test_get_missing_raises(self, small_genome):
+        with pytest.raises(KeyError):
+            small_genome.get("chrX")
+
+    def test_to_fasta_str(self):
+        g = Genome([SeqRecord.from_str("c1", "ACGT")])
+        assert g.to_fasta_str() == ">c1\nACGT\n"

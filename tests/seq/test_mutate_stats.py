@@ -1,0 +1,89 @@
+"""Tests for variant injection and dataset statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SequenceError
+from repro.seq.alphabet import random_codes
+from repro.seq.mutate import MutationSpec, mutate_codes
+from repro.seq.records import ReadSet, SeqRecord
+from repro.seq.stats import dataset_stats
+
+
+class TestMutationSpec:
+    def test_total_rate_validated(self):
+        with pytest.raises(SequenceError):
+            MutationSpec(sub_rate=0.5, ins_rate=0.4, del_rate=0.2)
+
+    def test_max_indel_validated(self):
+        with pytest.raises(SequenceError):
+            MutationSpec(max_indel=0)
+
+
+class TestMutate:
+    def test_identity_when_zero_rates(self):
+        codes = random_codes(500, seed=0)
+        out, events = mutate_codes(codes, MutationSpec(), seed=1)
+        assert (out == codes).all()
+        assert events == []
+
+    def test_substitutions_change_bases(self):
+        codes = random_codes(2000, seed=0)
+        out, events = mutate_codes(codes, MutationSpec(sub_rate=0.1), seed=1)
+        assert out.size == codes.size
+        n_sub = sum(1 for _, k, _ in events if k == "S")
+        assert 100 < n_sub < 320
+        assert (out != codes).sum() >= n_sub * 0.7  # resampled base always differs
+
+    def test_deletions_shrink(self):
+        codes = random_codes(2000, seed=0)
+        out, events = mutate_codes(codes, MutationSpec(del_rate=0.05), seed=1)
+        deleted = sum(ln for _, k, ln in events if k == "D")
+        assert out.size == codes.size - deleted
+        assert deleted > 0
+
+    def test_insertions_grow(self):
+        codes = random_codes(2000, seed=0)
+        out, events = mutate_codes(codes, MutationSpec(ins_rate=0.05), seed=1)
+        inserted = sum(ln for _, k, ln in events if k == "I")
+        assert out.size == codes.size + inserted
+        assert inserted > 0
+
+    def test_empty_input(self):
+        out, events = mutate_codes(
+            np.empty(0, dtype=np.uint8), MutationSpec(sub_rate=0.1), seed=0
+        )
+        assert out.size == 0 and events == []
+
+    @given(st.integers(0, 300), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_length_bookkeeping_property(self, n, seed):
+        codes = random_codes(n, seed=0)
+        spec = MutationSpec(sub_rate=0.05, ins_rate=0.05, del_rate=0.05)
+        out, events = mutate_codes(codes, spec, seed=seed)
+        ins = sum(ln for _, k, ln in events if k == "I")
+        dele = sum(ln for _, k, ln in events if k == "D")
+        assert out.size == n + ins - dele
+
+
+class TestStats:
+    def test_empty(self):
+        stats = dataset_stats(ReadSet(platform="x"))
+        assert stats.n_reads == 0 and stats.total_bases == 0
+
+    def test_values(self):
+        rs = ReadSet(platform="pacbio")
+        rs.append(SeqRecord.from_str("a", "ACGT"))
+        rs.append(SeqRecord.from_str("b", "ACGTACGTACGT"))
+        stats = dataset_stats(rs)
+        assert stats.n_reads == 2
+        assert stats.mean_length == 8.0
+        assert stats.max_length == 12
+        assert stats.total_bases == 16
+
+    def test_render(self):
+        rs = ReadSet(platform="pacbio")
+        rs.append(SeqRecord.from_str("a", "ACGT"))
+        out = dataset_stats(rs).render()
+        assert "pacbio" in out and "Number of Reads" in out

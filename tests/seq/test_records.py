@@ -1,0 +1,46 @@
+"""Tests for sequence record containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SequenceError
+from repro.seq.records import ReadSet, SeqRecord
+
+
+class TestSeqRecord:
+    def test_from_str_and_seq(self):
+        r = SeqRecord.from_str("a", "ACGT", origin="test")
+        assert r.seq == "ACGT"
+        assert len(r) == 4
+        assert r.meta["origin"] == "test"
+
+    def test_quality_length_mismatch_raises(self):
+        with pytest.raises(SequenceError):
+            SeqRecord("a", np.zeros(4, dtype=np.uint8),
+                      quality=np.zeros(3, dtype=np.uint8))
+
+    def test_codes_coerced_to_uint8(self):
+        r = SeqRecord("a", np.array([0, 1, 2], dtype=np.int64))
+        assert r.codes.dtype == np.uint8
+
+
+class TestReadSet:
+    def test_container_protocol(self):
+        rs = ReadSet(platform="x")
+        rs.append(SeqRecord.from_str("a", "ACGT"))
+        rs.append(SeqRecord.from_str("b", "AC"))
+        assert len(rs) == 2
+        assert rs[1].name == "b"
+        assert [r.name for r in rs] == ["a", "b"]
+
+    def test_total_bases_and_lengths(self):
+        rs = ReadSet()
+        rs.append(SeqRecord.from_str("a", "ACGT"))
+        rs.append(SeqRecord.from_str("b", "ACGTACGT"))
+        assert rs.total_bases == 12
+        assert rs.lengths().tolist() == [4, 8]
+
+    def test_empty(self):
+        rs = ReadSet()
+        assert rs.total_bases == 0
+        assert rs.lengths().size == 0

@@ -1,0 +1,143 @@
+"""Tests for the read simulator: lengths, errors, origins."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.seq.alphabet import random_codes, revcomp_codes
+from repro.sim.errors import CLEAN, NANOPORE_R9, PACBIO_CLR, ErrorProfile, apply_errors
+from repro.sim.lengths import LengthModel, lognormal_lengths
+from repro.sim.pbsim import ReadSimulator, simulate_reads
+
+
+class TestLengthModel:
+    def test_mean_close(self):
+        lm = LengthModel(mean=5000.0, sigma=0.5)
+        lengths = lm.sample(50_000, seed=0)
+        assert abs(lengths.mean() - 5000) / 5000 < 0.05
+
+    def test_bounds_respected(self):
+        lm = LengthModel(mean=500.0, min_length=200, max_length=900)
+        lengths = lm.sample(10_000, seed=0)
+        assert lengths.min() >= 200 and lengths.max() <= 900
+
+    def test_heavy_tail_raises_max(self):
+        body = LengthModel(mean=3000.0, sigma=0.8).sample(20_000, seed=0)
+        tailed = LengthModel(mean=3000.0, sigma=0.8, tail_weight=0.02, tail_alpha=1.3).sample(
+            20_000, seed=0
+        )
+        assert tailed.max() > body.max() * 3
+
+    def test_invalid_params(self):
+        with pytest.raises(SimulationError):
+            LengthModel(mean=-1)
+        with pytest.raises(SimulationError):
+            LengthModel(tail_weight=1.5)
+        with pytest.raises(SimulationError):
+            LengthModel(min_length=10, max_length=5)
+
+    def test_negative_n(self):
+        with pytest.raises(SimulationError):
+            LengthModel().sample(-1)
+
+    def test_convenience_wrapper(self):
+        lengths = lognormal_lengths(1000, mean=2000, seed=1)
+        assert lengths.size == 1000
+
+
+class TestErrorProfile:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(SimulationError):
+            ErrorProfile("bad", 0.1, 0.5, 0.5, 0.5)
+
+    def test_rate_bounds(self):
+        with pytest.raises(SimulationError):
+            ErrorProfile("bad", 0.9, 1.0, 0.0, 0.0)
+
+    def test_preset_rates(self):
+        sub, ins, dele = PACBIO_CLR.rates
+        assert ins > dele > sub  # PacBio is insertion-dominated
+
+
+class TestApplyErrors:
+    def test_clean_profile_identity(self):
+        codes = random_codes(1000, seed=0)
+        out, n = apply_errors(codes, CLEAN, seed=1)
+        assert n == 0 and (out == codes).all()
+
+    def test_error_count_scales(self):
+        codes = random_codes(50_000, seed=0)
+        out, n = apply_errors(codes, PACBIO_CLR, seed=1)
+        assert abs(n / codes.size - 0.13) < 0.01
+
+    def test_insertions_dominate_length_change_pacbio(self):
+        codes = random_codes(50_000, seed=0)
+        out, _ = apply_errors(codes, PACBIO_CLR, seed=1)
+        assert out.size > codes.size  # ins rate > del rate
+
+    def test_nanopore_shrinks_or_stays(self):
+        codes = random_codes(50_000, seed=0)
+        out, _ = apply_errors(codes, NANOPORE_R9, seed=1)
+        assert out.size < codes.size  # del rate > ins rate
+
+    def test_empty_template(self):
+        out, n = apply_errors(np.empty(0, dtype=np.uint8), PACBIO_CLR, seed=0)
+        assert out.size == 0 and n == 0
+
+    @given(st.integers(0, 500), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_output_codes_valid(self, n, seed):
+        codes = random_codes(n, seed=0)
+        out, _ = apply_errors(codes, NANOPORE_R9, seed=seed)
+        if out.size:
+            assert out.max() < 4
+
+
+class TestSimulator:
+    def test_read_count_and_truth(self, small_genome):
+        reads = simulate_reads(small_genome, 20, platform="pacbio", seed=3)
+        assert len(reads) == 20
+        for r in reads:
+            truth = r.meta["truth"]
+            assert truth.chrom == "chr1"
+            assert 0 <= truth.start < truth.end <= len(small_genome.get("chr1"))
+
+    def test_forward_read_matches_template_when_clean(self, small_genome):
+        sim = ReadSimulator.preset(small_genome, "pacbio")
+        sim.error_profile = CLEAN
+        reads = sim.simulate(50, seed=4)
+        for r in reads:
+            t = r.meta["truth"]
+            template = small_genome.fetch(t.chrom, t.start, t.end)
+            if t.strand < 0:
+                template = revcomp_codes(template)
+            assert (r.codes == template).all()
+
+    def test_strands_both_present(self, small_genome):
+        reads = simulate_reads(small_genome, 100, seed=5)
+        strands = {r.meta["truth"].strand for r in reads}
+        assert strands == {1, -1}
+
+    def test_unknown_platform_raises(self, small_genome):
+        with pytest.raises(SimulationError):
+            ReadSimulator.preset(small_genome, "sanger")
+
+    def test_negative_reads_raises(self, small_genome):
+        with pytest.raises(SimulationError):
+            simulate_reads(small_genome, -1)
+
+    def test_deterministic(self, small_genome):
+        a = simulate_reads(small_genome, 10, seed=9)
+        b = simulate_reads(small_genome, 10, seed=9)
+        for ra, rb in zip(a, b):
+            assert (ra.codes == rb.codes).all()
+
+    def test_multi_chromosome_coverage(self, multi_genome):
+        reads = simulate_reads(multi_genome, 200, seed=6)
+        chroms = {r.meta["truth"].chrom for r in reads}
+        assert len(chroms) == 3
+
+    def test_nanopore_platform_label(self, small_genome):
+        reads = simulate_reads(small_genome, 5, platform="nanopore", seed=0)
+        assert reads.platform == "nanopore-r9"

@@ -1,0 +1,125 @@
+"""Tests for the structural-variant simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.seq.alphabet import revcomp_codes
+from repro.seq.genome import GenomeSpec, generate_genome
+from repro.sim.variants import SvSpec, StructuralVariant, apply_svs
+
+
+@pytest.fixture(scope="module")
+def ref():
+    return generate_genome(GenomeSpec(length=150_000, chromosomes=2), seed=77)
+
+
+class TestSpec:
+    def test_defaults(self):
+        assert SvSpec().total == 6
+
+    def test_bad_sizes(self):
+        with pytest.raises(SimulationError):
+            SvSpec(min_size=0)
+        with pytest.raises(SimulationError):
+            SvSpec(min_size=100, max_size=50)
+
+    def test_negative_counts(self):
+        with pytest.raises(SimulationError):
+            SvSpec(n_del=-1)
+
+    def test_variant_validation(self):
+        with pytest.raises(SimulationError):
+            StructuralVariant("FLY", "chr1", 0, 10, 10)
+        with pytest.raises(SimulationError):
+            StructuralVariant("DEL", "chr1", 0, 0, 0)
+
+
+class TestApply:
+    def test_deletion_shrinks(self, ref):
+        donor, events = apply_svs(ref, SvSpec(n_del=2, n_ins=0, n_inv=0, n_dup=0), seed=1)
+        lost = sum(e.length for e in events if e.kind == "DEL")
+        assert donor.total_length == ref.total_length - lost
+
+    def test_insertion_grows(self, ref):
+        donor, events = apply_svs(ref, SvSpec(n_del=0, n_ins=2, n_inv=0, n_dup=0), seed=2)
+        gained = sum(e.length for e in events if e.kind == "INS")
+        assert donor.total_length == ref.total_length + gained
+
+    def test_inversion_preserves_length_and_content(self, ref):
+        donor, events = apply_svs(ref, SvSpec(n_del=0, n_ins=0, n_inv=1, n_dup=0), seed=3)
+        assert donor.total_length == ref.total_length
+        ev = events[0]
+        region_ref = ref.fetch(ev.chrom, ev.start, ev.end)
+        region_donor = donor.fetch(ev.chrom, ev.start, ev.end)
+        assert (region_donor == revcomp_codes(region_ref)).all()
+
+    def test_duplication_repeats_segment(self, ref):
+        donor, events = apply_svs(ref, SvSpec(n_del=0, n_ins=0, n_inv=0, n_dup=1), seed=4)
+        ev = events[0]
+        assert donor.total_length == ref.total_length + ev.length
+        seg = ref.fetch(ev.chrom, ev.start, ev.end)
+        dchrom = donor.get(ev.chrom).codes
+        assert (dchrom[ev.end : ev.end + ev.length] == seg).all()
+
+    def test_translocation_moves_material(self, ref):
+        donor, events = apply_svs(
+            ref, SvSpec(n_del=0, n_ins=0, n_inv=0, n_dup=0, n_tra=1), seed=5
+        )
+        assert donor.total_length == ref.total_length  # moved, not lost
+        ev = events[0]
+        payload = ref.fetch(ev.chrom, ev.start, ev.end)
+        dest_chrom = donor.get(ev.dest[0]).codes
+        # The payload appears somewhere in the destination chromosome.
+        window = np.lib.stride_tricks.sliding_window_view(dest_chrom, payload.size)
+        assert (window == payload).all(axis=1).any()
+
+    def test_deterministic(self, ref):
+        d1, e1 = apply_svs(ref, SvSpec(), seed=6)
+        d2, e2 = apply_svs(ref, SvSpec(), seed=6)
+        assert e1 == e2
+        assert (d1.chromosomes[0].codes == d2.chromosomes[0].codes).all()
+
+    def test_events_non_overlapping(self, ref):
+        _, events = apply_svs(ref, SvSpec(n_del=4, n_ins=4, n_inv=2, n_dup=2), seed=7)
+        spans = [(e.chrom, e.start, e.start + e.length) for e in events]
+        for i, a in enumerate(spans):
+            for b in spans[i + 1 :]:
+                if a[0] == b[0]:
+                    assert a[2] <= b[1] or b[2] <= a[1]
+
+    def test_impossible_placement_raises(self):
+        tiny = generate_genome(GenomeSpec(length=800), seed=0)
+        with pytest.raises(SimulationError):
+            apply_svs(tiny, SvSpec(n_del=1, min_size=600, max_size=700), seed=0)
+
+    def test_reads_from_donor_split_align(self, ref):
+        """Reads crossing a deletion breakpoint map back split/spanning."""
+        from repro.core.aligner import Aligner
+        from repro.seq.records import SeqRecord
+
+        donor, events = apply_svs(
+            ref, SvSpec(n_del=1, n_ins=0, n_inv=0, n_dup=0,
+                        min_size=4000, max_size=5000),
+            seed=8,
+        )
+        ev = events[0]
+        # A clean donor read spanning the deletion site.
+        dchrom = donor.get(ev.chrom)
+        centre = ev.start  # donor coordinate of the breakpoint
+        lo = max(0, centre - 3000)
+        hi = min(len(dchrom), centre + 3000)
+        read = SeqRecord("span", dchrom.codes[lo:hi].copy())
+        al = Aligner(ref, preset="test")
+        alns = al.map_read(read)
+        assert alns
+        # The deletion shows up either as a bridged gap inside one
+        # alignment, or (chain bandwidth < SV size) as a split whose
+        # pieces are separated by the deleted interval on the target.
+        primary = sorted((a for a in alns if a.is_primary), key=lambda a: a.tstart)
+        if len(primary) == 1:
+            a = primary[0]
+            assert (a.tend - a.tstart) - (a.qend - a.qstart) > ev.length // 2
+        else:
+            gap = primary[1].tstart - primary[0].tend
+            assert abs(gap - ev.length) < 500

@@ -1,0 +1,117 @@
+"""Tests for repro.utils: timers, RNG plumbing, formatting."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import StageTimer, Timer, as_rng, human_bytes, human_count, si, spawn_rngs, timed
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        t.start()
+        time.sleep(0.01)
+        t.stop()
+        assert t.elapsed >= 0.009
+
+    def test_resume(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            pass
+        assert t.elapsed >= first
+
+    def test_double_start_raises(self):
+        t = Timer().start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_timed_context(self):
+        with timed() as t:
+            time.sleep(0.005)
+        assert t.elapsed >= 0.004
+        assert not t.running
+
+
+class TestStageTimer:
+    def test_stage_accumulation(self):
+        st = StageTimer()
+        with st.stage("a"):
+            time.sleep(0.002)
+        with st.stage("a"):
+            pass
+        with st.stage("b"):
+            pass
+        assert set(st.stages) == {"a", "b"}
+        assert st.total == pytest.approx(sum(st.stages.values()))
+
+    def test_add_and_breakdown_order(self):
+        st = StageTimer()
+        st.add("load", 1.0)
+        st.add("align", 3.0)
+        rows = st.breakdown()
+        assert [r[0] for r in rows] == ["load", "align"]
+        assert rows[1][2] == pytest.approx(75.0)
+
+    def test_add_negative_raises(self):
+        with pytest.raises(ValueError):
+            StageTimer().add("x", -1.0)
+
+    def test_render_contains_stages(self):
+        st = StageTimer()
+        st.add("align", 2.0)
+        out = st.render("breakdown")
+        assert "align" in out and "Total" in out
+
+
+class TestRng:
+    def test_as_rng_from_seed_deterministic(self):
+        a = as_rng(42).integers(0, 100, 10)
+        b = as_rng(42).integers(0, 100, 10)
+        assert (a == b).all()
+
+    def test_as_rng_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_rng(g) is g
+
+    def test_spawn_rngs_independent(self):
+        rngs = spawn_rngs(7, 3)
+        assert len(rngs) == 3
+        draws = [r.integers(0, 10**9) for r in rngs]
+        assert len(set(draws)) == 3
+
+    def test_spawn_rngs_reproducible(self):
+        a = [r.integers(0, 10**9) for r in spawn_rngs(5, 2)]
+        b = [r.integers(0, 10**9) for r in spawn_rngs(5, 2)]
+        assert a == b
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestFmt:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(0, "0 B"), (1023, "1023 B"), (1024, "1 KB"), (5 * 2**30, "5 GB")],
+    )
+    def test_human_bytes(self, n, expected):
+        assert human_bytes(n) == expected
+
+    def test_human_bytes_negative(self):
+        assert human_bytes(-2048) == "-2 KB"
+
+    @pytest.mark.parametrize("n,expected", [(999, "999"), (1000, "1K"), (4_985_012_420, "4.99G")])
+    def test_si(self, n, expected):
+        assert si(n) == expected
+
+    def test_human_count(self):
+        assert human_count(895439) == "895,439"
