@@ -48,16 +48,31 @@ def _cmd_map(args: argparse.Namespace) -> int:
         if args.reads.endswith((".fq", ".fastq"))
         else read_fasta(args.reads)
     )
-    if args.threads > 1:
-        from .runtime.parallel import parallel_map_reads
-
-        results = parallel_map_reads(
-            aligner, reads, threads=args.threads, with_cigar=not args.no_cigar
+    if args.threads > 1 and args.processes > 1:
+        print("use either --threads or --processes, not both", file=sys.stderr)
+        return 2
+    if args.threads < 1 or args.processes < 1 or args.chunk_reads < 1:
+        print(
+            "--threads, --processes and --chunk-reads must be >= 1",
+            file=sys.stderr,
         )
+        return 2
+    from .runtime.parallel import map_reads
+
+    if args.processes > 1:
+        backend, workers = "processes", args.processes
+    elif args.threads > 1:
+        backend, workers = "threads", args.threads
     else:
-        results = [
-            aligner.map_read(r, with_cigar=not args.no_cigar) for r in reads
-        ]
+        backend, workers = "serial", 1
+    results = map_reads(
+        aligner,
+        reads,
+        backend=backend,
+        workers=workers,
+        with_cigar=not args.no_cigar,
+        chunk_reads=args.chunk_reads,
+    )
     out = open(args.output, "w") if args.output else sys.stdout
     try:
         if args.sam:
@@ -155,6 +170,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="base-level DP engine",
     )
     pm.add_argument("-t", "--threads", type=int, default=1, help="mapping threads")
+    pm.add_argument(
+        "-p",
+        "--processes",
+        type=int,
+        default=1,
+        help="mapping worker processes (mmap-shared index; bypasses the GIL)",
+    )
+    pm.add_argument(
+        "--chunk-reads",
+        type=int,
+        default=32,
+        help="max reads per scheduling chunk for the process backend",
+    )
     pm.add_argument("--sam", action="store_true", help="emit SAM instead of PAF")
     pm.add_argument("--no-cigar", action="store_true", help="skip path DP")
     pm.set_defaults(fn=_cmd_map)

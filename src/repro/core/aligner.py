@@ -37,6 +37,37 @@ from .alignment import Alignment
 from .presets import Preset, get_preset
 
 
+@dataclass(frozen=True)
+class AlignerConfig:
+    """Picklable recipe for rebuilding an :class:`Aligner` elsewhere.
+
+    The process-parallel backend (:mod:`repro.runtime.procpool`) ships
+    one of these to each worker instead of the aligner itself: the
+    config plus the genome pickle in ~hundreds of bytes/kilobytes,
+    while the minimizer index — the heavy part — is reopened from its
+    serialized file in ``mmap`` mode so all workers share the same
+    page-cache copy.
+    """
+
+    preset: Preset
+    engine: str = "manymap"
+    max_ext: int = 2000
+    batch_segments: bool = True
+
+    def build(
+        self, genome: Genome, index: Optional[MinimizerIndex] = None
+    ) -> "Aligner":
+        """Reconstruct the aligner (optionally over a preloaded index)."""
+        return Aligner(
+            genome,
+            preset=self.preset,
+            engine=self.engine,
+            index=index,
+            max_ext=self.max_ext,
+            batch_segments=self.batch_segments,
+        )
+
+
 @dataclass
 class MappingPlan:
     """Output of the seed-and-chain phase, input to the align phase."""
@@ -119,6 +150,16 @@ class Aligner:
                 hpc=self.preset.hpc,
             )
         self.max_ext = max_ext
+
+    @property
+    def config(self) -> AlignerConfig:
+        """Picklable construction parameters (index and genome excluded)."""
+        return AlignerConfig(
+            preset=self.preset,
+            engine=self.engine_name,
+            max_ext=self.max_ext,
+            batch_segments=self.batch_segments,
+        )
 
     # ------------------------------------------------------------------ #
 

@@ -34,6 +34,16 @@ class PipelineProfile:
             raise ValueError(f"unknown stage {name!r}; expected one of {STAGES}")
         return self.timer.stage(name)
 
+    def merge(self, stage_seconds: Dict[str, float]) -> None:
+        """Fold another profile's (or a worker's) stage totals into this one.
+
+        Parallel drivers call this with each worker's stage timers, so
+        Seed & Chain / Align report *aggregate worker seconds* — the sum
+        over workers, which can exceed the run's wall-clock time.
+        """
+        for stage, seconds in stage_seconds.items():
+            self.add(stage, seconds)
+
     @property
     def total(self) -> float:
         return self.timer.total

@@ -86,6 +86,43 @@ def _read_header(f) -> Tuple[dict, int]:
     return header, data_start
 
 
+def _validate_descriptors(header: dict, data_start: int, file_size: int) -> None:
+    """Reject truncated or corrupt files before any array is built.
+
+    Every descriptor must be internally consistent (nbytes matches
+    dtype x shape) and fit inside the actual file; otherwise both the
+    buffered loader (short ``np.fromfile`` reads) and the mmap loader
+    (SIGBUS on first touch of an unbacked page) would fail much later
+    and much less legibly.
+    """
+    for desc in header.get("arrays", []):
+        name = desc.get("name", "?")
+        try:
+            dtype = np.dtype(desc["dtype"])
+            shape = tuple(int(s) for s in desc["shape"])
+            offset = int(desc["offset"])
+            nbytes = int(desc["nbytes"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IndexError_(f"corrupt descriptor for array {name!r}: {exc}")
+        count = int(np.prod(shape)) if shape else 1
+        if offset < 0 or nbytes < 0:
+            raise IndexError_(
+                f"corrupt descriptor for array {name!r}: "
+                f"offset={offset} nbytes={nbytes}"
+            )
+        if count * dtype.itemsize != nbytes:
+            raise IndexError_(
+                f"corrupt descriptor for array {name!r}: nbytes={nbytes} "
+                f"!= shape {shape} x itemsize {dtype.itemsize}"
+            )
+        end = data_start + offset + nbytes
+        if end > file_size:
+            raise IndexError_(
+                f"truncated index file: array {name!r} needs bytes "
+                f"[{data_start + offset}, {end}) but file is {file_size} bytes"
+            )
+
+
 def load_index(
     path: Union[str, os.PathLike], mode: str = "buffered"
 ) -> MinimizerIndex:
@@ -101,6 +138,7 @@ def load_index(
         raise IndexError_(f"unknown load mode {mode!r}")
     with open(path, "rb") as f:
         header, data_start = _read_header(f)
+        _validate_descriptors(header, data_start, os.fstat(f.fileno()).st_size)
         fields: Dict[str, np.ndarray] = {}
         if mode == "buffered":
             for desc in header["arrays"]:

@@ -2,7 +2,10 @@
 
 Two kinds of components live here:
 
-* **Real executors** — :mod:`threaded` (a 3-stage threading pipeline
+* **Real executors** — :mod:`parallel` (backend-selectable batch
+  mapping: serial / threads / processes), :mod:`procpool` (the
+  multi-process backend with an mmap-shared index and longest-first
+  streaming chunks), :mod:`threaded` (a 3-stage threading pipeline
   that actually overlaps I/O and compute under CPython) and
   :mod:`mmio` (buffered vs ``mmap`` file loading, genuinely measurable).
 * **Discrete-event simulators** — :mod:`scheduler` (multi-thread
@@ -19,7 +22,8 @@ from .pipeline import PipelineStageCost, simulate_pipeline
 from .gpu_streams import StreamScheduler, KernelTask, MemoryPool
 from .mmio import load_bytes_buffered, load_bytes_mmap
 from .threaded import ThreadedPipeline
-from .parallel import parallel_map_reads
+from .parallel import BACKENDS, map_reads, parallel_map_reads
+from .procpool import ChunkPlan, map_reads_processes, plan_chunks
 
 __all__ = [
     "make_batches",
@@ -39,5 +43,10 @@ __all__ = [
     "load_bytes_buffered",
     "load_bytes_mmap",
     "ThreadedPipeline",
+    "BACKENDS",
+    "map_reads",
     "parallel_map_reads",
+    "ChunkPlan",
+    "map_reads_processes",
+    "plan_chunks",
 ]

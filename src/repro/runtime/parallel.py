@@ -1,22 +1,85 @@
-"""Multi-threaded read mapping (the macro benchmark's execution mode).
+"""Backend-selectable batch mapping: serial, threads, or processes.
 
 The paper's macro runs use all hardware threads (40 on CPU, 256 on
-KNL). Under CPython, mapping threads overlap to the extent the work
-sits inside NumPy kernels (which release the GIL); the speedup is
-therefore partial but real, and the *ordering guarantees* (results
-independent of thread count) are absolute.
+KNL). Under CPython the thread backend overlaps only to the extent the
+work sits inside NumPy kernels (which release the GIL); the process
+backend (:mod:`repro.runtime.procpool`) sidesteps the GIL entirely by
+running one full aligner per core over an mmap-shared index. All three
+backends produce byte-identical results for the same read set — the
+*ordering guarantees* (results independent of worker count and
+scheduling) are absolute.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import time
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
+from threading import Lock
 from typing import List, Optional, Sequence
 
 from ..core.aligner import Aligner
 from ..core.alignment import Alignment
 from ..errors import SchedulerError
 from ..seq.records import SeqRecord
-from .batch import sort_longest_first
+
+#: Names accepted by :func:`map_reads`'s ``backend`` parameter.
+BACKENDS = ("serial", "threads", "processes")
+
+
+def map_reads(
+    aligner: Aligner,
+    reads: Sequence[SeqRecord],
+    backend: str = "serial",
+    workers: int = 1,
+    with_cigar: bool = True,
+    longest_first: bool = True,
+    chunk_reads: int = 32,
+    chunk_bases: int = 1_000_000,
+    index_path: Optional[str] = None,
+    profile=None,
+) -> List[List[Alignment]]:
+    """Map reads with the selected execution backend, in input order.
+
+    ``backend`` is one of :data:`BACKENDS`. ``chunk_reads`` /
+    ``chunk_bases`` / ``index_path`` only affect the process backend
+    (see :func:`repro.runtime.procpool.map_reads_processes`).
+    ``profile`` — an optional
+    :class:`~repro.core.profiling.PipelineProfile` — accumulates the
+    merged per-worker Seed & Chain / Align stage timers (aggregate
+    worker seconds, which can exceed wall-clock).
+    """
+    if backend not in BACKENDS:
+        raise SchedulerError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "processes":
+        from .procpool import map_reads_processes
+
+        return map_reads_processes(
+            aligner,
+            reads,
+            processes=workers,
+            with_cigar=with_cigar,
+            longest_first=longest_first,
+            chunk_reads=chunk_reads,
+            chunk_bases=chunk_bases,
+            index_path=index_path,
+            profile=profile,
+        )
+    if backend == "serial":
+        from .procpool import _map_serial
+
+        if workers < 1:
+            raise SchedulerError(f"need >= 1 worker: {workers}")
+        return _map_serial(aligner, list(reads), with_cigar, profile)
+    return parallel_map_reads(
+        aligner,
+        reads,
+        threads=workers,
+        with_cigar=with_cigar,
+        longest_first=longest_first,
+        profile=profile,
+    )
 
 
 def parallel_map_reads(
@@ -25,28 +88,55 @@ def parallel_map_reads(
     threads: int = 4,
     with_cigar: bool = True,
     longest_first: bool = True,
+    profile=None,
 ) -> List[List[Alignment]]:
     """Map reads with a thread pool; results keep the input order.
 
     ``longest_first=True`` submits long reads first (manymap's §4.4.4
-    load-balance fix) without affecting output order.
+    load-balance fix) without affecting output order. On the first
+    worker exception, not-yet-started reads are cancelled rather than
+    drained, and the error is re-raised as a :class:`SchedulerError`
+    naming the failing read.
     """
     if threads < 1:
         raise SchedulerError(f"need >= 1 thread: {threads}")
     reads = list(reads)
     if threads == 1 or len(reads) <= 1:
-        return [aligner.map_read(r, with_cigar=with_cigar) for r in reads]
+        from .procpool import _map_serial
+
+        return _map_serial(aligner, reads, with_cigar, profile)
 
     order = list(range(len(reads)))
     if longest_first:
         order.sort(key=lambda i: -len(reads[i]))
     results: List[Optional[List[Alignment]]] = [None] * len(reads)
+    stage_totals = {"Seed & Chain": 0.0, "Align": 0.0}
+    stage_lock = Lock()
 
     def work(i: int) -> None:
-        results[i] = aligner.map_read(reads[i], with_cigar=with_cigar)
+        t0 = time.perf_counter()
+        plan = aligner.seed_and_chain(reads[i])
+        t1 = time.perf_counter()
+        results[i] = aligner.align_plan(reads[i], plan, with_cigar=with_cigar)
+        t2 = time.perf_counter()
+        with stage_lock:
+            stage_totals["Seed & Chain"] += t1 - t0
+            stage_totals["Align"] += t2 - t1
 
     with ThreadPoolExecutor(max_workers=threads) as pool:
-        futures = [pool.submit(work, i) for i in order]
-        for f in futures:
-            f.result()  # surface exceptions
+        futures = {pool.submit(work, i): i for i in order}
+        done, pending = wait(futures, return_when=FIRST_EXCEPTION)
+        failed = next(
+            (f for f in done if f.exception() is not None), None
+        )
+        if failed is not None:
+            for f in pending:
+                f.cancel()
+            exc = failed.exception()
+            raise SchedulerError(
+                f"mapping failed for read "
+                f"{reads[futures[failed]].name!r}: {exc!r}"
+            ) from exc
+    if profile is not None:
+        profile.merge(stage_totals)
     return results  # type: ignore[return-value]

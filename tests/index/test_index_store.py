@@ -138,6 +138,53 @@ class TestStore:
         with pytest.raises(IndexError_):
             load_index(path, mode="turbo")
 
+    @pytest.mark.parametrize("mode", ["buffered", "mmap"])
+    def test_truncated_file_raises(self, index, tmp_path, mode):
+        """Descriptors are validated against the real file size upfront."""
+        path = tmp_path / "ref.mmi"
+        total = save_index(index, path)
+        with open(path, "rb+") as f:
+            f.truncate(total - 64)
+        with pytest.raises(IndexError_, match="truncated"):
+            load_index(path, mode=mode)
+
+    @pytest.mark.parametrize("mode", ["buffered", "mmap"])
+    def test_corrupt_descriptor_raises(self, index, tmp_path, mode):
+        """A descriptor whose nbytes disagrees with dtype x shape is rejected."""
+        import json
+
+        path = tmp_path / "ref.mmi"
+        save_index(index, path)
+        raw = bytearray(path.read_bytes())
+        hlen = int.from_bytes(raw[8:16], "little")
+        header = json.loads(raw[16 : 16 + hlen])
+        header["arrays"][0]["nbytes"] += 8
+        new_header = json.dumps(header).encode()
+        # Only safe to rewrite in place if the length is preserved;
+        # pad by shrinking a name-free field is fragile, so re-save.
+        blob = raw[:8] + len(new_header).to_bytes(8, "little") + new_header
+        data_start = (len(blob) + 63) // 64 * 64
+        path.write_bytes(bytes(blob) + b"\0" * (data_start - len(blob)) + b"\0" * 256)
+        with pytest.raises(IndexError_):
+            load_index(path, mode=mode)
+
+    @pytest.mark.parametrize("mode", ["buffered", "mmap"])
+    def test_descriptor_past_eof_raises(self, index, tmp_path, mode):
+        import json
+
+        path = tmp_path / "ref.mmi"
+        save_index(index, path)
+        raw = path.read_bytes()
+        hlen = int.from_bytes(raw[8:16], "little")
+        header = json.loads(raw[16 : 16 + hlen])
+        # Claim the last array sits far past the end of the file.
+        header["arrays"][-1]["offset"] = 1 << 40
+        new_header = json.dumps(header).encode()
+        blob = raw[:8] + len(new_header).to_bytes(8, "little") + new_header
+        path.write_bytes(blob + raw[16 + hlen :])
+        with pytest.raises(IndexError_, match="truncated"):
+            load_index(path, mode=mode)
+
     def test_alignment_of_data(self, index, tmp_path):
         """All array offsets are 64-byte aligned (mmap-friendliness)."""
         import json

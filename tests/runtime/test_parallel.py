@@ -57,3 +57,50 @@ class TestParallel:
         bad2.codes = "not an array"  # will blow up inside map_read
         with pytest.raises(Exception):
             parallel_map_reads(aligner, [bad2] * 3, threads=2)
+
+    def test_error_names_failing_read(self, setup):
+        aligner, reads = setup
+
+        class Poison:
+            name = "exploding-read"
+
+            def __len__(self):
+                return 500
+
+            @property
+            def codes(self):
+                raise RuntimeError("poisoned codes")
+
+        with pytest.raises(SchedulerError, match="exploding-read"):
+            parallel_map_reads(aligner, reads[:2] + [Poison()] + reads[2:], threads=2)
+
+    def test_first_error_cancels_pending(self, setup):
+        """Not-yet-started reads are cancelled, not drained (satellite)."""
+        import time
+
+        calls = []
+
+        class FlakyAligner:
+            def seed_and_chain(self, read):
+                calls.append(read.name)
+                time.sleep(0.05)
+                if read.name == "boom":
+                    raise RuntimeError("kernel panic")
+                return None
+
+            def align_plan(self, read, plan, with_cigar=True):
+                return []
+
+        _, reads = setup
+        # longest_first off: submission order == input order, so "boom"
+        # is one of the first two reads picked up by the two workers.
+        batch = [type(reads[0])("boom", reads[0].codes)] + [
+            type(reads[0])(f"r{i}", reads[0].codes) for i in range(7)
+        ]
+        with pytest.raises(SchedulerError, match="boom"):
+            parallel_map_reads(
+                FlakyAligner(), batch, threads=2, longest_first=False
+            )
+        # With draining, all 8 reads would run; cancellation caps it at
+        # the in-flight ones plus at most one pickup per worker.
+        assert len(calls) <= 4

@@ -1,0 +1,184 @@
+"""Tests for the process-pool backend, backend dispatch, and ParallelDriver."""
+
+import io
+import pickle
+
+import pytest
+
+from repro.core.aligner import Aligner, AlignerConfig
+from repro.core.alignment import to_paf
+from repro.core.driver import ParallelDriver
+from repro.errors import ReproError, SchedulerError
+from repro.index.store import save_index
+from repro.runtime.parallel import BACKENDS, map_reads
+from repro.runtime.procpool import map_reads_processes, plan_chunks
+from repro.sim.lengths import LengthModel
+from repro.sim.pbsim import ReadSimulator
+
+
+@pytest.fixture(scope="module")
+def setup(small_genome, tmp_path_factory):
+    sim = ReadSimulator.preset(small_genome, "pacbio")
+    sim.length_model = LengthModel(mean=550.0, sigma=0.4, max_length=1200)
+    reads = list(sim.simulate(8, seed=71))
+    aligner = Aligner(small_genome, preset="test")
+    index_path = tmp_path_factory.mktemp("idx") / "ref.mmi"
+    save_index(aligner.index, index_path)
+    return aligner, reads, str(index_path)
+
+
+def paf_lines(results):
+    return [to_paf(a) for alns in results for a in alns]
+
+
+class PoisonRecord:
+    """Read whose sequence access blows up inside the worker only."""
+
+    def __init__(self, name, length):
+        self.name = name
+        self._length = length
+
+    def __len__(self):
+        return self._length
+
+    @property
+    def codes(self):
+        raise RuntimeError("poisoned codes")
+
+
+@pytest.fixture(scope="module")
+def serial_paf(setup):
+    aligner, reads, _ = setup
+    return paf_lines(map_reads(aligner, reads, backend="serial"))
+
+
+class TestBackendEquivalence:
+    """Satellite: byte-identical PAF across all backends/worker counts."""
+
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("longest_first", [True, False])
+    def test_identical_paf(self, setup, serial_paf, backend, workers, longest_first):
+        if backend == "serial" and workers > 1:
+            pytest.skip("serial ignores worker count")
+        aligner, reads, index_path = setup
+        results = map_reads(
+            aligner,
+            reads,
+            backend=backend,
+            workers=workers,
+            longest_first=longest_first,
+            chunk_reads=3,
+            index_path=index_path,
+        )
+        assert paf_lines(results) == serial_paf
+
+    def test_unknown_backend_raises(self, setup):
+        aligner, reads, _ = setup
+        with pytest.raises(SchedulerError):
+            map_reads(aligner, reads, backend="gpu")
+        assert set(BACKENDS) == {"serial", "threads", "processes"}
+
+
+class TestChunkPlanning:
+    def test_bounds_and_coverage(self, setup):
+        _, reads, _ = setup
+        chunks = plan_chunks(reads, chunk_reads=3, chunk_bases=10**9)
+        assert all(len(c.indices) <= 3 for c in chunks)
+        covered = sorted(i for c in chunks for i in c.indices)
+        assert covered == list(range(len(reads)))
+
+    def test_base_bound_splits(self, setup):
+        _, reads, _ = setup
+        limit = max(len(r) for r in reads)
+        chunks = plan_chunks(reads, chunk_reads=100, chunk_bases=limit)
+        # No chunk of 2+ reads may exceed the base budget.
+        for c in chunks:
+            assert len(c.indices) == 1 or c.bases <= limit
+
+    def test_longest_first_order(self, setup):
+        _, reads, _ = setup
+        chunks = plan_chunks(reads, chunk_reads=2, longest_first=True)
+        first = [len(reads[c.indices[0]]) for c in chunks]
+        assert first == sorted(first, reverse=True)
+
+    def test_oversized_read_gets_own_chunk(self, setup):
+        _, reads, _ = setup
+        chunks = plan_chunks(reads, chunk_reads=100, chunk_bases=1)
+        assert all(len(c.indices) == 1 for c in chunks)
+
+    def test_bad_bounds_raise(self, setup):
+        _, reads, _ = setup
+        with pytest.raises(SchedulerError):
+            plan_chunks(reads, chunk_reads=0)
+        with pytest.raises(SchedulerError):
+            plan_chunks(reads, chunk_bases=0)
+
+
+class TestProcessBackend:
+    def test_worker_error_names_read(self, setup):
+        aligner, reads, index_path = setup
+        bad = PoisonRecord("poison-pill", 500)
+        batch = reads[:2] + [bad] + reads[2:4]
+        with pytest.raises(SchedulerError, match="poison-pill"):
+            map_reads_processes(
+                aligner, batch, processes=2, chunk_reads=1, index_path=index_path
+            )
+
+    def test_bad_process_count(self, setup):
+        aligner, reads, _ = setup
+        with pytest.raises(SchedulerError):
+            map_reads_processes(aligner, reads, processes=0)
+
+    def test_empty_input(self, setup):
+        aligner, _, index_path = setup
+        assert map_reads_processes(aligner, [], processes=2, index_path=index_path) == []
+
+    def test_without_index_file_serializes_temp(self, setup, serial_paf):
+        """index_path=None: the index is serialized once and shared."""
+        aligner, reads, _ = setup
+        results = map_reads_processes(aligner, reads, processes=2, chunk_reads=4)
+        assert paf_lines(results) == serial_paf
+
+    def test_config_round_trips_by_pickle(self, setup, small_genome):
+        aligner, reads, _ = setup
+        cfg = pickle.loads(pickle.dumps(aligner.config))
+        assert isinstance(cfg, AlignerConfig)
+        rebuilt = cfg.build(small_genome, index=aligner.index)
+        a = paf_lines([rebuilt.map_read(reads[0])])
+        b = paf_lines([aligner.map_read(reads[0])])
+        assert a == b
+
+
+class TestParallelDriver:
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+    def test_run_merges_worker_stage_timers(self, setup, serial_paf, backend):
+        aligner, reads, index_path = setup
+        driver = ParallelDriver(
+            aligner, backend=backend, workers=2, chunk_reads=3,
+            index_path=index_path,
+        )
+        out = io.StringIO()
+        results = driver.run(reads, output=out)
+        assert out.getvalue().splitlines() == serial_paf
+        assert driver.n_mapped(results) >= 6
+        assert driver.profile.seconds("Seed & Chain") > 0
+        assert driver.profile.seconds("Align") > 0
+        assert driver.profile.seconds("Align") > driver.profile.seconds("Seed & Chain")
+
+    def test_from_index_file(self, setup, small_genome, serial_paf):
+        _, reads, index_path = setup
+        driver = ParallelDriver.from_index_file(
+            small_genome, index_path, preset="test",
+            backend="processes", workers=2,
+        )
+        assert driver.profile.seconds("Load Index") > 0
+        assert driver.index_path == index_path
+        out = io.StringIO()
+        driver.run(reads, output=out)
+        assert out.getvalue().splitlines() == serial_paf
+
+    def test_unknown_backend_raises(self, setup):
+        aligner, _, _ = setup
+        with pytest.raises(ReproError):
+            ParallelDriver(aligner, backend="quantum")
