@@ -1,0 +1,135 @@
+"""Metrics smoke benchmark: emit a run manifest and validate it.
+
+Drives :class:`~repro.core.driver.ParallelDriver` over a small simulated
+read set, collects the ``--metrics`` manifest, and checks it against the
+checked-in JSON schema (``benchmarks/metrics_schema.json``) using the
+stdlib-only subset validator in :mod:`repro.obs.schema` — no external
+dependencies. The manifest must carry a nonzero DP-cell count and a
+positive GCUPS figure, and the counter totals must be identical between
+the serial and process backends (telemetry is backend-independent).
+
+Run standalone (CI smoke mode stays well under a minute):
+
+    PYTHONPATH=src python benchmarks/bench_metrics_smoke.py --smoke
+
+or via pytest (``pytest benchmarks/bench_metrics_smoke.py``). Emits
+``benchmarks/results/BENCH_metrics_smoke.json`` (the manifest itself)
+plus the usual ``.txt`` report table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from _common import RESULTS_DIR, emit
+
+from repro.core.aligner import Aligner
+from repro.core.driver import ParallelDriver
+from repro.obs.report import render_metrics
+from repro.obs.schema import validate
+from repro.seq.genome import GenomeSpec, generate_genome
+from repro.sim.lengths import LengthModel
+from repro.sim.pbsim import ReadSimulator
+
+JSON_NAME = "BENCH_metrics_smoke.json"
+SCHEMA_PATH = Path(__file__).parent / "metrics_schema.json"
+
+
+def _workload(smoke: bool):
+    genome = generate_genome(
+        GenomeSpec(length=40_000 if smoke else 120_000, chromosomes=1),
+        seed=23,
+    )
+    sim = ReadSimulator.preset(genome, "pacbio")
+    sim.length_model = LengthModel(
+        mean=800.0 if smoke else 1500.0, sigma=0.4, max_length=4000
+    )
+    reads = sim.simulate(16 if smoke else 48, seed=29)
+    return genome, list(reads)
+
+
+def run_metrics_smoke(smoke: bool = True, out_dir: Path = RESULTS_DIR) -> Dict:
+    """Produce + validate manifests for the serial and process backends."""
+    genome, reads = _workload(smoke)
+    schema = json.loads(SCHEMA_PATH.read_text())
+
+    manifests: Dict[str, Dict] = {}
+    for backend, workers in (("serial", 1), ("processes", 2)):
+        driver = ParallelDriver(
+            Aligner(genome, preset="test"),
+            backend=backend,
+            workers=workers,
+            chunk_reads=4,
+        )
+        driver.run(reads)
+        manifests[backend] = driver.metrics()
+
+    errors: List[str] = []
+    for backend, manifest in manifests.items():
+        for err in validate(manifest, schema):
+            errors.append(f"{backend}: {err}")
+
+    serial, procs = manifests["serial"], manifests["processes"]
+    counters_match = serial["counters"] == procs["counters"]
+    result = {
+        "benchmark": "metrics_smoke",
+        "smoke": smoke,
+        "schema_errors": errors,
+        "counters_match_across_backends": counters_match,
+        "manifest": serial,
+        "manifest_processes": procs,
+    }
+
+    report = render_metrics(list(manifests.values()))
+    report += (
+        f"\n\nschema violations: {len(errors)}"
+        f"\ncounters identical serial vs processes[2]: {counters_match}"
+    )
+    emit("BENCH_metrics_smoke", report)
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / JSON_NAME).write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def test_metrics_smoke():
+    """CI smoke: schema-valid manifest, nonzero DP work, matching counters."""
+    res = run_metrics_smoke(smoke=True)
+    assert res["schema_errors"] == [], res["schema_errors"]
+    assert res["counters_match_across_backends"], (
+        "counter totals diverged between the serial and process backends"
+    )
+    m = res["manifest"]
+    assert m["derived"]["dp_cells"] > 0, "no DP cells counted"
+    assert m["derived"]["gcups"] > 0.0, "GCUPS not derived"
+    assert m["reads"]["n_mapped"] > 0, "smoke workload mapped nothing"
+    assert (RESULTS_DIR / JSON_NAME).exists()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--smoke", action="store_true", help="small fast workload")
+    args = ap.parse_args(argv)
+    res = run_metrics_smoke(smoke=args.smoke)
+    if res["schema_errors"]:
+        for err in res["schema_errors"]:
+            print(f"ERROR: schema violation: {err}", file=sys.stderr)
+        return 1
+    if not res["counters_match_across_backends"]:
+        print(
+            "ERROR: counter totals diverged between serial and process "
+            "backends",
+            file=sys.stderr,
+        )
+        return 1
+    if res["manifest"]["derived"]["dp_cells"] <= 0:
+        print("ERROR: manifest reports zero DP cells", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

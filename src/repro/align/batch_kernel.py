@@ -32,6 +32,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import AlignmentError
+from ..obs.counters import COUNTERS
 from ._diag import X_CONT, Y_CONT, traceback_dir
 from .dp_reference import NEG, _degenerate
 from .result import AlignmentResult
@@ -66,6 +67,9 @@ def align_batch(
 
     ts = [np.ascontiguousarray(targets[i], dtype=np.uint8) for i in live]
     ss = [np.ascontiguousarray(queries[i], dtype=np.uint8) for i in live]
+    COUNTERS.inc("batch_calls")
+    COUNTERS.inc("batch_pairs", len(live))
+    COUNTERS.inc("dp_cells", sum(t.size * s.size for t, s in zip(ts, ss)))
     out = _align_batch_live(ts, ss, scoring, path)
     for i, res in zip(live, out):
         results[i] = res

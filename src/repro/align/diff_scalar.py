@@ -19,6 +19,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import AlignmentError
+from ..obs.counters import COUNTERS
 from ._diag import (
     SRC_DIAG,
     SRC_E,
@@ -198,6 +199,10 @@ def align_diff_scalar(
         score = best
         end_t, end_q = best_cell
 
+    COUNTERS.inc("dp_calls")
+    COUNTERS.inc("dp_cells", cells)
+    if zdropped:
+        COUNTERS.inc("zdrop_hits")
     cigar = None
     if path:
         cigar = traceback_dir(dirmat, end_t, end_q)

@@ -29,6 +29,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..errors import AlignmentError
+from ..obs.counters import COUNTERS
 from .cigar import Cigar
 from .result import AlignmentResult
 from .scoring import Scoring
@@ -130,6 +131,8 @@ def align_reference(
         score = best
         end_i, end_j = best_ij
 
+    COUNTERS.inc("dp_calls")
+    COUNTERS.inc("dp_cells", m * n)
     cigar = None
     if path:
         cigar = _traceback_values(H_all, E_all, F_all, q, e, end_i, end_j)

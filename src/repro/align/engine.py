@@ -20,6 +20,7 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from ..errors import AlignmentError
+from ..obs.counters import COUNTERS
 from .diff_scalar import align_diff_scalar
 from .dp_reference import align_reference
 from .manymap_kernel import align_manymap
@@ -58,6 +59,9 @@ def align(
 ) -> AlignmentResult:
     """Align with the named engine (the package-level convenience API)."""
     fn = get_engine(engine)
+    # dp_calls/dp_cells are self-reported inside each kernel; here only
+    # the per-engine call mix is recorded.
+    COUNTERS.inc(f"engine_calls.{engine}")
     if fn is align_reference:
         if zdrop is not None:
             raise AlignmentError("the reference engine does not support zdrop")

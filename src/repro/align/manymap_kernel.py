@@ -18,6 +18,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import AlignmentError
+from ..obs.counters import COUNTERS
 from ._band import band_limits, band_range, edge_patches
 from ._diag import (
     X_CONT,
@@ -149,6 +150,16 @@ def align_manymap(
     else:
         score = best
         end_t, end_q = best_cell
+
+    COUNTERS.inc("dp_calls")
+    COUNTERS.inc("dp_cells", cells)
+    if band is not None:
+        # The corridor width in cells — GCUPS is defined over band
+        # areas (the `cells` sum above), not |Q| x |T|.
+        COUNTERS.inc("band_calls")
+        COUNTERS.inc("band_width_sum", 2 * band + 1)
+    if zdropped:
+        COUNTERS.inc("zdrop_hits")
 
     cigar = None
     if path:

@@ -17,6 +17,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import AlignmentError
+from ..obs.counters import COUNTERS
 from ._band import band_limits, band_range, edge_patches
 from ._diag import (
     X_CONT,
@@ -153,6 +154,14 @@ def align_mm2(
     else:
         score = best
         end_t, end_q = best_cell
+
+    COUNTERS.inc("dp_calls")
+    COUNTERS.inc("dp_cells", cells)
+    if band is not None:
+        COUNTERS.inc("band_calls")
+        COUNTERS.inc("band_width_sum", 2 * band + 1)
+    if zdropped:
+        COUNTERS.inc("zdrop_hits")
 
     cigar = None
     if path:

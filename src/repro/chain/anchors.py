@@ -17,6 +17,7 @@ import numpy as np
 
 from ..index.index import MinimizerIndex
 from ..index.minimizer import extract_minimizers
+from ..obs.counters import COUNTERS
 
 
 @dataclass(frozen=True)
@@ -47,6 +48,8 @@ def collect_anchors(
         hpc=getattr(index, "hpc", False),
     )
     qidx, rid, tpos, tstrand = index.lookup_many(values)
+    COUNTERS.inc("query_minimizers", int(values.size))
+    COUNTERS.inc("anchors_seeded", int(qidx.size))
     if qidx.size == 0:
         if as_arrays:
             z = np.empty(0, dtype=np.int64)

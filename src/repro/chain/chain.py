@@ -19,6 +19,7 @@ from typing import List, Tuple
 import numpy as np
 
 from ..errors import ChainError
+from ..obs.counters import COUNTERS
 
 
 @dataclass(frozen=True)
@@ -170,4 +171,6 @@ def chain_anchors(
         if len(chains) >= params.max_chains:
             break
     chains.sort(key=lambda c: -c.score)
+    COUNTERS.inc("chains_built", len(chains))
+    COUNTERS.inc("anchors_chained", sum(c.n_anchors for c in chains))
     return chains

@@ -5,8 +5,15 @@ Subcommands mirror the minimap2 workflow on synthetic data:
 * ``index``    — build and save a minimizer index from a FASTA file.
 * ``map``      — map FASTA/FASTQ reads against a reference, PAF/SAM out.
 * ``simulate`` — generate a synthetic genome and/or simulated reads.
+* ``report``   — render ``--metrics`` JSON file(s) as the paper's
+  Table 2-style stage breakdown with GCUPS/counter footers.
 * ``bench``    — print a modeled paper table/figure (the measured +
   asserted versions live in ``benchmarks/``).
+
+Diagnostics go through structured stderr logging (``--log-level``,
+per-worker prefixes); ``map --metrics FILE`` writes a machine-readable
+run manifest and ``map --trace FILE`` a per-read span JSONL (see
+:mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -21,16 +28,20 @@ from ._version import __version__
 def _cmd_index(args: argparse.Namespace) -> int:
     from .index.index import build_index
     from .index.store import save_index
+    from .obs.logs import get_logger
     from .seq.fasta import read_fasta
     from .seq.genome import Genome
 
+    log = get_logger("cli")
     genome = Genome(read_fasta(args.reference))
     index = build_index(genome, k=args.k, w=args.w)
     written = save_index(index, args.output)
-    print(
-        f"indexed {len(genome)} sequence(s), {index.n_minimizers} minimizers, "
-        f"{written} bytes -> {args.output}",
-        file=sys.stderr,
+    log.info(
+        "indexed %d sequence(s), %d minimizers, %d bytes -> %s",
+        len(genome),
+        index.n_minimizers,
+        written,
+        args.output,
     )
     return 0
 
@@ -38,26 +49,20 @@ def _cmd_index(args: argparse.Namespace) -> int:
 def _cmd_map(args: argparse.Namespace) -> int:
     from .core.aligner import Aligner
     from .core.alignment import sam_header, to_paf, to_sam
+    from .core.profiling import PipelineProfile
+    from .obs.logs import get_logger
+    from .obs.metrics import build_metrics, write_metrics
+    from .obs.telemetry import Telemetry
     from .seq.fasta import read_fasta, read_fastq
     from .seq.genome import Genome
 
-    genome = Genome(read_fasta(args.reference))
-    aligner = Aligner(genome, preset=args.preset, engine=args.engine)
-    reads = (
-        read_fastq(args.reads)
-        if args.reads.endswith((".fq", ".fastq"))
-        else read_fasta(args.reads)
-    )
+    log = get_logger("cli")
     if args.threads > 1 and args.processes > 1:
-        print("use either --threads or --processes, not both", file=sys.stderr)
+        log.error("use either --threads or --processes, not both")
         return 2
     if args.threads < 1 or args.processes < 1 or args.chunk_reads < 1:
-        print(
-            "--threads, --processes and --chunk-reads must be >= 1",
-            file=sys.stderr,
-        )
+        log.error("--threads, --processes and --chunk-reads must be >= 1")
         return 2
-    from .runtime.parallel import map_reads
 
     if args.processes > 1:
         backend, workers = "processes", args.processes
@@ -65,6 +70,24 @@ def _cmd_map(args: argparse.Namespace) -> int:
         backend, workers = "threads", args.threads
     else:
         backend, workers = "serial", 1
+
+    profile = PipelineProfile(label=f"{backend}[{workers}]")
+    telemetry = Telemetry(trace=bool(args.trace))
+
+    with profile.stage("Load Index"):
+        genome = Genome(read_fasta(args.reference))
+        aligner = Aligner(genome, preset=args.preset, engine=args.engine)
+    log.debug("reference loaded: %d sequence(s)", len(genome))
+    with profile.stage("Load Query"):
+        reads = (
+            read_fastq(args.reads)
+            if args.reads.endswith((".fq", ".fastq"))
+            else read_fasta(args.reads)
+        )
+    log.debug("loaded %d reads from %s", len(reads), args.reads)
+
+    from .runtime.parallel import map_reads
+
     results = map_reads(
         aligner,
         reads,
@@ -72,41 +95,80 @@ def _cmd_map(args: argparse.Namespace) -> int:
         workers=workers,
         with_cigar=not args.no_cigar,
         chunk_reads=args.chunk_reads,
+        profile=profile,
+        telemetry=telemetry,
     )
     out = open(args.output, "w") if args.output else sys.stdout
+    n_mapped = 0
     try:
-        if args.sam:
-            print(sam_header(aligner.index.names, aligner.index.lengths), file=out)
-        n_mapped = 0
-        for read, alns in zip(reads, results):
-            if alns:
-                n_mapped += 1
-            for aln in alns:
-                print(to_sam(aln, read) if args.sam else to_paf(aln), file=out)
-        print(f"mapped {n_mapped}/{len(reads)} reads", file=sys.stderr)
+        with profile.stage("Output"):
+            if args.sam:
+                print(
+                    sam_header(aligner.index.names, aligner.index.lengths),
+                    file=out,
+                )
+            for read, alns in zip(reads, results):
+                if alns:
+                    n_mapped += 1
+                for aln in alns:
+                    print(to_sam(aln, read) if args.sam else to_paf(aln), file=out)
     finally:
         if args.output:
             out.close()
+    log.info("mapped %d/%d reads", n_mapped, len(reads))
+
+    if args.trace:
+        n_spans = telemetry.write_trace(args.trace)
+        log.info("wrote %d trace spans -> %s", n_spans, args.trace)
+    if args.metrics:
+        manifest = build_metrics(
+            profile,
+            telemetry,
+            config={
+                "preset": args.preset,
+                "engine": args.engine,
+                "backend": backend,
+                "workers": workers,
+                "chunk_reads": args.chunk_reads,
+                "with_cigar": not args.no_cigar,
+                "sam": bool(args.sam),
+            },
+            reads={
+                "n_reads": len(reads),
+                "total_bases": sum(len(r) for r in reads),
+                "n_mapped": n_mapped,
+            },
+            label=profile.label,
+        )
+        write_metrics(args.metrics, manifest)
+        log.info(
+            "wrote metrics (%.4f GCUPS over %d DP cells) -> %s",
+            manifest["derived"]["gcups"],
+            manifest["derived"]["dp_cells"],
+            args.metrics,
+        )
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .obs.logs import get_logger
     from .seq.fasta import write_fasta, write_fastq
     from .seq.genome import GenomeSpec, generate_genome
     from .sim.pbsim import simulate_reads
 
+    log = get_logger("cli")
     genome = generate_genome(
         GenomeSpec(length=args.genome_length, chromosomes=args.chromosomes),
         seed=args.seed,
     )
     write_fasta(args.reference_out, genome.chromosomes)
-    print(f"wrote genome -> {args.reference_out}", file=sys.stderr)
+    log.info("wrote genome -> %s", args.reference_out)
     if args.reads_out:
         reads = simulate_reads(
             genome, args.n_reads, platform=args.platform, seed=args.seed + 1
         )
         write_fastq(args.reads_out, reads)
-        print(f"wrote {len(reads)} reads -> {args.reads_out}", file=sys.stderr)
+        log.info("wrote %d reads -> %s", len(reads), args.reads_out)
     return 0
 
 
@@ -133,6 +195,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .obs.logs import get_logger
+    from .obs.report import render_metrics_files
+
+    try:
+        print(render_metrics_files(args.metrics))
+    except (OSError, ValueError) as exc:
+        get_logger("cli").error("cannot render metrics: %s", exc)
+        return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .machine.figures import FIGURES, available
 
@@ -144,6 +218,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .obs.logs import LOG_LEVELS
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--log-level",
+        default="info",
+        choices=list(LOG_LEVELS),
+        help="stderr logging threshold (default info)",
+    )
+
     p = argparse.ArgumentParser(
         prog="manymap",
         description="Long read alignment accelerated on three (modeled) processors",
@@ -151,14 +235,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--version", action="version", version=f"manymap {__version__}")
     sub = p.add_subparsers(dest="command", required=True)
 
-    pi = sub.add_parser("index", help="build a minimizer index")
+    pi = sub.add_parser("index", parents=[common], help="build a minimizer index")
     pi.add_argument("reference", help="reference FASTA")
     pi.add_argument("-o", "--output", required=True, help="index output path")
     pi.add_argument("-k", type=int, default=15, help="k-mer size")
     pi.add_argument("-w", type=int, default=10, help="minimizer window")
     pi.set_defaults(fn=_cmd_index)
 
-    pm = sub.add_parser("map", help="map reads to a reference")
+    pm = sub.add_parser("map", parents=[common], help="map reads to a reference")
     pm.add_argument("reference", help="reference FASTA")
     pm.add_argument("reads", help="reads FASTA/FASTQ")
     pm.add_argument("-o", "--output", help="output file (default stdout)")
@@ -185,9 +269,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pm.add_argument("--sam", action="store_true", help="emit SAM instead of PAF")
     pm.add_argument("--no-cigar", action="store_true", help="skip path DP")
+    pm.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write a machine-readable run manifest (stage seconds, "
+        "counters, GCUPS, peak RSS) as JSON",
+    )
+    pm.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write per-read trace spans (seed/chain/align, worker and "
+        "chunk ids) as JSONL",
+    )
     pm.set_defaults(fn=_cmd_map)
 
-    ps = sub.add_parser("simulate", help="generate synthetic genome + reads")
+    ps = sub.add_parser(
+        "simulate", parents=[common], help="generate synthetic genome + reads"
+    )
     ps.add_argument("--genome-length", type=int, default=1_000_000)
     ps.add_argument("--chromosomes", type=int, default=1)
     ps.add_argument("--n-reads", type=int, default=100)
@@ -197,11 +295,21 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--reads-out", default=None)
     ps.set_defaults(fn=_cmd_simulate)
 
-    pst = sub.add_parser("stats", help="summarize a saved index")
+    pst = sub.add_parser("stats", parents=[common], help="summarize a saved index")
     pst.add_argument("index", help="path to a .mmi index file")
     pst.set_defaults(fn=_cmd_stats)
 
-    pb = sub.add_parser("bench", help="print a modeled paper table/figure")
+    pr = sub.add_parser(
+        "report",
+        parents=[common],
+        help="render metrics manifest(s) as a Table 2-style comparison",
+    )
+    pr.add_argument("metrics", nargs="+", help="one or more --metrics JSON files")
+    pr.set_defaults(fn=_cmd_report)
+
+    pb = sub.add_parser(
+        "bench", parents=[common], help="print a modeled paper table/figure"
+    )
     pb.add_argument("figure", help="fig5|fig6|fig7|fig8|table3|list")
     pb.set_defaults(fn=_cmd_bench)
 
@@ -209,7 +317,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from .obs.logs import setup_logging
+
     args = build_parser().parse_args(argv)
+    setup_logging(getattr(args, "log_level", "info"))
     return args.fn(args)
 
 

@@ -30,6 +30,7 @@ from ..chain.chain import Chain, chain_anchors
 from ..chain.select import estimate_mapq, select_chains
 from ..errors import AlignmentError
 from ..index.index import MinimizerIndex, build_index
+from ..obs.counters import COUNTERS
 from ..seq.alphabet import AMBIG, revcomp_codes
 from ..seq.genome import Genome
 from ..seq.records import SeqRecord
@@ -165,11 +166,15 @@ class Aligner:
 
     def seed_and_chain(self, read: SeqRecord) -> "MappingPlan":
         """Phase 1 (paper stage "Seed & Chain"): anchors → chains."""
+        COUNTERS.inc("reads_seeded")
         arrays = collect_anchors(read.codes, self.index, as_arrays=True)
         chains = chain_anchors(*arrays, params=self.preset.chain)
         if not chains:
+            COUNTERS.inc("reads_dropped_no_chain")
             return MappingPlan([], [], [])
         primary, secondary = select_chains(chains, self.preset.mask_level)
+        if not primary:
+            COUNTERS.inc("reads_dropped_no_primary")
         return MappingPlan(chains, primary, secondary)
 
     def align_plan(
@@ -186,7 +191,10 @@ class Aligner:
             aln = self._finalize(read, chain, plan.chains, with_cigar, is_primary)
             if aln is not None:
                 out.append(aln)
+            else:
+                COUNTERS.inc("chains_align_failed")
         out.sort(key=lambda a: (-int(a.is_primary), -a.score))
+        COUNTERS.inc("alignments_emitted", len(out))
         return out
 
     def map_read(
@@ -320,6 +328,11 @@ class Aligner:
                     results[i] = res
         else:
             singles = list(range(len(batch_t)))
+        n_batched = len(batch_t) - len(singles)
+        if n_batched:
+            COUNTERS.inc("segments_batched", n_batched)
+        if singles:
+            COUNTERS.inc("segments_fallback", len(singles))
         for i in singles:
             tseg, qseg = batch_t[i], batch_q[i]
             kwargs = {}

@@ -11,10 +11,13 @@ from __future__ import annotations
 
 import io
 import os
-from typing import List, Optional, Sequence, Union
+import time
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..errors import ReproError
 from ..index.store import load_index
+from ..obs.metrics import build_metrics
+from ..obs.telemetry import Telemetry, read_span
 from ..seq.fasta import read_fasta, read_fastq
 from ..seq.genome import Genome
 from ..seq.records import ReadSet, SeqRecord
@@ -24,11 +27,22 @@ from .profiling import PipelineProfile
 
 
 class BatchDriver:
-    """Runs reads through an :class:`Aligner`, timing the paper's stages."""
+    """Runs reads through an :class:`Aligner`, timing the paper's stages.
 
-    def __init__(self, aligner: Aligner, label: str = "") -> None:
+    ``trace=True`` additionally records one telemetry span per read
+    (see :class:`~repro.obs.telemetry.Telemetry`); counters are scoped
+    to the driver's lifetime and surface through :meth:`metrics`.
+    """
+
+    def __init__(
+        self, aligner: Aligner, label: str = "", trace: bool = False
+    ) -> None:
         self.aligner = aligner
         self.profile = PipelineProfile(label=label)
+        self.telemetry = Telemetry(trace=trace)
+        self._n_reads = 0
+        self._total_bases = 0
+        self._n_mapped = 0
 
     @classmethod
     def from_index_file(
@@ -83,14 +97,56 @@ class BatchDriver:
             records = list(reads)
         results: List[List[Alignment]] = []
         for read in records:
+            t0 = time.perf_counter()
             with self.profile.stage("Seed & Chain"):
                 plan = self.aligner.seed_and_chain(read)
+            t1 = time.perf_counter()
             with self.profile.stage("Align"):
                 alns = self.aligner.align_plan(read, plan, with_cigar=with_cigar)
+            if self.telemetry.trace:
+                self.telemetry.record(
+                    read_span(
+                        read.name,
+                        len(read),
+                        t1 - t0,
+                        time.perf_counter() - t1,
+                    )
+                )
             results.append(alns)
         with self.profile.stage("Output"):
             self._write_output(results, output)
+        self._note_run(records, results)
         return results
+
+    def _note_run(
+        self,
+        records: Sequence[SeqRecord],
+        results: List[List[Alignment]],
+    ) -> None:
+        self._n_reads += len(records)
+        self._total_bases += sum(len(r) for r in records)
+        self._n_mapped += self.n_mapped(results)
+
+    def metrics(self, config: Optional[Dict] = None) -> Dict:
+        """The run manifest (``--metrics`` document) for this driver."""
+        cfg = {
+            "preset": self.aligner.preset.name,
+            "engine": self.aligner.engine_name,
+            "backend": "serial",
+            "workers": 1,
+        }
+        cfg.update(config or {})
+        return build_metrics(
+            self.profile,
+            self.telemetry,
+            config=cfg,
+            reads={
+                "n_reads": self._n_reads,
+                "total_bases": self._total_bases,
+                "n_mapped": self._n_mapped,
+            },
+            label=self.profile.label,
+        )
 
     def _write_output(
         self,
@@ -132,6 +188,7 @@ class ParallelDriver(BatchDriver):
         longest_first: bool = True,
         index_path: Optional[Union[str, os.PathLike]] = None,
         label: str = "",
+        trace: bool = False,
     ) -> None:
         from ..runtime.parallel import BACKENDS
 
@@ -139,7 +196,9 @@ class ParallelDriver(BatchDriver):
             raise ReproError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}"
             )
-        super().__init__(aligner, label=label or f"{backend}[{workers}]")
+        super().__init__(
+            aligner, label=label or f"{backend}[{workers}]", trace=trace
+        )
         self.backend = backend
         self.workers = workers
         self.chunk_reads = chunk_reads
@@ -204,7 +263,20 @@ class ParallelDriver(BatchDriver):
             chunk_bases=self.chunk_bases,
             index_path=self.index_path,
             profile=self.profile,
+            telemetry=self.telemetry,
         )
         with self.profile.stage("Output"):
             self._write_output(results, output)
+        self._note_run(records, results)
         return results
+
+    def metrics(self, config: Optional[Dict] = None) -> Dict:
+        cfg = {
+            "backend": self.backend,
+            "workers": self.workers,
+            "chunk_reads": self.chunk_reads,
+            "chunk_bases": self.chunk_bases,
+            "longest_first": self.longest_first,
+        }
+        cfg.update(config or {})
+        return super().metrics(config=cfg)

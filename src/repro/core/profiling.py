@@ -4,6 +4,11 @@ The paper breaks minimap2's runtime into Load Index / Load Query /
 Seed & Chain / Align / Output and shows Align dominating (65% on CPU,
 83% on KNL). :class:`PipelineProfile` collects the same five stages
 from an instrumented run of our pipeline.
+
+Stages outside the canonical five are *recorded*, not rejected: worker
+timers may carry extra stage keys (a future "Serialize" stage, say) and
+the parallel drivers must be able to merge them. Canonical stages
+always render first, extras follow in first-use order.
 """
 
 from __future__ import annotations
@@ -25,13 +30,9 @@ class PipelineProfile:
     label: str = ""
 
     def add(self, stage: str, seconds: float) -> None:
-        if stage not in STAGES:
-            raise ValueError(f"unknown stage {stage!r}; expected one of {STAGES}")
         self.timer.add(stage, seconds)
 
     def stage(self, name: str):
-        if name not in STAGES:
-            raise ValueError(f"unknown stage {name!r}; expected one of {STAGES}")
         return self.timer.stage(name)
 
     def merge(self, stage_seconds: Dict[str, float]) -> None:
@@ -52,12 +53,21 @@ class PipelineProfile:
         return self.timer.stages.get(stage, 0.0)
 
     def percentage(self, stage: str) -> float:
-        total = self.total or 1.0
+        total = self.total
+        if total <= 0.0:
+            return 0.0
         return 100.0 * self.seconds(stage) / total
 
+    def extra_stages(self) -> List[str]:
+        """Recorded stages outside the canonical five, first-use order."""
+        return [s for s in self.timer.stages if s not in STAGES]
+
     def rows(self) -> List[Tuple[str, float, float]]:
-        """``(stage, seconds, percent)`` in canonical order."""
-        return [(s, self.seconds(s), self.percentage(s)) for s in STAGES]
+        """``(stage, seconds, percent)``, canonical order then extras."""
+        return [
+            (s, self.seconds(s), self.percentage(s))
+            for s in STAGES + self.extra_stages()
+        ]
 
     def render(self) -> str:
         lines = []
@@ -66,25 +76,37 @@ class PipelineProfile:
         lines.append(f"{'Stage':<14}{'Time (s)':>12}{'Percentage':>12}")
         for stage, sec, pct in self.rows():
             lines.append(f"{stage:<14}{sec:>12.3f}{pct:>12.2f}")
-        lines.append(f"{'Total':<14}{self.total:>12.3f}{100.0:>12.2f}")
+        total_pct = 100.0 if self.total > 0.0 else 0.0
+        lines.append(f"{'Total':<14}{self.total:>12.3f}{total_pct:>12.2f}")
         return "\n".join(lines)
 
     @staticmethod
     def compare(profiles: Dict[str, "PipelineProfile"]) -> str:
         """Side-by-side breakdown table (Table 2's CPU-vs-KNL layout)."""
         keys = list(profiles)
+        extras: List[str] = []
+        for p in profiles.values():
+            for s in p.extra_stages():
+                if s not in extras:
+                    extras.append(s)
+        widths = {k: max(14, len(k) + 5) for k in keys}
         header = f"{'Stage':<14}" + "".join(
-            f"{k + ' (s)':>14}{'%':>8}" for k in keys
+            f"{k + ' (s)':>{widths[k]}}{'%':>8}" for k in keys
         )
         lines = [header]
-        for stage in STAGES:
+        for stage in STAGES + extras:
             row = f"{stage:<14}"
             for k in keys:
                 p = profiles[k]
-                row += f"{p.seconds(stage):>14.3f}{p.percentage(stage):>8.2f}"
+                row += (
+                    f"{p.seconds(stage):>{widths[k]}.3f}"
+                    f"{p.percentage(stage):>8.2f}"
+                )
             lines.append(row)
         row = f"{'Total':<14}"
         for k in keys:
-            row += f"{profiles[k].total:>14.3f}{100.0:>8.2f}"
+            p = profiles[k]
+            total_pct = 100.0 if p.total > 0.0 else 0.0
+            row += f"{p.total:>{widths[k]}.3f}{total_pct:>8.2f}"
         lines.append(row)
         return "\n".join(lines)

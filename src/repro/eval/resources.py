@@ -9,13 +9,22 @@ from contextlib import contextmanager
 from typing import Callable, Iterator, Tuple
 
 
-def peak_rss_bytes() -> int:
-    """Peak resident set size of this process, in bytes.
+def _maxrss_to_bytes(raw: int, platform: str) -> int:
+    """Convert a raw ``ru_maxrss`` reading to bytes.
 
-    ``ru_maxrss`` is kilobytes on Linux, bytes on macOS.
+    POSIX leaves the unit unspecified: macOS reports bytes, Linux (and
+    the BSDs) report kilobytes. Split out so both branches are unit
+    tested instead of trusting a docstring.
     """
+    if platform.startswith("darwin"):
+        return int(raw)
+    return int(raw) * 1024
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes."""
     peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    return peak if sys.platform == "darwin" else peak * 1024
+    return _maxrss_to_bytes(peak, sys.platform)
 
 
 @contextmanager

@@ -1,0 +1,58 @@
+"""Run observability: counters, traces, metrics manifests, logging.
+
+The paper's entire argument is quantitative (Table 2's stage breakdown,
+Figure 11's percentages, GCUPS microbenchmarks); this package makes
+every run of our pipeline produce the same evidence:
+
+* :mod:`~repro.obs.counters` — low-overhead work counters (anchors,
+  chains, DP cells, band widths), sharded per thread, shipped home from
+  worker processes; always on, cheap int adds only.
+* :mod:`~repro.obs.telemetry` — per-run counter scoping and per-read
+  trace spans (``--trace`` JSONL).
+* :mod:`~repro.obs.metrics` — the ``--metrics`` run manifest: config,
+  machine, stage seconds, counters, derived GCUPS, peak RSS.
+* :mod:`~repro.obs.report` — ``manymap report``: Table 2-style
+  comparison of one or more manifests.
+* :mod:`~repro.obs.logs` — structured stderr logging with per-worker
+  prefixes.
+* :mod:`~repro.obs.schema` — stdlib JSON-schema-subset validation of
+  manifests (used by CI).
+"""
+
+from .counters import COUNTERS, CounterRegistry, counter_delta
+from .logs import LOG_LEVELS, current_level_name, get_logger, setup_logging
+from .metrics import (
+    SCHEMA_VERSION,
+    build_metrics,
+    derive_metrics,
+    load_metrics,
+    machine_info,
+    write_metrics,
+)
+from .report import render_metrics, render_metrics_files
+from .schema import SchemaError, assert_valid, validate
+from .telemetry import Telemetry, read_span, worker_id
+
+__all__ = [
+    "COUNTERS",
+    "CounterRegistry",
+    "counter_delta",
+    "LOG_LEVELS",
+    "current_level_name",
+    "get_logger",
+    "setup_logging",
+    "SCHEMA_VERSION",
+    "build_metrics",
+    "derive_metrics",
+    "load_metrics",
+    "machine_info",
+    "write_metrics",
+    "render_metrics",
+    "render_metrics_files",
+    "SchemaError",
+    "assert_valid",
+    "validate",
+    "Telemetry",
+    "read_span",
+    "worker_id",
+]

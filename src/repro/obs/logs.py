@@ -1,0 +1,69 @@
+"""Structured stderr logging with per-worker prefixes.
+
+Replaces the CLI's ad-hoc ``print(..., file=sys.stderr)`` calls with a
+``logging`` tree rooted at ``repro``. The format carries the process
+name, so interleaved worker-process output stays attributable:
+
+.. code-block:: text
+
+    12:30:01 I [SpawnPoolWorker-2] repro.runtime: mapped chunk 7 (32 reads)
+
+Worker processes configure themselves in their pool initializer with
+the level shipped from the parent (:func:`current_level_name`).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["LOG_LEVELS", "setup_logging", "get_logger", "current_level_name"]
+
+#: Names accepted by the CLI's ``--log-level`` flag.
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+_FORMAT = "%(asctime)s %(levelname).1s [%(processName)s] %(name)s: %(message)s"
+_DATEFMT = "%H:%M:%S"
+
+
+def setup_logging(level: str = "info", stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger tree; idempotent per process.
+
+    Installs exactly one stderr handler on the root ``repro`` logger
+    (re-invocations only adjust the level / stream), and disables
+    propagation so host applications' root handlers don't double-print.
+    """
+    name = str(level).lower()
+    if name not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {LOG_LEVELS}"
+        )
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, name.upper()))
+    ours = [h for h in logger.handlers if getattr(h, "_repro_handler", False)]
+    if ours and stream is not None:
+        for h in ours:
+            h.setStream(stream)
+    elif not ours:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATEFMT))
+        handler._repro_handler = True  # type: ignore[attr-defined]
+        logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child logger under the ``repro`` tree (``repro.<name>``)."""
+    return logging.getLogger(f"repro.{name}")
+
+
+def current_level_name(default: str = "warning") -> str:
+    """The configured level as a ``--log-level`` name, for shipping to
+    worker-process initializers."""
+    level = logging.getLogger("repro").level
+    for name in LOG_LEVELS:
+        if level == getattr(logging, name.upper()):
+            return name
+    return default

@@ -1,0 +1,128 @@
+"""Machine-readable run manifests (``--metrics``) and GCUPS derivation.
+
+One JSON document per ``map`` run: config, machine info, the paper's
+five-stage seconds (plus any extra stages), counter totals, derived
+throughput metrics, and peak RSS. The GCUPS derivation follows the
+GPU-aligner literature (GASAL2, GenASM): *cell updates per second* over
+the cells the banded kernels actually evaluate — the ``dp_cells``
+counter sums band areas, not ``|Q| x |T|`` — divided by the Align stage
+seconds. On parallel backends the Align stage records aggregate worker
+seconds, so GCUPS stays a per-worker kernel rate rather than inflating
+with the worker count.
+
+The manifest layout is pinned by ``benchmarks/metrics_schema.json``
+(validated in CI by :mod:`repro.obs.schema`); bump
+:data:`SCHEMA_VERSION` when changing it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform as _platform
+import sys
+import time
+from typing import Dict, Optional
+
+from .._version import __version__
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "machine_info",
+    "derive_metrics",
+    "build_metrics",
+    "write_metrics",
+    "load_metrics",
+]
+
+#: Manifest layout version; see benchmarks/metrics_schema.json.
+SCHEMA_VERSION = 1
+
+
+def machine_info() -> Dict:
+    """Host facts a perf number is meaningless without."""
+    return {
+        "platform": _platform.platform(),
+        "machine": _platform.machine(),
+        "python": _platform.python_version(),
+        "implementation": _platform.python_implementation(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def derive_metrics(
+    stages: Dict[str, float],
+    counters: Dict[str, int],
+    n_reads: int = 0,
+    total_bases: int = 0,
+) -> Dict:
+    """Throughput metrics computed from stage seconds + counters."""
+    align_s = float(stages.get("Align", 0.0))
+    total_s = float(sum(stages.values()))
+    cells = int(counters.get("dp_cells", 0))
+    band_calls = int(counters.get("band_calls", 0))
+    return {
+        "dp_cells": cells,
+        "gcups": cells / align_s / 1e9 if align_s > 0 else 0.0,
+        "reads_per_sec": n_reads / total_s if total_s > 0 else 0.0,
+        "bases_per_sec": total_bases / total_s if total_s > 0 else 0.0,
+        "mean_band_width": (
+            counters.get("band_width_sum", 0) / band_calls
+            if band_calls
+            else 0.0
+        ),
+    }
+
+
+def build_metrics(
+    profile,
+    telemetry,
+    config: Optional[Dict] = None,
+    reads: Optional[Dict] = None,
+    label: str = "",
+) -> Dict:
+    """Assemble the full run manifest.
+
+    ``profile`` is a :class:`~repro.core.profiling.PipelineProfile`;
+    ``telemetry`` a :class:`~repro.obs.telemetry.Telemetry` whose
+    run-scoped counter delta is recorded. ``reads`` may carry
+    ``n_reads`` / ``total_bases`` / ``n_mapped``.
+    """
+    from ..eval.resources import peak_rss_bytes
+
+    counters = telemetry.counters()
+    stages = {k: float(v) for k, v in profile.timer.stages.items()}
+    read_info = {"n_reads": 0, "total_bases": 0, "n_mapped": 0}
+    read_info.update(reads or {})
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "tool": "manymap",
+        "version": __version__,
+        "created_unix": time.time(),
+        "label": label or profile.label or "run",
+        "argv": list(sys.argv),
+        "config": dict(config or {}),
+        "machine": machine_info(),
+        "reads": read_info,
+        "stages": stages,
+        "counters": counters,
+        "derived": derive_metrics(
+            stages,
+            counters,
+            n_reads=int(read_info.get("n_reads", 0)),
+            total_bases=int(read_info.get("total_bases", 0)),
+        ),
+        "peak_rss_bytes": peak_rss_bytes(),
+        "n_trace_spans": len(telemetry.spans),
+    }
+
+
+def write_metrics(path: str, metrics: Dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(metrics, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_metrics(path: str) -> Dict:
+    with open(path) as fh:
+        return json.load(fh)

@@ -1,0 +1,96 @@
+"""Render metrics manifests as the paper's Table 2 / Figure 11 tables.
+
+``manymap report run_a.json run_b.json`` loads one or more manifests
+written by ``manymap map --metrics`` and prints the five-stage
+seconds/percentage breakdown side by side (Table 2's CPU-vs-KNL
+layout), followed by a throughput footer (reads mapped, DP cells,
+GCUPS, peak RSS) and — for a single manifest — the counter table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..utils.fmt import human_bytes, si
+
+__all__ = ["profile_from_metrics", "render_metrics", "render_metrics_files"]
+
+
+def profile_from_metrics(metrics: Dict):
+    """Rebuild a :class:`PipelineProfile` from a manifest's stage dict."""
+    from ..core.profiling import PipelineProfile
+
+    profile = PipelineProfile(label=str(metrics.get("label", "")))
+    for stage, seconds in metrics.get("stages", {}).items():
+        profile.add(stage, float(seconds))
+    return profile
+
+
+def _footer_line(label: str, metrics: Dict) -> str:
+    reads = metrics.get("reads", {})
+    derived = metrics.get("derived", {})
+    cells = derived.get("dp_cells", 0)
+    parts = [
+        f"{reads.get('n_mapped', 0)}/{reads.get('n_reads', 0)} reads mapped",
+        f"{si(cells)} DP cells",
+        f"{derived.get('gcups', 0.0):.4f} GCUPS",
+        f"{derived.get('reads_per_sec', 0.0):.2f} reads/s",
+        f"peak RSS {human_bytes(metrics.get('peak_rss_bytes', 0))}",
+    ]
+    return f"{label}: " + ", ".join(parts)
+
+
+def _counter_table(counters: Dict[str, int]) -> List[str]:
+    if not counters:
+        return ["(no counters recorded)"]
+    width = max(len(k) for k in counters)
+    return [
+        f"{name:<{width}}  {counters[name]:>14}"
+        for name in sorted(counters)
+    ]
+
+
+def render_metrics(manifests: Sequence[Dict]) -> str:
+    """Render one or more loaded manifests as a comparison report."""
+    from ..core.profiling import PipelineProfile
+
+    if not manifests:
+        return "(no metrics files)"
+    labels: List[str] = []
+    profiles: Dict[str, "PipelineProfile"] = {}
+    for i, metrics in enumerate(manifests):
+        label = str(metrics.get("label") or f"run{i}")
+        base, n = label, 1
+        while label in profiles:  # same label twice: disambiguate
+            n += 1
+            label = f"{base}#{n}"
+        labels.append(label)
+        profiles[label] = profile_from_metrics(metrics)
+
+    lines: List[str] = []
+    if len(manifests) == 1:
+        profile = profiles[labels[0]]
+        profile.label = labels[0]
+        lines.append(profile.render())
+    else:
+        lines.append(PipelineProfile.compare(profiles))
+    lines.append("")
+    for label, metrics in zip(labels, manifests):
+        lines.append(_footer_line(label, metrics))
+    if len(manifests) == 1:
+        lines.append("")
+        lines.append("Counters")
+        lines.extend(_counter_table(manifests[0].get("counters", {})))
+    return "\n".join(lines)
+
+
+def render_metrics_files(paths: Sequence[str]) -> str:
+    """Load manifests from ``paths`` and render the comparison report."""
+    from .metrics import load_metrics
+
+    manifests = []
+    for path in paths:
+        metrics = load_metrics(path)
+        metrics.setdefault("label", path)
+        manifests.append(metrics)
+    return render_metrics(manifests)

@@ -1,0 +1,85 @@
+"""Tiny JSON-Schema-subset validator (stdlib only, no new deps).
+
+CI validates every emitted metrics manifest against the checked-in
+``benchmarks/metrics_schema.json`` so the perf-trajectory artifacts
+stay machine-readable across commits. Supported keywords — the subset
+that schema uses: ``type`` (scalar or list), ``properties``,
+``required``, ``items``, ``enum``, ``minimum``, ``maximum``,
+``additionalProperties`` (boolean form).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["SchemaError", "validate", "assert_valid"]
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class SchemaError(ValueError):
+    """Raised by :func:`assert_valid` with every violation listed."""
+
+
+def _type_ok(instance, name: str) -> bool:
+    if name == "integer":
+        return isinstance(instance, int) and not isinstance(instance, bool)
+    if name == "number":
+        return isinstance(instance, (int, float)) and not isinstance(
+            instance, bool
+        )
+    py = _TYPES.get(name)
+    return py is not None and isinstance(instance, py) and not (
+        py is not bool and isinstance(instance, bool) and name != "boolean"
+    )
+
+
+def validate(instance, schema: Dict, path: str = "$") -> List[str]:
+    """Check ``instance`` against ``schema``; return a list of errors."""
+    errors: List[str] = []
+    t = schema.get("type")
+    if t is not None:
+        names = t if isinstance(t, list) else [t]
+        if not any(_type_ok(instance, name) for name in names):
+            errors.append(
+                f"{path}: expected type {t}, got {type(instance).__name__}"
+            )
+            return errors  # structural keywords below assume the type
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in enum {schema['enum']}")
+    if isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        if "minimum" in schema and instance < schema["minimum"]:
+            errors.append(f"{path}: {instance} < minimum {schema['minimum']}")
+        if "maximum" in schema and instance > schema["maximum"]:
+            errors.append(f"{path}: {instance} > maximum {schema['maximum']}")
+    if isinstance(instance, dict):
+        for req in schema.get("required", []):
+            if req not in instance:
+                errors.append(f"{path}: missing required property {req!r}")
+        props = schema.get("properties", {})
+        for key, sub in props.items():
+            if key in instance:
+                errors.extend(validate(instance[key], sub, f"{path}.{key}"))
+        if schema.get("additionalProperties") is False:
+            for key in instance:
+                if key not in props:
+                    errors.append(f"{path}: unexpected property {key!r}")
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            errors.extend(validate(item, schema["items"], f"{path}[{i}]"))
+    return errors
+
+
+def assert_valid(instance, schema: Dict) -> None:
+    """Raise :class:`SchemaError` listing every violation, if any."""
+    errors = validate(instance, schema)
+    if errors:
+        raise SchemaError(
+            f"{len(errors)} schema violation(s):\n" + "\n".join(errors)
+        )

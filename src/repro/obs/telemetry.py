@@ -1,0 +1,94 @@
+"""Per-run telemetry: run-scoped counters and per-read trace spans.
+
+A :class:`Telemetry` object scopes the process-global
+:data:`~repro.obs.counters.COUNTERS` to one mapping run (baseline
+snapshot at construction, delta at :meth:`Telemetry.counters`) and —
+when tracing is enabled — collects one span record per read:
+
+.. code-block:: json
+
+    {"read": "r12", "length": 812, "worker": "pid:4242/MainThread",
+     "chunk": 3, "spans": {"seed_chain": 0.0021, "align": 0.0154}}
+
+Span records are produced wherever the read is actually mapped — the
+serial loop, a pool thread, or a worker process — and shipped back to
+the parent alongside the results, so the trace is complete on every
+backend. :meth:`Telemetry.write_trace` emits them as JSONL.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Dict, List, Optional
+
+from .counters import COUNTERS, counter_delta
+
+__all__ = ["Telemetry", "worker_id", "read_span"]
+
+
+def worker_id() -> str:
+    """Identity of the executing worker: process id + thread name."""
+    return f"pid:{os.getpid()}/{threading.current_thread().name}"
+
+
+def read_span(
+    read_name: str,
+    read_len: int,
+    seed_chain_s: float,
+    align_s: float,
+    chunk: Optional[int] = None,
+) -> Dict:
+    """One trace record for one read, stamped with the current worker."""
+    return {
+        "read": read_name,
+        "length": int(read_len),
+        "worker": worker_id(),
+        "chunk": chunk,
+        "spans": {
+            "seed_chain": seed_chain_s,
+            "align": align_s,
+        },
+    }
+
+
+class Telemetry:
+    """Counter scoping + trace span collection for one mapping run."""
+
+    def __init__(self, trace: bool = False) -> None:
+        #: when False, span recording is skipped everywhere (zero cost).
+        self.trace = bool(trace)
+        self.spans: List[Dict] = []
+        self._baseline = COUNTERS.totals()
+
+    # -- spans --------------------------------------------------------- #
+
+    def record(self, span: Dict) -> None:
+        if self.trace:
+            self.spans.append(span)
+
+    def extend(self, spans: List[Dict]) -> None:
+        if self.trace and spans:
+            self.spans.extend(spans)
+
+    # -- counters ------------------------------------------------------ #
+
+    def absorb(self, delta: Dict[str, int]) -> None:
+        """Merge a worker process's counter delta into this process."""
+        if delta:
+            COUNTERS.merge(delta)
+
+    def counters(self) -> Dict[str, int]:
+        """Counter totals accumulated since this run started."""
+        return counter_delta(COUNTERS.totals(), self._baseline)
+
+    # -- output -------------------------------------------------------- #
+
+    def write_trace(self, path: str) -> int:
+        """Write the collected spans as JSONL; returns the record count."""
+        with open(path, "w") as fh:
+            for span in self.spans:
+                fh.write(json.dumps(span, sort_keys=True))
+                fh.write("\n")
+        return len(self.spans)

@@ -7,7 +7,10 @@ backend (:mod:`repro.runtime.procpool`) sidesteps the GIL entirely by
 running one full aligner per core over an mmap-shared index. All three
 backends produce byte-identical results for the same read set — the
 *ordering guarantees* (results independent of worker count and
-scheduling) are absolute.
+scheduling) are absolute — and identical telemetry counter totals:
+work counters accumulate in the process-global registry (sharded per
+thread), and the process backend ships each worker's counter deltas and
+trace spans home with its results.
 """
 
 from __future__ import annotations
@@ -15,11 +18,12 @@ from __future__ import annotations
 import time
 from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from threading import Lock
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..core.aligner import Aligner
 from ..core.alignment import Alignment
 from ..errors import SchedulerError
+from ..obs.telemetry import Telemetry, read_span
 from ..seq.records import SeqRecord
 
 #: Names accepted by :func:`map_reads`'s ``backend`` parameter.
@@ -37,6 +41,7 @@ def map_reads(
     chunk_bases: int = 1_000_000,
     index_path: Optional[str] = None,
     profile=None,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[List[Alignment]]:
     """Map reads with the selected execution backend, in input order.
 
@@ -46,7 +51,10 @@ def map_reads(
     ``profile`` — an optional
     :class:`~repro.core.profiling.PipelineProfile` — accumulates the
     merged per-worker Seed & Chain / Align stage timers (aggregate
-    worker seconds, which can exceed wall-clock).
+    worker seconds, which can exceed wall-clock). ``telemetry`` — an
+    optional :class:`~repro.obs.telemetry.Telemetry` — collects one
+    trace span per read (when tracing is enabled) and, on the process
+    backend, absorbs worker counter deltas.
     """
     if backend not in BACKENDS:
         raise SchedulerError(
@@ -65,13 +73,14 @@ def map_reads(
             chunk_bases=chunk_bases,
             index_path=index_path,
             profile=profile,
+            telemetry=telemetry,
         )
     if backend == "serial":
         from .procpool import _map_serial
 
         if workers < 1:
             raise SchedulerError(f"need >= 1 worker: {workers}")
-        return _map_serial(aligner, list(reads), with_cigar, profile)
+        return _map_serial(aligner, list(reads), with_cigar, profile, telemetry)
     return parallel_map_reads(
         aligner,
         reads,
@@ -79,6 +88,7 @@ def map_reads(
         with_cigar=with_cigar,
         longest_first=longest_first,
         profile=profile,
+        telemetry=telemetry,
     )
 
 
@@ -89,6 +99,7 @@ def parallel_map_reads(
     with_cigar: bool = True,
     longest_first: bool = True,
     profile=None,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[List[Alignment]]:
     """Map reads with a thread pool; results keep the input order.
 
@@ -97,6 +108,10 @@ def parallel_map_reads(
     worker exception, not-yet-started reads are cancelled rather than
     drained, and the error is re-raised as a :class:`SchedulerError`
     naming the failing read.
+
+    Counters increment into per-thread shards of the global registry,
+    so no aggregation step is needed; trace spans (one per read, tagged
+    with the pool thread's identity) are collected under a lock.
     """
     if threads < 1:
         raise SchedulerError(f"need >= 1 thread: {threads}")
@@ -104,7 +119,7 @@ def parallel_map_reads(
     if threads == 1 or len(reads) <= 1:
         from .procpool import _map_serial
 
-        return _map_serial(aligner, reads, with_cigar, profile)
+        return _map_serial(aligner, reads, with_cigar, profile, telemetry)
 
     order = list(range(len(reads)))
     if longest_first:
@@ -112,6 +127,8 @@ def parallel_map_reads(
     results: List[Optional[List[Alignment]]] = [None] * len(reads)
     stage_totals = {"Seed & Chain": 0.0, "Align": 0.0}
     stage_lock = Lock()
+    trace = telemetry is not None and telemetry.trace
+    spans: List[Dict] = []
 
     def work(i: int) -> None:
         t0 = time.perf_counter()
@@ -122,6 +139,10 @@ def parallel_map_reads(
         with stage_lock:
             stage_totals["Seed & Chain"] += t1 - t0
             stage_totals["Align"] += t2 - t1
+            if trace:
+                spans.append(
+                    read_span(reads[i].name, len(reads[i]), t1 - t0, t2 - t1)
+                )
 
     with ThreadPoolExecutor(max_workers=threads) as pool:
         futures = {pool.submit(work, i): i for i in order}
@@ -139,4 +160,6 @@ def parallel_map_reads(
             ) from exc
     if profile is not None:
         profile.merge(stage_totals)
+    if telemetry is not None:
+        telemetry.extend(spans)
     return results  # type: ignore[return-value]

@@ -24,6 +24,10 @@ from the paper:
 Each worker times its own Seed & Chain / Align stages; the parent
 merges the per-worker timers so :class:`~repro.core.driver.ParallelDriver`
 keeps the paper's five-stage breakdown (as aggregate worker seconds).
+Telemetry travels the same road: every chunk result carries the
+worker's counter delta (snapshot of its process-local registry before
+vs after the chunk) and — when tracing is enabled — one span per read,
+so counter totals and traces are complete and backend-independent.
 """
 
 from __future__ import annotations
@@ -40,6 +44,9 @@ from ..core.aligner import Aligner, AlignerConfig
 from ..core.alignment import Alignment
 from ..errors import SchedulerError
 from ..index.store import load_index, save_index
+from ..obs.counters import COUNTERS, counter_delta
+from ..obs.logs import current_level_name, setup_logging
+from ..obs.telemetry import Telemetry, read_span
 from ..seq.genome import Genome
 from ..seq.records import SeqRecord
 
@@ -101,7 +108,7 @@ def plan_chunks(
 
 # --------------------------------------------------------------------- #
 # Worker side. Module-level state is populated once per worker process
-# by the pool initializer; tasks then only ship (indices, reads).
+# by the pool initializer; tasks then only ship (chunk id, indices, reads).
 
 _WORKER: Dict[str, object] = {}
 
@@ -111,19 +118,32 @@ def _init_worker(
     index_path: str,
     config: AlignerConfig,
     with_cigar: bool,
+    trace: bool,
+    log_level: str,
 ) -> None:
+    setup_logging(log_level)
     index = load_index(index_path, mode="mmap")
     _WORKER["aligner"] = config.build(genome, index=index)
     _WORKER["with_cigar"] = with_cigar
+    _WORKER["trace"] = trace
 
 
 def _map_chunk(
-    payload: Tuple[Tuple[int, ...], List[SeqRecord]],
-) -> Tuple[Tuple[int, ...], List[List[Alignment]], Dict[str, float]]:
-    indices, reads = payload
+    payload: Tuple[int, Tuple[int, ...], List[SeqRecord]],
+) -> Tuple[
+    Tuple[int, ...],
+    List[List[Alignment]],
+    Dict[str, float],
+    Dict[str, int],
+    List[Dict],
+]:
+    chunk_id, indices, reads = payload
     aligner: Aligner = _WORKER["aligner"]  # type: ignore[assignment]
     with_cigar: bool = _WORKER["with_cigar"]  # type: ignore[assignment]
+    trace: bool = bool(_WORKER.get("trace"))
     stage_seconds = {"Seed & Chain": 0.0, "Align": 0.0}
+    counters_before = COUNTERS.totals()
+    spans: List[Dict] = []
     out: List[List[Alignment]] = []
     for read in reads:
         try:
@@ -141,8 +161,13 @@ def _map_chunk(
             ) from None
         stage_seconds["Seed & Chain"] += t1 - t0
         stage_seconds["Align"] += t2 - t1
+        if trace:
+            spans.append(
+                read_span(read.name, len(read), t1 - t0, t2 - t1, chunk=chunk_id)
+            )
         out.append(alns)
-    return indices, out, stage_seconds
+    delta = counter_delta(COUNTERS.totals(), counters_before)
+    return indices, out, stage_seconds, delta, spans
 
 
 # --------------------------------------------------------------------- #
@@ -161,6 +186,7 @@ def map_reads_processes(
     max_inflight: Optional[int] = None,
     mp_context=None,
     profile=None,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[List[Alignment]]:
     """Map reads across worker processes; results keep the input order.
 
@@ -172,7 +198,10 @@ def map_reads_processes(
     which is what lets arbitrarily long read streams run in bounded
     memory. ``profile`` — an optional
     :class:`~repro.core.profiling.PipelineProfile` — receives the
-    merged per-worker Seed & Chain / Align timers.
+    merged per-worker Seed & Chain / Align timers. ``telemetry``
+    collects worker trace spans; worker counter deltas are always
+    folded into this process's global registry, so counter totals match
+    the serial and thread backends even without a telemetry object.
 
     Raises :class:`SchedulerError` naming the failing read on the first
     worker error; chunks that have not started yet are cancelled.
@@ -181,7 +210,7 @@ def map_reads_processes(
         raise SchedulerError(f"need >= 1 process: {processes}")
     reads = list(reads)
     if processes == 1 or len(reads) <= 1:
-        return _map_serial(aligner, reads, with_cigar, profile)
+        return _map_serial(aligner, reads, with_cigar, profile, telemetry)
 
     chunks = plan_chunks(
         reads,
@@ -201,6 +230,7 @@ def map_reads_processes(
         save_index(aligner.index, tmp_path)
         index_path = tmp_path
 
+    trace = telemetry is not None and telemetry.trace
     results: List[Optional[List[List[Alignment]]]] = [None] * len(reads)
     stage_totals = {"Seed & Chain": 0.0, "Align": 0.0}
     try:
@@ -208,16 +238,28 @@ def map_reads_processes(
             max_workers=processes,
             mp_context=mp_context,
             initializer=_init_worker,
-            initargs=(aligner.genome, index_path, aligner.config, with_cigar),
+            initargs=(
+                aligner.genome,
+                index_path,
+                aligner.config,
+                with_cigar,
+                trace,
+                current_level_name(),
+            ),
         ) as pool:
-            chunk_iter = iter(chunks)
+            chunk_iter = enumerate(chunks)
             pending: set = set()
 
             def submit_next() -> bool:
-                chunk = next(chunk_iter, None)
-                if chunk is None:
+                item = next(chunk_iter, None)
+                if item is None:
                     return False
-                payload = (chunk.indices, [reads[i] for i in chunk.indices])
+                chunk_id, chunk = item
+                payload = (
+                    chunk_id,
+                    chunk.indices,
+                    [reads[i] for i in chunk.indices],
+                )
                 pending.add(pool.submit(_map_chunk, payload))
                 return True
 
@@ -235,11 +277,16 @@ def map_reads_processes(
                         raise SchedulerError(
                             f"process backend failed: {exc!r}"
                         ) from exc
-                    indices, alns, stage_seconds = fut.result()
+                    indices, alns, stage_seconds, delta, spans = fut.result()
                     for i, a in zip(indices, alns):
                         results[i] = a
                     for stage, sec in stage_seconds.items():
-                        stage_totals[stage] += sec
+                        stage_totals[stage] = (
+                            stage_totals.get(stage, 0.0) + sec
+                        )
+                    COUNTERS.merge(delta)
+                    if telemetry is not None:
+                        telemetry.extend(spans)
                 while len(pending) < max_inflight and submit_next():
                     pass
     finally:
@@ -263,9 +310,11 @@ def _map_serial(
     reads: Sequence[SeqRecord],
     with_cigar: bool,
     profile,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[List[Alignment]]:
-    """Single-process fallback with the same stage accounting."""
+    """Single-process fallback with the same stage/telemetry accounting."""
     stage_totals = {"Seed & Chain": 0.0, "Align": 0.0}
+    trace = telemetry is not None and telemetry.trace
     out: List[List[Alignment]] = []
     for read in reads:
         t0 = time.perf_counter()
@@ -275,6 +324,10 @@ def _map_serial(
         t2 = time.perf_counter()
         stage_totals["Seed & Chain"] += t1 - t0
         stage_totals["Align"] += t2 - t1
+        if trace:
+            telemetry.record(
+                read_span(read.name, len(read), t1 - t0, t2 - t1)
+            )
     if profile is not None:
         profile.merge(stage_totals)
     return out

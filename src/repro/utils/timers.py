@@ -75,8 +75,14 @@ class StageTimer:
         return sum(self.stages.values())
 
     def breakdown(self) -> List[Tuple[str, float, float]]:
-        """Return ``(stage, seconds, percent)`` rows in first-use order."""
-        total = self.total or 1.0
+        """Return ``(stage, seconds, percent)`` rows in first-use order.
+
+        A zero-total (empty or all-zero) timer reports 0.00% per stage —
+        a run that did nothing must not render as ``Total 100.00%``.
+        """
+        total = self.total
+        if total <= 0.0:
+            return [(k, v, 0.0) for k, v in self.stages.items()]
         return [(k, v, 100.0 * v / total) for k, v in self.stages.items()]
 
     def render(self, title: str = "") -> str:
@@ -87,7 +93,10 @@ class StageTimer:
         lines.append(f"{'Stage':<{width}}  {'Time (s)':>10}  {'%':>6}")
         for name, sec, pct in self.breakdown():
             lines.append(f"{name:<{width}}  {sec:>10.3f}  {pct:>6.2f}")
-        lines.append(f"{'Total':<{width}}  {self.total:>10.3f}  {100.0:>6.2f}")
+        total_pct = 100.0 if self.total > 0.0 else 0.0
+        lines.append(
+            f"{'Total':<{width}}  {self.total:>10.3f}  {total_pct:>6.2f}"
+        )
         return "\n".join(lines)
 
 

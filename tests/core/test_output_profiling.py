@@ -102,18 +102,41 @@ class TestProfile:
         assert p.total == 4.0
         assert p.percentage("Align") == 75.0
 
-    def test_unknown_stage_raises(self):
-        with pytest.raises(ValueError):
-            PipelineProfile().add("Fly", 1.0)
-        with pytest.raises(ValueError):
-            with PipelineProfile().stage("Fly"):
-                pass
+    def test_unknown_stage_recorded(self):
+        """Extra stage keys (e.g. a worker's "Serialize") merge cleanly."""
+        p = PipelineProfile()
+        p.add("Align", 3.0)
+        p.merge({"Serialize": 1.0, "Align": 1.0})
+        assert p.seconds("Serialize") == 1.0
+        assert p.seconds("Align") == 4.0
+        assert p.extra_stages() == ["Serialize"]
+        # Canonical stages first, extras after.
+        assert [r[0] for r in p.rows()] == STAGES + ["Serialize"]
+        assert "Serialize" in p.render()
+        out = PipelineProfile.compare({"a": p, "b": PipelineProfile()})
+        assert "Serialize" in out
 
     def test_rows_in_canonical_order(self):
         p = PipelineProfile()
         p.add("Output", 1.0)
         p.add("Load Index", 2.0)
         assert [r[0] for r in p.rows()] == STAGES
+
+    def test_empty_profile_renders_zero_percent(self):
+        """A run that did nothing must not claim Total 100.00%."""
+        p = PipelineProfile(label="idle")
+        assert p.percentage("Align") == 0.0
+        out = p.render()
+        assert "100.00" not in out
+        assert out.splitlines()[-1].endswith("0.00")
+
+    def test_zero_total_stage_timer_renders_zero_percent(self):
+        from repro.utils.timers import StageTimer
+
+        t = StageTimer()
+        t.add("Align", 0.0)
+        assert t.breakdown() == [("Align", 0.0, 0.0)]
+        assert "100.00" not in t.render()
 
     def test_render_and_compare(self):
         p1 = PipelineProfile(label="CPU")

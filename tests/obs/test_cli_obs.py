@@ -1,0 +1,118 @@
+"""End-to-end CLI checks for --metrics / --trace / --log-level / report."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs.schema import validate
+from repro.seq.fasta import write_fasta, write_fastq
+from repro.seq.genome import GenomeSpec, generate_genome
+from repro.sim.lengths import LengthModel
+from repro.sim.pbsim import ReadSimulator
+
+SCHEMA = json.loads(
+    (Path(__file__).parents[2] / "benchmarks" / "metrics_schema.json")
+    .read_text()
+)
+
+
+@pytest.fixture(scope="module")
+def data(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cliobs")
+    genome = generate_genome(GenomeSpec(length=20_000, chromosomes=1), seed=2)
+    sim = ReadSimulator.preset(genome, "pacbio")
+    sim.length_model = LengthModel(mean=500.0, sigma=0.3, max_length=2000)
+    reads = list(sim.simulate(6, seed=4))
+    ref = root / "ref.fa"
+    fq = root / "reads.fq"
+    write_fasta(str(ref), genome.chromosomes)
+    write_fastq(str(fq), reads)
+    return str(ref), str(fq), reads
+
+
+def _map(data, tmp_path, *extra):
+    ref, fq, _ = data
+    out = tmp_path / "out.paf"
+    rc = main(
+        ["map", ref, fq, "-o", str(out), "--log-level", "warning", *extra]
+    )
+    assert rc == 0
+    return out
+
+
+class TestMapMetrics:
+    def test_metrics_file_schema_valid(self, data, tmp_path):
+        metrics = tmp_path / "m.json"
+        _map(data, tmp_path, "-x", "test", "--metrics", str(metrics))
+        manifest = json.loads(metrics.read_text())
+        assert validate(manifest, SCHEMA) == [], validate(manifest, SCHEMA)
+        assert manifest["derived"]["dp_cells"] > 0
+        assert manifest["derived"]["gcups"] > 0.0
+        assert set(manifest["stages"]) >= {
+            "Load Index",
+            "Load Query",
+            "Seed & Chain",
+            "Align",
+            "Output",
+        }
+
+    def test_counters_identical_across_backends(self, data, tmp_path):
+        manifests = {}
+        for name, flags in {
+            "serial": (),
+            "threads": ("-t", "2"),
+            "processes": ("-p", "2", "--chunk-reads", "2"),
+        }.items():
+            metrics = tmp_path / f"{name}.json"
+            _map(data, tmp_path, "-x", "test", "--metrics", str(metrics), *flags)
+            manifests[name] = json.loads(metrics.read_text())
+        assert (
+            manifests["serial"]["counters"]
+            == manifests["threads"]["counters"]
+            == manifests["processes"]["counters"]
+        )
+
+    def test_trace_one_span_per_read(self, data, tmp_path):
+        _, _, reads = data
+        trace = tmp_path / "t.jsonl"
+        _map(data, tmp_path, "-x", "test", "--trace", str(trace))
+        spans = [json.loads(l) for l in trace.read_text().splitlines()]
+        assert sorted(s["read"] for s in spans) == sorted(
+            r.name for r in reads
+        )
+        for span in spans:
+            assert set(span["spans"]) == {"seed_chain", "align"}
+
+    def test_conflicting_backend_flags_rejected(self, data, tmp_path):
+        ref, fq, _ = data
+        rc = main(
+            ["map", ref, fq, "-t", "2", "-p", "2", "--log-level", "error"]
+        )
+        assert rc == 2
+
+
+class TestReportCommand:
+    def test_report_single(self, data, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        _map(data, tmp_path, "-x", "test", "--metrics", str(metrics))
+        assert main(["report", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "Align" in out and "GCUPS" in out and "Counters" in out
+
+    def test_report_compare(self, data, tmp_path, capsys):
+        paths = []
+        for i, flags in enumerate([(), ("-t", "2")]):
+            metrics = tmp_path / f"r{i}.json"
+            _map(data, tmp_path, "-x", "test", "--metrics", str(metrics), *flags)
+            paths.append(str(metrics))
+        assert main(["report", *paths]) == 0
+        out = capsys.readouterr().out
+        assert "serial[1]" in out and "threads[2]" in out
+        assert "Total" in out
+
+    def test_report_missing_file(self, tmp_path):
+        assert main(["report", str(tmp_path / "nope.json")]) == 1

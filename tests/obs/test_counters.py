@@ -1,0 +1,57 @@
+"""Unit tests for the sharded counter registry."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs.counters import COUNTERS, CounterRegistry, counter_delta
+
+
+class TestCounterRegistry:
+    def test_inc_and_totals(self):
+        reg = CounterRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        reg.inc("b", 2)
+        assert reg.totals() == {"a": 5, "b": 2}
+
+    def test_merge_folds_worker_delta(self):
+        reg = CounterRegistry()
+        reg.inc("dp_cells", 10)
+        reg.merge({"dp_cells": 90, "chains_built": 3})
+        assert reg.totals() == {"dp_cells": 100, "chains_built": 3}
+
+    def test_reset_zeroes_all_shards(self):
+        reg = CounterRegistry()
+        reg.inc("x", 7)
+        reg.reset()
+        assert reg.totals() == {}
+
+    def test_threads_accumulate_into_separate_shards(self):
+        reg = CounterRegistry()
+
+        def work(_):
+            for _ in range(1000):
+                reg.inc("hits")
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(work, range(8)))
+        assert reg.totals() == {"hits": 8000}
+
+    def test_global_registry_exists(self):
+        before = COUNTERS.totals().get("__test_probe", 0)
+        COUNTERS.inc("__test_probe")
+        assert COUNTERS.totals()["__test_probe"] == before + 1
+
+
+class TestCounterDelta:
+    def test_subtracts_per_key(self):
+        after = {"a": 5, "b": 2, "c": 1}
+        before = {"a": 3, "b": 2}
+        assert counter_delta(after, before) == {"a": 2, "c": 1}
+
+    def test_drops_zero_entries(self):
+        assert counter_delta({"a": 1}, {"a": 1}) == {}
+
+    def test_empty_before(self):
+        assert counter_delta({"a": 4}, {}) == {"a": 4}

@@ -1,0 +1,108 @@
+"""Unit tests for structured logging and the schema-subset validator."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.logs import current_level_name, get_logger, setup_logging
+from repro.obs.schema import SchemaError, assert_valid, validate
+
+
+class TestLogging:
+    def test_setup_is_idempotent(self):
+        logger = setup_logging("info")
+        setup_logging("info")
+        ours = [
+            h for h in logger.handlers if getattr(h, "_repro_handler", False)
+        ]
+        assert len(ours) == 1
+
+    def test_level_and_worker_prefix_in_output(self):
+        stream = io.StringIO()
+        setup_logging("debug", stream=stream)
+        get_logger("testmod").debug("hello %d", 42)
+        out = stream.getvalue()
+        assert "repro.testmod: hello 42" in out
+        assert "[MainProcess]" in out
+        setup_logging("warning")  # restore a quiet default
+
+    def test_threshold_filters(self):
+        stream = io.StringIO()
+        setup_logging("error", stream=stream)
+        get_logger("testmod").info("suppressed")
+        assert stream.getvalue() == ""
+        setup_logging("warning")
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            setup_logging("loud")
+
+    def test_current_level_name_round_trips(self):
+        setup_logging("debug")
+        assert current_level_name() == "debug"
+        setup_logging("warning")
+        assert current_level_name() == "warning"
+
+    def test_no_propagation_to_root(self):
+        logger = setup_logging("info")
+        assert logger.propagate is False
+        assert logger is logging.getLogger("repro")
+
+
+SCHEMA = {
+    "type": "object",
+    "required": ["n", "name"],
+    "properties": {
+        "n": {"type": "integer", "minimum": 0, "maximum": 10},
+        "name": {"type": "string"},
+        "tags": {"type": "array", "items": {"type": "string"}},
+        "kind": {"enum": ["a", "b"]},
+    },
+    "additionalProperties": False,
+}
+
+
+class TestSchemaValidator:
+    def test_valid_instance(self):
+        inst = {"n": 3, "name": "x", "tags": ["t"], "kind": "a"}
+        assert validate(inst, SCHEMA) == []
+        assert_valid(inst, SCHEMA)  # should not raise
+
+    def test_missing_required(self):
+        errs = validate({"n": 1}, SCHEMA)
+        assert any("missing required property 'name'" in e for e in errs)
+
+    def test_wrong_type_reported_with_path(self):
+        errs = validate({"n": "three", "name": "x"}, SCHEMA)
+        assert any(e.startswith("$.n:") for e in errs)
+
+    def test_bool_is_not_integer(self):
+        errs = validate({"n": True, "name": "x"}, SCHEMA)
+        assert any("expected type" in e for e in errs)
+
+    def test_minimum_maximum(self):
+        assert validate({"n": -1, "name": "x"}, SCHEMA)
+        assert validate({"n": 11, "name": "x"}, SCHEMA)
+        assert validate({"n": 10, "name": "x"}, SCHEMA) == []
+
+    def test_enum(self):
+        errs = validate({"n": 1, "name": "x", "kind": "z"}, SCHEMA)
+        assert any("not in enum" in e for e in errs)
+
+    def test_items_recurse_with_index_path(self):
+        errs = validate({"n": 1, "name": "x", "tags": ["ok", 5]}, SCHEMA)
+        assert any("$.tags[1]" in e for e in errs)
+
+    def test_additional_properties_false(self):
+        errs = validate({"n": 1, "name": "x", "extra": 1}, SCHEMA)
+        assert any("unexpected property 'extra'" in e for e in errs)
+
+    def test_assert_valid_raises_with_all_violations(self):
+        with pytest.raises(SchemaError) as ei:
+            assert_valid({"n": -1, "extra": 2}, SCHEMA)
+        msg = str(ei.value)
+        assert "schema violation" in msg
+        assert "minimum" in msg and "extra" in msg

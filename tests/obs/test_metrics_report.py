@@ -1,0 +1,160 @@
+"""Run manifests: derivation math, schema validity, report rendering."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.aligner import Aligner
+from repro.core.driver import ParallelDriver
+from repro.obs.metrics import (
+    SCHEMA_VERSION,
+    build_metrics,
+    derive_metrics,
+    load_metrics,
+    machine_info,
+    write_metrics,
+)
+from repro.obs.report import (
+    profile_from_metrics,
+    render_metrics,
+    render_metrics_files,
+)
+from repro.obs.schema import validate
+from repro.seq.genome import GenomeSpec, generate_genome
+from repro.sim.lengths import LengthModel
+from repro.sim.pbsim import ReadSimulator
+
+SCHEMA = json.loads(
+    (Path(__file__).parents[2] / "benchmarks" / "metrics_schema.json")
+    .read_text()
+)
+
+
+class TestDeriveMetrics:
+    def test_gcups_uses_align_seconds(self):
+        d = derive_metrics(
+            {"Align": 2.0, "Output": 1.0}, {"dp_cells": 4_000_000_000}
+        )
+        assert d["gcups"] == pytest.approx(2.0)
+        assert d["dp_cells"] == 4_000_000_000
+
+    def test_zero_align_time_gives_zero_gcups(self):
+        d = derive_metrics({}, {"dp_cells": 100})
+        assert d["gcups"] == 0.0
+
+    def test_throughput_over_total_seconds(self):
+        d = derive_metrics(
+            {"Align": 1.0, "Load Index": 1.0},
+            {},
+            n_reads=10,
+            total_bases=5000,
+        )
+        assert d["reads_per_sec"] == pytest.approx(5.0)
+        assert d["bases_per_sec"] == pytest.approx(2500.0)
+
+    def test_mean_band_width(self):
+        d = derive_metrics(
+            {}, {"band_width_sum": 600, "band_calls": 3}
+        )
+        assert d["mean_band_width"] == pytest.approx(200.0)
+        assert derive_metrics({}, {})["mean_band_width"] == 0.0
+
+
+class TestMachineInfo:
+    def test_fields(self):
+        info = machine_info()
+        assert info["cpu_count"] >= 1
+        assert info["python"].count(".") >= 1
+
+
+@pytest.fixture(scope="module")
+def driver_run():
+    genome = generate_genome(GenomeSpec(length=20_000, chromosomes=1), seed=9)
+    sim = ReadSimulator.preset(genome, "pacbio")
+    sim.length_model = LengthModel(mean=500.0, sigma=0.3, max_length=2000)
+    reads = list(sim.simulate(8, seed=13))
+    driver = ParallelDriver(
+        Aligner(genome, preset="test"),
+        backend="serial",
+        workers=1,
+        trace=True,
+    )
+    driver.run(reads)
+    return driver, reads
+
+
+class TestBuildMetrics:
+    def test_manifest_is_schema_valid(self, driver_run):
+        driver, _ = driver_run
+        manifest = driver.metrics()
+        assert validate(manifest, SCHEMA) == [], validate(manifest, SCHEMA)
+        assert manifest["schema_version"] == SCHEMA_VERSION
+
+    def test_manifest_content(self, driver_run):
+        driver, reads = driver_run
+        manifest = driver.metrics()
+        assert manifest["reads"]["n_reads"] == len(reads)
+        assert manifest["reads"]["total_bases"] == sum(len(r) for r in reads)
+        assert manifest["counters"]["dp_cells"] > 0
+        assert manifest["derived"]["gcups"] > 0.0
+        assert manifest["stages"]["Align"] > 0.0
+        assert manifest["n_trace_spans"] == len(reads)
+        assert manifest["peak_rss_bytes"] > 0
+        assert manifest["config"]["backend"] == "serial"
+
+    def test_write_load_round_trip(self, driver_run, tmp_path):
+        driver, _ = driver_run
+        manifest = driver.metrics()
+        path = tmp_path / "m.json"
+        write_metrics(str(path), manifest)
+        assert load_metrics(str(path)) == json.loads(json.dumps(manifest))
+
+
+class TestReport:
+    def test_profile_from_metrics_round_trip(self, driver_run):
+        driver, _ = driver_run
+        manifest = driver.metrics()
+        profile = profile_from_metrics(manifest)
+        assert profile.seconds("Align") == pytest.approx(
+            manifest["stages"]["Align"]
+        )
+
+    def test_single_manifest_render(self, driver_run):
+        driver, _ = driver_run
+        text = render_metrics([driver.metrics()])
+        assert "Align" in text and "Total" in text
+        assert "GCUPS" in text
+        assert "Counters" in text
+        assert "dp_cells" in text
+
+    def test_multi_manifest_compare(self, driver_run):
+        driver, _ = driver_run
+        a = driver.metrics()
+        b = dict(a, label="other")
+        text = render_metrics([a, b])
+        assert "other (s)" in text
+        assert text.count("GCUPS") == 2
+        assert "Counters" not in text  # counter table is single-run only
+
+    def test_duplicate_labels_disambiguated(self, driver_run):
+        driver, _ = driver_run
+        a = driver.metrics()
+        text = render_metrics([a, dict(a)])
+        assert "#2" in text
+
+    def test_render_metrics_files_defaults_label_to_path(
+        self, driver_run, tmp_path
+    ):
+        driver, _ = driver_run
+        manifest = driver.metrics()
+        del manifest["label"]
+        path = tmp_path / "run.json"
+        write_metrics(str(path), manifest)
+        text = render_metrics_files([str(path)])
+        assert "run.json" in text
+
+    def test_empty_manifest_list(self):
+        assert "no metrics" in render_metrics([])

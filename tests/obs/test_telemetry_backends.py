@@ -1,0 +1,150 @@
+"""Cross-backend telemetry: counters, stage timers, and trace spans.
+
+The whole point of the telemetry design is backend independence — the
+same read set must produce identical counter totals whether it is
+mapped serially, on a thread pool, or across worker processes (whose
+deltas are shipped home with results), and tracing must yield exactly
+one span per read on every backend.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.aligner import Aligner
+from repro.core.profiling import PipelineProfile
+from repro.obs.telemetry import Telemetry, read_span, worker_id
+from repro.runtime.parallel import map_reads
+from repro.seq.genome import GenomeSpec, generate_genome
+from repro.sim.lengths import LengthModel
+from repro.sim.pbsim import ReadSimulator
+
+BACKENDS = [("serial", 1), ("threads", 2), ("processes", 2)]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    genome = generate_genome(GenomeSpec(length=25_000, chromosomes=1), seed=5)
+    sim = ReadSimulator.preset(genome, "pacbio")
+    sim.length_model = LengthModel(mean=600.0, sigma=0.35, max_length=2500)
+    reads = list(sim.simulate(10, seed=17))
+    return Aligner(genome, preset="test"), reads
+
+
+@pytest.fixture(scope="module")
+def runs(workload):
+    """Map the same reads on every backend, capturing all telemetry."""
+    aligner, reads = workload
+    out = {}
+    for backend, workers in BACKENDS:
+        profile = PipelineProfile(label=backend)
+        telemetry = Telemetry(trace=True)
+        results = map_reads(
+            aligner,
+            reads,
+            backend=backend,
+            workers=workers,
+            chunk_reads=3,
+            profile=profile,
+            telemetry=telemetry,
+        )
+        out[backend] = {
+            "results": results,
+            "counters": telemetry.counters(),
+            "profile": profile,
+            "telemetry": telemetry,
+        }
+    return out
+
+
+class TestCounterIdentity:
+    def test_serial_counters_nonzero(self, runs):
+        counters = runs["serial"]["counters"]
+        assert counters["dp_cells"] > 0
+        assert counters["anchors_seeded"] > 0
+        assert counters["chains_built"] > 0
+        assert counters["reads_seeded"] == 10
+
+    def test_threads_match_serial(self, runs):
+        assert runs["threads"]["counters"] == runs["serial"]["counters"]
+
+    def test_processes_match_serial(self, runs):
+        assert runs["processes"]["counters"] == runs["serial"]["counters"]
+
+    def test_results_identical(self, runs):
+        serial = runs["serial"]["results"]
+        for backend in ("threads", "processes"):
+            assert runs[backend]["results"] == serial
+
+
+class TestStageSeconds:
+    def test_mapping_stages_recorded_everywhere(self, runs):
+        for backend, _ in BACKENDS:
+            profile = runs[backend]["profile"]
+            assert profile.seconds("Seed & Chain") > 0.0, backend
+            assert profile.seconds("Align") > 0.0, backend
+
+    def test_aggregate_worker_seconds_within_tolerance(self, runs):
+        # Parallel backends record aggregate worker seconds: the same
+        # per-read work, so the totals stay within a loose factor of the
+        # serial run (they can exceed wall-clock, never vanish).
+        serial_align = runs["serial"]["profile"].seconds("Align")
+        for backend in ("threads", "processes"):
+            align = runs[backend]["profile"].seconds("Align")
+            assert serial_align / 20 < align < serial_align * 20, backend
+
+
+class TestTraceSpans:
+    def test_one_span_per_read_every_backend(self, runs, workload):
+        _, reads = workload
+        names = sorted(r.name for r in reads)
+        for backend, _ in BACKENDS:
+            spans = runs[backend]["telemetry"].spans
+            assert sorted(s["read"] for s in spans) == names, backend
+
+    def test_span_fields(self, runs, workload):
+        _, reads = workload
+        lengths = {r.name: len(r) for r in reads}
+        for span in runs["processes"]["telemetry"].spans:
+            assert span["length"] == lengths[span["read"]]
+            assert span["worker"].startswith("pid:")
+            assert span["chunk"] is not None  # process chunks are tagged
+            assert span["spans"]["seed_chain"] >= 0.0
+            assert span["spans"]["align"] >= 0.0
+
+    def test_trace_jsonl_round_trips(self, runs, tmp_path):
+        telemetry = runs["threads"]["telemetry"]
+        path = tmp_path / "trace.jsonl"
+        n = telemetry.write_trace(str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == n == len(telemetry.spans)
+        parsed = [json.loads(line) for line in lines]
+        assert parsed == [
+            json.loads(json.dumps(s, sort_keys=True)) for s in telemetry.spans
+        ]
+
+    def test_trace_disabled_records_nothing(self, workload):
+        aligner, reads = workload
+        telemetry = Telemetry(trace=False)
+        map_reads(aligner, reads[:2], backend="serial", telemetry=telemetry)
+        assert telemetry.spans == []
+        telemetry.record(read_span("r", 1, 0.0, 0.0))
+        assert telemetry.spans == []
+
+
+class TestTelemetryScoping:
+    def test_counters_scoped_to_construction(self, workload):
+        aligner, reads = workload
+        map_reads(aligner, reads[:1], backend="serial")  # pre-run noise
+        telemetry = Telemetry()
+        assert telemetry.counters() == {}
+        map_reads(aligner, reads[:2], backend="serial", telemetry=telemetry)
+        scoped = telemetry.counters()
+        assert scoped["reads_seeded"] == 2
+
+    def test_worker_id_format(self):
+        wid = worker_id()
+        assert wid.startswith("pid:")
+        assert "/" in wid
