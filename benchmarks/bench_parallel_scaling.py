@@ -1,7 +1,8 @@
-"""Parallel scaling: reads/sec vs workers for all three mapping backends.
+"""Parallel scaling: reads/sec vs workers for every mapping backend.
 
-Measures the serial, thread-pool, and process-pool backends over the
-same simulated read set and asserts they produce identical alignments.
+Measures the serial, thread-pool, process-pool, and streaming-pipeline
+backends over the same simulated read set and asserts they produce
+identical alignments.
 This is the repo's CPython analogue of the paper's §4.4 scalability
 runs (Figure 9): the thread backend is GIL-bound outside NumPy kernels
 while the process backend runs one full aligner per core over an
@@ -33,7 +34,7 @@ from _common import RESULTS_DIR, emit, ratio
 from repro.core.aligner import Aligner
 from repro.core.alignment import to_paf
 from repro.index.store import save_index
-from repro.runtime.parallel import map_reads
+from repro import api
 from repro.seq.genome import GenomeSpec, generate_genome
 from repro.sim.lengths import LengthModel
 from repro.sim.pbsim import ReadSimulator
@@ -78,11 +79,11 @@ def run_scaling(
     baseline_rps: Optional[float] = None
     identical = True
     try:
-        for backend in ("serial", "threads", "processes"):
+        for backend in ("serial", "threads", "processes", "streaming"):
             counts = [1] if backend == "serial" else list(worker_counts)
             for workers in counts:
                 t0 = time.perf_counter()
-                results = map_reads(
+                results = api.map_reads(
                     aligner,
                     reads,
                     backend=backend,

@@ -47,7 +47,11 @@ from .align.cigar import Cigar
 from .core.aligner import Aligner
 from .core.alignment import Alignment, to_paf, to_sam, sam_header
 from .core.presets import Preset, get_preset
-from .core.driver import BatchDriver
+from .core.driver import BatchDriver, ParallelDriver
+
+# The stable public mapping API (see repro.api's docstring)
+from . import api
+from .api import MapOptions, StreamStats, map_file, map_reads, open_index
 
 # Machine models
 from .machine.cpu import XEON_GOLD_5115
@@ -98,6 +102,13 @@ __all__ = [
     "Preset",
     "get_preset",
     "BatchDriver",
+    "ParallelDriver",
+    "api",
+    "MapOptions",
+    "StreamStats",
+    "map_file",
+    "map_reads",
+    "open_index",
     "XEON_GOLD_5115",
     "XEON_PHI_7210",
     "TESLA_V100",

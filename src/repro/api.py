@@ -1,0 +1,258 @@
+"""The stable public mapping API: ``open_index`` / ``map_reads`` / ``map_file``.
+
+Everything a library consumer needs sits behind three calls and one
+options object::
+
+    import repro
+
+    aligner = repro.open_index("ref.fa", "ref.mmi")       # or a Genome
+    opts = repro.MapOptions(backend="streaming", workers=4)
+
+    # batch: results in input order, byte-identical across backends
+    results = repro.api.map_reads(aligner, reads, opts)
+
+    # streaming: constant-memory file-to-file mapping
+    with open("out.paf", "w") as out:
+        stats = repro.api.map_file(aligner, "reads.fq.gz", out, opts)
+
+:class:`MapOptions` replaces the keyword sprawl previously duplicated
+across ``runtime/parallel.map_reads``, ``runtime/procpool``, the
+drivers, and the CLI — those entry points still work but delegate here
+(the two module-level functions emit :class:`DeprecationWarning`).
+Backends resolve through the registry in
+:mod:`repro.runtime.backends`, so ``MapOptions(backend=...)`` accepts
+exactly what the CLI's ``--backend`` flag does.
+
+This module is covered by an API-surface snapshot test
+(``tests/core/test_api.py``): changing a public name or signature here
+is a deliberate, test-acknowledged act.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from .core.aligner import Aligner
+from .core.alignment import Alignment, sam_header, to_paf, to_sam
+from .errors import SchedulerError
+from .index.store import load_index
+from .runtime import backends as _backends
+from .runtime.streaming import StreamStats, stream_map
+from .seq.fasta import iter_reads, read_fasta
+from .seq.genome import Genome
+from .seq.records import SeqRecord
+
+__all__ = [
+    "MapOptions",
+    "StreamStats",
+    "open_index",
+    "map_reads",
+    "map_file",
+]
+
+
+@dataclass(frozen=True)
+class MapOptions:
+    """Every knob of a mapping run, in one replaceable value object.
+
+    ``backend`` — a :func:`repro.runtime.backends.backend_names` entry
+    (``serial`` / ``threads`` / ``processes`` / ``streaming``).
+    ``workers`` — pool width (ignored by ``serial``).
+    ``chunk_reads`` / ``chunk_bases`` — scheduling-chunk bounds (the
+    process and streaming backends; also sizes :func:`map_file`'s
+    bounded batches on the batch backends, so it caps memory
+    everywhere).
+    ``longest_first`` — LPT submission order (§4.4.4); never affects
+    output order.
+    ``window_reads`` / ``queue_chunks`` — streaming look-ahead window
+    and queue capacity (backpressure).
+    ``stream_processes`` — back the streaming pipeline's compute
+    workers with a process pool (mmap-shared index) instead of threads.
+    ``index_path`` — serialized index for process workers to mmap;
+    defaults to the path recorded by :func:`open_index`.
+    """
+
+    backend: str = "serial"
+    workers: int = 1
+    with_cigar: bool = True
+    longest_first: bool = True
+    chunk_reads: int = 32
+    chunk_bases: int = 1_000_000
+    window_reads: int = 256
+    queue_chunks: int = 8
+    stream_processes: bool = False
+    index_path: Optional[str] = None
+
+    def replace(self, **changes) -> "MapOptions":
+        """A copy with ``changes`` applied (unknown names: TypeError)."""
+        return dataclasses.replace(self, **changes)
+
+    def validated(self) -> "MapOptions":
+        """Self, after checking every field; raises SchedulerError."""
+        _backends.get_backend(self.backend)
+        for name in ("workers", "chunk_reads", "chunk_bases",
+                     "window_reads", "queue_chunks"):
+            if getattr(self, name) < 1:
+                raise SchedulerError(
+                    f"{name} must be >= 1: {getattr(self, name)}"
+                )
+        return self
+
+
+def _resolve(
+    options: Optional[MapOptions], overrides: dict, aligner=None
+) -> MapOptions:
+    opts = (options or MapOptions()).replace(**overrides)
+    if opts.index_path is None and aligner is not None:
+        src = getattr(aligner, "index_source", None)
+        if src:
+            opts = opts.replace(index_path=src)
+    return opts.validated()
+
+
+def open_index(
+    reference: Union[Genome, str, os.PathLike],
+    index_path: Optional[Union[str, os.PathLike]] = None,
+    *,
+    preset: str = "map-pb",
+    engine: str = "manymap",
+    load_mode: str = "mmap",
+) -> Aligner:
+    """Build an :class:`Aligner` over a reference and optional saved index.
+
+    ``reference`` is a :class:`Genome` or a FASTA path. With
+    ``index_path`` the serialized index is loaded (``load_mode='mmap'``
+    keeps it page-cache shared, §4.4.2) and its path is remembered on
+    the aligner (``aligner.index_source``) so process-backed mapping
+    reuses the same file zero-copy; without it the index is built
+    in-process.
+    """
+    genome = (
+        reference
+        if isinstance(reference, Genome)
+        else Genome(read_fasta(os.fspath(reference)))
+    )
+    index = None
+    if index_path is not None:
+        index = load_index(os.fspath(index_path), mode=load_mode)
+    aligner = Aligner(genome, preset=preset, engine=engine, index=index)
+    aligner.index_source = os.fspath(index_path) if index_path else None
+    return aligner
+
+
+def map_reads(
+    aligner: Aligner,
+    reads: Sequence[SeqRecord],
+    options: Optional[MapOptions] = None,
+    *,
+    profile=None,
+    telemetry=None,
+    **overrides,
+) -> List[List[Alignment]]:
+    """Map a read collection; results in input order on any backend.
+
+    ``overrides`` are applied on top of ``options`` (e.g.
+    ``map_reads(a, reads, backend="processes", workers=8)``).
+    ``profile`` / ``telemetry`` are the usual
+    :class:`~repro.core.profiling.PipelineProfile` /
+    :class:`~repro.obs.telemetry.Telemetry` collectors.
+    """
+    opts = _resolve(options, overrides, aligner)
+    return _backends.dispatch(
+        aligner, reads, opts, profile=profile, telemetry=telemetry
+    )
+
+
+def map_file(
+    aligner: Aligner,
+    reads_path: Union[str, os.PathLike],
+    output: Optional[io.TextIOBase] = None,
+    options: Optional[MapOptions] = None,
+    *,
+    sam: bool = False,
+    profile=None,
+    telemetry=None,
+    **overrides,
+) -> StreamStats:
+    """Map a FASTA/FASTQ(.gz) file, writing PAF (or SAM) as it goes.
+
+    Every backend consumes the file through the shared streaming
+    reader (:func:`repro.seq.fasta.iter_reads`): the ``streaming``
+    backend runs the full overlapped pipeline with constant memory;
+    the batch backends read bounded batches of
+    ``chunk_reads × workers × 4`` reads at a time, so ``chunk_reads``
+    bounds memory on every backend. Output lines are written strictly
+    in input order either way, so the bytes are identical across
+    backends. Returns the run's :class:`StreamStats`.
+    """
+    opts = _resolve(options, overrides, aligner)
+
+    def write_header() -> None:
+        if sam and output is not None:
+            output.write(
+                sam_header(aligner.index.names, aligner.index.lengths)
+            )
+            output.write("\n")
+
+    def emit(read: SeqRecord, alns: List[Alignment]) -> None:
+        if output is None:
+            return
+        for aln in alns:
+            output.write(to_sam(aln, read) if sam else to_paf(aln))
+            output.write("\n")
+
+    source = iter_reads(os.fspath(reads_path))
+    write_header()
+    if opts.backend == "streaming":
+        return stream_map(
+            aligner,
+            source,
+            emit,
+            workers=opts.workers,
+            use_processes=opts.stream_processes,
+            with_cigar=opts.with_cigar,
+            longest_first=opts.longest_first,
+            chunk_reads=opts.chunk_reads,
+            chunk_bases=opts.chunk_bases,
+            window_reads=opts.window_reads,
+            queue_chunks=opts.queue_chunks,
+            index_path=opts.index_path,
+            profile=profile,
+            telemetry=telemetry,
+        )
+
+    # Batch backends: bounded batches through the same reader path.
+    from contextlib import nullcontext
+
+    def stage(name):
+        return profile.stage(name) if profile is not None else nullcontext()
+
+    stats = StreamStats()
+    batch_size = opts.chunk_reads * max(1, opts.workers) * 4
+    while True:
+        batch: List[SeqRecord] = []
+        with stage("Load Query"):
+            for read in source:
+                batch.append(read)
+                if len(batch) >= batch_size:
+                    break
+        if not batch:
+            break
+        stats.n_chunks += 1
+        results = _backends.dispatch(
+            aligner, batch, opts, profile=profile, telemetry=telemetry
+        )
+        with stage("Output"):
+            for read, alns in zip(batch, results):
+                emit(read, alns)
+        stats.n_reads += len(batch)
+        stats.total_bases += sum(len(r) for r in batch)
+        stats.n_mapped += sum(1 for alns in results if alns)
+        stats.n_alignments += sum(len(alns) for alns in results)
+        if len(batch) < batch_size:
+            break
+    return stats

@@ -46,15 +46,34 @@ def _cmd_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_map_backend(args: argparse.Namespace):
+    """Map CLI flags to ``(backend, workers, stream_processes)``.
+
+    ``--backend`` wins outright; ``--stream`` is shorthand for
+    ``--backend streaming``; otherwise ``-p``/``-t`` pick processes or
+    threads as before. Under the streaming backend ``-p N`` selects
+    process-backed compute workers.
+    """
+    if args.stream and args.backend and args.backend != "streaming":
+        return None
+    backend = args.backend or ("streaming" if args.stream else None)
+    workers = max(args.threads, args.processes)
+    if backend is None:
+        if args.processes > 1:
+            backend = "processes"
+        elif args.threads > 1:
+            backend = "threads"
+        else:
+            backend, workers = "serial", 1
+    return backend, workers, args.processes > 1
+
+
 def _cmd_map(args: argparse.Namespace) -> int:
-    from .core.aligner import Aligner
-    from .core.alignment import sam_header, to_paf, to_sam
+    from .api import MapOptions, map_file, open_index
     from .core.profiling import PipelineProfile
     from .obs.logs import get_logger
     from .obs.metrics import build_metrics, write_metrics
     from .obs.telemetry import Telemetry
-    from .seq.fasta import read_fasta, read_fastq
-    from .seq.genome import Genome
 
     log = get_logger("cli")
     if args.threads > 1 and args.processes > 1:
@@ -63,59 +82,46 @@ def _cmd_map(args: argparse.Namespace) -> int:
     if args.threads < 1 or args.processes < 1 or args.chunk_reads < 1:
         log.error("--threads, --processes and --chunk-reads must be >= 1")
         return 2
-
-    if args.processes > 1:
-        backend, workers = "processes", args.processes
-    elif args.threads > 1:
-        backend, workers = "threads", args.threads
-    else:
-        backend, workers = "serial", 1
+    resolved = _resolve_map_backend(args)
+    if resolved is None:
+        log.error("--stream conflicts with --backend %s", args.backend)
+        return 2
+    backend, workers, stream_processes = resolved
 
     profile = PipelineProfile(label=f"{backend}[{workers}]")
     telemetry = Telemetry(trace=bool(args.trace))
 
     with profile.stage("Load Index"):
-        genome = Genome(read_fasta(args.reference))
-        aligner = Aligner(genome, preset=args.preset, engine=args.engine)
-    log.debug("reference loaded: %d sequence(s)", len(genome))
-    with profile.stage("Load Query"):
-        reads = (
-            read_fastq(args.reads)
-            if args.reads.endswith((".fq", ".fastq"))
-            else read_fasta(args.reads)
+        aligner = open_index(
+            args.reference, preset=args.preset, engine=args.engine
         )
-    log.debug("loaded %d reads from %s", len(reads), args.reads)
+    log.debug("reference loaded: %d sequence(s)", len(aligner.genome))
 
-    from .runtime.parallel import map_reads
-
-    results = map_reads(
-        aligner,
-        reads,
+    options = MapOptions(
         backend=backend,
         workers=workers,
         with_cigar=not args.no_cigar,
         chunk_reads=args.chunk_reads,
-        profile=profile,
-        telemetry=telemetry,
+        stream_processes=stream_processes,
     )
     out = open(args.output, "w") if args.output else sys.stdout
-    n_mapped = 0
     try:
-        with profile.stage("Output"):
-            if args.sam:
-                print(
-                    sam_header(aligner.index.names, aligner.index.lengths),
-                    file=out,
-                )
-            for read, alns in zip(reads, results):
-                if alns:
-                    n_mapped += 1
-                for aln in alns:
-                    print(to_sam(aln, read) if args.sam else to_paf(aln), file=out)
+        # Every backend consumes the reads file through the same
+        # bounded iterator inside map_file, so --chunk-reads caps
+        # memory whether or not --stream is in play.
+        stats = map_file(
+            aligner,
+            args.reads,
+            out,
+            options,
+            sam=bool(args.sam),
+            profile=profile,
+            telemetry=telemetry,
+        )
     finally:
         if args.output:
             out.close()
-    log.info("mapped %d/%d reads", n_mapped, len(reads))
+    log.info("mapped %d/%d reads", stats.n_mapped, stats.n_reads)
 
     if args.trace:
         n_spans = telemetry.write_trace(args.trace)
@@ -132,11 +138,12 @@ def _cmd_map(args: argparse.Namespace) -> int:
                 "chunk_reads": args.chunk_reads,
                 "with_cigar": not args.no_cigar,
                 "sam": bool(args.sam),
+                "stream_processes": stream_processes,
             },
             reads={
-                "n_reads": len(reads),
-                "total_bases": sum(len(r) for r in reads),
-                "n_mapped": n_mapped,
+                "n_reads": stats.n_reads,
+                "total_bases": stats.total_bases,
+                "n_mapped": stats.n_mapped,
             },
             label=profile.label,
         )
@@ -219,6 +226,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     from .obs.logs import LOG_LEVELS
+    from .runtime.backends import backend_names
 
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument(
@@ -253,6 +261,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["manymap", "mm2", "scalar", "reference"],
         help="base-level DP engine",
     )
+    pm.add_argument(
+        "--backend",
+        default=None,
+        choices=list(backend_names()),
+        help="execution backend (default: inferred from -t/-p)",
+    )
+    pm.add_argument(
+        "--stream",
+        action="store_true",
+        help="shorthand for --backend streaming: overlapped "
+        "read/compute/write pipeline with constant memory",
+    )
     pm.add_argument("-t", "--threads", type=int, default=1, help="mapping threads")
     pm.add_argument(
         "-p",
@@ -265,7 +285,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk-reads",
         type=int,
         default=32,
-        help="max reads per scheduling chunk for the process backend",
+        help="max reads per scheduling chunk; also sizes the bounded "
+        "read batches, so it caps resident memory on every backend",
     )
     pm.add_argument("--sam", action="store_true", help="emit SAM instead of PAF")
     pm.add_argument("--no-cigar", action="store_true", help="skip path DP")

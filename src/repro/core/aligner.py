@@ -111,6 +111,11 @@ class Aligner:
         preset's k and w) instead of building one.
     """
 
+    #: path of the serialized index this aligner was opened from, when
+    #: known (set by :func:`repro.api.open_index`); process-backed
+    #: mapping reuses it so workers mmap the same file zero-copy.
+    index_source: Optional[str] = None
+
     def __init__(
         self,
         genome: Genome,

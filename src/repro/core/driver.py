@@ -14,7 +14,6 @@ import os
 import time
 from typing import Dict, List, Optional, Sequence, Union
 
-from ..errors import ReproError
 from ..index.store import load_index
 from ..obs.metrics import build_metrics
 from ..obs.telemetry import Telemetry, read_span
@@ -168,7 +167,13 @@ class BatchDriver:
 
 
 class ParallelDriver(BatchDriver):
-    """Batch driver running any :data:`repro.runtime.parallel.BACKENDS`.
+    """Batch driver running any registered execution backend.
+
+    Backends resolve through the registry in
+    :mod:`repro.runtime.backends` (``serial`` / ``threads`` /
+    ``processes`` / ``streaming``); pass either the legacy keyword
+    arguments or a prebuilt :class:`repro.api.MapOptions` via
+    ``options`` (which wins over the individual kwargs).
 
     Per-stage profiling is preserved across workers: each worker times
     its own Seed & Chain / Align stages and the driver merges the
@@ -189,24 +194,53 @@ class ParallelDriver(BatchDriver):
         index_path: Optional[Union[str, os.PathLike]] = None,
         label: str = "",
         trace: bool = False,
+        options: Optional["MapOptions"] = None,
     ) -> None:
-        from ..runtime.parallel import BACKENDS
+        from ..api import MapOptions
 
-        if backend not in BACKENDS:
-            raise ReproError(
-                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        if options is None:
+            options = MapOptions(
+                backend=backend,
+                workers=workers,
+                chunk_reads=chunk_reads,
+                chunk_bases=chunk_bases,
+                longest_first=longest_first,
+                index_path=os.fspath(index_path) if index_path else None,
             )
+        options = options.validated()
         super().__init__(
-            aligner, label=label or f"{backend}[{workers}]", trace=trace
+            aligner,
+            label=label or f"{options.backend}[{options.workers}]",
+            trace=trace,
         )
-        self.backend = backend
-        self.workers = workers
-        self.chunk_reads = chunk_reads
-        self.chunk_bases = chunk_bases
-        self.longest_first = longest_first
-        #: serialized index reused by process workers (mmap, zero-copy);
-        #: when None the process backend serializes the index per run.
-        self.index_path = os.fspath(index_path) if index_path else None
+        #: the run configuration; the kwarg properties below mirror it.
+        self.options = options
+
+    @property
+    def backend(self) -> str:
+        return self.options.backend
+
+    @property
+    def workers(self) -> int:
+        return self.options.workers
+
+    @property
+    def chunk_reads(self) -> int:
+        return self.options.chunk_reads
+
+    @property
+    def chunk_bases(self) -> int:
+        return self.options.chunk_bases
+
+    @property
+    def longest_first(self) -> bool:
+        return self.options.longest_first
+
+    @property
+    def index_path(self) -> Optional[str]:
+        """Serialized index reused by process workers (mmap, zero-copy);
+        when None the process backends serialize the index per run."""
+        return self.options.index_path
 
     @classmethod
     def from_index_file(
@@ -249,19 +283,13 @@ class ParallelDriver(BatchDriver):
         with_cigar: bool = True,
     ) -> List[List[Alignment]]:
         """Map every read on the configured backend; stream PAF output."""
-        from ..runtime.parallel import map_reads
+        from ..runtime.backends import dispatch
 
         records = list(reads)
-        results = map_reads(
+        results = dispatch(
             self.aligner,
             records,
-            backend=self.backend,
-            workers=self.workers,
-            with_cigar=with_cigar,
-            longest_first=self.longest_first,
-            chunk_reads=self.chunk_reads,
-            chunk_bases=self.chunk_bases,
-            index_path=self.index_path,
+            self.options.replace(with_cigar=with_cigar),
             profile=self.profile,
             telemetry=self.telemetry,
         )

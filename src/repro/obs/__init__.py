@@ -20,6 +20,7 @@ every run of our pipeline produce the same evidence:
 """
 
 from .counters import COUNTERS, CounterRegistry, counter_delta
+from .gauges import GaugeSet
 from .logs import LOG_LEVELS, current_level_name, get_logger, setup_logging
 from .metrics import (
     SCHEMA_VERSION,
@@ -37,6 +38,7 @@ __all__ = [
     "COUNTERS",
     "CounterRegistry",
     "counter_delta",
+    "GaugeSet",
     "LOG_LEVELS",
     "current_level_name",
     "get_logger",

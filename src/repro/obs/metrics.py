@@ -36,7 +36,9 @@ __all__ = [
 ]
 
 #: Manifest layout version; see benchmarks/metrics_schema.json.
-SCHEMA_VERSION = 1
+#: v2 adds the optional ``gauges`` object (queue depths / stall
+#: seconds from the streaming backend); v1 manifests remain valid.
+SCHEMA_VERSION = 2
 
 
 def machine_info() -> Dict:
@@ -106,6 +108,7 @@ def build_metrics(
         "reads": read_info,
         "stages": stages,
         "counters": counters,
+        "gauges": telemetry.gauges.snapshot(),
         "derived": derive_metrics(
             stages,
             counters,

@@ -81,6 +81,17 @@ def render_metrics(manifests: Sequence[Dict]) -> str:
         lines.append("")
         lines.append("Counters")
         lines.extend(_counter_table(manifests[0].get("counters", {})))
+        gauges = manifests[0].get("gauges") or {}
+        if gauges:
+            width = max(len(k) for k in gauges)
+            lines.append("")
+            lines.append("Gauges")
+            lines.extend(
+                f"{name:<{width}}  {gauges[name]:>14.4f}"
+                if isinstance(gauges[name], float)
+                else f"{name:<{width}}  {gauges[name]:>14}"
+                for name in sorted(gauges)
+            )
     return "\n".join(lines)
 
 

@@ -24,6 +24,7 @@ import threading
 from typing import Dict, List, Optional
 
 from .counters import COUNTERS, counter_delta
+from .gauges import GaugeSet
 
 __all__ = ["Telemetry", "worker_id", "read_span"]
 
@@ -60,6 +61,9 @@ class Telemetry:
         #: when False, span recording is skipped everywhere (zero cost).
         self.trace = bool(trace)
         self.spans: List[Dict] = []
+        #: execution-machinery gauges (queue depths, stall seconds);
+        #: populated by the streaming backend, surfaced in ``--metrics``.
+        self.gauges = GaugeSet()
         self._baseline = COUNTERS.totals()
 
     # -- spans --------------------------------------------------------- #

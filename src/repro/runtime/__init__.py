@@ -2,12 +2,15 @@
 
 Two kinds of components live here:
 
-* **Real executors** — :mod:`parallel` (backend-selectable batch
+* **Real executors** — :mod:`backends` (the backend registry, single
+  source of truth for backend names), :mod:`streaming` (the
+  overlapped read→compute→write pipeline over bounded queues, the
+  runnable §4.4.4), :mod:`parallel` (legacy backend-selectable batch
   mapping: serial / threads / processes), :mod:`procpool` (the
   multi-process backend with an mmap-shared index and longest-first
-  streaming chunks), :mod:`threaded` (a 3-stage threading pipeline
-  that actually overlaps I/O and compute under CPython) and
-  :mod:`mmio` (buffered vs ``mmap`` file loading, genuinely measurable).
+  streaming chunks), :mod:`threaded` (a generic 3-stage threading
+  pipeline) and :mod:`mmio` (buffered vs ``mmap`` file loading,
+  genuinely measurable).
 * **Discrete-event simulators** — :mod:`scheduler` (multi-thread
   makespan with hyper-thread contention, Figure 9), :mod:`affinity`
   (compact/scatter/optimized placement, Figure 10), :mod:`pipeline`
@@ -22,6 +25,14 @@ from .pipeline import PipelineStageCost, simulate_pipeline
 from .gpu_streams import StreamScheduler, KernelTask, MemoryPool
 from .mmio import load_bytes_buffered, load_bytes_mmap
 from .threaded import ThreadedPipeline
+from .backends import (
+    BackendSpec,
+    backend_names,
+    dispatch,
+    get_backend,
+    register_backend,
+)
+from .streaming import StreamStats, map_reads_streaming, stream_map
 from .parallel import BACKENDS, map_reads, parallel_map_reads
 from .procpool import ChunkPlan, map_reads_processes, plan_chunks
 
@@ -43,6 +54,14 @@ __all__ = [
     "load_bytes_buffered",
     "load_bytes_mmap",
     "ThreadedPipeline",
+    "BackendSpec",
+    "backend_names",
+    "dispatch",
+    "get_backend",
+    "register_backend",
+    "StreamStats",
+    "map_reads_streaming",
+    "stream_map",
     "BACKENDS",
     "map_reads",
     "parallel_map_reads",

@@ -16,6 +16,7 @@ trace spans home with its results.
 from __future__ import annotations
 
 import time
+import warnings
 from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from threading import Lock
 from typing import Dict, List, Optional, Sequence
@@ -25,9 +26,11 @@ from ..core.alignment import Alignment
 from ..errors import SchedulerError
 from ..obs.telemetry import Telemetry, read_span
 from ..seq.records import SeqRecord
+from .backends import backend_names
 
-#: Names accepted by :func:`map_reads`'s ``backend`` parameter.
-BACKENDS = ("serial", "threads", "processes")
+#: Names accepted by the ``backend`` parameter — mirrors the backend
+#: registry (:mod:`repro.runtime.backends`), the single source of truth.
+BACKENDS = backend_names()
 
 
 def map_reads(
@@ -43,53 +46,31 @@ def map_reads(
     profile=None,
     telemetry: Optional[Telemetry] = None,
 ) -> List[List[Alignment]]:
-    """Map reads with the selected execution backend, in input order.
+    """Deprecated kwarg-style entry point; use :func:`repro.api.map_reads`.
 
-    ``backend`` is one of :data:`BACKENDS`. ``chunk_reads`` /
-    ``chunk_bases`` / ``index_path`` only affect the process backend
-    (see :func:`repro.runtime.procpool.map_reads_processes`).
-    ``profile`` — an optional
-    :class:`~repro.core.profiling.PipelineProfile` — accumulates the
-    merged per-worker Seed & Chain / Align stage timers (aggregate
-    worker seconds, which can exceed wall-clock). ``telemetry`` — an
-    optional :class:`~repro.obs.telemetry.Telemetry` — collects one
-    trace span per read (when tracing is enabled) and, on the process
-    backend, absorbs worker counter deltas.
+    Delegates to the backend registry through the public facade so
+    behavior is identical; kept for source compatibility and emits a
+    :class:`DeprecationWarning`.
     """
-    if backend not in BACKENDS:
-        raise SchedulerError(
-            f"unknown backend {backend!r}; expected one of {BACKENDS}"
-        )
-    if backend == "processes":
-        from .procpool import map_reads_processes
+    warnings.warn(
+        "repro.runtime.parallel.map_reads is deprecated; use "
+        "repro.api.map_reads with a MapOptions instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..api import MapOptions
+    from .backends import dispatch
 
-        return map_reads_processes(
-            aligner,
-            reads,
-            processes=workers,
-            with_cigar=with_cigar,
-            longest_first=longest_first,
-            chunk_reads=chunk_reads,
-            chunk_bases=chunk_bases,
-            index_path=index_path,
-            profile=profile,
-            telemetry=telemetry,
-        )
-    if backend == "serial":
-        from .procpool import _map_serial
-
-        if workers < 1:
-            raise SchedulerError(f"need >= 1 worker: {workers}")
-        return _map_serial(aligner, list(reads), with_cigar, profile, telemetry)
-    return parallel_map_reads(
-        aligner,
-        reads,
-        threads=workers,
+    options = MapOptions(
+        backend=backend,
+        workers=workers,
         with_cigar=with_cigar,
         longest_first=longest_first,
-        profile=profile,
-        telemetry=telemetry,
-    )
+        chunk_reads=chunk_reads,
+        chunk_bases=chunk_bases,
+        index_path=index_path,
+    ).validated()
+    return dispatch(aligner, reads, options, profile=profile, telemetry=telemetry)
 
 
 def parallel_map_reads(

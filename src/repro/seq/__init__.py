@@ -16,6 +16,9 @@ from .alphabet import (
 )
 from .records import SeqRecord, ReadSet
 from .fasta import (
+    iter_fasta,
+    iter_fastq,
+    iter_reads,
     read_fasta,
     read_fastq,
     write_fasta,
@@ -35,6 +38,9 @@ __all__ = [
     "random_codes",
     "SeqRecord",
     "ReadSet",
+    "iter_fasta",
+    "iter_fastq",
+    "iter_reads",
     "read_fasta",
     "read_fastq",
     "write_fasta",

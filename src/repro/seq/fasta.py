@@ -102,6 +102,21 @@ def read_fastq(path: PathOrHandle) -> List[SeqRecord]:
     return list(iter_fastq(path))
 
 
+def iter_reads(path: PathOrHandle) -> Iterator[SeqRecord]:
+    """Stream records from a read file, dispatching on its extension.
+
+    ``.fq`` / ``.fastq`` (optionally ``.gz``-suffixed) parse as FASTQ;
+    everything else as FASTA. This is the shared reader path every
+    mapping entry point goes through (:func:`repro.api.map_file` and
+    the CLI), so streaming and batch backends see the same records.
+    """
+    name = str(path) if not (hasattr(path, "read")) else getattr(path, "name", "")
+    base = name[: -len(".gz")] if name.endswith(".gz") else name
+    if base.endswith((".fq", ".fastq")):
+        return iter_fastq(path)
+    return iter_fasta(path)
+
+
 def parse_fasta_buffer(buf: Union[bytes, memoryview, np.ndarray]) -> List[SeqRecord]:
     """Parse FASTA from an in-memory buffer (the mmap-friendly path).
 

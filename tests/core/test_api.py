@@ -1,0 +1,222 @@
+"""The public mapping API: surface snapshot, options, deprecation shims.
+
+``repro.api`` is the stable contract — these tests pin its exact
+surface (names and signatures) so any change is deliberate, and verify
+that the legacy kwarg-style entry points still work but warn.
+"""
+
+from __future__ import annotations
+
+import inspect
+import io
+
+import pytest
+
+import repro
+from repro import api
+from repro.api import MapOptions
+from repro.core.aligner import Aligner
+from repro.core.alignment import to_paf
+from repro.core.driver import ParallelDriver
+from repro.errors import ReproError, SchedulerError
+from repro.sim.lengths import LengthModel
+from repro.sim.pbsim import ReadSimulator
+
+
+@pytest.fixture(scope="module")
+def setup(small_genome):
+    sim = ReadSimulator.preset(small_genome, "pacbio")
+    sim.length_model = LengthModel(mean=500.0, sigma=0.4, max_length=1000)
+    reads = list(sim.simulate(6, seed=13))
+    return Aligner(small_genome, preset="test"), reads
+
+
+def paf(results):
+    return [to_paf(a) for alns in results for a in alns]
+
+
+class TestSurfaceSnapshot:
+    """Changing anything here is an API break — do it on purpose."""
+
+    def test_public_names(self):
+        assert api.__all__ == [
+            "MapOptions",
+            "StreamStats",
+            "open_index",
+            "map_reads",
+            "map_file",
+        ]
+
+    def test_reexported_from_package_root(self):
+        for name in api.__all__:
+            assert getattr(repro, name) is getattr(api, name), name
+            assert name in repro.__all__
+
+    def test_signatures(self):
+        snapshot = {
+            "open_index": (
+                "(reference, index_path=None, *, preset='map-pb', "
+                "engine='manymap', load_mode='mmap')"
+            ),
+            "map_reads": (
+                "(aligner, reads, options=None, *, profile=None, "
+                "telemetry=None, **overrides)"
+            ),
+            "map_file": (
+                "(aligner, reads_path, output=None, options=None, *, "
+                "sam=False, profile=None, telemetry=None, **overrides)"
+            ),
+        }
+        for name, want in snapshot.items():
+            fn = getattr(api, name)
+            sig = str(inspect.signature(fn))
+            # Strip annotations: compare the name/default skeleton only.
+            got = str(
+                inspect.Signature(
+                    [
+                        p.replace(annotation=inspect.Parameter.empty)
+                        for p in inspect.signature(fn).parameters.values()
+                    ]
+                )
+            )
+            assert got == want, f"{name}{sig}"
+
+    def test_map_options_fields(self):
+        assert [f.name for f in MapOptions.__dataclass_fields__.values()] == [
+            "backend",
+            "workers",
+            "with_cigar",
+            "longest_first",
+            "chunk_reads",
+            "chunk_bases",
+            "window_reads",
+            "queue_chunks",
+            "stream_processes",
+            "index_path",
+        ]
+        assert MapOptions() == MapOptions(
+            backend="serial",
+            workers=1,
+            with_cigar=True,
+            longest_first=True,
+            chunk_reads=32,
+            chunk_bases=1_000_000,
+            window_reads=256,
+            queue_chunks=8,
+            stream_processes=False,
+            index_path=None,
+        )
+
+
+class TestMapOptions:
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            MapOptions().workers = 2  # type: ignore[misc]
+
+    def test_replace(self):
+        opts = MapOptions().replace(backend="threads", workers=4)
+        assert (opts.backend, opts.workers) == ("threads", 4)
+        assert MapOptions().workers == 1  # original untouched
+
+    def test_replace_unknown_field(self):
+        with pytest.raises(TypeError):
+            MapOptions().replace(thread_count=4)
+
+    def test_validated_unknown_backend(self):
+        with pytest.raises(SchedulerError, match="unknown backend"):
+            MapOptions(backend="gpu").validated()
+
+    @pytest.mark.parametrize(
+        "field",
+        ["workers", "chunk_reads", "chunk_bases", "window_reads", "queue_chunks"],
+    )
+    def test_validated_bounds(self, field):
+        with pytest.raises(SchedulerError, match=field):
+            MapOptions(**{field: 0}).validated()
+
+
+class TestFacade:
+    def test_open_index_from_genome_and_map(self, setup):
+        aligner, reads = setup
+        serial = paf(api.map_reads(aligner, reads))
+        for backend in ("threads", "streaming"):
+            got = paf(api.map_reads(aligner, reads, backend=backend, workers=2))
+            assert got == serial, backend
+
+    def test_open_index_records_source(self, small_genome, tmp_path):
+        from repro.index.store import save_index
+
+        base = Aligner(small_genome, preset="test")
+        idx = tmp_path / "ref.mmi"
+        save_index(base.index, idx)
+        aligner = api.open_index(small_genome, idx, preset="test")
+        assert aligner.index_source == str(idx)
+        plain = api.open_index(small_genome, preset="test")
+        assert plain.index_source is None
+
+    def test_overrides_beat_options(self, setup):
+        aligner, reads = setup
+        opts = MapOptions(backend="serial")
+        serial = paf(api.map_reads(aligner, reads, opts))
+        streamed = paf(
+            api.map_reads(aligner, reads, opts, backend="streaming", workers=2)
+        )
+        assert streamed == serial
+        assert opts.backend == "serial"  # options object untouched
+
+
+class TestDeprecationShims:
+    def test_parallel_map_reads_warns_and_matches(self, setup):
+        from repro.runtime.parallel import map_reads as legacy
+
+        aligner, reads = setup
+        serial = paf(api.map_reads(aligner, reads))
+        with pytest.warns(DeprecationWarning, match="repro.api.map_reads"):
+            got = legacy(aligner, reads, backend="threads", workers=2)
+        assert paf(got) == serial
+
+    def test_procpool_map_reads_processes_warns(self, setup, tmp_path):
+        from repro.index.store import save_index
+        from repro.runtime.procpool import map_reads_processes as legacy
+
+        aligner, reads = setup
+        idx = tmp_path / "ref.mmi"
+        save_index(aligner.index, idx)
+        serial = paf(api.map_reads(aligner, reads))
+        with pytest.warns(DeprecationWarning, match="MapOptions"):
+            got = legacy(
+                aligner, reads, processes=2, chunk_reads=3, index_path=str(idx)
+            )
+        assert paf(got) == serial
+
+    def test_facade_does_not_warn(self, setup, recwarn):
+        aligner, reads = setup
+        api.map_reads(aligner, reads, backend="threads", workers=2)
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+class TestDriverOptions:
+    def test_driver_accepts_options(self, setup):
+        aligner, reads = setup
+        driver = ParallelDriver(
+            aligner, options=MapOptions(backend="streaming", workers=2)
+        )
+        assert driver.backend == "streaming"
+        assert driver.workers == 2
+        assert driver.profile.label == "streaming[2]"
+        out = io.StringIO()
+        results = driver.run(reads, output=out)
+        assert paf(results) == paf(api.map_reads(aligner, reads))
+        assert out.getvalue().splitlines() == paf(results)
+
+    def test_driver_legacy_kwargs_still_work(self, setup):
+        aligner, _ = setup
+        driver = ParallelDriver(aligner, backend="threads", workers=3)
+        assert driver.options == MapOptions(backend="threads", workers=3)
+
+    def test_driver_unknown_backend_raises_repro_error(self, setup):
+        aligner, _ = setup
+        with pytest.raises(ReproError):
+            ParallelDriver(aligner, backend="quantum")

@@ -21,7 +21,7 @@ from repro.seq.genome import GenomeSpec, generate_genome
 from repro.sim.lengths import LengthModel
 from repro.sim.pbsim import ReadSimulator
 
-BACKENDS = [("serial", 1), ("threads", 2), ("processes", 2)]
+BACKENDS = [("serial", 1), ("threads", 2), ("processes", 2), ("streaming", 2)]
 
 
 @pytest.fixture(scope="module")
@@ -73,9 +73,12 @@ class TestCounterIdentity:
     def test_processes_match_serial(self, runs):
         assert runs["processes"]["counters"] == runs["serial"]["counters"]
 
+    def test_streaming_match_serial(self, runs):
+        assert runs["streaming"]["counters"] == runs["serial"]["counters"]
+
     def test_results_identical(self, runs):
         serial = runs["serial"]["results"]
-        for backend in ("threads", "processes"):
+        for backend in ("threads", "processes", "streaming"):
             assert runs[backend]["results"] == serial
 
 
@@ -91,7 +94,7 @@ class TestStageSeconds:
         # per-read work, so the totals stay within a loose factor of the
         # serial run (they can exceed wall-clock, never vanish).
         serial_align = runs["serial"]["profile"].seconds("Align")
-        for backend in ("threads", "processes"):
+        for backend in ("threads", "processes", "streaming"):
             align = runs[backend]["profile"].seconds("Align")
             assert serial_align / 20 < align < serial_align * 20, backend
 

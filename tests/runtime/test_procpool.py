@@ -77,7 +77,7 @@ class TestBackendEquivalence:
         aligner, reads, _ = setup
         with pytest.raises(SchedulerError):
             map_reads(aligner, reads, backend="gpu")
-        assert set(BACKENDS) == {"serial", "threads", "processes"}
+        assert set(BACKENDS) == {"serial", "threads", "processes", "streaming"}
 
 
 class TestChunkPlanning:
