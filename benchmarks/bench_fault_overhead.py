@@ -1,0 +1,165 @@
+"""Fault-machinery overhead gate: the clean path must stay clean.
+
+The fault-tolerant runtime promises that a run with *no* policy
+(``fault_policy=None``) pays nothing — :func:`repro.runtime.faults.
+map_one_read` collapses to the same two aligner calls the runtime
+always made — and that an *armed but untriggered* policy
+(``on_error='retry'`` with no failing reads) costs only the per-read
+attempt-loop bookkeeping. This bench times both against the pre-fault
+baseline shape (serial backend, min-of-N wall clock) and gates the
+armed/clean ratio at <2% (or a small absolute floor for sub-millisecond
+noise on tiny smoke workloads).
+
+Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_fault_overhead.py --smoke
+
+or via pytest. Emits ``benchmarks/results/BENCH_fault_overhead.json``
+and the usual ``.txt`` table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from _common import RESULTS_DIR, emit, ratio
+
+from repro import api
+from repro.core.aligner import Aligner
+from repro.runtime.faults import FaultPolicy
+from repro.seq.genome import GenomeSpec, generate_genome
+from repro.sim.lengths import LengthModel
+from repro.sim.pbsim import ReadSimulator
+
+JSON_NAME = "BENCH_fault_overhead.json"
+
+#: relative gate: armed-policy clean run <= 2% over no-policy run.
+MAX_RATIO = 1.02
+#: absolute slack for smoke-sized workloads where 2% is sub-millisecond.
+ABS_SLACK_S = 0.05
+
+
+def _workload(smoke: bool):
+    genome = generate_genome(
+        GenomeSpec(length=40_000 if smoke else 150_000, chromosomes=1),
+        seed=31,
+    )
+    sim = ReadSimulator.preset(genome, "pacbio")
+    sim.length_model = LengthModel(
+        mean=700.0 if smoke else 1500.0, sigma=0.4, max_length=3000
+    )
+    reads = list(sim.simulate(12 if smoke else 40, seed=37))
+    return Aligner(genome, preset="test"), reads
+
+
+def _best_of(n: int, fn) -> float:
+    best = float("inf")
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_fault_overhead(
+    smoke: bool = True, repeats: int = 3, out_dir: Path = RESULTS_DIR
+) -> Dict:
+    """Time clean serial mapping with policy=None vs an armed policy."""
+    aligner, reads = _workload(smoke)
+    armed = FaultPolicy(on_error="retry", max_retries=2)
+
+    # Warm up caches/JIT-free interpreter state once before timing.
+    api.map_reads(aligner, reads)
+
+    t_none = _best_of(repeats, lambda: api.map_reads(aligner, reads))
+    t_armed = _best_of(
+        repeats,
+        lambda: api.map_reads(aligner, reads, fault_policy=armed),
+    )
+    rel = ratio(t_armed, t_none)
+    within = t_armed <= t_none * MAX_RATIO or t_armed - t_none <= ABS_SLACK_S
+
+    # Sanity: identical output with and without the armed policy.
+    from repro.core.alignment import to_paf
+
+    paf_none = [
+        to_paf(a) for alns in api.map_reads(aligner, reads) for a in alns
+    ]
+    paf_armed = [
+        to_paf(a)
+        for alns in api.map_reads(aligner, reads, fault_policy=armed)
+        for a in alns
+    ]
+    identical = paf_none == paf_armed
+
+    result = {
+        "benchmark": "fault_overhead",
+        "smoke": smoke,
+        "repeats": repeats,
+        "n_reads": len(reads),
+        "seconds_no_policy": t_none,
+        "seconds_armed_policy": t_armed,
+        "overhead_ratio": rel,
+        "max_ratio": MAX_RATIO,
+        "abs_slack_s": ABS_SLACK_S,
+        "within_gate": within,
+        "paf_identical": identical,
+    }
+
+    table = [
+        "Clean-path overhead of the fault runtime (serial backend, "
+        f"best of {repeats})",
+        "",
+        f"{'policy':<28}{'seconds':>12}{'ratio':>10}",
+        f"{'none (fast path)':<28}{t_none:>12.4f}{1.0:>10.3f}",
+        f"{'retry armed, no faults':<28}{t_armed:>12.4f}{rel:>10.3f}",
+        "",
+        f"gate: ratio <= {MAX_RATIO} (or +{ABS_SLACK_S}s abs) -> "
+        f"{'PASS' if within else 'FAIL'}",
+        f"PAF identical with/without policy: {identical}",
+    ]
+    emit("BENCH_fault_overhead", "\n".join(table))
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / JSON_NAME).write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def test_fault_overhead():
+    """CI gate: armed-but-idle fault policy costs <2% on the clean path."""
+    res = run_fault_overhead(smoke=True)
+    assert res["paf_identical"], "armed policy changed clean-run output"
+    assert res["within_gate"], (
+        f"fault machinery overhead {res['overhead_ratio']:.3f}x exceeds "
+        f"{MAX_RATIO}x gate "
+        f"({res['seconds_no_policy']:.4f}s -> "
+        f"{res['seconds_armed_policy']:.4f}s)"
+    )
+    assert (RESULTS_DIR / JSON_NAME).exists()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--smoke", action="store_true", help="small fast workload")
+    ap.add_argument("--repeats", type=int, default=3)
+    args = ap.parse_args(argv)
+    res = run_fault_overhead(smoke=args.smoke, repeats=args.repeats)
+    if not res["paf_identical"]:
+        print("ERROR: armed policy changed clean-run output", file=sys.stderr)
+        return 1
+    if not res["within_gate"]:
+        print(
+            f"ERROR: overhead ratio {res['overhead_ratio']:.3f} exceeds "
+            f"{MAX_RATIO}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,6 +41,7 @@ from .core.alignment import Alignment, sam_header, to_paf, to_sam
 from .errors import SchedulerError
 from .index.store import load_index
 from .runtime import backends as _backends
+from .runtime.faults import FaultPolicy, write_quarantine
 from .runtime.streaming import StreamStats, stream_map
 from .seq.fasta import iter_reads, read_fasta
 from .seq.genome import Genome
@@ -74,6 +75,10 @@ class MapOptions:
     workers with a process pool (mmap-shared index) instead of threads.
     ``index_path`` — serialized index for process workers to mmap;
     defaults to the path recorded by :func:`open_index`.
+    ``fault_policy`` — a :class:`repro.runtime.faults.FaultPolicy`
+    controlling per-read error handling, the watchdog timeout, and
+    worker-crash recovery; ``None`` (default) keeps every backend
+    strictly fail-fast with zero overhead.
     """
 
     backend: str = "serial"
@@ -86,6 +91,7 @@ class MapOptions:
     queue_chunks: int = 8
     stream_processes: bool = False
     index_path: Optional[str] = None
+    fault_policy: Optional["FaultPolicy"] = None
 
     def replace(self, **changes) -> "MapOptions":
         """A copy with ``changes`` applied (unknown names: TypeError)."""
@@ -100,6 +106,8 @@ class MapOptions:
                 raise SchedulerError(
                     f"{name} must be >= 1: {getattr(self, name)}"
                 )
+        if self.fault_policy is not None:
+            self.fault_policy.validated()
         return self
 
 
@@ -112,6 +120,23 @@ def _resolve(
         if src:
             opts = opts.replace(index_path=src)
     return opts.validated()
+
+
+def _fault_telemetry(opts: MapOptions, telemetry):
+    """Ensure fault records are collected when the sidecar needs them."""
+    pol = opts.fault_policy
+    if telemetry is None and pol is not None and pol.failed_reads:
+        from .obs.telemetry import Telemetry
+
+        return Telemetry()
+    return telemetry
+
+
+def _finish_faults(opts: MapOptions, telemetry) -> None:
+    """Write the quarantine sidecar once, at the end of a public call."""
+    pol = opts.fault_policy
+    if pol is not None and pol.failed_reads and telemetry is not None:
+        write_quarantine(pol.failed_reads, telemetry.faults)
 
 
 def open_index(
@@ -162,9 +187,12 @@ def map_reads(
     :class:`~repro.obs.telemetry.Telemetry` collectors.
     """
     opts = _resolve(options, overrides, aligner)
-    return _backends.dispatch(
+    telemetry = _fault_telemetry(opts, telemetry)
+    results = _backends.dispatch(
         aligner, reads, opts, profile=profile, telemetry=telemetry
     )
+    _finish_faults(opts, telemetry)
+    return results
 
 
 def map_file(
@@ -190,6 +218,7 @@ def map_file(
     backends. Returns the run's :class:`StreamStats`.
     """
     opts = _resolve(options, overrides, aligner)
+    telemetry = _fault_telemetry(opts, telemetry)
 
     def write_header() -> None:
         if sam and output is not None:
@@ -208,7 +237,7 @@ def map_file(
     source = iter_reads(os.fspath(reads_path))
     write_header()
     if opts.backend == "streaming":
-        return stream_map(
+        stats = stream_map(
             aligner,
             source,
             emit,
@@ -223,7 +252,10 @@ def map_file(
             index_path=opts.index_path,
             profile=profile,
             telemetry=telemetry,
+            fault_policy=opts.fault_policy,
         )
+        _finish_faults(opts, telemetry)
+        return stats
 
     # Batch backends: bounded batches through the same reader path.
     from contextlib import nullcontext
@@ -255,4 +287,5 @@ def map_file(
         stats.n_alignments += sum(len(alns) for alns in results)
         if len(batch) < batch_size:
             break
+    _finish_faults(opts, telemetry)
     return stats

@@ -88,6 +88,37 @@ def _cmd_map(args: argparse.Namespace) -> int:
         return 2
     backend, workers, stream_processes = resolved
 
+    policy = None
+    if (
+        args.on_error != "abort"
+        or args.read_timeout is not None
+        or args.failed_reads
+        or args.inject_faults
+    ):
+        from .errors import ReproError
+        from .runtime.faults import FaultPolicy
+
+        injector = None
+        if args.inject_faults:
+            from .testing.faults import load_faults
+
+            try:
+                injector = load_faults(args.inject_faults)
+            except (OSError, ValueError, ReproError) as exc:
+                log.error("cannot load fault spec: %s", exc)
+                return 2
+        try:
+            policy = FaultPolicy(
+                on_error=args.on_error,
+                max_retries=args.max_retries,
+                read_timeout=args.read_timeout,
+                failed_reads=args.failed_reads,
+                injector=injector,
+            ).validated()
+        except ReproError as exc:
+            log.error("bad fault policy: %s", exc)
+            return 2
+
     profile = PipelineProfile(label=f"{backend}[{workers}]")
     telemetry = Telemetry(trace=bool(args.trace))
 
@@ -103,6 +134,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
         with_cigar=not args.no_cigar,
         chunk_reads=args.chunk_reads,
         stream_processes=stream_processes,
+        fault_policy=policy,
     )
     out = open(args.output, "w") if args.output else sys.stdout
     try:
@@ -122,6 +154,22 @@ def _cmd_map(args: argparse.Namespace) -> int:
         if args.output:
             out.close()
     log.info("mapped %d/%d reads", stats.n_mapped, stats.n_reads)
+    if policy is not None:
+        quarantined = [
+            f for f in telemetry.faults if f.action == "quarantined"
+        ]
+        fallbacks = [f for f in telemetry.faults if f.action == "fallback"]
+        if quarantined:
+            log.warning(
+                "quarantined %d read(s)%s",
+                len(quarantined),
+                f" -> {args.failed_reads}" if args.failed_reads else "",
+            )
+        if fallbacks:
+            log.warning(
+                "downgraded %d read(s) to the watchdog fallback pass",
+                len(fallbacks),
+            )
 
     if args.trace:
         n_spans = telemetry.write_trace(args.trace)
@@ -139,6 +187,9 @@ def _cmd_map(args: argparse.Namespace) -> int:
                 "with_cigar": not args.no_cigar,
                 "sam": bool(args.sam),
                 "stream_processes": stream_processes,
+                "on_error": args.on_error,
+                "max_retries": args.max_retries,
+                "read_timeout": args.read_timeout,
             },
             reads={
                 "n_reads": stats.n_reads,
@@ -301,6 +352,42 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write per-read trace spans (seed/chain/align, worker and "
         "chunk ids) as JSONL",
+    )
+    pm.add_argument(
+        "--on-error",
+        default="abort",
+        choices=["abort", "skip", "retry"],
+        help="per-read fault policy: abort the run (default), skip "
+        "failing reads (quarantine on first error), or retry them "
+        "--max-retries times before quarantining",
+    )
+    pm.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="attempts beyond the first for --on-error retry (default 2)",
+    )
+    pm.add_argument(
+        "--read-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-read watchdog: when seed+chain exceeds this budget, "
+        "downgrade the alignment to the cheap no-CIGAR pass instead of "
+        "hanging a worker (the paper's oversized-problem CPU fallback)",
+    )
+    pm.add_argument(
+        "--failed-reads",
+        metavar="FILE",
+        help="sidecar FASTQ for quarantined reads; a FILE.reasons.jsonl "
+        "log with structured fault records rides along",
+    )
+    pm.add_argument(
+        "--inject-faults",
+        metavar="FILE",
+        help="testing hook: JSON list of deterministic fault specs "
+        "(read/kind/times) injected by read name; see "
+        "repro.testing.faults",
     )
     pm.set_defaults(fn=_cmd_map)
 

@@ -195,6 +195,7 @@ class ParallelDriver(BatchDriver):
         label: str = "",
         trace: bool = False,
         options: Optional["MapOptions"] = None,
+        fault_policy=None,
     ) -> None:
         from ..api import MapOptions
 
@@ -206,6 +207,7 @@ class ParallelDriver(BatchDriver):
                 chunk_bases=chunk_bases,
                 longest_first=longest_first,
                 index_path=os.fspath(index_path) if index_path else None,
+                fault_policy=fault_policy,
             )
         options = options.validated()
         super().__init__(
@@ -299,12 +301,14 @@ class ParallelDriver(BatchDriver):
         return results
 
     def metrics(self, config: Optional[Dict] = None) -> Dict:
+        policy = self.options.fault_policy
         cfg = {
             "backend": self.backend,
             "workers": self.workers,
             "chunk_reads": self.chunk_reads,
             "chunk_bases": self.chunk_bases,
             "longest_first": self.longest_first,
+            "on_error": policy.on_error if policy is not None else "abort",
         }
         cfg.update(config or {})
         return super().metrics(config=cfg)

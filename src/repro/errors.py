@@ -19,8 +19,12 @@ class ParseError(ReproError):
     """Malformed FASTA/FASTQ or binary index input."""
 
 
-class IndexError_(ReproError):
-    """Problems building, saving, or loading a minimizer index."""
+class IndexFormatError(ReproError):
+    """Problems building, saving, or loading a minimizer index.
+
+    Formerly named ``IndexError_``; that name is kept as a deprecated
+    module-level alias (importing it emits :class:`DeprecationWarning`).
+    """
 
 
 class AlignmentError(ReproError):
@@ -41,3 +45,18 @@ class SchedulerError(ReproError):
 
 class SimulationError(ReproError):
     """Invalid read-simulation parameters."""
+
+
+def __getattr__(name: str):
+    # PEP 562: keep the old `IndexError_` spelling importable, loudly.
+    if name == "IndexError_":
+        import warnings
+
+        warnings.warn(
+            "repro.errors.IndexError_ is deprecated; "
+            "use repro.errors.IndexFormatError",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return IndexFormatError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import IndexError_
+from ..errors import IndexFormatError
 from ..seq.genome import Genome
 from .minimizer import extract_minimizers
 
@@ -79,7 +79,7 @@ class MinimizerIndex:
         keys. Always at least 1.
         """
         if not 0.0 <= frac < 1.0:
-            raise IndexError_(f"fraction {frac} out of [0, 1)")
+            raise IndexFormatError(f"fraction {frac} out of [0, 1)")
         if self.n_keys == 0:
             return 1
         counts = np.diff(self.starts)
@@ -173,7 +173,7 @@ def build_index(
     """
     records = list(genome)
     if not records:
-        raise IndexError_("cannot index an empty genome")
+        raise IndexFormatError("cannot index an empty genome")
     vals_all, rids_all, pos_all, strand_all = [], [], [], []
     for rid, rec in enumerate(records):
         values, positions, strands = extract_minimizers(

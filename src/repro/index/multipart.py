@@ -16,7 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import IndexError_
+from ..errors import IndexFormatError
 from ..seq.genome import Genome
 from .index import MinimizerIndex, build_index
 
@@ -30,11 +30,11 @@ class MultipartIndex:
 
     def __post_init__(self) -> None:
         if not self.parts:
-            raise IndexError_("multipart index needs at least one part")
+            raise IndexFormatError("multipart index needs at least one part")
         k, w, hpc = self.parts[0].k, self.parts[0].w, self.parts[0].hpc
         for p in self.parts[1:]:
             if (p.k, p.w, p.hpc) != (k, w, hpc):
-                raise IndexError_("all parts must share k, w, and hpc")
+                raise IndexFormatError("all parts must share k, w, and hpc")
 
     # --- the MinimizerIndex query surface ------------------------------- #
 
@@ -108,7 +108,7 @@ def build_multipart_index(
     (minimap2 behaves the same; it never splits one sequence).
     """
     if part_bases <= 0:
-        raise IndexError_(f"part size must be positive: {part_bases}")
+        raise IndexFormatError(f"part size must be positive: {part_bases}")
     groups: List[List] = []
     cur: List = []
     acc = 0

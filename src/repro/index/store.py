@@ -14,11 +14,12 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Tuple, Union
+import zlib
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..errors import IndexError_
+from ..errors import IndexFormatError
 from .index import MinimizerIndex
 
 MAGIC = b"MMIDX01\n"
@@ -52,6 +53,9 @@ def save_index(index: MinimizerIndex, path: Union[str, os.PathLike]) -> int:
         )
         arrays.append(arr)
         offset += arr.nbytes
+    crc = 0
+    for arr in arrays:  # chained over array bytes in _ARRAYS order
+        crc = zlib.crc32(arr.tobytes(), crc)
     header = {
         "k": index.k,
         "w": index.w,
@@ -59,6 +63,7 @@ def save_index(index: MinimizerIndex, path: Union[str, os.PathLike]) -> int:
         "hpc": index.hpc,
         "names": index.names,
         "arrays": descriptors,
+        "crc32": crc & 0xFFFFFFFF,
     }
     header_bytes = json.dumps(header).encode("utf-8")
     # Data section begins at the first aligned offset past magic+len+header.
@@ -79,7 +84,7 @@ def save_index(index: MinimizerIndex, path: Union[str, os.PathLike]) -> int:
 def _read_header(f) -> Tuple[dict, int]:
     magic = f.read(len(MAGIC))
     if magic != MAGIC:
-        raise IndexError_(f"bad index magic {magic!r}")
+        raise IndexFormatError(f"bad index magic {magic!r}")
     (hlen,) = (int.from_bytes(f.read(8), "little"),)
     header = json.loads(f.read(hlen).decode("utf-8"))
     data_start = _align(len(MAGIC) + 8 + hlen)
@@ -103,28 +108,61 @@ def _validate_descriptors(header: dict, data_start: int, file_size: int) -> None
             offset = int(desc["offset"])
             nbytes = int(desc["nbytes"])
         except (KeyError, TypeError, ValueError) as exc:
-            raise IndexError_(f"corrupt descriptor for array {name!r}: {exc}")
+            raise IndexFormatError(f"corrupt descriptor for array {name!r}: {exc}")
         count = int(np.prod(shape)) if shape else 1
         if offset < 0 or nbytes < 0:
-            raise IndexError_(
+            raise IndexFormatError(
                 f"corrupt descriptor for array {name!r}: "
                 f"offset={offset} nbytes={nbytes}"
             )
         if count * dtype.itemsize != nbytes:
-            raise IndexError_(
+            raise IndexFormatError(
                 f"corrupt descriptor for array {name!r}: nbytes={nbytes} "
                 f"!= shape {shape} x itemsize {dtype.itemsize}"
             )
         end = data_start + offset + nbytes
         if end > file_size:
-            raise IndexError_(
+            raise IndexFormatError(
                 f"truncated index file: array {name!r} needs bytes "
                 f"[{data_start + offset}, {end}) but file is {file_size} bytes"
             )
 
 
+def _verify_crc(f, header: dict, data_start: int) -> None:
+    """Recompute the chained CRC32 over every array region and compare.
+
+    Reads the file in bounded chunks through the already-open handle so
+    verification costs one sequential pass and O(chunk) memory; a
+    mismatch means on-disk corruption that descriptor validation cannot
+    see (bit flips inside array bytes).
+    """
+    expected = header.get("crc32")
+    if expected is None:  # pre-checksum file: nothing to verify
+        return
+    crc = 0
+    for desc in header.get("arrays", []):
+        f.seek(data_start + int(desc["offset"]))
+        remaining = int(desc["nbytes"])
+        while remaining > 0:
+            chunk = f.read(min(remaining, 1 << 20))
+            if not chunk:
+                raise IndexFormatError(
+                    f"truncated index file: array {desc.get('name', '?')!r} "
+                    "ended early during checksum verification"
+                )
+            crc = zlib.crc32(chunk, crc)
+            remaining -= len(chunk)
+    if crc & 0xFFFFFFFF != int(expected):
+        raise IndexFormatError(
+            f"index checksum mismatch: header crc32={int(expected):#010x} "
+            f"but data crc32={crc & 0xFFFFFFFF:#010x} (corrupt index file?)"
+        )
+
+
 def load_index(
-    path: Union[str, os.PathLike], mode: str = "buffered"
+    path: Union[str, os.PathLike],
+    mode: str = "buffered",
+    verify: Optional[bool] = None,
 ) -> MinimizerIndex:
     """Load an index.
 
@@ -133,12 +171,23 @@ def load_index(
     returns ``np.memmap`` views: loading is lazy and demand-paged, so
     the call returns almost immediately and only touched pages are ever
     read — the manymap behaviour that halved KNL index-load time.
+
+    ``verify`` controls the CRC32 integrity check against the header
+    checksum (written by :func:`save_index`; absent in older files, in
+    which case the check is skipped). It defaults to ``True`` for
+    ``buffered`` — the data is being read anyway — and ``False`` for
+    ``mmap``, where an eager full-file pass would defeat lazy demand
+    paging; pass ``verify=True`` to force the check there too.
     """
     if mode not in ("buffered", "mmap"):
-        raise IndexError_(f"unknown load mode {mode!r}")
+        raise IndexFormatError(f"unknown load mode {mode!r}")
+    if verify is None:
+        verify = mode == "buffered"
     with open(path, "rb") as f:
         header, data_start = _read_header(f)
         _validate_descriptors(header, data_start, os.fstat(f.fileno()).st_size)
+        if verify:
+            _verify_crc(f, header, data_start)
         fields: Dict[str, np.ndarray] = {}
         if mode == "buffered":
             for desc in header["arrays"]:

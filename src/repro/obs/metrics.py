@@ -37,8 +37,10 @@ __all__ = [
 
 #: Manifest layout version; see benchmarks/metrics_schema.json.
 #: v2 adds the optional ``gauges`` object (queue depths / stall
-#: seconds from the streaming backend); v1 manifests remain valid.
-SCHEMA_VERSION = 2
+#: seconds from the streaming backend); v3 adds the optional
+#: ``faults`` object (quarantined reads / watchdog fallbacks from the
+#: fault-tolerance layer). v1/v2 manifests remain valid.
+SCHEMA_VERSION = 3
 
 
 def machine_info() -> Dict:
@@ -109,6 +111,7 @@ def build_metrics(
         "stages": stages,
         "counters": counters,
         "gauges": telemetry.gauges.snapshot(),
+        "faults": telemetry.fault_summary(),
         "derived": derive_metrics(
             stages,
             counters,

@@ -92,6 +92,19 @@ def render_metrics(manifests: Sequence[Dict]) -> str:
                 else f"{name:<{width}}  {gauges[name]:>14}"
                 for name in sorted(gauges)
             )
+        faults = manifests[0].get("faults") or {}
+        if faults.get("n_faults"):
+            lines.append("")
+            lines.append(f"Faults ({faults['n_faults']})")
+            for f in list(faults.get("quarantined", [])) + list(
+                faults.get("fallbacks", [])
+            ):
+                lines.append(
+                    f"  {f.get('read', '?')}: {f.get('kind', '?')} -> "
+                    f"{f.get('action', '?')} after "
+                    f"{f.get('attempts', '?')} attempt(s): "
+                    f"{f.get('reason', '')}"
+                )
     return "\n".join(lines)
 
 

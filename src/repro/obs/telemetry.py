@@ -64,6 +64,10 @@ class Telemetry:
         #: execution-machinery gauges (queue depths, stall seconds);
         #: populated by the streaming backend, surfaced in ``--metrics``.
         self.gauges = GaugeSet()
+        #: faults the run's :class:`~repro.runtime.faults.FaultPolicy`
+        #: absorbed (quarantines / watchdog fallbacks), one
+        #: :class:`~repro.runtime.faults.FaultRecord` each.
+        self.faults: List = []
         self._baseline = COUNTERS.totals()
 
     # -- spans --------------------------------------------------------- #
@@ -75,6 +79,25 @@ class Telemetry:
     def extend(self, spans: List[Dict]) -> None:
         if self.trace and spans:
             self.spans.extend(spans)
+
+    # -- faults -------------------------------------------------------- #
+
+    def record_faults(self, faults: List) -> None:
+        """Collect fault records shipped home with backend results."""
+        if faults:
+            self.faults.extend(faults)
+
+    def fault_summary(self) -> Dict:
+        """The manifest's ``faults`` object (schema v3, additive)."""
+        return {
+            "n_faults": len(self.faults),
+            "quarantined": [
+                f.to_json() for f in self.faults if f.action == "quarantined"
+            ],
+            "fallbacks": [
+                f.to_json() for f in self.faults if f.action == "fallback"
+            ],
+        }
 
     # -- counters ------------------------------------------------------ #
 

@@ -91,13 +91,23 @@ def dispatch(aligner, reads, options, profile=None, telemetry=None):
 # cycle-free.
 
 
+def _fault_policy(options):
+    """The options' fault policy; tolerant of plain options objects."""
+    return getattr(options, "fault_policy", None)
+
+
 def _serial(aligner, reads, options, profile, telemetry):
     from .procpool import _map_serial
 
     if options.workers < 1:
         raise SchedulerError(f"need >= 1 worker: {options.workers}")
     return _map_serial(
-        aligner, list(reads), options.with_cigar, profile, telemetry
+        aligner,
+        list(reads),
+        options.with_cigar,
+        profile,
+        telemetry,
+        _fault_policy(options),
     )
 
 
@@ -112,6 +122,7 @@ def _threads(aligner, reads, options, profile, telemetry):
         longest_first=options.longest_first,
         profile=profile,
         telemetry=telemetry,
+        fault_policy=_fault_policy(options),
     )
 
 
@@ -129,6 +140,7 @@ def _processes(aligner, reads, options, profile, telemetry):
         index_path=options.index_path,
         profile=profile,
         telemetry=telemetry,
+        fault_policy=_fault_policy(options),
     )
 
 
@@ -149,6 +161,7 @@ def _streaming(aligner, reads, options, profile, telemetry):
         index_path=options.index_path,
         profile=profile,
         telemetry=telemetry,
+        fault_policy=_fault_policy(options),
     )
 
 

@@ -15,7 +15,6 @@ trace spans home with its results.
 
 from __future__ import annotations
 
-import time
 import warnings
 from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from threading import Lock
@@ -81,6 +80,7 @@ def parallel_map_reads(
     longest_first: bool = True,
     profile=None,
     telemetry: Optional[Telemetry] = None,
+    fault_policy=None,
 ) -> List[List[Alignment]]:
     """Map reads with a thread pool; results keep the input order.
 
@@ -100,7 +100,11 @@ def parallel_map_reads(
     if threads == 1 or len(reads) <= 1:
         from .procpool import _map_serial
 
-        return _map_serial(aligner, reads, with_cigar, profile, telemetry)
+        return _map_serial(
+            aligner, reads, with_cigar, profile, telemetry, fault_policy
+        )
+
+    from .faults import map_one_read
 
     order = list(range(len(reads)))
     if longest_first:
@@ -110,19 +114,21 @@ def parallel_map_reads(
     stage_lock = Lock()
     trace = telemetry is not None and telemetry.trace
     spans: List[Dict] = []
+    faults: List = []
 
     def work(i: int) -> None:
-        t0 = time.perf_counter()
-        plan = aligner.seed_and_chain(reads[i])
-        t1 = time.perf_counter()
-        results[i] = aligner.align_plan(reads[i], plan, with_cigar=with_cigar)
-        t2 = time.perf_counter()
+        alns, seed_s, align_s, fault = map_one_read(
+            aligner, reads[i], with_cigar, fault_policy
+        )
+        results[i] = alns
         with stage_lock:
-            stage_totals["Seed & Chain"] += t1 - t0
-            stage_totals["Align"] += t2 - t1
-            if trace:
+            stage_totals["Seed & Chain"] += seed_s
+            stage_totals["Align"] += align_s
+            if fault is not None:
+                faults.append(fault)
+            if trace and (fault is None or fault.action == "fallback"):
                 spans.append(
-                    read_span(reads[i].name, len(reads[i]), t1 - t0, t2 - t1)
+                    read_span(reads[i].name, len(reads[i]), seed_s, align_s)
                 )
 
     with ThreadPoolExecutor(max_workers=threads) as pool:
@@ -143,4 +149,5 @@ def parallel_map_reads(
         profile.merge(stage_totals)
     if telemetry is not None:
         telemetry.extend(spans)
+        telemetry.record_faults(faults)
     return results  # type: ignore[return-value]

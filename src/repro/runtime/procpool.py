@@ -34,9 +34,14 @@ from __future__ import annotations
 
 import os
 import tempfile
-import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -49,6 +54,7 @@ from ..obs.logs import current_level_name, setup_logging
 from ..obs.telemetry import Telemetry, read_span
 from ..seq.genome import Genome
 from ..seq.records import SeqRecord
+from .faults import FaultPolicy, FaultRecord, PoolSupervisor, map_one_read
 
 __all__ = [
     "ChunkPlan",
@@ -120,12 +126,17 @@ def _init_worker(
     with_cigar: bool,
     trace: bool,
     log_level: str,
+    policy: Optional[FaultPolicy] = None,
 ) -> None:
+    # Mark this process as a disposable pool worker: crash-kind fault
+    # injection only hard-kills where a supervisor can respawn it.
+    os.environ["MANYMAP_POOL_WORKER"] = "1"
     setup_logging(log_level)
     index = load_index(index_path, mode="mmap")
     _WORKER["aligner"] = config.build(genome, index=index)
     _WORKER["with_cigar"] = with_cigar
     _WORKER["trace"] = trace
+    _WORKER["policy"] = policy
 
 
 def _map_chunk(
@@ -136,22 +147,23 @@ def _map_chunk(
     Dict[str, float],
     Dict[str, int],
     List[Dict],
+    List[FaultRecord],
 ]:
     chunk_id, indices, reads = payload
     aligner: Aligner = _WORKER["aligner"]  # type: ignore[assignment]
     with_cigar: bool = _WORKER["with_cigar"]  # type: ignore[assignment]
     trace: bool = bool(_WORKER.get("trace"))
+    policy: Optional[FaultPolicy] = _WORKER.get("policy")  # type: ignore
     stage_seconds = {"Seed & Chain": 0.0, "Align": 0.0}
     counters_before = COUNTERS.totals()
     spans: List[Dict] = []
     out: List[List[Alignment]] = []
+    faults: List[FaultRecord] = []
     for read in reads:
         try:
-            t0 = time.perf_counter()
-            plan = aligner.seed_and_chain(read)
-            t1 = time.perf_counter()
-            alns = aligner.align_plan(read, plan, with_cigar=with_cigar)
-            t2 = time.perf_counter()
+            alns, seed_s, align_s, fault = map_one_read(
+                aligner, read, with_cigar, policy
+            )
         except Exception as exc:  # pragma: no cover - exercised via pool
             # Chained exceptions do not survive the pickle back to the
             # parent, so fold the context into the message itself.
@@ -159,15 +171,17 @@ def _map_chunk(
                 f"mapping failed for read {read.name!r} in worker "
                 f"{os.getpid()}: {exc!r}\n{traceback.format_exc()}"
             ) from None
-        stage_seconds["Seed & Chain"] += t1 - t0
-        stage_seconds["Align"] += t2 - t1
-        if trace:
+        stage_seconds["Seed & Chain"] += seed_s
+        stage_seconds["Align"] += align_s
+        if fault is not None:
+            faults.append(fault)
+        if trace and (fault is None or fault.action == "fallback"):
             spans.append(
-                read_span(read.name, len(read), t1 - t0, t2 - t1, chunk=chunk_id)
+                read_span(read.name, len(read), seed_s, align_s, chunk=chunk_id)
             )
         out.append(alns)
     delta = counter_delta(COUNTERS.totals(), counters_before)
-    return indices, out, stage_seconds, delta, spans
+    return indices, out, stage_seconds, delta, spans, faults
 
 
 # --------------------------------------------------------------------- #
@@ -231,6 +245,7 @@ def _map_reads_processes(
     mp_context=None,
     profile=None,
     telemetry: Optional[Telemetry] = None,
+    fault_policy: Optional[FaultPolicy] = None,
 ) -> List[List[Alignment]]:
     """Map reads across worker processes; results keep the input order.
 
@@ -248,13 +263,21 @@ def _map_reads_processes(
     the serial and thread backends even without a telemetry object.
 
     Raises :class:`SchedulerError` naming the failing read on the first
-    worker error; chunks that have not started yet are cancelled.
+    worker error; chunks that have not started yet are cancelled. With
+    a recovering ``fault_policy`` (``on_error`` of ``skip``/``retry``)
+    per-read errors are retried/quarantined inside the workers and a
+    broken pool (killed worker) is respawned by a
+    :class:`~repro.runtime.faults.PoolSupervisor`, which re-dispatches
+    the lost chunks and bisects a repeatedly-crashing chunk down to the
+    poison read.
     """
     if processes < 1:
         raise SchedulerError(f"need >= 1 process: {processes}")
     reads = list(reads)
     if processes == 1 or len(reads) <= 1:
-        return _map_serial(aligner, reads, with_cigar, profile, telemetry)
+        return _map_serial(
+            aligner, reads, with_cigar, profile, telemetry, fault_policy
+        )
 
     chunks = plan_chunks(
         reads,
@@ -275,10 +298,12 @@ def _map_reads_processes(
         index_path = tmp_path
 
     trace = telemetry is not None and telemetry.trace
+    recover = fault_policy is not None and fault_policy.recovers
     results: List[Optional[List[List[Alignment]]]] = [None] * len(reads)
     stage_totals = {"Seed & Chain": 0.0, "Align": 0.0}
-    try:
-        with ProcessPoolExecutor(
+
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
             max_workers=processes,
             mp_context=mp_context,
             initializer=_init_worker,
@@ -289,51 +314,80 @@ def _map_reads_processes(
                 with_cigar,
                 trace,
                 current_level_name(),
+                fault_policy,
             ),
-        ) as pool:
-            chunk_iter = enumerate(chunks)
-            pending: set = set()
+        )
 
-            def submit_next() -> bool:
-                item = next(chunk_iter, None)
-                if item is None:
-                    return False
-                chunk_id, chunk = item
-                payload = (
-                    chunk_id,
-                    chunk.indices,
-                    [reads[i] for i in chunk.indices],
-                )
-                pending.add(pool.submit(_map_chunk, payload))
-                return True
+    def absorb(result) -> None:
+        indices, alns, stage_seconds, delta, spans, faults = result
+        for i, a in zip(indices, alns):
+            results[i] = a
+        for stage, sec in stage_seconds.items():
+            stage_totals[stage] = stage_totals.get(stage, 0.0) + sec
+        COUNTERS.merge(delta)
+        if telemetry is not None:
+            telemetry.extend(spans)
+            telemetry.record_faults(faults)
 
+    supervisor = PoolSupervisor(make_pool, _map_chunk, fault_policy, telemetry)
+    try:
+        chunk_iter = enumerate(chunks)
+        pending: Dict[Future, Tuple] = {}
+
+        def submit_next() -> bool:
+            item = next(chunk_iter, None)
+            if item is None:
+                return False
+            chunk_id, chunk = item
+            payload = (
+                chunk_id,
+                chunk.indices,
+                [reads[i] for i in chunk.indices],
+            )
+            pending[supervisor.pool.submit(_map_chunk, payload)] = payload
+            return True
+
+        def recover_break(first_payload, token) -> None:
+            # The pool is dead: every other in-flight future settles as
+            # broken too. Sort survivors from lost work, respawn once,
+            # then re-dispatch the lost chunks through the supervisor
+            # (which bisects out a poison read if one keeps crashing).
+            lost = [first_payload]
+            for fut in list(pending):
+                payload = pending.pop(fut)
+                if fut.exception() is None:
+                    absorb(fut.result())
+                else:
+                    lost.append(payload)
+            supervisor.handle_break(token)
+            for payload in lost:
+                absorb(supervisor.run_chunk(payload))
+
+        while len(pending) < max_inflight and submit_next():
+            pass
+        while pending:
+            done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+            for fut in done:
+                if fut not in pending:
+                    continue  # already absorbed during crash recovery
+                payload = pending.pop(fut)
+                exc = fut.exception()
+                if exc is None:
+                    absorb(fut.result())
+                elif isinstance(exc, BrokenExecutor) and recover:
+                    recover_break(payload, (supervisor.generation, exc))
+                else:
+                    _cancel_pending(set(pending))
+                    supervisor.shutdown()
+                    if isinstance(exc, SchedulerError):
+                        raise exc
+                    raise SchedulerError(
+                        f"process backend failed: {exc!r}"
+                    ) from exc
             while len(pending) < max_inflight and submit_next():
                 pass
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for fut in done:
-                    exc = fut.exception()
-                    if exc is not None:
-                        _cancel_pending(pending)
-                        pool.shutdown(wait=False, cancel_futures=True)
-                        if isinstance(exc, SchedulerError):
-                            raise exc
-                        raise SchedulerError(
-                            f"process backend failed: {exc!r}"
-                        ) from exc
-                    indices, alns, stage_seconds, delta, spans = fut.result()
-                    for i, a in zip(indices, alns):
-                        results[i] = a
-                    for stage, sec in stage_seconds.items():
-                        stage_totals[stage] = (
-                            stage_totals.get(stage, 0.0) + sec
-                        )
-                    COUNTERS.merge(delta)
-                    if telemetry is not None:
-                        telemetry.extend(spans)
-                while len(pending) < max_inflight and submit_next():
-                    pass
     finally:
+        supervisor.shutdown()
         if tmp_path is not None:
             try:
                 os.unlink(tmp_path)
@@ -355,22 +409,24 @@ def _map_serial(
     with_cigar: bool,
     profile,
     telemetry: Optional[Telemetry] = None,
+    fault_policy: Optional[FaultPolicy] = None,
 ) -> List[List[Alignment]]:
     """Single-process fallback with the same stage/telemetry accounting."""
     stage_totals = {"Seed & Chain": 0.0, "Align": 0.0}
     trace = telemetry is not None and telemetry.trace
     out: List[List[Alignment]] = []
     for read in reads:
-        t0 = time.perf_counter()
-        plan = aligner.seed_and_chain(read)
-        t1 = time.perf_counter()
-        out.append(aligner.align_plan(read, plan, with_cigar=with_cigar))
-        t2 = time.perf_counter()
-        stage_totals["Seed & Chain"] += t1 - t0
-        stage_totals["Align"] += t2 - t1
-        if trace:
+        alns, seed_s, align_s, fault = map_one_read(
+            aligner, read, with_cigar, fault_policy
+        )
+        out.append(alns)
+        stage_totals["Seed & Chain"] += seed_s
+        stage_totals["Align"] += align_s
+        if fault is not None and telemetry is not None:
+            telemetry.record_faults([fault])
+        if trace and (fault is None or fault.action == "fallback"):
             telemetry.record(
-                read_span(read.name, len(read), t1 - t0, t2 - t1)
+                read_span(read.name, len(read), seed_s, align_s)
             )
     if profile is not None:
         profile.merge(stage_totals)

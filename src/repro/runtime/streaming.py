@@ -52,6 +52,7 @@ from ..obs.counters import COUNTERS, counter_delta
 from ..obs.gauges import GaugeSet
 from ..obs.telemetry import Telemetry, read_span
 from ..seq.records import SeqRecord
+from .faults import FaultPolicy, FaultRecord, PoolSupervisor, map_one_read
 
 __all__ = ["StreamStats", "stream_map", "map_reads_streaming"]
 
@@ -125,30 +126,37 @@ def _map_chunk_threaded(
     chunk_id: int,
     with_cigar: bool,
     trace: bool,
-) -> Tuple[List[List[Alignment]], Dict[str, float], List[Dict]]:
+    policy: Optional[FaultPolicy] = None,
+) -> Tuple[
+    List[List[Alignment]],
+    Dict[str, float],
+    List[Dict],
+    List[FaultRecord],
+]:
     """Map one chunk in-process (thread-backed compute worker)."""
     stage_seconds = {"Seed & Chain": 0.0, "Align": 0.0}
     spans: List[Dict] = []
     out: List[List[Alignment]] = []
+    faults: List[FaultRecord] = []
     for _, read in chunk:
         try:
-            t0 = time.perf_counter()
-            plan = aligner.seed_and_chain(read)
-            t1 = time.perf_counter()
-            alns = aligner.align_plan(read, plan, with_cigar=with_cigar)
-            t2 = time.perf_counter()
+            alns, seed_s, align_s, fault = map_one_read(
+                aligner, read, with_cigar, policy
+            )
         except Exception as exc:
             raise SchedulerError(
                 f"mapping failed for read {read.name!r}: {exc!r}"
             ) from exc
-        stage_seconds["Seed & Chain"] += t1 - t0
-        stage_seconds["Align"] += t2 - t1
-        if trace:
+        stage_seconds["Seed & Chain"] += seed_s
+        stage_seconds["Align"] += align_s
+        if fault is not None:
+            faults.append(fault)
+        if trace and (fault is None or fault.action == "fallback"):
             spans.append(
-                read_span(read.name, len(read), t1 - t0, t2 - t1, chunk=chunk_id)
+                read_span(read.name, len(read), seed_s, align_s, chunk=chunk_id)
             )
         out.append(alns)
-    return out, stage_seconds, spans
+    return out, stage_seconds, spans, faults
 
 
 def stream_map(
@@ -169,6 +177,7 @@ def stream_map(
     mp_context=None,
     profile=None,
     telemetry: Optional[Telemetry] = None,
+    fault_policy: Optional[FaultPolicy] = None,
 ) -> StreamStats:
     """Run the 3-stage overlapped pipeline over a read iterable.
 
@@ -193,7 +202,13 @@ def stream_map(
 
     Raises :class:`SchedulerError` naming the failing read on the
     first worker error; the reader stops producing and in-flight work
-    is drained, never emitted.
+    is drained, never emitted. A ``KeyboardInterrupt`` raised anywhere
+    in the pipeline (source, sink, or compute) unwinds the same way —
+    threads join, queues drain — and is then re-raised *as is*, never
+    wrapped. With a recovering ``fault_policy``, failing reads are
+    retried/quarantined in place and (on the process path) dead pool
+    workers are respawned by a
+    :class:`~repro.runtime.faults.PoolSupervisor`.
     """
     if workers < 1:
         raise SchedulerError(f"need >= 1 worker: {workers}")
@@ -214,7 +229,7 @@ def stream_map(
     stats = StreamStats()
     # (chunk_id, [(seq, read), ...]) or _END
     work_q: "queue.Queue" = queue.Queue(queue_chunks)
-    # (chunk_id, chunk, results, stage_seconds, delta, spans),
+    # (chunk_id, chunk, results, stage_seconds, delta, spans, faults),
     # _WORKER_DONE, or nothing (errors go through shared.fail).
     done_q: "queue.Queue" = queue.Queue(queue_chunks)
     stage_totals: Dict[str, float] = {
@@ -224,14 +239,14 @@ def stream_map(
         "Output": 0.0,
     }
 
-    pool = None
+    supervisor: Optional[PoolSupervisor] = None
     tmp_index: Optional[str] = None
     if use_processes:
         from concurrent.futures import ProcessPoolExecutor
 
         from ..index.store import save_index
         from ..obs.logs import current_level_name
-        from .procpool import _init_worker
+        from .procpool import _init_worker, _map_chunk
 
         if index_path is None:
             fd, tmp_index = tempfile.mkstemp(
@@ -240,18 +255,25 @@ def stream_map(
             os.close(fd)
             save_index(aligner.index, tmp_index)
             index_path = tmp_index
-        pool = ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=mp_context,
-            initializer=_init_worker,
-            initargs=(
-                aligner.genome,
-                index_path,
-                aligner.config,
-                with_cigar,
-                trace,
-                current_level_name(),
-            ),
+
+        def make_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=mp_context,
+                initializer=_init_worker,
+                initargs=(
+                    aligner.genome,
+                    index_path,
+                    aligner.config,
+                    with_cigar,
+                    trace,
+                    current_level_name(),
+                    fault_policy,
+                ),
+            )
+
+        supervisor = PoolSupervisor(
+            make_pool, _map_chunk, fault_policy, telemetry
         )
 
     # ---------------------------------------------------------------- #
@@ -301,7 +323,7 @@ def stream_map(
         except BaseException as exc:  # noqa: BLE001 - pipeline boundary
             shared.fail(
                 exc
-                if isinstance(exc, SchedulerError)
+                if isinstance(exc, (SchedulerError, KeyboardInterrupt))
                 else SchedulerError(f"read source failed: {exc!r}")
             )
         finally:
@@ -325,31 +347,47 @@ def stream_map(
                     continue  # cancelled: drain without computing
                 chunk_id, chunk = item
                 try:
-                    if pool is not None:
-                        from .procpool import _map_chunk
-
+                    if supervisor is not None:
                         payload = (
                             chunk_id,
                             tuple(seq for seq, _ in chunk),
                             [read for _, read in chunk],
                         )
-                        _, results, stage_seconds, delta, spans = pool.submit(
-                            _map_chunk, payload
-                        ).result()
+                        # run_chunk recovers broken pools (respawn +
+                        # re-dispatch + poison-read bisect) when the
+                        # policy allows; otherwise it raises.
+                        _, results, stage_seconds, delta, spans, faults = (
+                            supervisor.run_chunk(payload)
+                        )
                     else:
-                        results, stage_seconds, spans = _map_chunk_threaded(
-                            aligner, chunk, chunk_id, with_cigar, trace
+                        results, stage_seconds, spans, faults = (
+                            _map_chunk_threaded(
+                                aligner,
+                                chunk,
+                                chunk_id,
+                                with_cigar,
+                                trace,
+                                fault_policy,
+                            )
                         )
                         delta = {}
-                except Exception as exc:
+                except BaseException as exc:  # noqa: BLE001
                     shared.fail(
                         exc
-                        if isinstance(exc, SchedulerError)
+                        if isinstance(exc, (SchedulerError, KeyboardInterrupt))
                         else SchedulerError(f"compute stage failed: {exc!r}")
                     )
                     continue
                 done_q.put(
-                    (chunk_id, chunk, results, stage_seconds, delta, spans)
+                    (
+                        chunk_id,
+                        chunk,
+                        results,
+                        stage_seconds,
+                        delta,
+                        spans,
+                        faults,
+                    )
                 )
                 gauges.high_water("stream.done_queue.depth.max", done_q.qsize())
         finally:
@@ -370,13 +408,16 @@ def stream_map(
             if item is _WORKER_DONE:
                 workers_left -= 1
                 continue
-            chunk_id, chunk, results, stage_seconds, delta, spans = item
+            chunk_id, chunk, results, stage_seconds, delta, spans, faults = (
+                item
+            )
             for stage, sec in stage_seconds.items():
                 stage_totals[stage] = stage_totals.get(stage, 0.0) + sec
             if delta:
                 COUNTERS.merge(delta)
             if telemetry is not None:
                 telemetry.extend(spans)
+                telemetry.record_faults(faults)
             if shared.stop.is_set():
                 continue  # cancelled: absorb telemetry, emit nothing
             for (seq, read), alns in zip(chunk, results):
@@ -394,7 +435,9 @@ def stream_map(
                         emit(read, alns)
                     except BaseException as exc:  # noqa: BLE001
                         shared.fail(
-                            SchedulerError(
+                            exc
+                            if isinstance(exc, KeyboardInterrupt)
+                            else SchedulerError(
                                 f"output sink failed for read "
                                 f"{read.name!r}: {exc!r}"
                             )
@@ -414,11 +457,19 @@ def stream_map(
     try:
         for t in threads:
             t.start()
-        for t in threads:
-            t.join()
+        try:
+            for t in threads:
+                t.join()
+        except KeyboardInterrupt:
+            # Ctrl-C landed in the main thread mid-join: cancel the
+            # pipeline, wait for every stage to unwind, then re-raise.
+            shared.stop.set()
+            for t in threads:
+                t.join()
+            raise
     finally:
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
+        if supervisor is not None:
+            supervisor.shutdown()
         if tmp_index is not None:
             try:
                 os.unlink(tmp_index)
@@ -433,7 +484,9 @@ def stream_map(
         profile.merge(stage_totals)
     if shared.errors:
         err = shared.errors[0]
-        if isinstance(err, SchedulerError):
+        if isinstance(err, (SchedulerError, KeyboardInterrupt)):
+            # KeyboardInterrupt is re-raised as-is *after* the clean
+            # unwind above: all threads joined, queues drained.
             raise err
         raise SchedulerError(f"streaming pipeline failed: {err!r}") from err
     return stats
@@ -454,6 +507,7 @@ def map_reads_streaming(
     index_path: Optional[str] = None,
     profile=None,
     telemetry: Optional[Telemetry] = None,
+    fault_policy: Optional[FaultPolicy] = None,
 ) -> List[List[Alignment]]:
     """Batch-shaped adapter: run the pipeline, collect results in order.
 
@@ -483,5 +537,6 @@ def map_reads_streaming(
         index_path=index_path,
         profile=profile,
         telemetry=telemetry,
+        fault_policy=fault_policy,
     )
     return out

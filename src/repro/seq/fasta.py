@@ -33,13 +33,20 @@ def _open_text(path: PathOrHandle, mode: str) -> IO[str]:
 
 
 def iter_fasta(path: PathOrHandle) -> Iterator[SeqRecord]:
-    """Stream records from a FASTA file (buffered line parser)."""
+    """Stream records from a FASTA file (buffered line parser).
+
+    Malformed input raises :class:`ParseError` naming the offending
+    record and its approximate line number, for both plain and
+    gzip-compressed files.
+    """
     handle = _open_text(path, "r")
     close = handle is not path
     try:
         name: str | None = None
         chunks: List[str] = []
+        lineno = 0
         for raw in handle:
+            lineno += 1
             line = raw.rstrip("\n")
             if not line:
                 continue
@@ -48,11 +55,16 @@ def iter_fasta(path: PathOrHandle) -> Iterator[SeqRecord]:
                     yield SeqRecord(name, encode("".join(chunks)))
                 name = line[1:].split()[0] if len(line) > 1 else ""
                 if not name:
-                    raise ParseError("FASTA header with empty name")
+                    raise ParseError(
+                        f"FASTA header with empty name at line {lineno}"
+                    )
                 chunks = []
             else:
                 if name is None:
-                    raise ParseError("FASTA sequence data before first header")
+                    raise ParseError(
+                        "FASTA sequence data before first header "
+                        f"at line {lineno}"
+                    )
                 chunks.append(line)
         if name is not None:
             yield SeqRecord(name, encode("".join(chunks)))
@@ -67,29 +79,58 @@ def read_fasta(path: PathOrHandle) -> List[SeqRecord]:
 
 
 def iter_fastq(path: PathOrHandle) -> Iterator[SeqRecord]:
-    """Stream records from a FASTQ file (4-line records)."""
+    """Stream records from a FASTQ file (4-line records).
+
+    Malformed records — bad header/separator lines, a quality string
+    whose length does not match the sequence, or a final record cut
+    short mid-way — raise :class:`ParseError` naming the record and its
+    approximate line number. Works identically for plain and
+    gzip-compressed files (both go through the same text handle).
+    """
     handle = _open_text(path, "r")
     close = handle is not path
+    lineno = 0
+
+    def next_line(name: str) -> str:
+        nonlocal lineno
+        raw = handle.readline()
+        if raw == "":
+            raise ParseError(
+                f"truncated FASTQ record {name!r} at line {lineno + 1}: "
+                "file ended mid-record"
+            )
+        lineno += 1
+        return raw.rstrip("\n")
+
     try:
         while True:
             header = handle.readline()
             if not header:
                 return
+            lineno += 1
+            header_line = lineno
             header = header.rstrip("\n")
             if not header:
                 continue
             if not header.startswith("@"):
-                raise ParseError(f"FASTQ header must start with '@': {header!r}")
-            seq = handle.readline().rstrip("\n")
-            plus = handle.readline().rstrip("\n")
-            qual = handle.readline().rstrip("\n")
+                raise ParseError(
+                    f"FASTQ header must start with '@' at line "
+                    f"{header_line}: {header!r}"
+                )
+            name = header[1:].split()[0] if len(header) > 1 else ""
+            seq = next_line(name)
+            plus = next_line(name)
+            qual = next_line(name)
             if not plus.startswith("+"):
-                raise ParseError(f"FASTQ separator must start with '+': {plus!r}")
+                raise ParseError(
+                    f"FASTQ separator must start with '+' in record "
+                    f"{name!r} at line {lineno - 1}: {plus!r}"
+                )
             if len(qual) != len(seq):
                 raise ParseError(
-                    f"FASTQ quality length {len(qual)} != sequence length {len(seq)}"
+                    f"FASTQ quality length {len(qual)} != sequence length "
+                    f"{len(seq)} in record {name!r} at line {lineno}"
                 )
-            name = header[1:].split()[0]
             q = np.frombuffer(qual.encode("ascii"), dtype=np.uint8) - 33
             yield SeqRecord(name, encode(seq), quality=q)
     finally:

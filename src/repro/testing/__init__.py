@@ -1,0 +1,7 @@
+"""Test-support utilities shipped with the package.
+
+Only deterministic hooks live here (fault injection for the
+robustness suite and CI chaos smoke); nothing in :mod:`repro.testing`
+is imported by the runtime unless explicitly wired in via
+:class:`repro.runtime.faults.FaultPolicy`.
+"""

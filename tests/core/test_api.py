@@ -93,6 +93,7 @@ class TestSurfaceSnapshot:
             "queue_chunks",
             "stream_processes",
             "index_path",
+            "fault_policy",
         ]
         assert MapOptions() == MapOptions(
             backend="serial",
@@ -105,6 +106,7 @@ class TestSurfaceSnapshot:
             queue_chunks=8,
             stream_processes=False,
             index_path=None,
+            fault_policy=None,
         )
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import IndexError_
+from repro.errors import IndexFormatError
 from repro.index.index import MinimizerIndex, build_index
 from repro.index.minimizer import extract_minimizers
 from repro.index.store import index_file_size, load_index, save_index
@@ -48,7 +48,7 @@ class TestBuild:
         assert rid.size == 0
 
     def test_empty_genome_raises(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexFormatError):
             build_index(Genome([]))
 
     def test_names_and_lengths(self, multi_genome, index):
@@ -69,7 +69,7 @@ class TestOccurrenceFilter:
         assert tight >= loose >= 1
 
     def test_bad_frac_raises(self, index):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexFormatError):
             index.occurrence_cutoff(1.5)
 
     def test_max_occ_suppresses(self, multi_genome):
@@ -129,13 +129,13 @@ class TestStore:
     def test_bad_magic_raises(self, tmp_path):
         path = tmp_path / "junk.mmi"
         path.write_bytes(b"NOTANIDX" + b"\0" * 100)
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexFormatError):
             load_index(path)
 
     def test_bad_mode_raises(self, index, tmp_path):
         path = tmp_path / "ref.mmi"
         save_index(index, path)
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexFormatError):
             load_index(path, mode="turbo")
 
     @pytest.mark.parametrize("mode", ["buffered", "mmap"])
@@ -145,7 +145,7 @@ class TestStore:
         total = save_index(index, path)
         with open(path, "rb+") as f:
             f.truncate(total - 64)
-        with pytest.raises(IndexError_, match="truncated"):
+        with pytest.raises(IndexFormatError, match="truncated"):
             load_index(path, mode=mode)
 
     @pytest.mark.parametrize("mode", ["buffered", "mmap"])
@@ -165,7 +165,7 @@ class TestStore:
         blob = raw[:8] + len(new_header).to_bytes(8, "little") + new_header
         data_start = (len(blob) + 63) // 64 * 64
         path.write_bytes(bytes(blob) + b"\0" * (data_start - len(blob)) + b"\0" * 256)
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexFormatError):
             load_index(path, mode=mode)
 
     @pytest.mark.parametrize("mode", ["buffered", "mmap"])
@@ -182,7 +182,7 @@ class TestStore:
         new_header = json.dumps(header).encode()
         blob = raw[:8] + len(new_header).to_bytes(8, "little") + new_header
         path.write_bytes(blob + raw[16 + hlen :])
-        with pytest.raises(IndexError_, match="truncated"):
+        with pytest.raises(IndexFormatError, match="truncated"):
             load_index(path, mode=mode)
 
     def test_alignment_of_data(self, index, tmp_path):
@@ -196,3 +196,86 @@ class TestStore:
         header = json.loads(raw[16 : 16 + hlen])
         for desc in header["arrays"]:
             assert desc["offset"] % 64 == 0
+
+
+def _flip_data_byte(path):
+    """Flip one byte inside the last array's data region (not the header)."""
+    import json
+
+    raw = bytearray(path.read_bytes())
+    hlen = int.from_bytes(raw[8:16], "little")
+    header = json.loads(raw[16 : 16 + hlen])
+    data_start = (16 + hlen + 63) // 64 * 64
+    desc = header["arrays"][-1]
+    pos = data_start + desc["offset"] + desc["nbytes"] // 2
+    raw[pos] ^= 0xFF
+    path.write_bytes(bytes(raw))
+
+
+class TestChecksum:
+    def test_header_has_crc32(self, index, tmp_path):
+        import json
+
+        path = tmp_path / "ref.mmi"
+        save_index(index, path)
+        raw = path.read_bytes()
+        hlen = int.from_bytes(raw[8:16], "little")
+        header = json.loads(raw[16 : 16 + hlen])
+        assert isinstance(header["crc32"], int)
+
+    def test_buffered_detects_flipped_byte(self, index, tmp_path):
+        path = tmp_path / "ref.mmi"
+        save_index(index, path)
+        _flip_data_byte(path)
+        with pytest.raises(IndexFormatError, match="checksum"):
+            load_index(path, mode="buffered")
+
+    def test_mmap_default_stays_lazy(self, index, tmp_path):
+        """mmap skips verification by default to preserve demand paging."""
+        path = tmp_path / "ref.mmi"
+        save_index(index, path)
+        _flip_data_byte(path)
+        back = load_index(path, mode="mmap")  # no raise: lazy by design
+        assert back.k == index.k
+
+    def test_mmap_verify_true_detects(self, index, tmp_path):
+        path = tmp_path / "ref.mmi"
+        save_index(index, path)
+        _flip_data_byte(path)
+        with pytest.raises(IndexFormatError, match="checksum"):
+            load_index(path, mode="mmap", verify=True)
+
+    def test_verify_false_skips_check(self, index, tmp_path):
+        path = tmp_path / "ref.mmi"
+        save_index(index, path)
+        _flip_data_byte(path)
+        back = load_index(path, mode="buffered", verify=False)
+        assert back.k == index.k
+
+    def test_legacy_file_without_crc_loads(self, index, tmp_path):
+        """Pre-checksum files (no crc32 header key) still load cleanly."""
+        import json
+
+        path = tmp_path / "ref.mmi"
+        save_index(index, path)
+        raw = path.read_bytes()
+        hlen = int.from_bytes(raw[8:16], "little")
+        header = json.loads(raw[16 : 16 + hlen])
+        old_data_start = (16 + hlen + 63) // 64 * 64
+        del header["crc32"]
+        new_header = json.dumps(header).encode()
+        blob = raw[:8] + len(new_header).to_bytes(8, "little") + new_header
+        data_start = (len(blob) + 63) // 64 * 64
+        # Re-pad so the data section keeps its descriptor offsets.
+        path.write_bytes(
+            blob + b"\0" * (data_start - len(blob)) + raw[old_data_start:]
+        )
+        back = load_index(path, mode="buffered")
+        assert (back.keys == index.keys).all()
+
+    def test_deprecated_alias_warns(self):
+        import repro.errors as errs
+
+        with pytest.warns(DeprecationWarning, match="IndexFormatError"):
+            alias = errs.IndexError_
+        assert alias is IndexFormatError

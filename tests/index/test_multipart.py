@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.chain.anchors import collect_anchors
-from repro.errors import IndexError_
+from repro.errors import IndexFormatError
 from repro.index.index import build_index
 from repro.index.multipart import MultipartIndex, build_multipart_index
 from repro.seq.records import SeqRecord
@@ -44,17 +44,17 @@ class TestBuild:
         assert multi.peak_part_bytes < multi.nbytes
 
     def test_bad_part_size(self, multi_genome):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexFormatError):
             build_multipart_index(multi_genome, part_bases=0)
 
     def test_mismatched_parts_rejected(self, multi_genome):
         a = build_index(multi_genome.chromosomes[:1], k=13, w=7)
         b = build_index(multi_genome.chromosomes[1:], k=15, w=7)
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexFormatError):
             MultipartIndex(parts=[a, b], rid_offsets=[0, 1])
 
     def test_empty_rejected(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(IndexFormatError):
             MultipartIndex(parts=[], rid_offsets=[])
 
 

@@ -218,6 +218,143 @@ class TestFailure:
             stream_map(aligner, iter(reads), **kw)
 
 
+class TestShutdownRegression:
+    """Failures mid-stream must join every pipeline thread and drain the
+    queues — no deadlocks, no leaked threads, and KeyboardInterrupt must
+    surface as KeyboardInterrupt (never wrapped in SchedulerError)."""
+
+    TIMEOUT = 30.0
+
+    def run_guarded(self, fn):
+        """Run ``fn`` on a watchdog thread; fail the test on deadlock.
+
+        Returns ``(value, exception)``; also asserts every thread the
+        call spawned has exited."""
+        import threading
+        import time as _time
+
+        before = set(threading.enumerate())
+        box = {}
+
+        def target():
+            try:
+                box["value"] = fn()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                box["exc"] = exc
+
+        t = threading.Thread(target=target, daemon=True)
+        t.start()
+        t.join(self.TIMEOUT)
+        assert not t.is_alive(), "stream_map deadlocked (watchdog timeout)"
+        deadline = _time.monotonic() + self.TIMEOUT
+        while _time.monotonic() < deadline:
+            leaked = [
+                th
+                for th in threading.enumerate()
+                if th not in before and th is not t and th.is_alive()
+            ]
+            if not leaked:
+                break
+            _time.sleep(0.02)
+        else:
+            raise AssertionError(f"leaked pipeline threads: {leaked}")
+        return box.get("value"), box.get("exc")
+
+    def test_writer_exception_joins_all_threads(self, setup):
+        aligner, reads = setup
+
+        def sink(read, alns):
+            raise OSError("disk full")
+
+        _, exc = self.run_guarded(
+            lambda: stream_map(
+                aligner, iter(reads), sink, workers=2, chunk_reads=2
+            )
+        )
+        assert isinstance(exc, SchedulerError)
+        assert "output sink failed" in str(exc)
+
+    def test_keyboard_interrupt_from_source(self, setup):
+        aligner, reads = setup
+
+        def source():
+            yield reads[0]
+            yield reads[1]
+            raise KeyboardInterrupt
+
+        _, exc = self.run_guarded(
+            lambda: stream_map(
+                aligner, source(), workers=2, chunk_reads=1, queue_chunks=1
+            )
+        )
+        assert type(exc) is KeyboardInterrupt
+
+    def test_keyboard_interrupt_from_sink(self, setup):
+        aligner, reads = setup
+        seen = []
+
+        def sink(read, alns):
+            seen.append(read.name)
+            raise KeyboardInterrupt
+
+        _, exc = self.run_guarded(
+            lambda: stream_map(
+                aligner, iter(reads), sink, workers=2, chunk_reads=2
+            )
+        )
+        assert type(exc) is KeyboardInterrupt
+        assert seen  # it got as far as emitting
+
+    def test_keyboard_interrupt_from_compute(self, setup):
+        aligner, reads = setup
+
+        class InterruptRecord:
+            name = "ctrl_c"
+
+            def __len__(self):
+                return 50
+
+            @property
+            def codes(self):
+                raise KeyboardInterrupt
+
+        poisoned = reads[:2] + [InterruptRecord()] + reads[2:]
+        _, exc = self.run_guarded(
+            lambda: stream_map(
+                aligner, iter(poisoned), workers=2, chunk_reads=1
+            )
+        )
+        assert type(exc) is KeyboardInterrupt
+
+    def test_failure_with_slow_source_does_not_deadlock(self, setup):
+        """A sink failure while the reader is blocked on a full queue
+        must still unwind (the stop flag drains the queues)."""
+        import time as _time
+
+        aligner, reads = setup
+
+        def source():
+            for r in reads:
+                _time.sleep(0.005)
+                yield r
+
+        def sink(read, alns):
+            raise RuntimeError("sink exploded")
+
+        _, exc = self.run_guarded(
+            lambda: stream_map(
+                aligner,
+                source(),
+                sink,
+                workers=1,
+                chunk_reads=1,
+                window_reads=1,
+                queue_chunks=1,
+            )
+        )
+        assert isinstance(exc, SchedulerError)
+
+
 class TestObservability:
     def test_gauges_and_stages_recorded(self, setup):
         aligner, reads = setup

@@ -113,6 +113,51 @@ class TestFastq:
         assert "IIII" in path.read_text()
 
 
+class TestFastqDiagnostics:
+    """ParseError must name the record and its approximate line number."""
+
+    def test_quality_mismatch_names_record_and_line(self):
+        bad = "@good\nACGT\n+\nIIII\n@broken\nACGT\n+\nII\n"
+        with pytest.raises(ParseError, match=r"'broken'.*line 8"):
+            read_fastq(io.StringIO(bad))
+
+    def test_bad_separator_names_record_and_line(self):
+        bad = "@r1\nACGT\nX\nIIII\n"
+        with pytest.raises(ParseError, match=r"'r1'.*line 3"):
+            read_fastq(io.StringIO(bad))
+
+    def test_bad_header_names_line(self):
+        bad = "@ok\nAC\n+\nII\nnot_a_header\nACGT\n+\nIIII\n"
+        with pytest.raises(ParseError, match=r"'@'.*line 5"):
+            read_fastq(io.StringIO(bad))
+
+    @pytest.mark.parametrize(
+        "tail", ["@trunc\n", "@trunc\nACGT\n", "@trunc\nACGT\n+\n"]
+    )
+    def test_truncated_final_record(self, tail):
+        with pytest.raises(ParseError, match=r"truncated FASTQ record 'trunc'"):
+            read_fastq(io.StringIO("@ok\nAC\n+\nII\n" + tail))
+
+    def test_truncated_gzip_file(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "trunc.fq.gz"
+        with gzip.open(path, "wt") as f:
+            f.write("@ok\nAC\n+\nII\n@cut\nACGT\n")
+        with pytest.raises(ParseError, match=r"truncated FASTQ record 'cut'"):
+            read_fastq(path)
+
+    def test_bad_plain_file(self, tmp_path):
+        path = tmp_path / "bad.fq"
+        path.write_text("@r1\nACGT\n+\nII\n")
+        with pytest.raises(ParseError, match=r"quality length.*'r1'"):
+            read_fastq(path)
+
+    def test_fasta_empty_name_has_line(self):
+        with pytest.raises(ParseError, match="line 3"):
+            read_fasta(io.StringIO(">a\nAC\n>\nACGT\n"))
+
+
 class TestGzip:
     def test_fasta_gz_roundtrip(self, tmp_path):
         path = tmp_path / "x.fa.gz"
