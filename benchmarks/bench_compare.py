@@ -1,0 +1,166 @@
+"""CI perf-regression gate: fresh smoke run vs the committed baseline.
+
+Re-runs the :mod:`bench_metrics_smoke` serial workload, then diffs the
+fresh manifest against the committed
+``benchmarks/results/BENCH_metrics_smoke.json`` baseline with
+:func:`repro.obs.report.compare_metrics` — the same engine behind
+``manymap report --compare``. A gated throughput metric (GCUPS,
+reads/s, bases/s) more than ``--tolerance`` percent below baseline
+fails the gate with exit code 3 (matching the CLI), so CI catches
+changes that quietly slow the mapping hot path.
+
+The default tolerance is deliberately generous (60%, override with
+``--tolerance`` or ``MANYMAP_BENCH_TOLERANCE``): committed baselines
+come from a different machine than the CI runner, so the gate is a
+collapse detector, not a microbenchmark. ``--inject-regression N``
+divides the fresh run's throughput by N before comparing — CI uses it
+to prove the gate actually fires.
+
+Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_compare.py --smoke
+
+or via pytest. Emits ``benchmarks/results/BENCH_compare.json`` and the
+usual ``.txt`` table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from _common import RESULTS_DIR, emit
+
+from bench_metrics_smoke import _workload
+from repro.core.aligner import Aligner
+from repro.core.driver import ParallelDriver
+from repro.obs.report import compare_metrics, render_compare
+
+JSON_NAME = "BENCH_compare.json"
+BASELINE_PATH = RESULTS_DIR / "BENCH_metrics_smoke.json"
+
+#: Cross-machine collapse-detector tolerance, not a microbenchmark gate.
+DEFAULT_TOLERANCE_PCT = float(os.environ.get("MANYMAP_BENCH_TOLERANCE", "60"))
+
+
+def fresh_manifest(smoke: bool = True) -> Dict:
+    """One serial smoke run -> its metrics manifest."""
+    genome, reads = _workload(smoke)
+    driver = ParallelDriver(Aligner(genome, preset="test"), backend="serial")
+    driver.run(reads)
+    manifest = driver.metrics()
+    manifest["label"] = "fresh"
+    return manifest
+
+
+def run_compare(
+    smoke: bool = True,
+    tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+    baseline_path: Path = BASELINE_PATH,
+    inject_regression: float = 1.0,
+    out_dir: Path = RESULTS_DIR,
+) -> Dict:
+    """Compare a fresh run against the committed baseline manifest.
+
+    The fresh run replays whichever workload variant the baseline file
+    records (``smoke`` field), so the diff is always apples-to-apples;
+    the ``smoke`` argument only applies to baselines predating that
+    field.
+    """
+    doc = json.loads(Path(baseline_path).read_text())
+    baseline = doc["manifest"]
+    baseline.setdefault("label", "baseline")
+    candidate = fresh_manifest(bool(doc.get("smoke", smoke)))
+    if inject_regression != 1.0:
+        for key in ("gcups", "reads_per_sec", "bases_per_sec"):
+            candidate["derived"][key] /= inject_regression
+        candidate["label"] = f"fresh/{inject_regression:g}"
+    cmp = compare_metrics(baseline, candidate, tolerance_pct=tolerance_pct)
+
+    result = {
+        "benchmark": "compare",
+        "smoke": smoke,
+        "baseline_path": str(baseline_path),
+        "inject_regression": inject_regression,
+        "compare": cmp,
+    }
+    if inject_regression == 1.0:
+        # Injected self-test runs must not clobber the real artifact.
+        emit("BENCH_compare", render_compare(cmp))
+        out_dir.mkdir(exist_ok=True)
+        (out_dir / JSON_NAME).write_text(json.dumps(result, indent=2) + "\n")
+    else:
+        print(render_compare(cmp))
+    return result
+
+
+def test_compare_gate_passes():
+    """CI gate: a fresh smoke run stays within tolerance of the baseline."""
+    res = run_compare(smoke=True)
+    cmp = res["compare"]
+    assert cmp["ok"], (
+        f"throughput regressed beyond {cmp['tolerance_pct']:.0f}% of the "
+        f"committed baseline: {cmp['regressions']}"
+    )
+    assert (RESULTS_DIR / JSON_NAME).exists()
+
+
+def test_injected_regression_is_detected():
+    """The gate must fire when throughput genuinely collapses."""
+    res = run_compare(smoke=True, inject_regression=1000.0)
+    cmp = res["compare"]
+    assert not cmp["ok"]
+    assert set(cmp["regressions"]) == {
+        "gcups",
+        "reads_per_sec",
+        "bases_per_sec",
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--smoke", action="store_true", help="small fast workload")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE_PCT,
+        metavar="PCT",
+        help="allowed relative throughput drop vs baseline "
+        f"(default {DEFAULT_TOLERANCE_PCT:g}, env MANYMAP_BENCH_TOLERANCE)",
+    )
+    ap.add_argument(
+        "--baseline",
+        default=str(BASELINE_PATH),
+        metavar="FILE",
+        help="committed smoke-bench JSON to gate against",
+    )
+    ap.add_argument(
+        "--inject-regression",
+        type=float,
+        default=1.0,
+        metavar="FACTOR",
+        help="divide fresh throughput by FACTOR first (CI self-test)",
+    )
+    args = ap.parse_args(argv)
+    res = run_compare(
+        smoke=args.smoke,
+        tolerance_pct=args.tolerance,
+        baseline_path=Path(args.baseline),
+        inject_regression=args.inject_regression,
+    )
+    if not res["compare"]["ok"]:
+        print(
+            "ERROR: throughput regression vs baseline: "
+            + ", ".join(res["compare"]["regressions"]),
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,17 @@ dependencies. The manifest must carry a nonzero DP-cell count and a
 positive GCUPS figure, and the counter totals must be identical between
 the serial and process backends (telemetry is backend-independent).
 
+The manifest must also carry the schema-v4 latency histograms, and the
+histogram hot path must stay cheap. The gate multiplies the measured
+per-``observe`` cost (microbenchmarked on the real
+:data:`~repro.obs.hist.HISTOGRAMS` registry) by the run's actual
+observation count and requires the product to stay under 2% of the
+run's wall clock — observations happen at call granularity (per read /
+per kernel call, never per cell), so this is ~0.01% in practice. An
+enabled-vs-disabled wall-clock A/B is also recorded, but as
+information only: on a multi-second workload 2% is tens of
+milliseconds, well inside scheduler noise, so a wall gate would flake.
+
 Run standalone (CI smoke mode stays well under a minute):
 
     PYTHONPATH=src python benchmarks/bench_metrics_smoke.py --smoke
@@ -22,13 +33,16 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from _common import RESULTS_DIR, emit
+from _common import RESULTS_DIR, emit, ratio
 
+from repro import api
 from repro.core.aligner import Aligner
 from repro.core.driver import ParallelDriver
+from repro.obs.hist import HISTOGRAMS
 from repro.obs.report import render_metrics
 from repro.obs.schema import validate
 from repro.seq.genome import GenomeSpec, generate_genome
@@ -37,6 +51,65 @@ from repro.sim.pbsim import ReadSimulator
 
 JSON_NAME = "BENCH_metrics_smoke.json"
 SCHEMA_PATH = Path(__file__).parent / "metrics_schema.json"
+
+#: gate: measured observe cost x observe count <= 2% of run wall clock.
+MAX_HIST_OVERHEAD_PCT = 2.0
+
+
+def _best_of(n: int, fn) -> float:
+    best = float("inf")
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def time_histogram_overhead(
+    aligner, reads, manifest: Dict, repeats: int = 3
+) -> Dict:
+    """Histogram hot-path cost, gated deterministically.
+
+    Gates on (per-observe microbenchmark) x (the run's actual observe
+    count from the manifest) as a fraction of the run's wall seconds;
+    records an enabled-vs-disabled A/B wall clock informationally.
+    """
+    n_obs = sum(
+        int(h.get("count", 0))
+        for h in manifest.get("histograms", {}).values()
+    )
+    n_calls = 100_000
+    t0 = time.perf_counter()
+    for _ in range(n_calls):
+        HISTOGRAMS.observe("bench.overhead_probe", 123.0)
+    per_observe_s = (time.perf_counter() - t0) / n_calls
+    wall = float(manifest.get("wall_seconds", 0.0)) or sum(
+        float(s) for s in manifest.get("stages", {}).values()
+    )
+    overhead_pct = (
+        per_observe_s * n_obs / wall * 100.0 if wall else 0.0
+    )
+    within = overhead_pct <= MAX_HIST_OVERHEAD_PCT
+
+    api.map_reads(aligner, reads)  # warm-up
+    try:
+        HISTOGRAMS.disable()
+        t_off = _best_of(repeats, lambda: api.map_reads(aligner, reads))
+    finally:
+        HISTOGRAMS.enable()
+    t_on = _best_of(repeats, lambda: api.map_reads(aligner, reads))
+    return {
+        "n_observes": n_obs,
+        "per_observe_us": per_observe_s * 1e6,
+        "run_wall_seconds": wall,
+        "overhead_pct": overhead_pct,
+        "max_overhead_pct": MAX_HIST_OVERHEAD_PCT,
+        "within_gate": within,
+        # wall-clock A/B, informational only (scheduler noise >> 2%):
+        "seconds_disabled": t_off,
+        "seconds_enabled": t_on,
+        "overhead_ratio": ratio(t_on, t_off),
+    }
 
 
 def _workload(smoke: bool):
@@ -75,11 +148,27 @@ def run_metrics_smoke(smoke: bool = True, out_dir: Path = RESULTS_DIR) -> Dict:
 
     serial, procs = manifests["serial"], manifests["processes"]
     counters_match = serial["counters"] == procs["counters"]
+    hist_names = {
+        name
+        for name, h in serial.get("histograms", {}).items()
+        if h.get("count")
+    }
+    hists_present = {
+        "latency.seed_chain_s",
+        "latency.align_s",
+        "latency.read_s",
+        "read.length",
+    } <= hist_names
+    overhead = time_histogram_overhead(
+        Aligner(genome, preset="test"), reads, serial
+    )
     result = {
         "benchmark": "metrics_smoke",
         "smoke": smoke,
         "schema_errors": errors,
         "counters_match_across_backends": counters_match,
+        "histograms_present": hists_present,
+        "histogram_overhead": overhead,
         "manifest": serial,
         "manifest_processes": procs,
     }
@@ -88,6 +177,16 @@ def run_metrics_smoke(smoke: bool = True, out_dir: Path = RESULTS_DIR) -> Dict:
     report += (
         f"\n\nschema violations: {len(errors)}"
         f"\ncounters identical serial vs processes[2]: {counters_match}"
+        f"\nlatency/length histograms present: {hists_present}"
+        f"\nhistogram overhead: {overhead['n_observes']} observes x "
+        f"{overhead['per_observe_us']:.3f}us = "
+        f"{overhead['overhead_pct']:.4f}% of "
+        f"{overhead['run_wall_seconds']:.2f}s wall (gate <= "
+        f"{MAX_HIST_OVERHEAD_PCT}%) -> "
+        f"{'PASS' if overhead['within_gate'] else 'FAIL'}"
+        f"\n  (informational A/B: {overhead['seconds_disabled']:.4f}s "
+        f"off -> {overhead['seconds_enabled']:.4f}s on, "
+        f"{overhead['overhead_ratio']:.3f}x)"
     )
     emit("BENCH_metrics_smoke", report)
     out_dir.mkdir(exist_ok=True)
@@ -106,6 +205,17 @@ def test_metrics_smoke():
     assert m["derived"]["dp_cells"] > 0, "no DP cells counted"
     assert m["derived"]["gcups"] > 0.0, "GCUPS not derived"
     assert m["reads"]["n_mapped"] > 0, "smoke workload mapped nothing"
+    assert res["histograms_present"], (
+        "manifest is missing the per-stage latency / read-length "
+        f"histograms: {sorted(m.get('histograms', {}))}"
+    )
+    ov = res["histogram_overhead"]
+    assert ov["within_gate"], (
+        f"histogram hot-path cost {ov['overhead_pct']:.4f}% "
+        f"({ov['n_observes']} observes x {ov['per_observe_us']:.3f}us "
+        f"over {ov['run_wall_seconds']:.2f}s) exceeds the "
+        f"{MAX_HIST_OVERHEAD_PCT}% gate"
+    )
     assert (RESULTS_DIR / JSON_NAME).exists()
 
 
@@ -127,6 +237,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     if res["manifest"]["derived"]["dp_cells"] <= 0:
         print("ERROR: manifest reports zero DP cells", file=sys.stderr)
+        return 1
+    if not res["histograms_present"]:
+        print("ERROR: manifest is missing latency histograms", file=sys.stderr)
+        return 1
+    if not res["histogram_overhead"]["within_gate"]:
+        print(
+            "ERROR: histogram overhead "
+            f"{res['histogram_overhead']['overhead_pct']:.4f}% exceeds "
+            f"{MAX_HIST_OVERHEAD_PCT}%",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

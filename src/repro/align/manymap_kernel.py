@@ -19,6 +19,7 @@ import numpy as np
 
 from ..errors import AlignmentError
 from ..obs.counters import COUNTERS
+from ..obs.hist import HISTOGRAMS
 from ._band import band_limits, band_range, edge_patches
 from ._diag import (
     X_CONT,
@@ -158,6 +159,7 @@ def align_manymap(
         # areas (the `cells` sum above), not |Q| x |T|.
         COUNTERS.inc("band_calls")
         COUNTERS.inc("band_width_sum", 2 * band + 1)
+        HISTOGRAMS.observe("band.width", 2 * band + 1)
     if zdropped:
         COUNTERS.inc("zdrop_hits")
 

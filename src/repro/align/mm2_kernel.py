@@ -18,6 +18,7 @@ import numpy as np
 
 from ..errors import AlignmentError
 from ..obs.counters import COUNTERS
+from ..obs.hist import HISTOGRAMS
 from ._band import band_limits, band_range, edge_patches
 from ._diag import (
     X_CONT,
@@ -160,6 +161,7 @@ def align_mm2(
     if band is not None:
         COUNTERS.inc("band_calls")
         COUNTERS.inc("band_width_sum", 2 * band + 1)
+        HISTOGRAMS.observe("band.width", 2 * band + 1)
     if zdropped:
         COUNTERS.inc("zdrop_hits")
 

@@ -79,6 +79,13 @@ class MapOptions:
     controlling per-read error handling, the watchdog timeout, and
     worker-crash recovery; ``None`` (default) keeps every backend
     strictly fail-fast with zero overhead.
+    ``progress_interval`` / ``progress_path`` — live heartbeat: a
+    :class:`repro.obs.progress.ProgressReporter` daemon thread emits a
+    status line (reads done, reads/s, GCUPS, queue depths, ETA) every
+    ``progress_interval`` seconds through the ``repro.progress`` logger
+    and, with ``progress_path``, as JSON records to that file. Setting
+    only ``progress_path`` uses the default 2 s cadence. ``None``/
+    ``None`` (default) starts no thread.
     """
 
     backend: str = "serial"
@@ -92,6 +99,8 @@ class MapOptions:
     stream_processes: bool = False
     index_path: Optional[str] = None
     fault_policy: Optional["FaultPolicy"] = None
+    progress_interval: Optional[float] = None
+    progress_path: Optional[str] = None
 
     def replace(self, **changes) -> "MapOptions":
         """A copy with ``changes`` applied (unknown names: TypeError)."""
@@ -108,6 +117,10 @@ class MapOptions:
                 )
         if self.fault_policy is not None:
             self.fault_policy.validated()
+        if self.progress_interval is not None and self.progress_interval <= 0:
+            raise SchedulerError(
+                f"progress_interval must be > 0: {self.progress_interval}"
+            )
         return self
 
 
@@ -136,7 +149,27 @@ def _finish_faults(opts: MapOptions, telemetry) -> None:
     """Write the quarantine sidecar once, at the end of a public call."""
     pol = opts.fault_policy
     if pol is not None and pol.failed_reads and telemetry is not None:
-        write_quarantine(pol.failed_reads, telemetry.faults)
+        write_quarantine(
+            pol.failed_reads,
+            telemetry.faults,
+            run_id=getattr(telemetry, "run_id", ""),
+        )
+
+
+def _progress(opts: MapOptions, telemetry, total_reads: Optional[int] = None):
+    """The run's heartbeat reporter, or a no-op context manager."""
+    if opts.progress_interval is None and opts.progress_path is None:
+        from contextlib import nullcontext
+
+        return nullcontext()
+    from .obs.progress import ProgressReporter
+
+    return ProgressReporter(
+        telemetry=telemetry,
+        interval=opts.progress_interval or 2.0,
+        total_reads=total_reads,
+        path=opts.progress_path,
+    )
 
 
 def open_index(
@@ -188,9 +221,10 @@ def map_reads(
     """
     opts = _resolve(options, overrides, aligner)
     telemetry = _fault_telemetry(opts, telemetry)
-    results = _backends.dispatch(
-        aligner, reads, opts, profile=profile, telemetry=telemetry
-    )
+    with _progress(opts, telemetry, total_reads=len(reads)):
+        results = _backends.dispatch(
+            aligner, reads, opts, profile=profile, telemetry=telemetry
+        )
     _finish_faults(opts, telemetry)
     return results
 
@@ -237,23 +271,24 @@ def map_file(
     source = iter_reads(os.fspath(reads_path))
     write_header()
     if opts.backend == "streaming":
-        stats = stream_map(
-            aligner,
-            source,
-            emit,
-            workers=opts.workers,
-            use_processes=opts.stream_processes,
-            with_cigar=opts.with_cigar,
-            longest_first=opts.longest_first,
-            chunk_reads=opts.chunk_reads,
-            chunk_bases=opts.chunk_bases,
-            window_reads=opts.window_reads,
-            queue_chunks=opts.queue_chunks,
-            index_path=opts.index_path,
-            profile=profile,
-            telemetry=telemetry,
-            fault_policy=opts.fault_policy,
-        )
+        with _progress(opts, telemetry):
+            stats = stream_map(
+                aligner,
+                source,
+                emit,
+                workers=opts.workers,
+                use_processes=opts.stream_processes,
+                with_cigar=opts.with_cigar,
+                longest_first=opts.longest_first,
+                chunk_reads=opts.chunk_reads,
+                chunk_bases=opts.chunk_bases,
+                window_reads=opts.window_reads,
+                queue_chunks=opts.queue_chunks,
+                index_path=opts.index_path,
+                profile=profile,
+                telemetry=telemetry,
+                fault_policy=opts.fault_policy,
+            )
         _finish_faults(opts, telemetry)
         return stats
 
@@ -265,27 +300,28 @@ def map_file(
 
     stats = StreamStats()
     batch_size = opts.chunk_reads * max(1, opts.workers) * 4
-    while True:
-        batch: List[SeqRecord] = []
-        with stage("Load Query"):
-            for read in source:
-                batch.append(read)
-                if len(batch) >= batch_size:
-                    break
-        if not batch:
-            break
-        stats.n_chunks += 1
-        results = _backends.dispatch(
-            aligner, batch, opts, profile=profile, telemetry=telemetry
-        )
-        with stage("Output"):
-            for read, alns in zip(batch, results):
-                emit(read, alns)
-        stats.n_reads += len(batch)
-        stats.total_bases += sum(len(r) for r in batch)
-        stats.n_mapped += sum(1 for alns in results if alns)
-        stats.n_alignments += sum(len(alns) for alns in results)
-        if len(batch) < batch_size:
-            break
+    with _progress(opts, telemetry):
+        while True:
+            batch: List[SeqRecord] = []
+            with stage("Load Query"):
+                for read in source:
+                    batch.append(read)
+                    if len(batch) >= batch_size:
+                        break
+            if not batch:
+                break
+            stats.n_chunks += 1
+            results = _backends.dispatch(
+                aligner, batch, opts, profile=profile, telemetry=telemetry
+            )
+            with stage("Output"):
+                for read, alns in zip(batch, results):
+                    emit(read, alns)
+            stats.n_reads += len(batch)
+            stats.total_bases += sum(len(r) for r in batch)
+            stats.n_mapped += sum(1 for alns in results if alns)
+            stats.n_alignments += sum(len(alns) for alns in results)
+            if len(batch) < batch_size:
+                break
     _finish_faults(opts, telemetry)
     return stats

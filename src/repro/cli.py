@@ -71,7 +71,7 @@ def _resolve_map_backend(args: argparse.Namespace):
 def _cmd_map(args: argparse.Namespace) -> int:
     from .api import MapOptions, map_file, open_index
     from .core.profiling import PipelineProfile
-    from .obs.logs import get_logger
+    from .obs.logs import get_logger, set_run_id
     from .obs.metrics import build_metrics, write_metrics
     from .obs.telemetry import Telemetry
 
@@ -120,7 +120,13 @@ def _cmd_map(args: argparse.Namespace) -> int:
             return 2
 
     profile = PipelineProfile(label=f"{backend}[{workers}]")
-    telemetry = Telemetry(trace=bool(args.trace))
+    # --timeline is rendered from trace spans, so it implies tracing.
+    telemetry = Telemetry(trace=bool(args.trace or args.timeline))
+    set_run_id(telemetry.run_id)
+    if args.trace:
+        # Incremental sink: spans spill to the file as workers finish,
+        # so tracing a multi-million-read run costs O(1) memory.
+        telemetry.open_trace(args.trace)
 
     with profile.stage("Load Index"):
         aligner = open_index(
@@ -135,6 +141,8 @@ def _cmd_map(args: argparse.Namespace) -> int:
         chunk_reads=args.chunk_reads,
         stream_processes=stream_processes,
         fault_policy=policy,
+        progress_interval=args.progress,
+        progress_path=args.progress_file,
     )
     out = open(args.output, "w") if args.output else sys.stdout
     try:
@@ -151,6 +159,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
             telemetry=telemetry,
         )
     finally:
+        telemetry.close_trace()
         if args.output:
             out.close()
     log.info("mapped %d/%d reads", stats.n_mapped, stats.n_reads)
@@ -172,8 +181,27 @@ def _cmd_map(args: argparse.Namespace) -> int:
             )
 
     if args.trace:
-        n_spans = telemetry.write_trace(args.trace)
-        log.info("wrote %d trace spans -> %s", n_spans, args.trace)
+        log.info(
+            "wrote %d trace spans -> %s", telemetry.span_count, args.trace
+        )
+    if args.timeline:
+        from .obs.telemetry import iter_trace
+        from .obs.timeline import write_timeline
+
+        spans = (
+            telemetry.spans
+            if telemetry.spans or not args.trace
+            else iter_trace(args.trace)
+        )
+        n_events = write_timeline(
+            args.timeline,
+            spans,
+            telemetry.faults,
+            run_id=telemetry.run_id,
+            gauges=telemetry.gauges.snapshot(),
+            label=profile.label,
+        )
+        log.info("wrote %d timeline events -> %s", n_events, args.timeline)
     if args.metrics:
         manifest = build_metrics(
             profile,
@@ -255,12 +283,41 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from .obs.logs import get_logger
-    from .obs.report import render_metrics_files
+    from .obs.report import (
+        compare_metrics,
+        render_compare,
+        render_metrics_files,
+    )
 
+    log = get_logger("cli")
+    if args.compare:
+        from .obs.metrics import load_metrics
+
+        if args.metrics:
+            log.error("--compare takes its two files itself; drop the "
+                      "positional metrics arguments")
+            return 2
+        try:
+            baseline = load_metrics(args.compare[0])
+            candidate = load_metrics(args.compare[1])
+            baseline.setdefault("label", args.compare[0])
+            candidate.setdefault("label", args.compare[1])
+            cmp = compare_metrics(
+                baseline, candidate, tolerance_pct=args.tolerance
+            )
+            print(render_compare(cmp, fmt=args.format))
+        except (OSError, ValueError) as exc:
+            log.error("cannot compare metrics: %s", exc)
+            return 1
+        # exit 3 = gated regression, distinct from render errors (1).
+        return 0 if cmp["ok"] else 3
+    if not args.metrics:
+        log.error("need metrics file(s) or --compare BASELINE CANDIDATE")
+        return 2
     try:
-        print(render_metrics_files(args.metrics))
+        print(render_metrics_files(args.metrics, fmt=args.format))
     except (OSError, ValueError) as exc:
-        get_logger("cli").error("cannot render metrics: %s", exc)
+        log.error("cannot render metrics: %s", exc)
         return 1
     return 0
 
@@ -351,7 +408,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         metavar="FILE",
         help="write per-read trace spans (seed/chain/align, worker and "
-        "chunk ids) as JSONL",
+        "chunk ids) as JSONL, streamed incrementally",
+    )
+    pm.add_argument(
+        "--timeline",
+        metavar="FILE",
+        help="write a Chrome-trace/Perfetto timeline JSON: one lane per "
+        "worker with per-read stage slices, chunk extents, and fault "
+        "markers (implies span tracing for the run)",
+    )
+    pm.add_argument(
+        "--progress",
+        metavar="SECONDS",
+        type=float,
+        nargs="?",
+        const=2.0,
+        default=None,
+        help="emit a live progress heartbeat (reads done, reads/s, "
+        "GCUPS, queue depths, ETA) to stderr every SECONDS "
+        "(default 2.0 when the flag is given bare)",
+    )
+    pm.add_argument(
+        "--progress-file",
+        metavar="FILE",
+        help="also append each heartbeat as a JSON record to FILE",
     )
     pm.add_argument(
         "--on-error",
@@ -412,7 +492,29 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[common],
         help="render metrics manifest(s) as a Table 2-style comparison",
     )
-    pr.add_argument("metrics", nargs="+", help="one or more --metrics JSON files")
+    pr.add_argument("metrics", nargs="*", help="one or more --metrics JSON files")
+    pr.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("BASELINE", "CANDIDATE"),
+        help="diff two manifests' throughput metrics; exits 3 when a "
+        "gated metric (GCUPS, reads/s, bases/s) regressed beyond "
+        "--tolerance",
+    )
+    pr.add_argument(
+        "--tolerance",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="allowed relative drop per gated metric for --compare "
+        "(percent, default 10)",
+    )
+    pr.add_argument(
+        "--format",
+        default="table",
+        choices=["table", "json", "markdown"],
+        help="output rendering (default table)",
+    )
     pr.set_defaults(fn=_cmd_report)
 
     pb = sub.add_parser(

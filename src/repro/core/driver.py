@@ -147,6 +147,21 @@ class BatchDriver:
             label=self.profile.label,
         )
 
+    def write_timeline(self, path: Union[str, os.PathLike]) -> int:
+        """Export the driver's trace spans as a Chrome-trace/Perfetto
+        timeline JSON (needs ``trace=True`` so spans were recorded);
+        returns the number of trace events written."""
+        from ..obs.timeline import write_timeline
+
+        return write_timeline(
+            os.fspath(path),
+            self.telemetry.spans,
+            self.telemetry.faults,
+            run_id=self.telemetry.run_id,
+            gauges=self.telemetry.gauges.snapshot(),
+            label=self.profile.label,
+        )
+
     def _write_output(
         self,
         results: List[List[Alignment]],

@@ -1,4 +1,4 @@
-"""Run observability: counters, traces, metrics manifests, logging.
+"""Run observability: counters, histograms, traces, metrics, logging.
 
 The paper's entire argument is quantitative (Table 2's stage breakdown,
 Figure 11's percentages, GCUPS microbenchmarks); this package makes
@@ -7,21 +7,48 @@ every run of our pipeline produce the same evidence:
 * :mod:`~repro.obs.counters` — low-overhead work counters (anchors,
   chains, DP cells, band widths), sharded per thread, shipped home from
   worker processes; always on, cheap int adds only.
-* :mod:`~repro.obs.telemetry` — per-run counter scoping and per-read
-  trace spans (``--trace`` JSONL).
+* :mod:`~repro.obs.hist` — streaming log2-bucket histograms (per-stage
+  latency, read length, band width) with p50/p90/p99, mergeable across
+  threads and worker processes exactly like counter deltas.
+* :mod:`~repro.obs.telemetry` — per-run counter/histogram scoping, the
+  per-run ``run_id``, and per-read trace spans (``--trace`` JSONL,
+  spilled incrementally).
+* :mod:`~repro.obs.timeline` — Chrome-trace/Perfetto timeline export
+  of a run's spans (``--timeline``): one lane per worker, the paper's
+  Fig. 11 overlap made visible.
+* :mod:`~repro.obs.progress` — live heartbeat (``--progress``): a
+  daemon thread sampling the shared counters into periodic status
+  lines, off the hot path.
 * :mod:`~repro.obs.metrics` — the ``--metrics`` run manifest: config,
-  machine, stage seconds, counters, derived GCUPS, peak RSS.
+  machine, stage seconds, counters, histograms, derived GCUPS, peak
+  RSS.
 * :mod:`~repro.obs.report` — ``manymap report``: Table 2-style
-  comparison of one or more manifests.
+  comparison of one or more manifests, plus the ``--compare``
+  perf-regression gate.
 * :mod:`~repro.obs.logs` — structured stderr logging with per-worker
-  prefixes.
+  and per-run prefixes.
 * :mod:`~repro.obs.schema` — stdlib JSON-schema-subset validation of
   manifests (used by CI).
 """
 
 from .counters import COUNTERS, CounterRegistry, counter_delta
 from .gauges import GaugeSet
-from .logs import LOG_LEVELS, current_level_name, get_logger, setup_logging
+from .hist import (
+    HISTOGRAMS,
+    Histogram,
+    HistogramRegistry,
+    hist_delta,
+    merge_hist_json,
+    summarize,
+)
+from .logs import (
+    LOG_LEVELS,
+    current_level_name,
+    current_run_id,
+    get_logger,
+    set_run_id,
+    setup_logging,
+)
 from .metrics import (
     SCHEMA_VERSION,
     build_metrics,
@@ -30,18 +57,33 @@ from .metrics import (
     machine_info,
     write_metrics,
 )
-from .report import render_metrics, render_metrics_files
+from .progress import ProgressReporter
+from .report import (
+    compare_metrics,
+    render_compare,
+    render_metrics,
+    render_metrics_files,
+)
 from .schema import SchemaError, assert_valid, validate
-from .telemetry import Telemetry, read_span, worker_id
+from .telemetry import Telemetry, iter_trace, read_span, worker_id
+from .timeline import build_timeline, trace_events, write_timeline
 
 __all__ = [
     "COUNTERS",
     "CounterRegistry",
     "counter_delta",
     "GaugeSet",
+    "HISTOGRAMS",
+    "Histogram",
+    "HistogramRegistry",
+    "hist_delta",
+    "merge_hist_json",
+    "summarize",
     "LOG_LEVELS",
     "current_level_name",
+    "current_run_id",
     "get_logger",
+    "set_run_id",
     "setup_logging",
     "SCHEMA_VERSION",
     "build_metrics",
@@ -49,12 +91,19 @@ __all__ = [
     "load_metrics",
     "machine_info",
     "write_metrics",
+    "ProgressReporter",
+    "compare_metrics",
+    "render_compare",
     "render_metrics",
     "render_metrics_files",
     "SchemaError",
     "assert_valid",
     "validate",
     "Telemetry",
+    "iter_trace",
     "read_span",
     "worker_id",
+    "build_timeline",
+    "trace_events",
+    "write_timeline",
 ]

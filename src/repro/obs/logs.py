@@ -1,15 +1,19 @@
-"""Structured stderr logging with per-worker prefixes.
+"""Structured stderr logging with per-worker prefixes and run ids.
 
 Replaces the CLI's ad-hoc ``print(..., file=sys.stderr)`` calls with a
 ``logging`` tree rooted at ``repro``. The format carries the process
-name, so interleaved worker-process output stays attributable:
+name and the current run id (set from
+:attr:`repro.obs.telemetry.Telemetry.run_id`), so interleaved
+worker-process output stays attributable and joinable to the run's
+metrics/trace/timeline artifacts:
 
 .. code-block:: text
 
-    12:30:01 I [SpawnPoolWorker-2] repro.runtime: mapped chunk 7 (32 reads)
+    12:30:01 I [SpawnPoolWorker-2] r:9f2c41ab repro.runtime: mapped chunk 7
 
 Worker processes configure themselves in their pool initializer with
-the level shipped from the parent (:func:`current_level_name`).
+the level and run id shipped from the parent
+(:func:`current_level_name` / :func:`current_run_id`).
 """
 
 from __future__ import annotations
@@ -18,13 +22,46 @@ import logging
 import sys
 from typing import Optional
 
-__all__ = ["LOG_LEVELS", "setup_logging", "get_logger", "current_level_name"]
+__all__ = [
+    "LOG_LEVELS",
+    "setup_logging",
+    "get_logger",
+    "current_level_name",
+    "set_run_id",
+    "current_run_id",
+]
 
 #: Names accepted by the CLI's ``--log-level`` flag.
 LOG_LEVELS = ("debug", "info", "warning", "error")
 
-_FORMAT = "%(asctime)s %(levelname).1s [%(processName)s] %(name)s: %(message)s"
+_FORMAT = (
+    "%(asctime)s %(levelname).1s [%(processName)s] %(run_id)s "
+    "%(name)s: %(message)s"
+)
 _DATEFMT = "%H:%M:%S"
+
+#: The run id stamped into log records; "-" until a run begins.
+_RUN_ID = "-"
+
+
+def set_run_id(run_id: Optional[str]) -> None:
+    """Stamp subsequent log records with ``run_id`` (shortened for the
+    prefix; ``None`` resets to the idle marker)."""
+    global _RUN_ID
+    _RUN_ID = f"r:{run_id[:8]}" if run_id else "-"
+
+
+def current_run_id() -> str:
+    """The run-id prefix in effect (for shipping to worker processes)."""
+    return _RUN_ID
+
+
+class _RunIdFilter(logging.Filter):
+    """Attach the current run id to every record passing the handler."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.run_id = _RUN_ID
+        return True
 
 
 def setup_logging(level: str = "info", stream=None) -> logging.Logger:
@@ -48,6 +85,7 @@ def setup_logging(level: str = "info", stream=None) -> logging.Logger:
     elif not ours:
         handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
         handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATEFMT))
+        handler.addFilter(_RunIdFilter())
         handler._repro_handler = True  # type: ignore[attr-defined]
         logger.addHandler(handler)
     logger.propagate = False

@@ -39,8 +39,11 @@ __all__ = [
 #: v2 adds the optional ``gauges`` object (queue depths / stall
 #: seconds from the streaming backend); v3 adds the optional
 #: ``faults`` object (quarantined reads / watchdog fallbacks from the
-#: fault-tolerance layer). v1/v2 manifests remain valid.
-SCHEMA_VERSION = 3
+#: fault-tolerance layer); v4 adds ``run_id`` (joins this manifest to
+#: the run's trace/timeline/sidecar artifacts) and ``histograms``
+#: (per-stage latency / read-length / band-width distributions with
+#: p50/p90/p99). v1-v3 manifests remain valid.
+SCHEMA_VERSION = 4
 
 
 def machine_info() -> Dict:
@@ -103,6 +106,7 @@ def build_metrics(
         "tool": "manymap",
         "version": __version__,
         "created_unix": time.time(),
+        "run_id": getattr(telemetry, "run_id", ""),
         "label": label or profile.label or "run",
         "argv": list(sys.argv),
         "config": dict(config or {}),
@@ -112,6 +116,7 @@ def build_metrics(
         "counters": counters,
         "gauges": telemetry.gauges.snapshot(),
         "faults": telemetry.fault_summary(),
+        "histograms": telemetry.histograms(),
         "derived": derive_metrics(
             stages,
             counters,
@@ -119,7 +124,9 @@ def build_metrics(
             total_bases=int(read_info.get("total_bases", 0)),
         ),
         "peak_rss_bytes": peak_rss_bytes(),
-        "n_trace_spans": len(telemetry.spans),
+        "n_trace_spans": getattr(
+            telemetry, "span_count", len(telemetry.spans)
+        ),
     }
 
 

@@ -1,0 +1,178 @@
+"""Live progress heartbeat: periodic run-status lines off the hot path.
+
+minimap2 reports runtime progress and peak RSS as it maps; a
+multi-hour mapping run here should be just as legible. A
+:class:`ProgressReporter` runs one daemon thread that wakes every
+``interval`` seconds and *samples* the already-shared observability
+state — the run-scoped counter delta (reads done, DP cells), the
+``stream.*`` queue gauges, the fault counters — so the mapping hot
+path pays nothing: workers keep incrementing their lock-free shards
+and the heartbeat reads a snapshot at 0.5 Hz-ish, never the other way
+around.
+
+Each beat emits (a) one human line through the ``repro.progress``
+logger (stderr) and (b), when a path is given, one JSON record to a
+heartbeat JSONL file stamped with the run id. The reporter always
+emits a final beat on :meth:`stop` — inside a ``finally`` this
+guarantees at least one line and a joined thread whether the run
+succeeded, was interrupted (KeyboardInterrupt), or aborted on a fault.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Dict, Optional
+
+from .counters import COUNTERS, counter_delta
+from .logs import get_logger
+
+__all__ = ["ProgressReporter"]
+
+
+class ProgressReporter:
+    """Daemon-thread heartbeat over the shared counters and gauges.
+
+    ``telemetry`` scopes the sampled counters to the run (its
+    construction-time baseline); without one, the baseline is taken
+    when the reporter starts. ``total_reads`` enables the ETA estimate
+    (unknown for streamed inputs — ``eta_s`` is then ``null``).
+    ``path`` appends one JSON record per beat; stderr logging happens
+    either way.
+    """
+
+    def __init__(
+        self,
+        telemetry=None,
+        interval: float = 2.0,
+        total_reads: Optional[int] = None,
+        path: Optional[str] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0: {interval}")
+        self.interval = float(interval)
+        self.telemetry = telemetry
+        self.total_reads = total_reads
+        self.path = path
+        self.beats = 0
+        self._fh = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._t0 = 0.0
+        self._baseline: Dict[str, int] = {}
+        self._last = (0.0, 0)  # (elapsed, reads_done) of the previous beat
+        self._log = get_logger("progress")
+        self._lock = threading.Lock()
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    def start(self) -> "ProgressReporter":
+        if self._thread is not None:
+            return self
+        self._t0 = time.monotonic()
+        if self.telemetry is None:
+            self._baseline = COUNTERS.totals()
+        if self.path:
+            self._fh = open(self.path, "a")
+        self._thread = threading.Thread(
+            target=self._run, name="progress-heartbeat", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Final beat + clean shutdown; idempotent, safe mid-exception."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join()
+        self._thread = None
+        self._emit(final=True)
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ProgressReporter":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- sampling ------------------------------------------------------ #
+
+    def _counters(self) -> Dict[str, int]:
+        if self.telemetry is not None:
+            return self.telemetry.counters()
+        return counter_delta(COUNTERS.totals(), self._baseline)
+
+    def sample(self, final: bool = False) -> Dict:
+        """One heartbeat record, sampled from the shared registries."""
+        counters = self._counters()
+        elapsed = time.monotonic() - self._t0
+        done = int(counters.get("reads_done", 0))
+        cells = int(counters.get("dp_cells", 0))
+        rate = done / elapsed if elapsed > 0 else 0.0
+        last_t, last_done = self._last
+        dt = elapsed - last_t
+        interval_rate = (done - last_done) / dt if dt > 0 else 0.0
+        self._last = (elapsed, done)
+        eta: Optional[float] = None
+        if self.total_reads is not None and rate > 0:
+            eta = max(self.total_reads - done, 0) / rate
+        queues: Dict[str, float] = {}
+        quarantined = int(counters.get("fault.quarantined", 0))
+        if self.telemetry is not None:
+            for k, v in self.telemetry.gauges.snapshot().items():
+                if "queue" in k or k.endswith("reorder.reads.max"):
+                    queues[k] = v
+        record = {
+            "record": "progress",
+            "run_id": getattr(self.telemetry, "run_id", ""),
+            "final": bool(final),
+            "elapsed_s": elapsed,
+            "reads_done": done,
+            "total_reads": self.total_reads,
+            "reads_per_s": rate,
+            "interval_reads_per_s": interval_rate,
+            "dp_cells": cells,
+            # aggregate GCUPS: cell updates over wall-clock, all workers.
+            "gcups": cells / elapsed / 1e9 if elapsed > 0 else 0.0,
+            "quarantined": quarantined,
+            "queues": queues,
+            "eta_s": eta,
+        }
+        return record
+
+    # -- emission ------------------------------------------------------ #
+
+    def _emit(self, final: bool = False) -> None:
+        with self._lock:
+            rec = self.sample(final=final)
+            self.beats += 1
+            eta = rec["eta_s"]
+            self._log.info(
+                "%s%d reads in %.1fs (%.1f reads/s, %.4f GCUPS)%s%s",
+                "done: " if final else "",
+                rec["reads_done"],
+                rec["elapsed_s"],
+                rec["reads_per_s"],
+                rec["gcups"],
+                f", {rec['quarantined']} quarantined"
+                if rec["quarantined"]
+                else "",
+                f", ETA {eta:.0f}s" if eta is not None else "",
+            )
+            if self._fh is not None:
+                self._fh.write(json.dumps(rec, sort_keys=True))
+                self._fh.write("\n")
+                self._fh.flush()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self._emit()
+            except Exception:  # pragma: no cover - never kill the run
+                self._log.exception("progress heartbeat failed")
+                return

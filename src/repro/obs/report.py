@@ -4,16 +4,43 @@
 written by ``manymap map --metrics`` and prints the five-stage
 seconds/percentage breakdown side by side (Table 2's CPU-vs-KNL
 layout), followed by a throughput footer (reads mapped, DP cells,
-GCUPS, peak RSS) and — for a single manifest — the counter table.
+GCUPS, peak RSS) and — for a single manifest — the counter, gauge and
+latency-histogram tables. ``--format markdown|json`` re-renders the
+same content for docs and machines; ``--compare A.json B.json`` diffs
+two manifests' throughput metrics and flags regressions beyond a
+tolerance (the CI perf gate's engine, see
+``benchmarks/bench_compare.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import json
+from typing import Dict, List, Optional, Sequence
 
 from ..utils.fmt import human_bytes, si
 
-__all__ = ["profile_from_metrics", "render_metrics", "render_metrics_files"]
+__all__ = [
+    "profile_from_metrics",
+    "render_metrics",
+    "render_metrics_files",
+    "compare_metrics",
+    "render_compare",
+    "REPORT_FORMATS",
+    "GATED_METRICS",
+]
+
+#: Output formats accepted by ``report --format``.
+REPORT_FORMATS = ("table", "json", "markdown")
+
+#: ``derived`` metrics gated by ``compare_metrics``: (key, higher_is_better).
+#: Throughput metrics regress when they *drop*; informational rows
+#: (peak RSS) are reported but never fail the gate — RSS varies too
+#: much across machines to gate on.
+GATED_METRICS = (
+    ("gcups", True),
+    ("reads_per_sec", True),
+    ("bases_per_sec", True),
+)
 
 
 def profile_from_metrics(metrics: Dict):
@@ -37,6 +64,9 @@ def _footer_line(label: str, metrics: Dict) -> str:
         f"{derived.get('reads_per_sec', 0.0):.2f} reads/s",
         f"peak RSS {human_bytes(metrics.get('peak_rss_bytes', 0))}",
     ]
+    run_id = metrics.get("run_id")
+    if run_id:
+        parts.append(f"run {str(run_id)[:8]}")
     return f"{label}: " + ", ".join(parts)
 
 
@@ -48,6 +78,38 @@ def _counter_table(counters: Dict[str, int]) -> List[str]:
         f"{name:<{width}}  {counters[name]:>14}"
         for name in sorted(counters)
     ]
+
+
+def _fmt_value(name: str, value: float) -> str:
+    """Histogram cell formatting: latencies in ms, sizes as integers."""
+    if name.startswith("latency."):
+        return f"{value * 1e3:.3f}ms"
+    return f"{value:.0f}"
+
+
+def _histogram_table(histograms: Dict[str, Dict]) -> List[str]:
+    """p50/p90/p99 table from a manifest's ``histograms`` object."""
+    if not histograms:
+        return []
+    width = max(len(k) for k in histograms)
+    header = (
+        f"{'':<{width}}  {'count':>8}  {'mean':>10}  {'p50':>10}  "
+        f"{'p90':>10}  {'p99':>10}  {'max':>10}"
+    )
+    lines = [header]
+    for name in sorted(histograms):
+        h = histograms[name]
+        if not h.get("count"):
+            continue
+        lines.append(
+            f"{name:<{width}}  {h['count']:>8}  "
+            f"{_fmt_value(name, float(h.get('mean', 0.0))):>10}  "
+            f"{_fmt_value(name, float(h.get('p50', 0.0))):>10}  "
+            f"{_fmt_value(name, float(h.get('p90', 0.0))):>10}  "
+            f"{_fmt_value(name, float(h.get('p99', 0.0))):>10}  "
+            f"{_fmt_value(name, float(h.get('max') or 0.0)):>10}"
+        )
+    return lines if len(lines) > 1 else []
 
 
 def render_metrics(manifests: Sequence[Dict]) -> str:
@@ -81,6 +143,11 @@ def render_metrics(manifests: Sequence[Dict]) -> str:
         lines.append("")
         lines.append("Counters")
         lines.extend(_counter_table(manifests[0].get("counters", {})))
+        hist_lines = _histogram_table(manifests[0].get("histograms") or {})
+        if hist_lines:
+            lines.append("")
+            lines.append("Histograms")
+            lines.extend(hist_lines)
         gauges = manifests[0].get("gauges") or {}
         if gauges:
             width = max(len(k) for k in gauges)
@@ -108,13 +175,220 @@ def render_metrics(manifests: Sequence[Dict]) -> str:
     return "\n".join(lines)
 
 
-def render_metrics_files(paths: Sequence[str]) -> str:
-    """Load manifests from ``paths`` and render the comparison report."""
+def _render_markdown(manifests: Sequence[Dict]) -> str:
+    """Markdown tables for docs: stage seconds + derived throughput."""
+    if not manifests:
+        return "(no metrics files)"
+    labels = [
+        str(m.get("label") or f"run{i}") for i, m in enumerate(manifests)
+    ]
+    stages: List[str] = []
+    for m in manifests:
+        for s in m.get("stages", {}):
+            if s not in stages:
+                stages.append(s)
+    lines = ["| Stage | " + " | ".join(labels) + " |"]
+    lines.append("|---" * (len(labels) + 1) + "|")
+    for stage in stages:
+        row = [stage]
+        for m in manifests:
+            row.append(f"{float(m.get('stages', {}).get(stage, 0.0)):.4f}s")
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+    lines.append("| Metric | " + " | ".join(labels) + " |")
+    lines.append("|---" * (len(labels) + 1) + "|")
+    rows = (
+        ("GCUPS", "gcups", "{:.4f}"),
+        ("reads/s", "reads_per_sec", "{:.2f}"),
+        ("bases/s", "bases_per_sec", "{:.0f}"),
+        ("DP cells", "dp_cells", "{:d}"),
+    )
+    for title, key, fmt in rows:
+        row = [title]
+        for m in manifests:
+            v = m.get("derived", {}).get(key, 0)
+            row.append(fmt.format(int(v) if fmt == "{:d}" else float(v)))
+        lines.append("| " + " | ".join(row) + " |")
+    hist = (manifests[0].get("histograms") or {}) if len(manifests) == 1 else {}
+    named = {k: v for k, v in hist.items() if v.get("count")}
+    if named:
+        lines.append("")
+        lines.append("| Histogram | count | mean | p50 | p90 | p99 | max |")
+        lines.append("|---|---|---|---|---|---|---|")
+        for name in sorted(named):
+            h = named[name]
+            lines.append(
+                "| "
+                + " | ".join(
+                    [
+                        name,
+                        str(h["count"]),
+                        _fmt_value(name, float(h.get("mean", 0.0))),
+                        _fmt_value(name, float(h.get("p50", 0.0))),
+                        _fmt_value(name, float(h.get("p90", 0.0))),
+                        _fmt_value(name, float(h.get("p99", 0.0))),
+                        _fmt_value(name, float(h.get("max") or 0.0)),
+                    ]
+                )
+                + " |"
+            )
+    return "\n".join(lines)
+
+
+def render_metrics_files(paths: Sequence[str], fmt: str = "table") -> str:
+    """Load manifests from ``paths`` and render them in ``fmt``."""
     from .metrics import load_metrics
 
+    if fmt not in REPORT_FORMATS:
+        raise ValueError(
+            f"unknown report format {fmt!r}; expected one of {REPORT_FORMATS}"
+        )
     manifests = []
     for path in paths:
         metrics = load_metrics(path)
         metrics.setdefault("label", path)
         manifests.append(metrics)
+    if fmt == "json":
+        return json.dumps(
+            manifests[0] if len(manifests) == 1 else manifests,
+            indent=2,
+            sort_keys=True,
+        )
+    if fmt == "markdown":
+        return _render_markdown(manifests)
     return render_metrics(manifests)
+
+
+# -- comparison / regression gate -------------------------------------- #
+
+
+def compare_metrics(
+    baseline: Dict, candidate: Dict, tolerance_pct: float = 10.0
+) -> Dict:
+    """Diff two manifests' throughput metrics against a tolerance.
+
+    Each gated metric (:data:`GATED_METRICS`) yields a row with the
+    baseline/candidate values and the relative change; a candidate more
+    than ``tolerance_pct`` percent *worse* than baseline is a
+    regression. A gated metric that is zero in the baseline (e.g. a
+    zero-align-seconds micro run) cannot regress — there is nothing to
+    gate against. Peak RSS is included informationally, never gated.
+
+    Returns ``{"tolerance_pct", "rows": [...], "regressions": [...],
+    "ok": bool}``.
+    """
+    rows: List[Dict] = []
+    regressions: List[str] = []
+
+    def add_row(
+        name: str,
+        base: float,
+        cand: float,
+        higher_better: Optional[bool],
+    ) -> None:
+        change = (cand - base) / base * 100.0 if base else None
+        regressed = False
+        if higher_better is not None and change is not None:
+            worse = -change if higher_better else change
+            regressed = worse > tolerance_pct
+        rows.append(
+            {
+                "metric": name,
+                "baseline": base,
+                "candidate": cand,
+                "change_pct": change,
+                "gated": higher_better is not None,
+                "regressed": regressed,
+            }
+        )
+        if regressed:
+            regressions.append(name)
+
+    b_derived = baseline.get("derived", {})
+    c_derived = candidate.get("derived", {})
+    for key, higher_better in GATED_METRICS:
+        add_row(
+            key,
+            float(b_derived.get(key, 0.0)),
+            float(c_derived.get(key, 0.0)),
+            higher_better,
+        )
+    add_row(
+        "peak_rss_bytes",
+        float(baseline.get("peak_rss_bytes", 0)),
+        float(candidate.get("peak_rss_bytes", 0)),
+        None,
+    )
+    return {
+        "tolerance_pct": float(tolerance_pct),
+        "baseline_label": str(baseline.get("label", "baseline")),
+        "candidate_label": str(candidate.get("label", "candidate")),
+        "baseline_run_id": str(baseline.get("run_id", "")),
+        "candidate_run_id": str(candidate.get("run_id", "")),
+        "rows": rows,
+        "regressions": regressions,
+        "ok": not regressions,
+    }
+
+
+def render_compare(cmp: Dict, fmt: str = "table") -> str:
+    """Render a :func:`compare_metrics` result in ``fmt``."""
+    if fmt not in REPORT_FORMATS:
+        raise ValueError(
+            f"unknown report format {fmt!r}; expected one of {REPORT_FORMATS}"
+        )
+    if fmt == "json":
+        return json.dumps(cmp, indent=2, sort_keys=True)
+    rows = cmp["rows"]
+    header = (
+        f"comparing {cmp['candidate_label']} against "
+        f"{cmp['baseline_label']} (tolerance {cmp['tolerance_pct']:.1f}%)"
+    )
+    if fmt == "markdown":
+        lines = [
+            header,
+            "",
+            "| Metric | Baseline | Candidate | Change | Status |",
+            "|---|---|---|---|---|",
+        ]
+        for r in rows:
+            change = (
+                f"{r['change_pct']:+.1f}%"
+                if r["change_pct"] is not None
+                else "n/a"
+            )
+            status = (
+                "REGRESSED"
+                if r["regressed"]
+                else ("ok" if r["gated"] else "info")
+            )
+            lines.append(
+                f"| {r['metric']} | {r['baseline']:.4f} | "
+                f"{r['candidate']:.4f} | {change} | {status} |"
+            )
+    else:
+        width = max(len(r["metric"]) for r in rows)
+        lines = [header, ""]
+        for r in rows:
+            change = (
+                f"{r['change_pct']:+8.1f}%"
+                if r["change_pct"] is not None
+                else "     n/a "
+            )
+            status = (
+                "REGRESSED"
+                if r["regressed"]
+                else ("ok" if r["gated"] else "info")
+            )
+            lines.append(
+                f"{r['metric']:<{width}}  {r['baseline']:>14.4f}  "
+                f"{r['candidate']:>14.4f}  {change}  {status}"
+            )
+    lines.append("")
+    if cmp["ok"]:
+        lines.append("PASS: no gated metric regressed beyond tolerance")
+    else:
+        lines.append(
+            "FAIL: regression in " + ", ".join(cmp["regressions"])
+        )
+    return "\n".join(lines)

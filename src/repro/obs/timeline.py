@@ -1,0 +1,250 @@
+"""Chrome-trace / Perfetto timeline export of a mapping run.
+
+``manymap map --timeline out.json`` converts the run's per-read trace
+spans into trace-event JSON (the ``chrome://tracing`` / Perfetto
+format): one lane per worker (``pid`` = OS process, ``tid`` = pool
+thread), one complete ("X") slice per pipeline stage per read, a
+per-worker *chunks* sub-lane showing scheduling-chunk extents, and
+instant ("i") markers for faults the run absorbed. Loaded into
+Perfetto, the lanes make pipeline overlap — the paper's Fig. 11
+argument — directly visible: a fully overlapped run shows dense,
+gap-free worker lanes; a stalled stage shows as white space.
+
+Span records carry a wall-clock start (``ts``, epoch seconds, shared
+across worker processes) plus per-stage durations; the exporter
+rebases everything to microseconds from the earliest event, sorts each
+lane, and clamps sub-microsecond clock skew so per-lane timestamps are
+strictly non-decreasing — a documented invariant tests rely on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["trace_events", "build_timeline", "write_timeline"]
+
+#: Stage keys inside a span record, in execution order.
+_STAGES = ("seed_chain", "align")
+
+#: tid offset for the per-worker "chunks" sub-lane.
+_CHUNK_LANE = 1000
+
+
+def _lane(worker: str) -> Tuple[int, str]:
+    """``(pid, thread-name)`` from a ``pid:4242/ThreadName`` worker id."""
+    if worker.startswith("pid:") and "/" in worker:
+        head, thread = worker.split("/", 1)
+        try:
+            return int(head[4:]), thread
+        except ValueError:
+            pass
+    return 0, worker or "?"
+
+
+def trace_events(
+    spans: Iterable[Dict],
+    faults: Iterable = (),
+    label: str = "",
+) -> List[Dict]:
+    """Convert span records (+ fault records) into trace events.
+
+    Returns the ``traceEvents`` list: metadata ("M") lane names, per
+    stage-per-read complete ("X") slices, per-worker chunk extents on a
+    ``chunks`` sub-lane, and global instant ("i") fault markers.
+    Timestamps are microseconds rebased to the earliest span start and
+    clamped non-decreasing per lane.
+    """
+    lanes: Dict[Tuple[int, str], List[Dict]] = {}
+    chunk_extent: Dict[Tuple[int, str, int], List[float]] = {}
+    t0: Optional[float] = None
+
+    for span in spans:
+        ts = span.get("ts")
+        if ts is None:
+            continue  # pre-timeline span record: nothing to place
+        durs = span.get("spans", {})
+        pid, thread = _lane(str(span.get("worker", "")))
+        start = float(ts)
+        if t0 is None or start < t0:
+            t0 = start
+        events = lanes.setdefault((pid, thread), [])
+        at = start
+        for stage in _STAGES:
+            dur = float(durs.get(stage, 0.0))
+            events.append(
+                {
+                    "name": stage,
+                    "ph": "X",
+                    "ts": at,
+                    "dur": dur,
+                    "pid": pid,
+                    "tid": thread,
+                    "args": {
+                        "read": span.get("read"),
+                        "length": span.get("length"),
+                        "chunk": span.get("chunk"),
+                    },
+                }
+            )
+            at += dur
+        chunk = span.get("chunk")
+        if chunk is not None:
+            key = (pid, thread, int(chunk))
+            ext = chunk_extent.get(key)
+            if ext is None:
+                chunk_extent[key] = [start, at]
+            else:
+                ext[0] = min(ext[0], start)
+                ext[1] = max(ext[1], at)
+
+    fault_events: List[Dict] = []
+    for f in faults:
+        ts = getattr(f, "ts", None) or 0.0
+        if ts and (t0 is None or ts < t0):
+            t0 = ts
+        fault_events.append(
+            {
+                "name": f"{getattr(f, 'kind', 'fault')}:{getattr(f, 'read', '?')}",
+                "ph": "i",
+                "s": "g",
+                "ts": ts,
+                "pid": 0,
+                "tid": "faults",
+                "args": {
+                    "action": getattr(f, "action", None),
+                    "reason": getattr(f, "reason", None),
+                    "attempts": getattr(f, "attempts", None),
+                },
+            }
+        )
+
+    if t0 is None:
+        t0 = 0.0
+
+    out: List[Dict] = []
+    tids: Dict[Tuple[int, str], int] = {}
+    seen_pids: Dict[int, None] = {}
+
+    def tid_for(pid: int, thread: str) -> int:
+        key = (pid, thread)
+        if key not in tids:
+            tid = len([k for k in tids if k[0] == pid]) + 1
+            tids[key] = tid
+            if pid not in seen_pids:
+                seen_pids[pid] = None
+                out.append(
+                    {
+                        "name": "process_name",
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": 0,
+                        "args": {
+                            "name": f"manymap worker pid:{pid}"
+                            + (f" ({label})" if label else "")
+                        },
+                    }
+                )
+            out.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": thread},
+                }
+            )
+        return tids[key]
+
+    for (pid, thread), events in sorted(lanes.items()):
+        tid = tid_for(pid, thread)
+        events.sort(key=lambda e: e["ts"])
+        prev_end = 0.0
+        for e in events:
+            ts_us = max((e["ts"] - t0) * 1e6, prev_end)
+            dur_us = max(e["dur"] * 1e6, 0.0)
+            prev_end = ts_us + dur_us
+            e["ts"] = ts_us
+            e["dur"] = dur_us
+            e["tid"] = tid
+            out.append(e)
+
+    chunk_lanes_named = set()
+    for (pid, thread, chunk), (start, end) in sorted(chunk_extent.items()):
+        tid = tid_for(pid, thread)
+        if (pid, thread) not in chunk_lanes_named:
+            chunk_lanes_named.add((pid, thread))
+            out.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid + _CHUNK_LANE,
+                    "args": {"name": f"{thread} chunks"},
+                }
+            )
+        out.append(
+            {
+                "name": f"chunk {chunk}",
+                "ph": "X",
+                "ts": max((start - t0) * 1e6, 0.0),
+                "dur": max((end - start) * 1e6, 0.0),
+                "pid": pid,
+                "tid": tid + _CHUNK_LANE,
+                "args": {"chunk": chunk},
+            }
+        )
+
+    for e in fault_events:
+        e["ts"] = max((e["ts"] - t0) * 1e6, 0.0)
+        e["tid"] = 0
+        out.append(e)
+    if fault_events:
+        out.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": "faults"},
+            }
+        )
+    return out
+
+
+def build_timeline(
+    spans: Iterable[Dict],
+    faults: Iterable = (),
+    run_id: str = "",
+    gauges: Optional[Dict] = None,
+    label: str = "",
+) -> Dict:
+    """The full trace-event JSON document (Perfetto-loadable)."""
+    return {
+        "traceEvents": trace_events(spans, faults, label=label),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "tool": "manymap",
+            "run_id": run_id,
+            "label": label,
+            "gauges": dict(gauges or {}),
+        },
+    }
+
+
+def write_timeline(
+    path: str,
+    spans: Iterable[Dict],
+    faults: Iterable = (),
+    run_id: str = "",
+    gauges: Optional[Dict] = None,
+    label: str = "",
+) -> int:
+    """Write the timeline JSON; returns the number of trace events."""
+    doc = build_timeline(
+        spans, faults, run_id=run_id, gauges=gauges, label=label
+    )
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+    return len(doc["traceEvents"])

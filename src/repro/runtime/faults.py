@@ -48,6 +48,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import SchedulerError
 from ..obs.counters import COUNTERS
+from ..obs.hist import HISTOGRAMS, merge_hist_json
 from ..seq.records import SeqRecord
 
 __all__ = [
@@ -60,6 +61,21 @@ __all__ = [
 
 ON_ERROR = ("abort", "skip", "retry")
 ON_TIMEOUT = ("fallback", "skip")
+
+
+def _observe_read(read, seed_chain_s: float, align_s: float) -> None:
+    """Per-read observability: the ``reads_done`` progress counter plus
+    the stage-latency / read-length histograms. Runs on every completed
+    read on every backend (this module is the shared choke point);
+    ``HISTOGRAMS.enabled = False`` reduces it to the one counter bump.
+    """
+    COUNTERS.inc("reads_done")
+    if not HISTOGRAMS.enabled:
+        return
+    HISTOGRAMS.observe("latency.seed_chain_s", seed_chain_s)
+    HISTOGRAMS.observe("latency.align_s", align_s)
+    HISTOGRAMS.observe("latency.read_s", seed_chain_s + align_s)
+    HISTOGRAMS.observe("read.length", len(read.seq))
 
 
 @dataclass(frozen=True)
@@ -129,6 +145,9 @@ class FaultRecord:
     action: str  # "quarantined" | "fallback"
     #: the original record, when available — what the sidecar FASTQ gets.
     record: Optional[SeqRecord] = None
+    #: wall-clock moment the fault was absorbed (epoch seconds); places
+    #: the fault marker on the timeline export.
+    ts: float = dataclasses.field(default_factory=time.time)
 
     def to_json(self) -> Dict:
         return {
@@ -137,6 +156,7 @@ class FaultRecord:
             "reason": self.reason,
             "attempts": self.attempts,
             "action": self.action,
+            "ts": self.ts,
         }
 
 
@@ -163,6 +183,7 @@ def map_one_read(
         t1 = time.perf_counter()
         alns = aligner.align_plan(read, plan, with_cigar=with_cigar)
         t2 = time.perf_counter()
+        _observe_read(read, t1 - t0, t2 - t1)
         return alns, t1 - t0, t2 - t1, None
 
     injector = policy.injector
@@ -187,6 +208,7 @@ def map_one_read(
                 )
                 if policy.on_timeout == "skip":
                     COUNTERS.inc("fault.quarantined")
+                    COUNTERS.inc("reads_done")
                     return [], 0.0, 0.0, FaultRecord(
                         read=read.name,
                         kind="timeout",
@@ -200,6 +222,7 @@ def map_one_read(
                 alns = aligner.align_plan(read, plan, with_cigar=False)
                 t2 = time.perf_counter()
                 COUNTERS.inc("fault.fallbacks")
+                _observe_read(read, elapsed, t2 - t1b)
                 return alns, elapsed, t2 - t1b, FaultRecord(
                     read=read.name,
                     kind="timeout",
@@ -209,6 +232,9 @@ def map_one_read(
                 )
             alns = aligner.align_plan(read, plan, with_cigar=with_cigar)
             t2 = time.perf_counter()
+            if attempt > 1 and HISTOGRAMS.enabled:
+                HISTOGRAMS.observe("fault.retries", attempt - 1)
+            _observe_read(read, elapsed, t2 - t1)
             return alns, elapsed, t2 - t1, None
         except Exception as exc:
             if policy.on_error == "abort":
@@ -218,6 +244,9 @@ def map_one_read(
                 continue
             COUNTERS.inc("fault.skips")
             COUNTERS.inc("fault.quarantined")
+            COUNTERS.inc("reads_done")
+            if attempt > 1 and HISTOGRAMS.enabled:
+                HISTOGRAMS.observe("fault.retries", attempt - 1)
             return [], 0.0, 0.0, FaultRecord(
                 read=read.name,
                 kind="error",
@@ -233,9 +262,9 @@ def map_one_read(
 
 
 def _merge_chunk_results(left: Tuple, right: Tuple) -> Tuple:
-    """Concatenate two partial 6-tuple chunk results (bisect halves)."""
-    li, lo, ls, ld, lsp, lf = left
-    ri, ro, rs, rd, rsp, rf = right
+    """Concatenate two partial 7-tuple chunk results (bisect halves)."""
+    li, lo, ls, ld, lh, lsp, lf = left
+    ri, ro, rs, rd, rh, rsp, rf = right
     stage = dict(ls)
     for k, v in rs.items():
         stage[k] = stage.get(k, 0.0) + v
@@ -247,6 +276,7 @@ def _merge_chunk_results(left: Tuple, right: Tuple) -> Tuple:
         lo + ro,
         stage,
         delta,
+        merge_hist_json(lh, rh),
         lsp + rsp,
         lf + rf,
     )
@@ -258,7 +288,7 @@ class PoolSupervisor:
     ``factory`` builds a fresh ``ProcessPoolExecutor`` (it is called
     again after every break); ``task`` is the picklable chunk function
     (:func:`repro.runtime.procpool._map_chunk`) taking one payload
-    ``(chunk_id, indices, reads)`` and returning the 6-tuple chunk
+    ``(chunk_id, indices, reads)`` and returning the 7-tuple chunk
     result. Thread-safe: the streaming backend calls :meth:`run_chunk`
     from several worker threads at once; isolation runs take an
     exclusive turn so a concurrent crash of an unrelated chunk is
@@ -367,7 +397,7 @@ class PoolSupervisor:
                 self._cond.notify_all()
 
     def run_chunk(self, payload):
-        """Run one chunk with crash recovery; always returns a 6-tuple."""
+        """Run one chunk with crash recovery; always returns a 7-tuple."""
         result, token = self._submit_and_wait(payload)
         if token is None:
             return result
@@ -401,6 +431,7 @@ class PoolSupervisor:
                 [[]],
                 {"Seed & Chain": 0.0, "Align": 0.0},
                 {},
+                {},
                 [],
                 [fault],
             )
@@ -418,15 +449,19 @@ class PoolSupervisor:
 # Quarantine sidecar
 
 
-def write_quarantine(path: str, faults: List[FaultRecord]) -> int:
+def write_quarantine(
+    path: str, faults: List[FaultRecord], run_id: str = ""
+) -> int:
     """Write quarantined reads to a sidecar FASTQ + reasons JSONL.
 
     ``path`` gets the quarantined records that still carry their
     original :class:`SeqRecord` (re-mappable later, like minimap2's
     unmapped-output workflows); ``<path>.reasons.jsonl`` gets one
-    structured line per fault (quarantines *and* fallbacks). Both files
-    are always written — empty on a clean run — so callers can assert
-    on their contents. Returns the number of quarantined reads.
+    structured line per fault (quarantines *and* fallbacks), stamped
+    with ``run_id`` so the sidecar joins the run's manifest/trace.
+    Both files are always written — empty on a clean run — so callers
+    can assert on their contents. Returns the number of quarantined
+    reads.
     """
     from ..seq.fasta import write_fastq
 
@@ -438,6 +473,9 @@ def write_quarantine(path: str, faults: List[FaultRecord]) -> int:
     write_fastq(path, records)
     with open(f"{path}.reasons.jsonl", "w") as fh:
         for f in faults:
-            fh.write(json.dumps(f.to_json(), sort_keys=True))
+            rec = f.to_json()
+            if run_id:
+                rec["run_id"] = run_id
+            fh.write(json.dumps(rec, sort_keys=True))
             fh.write("\n")
     return sum(1 for f in faults if f.action == "quarantined")

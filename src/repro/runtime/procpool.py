@@ -50,7 +50,8 @@ from ..core.alignment import Alignment
 from ..errors import SchedulerError
 from ..index.store import load_index, save_index
 from ..obs.counters import COUNTERS, counter_delta
-from ..obs.logs import current_level_name, setup_logging
+from ..obs.hist import HISTOGRAMS, hist_delta
+from ..obs.logs import current_level_name, set_run_id, setup_logging
 from ..obs.telemetry import Telemetry, read_span
 from ..seq.genome import Genome
 from ..seq.records import SeqRecord
@@ -127,11 +128,13 @@ def _init_worker(
     trace: bool,
     log_level: str,
     policy: Optional[FaultPolicy] = None,
+    run_id: Optional[str] = None,
 ) -> None:
     # Mark this process as a disposable pool worker: crash-kind fault
     # injection only hard-kills where a supervisor can respawn it.
     os.environ["MANYMAP_POOL_WORKER"] = "1"
     setup_logging(log_level)
+    set_run_id(run_id)
     index = load_index(index_path, mode="mmap")
     _WORKER["aligner"] = config.build(genome, index=index)
     _WORKER["with_cigar"] = with_cigar
@@ -146,6 +149,7 @@ def _map_chunk(
     List[List[Alignment]],
     Dict[str, float],
     Dict[str, int],
+    Dict[str, Dict],
     List[Dict],
     List[FaultRecord],
 ]:
@@ -156,6 +160,7 @@ def _map_chunk(
     policy: Optional[FaultPolicy] = _WORKER.get("policy")  # type: ignore
     stage_seconds = {"Seed & Chain": 0.0, "Align": 0.0}
     counters_before = COUNTERS.totals()
+    hists_before = HISTOGRAMS.snapshot()
     spans: List[Dict] = []
     out: List[List[Alignment]] = []
     faults: List[FaultRecord] = []
@@ -181,7 +186,8 @@ def _map_chunk(
             )
         out.append(alns)
     delta = counter_delta(COUNTERS.totals(), counters_before)
-    return indices, out, stage_seconds, delta, spans, faults
+    hist_d = hist_delta(HISTOGRAMS.snapshot(), hists_before)
+    return indices, out, stage_seconds, delta, hist_d, spans, faults
 
 
 # --------------------------------------------------------------------- #
@@ -315,16 +321,18 @@ def _map_reads_processes(
                 trace,
                 current_level_name(),
                 fault_policy,
+                getattr(telemetry, "run_id", None),
             ),
         )
 
     def absorb(result) -> None:
-        indices, alns, stage_seconds, delta, spans, faults = result
+        indices, alns, stage_seconds, delta, hist_d, spans, faults = result
         for i, a in zip(indices, alns):
             results[i] = a
         for stage, sec in stage_seconds.items():
             stage_totals[stage] = stage_totals.get(stage, 0.0) + sec
         COUNTERS.merge(delta)
+        HISTOGRAMS.merge(hist_d)
         if telemetry is not None:
             telemetry.extend(spans)
             telemetry.record_faults(faults)

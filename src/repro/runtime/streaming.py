@@ -50,6 +50,7 @@ from ..core.alignment import Alignment
 from ..errors import SchedulerError
 from ..obs.counters import COUNTERS, counter_delta
 from ..obs.gauges import GaugeSet
+from ..obs.hist import HISTOGRAMS
 from ..obs.telemetry import Telemetry, read_span
 from ..seq.records import SeqRecord
 from .faults import FaultPolicy, FaultRecord, PoolSupervisor, map_one_read
@@ -229,8 +230,8 @@ def stream_map(
     stats = StreamStats()
     # (chunk_id, [(seq, read), ...]) or _END
     work_q: "queue.Queue" = queue.Queue(queue_chunks)
-    # (chunk_id, chunk, results, stage_seconds, delta, spans, faults),
-    # _WORKER_DONE, or nothing (errors go through shared.fail).
+    # (chunk_id, chunk, results, stage_seconds, delta, hist_d, spans,
+    # faults), _WORKER_DONE, or nothing (errors go through shared.fail).
     done_q: "queue.Queue" = queue.Queue(queue_chunks)
     stage_totals: Dict[str, float] = {
         "Load Query": 0.0,
@@ -269,6 +270,7 @@ def stream_map(
                     trace,
                     current_level_name(),
                     fault_policy,
+                    getattr(telemetry, "run_id", None),
                 ),
             )
 
@@ -356,9 +358,15 @@ def stream_map(
                         # run_chunk recovers broken pools (respawn +
                         # re-dispatch + poison-read bisect) when the
                         # policy allows; otherwise it raises.
-                        _, results, stage_seconds, delta, spans, faults = (
-                            supervisor.run_chunk(payload)
-                        )
+                        (
+                            _,
+                            results,
+                            stage_seconds,
+                            delta,
+                            hist_d,
+                            spans,
+                            faults,
+                        ) = supervisor.run_chunk(payload)
                     else:
                         results, stage_seconds, spans, faults = (
                             _map_chunk_threaded(
@@ -371,6 +379,9 @@ def stream_map(
                             )
                         )
                         delta = {}
+                        # threads observe straight into the process
+                        # registry; nothing to ship.
+                        hist_d = {}
                 except BaseException as exc:  # noqa: BLE001
                     shared.fail(
                         exc
@@ -385,6 +396,7 @@ def stream_map(
                         results,
                         stage_seconds,
                         delta,
+                        hist_d,
                         spans,
                         faults,
                     )
@@ -408,13 +420,22 @@ def stream_map(
             if item is _WORKER_DONE:
                 workers_left -= 1
                 continue
-            chunk_id, chunk, results, stage_seconds, delta, spans, faults = (
-                item
-            )
+            (
+                chunk_id,
+                chunk,
+                results,
+                stage_seconds,
+                delta,
+                hist_d,
+                spans,
+                faults,
+            ) = item
             for stage, sec in stage_seconds.items():
                 stage_totals[stage] = stage_totals.get(stage, 0.0) + sec
             if delta:
                 COUNTERS.merge(delta)
+            if hist_d:
+                HISTOGRAMS.merge(hist_d)
             if telemetry is not None:
                 telemetry.extend(spans)
                 telemetry.record_faults(faults)

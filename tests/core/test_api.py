@@ -94,6 +94,8 @@ class TestSurfaceSnapshot:
             "stream_processes",
             "index_path",
             "fault_policy",
+            "progress_interval",
+            "progress_path",
         ]
         assert MapOptions() == MapOptions(
             backend="serial",

@@ -80,12 +80,17 @@ class TestMapMetrics:
         _, _, reads = data
         trace = tmp_path / "t.jsonl"
         _map(data, tmp_path, "-x", "test", "--trace", str(trace))
-        spans = [json.loads(l) for l in trace.read_text().splitlines()]
+        records = [json.loads(l) for l in trace.read_text().splitlines()]
+        # First line is the run header carrying the run id.
+        assert records[0]["record"] == "run"
+        assert records[0]["run_id"]
+        spans = records[1:]
         assert sorted(s["read"] for s in spans) == sorted(
             r.name for r in reads
         )
         for span in spans:
             assert set(span["spans"]) == {"seed_chain", "align"}
+            assert span["ts"] > 0
 
     def test_conflicting_backend_flags_rejected(self, data, tmp_path):
         ref, fq, _ = data
@@ -93,6 +98,109 @@ class TestMapMetrics:
             ["map", ref, fq, "-t", "2", "-p", "2", "--log-level", "error"]
         )
         assert rc == 2
+
+
+class TestTimelineAndProgress:
+    BACKENDS = {
+        "serial": (),
+        "threads": ("-t", "2"),
+        "processes": ("-p", "2", "--chunk-reads", "2"),
+        "streaming": ("--stream", "-t", "2", "--chunk-reads", "2"),
+    }
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_full_observability_run(self, data, tmp_path, backend):
+        """--metrics + --timeline + --progress together on every backend."""
+        _, _, reads = data
+        metrics = tmp_path / "m.json"
+        timeline = tmp_path / "t.json"
+        beats = tmp_path / "p.jsonl"
+        _map(
+            data,
+            tmp_path,
+            "-x",
+            "test",
+            "--metrics",
+            str(metrics),
+            "--timeline",
+            str(timeline),
+            "--progress",
+            "0.05",
+            "--progress-file",
+            str(beats),
+            *self.BACKENDS[backend],
+        )
+        manifest = json.loads(metrics.read_text())
+        assert validate(manifest, SCHEMA) == [], validate(manifest, SCHEMA)
+        assert manifest["schema_version"] == 4
+        assert manifest["run_id"]
+        hists = manifest["histograms"]
+        assert hists["read.length"]["count"] == len(reads)
+        for name in ("latency.seed_chain_s", "latency.align_s",
+                     "latency.read_s"):
+            h = hists[name]
+            assert h["count"] == len(reads)
+            assert h["min"] <= h["p50"] <= h["p90"] <= h["p99"] <= h["max"]
+        doc = json.loads(timeline.read_text())
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        # one slice per stage per read (chunk extents ride on top)
+        assert len(slices) >= 2 * len(reads)
+        assert doc["otherData"]["run_id"] == manifest["run_id"]
+        lanes = {}
+        for e in slices:
+            lanes.setdefault((e["pid"], e["tid"]), []).append(e["ts"])
+        for key, ts in lanes.items():
+            assert ts == sorted(ts), key
+        records = [json.loads(l) for l in beats.read_text().splitlines()]
+        assert records and records[-1]["final"] is True
+        assert records[-1]["reads_done"] == len(reads)
+        assert all(r["run_id"] == manifest["run_id"] for r in records)
+
+    def test_timeline_reuses_trace_sink(self, data, tmp_path):
+        """--trace + --timeline: spans spill to the sink, then re-read."""
+        _, _, reads = data
+        trace = tmp_path / "t.jsonl"
+        timeline = tmp_path / "t.json"
+        _map(
+            data,
+            tmp_path,
+            "-x",
+            "test",
+            "--trace",
+            str(trace),
+            "--timeline",
+            str(timeline),
+        )
+        doc = json.loads(timeline.read_text())
+        stage = [
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["name"] in ("seed_chain", "align")
+        ]
+        assert len(stage) == 2 * len(reads)
+
+    def test_paf_identical_with_observability(self, data, tmp_path):
+        """The full observability stack must not perturb the output."""
+        plain = _map(data, tmp_path, "-x", "test")
+        loud_dir = tmp_path / "loud"
+        loud_dir.mkdir()
+        loud = _map(
+            data,
+            loud_dir,
+            "-x",
+            "test",
+            "--metrics",
+            str(loud_dir / "m.json"),
+            "--timeline",
+            str(loud_dir / "t.json"),
+            "--trace",
+            str(loud_dir / "t.jsonl"),
+            "--progress",
+            "0.05",
+            "--progress-file",
+            str(loud_dir / "p.jsonl"),
+        )
+        assert loud.read_bytes() == plain.read_bytes()
 
 
 class TestReportCommand:
@@ -116,3 +224,107 @@ class TestReportCommand:
 
     def test_report_missing_file(self, tmp_path):
         assert main(["report", str(tmp_path / "nope.json")]) == 1
+
+    def test_report_no_args_is_usage_error(self):
+        assert main(["report"]) == 2
+
+    def test_report_formats(self, data, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        _map(data, tmp_path, "-x", "test", "--metrics", str(metrics))
+        assert main(["report", str(metrics), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == 4
+        assert main(["report", str(metrics), "--format", "markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "| Stage |" in out and "| GCUPS |" in out
+        assert "| read.length |" in out  # histogram table rides along
+
+
+class TestCompareCLI:
+    @pytest.fixture(scope="class")
+    def manifest_path(self, data, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("cmp")
+        metrics = tmp / "base.json"
+        _map(data, tmp, "-x", "test", "--metrics", str(metrics))
+        return metrics
+
+    def _degraded(self, manifest_path, tmp_path, factor=10.0):
+        m = json.loads(manifest_path.read_text())
+        for key in ("gcups", "reads_per_sec", "bases_per_sec"):
+            m["derived"][key] = m["derived"][key] / factor
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(m))
+        return path
+
+    def test_self_compare_passes(self, manifest_path, capsys):
+        rc = main(
+            ["report", "--compare", str(manifest_path), str(manifest_path)]
+        )
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_injected_regression_exits_3(self, manifest_path, tmp_path, capsys):
+        bad = self._degraded(manifest_path, tmp_path)
+        rc = main(["report", "--compare", str(manifest_path), str(bad)])
+        assert rc == 3
+        out = capsys.readouterr().out
+        assert "FAIL: regression in" in out and "gcups" in out
+
+    def test_tolerance_flag(self, manifest_path, tmp_path):
+        # A 2x drop passes with a generous enough tolerance.
+        bad = self._degraded(manifest_path, tmp_path, factor=2.0)
+        rc = main(
+            [
+                "report",
+                "--compare",
+                str(manifest_path),
+                str(bad),
+                "--tolerance",
+                "60",
+            ]
+        )
+        assert rc == 0
+
+    def test_compare_json_format(self, manifest_path, tmp_path, capsys):
+        bad = self._degraded(manifest_path, tmp_path)
+        rc = main(
+            [
+                "report",
+                "--compare",
+                str(manifest_path),
+                str(bad),
+                "--format",
+                "json",
+            ]
+        )
+        assert rc == 3
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+        assert set(doc["regressions"]) == {
+            "gcups",
+            "reads_per_sec",
+            "bases_per_sec",
+        }
+
+    def test_compare_plus_positionals_rejected(self, manifest_path):
+        rc = main(
+            [
+                "report",
+                str(manifest_path),
+                "--compare",
+                str(manifest_path),
+                str(manifest_path),
+            ]
+        )
+        assert rc == 2
+
+    def test_compare_missing_file(self, manifest_path, tmp_path):
+        rc = main(
+            [
+                "report",
+                "--compare",
+                str(manifest_path),
+                str(tmp_path / "nope.json"),
+            ]
+        )
+        assert rc == 1

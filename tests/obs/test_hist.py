@@ -1,0 +1,187 @@
+"""Unit tests for the streaming log2-bucket histograms."""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs.hist import (
+    Histogram,
+    HistogramRegistry,
+    hist_delta,
+    merge_hist_json,
+    summarize,
+)
+
+
+class TestHistogram:
+    def test_bucket_boundaries(self):
+        h = Histogram()
+        # bucket e covers [2**(e-1), 2**e): 1.0 -> e=1, 2.0 -> e=2 ...
+        for v in (0.5, 1.0, 1.999, 2.0, 1024.0):
+            h.observe(v)
+        assert h.buckets == {0: 1, 1: 2, 2: 1, 11: 1}
+        assert h.count == 5
+        assert h.min == 0.5
+        assert h.max == 1024.0
+        assert h.sum == pytest.approx(0.5 + 1.0 + 1.999 + 2.0 + 1024.0)
+
+    def test_zeros_and_negatives_get_the_zero_slot(self):
+        h = Histogram()
+        h.observe(0.0)
+        h.observe(-3.0)
+        h.observe(4.0)
+        assert h.zeros == 2
+        assert h.count == 3
+        assert h.buckets == {3: 1}
+        assert h.min == 0.0
+        assert h.sum == 4.0  # zeros contribute nothing to the sum
+
+    def test_mean_excludes_zero_slot(self):
+        h = Histogram()
+        h.observe(0.0)
+        h.observe(10.0)
+        assert h.mean == 10.0
+
+    def test_empty_percentile_and_summary(self):
+        h = Histogram()
+        assert h.percentile(50) == 0.0
+        s = h.summary()
+        assert s["count"] == 0
+        assert s["p99"] == 0.0
+
+    def test_percentiles_clamped_to_observed_envelope(self):
+        h = Histogram()
+        for v in (100.0, 101.0, 102.0, 103.0):
+            h.observe(v)
+        # All samples share bucket 7 ([64, 128)); interpolation inside
+        # the bucket must still never leave [min, max].
+        for q in (1, 50, 99):
+            assert 100.0 <= h.percentile(q) <= 103.0
+
+    def test_percentile_monotone(self):
+        h = Histogram()
+        for i in range(1, 200):
+            h.observe(float(i))
+        ps = [h.percentile(q) for q in (10, 50, 90, 99)]
+        assert ps == sorted(ps)
+        assert h.percentile(50) == pytest.approx(100.0, rel=0.5)
+
+    def test_merge_equals_combined_observation(self):
+        a, b, both = Histogram(), Histogram(), Histogram()
+        # Dyadic values: exact float sums regardless of addition order.
+        for i, v in enumerate([0.25, 3.0, 7.5, 0.0, 42.0, 1.0]):
+            (a if i % 2 else b).observe(v)
+            both.observe(v)
+        a.merge(b)
+        assert a.to_json() == both.to_json()
+
+    def test_json_round_trip(self):
+        h = Histogram()
+        for v in (0.0, 1.5, 300.0):
+            h.observe(v)
+        d = json.loads(json.dumps(h.to_json()))
+        assert Histogram.from_json(d).to_json() == h.to_json()
+
+    def test_from_json_empty_keeps_none_minmax(self):
+        h = Histogram.from_json(Histogram().to_json())
+        assert h.min is None and h.max is None
+
+
+class TestRegistry:
+    def test_observe_and_totals(self):
+        reg = HistogramRegistry()
+        reg.observe("x", 2.0)
+        reg.observe("x", 8.0)
+        reg.observe("y", 1.0)
+        totals = reg.totals()
+        assert totals["x"].count == 2
+        assert totals["y"].count == 1
+
+    def test_disabled_is_noop(self):
+        reg = HistogramRegistry()
+        reg.disable()
+        reg.observe("x", 1.0)
+        assert reg.totals() == {}
+        reg.enable()
+        reg.observe("x", 1.0)
+        assert reg.totals()["x"].count == 1
+
+    def test_threads_merge_like_counters(self):
+        reg = HistogramRegistry()
+
+        def work():
+            for i in range(100):
+                reg.observe("t", float(i + 1))
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = reg.totals()["t"]
+        assert total.count == 400
+        assert total.sum == pytest.approx(4 * sum(range(1, 101)))
+
+    def test_merge_serialized_delta(self):
+        src, dst = HistogramRegistry(), HistogramRegistry()
+        for v in (1.0, 2.0, 0.0):
+            src.observe("x", v)
+        dst.merge(src.snapshot())
+        assert dst.snapshot() == src.snapshot()
+
+    def test_reset(self):
+        reg = HistogramRegistry()
+        reg.observe("x", 1.0)
+        reg.reset()
+        assert reg.totals() == {}
+
+
+class TestDeltaAndSummary:
+    def test_delta_is_exact_for_buckets_and_moments(self):
+        reg = HistogramRegistry()
+        reg.observe("x", 4.0)
+        before = reg.snapshot()
+        reg.observe("x", 4.0)
+        reg.observe("x", 9.0)
+        d = hist_delta(reg.snapshot(), before)["x"]
+        assert d["count"] == 2
+        assert d["sum"] == pytest.approx(13.0)
+        assert d["buckets"] == {"3": 1, "4": 1}
+
+    def test_delta_drops_unchanged_histograms(self):
+        reg = HistogramRegistry()
+        reg.observe("quiet", 1.0)
+        snap = reg.snapshot()
+        assert hist_delta(snap, snap) == {}
+
+    def test_merge_hist_json_symmetry(self):
+        a, b = HistogramRegistry(), HistogramRegistry()
+        a.observe("x", 3.0)
+        a.observe("y", 1.0)
+        b.observe("x", 5.0)
+        ab = merge_hist_json(a.snapshot(), b.snapshot())
+        ba = merge_hist_json(b.snapshot(), a.snapshot())
+        assert ab == ba
+        assert ab["x"]["count"] == 2
+
+    def test_summarize_adds_percentiles(self):
+        reg = HistogramRegistry()
+        for i in range(100):
+            reg.observe("x", float(i + 1))
+        s = summarize(reg.snapshot())["x"]
+        assert s["count"] == 100
+        assert set(s) >= {"p50", "p90", "p99", "mean", "buckets"}
+        assert s["p50"] <= s["p90"] <= s["p99"] <= s["max"]
+
+    def test_bucket_function_matches_frexp(self):
+        h = Histogram()
+        for e in range(-5, 20):
+            lo = math.ldexp(1.0, e - 1)
+            h2 = Histogram()
+            h2.observe(lo)
+            assert list(h2.buckets) == [e], e
+        assert h.count == 0  # untouched control

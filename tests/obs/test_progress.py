@@ -1,0 +1,137 @@
+"""Live progress heartbeat: beats, JSONL records, clean shutdown."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.obs.counters import COUNTERS
+from repro.obs.progress import ProgressReporter
+from repro.obs.telemetry import Telemetry
+
+
+class TestLifecycle:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError, match="interval"):
+            ProgressReporter(interval=0.0)
+        with pytest.raises(ValueError, match="interval"):
+            ProgressReporter(interval=-1.0)
+
+    def test_final_beat_even_without_a_tick(self, tmp_path):
+        # Interval far longer than the run: stop() still emits one beat.
+        path = tmp_path / "p.jsonl"
+        reporter = ProgressReporter(interval=60.0, path=str(path))
+        with reporter:
+            pass
+        assert reporter.beats == 1
+        rec = json.loads(path.read_text())
+        assert rec["final"] is True
+
+    def test_periodic_beats(self):
+        reporter = ProgressReporter(interval=0.02)
+        with reporter:
+            time.sleep(0.15)
+        # Several interval beats plus the final one.
+        assert reporter.beats >= 3
+
+    def test_stop_is_idempotent(self):
+        reporter = ProgressReporter(interval=60.0).start()
+        reporter.stop()
+        beats = reporter.beats
+        reporter.stop()
+        assert reporter.beats == beats
+        assert reporter._thread is None
+
+    def test_clean_shutdown_on_keyboard_interrupt(self):
+        reporter = ProgressReporter(interval=60.0)
+        with pytest.raises(KeyboardInterrupt):
+            with reporter:
+                raise KeyboardInterrupt()
+        assert reporter.beats == 1  # final beat still emitted
+        assert reporter._thread is None
+
+    def test_clean_shutdown_on_fault_abort(self):
+        reporter = ProgressReporter(interval=60.0)
+        with pytest.raises(RuntimeError, match="aborting"):
+            with reporter:
+                raise RuntimeError("aborting on fault policy")
+        assert reporter.beats == 1
+        assert reporter._thread is None
+
+
+class TestSampling:
+    def test_counter_delta_scoped_to_start(self):
+        COUNTERS.inc("reads_done", 7)  # pre-run noise
+        reporter = ProgressReporter(interval=60.0).start()
+        try:
+            COUNTERS.inc("reads_done", 3)
+            COUNTERS.inc("dp_cells", 1000)
+            rec = reporter.sample()
+        finally:
+            reporter.stop()
+        assert rec["record"] == "progress"
+        assert rec["reads_done"] == 3
+        assert rec["dp_cells"] >= 1000
+        assert rec["reads_per_s"] > 0
+
+    def test_telemetry_scopes_and_stamps_run_id(self):
+        telemetry = Telemetry()
+        COUNTERS.inc("reads_done", 5)
+        reporter = ProgressReporter(telemetry=telemetry, interval=60.0)
+        reporter.start()
+        try:
+            rec = reporter.sample()
+        finally:
+            reporter.stop()
+        assert rec["run_id"] == telemetry.run_id
+        assert rec["reads_done"] == 5  # telemetry baseline, not start()
+
+    def test_eta_requires_total(self):
+        reporter = ProgressReporter(interval=60.0, total_reads=None).start()
+        try:
+            assert reporter.sample()["eta_s"] is None
+        finally:
+            reporter.stop()
+
+    def test_eta_with_total(self):
+        reporter = ProgressReporter(interval=60.0, total_reads=10).start()
+        try:
+            COUNTERS.inc("reads_done", 5)
+            rec = reporter.sample()
+        finally:
+            reporter.stop()
+        assert rec["total_reads"] == 10
+        assert rec["eta_s"] is not None and rec["eta_s"] >= 0
+
+
+class TestJsonl:
+    def test_records_written_and_final_flagged(self, tmp_path):
+        path = tmp_path / "progress.jsonl"
+        telemetry = Telemetry()
+        with ProgressReporter(
+            telemetry=telemetry, interval=0.02, path=str(path)
+        ):
+            time.sleep(0.1)
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert len(records) >= 2
+        assert all(r["record"] == "progress" for r in records)
+        assert all(r["run_id"] == telemetry.run_id for r in records)
+        assert [r["final"] for r in records[:-1]] == [False] * (
+            len(records) - 1
+        )
+        assert records[-1]["final"] is True
+        # Elapsed time only moves forward across beats.
+        elapsed = [r["elapsed_s"] for r in records]
+        assert elapsed == sorted(elapsed)
+
+    def test_file_closed_on_stop(self, tmp_path):
+        path = tmp_path / "progress.jsonl"
+        reporter = ProgressReporter(interval=60.0, path=str(path))
+        with reporter:
+            pass
+        assert reporter._fh is None
+        assert path.read_text().strip()  # the final beat landed

@@ -1,0 +1,199 @@
+"""The report formats and the compare / perf-regression gate engine."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.report import (
+    GATED_METRICS,
+    REPORT_FORMATS,
+    compare_metrics,
+    render_compare,
+    render_metrics_files,
+)
+
+
+def manifest(gcups=1.0, reads_per_sec=100.0, bases_per_sec=5e4, **extra):
+    m = {
+        "label": extra.pop("label", "run"),
+        "run_id": extra.pop("run_id", "deadbeef"),
+        "stages": {"Seed & Chain": 0.5, "Align": 1.5},
+        "derived": {
+            "gcups": gcups,
+            "reads_per_sec": reads_per_sec,
+            "bases_per_sec": bases_per_sec,
+            "dp_cells": 1_000_000,
+        },
+        "peak_rss_bytes": 100 << 20,
+        "counters": {"dp_cells": 1_000_000},
+        "reads": {"n_reads": 10, "n_mapped": 10},
+    }
+    m.update(extra)
+    return m
+
+
+class TestCompareMetrics:
+    def test_identical_manifests_pass(self):
+        cmp = compare_metrics(manifest(), manifest())
+        assert cmp["ok"] is True
+        assert cmp["regressions"] == []
+        gated = [r for r in cmp["rows"] if r["gated"]]
+        assert [r["metric"] for r in gated] == [k for k, _ in GATED_METRICS]
+        assert all(r["change_pct"] == 0.0 for r in gated)
+
+    def test_drop_beyond_tolerance_fails(self):
+        cmp = compare_metrics(
+            manifest(gcups=1.0), manifest(gcups=0.8), tolerance_pct=10.0
+        )
+        assert cmp["ok"] is False
+        assert cmp["regressions"] == ["gcups"]
+        row = next(r for r in cmp["rows"] if r["metric"] == "gcups")
+        assert row["regressed"] is True
+        assert row["change_pct"] == pytest.approx(-20.0)
+
+    def test_drop_within_tolerance_passes(self):
+        cmp = compare_metrics(
+            manifest(gcups=1.0), manifest(gcups=0.95), tolerance_pct=10.0
+        )
+        assert cmp["ok"] is True
+
+    def test_tolerance_is_a_strict_boundary(self):
+        # Exactly -10% at 10% tolerance is not "more than" tolerance.
+        cmp = compare_metrics(
+            manifest(gcups=1.0), manifest(gcups=0.9), tolerance_pct=10.0
+        )
+        assert cmp["ok"] is True
+
+    def test_improvement_never_regresses(self):
+        cmp = compare_metrics(
+            manifest(gcups=1.0), manifest(gcups=5.0), tolerance_pct=1.0
+        )
+        assert cmp["ok"] is True
+
+    def test_zero_baseline_cannot_regress(self):
+        cmp = compare_metrics(manifest(gcups=0.0), manifest(gcups=0.0))
+        assert cmp["ok"] is True
+        row = next(r for r in cmp["rows"] if r["metric"] == "gcups")
+        assert row["change_pct"] is None
+
+    def test_multiple_regressions_all_named(self):
+        cmp = compare_metrics(
+            manifest(), manifest(gcups=0.1, reads_per_sec=1.0)
+        )
+        assert cmp["regressions"] == ["gcups", "reads_per_sec"]
+
+    def test_rss_is_informational_only(self):
+        worse = manifest()
+        worse["peak_rss_bytes"] = 100 << 30  # 1024x the baseline RSS
+        cmp = compare_metrics(manifest(), worse)
+        assert cmp["ok"] is True
+        row = next(
+            r for r in cmp["rows"] if r["metric"] == "peak_rss_bytes"
+        )
+        assert row["gated"] is False and row["regressed"] is False
+
+    def test_labels_and_run_ids_carried(self):
+        cmp = compare_metrics(
+            manifest(label="base", run_id="aaa"),
+            manifest(label="cand", run_id="bbb"),
+        )
+        assert cmp["baseline_label"] == "base"
+        assert cmp["candidate_label"] == "cand"
+        assert cmp["baseline_run_id"] == "aaa"
+        assert cmp["candidate_run_id"] == "bbb"
+
+
+class TestRenderCompare:
+    def test_table_pass(self):
+        out = render_compare(compare_metrics(manifest(), manifest()))
+        assert out.splitlines()[-1].startswith("PASS")
+        assert "gcups" in out and "tolerance 10.0%" in out
+
+    def test_table_fail_names_the_metric(self):
+        out = render_compare(
+            compare_metrics(manifest(), manifest(gcups=0.1))
+        )
+        assert out.splitlines()[-1] == "FAIL: regression in gcups"
+        assert "REGRESSED" in out
+
+    def test_json_round_trips(self):
+        cmp = compare_metrics(manifest(), manifest(gcups=0.1))
+        doc = json.loads(render_compare(cmp, fmt="json"))
+        assert doc == cmp
+
+    def test_markdown_table(self):
+        out = render_compare(
+            compare_metrics(manifest(), manifest()), fmt="markdown"
+        )
+        assert "| Metric | Baseline | Candidate | Change | Status |" in out
+        assert out.splitlines()[-1].startswith("PASS")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown report format"):
+            render_compare(compare_metrics(manifest(), manifest()), fmt="csv")
+
+
+class TestRenderMetricsFiles:
+    def _write(self, tmp_path, name, m):
+        path = tmp_path / name
+        path.write_text(json.dumps(m))
+        return str(path)
+
+    def _full_manifest(self):
+        # render_metrics_files -> load_metrics validates the schema, so
+        # feed it a real manifest shape (schema_version etc.).
+        m = manifest()
+        m.update(
+            {
+                "schema_version": 4,
+                "tool": "manymap",
+                "version": "0",
+                "created_unix": 0,
+                "wall_seconds": 2.0,
+                "histograms": {
+                    "latency.read_s": {
+                        "count": 10,
+                        "zeros": 0,
+                        "sum": 1.0,
+                        "min": 0.05,
+                        "max": 0.2,
+                        "mean": 0.1,
+                        "p50": 0.1,
+                        "p90": 0.18,
+                        "p99": 0.2,
+                        "buckets": {"-3": 10},
+                    }
+                },
+            }
+        )
+        return m
+
+    def test_formats_cover_constant(self):
+        assert REPORT_FORMATS == ("table", "json", "markdown")
+
+    def test_table_includes_histograms_and_run_id(self, tmp_path):
+        path = self._write(tmp_path, "m.json", self._full_manifest())
+        out = render_metrics_files([path])
+        assert "Histograms" in out
+        assert "latency.read_s" in out
+        assert "100.000ms" in out  # p50 rendered in ms
+        assert "run deadbeef" in out
+
+    def test_json_format(self, tmp_path):
+        path = self._write(tmp_path, "m.json", self._full_manifest())
+        doc = json.loads(render_metrics_files([path], fmt="json"))
+        assert doc["derived"]["gcups"] == 1.0
+
+    def test_markdown_format(self, tmp_path):
+        path = self._write(tmp_path, "m.json", self._full_manifest())
+        out = render_metrics_files([path], fmt="markdown")
+        assert "| Stage |" in out
+        assert "| GCUPS |" in out
+        assert "| latency.read_s | 10 |" in out
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = self._write(tmp_path, "m.json", self._full_manifest())
+        with pytest.raises(ValueError, match="unknown report format"):
+            render_metrics_files([path], fmt="csv")

@@ -15,6 +15,7 @@ import pytest
 
 from repro.core.aligner import Aligner
 from repro.core.profiling import PipelineProfile
+from repro.obs.hist import HISTOGRAMS
 from repro.obs.telemetry import Telemetry, read_span, worker_id
 from repro.runtime.parallel import map_reads
 from repro.seq.genome import GenomeSpec, generate_genome
@@ -37,6 +38,9 @@ def workload():
 def runs(workload):
     """Map the same reads on every backend, capturing all telemetry."""
     aligner, reads = workload
+    # Clear process-lifetime histogram min/max so the in-process
+    # backends' run-scoped envelopes match the fresh-worker processes.
+    HISTOGRAMS.reset()
     out = {}
     for backend, workers in BACKENDS:
         profile = PipelineProfile(label=backend)
@@ -53,6 +57,7 @@ def runs(workload):
         out[backend] = {
             "results": results,
             "counters": telemetry.counters(),
+            "histograms": telemetry.histograms(),
             "profile": profile,
             "telemetry": telemetry,
         }
@@ -80,6 +85,55 @@ class TestCounterIdentity:
         serial = runs["serial"]["results"]
         for backend in ("threads", "processes", "streaming"):
             assert runs[backend]["results"] == serial
+
+
+class TestHistogramIdentity:
+    """Worker histogram deltas merge to the same run totals everywhere."""
+
+    DETERMINISTIC = ("read.length", "band.width")
+
+    def test_serial_histograms_nonzero(self, runs, workload):
+        _, reads = workload
+        hists = runs["serial"]["histograms"]
+        assert hists["read.length"]["count"] == len(reads)
+        assert hists["band.width"]["count"] > 0
+        assert hists["latency.read_s"]["count"] == len(reads)
+
+    def test_deterministic_histograms_identical(self, runs):
+        serial = runs["serial"]["histograms"]
+        for backend in ("threads", "processes", "streaming"):
+            for name in self.DETERMINISTIC:
+                # Full summary identity: buckets, exact moments, and the
+                # derived p50/p90/p99 all match the serial run.
+                assert runs[backend]["histograms"][name] == serial[name], (
+                    backend,
+                    name,
+                )
+
+    def test_latency_counts_identical(self, runs):
+        # Latency *values* are wall-clock; only sample counts carry over.
+        serial = runs["serial"]["histograms"]
+        for backend in ("threads", "processes", "streaming"):
+            hists = runs[backend]["histograms"]
+            for name in (
+                "latency.seed_chain_s",
+                "latency.align_s",
+                "latency.read_s",
+            ):
+                assert hists[name]["count"] == serial[name]["count"], (
+                    backend,
+                    name,
+                )
+
+    def test_percentiles_within_envelope(self, runs):
+        for backend, _ in BACKENDS:
+            h = runs[backend]["histograms"]["read.length"]
+            assert h["min"] <= h["p50"] <= h["p90"] <= h["p99"] <= h["max"]
+
+    def test_reads_done_counter_matches(self, runs, workload):
+        _, reads = workload
+        for backend, _ in BACKENDS:
+            assert runs[backend]["counters"]["reads_done"] == len(reads)
 
 
 class TestStageSeconds:
@@ -118,15 +172,22 @@ class TestTraceSpans:
             assert span["spans"]["align"] >= 0.0
 
     def test_trace_jsonl_round_trips(self, runs, tmp_path):
+        from repro.obs.telemetry import iter_trace
+
         telemetry = runs["threads"]["telemetry"]
         path = tmp_path / "trace.jsonl"
         n = telemetry.write_trace(str(path))
         lines = path.read_text().splitlines()
-        assert len(lines) == n == len(telemetry.spans)
-        parsed = [json.loads(line) for line in lines]
+        header = json.loads(lines[0])
+        assert header["record"] == "run"
+        assert header["run_id"] == telemetry.run_id
+        assert len(lines) - 1 == n == len(telemetry.spans)
+        parsed = [json.loads(line) for line in lines[1:]]
         assert parsed == [
             json.loads(json.dumps(s, sort_keys=True)) for s in telemetry.spans
         ]
+        # iter_trace skips the header and yields exactly the spans.
+        assert list(iter_trace(str(path))) == parsed
 
     def test_trace_disabled_records_nothing(self, workload):
         aligner, reads = workload

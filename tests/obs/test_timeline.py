@@ -1,0 +1,156 @@
+"""Chrome-trace/Perfetto timeline export: document shape and invariants."""
+
+from __future__ import annotations
+
+import json
+from types import SimpleNamespace
+
+from repro.obs.timeline import build_timeline, trace_events, write_timeline
+
+T0 = 1_700_000_000.0
+
+
+def span(read, worker, ts, seed=0.002, align=0.005, chunk=None, length=500):
+    return {
+        "read": read,
+        "length": length,
+        "worker": worker,
+        "chunk": chunk,
+        "ts": ts,
+        "spans": {"seed_chain": seed, "align": align},
+    }
+
+
+def two_worker_spans():
+    """Two pid lanes, two reads each, interleaved starts + one chunk."""
+    return [
+        span("r0", "pid:100/MainThread", T0 + 0.00, chunk=0),
+        span("r2", "pid:200/MainThread", T0 + 0.01, chunk=1),
+        span("r1", "pid:100/MainThread", T0 + 0.02, chunk=0),
+        span("r3", "pid:200/MainThread", T0 + 0.03, chunk=1),
+    ]
+
+
+class TestTraceEvents:
+    def test_stage_slices_one_per_stage_per_read(self):
+        events = trace_events(two_worker_spans())
+        slices = [e for e in events if e["ph"] == "X"]
+        stage = [e for e in slices if e["name"] in ("seed_chain", "align")]
+        # 4 reads x 2 stages, plus the chunk-extent slices.
+        assert len(stage) == 8
+        assert {e["args"]["read"] for e in stage} == {"r0", "r1", "r2", "r3"}
+
+    def test_per_lane_timestamps_monotonic(self):
+        # The documented invariant: within each (pid, tid) lane, event
+        # start times never decrease, even with overlapping wall clocks.
+        spans = two_worker_spans()
+        # Force clock skew: a later span claims an earlier start.
+        spans.append(span("r4", "pid:100/MainThread", T0 + 0.019, chunk=0))
+        events = trace_events(spans)
+        lanes = {}
+        for e in events:
+            if e["ph"] != "X":
+                continue
+            lanes.setdefault((e["pid"], e["tid"]), []).append(e)
+        assert len(lanes) >= 2
+        for key, evs in lanes.items():
+            ts = [e["ts"] for e in evs]
+            assert ts == sorted(ts), key
+            ends = [e["ts"] + e["dur"] for e in evs]
+            for prev_end, start in zip(ends, ts[1:]):
+                assert start >= prev_end, key
+
+    def test_timestamps_rebased_to_microseconds(self):
+        events = trace_events(two_worker_spans())
+        slices = [e for e in events if e["ph"] == "X"]
+        assert min(e["ts"] for e in slices) == 0.0
+        # 30 ms spread -> everything well under a second in us.
+        assert max(e["ts"] for e in slices) < 1e6
+
+    def test_metadata_lane_names(self):
+        events = trace_events(two_worker_spans(), label="processes[2]")
+        meta = [e for e in events if e["ph"] == "M"]
+        proc = [e for e in meta if e["name"] == "process_name"]
+        assert {e["pid"] for e in proc} == {100, 200}
+        assert any("processes[2]" in e["args"]["name"] for e in proc)
+        threads = [e for e in meta if e["name"] == "thread_name"]
+        assert {e["args"]["name"] for e in threads} >= {
+            "MainThread",
+            "MainThread chunks",
+        }
+
+    def test_chunk_sub_lane(self):
+        events = trace_events(two_worker_spans())
+        chunks = [e for e in events if e["name"].startswith("chunk ")]
+        assert len(chunks) == 2  # chunk 0 on pid 100, chunk 1 on pid 200
+        for e in chunks:
+            assert e["tid"] > 1000  # offset onto the chunks sub-lane
+            assert e["dur"] > 0.0
+        # A chunk extent covers both of its reads' stage slices.
+        c0 = next(e for e in chunks if e["args"]["chunk"] == 0)
+        lane0 = [
+            e
+            for e in events
+            if e["ph"] == "X" and e["pid"] == 100 and e["tid"] < 1000
+        ]
+        assert c0["ts"] <= min(e["ts"] for e in lane0)
+        assert c0["ts"] + c0["dur"] >= max(e["ts"] + e["dur"] for e in lane0)
+
+    def test_fault_instant_markers(self):
+        fault = SimpleNamespace(
+            kind="error",
+            read="bad1",
+            action="quarantine",
+            reason="ValueError: boom",
+            attempts=2,
+            ts=T0 + 0.015,
+        )
+        events = trace_events(two_worker_spans(), faults=[fault])
+        marks = [e for e in events if e["ph"] == "i"]
+        assert len(marks) == 1
+        assert marks[0]["name"] == "error:bad1"
+        assert marks[0]["args"]["action"] == "quarantine"
+        assert marks[0]["ts"] >= 0.0
+        # The fault pid lane gets a name too.
+        assert any(
+            e["ph"] == "M" and e["pid"] == 0 and e["args"]["name"] == "faults"
+            for e in events
+        )
+
+    def test_spans_without_timestamps_are_skipped(self):
+        s = span("old", "pid:1/T", T0)
+        del s["ts"]
+        assert trace_events([s]) == []
+
+    def test_empty_input(self):
+        assert trace_events([]) == []
+
+
+class TestDocument:
+    def test_build_timeline_shape(self):
+        doc = build_timeline(
+            two_worker_spans(),
+            run_id="abc123",
+            gauges={"stream.queue.depth.max": 4},
+            label="streaming[2]",
+        )
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["displayTimeUnit"] == "ms"
+        other = doc["otherData"]
+        assert other["tool"] == "manymap"
+        assert other["run_id"] == "abc123"
+        assert other["gauges"] == {"stream.queue.depth.max": 4}
+
+    def test_write_timeline_round_trip(self, tmp_path):
+        path = tmp_path / "timeline.json"
+        n = write_timeline(
+            str(path), two_worker_spans(), run_id="rid", label="serial[1]"
+        )
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == n > 0
+        assert doc["otherData"]["run_id"] == "rid"
+        # Every event is a dict with the trace-event required keys.
+        for e in doc["traceEvents"]:
+            assert {"name", "ph", "pid", "tid"} <= set(e)
+            if e["ph"] == "X":
+                assert e["ts"] >= 0.0 and e["dur"] >= 0.0
