@@ -6,7 +6,9 @@ checked-in JSON schema (``benchmarks/metrics_schema.json``) using the
 stdlib-only subset validator in :mod:`repro.obs.schema` — no external
 dependencies. The manifest must carry a nonzero DP-cell count and a
 positive GCUPS figure, and the counter totals must be identical between
-the serial and process backends (telemetry is backend-independent).
+the serial and process backends (telemetry is backend-independent,
+modulo the grouping-dependent ``wavefront.*``/``dispatch.*`` batching
+telemetry, which is excluded).
 
 The manifest must also carry the schema-v4 latency histograms, and the
 histogram hot path must stay cheap. The gate multiplies the measured
@@ -42,6 +44,7 @@ from _common import RESULTS_DIR, emit, ratio
 from repro import api
 from repro.core.aligner import Aligner
 from repro.core.driver import ParallelDriver
+from repro.obs.counters import drop_shape_dependent
 from repro.obs.hist import HISTOGRAMS
 from repro.obs.report import render_metrics
 from repro.obs.schema import validate
@@ -147,7 +150,12 @@ def run_metrics_smoke(smoke: bool = True, out_dir: Path = RESULTS_DIR) -> Dict:
             errors.append(f"{backend}: {err}")
 
     serial, procs = manifests["serial"], manifests["processes"]
-    counters_match = serial["counters"] == procs["counters"]
+    # wavefront.*/dispatch.* describe how DP jobs were pooled, which
+    # legitimately varies with backend chunking; everything else must
+    # be identical.
+    counters_match = drop_shape_dependent(
+        serial["counters"]
+    ) == drop_shape_dependent(procs["counters"])
     hist_names = {
         name
         for name, h in serial.get("histograms", {}).items()

@@ -1,0 +1,244 @@
+"""Cross-read wavefront kernel: GCUPS + batch occupancy vs per-pair DP.
+
+Maps one simulated corpus twice on the serial backend — once through
+the legacy per-pair path (``kernel=None``) and once through the
+cross-read ``wavefront`` dispatch — and reports Align seconds, GCUPS,
+reads/s, lane occupancy, padding waste, and the batched-vs-fallback
+job split. PAF output must be byte-identical (the dispatch layer's
+bit-identity contract); only wall-clock may differ.
+
+The fresh wavefront manifest then gates against the committed
+``benchmarks/results/BENCH_wavefront.json`` baseline with
+:func:`repro.obs.report.compare_metrics` — the ``report --compare``
+engine — so CI catches a GCUPS collapse in the batched kernel (exit 3,
+matching the CLI). Tolerance follows ``MANYMAP_BENCH_TOLERANCE``
+(default 60%: committed baselines come from different hardware, so
+this is a collapse detector, not a microbenchmark).
+
+Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_wavefront.py --smoke
+
+or via pytest. Emits ``BENCH_wavefront.json`` / ``.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from _common import RESULTS_DIR, emit, ratio
+
+from repro.core.aligner import Aligner
+from repro.core.alignment import to_paf
+from repro.core.driver import ParallelDriver
+from repro.eval.report import render_table
+from repro.obs.report import compare_metrics, render_compare
+from repro.seq.genome import GenomeSpec, generate_genome
+from repro.sim.lengths import LengthModel
+from repro.sim.pbsim import ReadSimulator
+
+JSON_NAME = "BENCH_wavefront.json"
+BASELINE_PATH = RESULTS_DIR / JSON_NAME
+
+#: Cross-machine collapse-detector tolerance, not a microbenchmark gate.
+DEFAULT_TOLERANCE_PCT = float(os.environ.get("MANYMAP_BENCH_TOLERANCE", "60"))
+
+#: The batched sweep must clearly beat per-pair dispatch even on the
+#: smoke corpus; the observed serial multiple is far higher.
+MIN_SPEEDUP = 1.5
+
+
+def _workload(smoke: bool):
+    length, n_reads = (40_000, 12) if smoke else (150_000, 48)
+    genome = generate_genome(GenomeSpec(length=length, chromosomes=1), seed=33)
+    sim = ReadSimulator.preset(genome, "pacbio")
+    sim.length_model = LengthModel(mean=1200.0, sigma=0.4, max_length=4000)
+    return genome, list(sim.simulate(n_reads, seed=34))
+
+
+def _map_with_kernel(genome, reads, kernel: Optional[str]) -> Tuple[Dict, List[str]]:
+    """Serial run with one kernel selection -> (manifest, PAF lines)."""
+    aligner = Aligner(genome, preset="test")
+    aligner.set_kernel(kernel)
+    driver = ParallelDriver(aligner, backend="serial")
+    results = driver.run(reads)
+    manifest = driver.metrics()
+    manifest["label"] = kernel or "per-pair"
+    paf = [to_paf(a) for alns in results for a in alns]
+    return manifest, paf
+
+
+def run_wavefront_bench(smoke: bool = False) -> Dict:
+    genome, reads = _workload(smoke)
+    base_manifest, base_paf = _map_with_kernel(genome, reads, None)
+    wave_manifest, wave_paf = _map_with_kernel(genome, reads, "wavefront")
+    if wave_paf != base_paf:
+        raise AssertionError(
+            "wavefront kernel changed PAF output vs the per-pair path"
+        )
+
+    batch = wave_manifest.get("batch") or {}
+    rows = []
+    for manifest in (base_manifest, wave_manifest):
+        derived = manifest["derived"]
+        b = manifest.get("batch") or {}
+        rows.append(
+            {
+                "kernel": manifest["label"],
+                "align_s": manifest["stages"].get("Align", 0.0),
+                "gcups": derived["gcups"],
+                "reads_per_sec": derived["reads_per_sec"],
+                "occupancy_pct": b.get("occupancy_pct", 0.0),
+                "padding_waste_pct": b.get("padding_waste_pct", 0.0),
+                "batched_jobs": b.get("batched_jobs", 0),
+                "fallback_jobs": b.get("fallback_jobs", 0),
+                "lanes_retired": b.get("lanes_retired", 0),
+            }
+        )
+    speedup = ratio(rows[0]["align_s"], rows[1]["align_s"])
+
+    text = render_table(
+        ["kernel", "Align (s)", "GCUPS", "reads/s", "occupancy",
+         "batched/fallback jobs", "speedup"],
+        [
+            [
+                r["kernel"],
+                f"{r['align_s']:.3f}",
+                f"{r['gcups']:.4f}",
+                f"{r['reads_per_sec']:.2f}",
+                f"{r['occupancy_pct']:.1f}%" if r["batched_jobs"] else "-",
+                f"{r['batched_jobs']}/{r['fallback_jobs']}",
+                f"{ratio(rows[0]['align_s'], r['align_s']):.2f}x",
+            ]
+            for r in rows
+        ],
+        title="Cross-read wavefront kernel vs per-pair DP "
+        f"({'smoke' if smoke else 'full'} corpus, serial backend, "
+        "identical PAF)",
+    )
+    return {
+        "benchmark": "wavefront",
+        "smoke": smoke,
+        "n_reads": len(reads),
+        "rows": rows,
+        "align_speedup": speedup,
+        "identical_paf": True,
+        "manifest": wave_manifest,
+        "text": text,
+    }
+
+
+def baseline_variant(baseline_path: Path, smoke: bool) -> bool:
+    """Workload variant to run: whatever the committed baseline records.
+
+    Mirrors ``bench_compare``: the fresh run replays the baseline's
+    variant so the diff is always apples-to-apples; the ``--smoke``
+    flag only applies when no baseline is committed yet.
+    """
+    if not baseline_path.exists():
+        return smoke
+    return bool(json.loads(baseline_path.read_text()).get("smoke", smoke))
+
+
+def gate_against_baseline(
+    result: Dict,
+    baseline_path: Path = BASELINE_PATH,
+    tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+) -> Optional[Dict]:
+    """Diff the fresh wavefront manifest against the committed baseline.
+
+    Returns the :func:`compare_metrics` result, or ``None`` when no
+    comparable baseline is committed (first run, or a baseline recorded
+    on the other workload variant).
+    """
+    if not baseline_path.exists():
+        return None
+    doc = json.loads(baseline_path.read_text())
+    if doc.get("smoke") != result["smoke"]:
+        return None
+    baseline = doc["manifest"]
+    baseline.setdefault("label", "baseline")
+    return compare_metrics(
+        baseline, result["manifest"], tolerance_pct=tolerance_pct
+    )
+
+
+def test_wavefront_speedup_and_identity():
+    """CI gate: batched sweep beats per-pair DP at identical output."""
+    result = run_wavefront_bench(smoke=baseline_variant(BASELINE_PATH, True))
+    assert result["identical_paf"]
+    assert result["align_speedup"] > MIN_SPEEDUP, result["align_speedup"]
+    batch = result["rows"][1]
+    assert batch["batched_jobs"] > 0
+    assert 0.0 < batch["occupancy_pct"] <= 100.0
+
+
+def test_gcups_gate_vs_committed_baseline():
+    """The report --compare engine gates fresh GCUPS vs the baseline."""
+    result = run_wavefront_bench(smoke=baseline_variant(BASELINE_PATH, True))
+    cmp = gate_against_baseline(result)
+    if cmp is None:
+        import pytest
+
+        pytest.skip("no comparable committed baseline")
+    assert cmp["ok"], (
+        f"wavefront throughput regressed beyond {cmp['tolerance_pct']:.0f}% "
+        f"of the committed baseline: {cmp['regressions']}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--smoke", action="store_true", help="small fast workload")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE_PCT,
+        metavar="PCT",
+        help="allowed relative throughput drop vs baseline "
+        f"(default {DEFAULT_TOLERANCE_PCT:g}, env MANYMAP_BENCH_TOLERANCE)",
+    )
+    ap.add_argument(
+        "--baseline",
+        default=str(BASELINE_PATH),
+        metavar="FILE",
+        help="committed wavefront-bench JSON to gate against",
+    )
+    args = ap.parse_args(argv)
+    result = run_wavefront_bench(
+        smoke=baseline_variant(Path(args.baseline), args.smoke)
+    )
+    cmp = gate_against_baseline(
+        result, baseline_path=Path(args.baseline), tolerance_pct=args.tolerance
+    )
+    text = result.pop("text")
+    if cmp is not None:
+        text += "\n\n" + render_compare(cmp)
+        result["compare"] = cmp
+    emit("BENCH_wavefront", text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / JSON_NAME).write_text(json.dumps(result, indent=2) + "\n")
+    if result["align_speedup"] <= MIN_SPEEDUP:
+        print(
+            f"ERROR: wavefront speedup {result['align_speedup']:.2f}x "
+            f"below the {MIN_SPEEDUP:g}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    if cmp is not None and not cmp["ok"]:
+        print(
+            "ERROR: throughput regression vs baseline: "
+            + ", ".join(cmp["regressions"]),
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,9 +24,19 @@ from .dp_reference import align_reference
 from .diff_scalar import align_diff_scalar
 from .mm2_kernel import align_mm2
 from .manymap_kernel import align_manymap
-from .extend import extend_alignment, ExtendResult
+from .extend import extend_alignment, finish_extension, ExtendResult
 from .engine import ENGINES, get_engine, align
 from .batch_kernel import align_batch
+from .wavefront_batch import align_wavefront, align_wavefront_batch
+from .dispatch import (
+    DPJob,
+    KernelDispatch,
+    KernelSpec,
+    DEFAULT_KERNEL,
+    get_kernel,
+    kernel_names,
+    register_kernel,
+)
 from .ablation import align_swap
 from .two_piece import TwoPieceScoring, MAP_PB_2P, align_two_piece
 
@@ -43,11 +53,21 @@ __all__ = [
     "align_mm2",
     "align_manymap",
     "extend_alignment",
+    "finish_extension",
     "ExtendResult",
     "ENGINES",
     "get_engine",
     "align",
     "align_batch",
+    "align_wavefront",
+    "align_wavefront_batch",
+    "DPJob",
+    "KernelDispatch",
+    "KernelSpec",
+    "DEFAULT_KERNEL",
+    "get_kernel",
+    "kernel_names",
+    "register_kernel",
     "align_swap",
     "TwoPieceScoring",
     "MAP_PB_2P",

@@ -27,6 +27,7 @@ from .manymap_kernel import align_manymap
 from .mm2_kernel import align_mm2
 from .result import AlignmentResult
 from .scoring import Scoring
+from .wavefront_batch import align_wavefront
 
 EngineFn = Callable[..., AlignmentResult]
 
@@ -35,6 +36,7 @@ ENGINES: Dict[str, EngineFn] = {
     "scalar": align_diff_scalar,
     "mm2": align_mm2,
     "manymap": align_manymap,
+    "wavefront": align_wavefront,
 }
 
 
@@ -60,10 +62,19 @@ def align(
     """Align with the named engine (the package-level convenience API)."""
     fn = get_engine(engine)
     # dp_calls/dp_cells are self-reported inside each kernel; here only
-    # the per-engine call mix is recorded.
+    # the per-engine call mix is recorded — and only for calls that
+    # actually complete, so failures don't inflate the mix.
+    try:
+        if fn is align_reference:
+            if zdrop is not None:
+                raise AlignmentError(
+                    "the reference engine does not support zdrop"
+                )
+            out = fn(target, query, scoring, mode=mode, path=path)
+        else:
+            out = fn(target, query, scoring, mode=mode, path=path, zdrop=zdrop)
+    except Exception:
+        COUNTERS.inc(f"engine_errors.{engine}")
+        raise
     COUNTERS.inc(f"engine_calls.{engine}")
-    if fn is align_reference:
-        if zdrop is not None:
-            raise AlignmentError("the reference engine does not support zdrop")
-        return fn(target, query, scoring, mode=mode, path=path)
-    return fn(target, query, scoring, mode=mode, path=path, zdrop=zdrop)
+    return out

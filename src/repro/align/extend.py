@@ -65,13 +65,29 @@ def extend_alignment(
     if band is not None:
         kwargs["band"] = band
     res = engine(t, s, scoring, mode="extend", path=path, zdrop=zdrop, **kwargs)
+    return finish_extension(res, t.size, s.size, path, direction=direction)
+
+
+def finish_extension(
+    res: AlignmentResult,
+    t_size: int,
+    q_size: int,
+    path: bool,
+    direction: str = "right",
+) -> ExtendResult:
+    """Turn a raw ``mode='extend'`` kernel result into an ExtendResult.
+
+    Shared by :func:`extend_alignment` and the pooled chain-assembly
+    path, which runs the extension DP through the kernel dispatch and
+    post-processes the raw results here.
+    """
     cigar = res.cigar
     if cigar is not None:
         # The engine's CIGAR covers the whole matrix; clip to the argmax
         # prefix is already guaranteed because traceback starts there.
         if direction == "left":
             cigar = Cigar(list(reversed(cigar.ops))).merged()
-    if res.score <= 0 and (t.size == 0 or s.size == 0 or res.score < 0):
+    if res.score <= 0 and (t_size == 0 or q_size == 0 or res.score < 0):
         # An extension that never rises above 0 is not worth keeping.
         return ExtendResult(0, 0, 0, Cigar([]) if path else None, res.zdropped)
     return ExtendResult(

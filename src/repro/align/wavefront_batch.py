@@ -1,0 +1,402 @@
+"""Cross-read batched wavefront kernel: Eq. (4) across many pairs at once.
+
+:func:`align_manymap` sweeps one (target, query) pair per call, paying
+the NumPy dispatch overhead of every anti-diagonal for a single vector
+of at most ``min(m, n)`` lanes.  This module stacks a *bucket* of pairs
+into one 2-D wavefront — axis 0 is the pair ("lane"), axis 1 the
+anti-diagonal slot — so a single vectorized sweep advances **all** pairs
+in the bucket, amortizing the per-diagonal dispatch cost across reads
+(the SWIPE inter-sequence trick applied to the paper's Eq. (4) layout).
+
+Layout, per lane ``b`` with target length ``m_b`` and query length
+``n_b`` (``Nmax = max n_b``):
+
+* All difference arrays share the transformed column coordinate
+  ``t'' = t - r + Nmax``.  For ``v``/``x`` this is the manymap Eq. (4)
+  property: the dependency of cell ``(r, t)`` lands on the very slot it
+  overwrites, so the batched update stays a plain in-place masked
+  store, exactly as in the per-pair kernel.  Anchoring at the *shared*
+  ``Nmax`` (rather than each lane's own ``n_b``) makes the sweep
+  window of same-shape lanes coincide, so the padded column span of a
+  bucket tracks the band width, not the spread of query lengths — and
+  the per-diagonal target-code read degenerates to a contiguous slice.
+* ``u``/``y`` use the same coordinate, which turns their same-``t``
+  dependency into a uniform shift-by-one read — one contiguous copy
+  per diagonal, shared by every lane.
+* The running ``H`` values live per *offset* diagonal
+  (``dd = r - 2t + m_b - 1``), as in the per-pair kernel.  That index
+  is static for the whole sweep, so lanes that skip a diagonal (banded
+  parity gaps, retirement) need no propagation work — ``H`` moves with
+  one gather + one scatter per diagonal.
+
+Per-lane *active masks* reproduce the banded corridor of each pair
+independently (pairs of different band widths can share a bucket), and
+Z-drop retirement turns a lane's mask off mid-sweep so hopeless
+extensions stop costing cells.  Finished/retired lanes are compacted
+away once they make up half the bucket.
+
+Bit-identity: for every pair the scores, end cells, CIGARs, and the
+deterministic counters (``dp_calls``/``dp_cells``/``band_*``/
+``zdrop_hits`` and the ``band.width`` histogram) are identical to
+calling :func:`align_manymap` per pair — regardless of how pairs are
+grouped into buckets.  Only the ``wavefront.*`` occupancy/padding
+telemetry depends on bucket composition (see
+:data:`repro.obs.counters.SHAPE_DEPENDENT_PREFIXES`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AlignmentError
+from ..obs.counters import COUNTERS
+from ..obs.hist import HISTOGRAMS
+from ..seq.alphabet import AMBIG
+from ._band import band_limits
+from ._diag import X_CONT, Y_CONT, boundary_c, first_seed, traceback_dir
+from .dp_reference import NEG, _degenerate, _validate
+from .result import AlignmentResult
+from .scoring import Scoring
+
+#: Band sentinel for unbanded lanes: wide enough that the corridor never
+#: clips, even (so parity tests against it reduce to the parity of r).
+_NO_BAND = np.int64(1) << 40
+
+
+def align_wavefront_batch(
+    targets: Sequence[np.ndarray],
+    queries: Sequence[np.ndarray],
+    scoring: Scoring = Scoring(),
+    mode: str = "global",
+    path: bool = False,
+    zdrop: Optional[int] = None,
+    bands: Optional[Sequence[Optional[int]]] = None,
+) -> List[AlignmentResult]:
+    """Align ``queries[i]`` to ``targets[i]`` for all i in one wavefront.
+
+    ``mode``/``path``/``zdrop`` apply to every pair; ``bands`` may give a
+    different band (or ``None`` for unbanded) per pair. Results are
+    bit-identical to per-pair :func:`align_manymap` calls.
+    """
+    if len(targets) != len(queries):
+        raise AlignmentError(
+            f"batch size mismatch: {len(targets)} targets, {len(queries)} queries"
+        )
+    if mode not in ("global", "extend"):
+        raise AlignmentError(f"unknown mode {mode!r}")
+    if zdrop is not None and mode != "extend":
+        raise AlignmentError("zdrop only applies to mode='extend'")
+    if bands is not None and len(bands) != len(targets):
+        raise AlignmentError(
+            f"bands length {len(bands)} does not match batch size {len(targets)}"
+        )
+
+    P = len(targets)
+    results: List[Optional[AlignmentResult]] = [None] * P
+    lanes: List[int] = []
+    pairs = []
+    for i in range(P):
+        t, s = _validate(targets[i], queries[i])
+        deg = _degenerate(t.size, s.size, scoring, path)
+        if deg is not None:
+            results[i] = deg
+            continue
+        lanes.append(i)
+        pairs.append((t, s))
+    if not lanes:
+        return results  # type: ignore[return-value]
+
+    B = len(lanes)
+    m = np.array([t.size for t, _ in pairs], dtype=np.int64)
+    n = np.array([s.size for _, s in pairs], dtype=np.int64)
+    band_arr = np.full(B, -1, dtype=np.int64)
+    lo = np.full(B, -_NO_BAND, dtype=np.int64)
+    hi = np.full(B, _NO_BAND, dtype=np.int64)
+    if bands is not None:
+        for b, i in enumerate(lanes):
+            if bands[i] is not None:
+                band_arr[b] = bands[i]
+                lo[b], hi[b] = band_limits(int(m[b]), int(n[b]), int(bands[i]))
+
+    Mmax = int(m.max())
+    Nmax = int(n.max())
+    W = Nmax + 2  # +1 guard column so the u/y shift reads stay in bounds
+    matflat = scoring.matrix().ravel()  # int32, row-major 5x5
+    q, e = scoring.q, scoring.e
+    oe = q + e
+    neg = np.int32(NEG)
+
+    T2 = np.full((B, Mmax), AMBIG, dtype=np.uint8)
+    S2 = np.full((B, Nmax), AMBIG, dtype=np.uint8)
+    for b, (t, s) in enumerate(pairs):
+        T2[b, : t.size] = t
+        S2[b, : s.size] = s
+    # Flat substitution-matrix row offsets of the target codes; adding
+    # the (static) query-code column gives the per-cell matrix index.
+    TR = T2.astype(np.intp) * 5
+    # In t'' coordinates the query index of a cell is static:
+    # qj = Nmax - t''.  Pre-gather the query codes once.
+    col = np.arange(W, dtype=np.int64)
+    qidx = np.clip(Nmax - col[None, :].repeat(B, axis=0), 0, Nmax - 1)
+    Sg = np.where(
+        (col[None, :] >= Nmax - n[:, None] + 1) & (col[None, :] <= Nmax),
+        np.take_along_axis(S2, qidx, axis=1),
+        np.uint8(AMBIG),
+    ).astype(np.intp)
+
+    U = np.zeros((B, W), dtype=np.int32)
+    Y = np.zeros((B, W), dtype=np.int32)
+    V = np.zeros((B, W), dtype=np.int32)
+    X = np.zeros((B, W), dtype=np.int32)
+    # H per offset diagonal, re-anchored per lane at j = dd - m + Mmax so
+    # that the column of cell (r, t'') is lane-independent:
+    #   j = (Mmax + 2*Nmax - 1 - r) - 2*t''
+    # One anti-diagonal therefore reads/writes a single shared strided
+    # *view* of HD — no gather/scatter.
+    WH = Mmax + Nmax - 1
+    HD = np.full((B, WH), neg, dtype=np.int32)
+
+    D = None
+    DJ = 0
+    flat_base = rowoff = None
+    if path:
+        DJ = Mmax * Nmax
+        D = np.zeros((B, DJ + 1), dtype=np.uint8)
+        # Cell (t, qj) stores at t*n + qj = t''*(n-1) + (r-Nmax)*n + Nmax;
+        # rowoff shifts that into the flattened (B, DJ+1) buffer.
+        flat_base = col[None, :] * (n - 1)[:, None] + Nmax
+        rowoff = np.arange(B, dtype=np.int64) * (DJ + 1)
+
+    track_best = mode == "extend"
+    best = np.full(B, neg, dtype=np.int32)
+    bt = np.zeros(B, dtype=np.int64)
+    bq = np.zeros(B, dtype=np.int64)
+    cells = np.zeros(B, dtype=np.int64)
+    zdropped = np.zeros(B, dtype=bool)
+    alive = np.ones(B, dtype=bool)
+    orig = np.array(lanes, dtype=np.int64)
+
+    padded_cells = 0
+    active_cells = 0
+    lanes_retired = 0
+
+    def harvest(rows: np.ndarray) -> None:
+        """Extract results for (current-index) lanes that just finished."""
+        for b in rows:
+            mb, nb = int(m[b]), int(n[b])
+            if mode == "global":
+                score = int(HD[b, nb - 1 - mb + Mmax])  # dd = n-1 re-anchored
+                end_t, end_q = mb - 1, nb - 1
+            else:
+                score = int(best[b])
+                end_t, end_q = int(bt[b]), int(bq[b])
+            cigar = None
+            if path:
+                dirmat = D[b, : mb * nb].reshape(mb, nb)
+                cigar = traceback_dir(dirmat, end_t, end_q)
+            zflag = bool(zdropped[b])
+            results[orig[b]] = AlignmentResult(
+                score=score,
+                end_t=end_t,
+                end_q=end_q,
+                cigar=cigar,
+                cells=int(cells[b]),
+                zdropped=zflag,
+            )
+            COUNTERS.inc("dp_calls")
+            COUNTERS.inc("dp_cells", int(cells[b]))
+            if band_arr[b] >= 0:
+                width = 2 * int(band_arr[b]) + 1
+                COUNTERS.inc("band_calls")
+                COUNTERS.inc("band_width_sum", width)
+                HISTOGRAMS.observe("band.width", width)
+            if zflag:
+                COUNTERS.inc("zdrop_hits")
+
+    rows_idx = np.arange(B)
+    r = 0
+    r_stop = int((m + n).max()) - 1
+    while alive.any() and r < r_stop:
+        st0 = np.maximum(0, r - n + 1)
+        en0 = np.minimum(m - 1, r)
+        stb = np.maximum(st0, -((hi - r) // 2))
+        enb = np.minimum(en0, (r - lo) // 2)
+        act = alive & (stb <= enb)
+        if act.any():
+            stp = stb - r + Nmax
+            enp = enb - r + Nmax
+            cmin = int(stp[act].min())
+            cmax = int(enp[act].max())
+            L = cmax - cmin + 1
+            cc = col[cmin : cmax + 1]
+            A = act[:, None] & (cc >= stp[:, None]) & (cc <= enp[:, None])
+
+            # Shift-by-one reads for the same-t u/y dependency.
+            ush = U[:, cmin + 1 : cmax + 2].copy()
+            ysh = Y[:, cmin + 1 : cmax + 2].copy()
+
+            # Boundary seeds (same clipped-range conditions as per-pair).
+            # In t'' coordinates both enter at lane-independent columns.
+            fs = np.int32(first_seed(r, q, e))
+            cr = np.int32(boundary_c(r, q, e))
+            se = act & (enb == r)  # j=0 boundary enters at t'' = Nmax
+            if se.any():
+                rows = rows_idx[se]
+                ush[rows, Nmax - cmin] = fs
+                ysh[rows, Nmax - cmin] = -oe
+                HD[rows, Mmax - 1 - r] = cr  # dd = m-1-r re-anchored
+            ss = act & (stb == 0)  # i=0 boundary enters at t'' = Nmax - r
+            if ss.any():
+                rows = rows_idx[ss]
+                V[rows, Nmax - r] = fs
+                X[rows, Nmax - r] = -oe
+                HD[rows, Mmax - 1 + r] = cr  # dd = r+m-1 re-anchored
+
+            # Band edge re-seeds (per lane; no-ops for unbanded lanes).
+            ut = (r - lo) // 2
+            uy_ok = (
+                act & ((r - lo) % 2 == 0) & (ut >= stb) & (ut <= enb) & (ut <= r - 1)
+            )
+            if uy_ok.any():
+                rows = rows_idx[uy_ok]
+                ccol = (ut - r + Nmax)[uy_ok] - cmin
+                ush[rows, ccol] = -oe
+                ysh[rows, ccol] = -oe
+            vt = (r - hi) // 2
+            vx_ok = (
+                act & ((r - hi) % 2 == 0) & (vt >= stb) & (vt <= enb) & (vt >= 1)
+            )
+            if vx_ok.any():
+                rows = rows_idx[vx_ok]
+                ccol = (vt - r + Nmax)[vx_ok]
+                V[rows, ccol] = -oe
+                X[rows, ccol] = -oe
+
+            Vl = V[:, cmin : cmax + 1]
+            Xl = X[:, cmin : cmax + 1]
+
+            # Target codes: t = t'' + r - Nmax is lane-independent, so
+            # the matrix-row read is a contiguous slice.
+            t_lo = cmin + r - Nmax
+            sc = matflat[TR[:, t_lo : t_lo + L] + Sg[:, cmin : cmax + 1]]
+
+            a = Xl + Vl
+            bb = ysh + ush
+            z = np.maximum(np.maximum(sc, a), bb)
+            az = a - z + q
+            bz = bb - z + q
+
+            if path:
+                # src bits 0/1/2 as uint8 bool-view arithmetic, then the
+                # gap-continuation flags.
+                ne_sc = z != sc
+                bits = ne_sc.view(np.uint8) + (ne_sc & (z != a)).view(np.uint8)
+                bits += (az > 0).view(np.uint8) * X_CONT
+                bits += (bz > 0).view(np.uint8) * Y_CONT
+                flat = flat_base[:, cmin : cmax + 1] + (
+                    (r - Nmax) * n + rowoff
+                )[:, None]
+                D.reshape(-1)[flat[A]] = bits[A]
+
+            u_new = z - Vl
+            v_new = z - ush
+            np.copyto(Xl, np.maximum(az, 0) - oe, where=A)
+            np.copyto(Y[:, cmin : cmax + 1], np.maximum(bz, 0) - oe, where=A)
+            np.copyto(U[:, cmin : cmax + 1], u_new, where=A)
+            np.copyto(Vl, v_new, where=A)
+
+            # H chain: the re-anchored column j = J0 - 2*t'' is shared by
+            # every lane, so one negative-stride view covers the diagonal.
+            J0 = Mmax + 2 * Nmax - 1 - r
+            jstop = J0 - 2 * cmax - 2
+            Hv = HD[:, J0 - 2 * cmin : (jstop if jstop >= 0 else None) : -2]
+            Hnew = Hv + z
+            np.copyto(Hv, Hnew, where=A)
+
+            Lb = enb - stb + 1
+            cells[act] += Lb[act]
+            n_act = int(act.sum())
+            padded_cells += n_act * L
+            active_cells += int(Lb[act].sum())
+
+            if track_best:
+                Hm = np.where(A, Hnew, neg)
+                dmax = Hm.max(axis=1)
+                upd = act & (dmax > best)
+                if upd.any():
+                    # Ties take the largest t (first max of the t-descending
+                    # per-pair scan) — i.e. the last occurrence here.
+                    kk = (L - 1) - np.argmax(Hm[upd][:, ::-1], axis=1)
+                    tb_new = kk + cmin + r - Nmax
+                    best[upd] = dmax[upd]
+                    bt[upd] = tb_new
+                    bq[upd] = r - tb_new
+                if zdrop is not None:
+                    zd = act & (best.astype(np.int64) - dmax > zdrop)
+                    if zd.any():
+                        zdropped |= zd
+                        alive &= ~zd
+                        lanes_retired += int(zd.sum())
+                        harvest(rows_idx[zd])
+
+        fin = alive & (m + n - 2 == r)
+        if fin.any():
+            alive &= ~fin
+            harvest(rows_idx[fin])
+
+        # Compact away finished/retired lanes once they dominate.
+        nb_alive = int(alive.sum())
+        if nb_alive and B >= 8 and 2 * nb_alive <= B:
+            keep = rows_idx[alive]
+            m, n, lo, hi, band_arr = m[keep], n[keep], lo[keep], hi[keep], band_arr[keep]
+            TR, Sg = TR[keep], Sg[keep]
+            U, Y, V, X, HD = U[keep], Y[keep], V[keep], X[keep], HD[keep]
+            best, bt, bq = best[keep], bt[keep], bq[keep]
+            cells, zdropped, orig = cells[keep], zdropped[keep], orig[keep]
+            if path:
+                D = D[keep]
+                flat_base = flat_base[keep]
+                rowoff = np.arange(nb_alive, dtype=np.int64) * (DJ + 1)
+            alive = np.ones(nb_alive, dtype=bool)
+            B = nb_alive
+            rows_idx = np.arange(B)
+        r += 1
+
+    if alive.any():  # defensive: every lane finishes at r = m + n - 2
+        harvest(rows_idx[alive])
+
+    COUNTERS.inc("wavefront.calls")
+    COUNTERS.inc("wavefront.lanes", len(lanes))
+    COUNTERS.inc("wavefront.cells_active", active_cells)
+    COUNTERS.inc("wavefront.cells_padded", padded_cells)
+    if lanes_retired:
+        COUNTERS.inc("wavefront.lanes_retired", lanes_retired)
+    if padded_cells:
+        HISTOGRAMS.observe(
+            "wavefront.occupancy", round(100.0 * active_cells / padded_cells)
+        )
+    HISTOGRAMS.observe("wavefront.lanes", len(lanes))
+    return results  # type: ignore[return-value]
+
+
+def align_wavefront(
+    target: np.ndarray,
+    query: np.ndarray,
+    scoring: Scoring = Scoring(),
+    mode: str = "global",
+    path: bool = False,
+    zdrop: Optional[int] = None,
+    band: Optional[int] = None,
+) -> AlignmentResult:
+    """Per-pair adapter: a one-lane batch (engine-registry signature)."""
+    return align_wavefront_batch(
+        [target],
+        [query],
+        scoring,
+        mode=mode,
+        path=path,
+        zdrop=zdrop,
+        bands=[band] if band is not None else None,
+    )[0]

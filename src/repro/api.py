@@ -34,7 +34,7 @@ import dataclasses
 import io
 import os
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from .core.aligner import Aligner
 from .core.alignment import Alignment, sam_header, to_paf, to_sam
@@ -79,6 +79,18 @@ class MapOptions:
     controlling per-read error handling, the watchdog timeout, and
     worker-crash recovery; ``None`` (default) keeps every backend
     strictly fail-fast with zero overhead.
+    ``kernel`` — base-level DP kernel selection, applied to the aligner
+    before mapping: a :func:`repro.align.kernel_names` entry routes DP
+    through that kernel's dispatch (cross-read wavefront batching for
+    ``wavefront``); ``"none"`` forces the legacy per-pair engine path;
+    ``None`` (default) leaves the aligner's configuration untouched.
+    Kernel choice never changes mapped output (batched kernels are
+    bit-identical to their per-pair fallback; the unbanded
+    ``reference``/``scalar`` oracles are the documented exception) —
+    only throughput and the ``wavefront.*``/``dispatch.*`` telemetry.
+    ``batch_max`` / ``batch_buckets`` — cross-read batching knobs
+    forwarded to the dispatch layer (``None`` defers to the preset,
+    then the kernel's defaults).
     ``progress_interval`` / ``progress_path`` — live heartbeat: a
     :class:`repro.obs.progress.ProgressReporter` daemon thread emits a
     status line (reads done, reads/s, GCUPS, queue depths, ETA) every
@@ -98,6 +110,9 @@ class MapOptions:
     queue_chunks: int = 8
     stream_processes: bool = False
     index_path: Optional[str] = None
+    kernel: Optional[str] = None
+    batch_max: Optional[int] = None
+    batch_buckets: Optional[Tuple[int, ...]] = None
     fault_policy: Optional["FaultPolicy"] = None
     progress_interval: Optional[float] = None
     progress_path: Optional[str] = None
@@ -115,6 +130,18 @@ class MapOptions:
                 raise SchedulerError(
                     f"{name} must be >= 1: {getattr(self, name)}"
                 )
+        if self.kernel is not None:
+            from .align.dispatch import kernel_names
+
+            if self.kernel != "none" and self.kernel not in kernel_names():
+                raise SchedulerError(
+                    f"unknown kernel {self.kernel!r}; expected 'none' or "
+                    f"one of {kernel_names()}"
+                )
+        if self.batch_max is not None and self.batch_max < 0:
+            raise SchedulerError(
+                f"batch_max must be >= 0: {self.batch_max}"
+            )
         if self.fault_policy is not None:
             self.fault_policy.validated()
         if self.progress_interval is not None and self.progress_interval <= 0:
@@ -133,6 +160,38 @@ def _resolve(
         if src:
             opts = opts.replace(index_path=src)
     return opts.validated()
+
+
+def _apply_kernel(aligner, opts: MapOptions) -> None:
+    """Apply the options' kernel/batching selection to the aligner.
+
+    A no-op when none of the kernel fields are set, so shared aligners
+    are never reconfigured behind the caller's back by a plain run.
+    """
+    if (
+        opts.kernel is None
+        and opts.batch_max is None
+        and opts.batch_buckets is None
+    ):
+        return
+    if not callable(getattr(aligner, "set_kernel", None)):
+        return  # duck-typed aligners: nothing to configure
+    kernel = opts.kernel
+    if kernel is None:
+        kernel = aligner._kernel_arg  # only batching knobs changed
+    elif kernel == "none":
+        kernel = None
+    aligner.set_kernel(
+        kernel,
+        batch_max=(
+            opts.batch_max if opts.batch_max is not None else aligner.batch_max
+        ),
+        batch_buckets=(
+            opts.batch_buckets
+            if opts.batch_buckets is not None
+            else aligner.batch_buckets
+        ),
+    )
 
 
 def _fault_telemetry(opts: MapOptions, telemetry):
@@ -220,6 +279,7 @@ def map_reads(
     :class:`~repro.obs.telemetry.Telemetry` collectors.
     """
     opts = _resolve(options, overrides, aligner)
+    _apply_kernel(aligner, opts)
     telemetry = _fault_telemetry(opts, telemetry)
     with _progress(opts, telemetry, total_reads=len(reads)):
         results = _backends.dispatch(
@@ -252,6 +312,7 @@ def map_file(
     backends. Returns the run's :class:`StreamStats`.
     """
     opts = _resolve(options, overrides, aligner)
+    _apply_kernel(aligner, opts)
     telemetry = _fault_telemetry(opts, telemetry)
 
     def write_header() -> None:

@@ -46,6 +46,13 @@ def _cmd_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _kernel_choices() -> List[str]:
+    """--kernel values: every registered dispatch kernel plus 'none'."""
+    from .align.dispatch import kernel_names
+
+    return kernel_names() + ["none"]
+
+
 def _resolve_map_backend(args: argparse.Namespace):
     """Map CLI flags to ``(backend, workers, stream_processes)``.
 
@@ -140,6 +147,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
         with_cigar=not args.no_cigar,
         chunk_reads=args.chunk_reads,
         stream_processes=stream_processes,
+        kernel=args.kernel,
         fault_policy=policy,
         progress_interval=args.progress,
         progress_path=args.progress_file,
@@ -209,6 +217,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
             config={
                 "preset": args.preset,
                 "engine": args.engine,
+                "kernel": aligner.kernel_name or "none",
                 "backend": backend,
                 "workers": workers,
                 "chunk_reads": args.chunk_reads,
@@ -368,6 +377,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="manymap",
         choices=["manymap", "mm2", "scalar", "reference"],
         help="base-level DP engine",
+    )
+    pm.add_argument(
+        "--kernel",
+        default=None,
+        choices=_kernel_choices(),
+        help="DP kernel-dispatch selection: a registered kernel "
+        "('wavefront' batches DP across reads), 'none' for the legacy "
+        "per-pair path, or omit for the default ('wavefront' when "
+        "--engine is manymap). Output is identical either way.",
     )
     pm.add_argument(
         "--backend",

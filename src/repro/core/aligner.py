@@ -10,21 +10,32 @@
    extend past the terminal anchors with z-drop extension, stitching
    the per-segment CIGARs into the final alignment.
 
-The base-level step takes any engine from :mod:`repro.align.engine`, so
-the minimap2-layout and manymap-layout kernels are interchangeable and
-— by the engine-equivalence property — produce identical alignments.
+The base-level step is *planned* separately from its execution: each
+chain is turned into a static list of :class:`~repro.align.dispatch.DPJob`
+s (left extension, inter-anchor gaps, right extension) that the
+kernel-dispatch layer executes — pooled across chains, and across whole
+read chunks via :meth:`Aligner.align_plans` — before the per-chain
+results are stitched back into alignments. Cross-read pooling is what
+feeds the batched wavefront kernel big buckets; because every batched
+kernel is bit-identical to its per-pair fallback, pooling never changes
+output.
+
+Setting ``kernel=None`` (or any non-default ``engine``) keeps the
+legacy per-pair engine path from :mod:`repro.align.engine`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..align.batch_kernel import align_batch
 from ..align.cigar import Cigar
+from ..align.dispatch import DEFAULT_KERNEL, DPJob, KernelDispatch
 from ..align.engine import get_engine
-from ..align.extend import extend_alignment
+from ..align.extend import finish_extension
 from ..chain.anchors import collect_anchors
 from ..chain.chain import Chain, chain_anchors
 from ..chain.select import estimate_mapq, select_chains
@@ -54,6 +65,9 @@ class AlignerConfig:
     engine: str = "manymap"
     max_ext: int = 2000
     batch_segments: bool = True
+    kernel: Optional[str] = "auto"
+    batch_max: Optional[int] = None
+    batch_buckets: Optional[Tuple[int, ...]] = None
 
     def build(
         self, genome: Genome, index: Optional[MinimizerIndex] = None
@@ -66,6 +80,9 @@ class AlignerConfig:
             index=index,
             max_ext=self.max_ext,
             batch_segments=self.batch_segments,
+            kernel=self.kernel,
+            batch_max=self.batch_max,
+            batch_buckets=self.batch_buckets,
         )
 
 
@@ -94,6 +111,27 @@ class _ChainAlignment:
     qend: int  # exclusive
 
 
+@dataclass
+class _ChainPlan:
+    """Static DP plan for one chain: jobs out, assembly metadata kept.
+
+    ``jobs[0]`` is the left extension (inputs pre-reversed), ``jobs[-1]``
+    the right extension; gap segments sit in between, referenced by
+    ``mid_plan`` entries ``("DP", local_job_index)``.
+    """
+
+    with_cigar: bool
+    klen: int
+    static_score: int
+    lt0: int
+    lq0: int
+    rt0: int
+    rq0: int
+    mid_plan: List[tuple]
+    jobs: List[DPJob]
+    job_base: int = 0  # offset of jobs[0] in a pooled job list
+
+
 class Aligner:
     """Long-read aligner over a prebuilt or freshly built minimizer index.
 
@@ -104,17 +142,33 @@ class Aligner:
     preset:
         Name ('map-pb', 'map-ont', 'test') or a :class:`Preset`.
     engine:
-        Base-level DP engine name ('manymap', 'mm2', 'scalar',
-        'reference'). Default is the paper's revised kernel.
+        Per-pair DP engine name ('manymap', 'mm2', 'scalar',
+        'reference', 'wavefront').
+    kernel:
+        Kernel-dispatch selection. ``"auto"`` (default) routes base-level
+        DP through the cross-read batched wavefront kernel when the
+        default engine is in use, and falls back to the legacy per-pair
+        path for any explicitly chosen non-default engine. A registry
+        name (see :func:`repro.align.kernel_names`) forces that kernel;
+        ``None`` forces the legacy per-pair path.
     index:
         Reuse an existing :class:`MinimizerIndex` (must match the
         preset's k and w) instead of building one.
+    batch_max / batch_buckets:
+        Cross-read batching knobs forwarded to the dispatch layer;
+        ``None`` defers to the preset, then to the kernel's defaults.
     """
 
     #: path of the serialized index this aligner was opened from, when
     #: known (set by :func:`repro.api.open_index`); process-backed
     #: mapping reuses it so workers mmap the same file zero-copy.
     index_source: Optional[str] = None
+
+    #: gap segments at most this long run unbanded (they are fully
+    #: covered by small DP matrices); longer ones get a drift corridor.
+    #: This is an output-affecting policy, deliberately NOT tied to the
+    #: perf-only batching knobs.
+    _SEG_UNBANDED_MAX = 192
 
     def __init__(
         self,
@@ -124,17 +178,16 @@ class Aligner:
         index: Optional[MinimizerIndex] = None,
         max_ext: int = 2000,
         batch_segments: bool = True,
+        kernel: Optional[str] = "auto",
+        batch_max: Optional[int] = None,
+        batch_buckets: Optional[Tuple[int, ...]] = None,
     ) -> None:
-        import inspect
-
         self.batch_segments = batch_segments
         self.genome = genome
         self.preset = get_preset(preset) if isinstance(preset, str) else preset
         self.engine_name = engine
         self.engine = get_engine(engine)
-        # The vectorized kernels support banded DP (minimap2 -r); the
-        # oracle/scalar engines do not, and silently run unbanded.
-        self._banded = "band" in inspect.signature(self.engine).parameters
+        self.set_kernel(kernel, batch_max=batch_max, batch_buckets=batch_buckets)
         if index is not None:
             if (
                 index.k != self.preset.k
@@ -157,6 +210,50 @@ class Aligner:
             )
         self.max_ext = max_ext
 
+    def set_kernel(
+        self,
+        kernel: Optional[str] = "auto",
+        batch_max: Optional[int] = None,
+        batch_buckets: Optional[Tuple[int, ...]] = None,
+    ) -> None:
+        """Point base-level DP at a (possibly different) dispatch kernel.
+
+        Same semantics as the constructor's ``kernel`` / ``batch_max`` /
+        ``batch_buckets`` parameters; :attr:`config` reflects the new
+        settings, so process workers rebuilt from it match. Changing the
+        kernel never changes output — every registered batched kernel is
+        bit-identical to its per-pair fallback — except for the
+        ``reference``/``scalar`` kernels, which run unbanded.
+        """
+        import inspect
+
+        self._kernel_arg = kernel
+        self.batch_max = batch_max
+        self.batch_buckets = batch_buckets
+        if kernel == "auto":
+            kernel = DEFAULT_KERNEL if self.engine_name == "manymap" else None
+        self.kernel_name = kernel
+        if kernel is not None:
+            eff_max = batch_max if batch_max is not None else self.preset.batch_max
+            if not self.batch_segments:
+                eff_max = 0  # disable cross-read batching, keep dispatch
+            self._dispatch: Optional[KernelDispatch] = KernelDispatch(
+                kernel,
+                scoring=self.preset.scoring,
+                batch_max=eff_max,
+                batch_buckets=(
+                    batch_buckets
+                    if batch_buckets is not None
+                    else self.preset.batch_buckets
+                ),
+            )
+            self._banded = self._dispatch.banded
+        else:
+            self._dispatch = None
+            # The vectorized kernels support banded DP (minimap2 -r); the
+            # oracle/scalar engines do not, and silently run unbanded.
+            self._banded = "band" in inspect.signature(self.engine).parameters
+
     @property
     def config(self) -> AlignerConfig:
         """Picklable construction parameters (index and genome excluded)."""
@@ -165,6 +262,9 @@ class Aligner:
             engine=self.engine_name,
             max_ext=self.max_ext,
             batch_segments=self.batch_segments,
+            kernel=self._kernel_arg,
+            batch_max=self.batch_max,
+            batch_buckets=self.batch_buckets,
         )
 
     # ------------------------------------------------------------------ #
@@ -190,16 +290,63 @@ class Aligner:
         max_secondary: int = 0,
     ) -> List[Alignment]:
         """Phase 2 (paper stage "Align"): base-level gap fill + extension."""
-        out: List[Alignment] = []
-        for chain in plan.primary + plan.secondary[:max_secondary]:
-            is_primary = any(c is chain for c in plan.primary)
-            aln = self._finalize(read, chain, plan.chains, with_cigar, is_primary)
-            if aln is not None:
-                out.append(aln)
-            else:
-                COUNTERS.inc("chains_align_failed")
-        out.sort(key=lambda a: (-int(a.is_primary), -a.score))
-        COUNTERS.inc("alignments_emitted", len(out))
+        return self.align_plans(
+            [(read, plan)], with_cigar=with_cigar, max_secondary=max_secondary
+        )[0]
+
+    def align_plans(
+        self,
+        items: Sequence[tuple],
+        with_cigar: bool = True,
+        max_secondary: int = 0,
+    ) -> List[List[Alignment]]:
+        """Align many ``(read, plan)`` pairs, pooling their DP jobs.
+
+        With a cross-read kernel selected, every chain of every read
+        contributes its extension and gap-segment jobs to one dispatch
+        call, so the wavefront kernel sees chunk-wide buckets. Results
+        are identical to per-read :meth:`align_plan` calls — batched
+        kernels are bit-identical to their per-pair fallback — only the
+        grouping (and therefore throughput) changes.
+        """
+        prepared = []  # (read, plan, [(chain, is_primary, _ChainPlan|None)])
+        pooled_jobs: List[DPJob] = []
+        pooling = self._dispatch is not None
+        for read, plan in items:
+            entries = []
+            for chain in plan.primary + plan.secondary[:max_secondary]:
+                is_primary = any(c is chain for c in plan.primary)
+                cp = self._plan_chain(read.codes, chain, with_cigar)
+                if cp is not None and pooling:
+                    cp.job_base = len(pooled_jobs)
+                    pooled_jobs.extend(cp.jobs)
+                entries.append((chain, is_primary, cp))
+            prepared.append((read, plan, entries))
+
+        if pooling:
+            pooled_results = self._dispatch.run(pooled_jobs)
+
+        out: List[List[Alignment]] = []
+        for read, plan, entries in prepared:
+            alns: List[Alignment] = []
+            for chain, is_primary, cp in entries:
+                ca = None
+                if cp is not None:
+                    if pooling:
+                        res = pooled_results[
+                            cp.job_base : cp.job_base + len(cp.jobs)
+                        ]
+                    else:
+                        res = self._execute_jobs_legacy(cp.jobs)
+                    ca = self._assemble_chain(cp, res)
+                if ca is None:
+                    COUNTERS.inc("chains_align_failed")
+                    continue
+                aln = self._finalize(read, chain, plan.chains, ca, is_primary)
+                alns.append(aln)
+            alns.sort(key=lambda a: (-int(a.is_primary), -a.score))
+            COUNTERS.inc("alignments_emitted", len(alns))
+            out.append(alns)
         return out
 
     def map_read(
@@ -231,12 +378,9 @@ class Aligner:
         read: SeqRecord,
         chain: Chain,
         all_chains: Sequence[Chain],
-        with_cigar: bool,
+        ca: "_ChainAlignment",
         is_primary: bool,
-    ) -> Optional[Alignment]:
-        ca = self._align_chain(read.codes, chain, with_cigar)
-        if ca is None:
-            return None
+    ) -> Alignment:
         qlen = int(read.codes.size)
         if chain.strand == 0:
             qstart, qend = ca.qstart, ca.qend
@@ -258,7 +402,7 @@ class Aligner:
             block_len=block_len,
             mapq=mapq if is_primary else 0,
             score=ca.score,
-            cigar=ca.cigar if with_cigar else None,
+            cigar=ca.cigar,
             is_primary=is_primary,
             tags={"chain_score": chain.score, "n_anchors": chain.n_anchors},
         )
@@ -288,81 +432,18 @@ class Aligner:
                 block += n
         return matches, block
 
-    #: segments whose longer side is at most this go through the batched
-    #: kernel, bucketed by padded size so one long outlier cannot inflate
-    #: the whole batch's padding.
-    _BATCH_MAX = 192
-    _BATCH_BUCKETS = (24, 48, 96, 192)
+    # ------------------------------------------------------------------ #
+    # Planning: one chain → a static DPJob list + assembly metadata.
 
-    def _run_segments(
-        self,
-        batch_t: List[np.ndarray],
-        batch_q: List[np.ndarray],
-        scoring,
-        with_cigar: bool,
-    ) -> List:
-        """Align gap segments: size-bucketed batches + per-pair fallback."""
-        if not batch_t:
-            return []
-        results: List = [None] * len(batch_t)
-        singles: List[int] = []
-        if self.batch_segments:
-            buckets: dict = {}
-            for i, (tseg, qseg) in enumerate(zip(batch_t, batch_q)):
-                size = max(tseg.size, qseg.size)
-                if size > self._BATCH_MAX:
-                    singles.append(i)
-                    continue
-                for cap in self._BATCH_BUCKETS:
-                    if size <= cap:
-                        buckets.setdefault(cap, []).append(i)
-                        break
-            from ..align.batch_kernel import align_batch
-
-            for cap, idxs in buckets.items():
-                if len(idxs) == 1:
-                    singles.extend(idxs)
-                    continue
-                out = align_batch(
-                    [batch_t[i] for i in idxs],
-                    [batch_q[i] for i in idxs],
-                    scoring,
-                    path=with_cigar,
-                )
-                for i, res in zip(idxs, out):
-                    results[i] = res
-        else:
-            singles = list(range(len(batch_t)))
-        n_batched = len(batch_t) - len(singles)
-        if n_batched:
-            COUNTERS.inc("segments_batched", n_batched)
-        if singles:
-            COUNTERS.inc("segments_fallback", len(singles))
-        for i in singles:
-            tseg, qseg = batch_t[i], batch_q[i]
-            kwargs = {}
-            if self._banded:
-                # Chained anchors bound the off-diagonal drift, so a
-                # corridor of the length difference plus slack is exact
-                # in practice.
-                kwargs["band"] = abs(tseg.size - qseg.size) + 64
-            results[i] = self.engine(
-                tseg, qseg, scoring, mode="global", path=with_cigar, **kwargs
-            )
-        return results
-
-    def _align_chain(
+    def _plan_chain(
         self, codes: np.ndarray, chain: Chain, with_cigar: bool
-    ) -> Optional[_ChainAlignment]:
-        """Fill gaps between anchors and extend past the chain ends."""
+    ) -> Optional[_ChainPlan]:
+        """Plan the gap fills and extensions for one chain (no DP yet)."""
         k = self.index.k
         scoring = self.preset.scoring
         qseq = codes if chain.strand == 0 else revcomp_codes(codes)
         tseq = self.genome.chromosomes[chain.rid].codes
         anchors = chain.anchors
-
-        ops: List = []
-        score = 0
 
         # First anchor k-mer: exact match by construction. Under HPC
         # seeding only the k-mer's FINAL base is guaranteed to match in
@@ -372,37 +453,30 @@ class Aligner:
         t0, q0 = anchors[0]
         if q0 - klen + 1 < 0 or t0 - klen + 1 < 0:
             return None  # defensive: malformed anchor
-        ops.append((klen, "M"))
-        score += klen * scoring.match
+        static_score = klen * scoring.match
 
-        # Left extension before the first anchor.
+        ext_band = self.preset.chain.bandwidth if self._banded else None
+        jobs: List[DPJob] = []
+
+        # Left extension before the first anchor (inputs pre-reversed;
+        # extension DP is symmetric under joint reversal).
         lt0 = t0 - klen + 1
         lq0 = q0 - klen + 1
         ext_t0 = max(0, lt0 - min(self.max_ext, lq0 + self.preset.chain.bandwidth))
-        ext_band = self.preset.chain.bandwidth if self._banded else None
-        left = extend_alignment(
-            tseq[ext_t0:lt0][::-1].copy(),
-            qseq[max(0, lq0 - self.max_ext) : lq0][::-1].copy(),
-            scoring,
-            engine=self.engine,
-            path=with_cigar,
-            zdrop=scoring.zdrop,
-            band=ext_band,
-        )
-        tstart = lt0 - left.t_used
-        qstart = lq0 - left.q_used
-        score += left.score
-        left_ops = (
-            list(reversed(left.cigar.ops)) if with_cigar and left.cigar else []
+        jobs.append(
+            DPJob(
+                target=tseq[ext_t0:lt0][::-1].copy(),
+                query=qseq[max(0, lq0 - self.max_ext) : lq0][::-1].copy(),
+                mode="extend",
+                path=with_cigar,
+                zdrop=scoring.zdrop,
+                band=ext_band,
+            )
         )
 
         # Inter-anchor segments (global alignment of each gap). Exact
-        # segments short-circuit; the rest either go through the batched
-        # inter-sequence kernel (SWIPE-style, the fast path) or the
-        # configured per-pair engine.
-        mid_plan: List = []  # ("M", dt) | ("DP", index_into_batch)
-        batch_t: List[np.ndarray] = []
-        batch_q: List[np.ndarray] = []
+        # segments short-circuit to an M run; the rest become DP jobs.
+        mid_plan: List[tuple] = []  # ("M", dt) | ("DP", local_job_index)
         prev_t, prev_q = t0, q0
         for t_i, q_i in anchors[1:]:
             dt, dq = t_i - prev_t, q_i - prev_q
@@ -410,48 +484,97 @@ class Aligner:
             qseg = qseq[prev_q + 1 : q_i + 1]
             if dt == dq and np.array_equal(tseg, qseg) and (tseg < AMBIG).all():
                 mid_plan.append(("M", dt))
-                score += dt * scoring.match
+                static_score += dt * scoring.match
             else:
-                mid_plan.append(("DP", len(batch_t)))
-                batch_t.append(tseg)
-                batch_q.append(qseg)
+                band = None
+                if self._banded and max(tseg.size, qseg.size) > self._SEG_UNBANDED_MAX:
+                    # Chained anchors bound the off-diagonal drift, so a
+                    # corridor of the length difference plus slack is
+                    # exact in practice.
+                    band = abs(tseg.size - qseg.size) + 64
+                mid_plan.append(("DP", len(jobs)))
+                jobs.append(
+                    DPJob(
+                        target=tseg,
+                        query=qseg,
+                        mode="global",
+                        path=with_cigar,
+                        band=band,
+                    )
+                )
             prev_t, prev_q = t_i, q_i
-
-        seg_results = self._run_segments(batch_t, batch_q, scoring, with_cigar)
-        mid_ops: List = []
-        for kind, payload in mid_plan:
-            if kind == "M":
-                mid_ops.append((payload, "M"))
-            else:
-                res = seg_results[payload]
-                score += res.score
-                if with_cigar:
-                    mid_ops.extend(res.cigar.ops)
 
         # Right extension past the last anchor.
         rq0 = prev_q + 1
         rt0 = prev_t + 1
         q_tail = qseq[rq0:]
-        t_hi = min(
-            tseq.size, rt0 + q_tail.size + self.preset.chain.bandwidth
+        t_hi = min(tseq.size, rt0 + q_tail.size + self.preset.chain.bandwidth)
+        jobs.append(
+            DPJob(
+                target=tseq[rt0:t_hi],
+                query=q_tail,
+                mode="extend",
+                path=with_cigar,
+                zdrop=scoring.zdrop,
+                band=ext_band,
+            )
         )
-        right = extend_alignment(
-            tseq[rt0:t_hi],
-            q_tail,
-            scoring,
-            engine=self.engine,
-            path=with_cigar,
-            zdrop=scoring.zdrop,
-            band=ext_band,
+
+        return _ChainPlan(
+            with_cigar=with_cigar,
+            klen=klen,
+            static_score=static_score,
+            lt0=lt0,
+            lq0=lq0,
+            rt0=rt0,
+            rq0=rq0,
+            mid_plan=mid_plan,
+            jobs=jobs,
         )
-        tend = rt0 + right.t_used
-        qend = rq0 + right.q_used
+
+    def _assemble_chain(
+        self, cp: "_ChainPlan", results: Sequence
+    ) -> Optional[_ChainAlignment]:
+        """Stitch executed DP results back into one chain alignment."""
+        with_cigar = cp.with_cigar
+        left_job = cp.jobs[0]
+        left = finish_extension(
+            results[0], left_job.target.size, left_job.query.size, with_cigar
+        )
+        score = cp.static_score + left.score
+        tstart = cp.lt0 - left.t_used
+        qstart = cp.lq0 - left.q_used
+        left_ops = (
+            list(reversed(left.cigar.ops)) if with_cigar and left.cigar else []
+        )
+
+        mid_ops: List = []
+        for kind, payload in cp.mid_plan:
+            if kind == "M":
+                mid_ops.append((payload, "M"))
+            else:
+                res = results[payload]
+                score += res.score
+                if with_cigar:
+                    mid_ops.extend(res.cigar.ops)
+
+        right_job = cp.jobs[-1]
+        right = finish_extension(
+            results[len(cp.jobs) - 1],
+            right_job.target.size,
+            right_job.query.size,
+            with_cigar,
+        )
+        tend = cp.rt0 + right.t_used
+        qend = cp.rq0 + right.q_used
         score += right.score
         right_ops = list(right.cigar.ops) if with_cigar and right.cigar else []
 
         cigar = None
         if with_cigar:
-            cigar = Cigar(left_ops + ops + mid_ops + right_ops).merged()
+            cigar = Cigar(
+                left_ops + [(cp.klen, "M")] + mid_ops + right_ops
+            ).merged()
         return _ChainAlignment(
             score=int(score),
             cigar=cigar,
@@ -460,3 +583,74 @@ class Aligner:
             qstart=int(qstart),
             qend=int(qend),
         )
+
+    # ------------------------------------------------------------------ #
+    # Legacy executor: per-pair engine + the old per-chain segment
+    # bucketing, used when no dispatch kernel is selected.
+
+    _BATCH_MAX = 192
+    _BATCH_BUCKETS = (24, 48, 96, 192)
+
+    def _execute_jobs_legacy(self, jobs: Sequence[DPJob]) -> List:
+        results: List = [None] * len(jobs)
+        seg_idx = [i for i, j in enumerate(jobs) if j.mode == "global"]
+        singles: List[int] = []
+        if self.batch_segments:
+            buckets: dict = {}
+            for i in seg_idx:
+                size = jobs[i].size
+                if size > self._BATCH_MAX:
+                    singles.append(i)
+                    continue
+                for cap in self._BATCH_BUCKETS:
+                    if size <= cap:
+                        buckets.setdefault(cap, []).append(i)
+                        break
+            for cap, idxs in buckets.items():
+                if len(idxs) == 1:
+                    singles.extend(idxs)
+                    continue
+                out = align_batch(
+                    [jobs[i].target for i in idxs],
+                    [jobs[i].query for i in idxs],
+                    self.preset.scoring,
+                    path=jobs[idxs[0]].path,
+                )
+                for i, res in zip(idxs, out):
+                    results[i] = res
+        else:
+            singles = seg_idx
+        n_batched = len(seg_idx) - len(singles)
+        if n_batched:
+            COUNTERS.inc("segments_batched", n_batched)
+        if singles:
+            COUNTERS.inc("segments_fallback", len(singles))
+        for i in singles:
+            job = jobs[i]
+            kwargs = {}
+            if self._banded:
+                kwargs["band"] = abs(job.target.size - job.query.size) + 64
+            results[i] = self.engine(
+                job.target,
+                job.query,
+                self.preset.scoring,
+                mode="global",
+                path=job.path,
+                **kwargs,
+            )
+        for i, job in enumerate(jobs):
+            if job.mode != "extend":
+                continue
+            kwargs = {}
+            if job.band is not None and self._banded:
+                kwargs["band"] = job.band
+            results[i] = self.engine(
+                job.target,
+                job.query,
+                self.preset.scoring,
+                mode="extend",
+                path=job.path,
+                zdrop=job.zdrop,
+                **kwargs,
+            )
+        return results

@@ -9,6 +9,7 @@ reproduction measures, so both presets here use plain k=15 minimizers
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional, Tuple
 
 from ..align.scoring import MAP_ONT, MAP_PB, Scoring
 from ..chain.chain import ChainParams
@@ -27,6 +28,10 @@ class Preset:
     occ_filter_frac: float = 2e-4
     mask_level: float = 0.5
     hpc: bool = False
+    #: cross-read DP batching knobs for the kernel-dispatch layer;
+    #: ``None`` defers to the selected kernel's own defaults.
+    batch_max: Optional[int] = None
+    batch_buckets: Optional[Tuple[int, ...]] = None
 
     def with_overrides(self, **kwargs) -> "Preset":
         return replace(self, **kwargs)

@@ -27,7 +27,30 @@ from __future__ import annotations
 import threading
 from typing import Dict, List
 
-__all__ = ["CounterRegistry", "COUNTERS", "counter_delta"]
+__all__ = [
+    "CounterRegistry",
+    "COUNTERS",
+    "counter_delta",
+    "SHAPE_DEPENDENT_PREFIXES",
+    "drop_shape_dependent",
+]
+
+#: Counter/histogram name prefixes whose values depend on how work was
+#: *grouped* (batch composition, chunk boundaries), not on the read set
+#: itself.  The cross-read wavefront kernel's occupancy and padding
+#: telemetry varies with bucket packing, so cross-backend identity
+#: checks must exclude these; everything else is byte-stable across
+#: serial/threads/processes/streaming.
+SHAPE_DEPENDENT_PREFIXES = ("wavefront.", "dispatch.")
+
+
+def drop_shape_dependent(totals):
+    """Return ``totals`` without grouping-dependent entries."""
+    return {
+        k: v
+        for k, v in totals.items()
+        if not k.startswith(SHAPE_DEPENDENT_PREFIXES)
+    }
 
 
 class CounterRegistry:

@@ -30,6 +30,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "machine_info",
     "derive_metrics",
+    "batch_summary",
     "build_metrics",
     "write_metrics",
     "load_metrics",
@@ -42,8 +43,11 @@ __all__ = [
 #: fault-tolerance layer); v4 adds ``run_id`` (joins this manifest to
 #: the run's trace/timeline/sidecar artifacts) and ``histograms``
 #: (per-stage latency / read-length / band-width distributions with
-#: p50/p90/p99). v1-v3 manifests remain valid.
-SCHEMA_VERSION = 4
+#: p50/p90/p99); v5 adds the optional ``batch`` object (cross-read
+#: wavefront batching: lane occupancy, padding waste, zdrop-retired
+#: lanes, dispatch batched-vs-fallback split). v1-v4 manifests remain
+#: valid.
+SCHEMA_VERSION = 5
 
 
 def machine_info() -> Dict:
@@ -81,6 +85,39 @@ def derive_metrics(
     }
 
 
+def batch_summary(counters: Dict[str, int]) -> Dict:
+    """Cross-read batching summary derived from wavefront/dispatch counters.
+
+    Occupancy is recomputed here from the cell totals rather than taken
+    from the per-call ``wavefront.occupancy`` counter (which sums
+    per-call percentages and is only useful divided by call count).
+    Returns an empty dict when no batched kernel ran, so per-pair runs
+    carry an empty ``batch`` object and the report renderer skips the
+    Batching section.
+    """
+    calls = int(counters.get("wavefront.calls", 0))
+    jobs = int(counters.get("dispatch.jobs", 0))
+    if not calls and not jobs:
+        return {}
+    active = int(counters.get("wavefront.cells_active", 0))
+    padded = int(counters.get("wavefront.cells_padded", 0))
+    return {
+        "wavefront_calls": calls,
+        "lanes": int(counters.get("wavefront.lanes", 0)),
+        "lanes_retired": int(counters.get("wavefront.lanes_retired", 0)),
+        "cells_active": active,
+        "cells_padded": padded,
+        "occupancy_pct": 100.0 * active / padded if padded else 0.0,
+        "padding_waste_pct": (
+            100.0 * (padded - active) / padded if padded else 0.0
+        ),
+        "dispatch_jobs": jobs,
+        "batches": int(counters.get("dispatch.batches", 0)),
+        "batched_jobs": int(counters.get("dispatch.batched_jobs", 0)),
+        "fallback_jobs": int(counters.get("dispatch.fallback_jobs", 0)),
+    }
+
+
 def build_metrics(
     profile,
     telemetry,
@@ -115,6 +152,7 @@ def build_metrics(
         "stages": stages,
         "counters": counters,
         "gauges": telemetry.gauges.snapshot(),
+        "batch": batch_summary(counters),
         "faults": telemetry.fault_summary(),
         "histograms": telemetry.histograms(),
         "derived": derive_metrics(

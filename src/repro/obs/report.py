@@ -87,6 +87,40 @@ def _fmt_value(name: str, value: float) -> str:
     return f"{value:.0f}"
 
 
+def _batch_lines(metrics: Dict) -> List[str]:
+    """``Batching`` section from the manifest's v5 ``batch`` object.
+
+    Pre-v5 manifests from a batched run still render: the summary is
+    recomputed from their wavefront/dispatch counters.
+    """
+    from .metrics import batch_summary
+
+    batch = metrics.get("batch")
+    if batch is None:
+        batch = batch_summary(metrics.get("counters", {}))
+    if not batch:
+        return []
+    lines = [
+        f"  {batch.get('batches', 0)} batches over "
+        f"{batch.get('wavefront_calls', 0)} wavefront calls, "
+        f"{batch.get('batched_jobs', 0)}/{batch.get('dispatch_jobs', 0)} "
+        f"jobs batched ({batch.get('fallback_jobs', 0)} per-pair fallback)"
+    ]
+    padded = batch.get("cells_padded", 0)
+    if padded:
+        lines.append(
+            f"  lane occupancy {batch.get('occupancy_pct', 0.0):.1f}% "
+            f"(padding waste {batch.get('padding_waste_pct', 0.0):.1f}% "
+            f"of {si(padded)} stacked cells)"
+        )
+    retired = batch.get("lanes_retired", 0)
+    lines.append(
+        f"  {batch.get('lanes', 0)} lanes total, "
+        f"{retired} retired early by zdrop"
+    )
+    return lines
+
+
 def _histogram_table(histograms: Dict[str, Dict]) -> List[str]:
     """p50/p90/p99 table from a manifest's ``histograms`` object."""
     if not histograms:
@@ -143,6 +177,11 @@ def render_metrics(manifests: Sequence[Dict]) -> str:
         lines.append("")
         lines.append("Counters")
         lines.extend(_counter_table(manifests[0].get("counters", {})))
+        batch_lines = _batch_lines(manifests[0])
+        if batch_lines:
+            lines.append("")
+            lines.append("Batching")
+            lines.extend(batch_lines)
         hist_lines = _histogram_table(manifests[0].get("histograms") or {})
         if hist_lines:
             lines.append("")

@@ -120,6 +120,8 @@ def _threads(aligner, reads, options, profile, telemetry):
         threads=options.workers,
         with_cigar=options.with_cigar,
         longest_first=options.longest_first,
+        chunk_reads=options.chunk_reads,
+        chunk_bases=options.chunk_bases,
         profile=profile,
         telemetry=telemetry,
         fault_policy=_fault_policy(options),

@@ -55,6 +55,7 @@ __all__ = [
     "FaultPolicy",
     "FaultRecord",
     "map_one_read",
+    "map_chunk_reads",
     "PoolSupervisor",
     "write_quarantine",
 ]
@@ -255,6 +256,64 @@ def map_one_read(
                 action="quarantined",
                 record=read if isinstance(read, SeqRecord) else None,
             )
+
+
+def map_chunk_reads(
+    aligner,
+    reads,
+    with_cigar: bool,
+    policy: Optional[FaultPolicy],
+) -> Optional[List[Tuple[List, float, float, Optional[FaultRecord]]]]:
+    """Map a whole chunk of reads, pooling their base-level DP.
+
+    Returns one ``(alignments, seed_chain_s, align_s, fault)`` tuple
+    per read — the same shape :func:`map_one_read` yields — or ``None``
+    when pooling does not apply (a fault policy is in force, the chunk
+    has fewer than two reads, or the aligner cannot pool plans), in
+    which case the caller should run its per-read loop.
+
+    Pooling runs seed-and-chain per read, then aligns every read's
+    plan through one :meth:`~repro.core.aligner.Aligner.align_plans`
+    call, so the kernel-dispatch layer sees chunk-wide DP buckets
+    instead of one chain's worth of jobs. Results are bit-identical to
+    per-read mapping — batched kernels match their per-pair fallback —
+    so only throughput and the shape-dependent ``wavefront.*`` /
+    ``dispatch.*`` telemetry change with the chunking. The pooled
+    align phase has no per-read split anymore, so align seconds are
+    attributed back to reads proportionally to read length.
+
+    Errors propagate raw, exactly like :func:`map_one_read` with no
+    policy. Callers that must name the failing read can re-run the
+    chunk per read: mapping is deterministic, so the culprit fails
+    again under the per-read path with its usual wrapping.
+    """
+    if (
+        policy is not None
+        or len(reads) < 2
+        or not callable(getattr(aligner, "align_plans", None))
+        or not callable(getattr(aligner, "seed_and_chain", None))
+    ):
+        return None
+    plans = []
+    seed_times: List[float] = []
+    for read in reads:
+        t0 = time.perf_counter()
+        plans.append((read, aligner.seed_and_chain(read)))
+        seed_times.append(time.perf_counter() - t0)
+    t0 = time.perf_counter()
+    all_alns = aligner.align_plans(plans, with_cigar=with_cigar)
+    align_total = time.perf_counter() - t0
+    total_bases = sum(len(r) for r in reads)
+    out: List[Tuple[List, float, float, Optional[FaultRecord]]] = []
+    for read, seed_s, alns in zip(reads, seed_times, all_alns):
+        share = (
+            align_total * (len(read) / total_bases)
+            if total_bases
+            else align_total / len(reads)
+        )
+        _observe_read(read, seed_s, share)
+        out.append((alns, seed_s, share, None))
+    return out
 
 
 # --------------------------------------------------------------------- #

@@ -78,6 +78,8 @@ def parallel_map_reads(
     threads: int = 4,
     with_cigar: bool = True,
     longest_first: bool = True,
+    chunk_reads: int = 32,
+    chunk_bases: int = 1_000_000,
     profile=None,
     telemetry: Optional[Telemetry] = None,
     fault_policy=None,
@@ -89,6 +91,14 @@ def parallel_map_reads(
     worker exception, not-yet-started reads are cancelled rather than
     drained, and the error is re-raised as a :class:`SchedulerError`
     naming the failing read.
+
+    When the aligner can pool plans (no fault policy in force), work is
+    submitted as size-bounded chunks and each chunk's base-level DP runs
+    through one pooled :func:`~repro.runtime.faults.map_chunk_reads`
+    call — the cross-read wavefront batches are also where this backend
+    overlaps best, since big NumPy kernels release the GIL. Duck-typed
+    aligners without ``align_plans`` (and any run with a fault policy)
+    keep the per-read submission path.
 
     Counters increment into per-thread shards of the global registry,
     so no aggregation step is needed; trace spans (one per read, tagged
@@ -104,17 +114,18 @@ def parallel_map_reads(
             aligner, reads, with_cigar, profile, telemetry, fault_policy
         )
 
-    from .faults import map_one_read
+    from .faults import map_chunk_reads, map_one_read
 
-    order = list(range(len(reads)))
-    if longest_first:
-        order.sort(key=lambda i: -len(reads[i]))
     results: List[Optional[List[Alignment]]] = [None] * len(reads)
     stage_totals = {"Seed & Chain": 0.0, "Align": 0.0}
     stage_lock = Lock()
     trace = telemetry is not None and telemetry.trace
     spans: List[Dict] = []
     faults: List = []
+
+    pooling = fault_policy is None and callable(
+        getattr(aligner, "align_plans", None)
+    )
 
     def work(i: int) -> None:
         alns, seed_s, align_s, fault = map_one_read(
@@ -131,8 +142,52 @@ def parallel_map_reads(
                     read_span(reads[i].name, len(reads[i]), seed_s, align_s)
                 )
 
+    def work_chunk(idxs) -> None:
+        sub = [reads[i] for i in idxs]
+        try:
+            tuples = map_chunk_reads(aligner, sub, with_cigar, None)
+        except Exception:
+            # Deterministic mapping: the per-read re-run reproduces the
+            # failure on the culprit read so the error can name it.
+            tuples = None
+        if tuples is None:
+            tuples = []
+            for read in sub:
+                try:
+                    tuples.append(map_one_read(aligner, read, with_cigar, None))
+                except Exception as exc:
+                    raise SchedulerError(
+                        f"mapping failed for read {read.name!r}: {exc!r}"
+                    ) from exc
+        with stage_lock:
+            for i, (alns, seed_s, align_s, _fault) in zip(idxs, tuples):
+                results[i] = alns
+                stage_totals["Seed & Chain"] += seed_s
+                stage_totals["Align"] += align_s
+                if trace:
+                    spans.append(
+                        read_span(reads[i].name, len(reads[i]), seed_s, align_s)
+                    )
+
     with ThreadPoolExecutor(max_workers=threads) as pool:
-        futures = {pool.submit(work, i): i for i in order}
+        if pooling:
+            from .procpool import plan_chunks
+
+            chunks = plan_chunks(
+                reads,
+                chunk_reads=chunk_reads,
+                chunk_bases=chunk_bases,
+                longest_first=longest_first,
+            )
+            futures = {
+                pool.submit(work_chunk, c.indices): c.indices[0]
+                for c in chunks
+            }
+        else:
+            order = list(range(len(reads)))
+            if longest_first:
+                order.sort(key=lambda i: -len(reads[i]))
+            futures = {pool.submit(work, i): i for i in order}
         done, pending = wait(futures, return_when=FIRST_EXCEPTION)
         failed = next(
             (f for f in done if f.exception() is not None), None
@@ -141,6 +196,8 @@ def parallel_map_reads(
             for f in pending:
                 f.cancel()
             exc = failed.exception()
+            if pooling and isinstance(exc, SchedulerError):
+                raise exc  # chunk path: already names the read
             raise SchedulerError(
                 f"mapping failed for read "
                 f"{reads[futures[failed]].name!r}: {exc!r}"

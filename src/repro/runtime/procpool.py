@@ -55,7 +55,13 @@ from ..obs.logs import current_level_name, set_run_id, setup_logging
 from ..obs.telemetry import Telemetry, read_span
 from ..seq.genome import Genome
 from ..seq.records import SeqRecord
-from .faults import FaultPolicy, FaultRecord, PoolSupervisor, map_one_read
+from .faults import (
+    FaultPolicy,
+    FaultRecord,
+    PoolSupervisor,
+    map_chunk_reads,
+    map_one_read,
+)
 
 __all__ = [
     "ChunkPlan",
@@ -164,27 +170,47 @@ def _map_chunk(
     spans: List[Dict] = []
     out: List[List[Alignment]] = []
     faults: List[FaultRecord] = []
-    for read in reads:
-        try:
-            alns, seed_s, align_s, fault = map_one_read(
-                aligner, read, with_cigar, policy
-            )
-        except Exception as exc:  # pragma: no cover - exercised via pool
-            # Chained exceptions do not survive the pickle back to the
-            # parent, so fold the context into the message itself.
-            raise SchedulerError(
-                f"mapping failed for read {read.name!r} in worker "
-                f"{os.getpid()}: {exc!r}\n{traceback.format_exc()}"
-            ) from None
-        stage_seconds["Seed & Chain"] += seed_s
-        stage_seconds["Align"] += align_s
-        if fault is not None:
-            faults.append(fault)
-        if trace and (fault is None or fault.action == "fallback"):
-            spans.append(
-                read_span(read.name, len(read), seed_s, align_s, chunk=chunk_id)
-            )
-        out.append(alns)
+    try:
+        pooled = map_chunk_reads(aligner, reads, with_cigar, policy)
+    except Exception:
+        # Deterministic mapping: re-running per read below reproduces
+        # the failure on the culprit read, with the read-naming wrap.
+        pooled = None
+    if pooled is not None:
+        for read, (alns, seed_s, align_s, fault) in zip(reads, pooled):
+            stage_seconds["Seed & Chain"] += seed_s
+            stage_seconds["Align"] += align_s
+            if trace:
+                spans.append(
+                    read_span(
+                        read.name, len(read), seed_s, align_s, chunk=chunk_id
+                    )
+                )
+            out.append(alns)
+    else:
+        for read in reads:
+            try:
+                alns, seed_s, align_s, fault = map_one_read(
+                    aligner, read, with_cigar, policy
+                )
+            except Exception as exc:  # pragma: no cover - exercised via pool
+                # Chained exceptions do not survive the pickle back to the
+                # parent, so fold the context into the message itself.
+                raise SchedulerError(
+                    f"mapping failed for read {read.name!r} in worker "
+                    f"{os.getpid()}: {exc!r}\n{traceback.format_exc()}"
+                ) from None
+            stage_seconds["Seed & Chain"] += seed_s
+            stage_seconds["Align"] += align_s
+            if fault is not None:
+                faults.append(fault)
+            if trace and (fault is None or fault.action == "fallback"):
+                spans.append(
+                    read_span(
+                        read.name, len(read), seed_s, align_s, chunk=chunk_id
+                    )
+                )
+            out.append(alns)
     delta = counter_delta(COUNTERS.totals(), counters_before)
     hist_d = hist_delta(HISTOGRAMS.snapshot(), hists_before)
     return indices, out, stage_seconds, delta, hist_d, spans, faults
@@ -418,24 +444,53 @@ def _map_serial(
     profile,
     telemetry: Optional[Telemetry] = None,
     fault_policy: Optional[FaultPolicy] = None,
+    pool_reads: int = 64,
+    pool_bases: int = 8_000_000,
 ) -> List[List[Alignment]]:
-    """Single-process fallback with the same stage/telemetry accounting."""
+    """Single-process fallback with the same stage/telemetry accounting.
+
+    Reads are processed in consecutive, size-bounded pools (input
+    order — no reordering) so the base-level DP of a whole pool runs
+    through the kernel-dispatch layer in one call while memory for
+    in-flight plans stays bounded. ``pool_reads`` / ``pool_bases`` are
+    deliberately independent of the parallel backends' scheduling
+    chunk size: serial has no scheduling, only a DP-batching width.
+    With a fault policy (or an aligner that cannot pool plans) this
+    degrades to the per-read loop it always was.
+    """
     stage_totals = {"Seed & Chain": 0.0, "Align": 0.0}
     trace = telemetry is not None and telemetry.trace
     out: List[List[Alignment]] = []
-    for read in reads:
-        alns, seed_s, align_s, fault = map_one_read(
-            aligner, read, with_cigar, fault_policy
-        )
-        out.append(alns)
-        stage_totals["Seed & Chain"] += seed_s
-        stage_totals["Align"] += align_s
-        if fault is not None and telemetry is not None:
-            telemetry.record_faults([fault])
-        if trace and (fault is None or fault.action == "fallback"):
-            telemetry.record(
-                read_span(read.name, len(read), seed_s, align_s)
-            )
+    reads = list(reads)
+    pos = 0
+    while pos < len(reads):
+        chunk = [reads[pos]]
+        acc = len(reads[pos])
+        pos += 1
+        while (
+            pos < len(reads)
+            and len(chunk) < pool_reads
+            and acc + len(reads[pos]) <= pool_bases
+        ):
+            chunk.append(reads[pos])
+            acc += len(reads[pos])
+            pos += 1
+        tuples = map_chunk_reads(aligner, chunk, with_cigar, fault_policy)
+        if tuples is None:
+            tuples = [
+                map_one_read(aligner, read, with_cigar, fault_policy)
+                for read in chunk
+            ]
+        for read, (alns, seed_s, align_s, fault) in zip(chunk, tuples):
+            out.append(alns)
+            stage_totals["Seed & Chain"] += seed_s
+            stage_totals["Align"] += align_s
+            if fault is not None and telemetry is not None:
+                telemetry.record_faults([fault])
+            if trace and (fault is None or fault.action == "fallback"):
+                telemetry.record(
+                    read_span(read.name, len(read), seed_s, align_s)
+                )
     if profile is not None:
         profile.merge(stage_totals)
     return out

@@ -53,7 +53,13 @@ from ..obs.gauges import GaugeSet
 from ..obs.hist import HISTOGRAMS
 from ..obs.telemetry import Telemetry, read_span
 from ..seq.records import SeqRecord
-from .faults import FaultPolicy, FaultRecord, PoolSupervisor, map_one_read
+from .faults import (
+    FaultPolicy,
+    FaultRecord,
+    PoolSupervisor,
+    map_chunk_reads,
+    map_one_read,
+)
 
 __all__ = ["StreamStats", "stream_map", "map_reads_streaming"]
 
@@ -139,7 +145,26 @@ def _map_chunk_threaded(
     spans: List[Dict] = []
     out: List[List[Alignment]] = []
     faults: List[FaultRecord] = []
-    for _, read in chunk:
+    reads = [read for _, read in chunk]
+    try:
+        pooled = map_chunk_reads(aligner, reads, with_cigar, policy)
+    except Exception:
+        # Deterministic mapping: the per-read loop below reproduces the
+        # failure on the culprit read and names it.
+        pooled = None
+    if pooled is not None:
+        for read, (alns, seed_s, align_s, fault) in zip(reads, pooled):
+            stage_seconds["Seed & Chain"] += seed_s
+            stage_seconds["Align"] += align_s
+            if trace:
+                spans.append(
+                    read_span(
+                        read.name, len(read), seed_s, align_s, chunk=chunk_id
+                    )
+                )
+            out.append(alns)
+        return out, stage_seconds, spans, faults
+    for read in reads:
         try:
             alns, seed_s, align_s, fault = map_one_read(
                 aligner, read, with_cigar, policy

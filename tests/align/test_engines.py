@@ -214,7 +214,13 @@ class TestZdrop:
 
 class TestEngineRegistry:
     def test_all_registered(self):
-        assert set(ENGINES) == {"reference", "scalar", "mm2", "manymap"}
+        assert set(ENGINES) == {
+            "reference",
+            "scalar",
+            "mm2",
+            "manymap",
+            "wavefront",
+        }
 
     def test_get_engine_unknown(self):
         with pytest.raises(AlignmentError):

@@ -1,0 +1,174 @@
+"""Cross-kernel identity on simulated long reads (paper §5.3.3).
+
+The correctness claim behind the whole dispatch layer: routing a DP job
+through *any* registered kernel produces the same alignment. Pairs here
+are not synthetic toys — they come from :mod:`repro.sim` PacBio-error
+reads against their true genome windows, so the DP sees realistic indel
+structure, and hypothesis draws random sub-batches and grouping orders
+on top.
+
+Two regimes are pinned:
+
+* **global, unbanded** — every per-pair kernel (``scalar``/``mm2``/
+  ``manymap``) plus the cross-read ``wavefront`` batch;
+* **banded + z-drop extension** (the production configuration) — the
+  banded kernels ``mm2``/``manymap`` plus ``wavefront``.
+
+And end to end: mapping with each dispatch kernel selection yields
+byte-identical PAF.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import api
+from repro.align import Scoring, align_diff_scalar, align_manymap, align_mm2
+from repro.align.dispatch import DPJob, KernelDispatch
+from repro.core.aligner import Aligner
+from repro.core.alignment import to_paf
+from repro.seq.alphabet import revcomp_codes
+from repro.seq.genome import GenomeSpec, generate_genome
+from repro.sim.lengths import LengthModel
+from repro.sim.pbsim import ReadSimulator
+
+SC = Scoring(match=2, mismatch=4, q=4, e=2)
+N_PAIRS = 24
+
+
+@pytest.fixture(scope="module")
+def sim_pairs():
+    """(target-window, read) code pairs from simulated PacBio reads."""
+    genome = generate_genome(GenomeSpec(length=40_000, chromosomes=1), seed=5)
+    sim = ReadSimulator.preset(genome, "pacbio")
+    sim.length_model = LengthModel(mean=300.0, sigma=0.4, max_length=700)
+    chrom = genome.chromosomes[0].codes
+    pairs = []
+    for read in sim.simulate(N_PAIRS, seed=17):
+        truth = read.meta["truth"]
+        window = chrom[truth.start : truth.end]
+        if truth.strand < 0:
+            window = revcomp_codes(window)
+        pairs.append((np.ascontiguousarray(window), read.codes))
+    return pairs
+
+
+@pytest.fixture(scope="module")
+def sim_reads(small_genome):
+    sim = ReadSimulator.preset(small_genome, "pacbio")
+    sim.length_model = LengthModel(mean=500.0, sigma=0.4, max_length=1200)
+    return list(sim.simulate(10, seed=23))
+
+
+def result_key(res):
+    return (res.score, res.end_t, res.end_q, res.cells, str(res.cigar))
+
+
+subsets = st.lists(
+    st.integers(0, N_PAIRS - 1), min_size=1, max_size=10, unique=True
+)
+
+
+class TestDPLevelIdentity:
+    @given(subsets)
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_global_all_kernels(self, sim_pairs, idxs):
+        batch = [sim_pairs[i] for i in idxs]
+        jobs = [DPJob(target=t, query=q, path=True) for t, q in batch]
+        wavefront = KernelDispatch("wavefront", SC).run(jobs)
+        for i, (t, q) in enumerate(batch):
+            want = result_key(wavefront[i])
+            for fn in (align_diff_scalar, align_mm2, align_manymap):
+                got = result_key(fn(t, q, SC, mode="global", path=True))
+                assert got == want, (fn.__name__, i)
+
+    @given(subsets, st.sampled_from([50, 100, 400]))
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_banded_zdrop_extension(self, sim_pairs, idxs, zdrop):
+        batch = [sim_pairs[i] for i in idxs]
+        band = 32
+        jobs = [
+            DPJob(
+                target=t, query=q, mode="extend", path=True,
+                zdrop=zdrop, band=band,
+            )
+            for t, q in batch
+        ]
+        wavefront = KernelDispatch("wavefront", SC).run(jobs)
+        for i, (t, q) in enumerate(batch):
+            want = result_key(wavefront[i])
+            for fn in (align_mm2, align_manymap):
+                got = result_key(
+                    fn(
+                        t, q, SC, mode="extend", path=True,
+                        zdrop=zdrop, band=band,
+                    )
+                )
+                assert got == want, (fn.__name__, i, zdrop)
+
+    @given(subsets, st.randoms(use_true_random=False))
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_grouping_never_changes_results(self, sim_pairs, idxs, rnd):
+        """Dispatch routing freedom: any partition, same answers."""
+        jobs = [
+            DPJob(target=t, query=q, mode="extend", zdrop=200, band=32)
+            for t, q in (sim_pairs[i] for i in idxs)
+        ]
+        want = [result_key(r) for r in KernelDispatch("wavefront", SC).run(jobs)]
+        order = list(range(len(jobs)))
+        rnd.shuffle(order)
+        cut = rnd.randint(0, len(jobs))
+        dispatch = KernelDispatch("wavefront", SC)
+        got = [None] * len(jobs)
+        for part in (order[:cut], order[cut:]):
+            for i, res in zip(part, dispatch.run([jobs[i] for i in part])):
+                got[i] = result_key(res)
+        assert got == want
+
+
+class TestEndToEndIdentity:
+    KERNELS = ("none", "mm2", "manymap", "wavefront", "batched")
+
+    def test_paf_identical_across_kernels(self, small_genome, sim_reads):
+        aligner = Aligner(small_genome, preset="test")
+        pafs = {}
+        for kernel in self.KERNELS:
+            results = api.map_reads(aligner, sim_reads, kernel=kernel)
+            pafs[kernel] = [to_paf(a) for alns in results for a in alns]
+        baseline = pafs["none"]
+        assert baseline  # the corpus must actually map
+        for kernel, got in pafs.items():
+            assert got == baseline, kernel
+
+    def test_batch_knobs_do_not_change_output(self, small_genome, sim_reads):
+        aligner = Aligner(small_genome, preset="test")
+        want = [
+            to_paf(a)
+            for alns in api.map_reads(aligner, sim_reads, kernel="wavefront")
+            for a in alns
+        ]
+        for knobs in (
+            {"batch_max": 96},
+            {"batch_max": 0},
+            {"batch_buckets": (64, 512, 6144)},
+        ):
+            got = [
+                to_paf(a)
+                for alns in api.map_reads(
+                    aligner, sim_reads, kernel="wavefront", **knobs
+                )
+                for a in alns
+            ]
+            assert got == want, knobs

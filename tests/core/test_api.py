@@ -93,6 +93,9 @@ class TestSurfaceSnapshot:
             "queue_chunks",
             "stream_processes",
             "index_path",
+            "kernel",
+            "batch_max",
+            "batch_buckets",
             "fault_policy",
             "progress_interval",
             "progress_path",
@@ -108,6 +111,9 @@ class TestSurfaceSnapshot:
             queue_chunks=8,
             stream_processes=False,
             index_path=None,
+            kernel=None,
+            batch_max=None,
+            batch_buckets=None,
             fault_policy=None,
         )
 

@@ -70,10 +70,15 @@ class TestMapMetrics:
             metrics = tmp_path / f"{name}.json"
             _map(data, tmp_path, "-x", "test", "--metrics", str(metrics), *flags)
             manifests[name] = json.loads(metrics.read_text())
+        # wavefront.*/dispatch.* track how DP jobs were pooled, which
+        # legitimately varies with backend chunking; everything else
+        # must be identical.
+        from repro.obs.counters import drop_shape_dependent
+
         assert (
-            manifests["serial"]["counters"]
-            == manifests["threads"]["counters"]
-            == manifests["processes"]["counters"]
+            drop_shape_dependent(manifests["serial"]["counters"])
+            == drop_shape_dependent(manifests["threads"]["counters"])
+            == drop_shape_dependent(manifests["processes"]["counters"])
         )
 
     def test_trace_one_span_per_read(self, data, tmp_path):
@@ -132,7 +137,7 @@ class TestTimelineAndProgress:
         )
         manifest = json.loads(metrics.read_text())
         assert validate(manifest, SCHEMA) == [], validate(manifest, SCHEMA)
-        assert manifest["schema_version"] == 4
+        assert manifest["schema_version"] == 5
         assert manifest["run_id"]
         hists = manifest["histograms"]
         assert hists["read.length"]["count"] == len(reads)
@@ -233,7 +238,7 @@ class TestReportCommand:
         _map(data, tmp_path, "-x", "test", "--metrics", str(metrics))
         assert main(["report", str(metrics), "--format", "json"]) == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["schema_version"] == 4
+        assert doc["schema_version"] == 5
         assert main(["report", str(metrics), "--format", "markdown"]) == 0
         out = capsys.readouterr().out
         assert "| Stage |" in out and "| GCUPS |" in out

@@ -15,6 +15,7 @@ import pytest
 
 from repro.core.aligner import Aligner
 from repro.core.profiling import PipelineProfile
+from repro.obs.counters import drop_shape_dependent
 from repro.obs.hist import HISTOGRAMS
 from repro.obs.telemetry import Telemetry, read_span, worker_id
 from repro.runtime.parallel import map_reads
@@ -72,14 +73,24 @@ class TestCounterIdentity:
         assert counters["chains_built"] > 0
         assert counters["reads_seeded"] == 10
 
+    # Work counters are backend-independent; only the wavefront/dispatch
+    # batching telemetry tracks how jobs were pooled (chunk shapes differ
+    # per backend), so the comparison drops those prefixes.
+
     def test_threads_match_serial(self, runs):
-        assert runs["threads"]["counters"] == runs["serial"]["counters"]
+        assert drop_shape_dependent(
+            runs["threads"]["counters"]
+        ) == drop_shape_dependent(runs["serial"]["counters"])
 
     def test_processes_match_serial(self, runs):
-        assert runs["processes"]["counters"] == runs["serial"]["counters"]
+        assert drop_shape_dependent(
+            runs["processes"]["counters"]
+        ) == drop_shape_dependent(runs["serial"]["counters"])
 
     def test_streaming_match_serial(self, runs):
-        assert runs["streaming"]["counters"] == runs["serial"]["counters"]
+        assert drop_shape_dependent(
+            runs["streaming"]["counters"]
+        ) == drop_shape_dependent(runs["serial"]["counters"])
 
     def test_results_identical(self, runs):
         serial = runs["serial"]["results"]
