@@ -7,10 +7,14 @@ EXPERIMENTS.md can reference stable artifacts.
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+TRAJECTORY_NAME = "BENCH_trajectory.jsonl"
 
 
 def emit(name: str, text: str) -> str:
@@ -25,6 +29,35 @@ def emit(name: str, text: str) -> str:
 def ratio(a: float, b: float) -> float:
     """Safe ratio for speedup columns."""
     return a / b if b else float("inf")
+
+
+def append_trajectory(
+    bench: str,
+    reads_per_s: float = 0.0,
+    gcups: float = 0.0,
+    peak_rss_bytes: int = 0,
+    **extra,
+) -> dict:
+    """Append one headline record to ``results/BENCH_trajectory.jsonl``.
+
+    Each CI bench run appends its headline numbers here; the file is
+    uploaded as an artifact, so the perf trajectory accumulates across
+    PRs. ``manymap report --trajectory`` renders the history.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    rec = {
+        "record": "bench",
+        "bench": bench,
+        "created_unix": time.time(),
+        "commit": os.environ.get("GITHUB_SHA", ""),
+        "reads_per_s": float(reads_per_s),
+        "gcups": float(gcups),
+        "peak_rss_bytes": int(peak_rss_bytes),
+        **extra,
+    }
+    with open(RESULTS_DIR / TRAJECTORY_NAME, "a") as fh:
+        fh.write(json.dumps(rec, sort_keys=True) + "\n")
+    return rec
 
 
 def dp_pair(length: int, seed: int = 7):

@@ -39,7 +39,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from _common import RESULTS_DIR, emit, ratio
+from _common import RESULTS_DIR, append_trajectory, emit, ratio
 
 from repro import api
 from repro.core.aligner import Aligner
@@ -57,6 +57,12 @@ SCHEMA_PATH = Path(__file__).parent / "metrics_schema.json"
 
 #: gate: measured observe cost x observe count <= 2% of run wall clock.
 MAX_HIST_OVERHEAD_PCT = 2.0
+
+#: status-server gate (PR 4/5 convention): server-on wall must stay
+#: within 2% of server-off — OR within an absolute slack that absorbs
+#: scheduler noise on sub-second smoke runs, where 2% is milliseconds.
+MAX_STATUS_RATIO = 1.02
+STATUS_ABS_SLACK_S = 0.05
 
 
 def _best_of(n: int, fn) -> float:
@@ -115,6 +121,44 @@ def time_histogram_overhead(
     }
 
 
+def time_status_overhead(aligner, reads, repeats: int = 3) -> Dict:
+    """Status-server-on vs off wall clock over the same mapping run.
+
+    The server only *samples* the registries when a request arrives, so
+    mounting it must be free on the hot path; the run here is scraped
+    once mid-setup (proving the endpoint answers) and the gate compares
+    best-of-N wall seconds with the PR 4/5 ratio-or-absolute-slack
+    convention.
+    """
+    import urllib.request
+
+    from repro.obs.statusd import StatusServer
+
+    api.map_reads(aligner, reads)  # warm-up
+    t_off = _best_of(repeats, lambda: api.map_reads(aligner, reads))
+
+    # One scrape against a mounted server to prove it answers...
+    with StatusServer(port=0) as srv:
+        with urllib.request.urlopen(srv.url + "/metrics", timeout=5) as r:
+            assert r.status == 200
+    # ...then the gated A/B with the server mounted for each run.
+    t_on = _best_of(
+        repeats, lambda: api.map_reads(aligner, reads, status_port=0)
+    )
+    within = (
+        t_on <= t_off * MAX_STATUS_RATIO
+        or t_on - t_off <= STATUS_ABS_SLACK_S
+    )
+    return {
+        "seconds_off": t_off,
+        "seconds_on": t_on,
+        "overhead_ratio": ratio(t_on, t_off),
+        "max_ratio": MAX_STATUS_RATIO,
+        "abs_slack_s": STATUS_ABS_SLACK_S,
+        "within_gate": within,
+    }
+
+
 def _workload(smoke: bool):
     genome = generate_genome(
         GenomeSpec(length=40_000 if smoke else 120_000, chromosomes=1),
@@ -170,6 +214,9 @@ def run_metrics_smoke(smoke: bool = True, out_dir: Path = RESULTS_DIR) -> Dict:
     overhead = time_histogram_overhead(
         Aligner(genome, preset="test"), reads, serial
     )
+    status_overhead = time_status_overhead(
+        Aligner(genome, preset="test"), reads
+    )
     result = {
         "benchmark": "metrics_smoke",
         "smoke": smoke,
@@ -177,6 +224,7 @@ def run_metrics_smoke(smoke: bool = True, out_dir: Path = RESULTS_DIR) -> Dict:
         "counters_match_across_backends": counters_match,
         "histograms_present": hists_present,
         "histogram_overhead": overhead,
+        "status_overhead": status_overhead,
         "manifest": serial,
         "manifest_processes": procs,
     }
@@ -195,10 +243,21 @@ def run_metrics_smoke(smoke: bool = True, out_dir: Path = RESULTS_DIR) -> Dict:
         f"\n  (informational A/B: {overhead['seconds_disabled']:.4f}s "
         f"off -> {overhead['seconds_enabled']:.4f}s on, "
         f"{overhead['overhead_ratio']:.3f}x)"
+        f"\nstatus-server overhead: {status_overhead['seconds_off']:.4f}s "
+        f"off -> {status_overhead['seconds_on']:.4f}s on "
+        f"({status_overhead['overhead_ratio']:.3f}x; gate <= "
+        f"{MAX_STATUS_RATIO}x or {STATUS_ABS_SLACK_S}s slack) -> "
+        f"{'PASS' if status_overhead['within_gate'] else 'FAIL'}"
     )
     emit("BENCH_metrics_smoke", report)
     out_dir.mkdir(exist_ok=True)
     (out_dir / JSON_NAME).write_text(json.dumps(result, indent=2) + "\n")
+    append_trajectory(
+        "metrics_smoke",
+        reads_per_s=serial["derived"]["reads_per_sec"],
+        gcups=serial["derived"]["gcups"],
+        peak_rss_bytes=serial["peak_rss_bytes"],
+    )
     return result
 
 
@@ -223,6 +282,12 @@ def test_metrics_smoke():
         f"({ov['n_observes']} observes x {ov['per_observe_us']:.3f}us "
         f"over {ov['run_wall_seconds']:.2f}s) exceeds the "
         f"{MAX_HIST_OVERHEAD_PCT}% gate"
+    )
+    so = res["status_overhead"]
+    assert so["within_gate"], (
+        f"status server costs {so['overhead_ratio']:.3f}x "
+        f"({so['seconds_off']:.4f}s -> {so['seconds_on']:.4f}s), over "
+        f"the {MAX_STATUS_RATIO}x / {STATUS_ABS_SLACK_S}s gate"
     )
     assert (RESULTS_DIR / JSON_NAME).exists()
 
@@ -254,6 +319,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             "ERROR: histogram overhead "
             f"{res['histogram_overhead']['overhead_pct']:.4f}% exceeds "
             f"{MAX_HIST_OVERHEAD_PCT}%",
+            file=sys.stderr,
+        )
+        return 1
+    if not res["status_overhead"]["within_gate"]:
+        print(
+            "ERROR: status-server overhead "
+            f"{res['status_overhead']['overhead_ratio']:.3f}x exceeds "
+            f"{MAX_STATUS_RATIO}x (+{STATUS_ABS_SLACK_S}s slack)",
             file=sys.stderr,
         )
         return 1

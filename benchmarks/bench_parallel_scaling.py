@@ -29,7 +29,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from _common import RESULTS_DIR, emit, ratio
+from _common import RESULTS_DIR, append_trajectory, emit, ratio
 
 from repro.core.aligner import Aligner
 from repro.core.alignment import to_paf
@@ -149,6 +149,13 @@ def run_scaling(
     )
     emit("BENCH_parallel_scaling", "\n".join(table))
     (out_dir / JSON_NAME).write_text(json.dumps(result, indent=2) + "\n")
+    best = max(rows, key=lambda r: r["reads_per_sec"]) if rows else {}
+    append_trajectory(
+        "parallel_scaling",
+        reads_per_s=best.get("reads_per_sec", 0.0),
+        backend=best.get("backend", ""),
+        workers=best.get("workers", 0),
+    )
     return result
 
 

@@ -31,7 +31,7 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from _common import RESULTS_DIR, emit, ratio
+from _common import RESULTS_DIR, append_trajectory, emit, ratio
 
 from repro.core.aligner import Aligner
 from repro.core.alignment import to_paf
@@ -223,6 +223,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     emit("BENCH_wavefront", text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / JSON_NAME).write_text(json.dumps(result, indent=2) + "\n")
+    wave = result["rows"][1]
+    append_trajectory(
+        "wavefront",
+        reads_per_s=wave["reads_per_sec"],
+        gcups=wave["gcups"],
+        peak_rss_bytes=result["manifest"].get("peak_rss_bytes", 0),
+        align_speedup=result["align_speedup"],
+    )
     if result["align_speedup"] <= MIN_SPEEDUP:
         print(
             f"ERROR: wavefront speedup {result['align_speedup']:.2f}x "

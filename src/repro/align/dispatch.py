@@ -36,6 +36,7 @@ import numpy as np
 
 from ..errors import AlignmentError
 from ..obs.counters import COUNTERS
+from ..obs.events import EVENTS
 from .batch_kernel import align_batch
 from .diff_scalar import align_diff_scalar
 from .dp_reference import align_reference
@@ -286,22 +287,30 @@ class KernelDispatch:
             and bool(self.batch_buckets)
         )
         singles: List[int] = []
+        fallback_reasons: Dict[str, int] = {}
+
+        def _fall(i: int, reason: str) -> None:
+            singles.append(i)
+            fallback_reasons[reason] = fallback_reasons.get(reason, 0) + 1
+
         buckets: Dict[int, List[int]] = {}
         if batchable:
             cap_max = self.batch_buckets[-1]
             for i in idxs:
                 job = jobs[i]
-                if job.size > cap_max or (
-                    job.band is not None and not spec.batch_banded
-                ):
-                    singles.append(i)
+                if job.size > cap_max:
+                    _fall(i, "oversize")
+                    continue
+                if job.band is not None and not spec.batch_banded:
+                    _fall(i, "unbatchable_band")
                     continue
                 for cap in self.batch_buckets:
                     if job.size <= cap:
                         buckets.setdefault(cap, []).append(i)
                         break
         else:
-            singles = list(idxs)
+            for i in idxs:
+                _fall(i, "capability")
 
         for cap in sorted(buckets):
             bidxs = buckets[cap]
@@ -309,8 +318,10 @@ class KernelDispatch:
             # so big buckets need enough lanes to amortize it; thin
             # batches of long pairs run faster per pair.
             if len(bidxs) < max(2, cap // self.min_lane_div):
-                singles.extend(bidxs)
+                for i in bidxs:
+                    _fall(i, "thin_bucket")
                 continue
+            n_batches = 0
             for sub in self._split(bidxs, cap, path):
                 out = spec.batch_fn(
                     [jobs[i].target for i in sub],
@@ -324,10 +335,28 @@ class KernelDispatch:
                 for i, res in zip(sub, out):
                     results[i] = res
                 COUNTERS.inc("dispatch.batches")
+                n_batches += 1
             COUNTERS.inc("dispatch.batched_jobs", len(bidxs))
+            EVENTS.emit(
+                "dispatch.batch",
+                kernel=spec.name,
+                mode=mode,
+                path=path,
+                bucket=cap,
+                lanes=len(bidxs),
+                batches=n_batches,
+            )
 
         if singles:
             COUNTERS.inc("dispatch.fallback_jobs", len(singles))
+            EVENTS.emit(
+                "dispatch.fallback",
+                kernel=spec.name,
+                mode=mode,
+                path=path,
+                jobs=len(singles),
+                reasons=fallback_reasons,
+            )
         for i in singles:
             results[i] = self._run_single(jobs[i])
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 import dataclasses
 import io
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -98,6 +99,15 @@ class MapOptions:
     and, with ``progress_path``, as JSON records to that file. Setting
     only ``progress_path`` uses the default 2 s cadence. ``None``/
     ``None`` (default) starts no thread.
+    ``status_port`` — mount a :class:`repro.obs.statusd.StatusServer`
+    on ``127.0.0.1:status_port`` for the duration of the run, serving
+    ``/metrics`` (OpenMetrics), ``/status`` (JSON heartbeat), ``/events``
+    and ``/healthz``; ``0`` binds an OS-assigned free port (logged);
+    ``None`` (default) starts no server. The heartbeat and the server
+    share one :class:`repro.obs.export.RunSampler`.
+    ``events_path`` — mirror the run's structured event stream
+    (dispatch decisions, pool respawns, faults, heartbeats — the
+    :data:`repro.obs.events.EVENTS` ring) to this JSONL file.
     """
 
     backend: str = "serial"
@@ -116,6 +126,8 @@ class MapOptions:
     fault_policy: Optional["FaultPolicy"] = None
     progress_interval: Optional[float] = None
     progress_path: Optional[str] = None
+    status_port: Optional[int] = None
+    events_path: Optional[str] = None
 
     def replace(self, **changes) -> "MapOptions":
         """A copy with ``changes`` applied (unknown names: TypeError)."""
@@ -147,6 +159,12 @@ class MapOptions:
         if self.progress_interval is not None and self.progress_interval <= 0:
             raise SchedulerError(
                 f"progress_interval must be > 0: {self.progress_interval}"
+            )
+        if self.status_port is not None and not (
+            0 <= self.status_port <= 65535
+        ):
+            raise SchedulerError(
+                f"status_port must be in [0, 65535]: {self.status_port}"
             )
         return self
 
@@ -195,9 +213,16 @@ def _apply_kernel(aligner, opts: MapOptions) -> None:
 
 
 def _fault_telemetry(opts: MapOptions, telemetry):
-    """Ensure fault records are collected when the sidecar needs them."""
+    """Ensure a Telemetry exists when something downstream needs one:
+    the quarantine sidecar, the status server (run_id + gauges on
+    ``/status``), or the events sink (run-scoped event counts)."""
     pol = opts.fault_policy
-    if telemetry is None and pol is not None and pol.failed_reads:
+    needs = (
+        (pol is not None and pol.failed_reads)
+        or opts.status_port is not None
+        or opts.events_path is not None
+    )
+    if telemetry is None and needs:
         from .obs.telemetry import Telemetry
 
         return Telemetry()
@@ -215,20 +240,54 @@ def _finish_faults(opts: MapOptions, telemetry) -> None:
         )
 
 
-def _progress(opts: MapOptions, telemetry, total_reads: Optional[int] = None):
-    """The run's heartbeat reporter, or a no-op context manager."""
-    if opts.progress_interval is None and opts.progress_path is None:
-        from contextlib import nullcontext
+@contextmanager
+def _live_plane(opts: MapOptions, telemetry, total_reads: Optional[int] = None):
+    """The run's live telemetry plane, or a no-op context.
 
-        return nullcontext()
-    from .obs.progress import ProgressReporter
-
-    return ProgressReporter(
-        telemetry=telemetry,
-        interval=opts.progress_interval or 2.0,
-        total_reads=total_reads,
-        path=opts.progress_path,
+    One shared :class:`repro.obs.export.RunSampler` feeds both the
+    progress heartbeat and the ``--status-port`` HTTP endpoint, so the
+    JSONL beats and ``/status`` agree field for field; ``--events``
+    attaches the JSONL sink to the global event bus for the run.
+    """
+    want_progress = (
+        opts.progress_interval is not None or opts.progress_path is not None
     )
+    want_status = opts.status_port is not None
+    if not (want_progress or want_status or opts.events_path):
+        yield None
+        return
+    from .obs.events import EVENTS
+    from .obs.export import RunSampler
+
+    sampler = RunSampler(telemetry=telemetry, total_reads=total_reads)
+    if opts.events_path:
+        EVENTS.open_sink(opts.events_path)
+    server = reporter = None
+    try:
+        if want_status:
+            from .obs.statusd import StatusServer
+
+            server = StatusServer(
+                sampler=sampler, port=opts.status_port
+            ).start()
+        if want_progress:
+            from .obs.progress import ProgressReporter
+
+            reporter = ProgressReporter(
+                telemetry=telemetry,
+                interval=opts.progress_interval or 2.0,
+                total_reads=total_reads,
+                path=opts.progress_path,
+                sampler=sampler,
+            ).start()
+        yield sampler
+    finally:
+        if reporter is not None:
+            reporter.stop()
+        if server is not None:
+            server.stop()
+        if opts.events_path:
+            EVENTS.close_sink()
 
 
 def open_index(
@@ -281,7 +340,7 @@ def map_reads(
     opts = _resolve(options, overrides, aligner)
     _apply_kernel(aligner, opts)
     telemetry = _fault_telemetry(opts, telemetry)
-    with _progress(opts, telemetry, total_reads=len(reads)):
+    with _live_plane(opts, telemetry, total_reads=len(reads)):
         results = _backends.dispatch(
             aligner, reads, opts, profile=profile, telemetry=telemetry
         )
@@ -332,7 +391,7 @@ def map_file(
     source = iter_reads(os.fspath(reads_path))
     write_header()
     if opts.backend == "streaming":
-        with _progress(opts, telemetry):
+        with _live_plane(opts, telemetry):
             stats = stream_map(
                 aligner,
                 source,
@@ -361,7 +420,7 @@ def map_file(
 
     stats = StreamStats()
     batch_size = opts.chunk_reads * max(1, opts.workers) * 4
-    with _progress(opts, telemetry):
+    with _live_plane(opts, telemetry):
         while True:
             batch: List[SeqRecord] = []
             with stage("Load Query"):

@@ -7,6 +7,8 @@ Subcommands mirror the minimap2 workflow on synthetic data:
 * ``simulate`` — generate a synthetic genome and/or simulated reads.
 * ``report``   — render ``--metrics`` JSON file(s) as the paper's
   Table 2-style stage breakdown with GCUPS/counter footers.
+* ``top``      — refreshing terminal dashboard over a live run's
+  ``--status-port`` endpoint or a ``--progress-file`` JSONL.
 * ``bench``    — print a modeled paper table/figure (the measured +
   asserted versions live in ``benchmarks/``).
 
@@ -151,6 +153,8 @@ def _cmd_map(args: argparse.Namespace) -> int:
         fault_policy=policy,
         progress_interval=args.progress,
         progress_path=args.progress_file,
+        status_port=args.status_port,
+        events_path=args.events,
     )
     out = open(args.output, "w") if args.output else sys.stdout
     try:
@@ -228,6 +232,14 @@ def _cmd_map(args: argparse.Namespace) -> int:
                 "max_retries": args.max_retries,
                 "read_timeout": args.read_timeout,
             },
+            export={
+                k: v
+                for k, v in (
+                    ("status_port", args.status_port),
+                    ("events_path", args.events),
+                )
+                if v is not None
+            },
             reads={
                 "n_reads": stats.n_reads,
                 "total_bases": stats.total_bases,
@@ -290,6 +302,19 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .obs.top import run_top
+
+    try:
+        return run_top(
+            args.target,
+            interval=args.interval,
+            max_frames=1 if args.once else None,
+        )
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .obs.logs import get_logger
     from .obs.report import (
@@ -299,6 +324,19 @@ def _cmd_report(args: argparse.Namespace) -> int:
     )
 
     log = get_logger("cli")
+    if args.trajectory:
+        from .obs.report import render_trajectory
+
+        if args.metrics or args.compare:
+            log.error("--trajectory renders one JSONL file; drop the "
+                      "other arguments")
+            return 2
+        try:
+            print(render_trajectory(args.trajectory, fmt=args.format))
+        except (OSError, ValueError) as exc:
+            log.error("cannot render trajectory: %s", exc)
+            return 1
+        return 0
     if args.compare:
         from .obs.metrics import load_metrics
 
@@ -452,6 +490,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="also append each heartbeat as a JSON record to FILE",
     )
     pm.add_argument(
+        "--status-port",
+        metavar="PORT",
+        type=int,
+        default=None,
+        help="serve a live status endpoint on 127.0.0.1:PORT for the "
+        "duration of the run: /metrics (OpenMetrics/Prometheus), "
+        "/status (JSON heartbeat + queues + faults + ETA), /events, "
+        "/healthz; PORT 0 binds a free port (logged at startup)",
+    )
+    pm.add_argument(
+        "--events",
+        metavar="FILE",
+        help="mirror the structured event stream (dispatch decisions, "
+        "pool respawns, faults, heartbeats) to FILE as JSONL",
+    )
+    pm.add_argument(
         "--on-error",
         default="abort",
         choices=["abort", "skip", "retry"],
@@ -528,12 +582,43 @@ def build_parser() -> argparse.ArgumentParser:
         "(percent, default 10)",
     )
     pr.add_argument(
+        "--trajectory",
+        metavar="JSONL",
+        help="render a benchmarks/results/BENCH_trajectory.jsonl "
+        "perf-trajectory file (one appended record per CI bench run) "
+        "instead of metrics manifests",
+    )
+    pr.add_argument(
         "--format",
         default="table",
         choices=["table", "json", "markdown"],
         help="output rendering (default table)",
     )
     pr.set_defaults(fn=_cmd_report)
+
+    pt = sub.add_parser(
+        "top",
+        parents=[common],
+        help="refreshing terminal dashboard for a mapping run",
+    )
+    pt.add_argument(
+        "target",
+        help="a live run's status URL (http://127.0.0.1:PORT, from "
+        "map --status-port) or a --progress-file heartbeat JSONL path",
+    )
+    pt.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="refresh cadence (default 1.0)",
+    )
+    pt.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (snapshot mode)",
+    )
+    pt.set_defaults(fn=_cmd_top)
 
     pb = sub.add_parser(
         "bench", parents=[common], help="print a modeled paper table/figure"

@@ -19,6 +19,16 @@ every run of our pipeline produce the same evidence:
 * :mod:`~repro.obs.progress` — live heartbeat (``--progress``): a
   daemon thread sampling the shared counters into periodic status
   lines, off the hot path.
+* :mod:`~repro.obs.export` — the live exposition layer: one shared
+  :class:`~repro.obs.export.RunSampler` plus OpenMetrics/Prometheus
+  text and JSON status formatters over the registries.
+* :mod:`~repro.obs.statusd` — ``map --status-port``: an in-run stdlib
+  HTTP daemon serving ``/metrics``, ``/status``, ``/events`` and
+  ``/healthz`` (ROADMAP item 2's live status endpoint).
+* :mod:`~repro.obs.events` — bounded structured event bus (dispatch
+  decisions, pool respawns, faults, heartbeats; ``--events`` JSONL).
+* :mod:`~repro.obs.top` — ``manymap top``: a refreshing terminal
+  dashboard over a live ``/status`` endpoint or a heartbeat JSONL.
 * :mod:`~repro.obs.metrics` — the ``--metrics`` run manifest: config,
   machine, stage seconds, counters, histograms, derived GCUPS, peak
   RSS.
@@ -32,6 +42,8 @@ every run of our pipeline produce the same evidence:
 """
 
 from .counters import COUNTERS, CounterRegistry, counter_delta
+from .events import EVENTS, EventBus
+from .export import RunSampler, render_openmetrics, status_record
 from .gauges import GaugeSet
 from .hist import (
     HISTOGRAMS,
@@ -58,6 +70,7 @@ from .metrics import (
     write_metrics,
 )
 from .progress import ProgressReporter
+from .statusd import StatusServer
 from .report import (
     compare_metrics,
     render_compare,
@@ -72,6 +85,12 @@ __all__ = [
     "COUNTERS",
     "CounterRegistry",
     "counter_delta",
+    "EVENTS",
+    "EventBus",
+    "RunSampler",
+    "render_openmetrics",
+    "status_record",
+    "StatusServer",
     "GaugeSet",
     "HISTOGRAMS",
     "Histogram",

@@ -1,0 +1,159 @@
+"""Bounded structured event bus: what the runtime *decided*, live.
+
+Counters say how much work happened and histograms how it was
+distributed; neither says *why* — which bucket the dispatch layer
+chose for a chunk's DP jobs, why a job fell back to the per-pair
+engine, that a process pool was respawned after a worker died, that a
+read was quarantined. Those are discrete decisions, and the
+Seed-Filter-Extend dataflow literature (PAPERS.md) treats exactly this
+stage-level audit trail as the signal that drives pipeline tuning.
+
+:class:`EventBus` keeps the most recent events in a fixed-size ring
+(old events fall off the back — a multi-hour run cannot grow memory),
+counts events by kind for the metrics manifest, and optionally mirrors
+every event to a JSONL sink (``map --events FILE``). The process-global
+:data:`EVENTS` bus is what the instrumented modules emit into:
+
+* :mod:`repro.align.dispatch` — per-bucket batching decisions and
+  per-pair fallbacks with their reason;
+* :mod:`repro.runtime.faults` — pool respawns and (via
+  :meth:`repro.obs.telemetry.Telemetry.record_faults`) quarantines and
+  watchdog fallbacks;
+* :mod:`repro.runtime.procpool` — chunk dispatch/completion;
+* :mod:`repro.obs.progress` — heartbeats.
+
+Emission happens at *decision* granularity (per chunk / per bucket /
+per fault), never per read on the clean path and never per cell, so the
+bus costs a dict build and a deque append under a lock — noise next to
+one DP call. Worker *processes* carry their own module-level bus;
+their events stay process-local (events are a live diagnostic stream,
+not accounting — counters and histograms are what ships home), so on
+the process backends the parent's bus holds the parent-side story:
+chunk lifecycle, respawns, faults, heartbeats.
+
+The ``/events`` endpoint of :mod:`repro.obs.statusd` serves the ring's
+recent tail; ``Telemetry`` snapshots :meth:`EventBus.counts` at
+construction so manifests carry run-scoped per-kind counts (schema v6).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+__all__ = ["EventBus", "EVENTS"]
+
+
+class EventBus:
+    """A bounded ring of structured events + per-kind counts.
+
+    ``capacity`` bounds the ring; the counts keep growing (they are a
+    handful of ints). All methods are thread-safe; :meth:`emit` is the
+    only one on any remotely warm path.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._ring: "deque[Dict]" = deque(maxlen=capacity)
+        self._counts: Dict[str, int] = {}
+        self._seq = 0
+        self._sink = None
+
+    # -- emission ------------------------------------------------------ #
+
+    def emit(self, kind: str, **data) -> Dict:
+        """Record one event; returns the record that was stored.
+
+        The record carries a monotonically increasing ``seq`` (so a
+        poller can detect what it already saw even after ring
+        eviction), a wall-clock ``ts``, the ``kind``, and the keyword
+        payload verbatim.
+        """
+        rec = {"record": "event", "kind": kind, "ts": time.time(), **data}
+        with self._lock:
+            self._seq += 1
+            rec["seq"] = self._seq
+            self._ring.append(rec)
+            self._counts[kind] = self._counts.get(kind, 0) + 1
+            sink = self._sink
+            if sink is not None:
+                sink.write(json.dumps(rec, sort_keys=True))
+                sink.write("\n")
+        return rec
+
+    # -- reading ------------------------------------------------------- #
+
+    def recent(
+        self,
+        limit: Optional[int] = None,
+        kind: Optional[str] = None,
+        after_seq: int = 0,
+    ) -> List[Dict]:
+        """The newest events, oldest first.
+
+        ``limit`` caps the tail length, ``kind`` filters by event kind,
+        ``after_seq`` skips events a poller has already consumed.
+        """
+        with self._lock:
+            events = list(self._ring)
+        if kind is not None:
+            events = [e for e in events if e["kind"] == kind]
+        if after_seq:
+            events = [e for e in events if e["seq"] > after_seq]
+        if limit is not None and limit >= 0:
+            events = events[-limit:]
+        return events
+
+    def counts(self) -> Dict[str, int]:
+        """Per-kind emission counts since process start (or :meth:`clear`)."""
+        with self._lock:
+            return dict(self._counts)
+
+    @property
+    def seq(self) -> int:
+        """Sequence number of the most recent event (0 when none)."""
+        with self._lock:
+            return self._seq
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    # -- JSONL sink ---------------------------------------------------- #
+
+    def open_sink(self, path: str) -> None:
+        """Mirror every subsequent event to ``path`` as JSONL.
+
+        One sink at a time; opening replaces (and closes) the previous
+        one. The ring keeps working either way.
+        """
+        fh = open(path, "w")
+        with self._lock:
+            old, self._sink = self._sink, fh
+        if old is not None:
+            old.close()
+
+    def close_sink(self) -> None:
+        """Flush + detach the JSONL sink; idempotent."""
+        with self._lock:
+            old, self._sink = self._sink, None
+        if old is not None:
+            old.close()
+
+    # -- test/bench helpers -------------------------------------------- #
+
+    def clear(self) -> None:
+        """Drop ring + counts (not the sink). Test helper."""
+        with self._lock:
+            self._ring.clear()
+            self._counts.clear()
+
+
+#: The process-global bus every instrumented module emits into.
+EVENTS = EventBus()

@@ -1,0 +1,243 @@
+"""Live exposition of the run registries: OpenMetrics text + JSON status.
+
+Everything the observability layer collects (PR 2/5) was post-mortem:
+counters, histograms and gauges only materialized into a manifest after
+the run ended. This module is the *export* layer over the same
+registries — one shared point-in-time sampling path
+(:class:`RunSampler`) that both the progress heartbeat
+(:mod:`repro.obs.progress`) and the in-run status endpoint
+(:mod:`repro.obs.statusd`) read through, plus two formatters over a
+sample:
+
+* :func:`render_openmetrics` — Prometheus / OpenMetrics text format.
+  Counters become ``<name>_total`` counter families, gauges become
+  gauge families, and the log2-bucket histograms become real
+  OpenMetrics histograms: bucket ``e`` (covering ``[2**(e-1), 2**e)``)
+  contributes a cumulative ``le="2**e"`` bucket, the ``zeros`` slot
+  folds into every bucket (zero is ≤ any positive bound), and
+  ``le="+Inf"``/``_count``/``_sum`` close the family. Any scraper that
+  speaks Prometheus exposition can consume ``GET /metrics`` directly.
+* :func:`status_record` — the JSON ``/status`` document: the heartbeat
+  record (reads done, rates, GCUPS, ETA) plus queue-depth gauges,
+  batch occupancy and fault counters.
+
+Sampling never touches the hot path: workers keep incrementing their
+lock-free shards and the sampler takes best-effort snapshots at poll
+frequency, exactly like the progress heartbeat always has.
+
+ETA uses a **sliding-window rate** (the last :data:`ETA_WINDOW`
+samples), not the cumulative average, so after a slow warm-up chunk
+the estimate reflects current throughput; it is ``None`` whenever the
+window rate is zero or the total is unknown.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from typing import Dict, Optional
+
+from .counters import COUNTERS, counter_delta
+from .hist import HISTOGRAMS, hist_delta
+
+__all__ = [
+    "ETA_WINDOW",
+    "RunSampler",
+    "metric_name",
+    "render_openmetrics",
+    "status_record",
+]
+
+#: Sliding-window width (samples) for the ETA rate estimate.
+ETA_WINDOW = 8
+
+
+class RunSampler:
+    """One run's point-in-time view over the shared registries.
+
+    With a :class:`~repro.obs.telemetry.Telemetry` the counter and
+    histogram baselines are the telemetry's (taken at its
+    construction); without one, baselines are taken when the sampler is
+    built. ``total_reads`` enables the ETA estimate (``None`` for
+    streamed inputs of unknown length).
+
+    :meth:`sample` is the single heartbeat-record producer shared by
+    the progress reporter and the status daemon. Calls with
+    ``update=True`` (the heartbeat) advance the sliding rate window;
+    read-only calls (``update=False``, the status endpoint) compute the
+    window rate against the existing window without perturbing the
+    heartbeat's cadence.
+    """
+
+    def __init__(
+        self,
+        telemetry=None,
+        total_reads: Optional[int] = None,
+        window: int = ETA_WINDOW,
+    ) -> None:
+        self.telemetry = telemetry
+        self.total_reads = total_reads
+        self._t0 = time.monotonic()
+        self._baseline: Dict[str, int] = (
+            {} if telemetry is not None else COUNTERS.totals()
+        )
+        self._hist_baseline: Dict[str, Dict] = (
+            {} if telemetry is not None else HISTOGRAMS.snapshot()
+        )
+        # (elapsed_s, reads_done) points; seeded with the run origin so
+        # the very first sample already has a window rate.
+        self._window: "deque" = deque([(0.0, 0)], maxlen=max(2, window))
+        self._lock = threading.Lock()
+
+    @property
+    def run_id(self) -> str:
+        return getattr(self.telemetry, "run_id", "")
+
+    # -- registry views ------------------------------------------------ #
+
+    def counters(self) -> Dict[str, int]:
+        """Run-scoped counter totals (live, best-effort mid-run)."""
+        if self.telemetry is not None:
+            return self.telemetry.counters()
+        return counter_delta(COUNTERS.totals(), self._baseline)
+
+    def gauges(self) -> Dict[str, float]:
+        """The run's gauge snapshot (empty without a telemetry)."""
+        if self.telemetry is not None:
+            return self.telemetry.gauges.snapshot()
+        return {}
+
+    def histograms(self) -> Dict[str, Dict]:
+        """Run-scoped histograms in serialized (``to_json``) form."""
+        if self.telemetry is not None:
+            return self.telemetry.histograms_raw()
+        return hist_delta(HISTOGRAMS.snapshot(), self._hist_baseline)
+
+    # -- the heartbeat record ------------------------------------------ #
+
+    def sample(self, final: bool = False, update: bool = True) -> Dict:
+        """One heartbeat record sampled from the shared registries."""
+        counters = self.counters()
+        elapsed = time.monotonic() - self._t0
+        done = int(counters.get("reads_done", 0))
+        cells = int(counters.get("dp_cells", 0))
+        rate = done / elapsed if elapsed > 0 else 0.0
+        with self._lock:
+            w_t, w_done = self._window[0]
+            last_t, last_done = self._window[-1]
+            if update:
+                self._window.append((elapsed, done))
+        w_dt = elapsed - w_t
+        window_rate = (done - w_done) / w_dt if w_dt > 0 else 0.0
+        dt = elapsed - last_t
+        interval_rate = (done - last_done) / dt if dt > 0 else 0.0
+        eta: Optional[float] = None
+        if self.total_reads is not None and window_rate > 0:
+            eta = max(self.total_reads - done, 0) / window_rate
+        queues: Dict[str, float] = {}
+        for k, v in self.gauges().items():
+            if "queue" in k or k.endswith("reorder.reads.max"):
+                queues[k] = v
+        return {
+            "record": "progress",
+            "run_id": self.run_id,
+            "final": bool(final),
+            "elapsed_s": elapsed,
+            "reads_done": done,
+            "total_reads": self.total_reads,
+            "reads_per_s": rate,
+            "window_reads_per_s": window_rate,
+            "interval_reads_per_s": interval_rate,
+            "dp_cells": cells,
+            # aggregate GCUPS: cell updates over wall-clock, all workers.
+            "gcups": cells / elapsed / 1e9 if elapsed > 0 else 0.0,
+            "quarantined": int(counters.get("fault.quarantined", 0)),
+            "queues": queues,
+            "eta_s": eta,
+        }
+
+
+# --------------------------------------------------------------------- #
+# OpenMetrics / Prometheus text exposition
+
+
+def metric_name(name: str, prefix: str = "manymap_") -> str:
+    """A registry key as a legal Prometheus metric name.
+
+    Dots and every other non-``[a-zA-Z0-9_]`` character become ``_``
+    (``fault.quarantined`` → ``manymap_fault_quarantined``).
+    """
+    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if safe and safe[0].isdigit():
+        safe = "_" + safe
+    return prefix + safe
+
+
+def _fmt(value: float) -> str:
+    """Exposition float formatting: integers render without a dot."""
+    f = float(value)
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _hist_lines(name: str, h: Dict, lines: list) -> None:
+    """One serialized histogram as a cumulative-``le`` family."""
+    lines.append(f"# TYPE {name} histogram")
+    count = int(h.get("count", 0))
+    # The zeros slot holds values <= 0, which are below every positive
+    # log2 bound, so it seeds the cumulative count.
+    cum = int(h.get("zeros", 0))
+    for e in sorted(int(k) for k in (h.get("buckets") or {})):
+        cum += int(h["buckets"][str(e)])
+        lines.append(
+            f'{name}_bucket{{le="{_fmt(math.ldexp(1.0, e))}"}} {cum}'
+        )
+    lines.append(f'{name}_bucket{{le="+Inf"}} {count}')
+    lines.append(f"{name}_count {count}")
+    lines.append(f"{name}_sum {_fmt(h.get('sum', 0.0))}")
+
+
+def render_openmetrics(
+    counters: Dict[str, int],
+    gauges: Optional[Dict[str, float]] = None,
+    histograms: Optional[Dict[str, Dict]] = None,
+) -> str:
+    """Render registry snapshots as OpenMetrics text (ends in ``# EOF``)."""
+    lines: list = []
+    for key in sorted(counters):
+        name = metric_name(key)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name}_total {_fmt(counters[key])}")
+    for key in sorted(gauges or {}):
+        name = metric_name(key)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt(gauges[key])}")
+    for key in sorted(histograms or {}):
+        _hist_lines(metric_name(key), histograms[key], lines)
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+#: Content type a compliant OpenMetrics scraper expects.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+
+def status_record(sampler: RunSampler) -> Dict:
+    """The ``/status`` JSON document: heartbeat + occupancy + faults."""
+    from .metrics import batch_summary
+
+    counters = sampler.counters()
+    rec = sampler.sample(update=False)
+    rec["record"] = "status"
+    rec["batch"] = batch_summary(counters)
+    rec["faults"] = {
+        k.split(".", 1)[1]: v
+        for k, v in counters.items()
+        if k.startswith("fault.")
+    }
+    return rec

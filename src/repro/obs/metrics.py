@@ -45,9 +45,11 @@ __all__ = [
 #: (per-stage latency / read-length / band-width distributions with
 #: p50/p90/p99); v5 adds the optional ``batch`` object (cross-read
 #: wavefront batching: lane occupancy, padding waste, zdrop-retired
-#: lanes, dispatch batched-vs-fallback split). v1-v4 manifests remain
-#: valid.
-SCHEMA_VERSION = 5
+#: lanes, dispatch batched-vs-fallback split); v6 adds the optional
+#: ``export`` config block (live telemetry plane: status_port, events
+#: path) and the ``events`` summary (per-kind structured event counts
+#: from the run's event bus). v1-v5 manifests remain valid.
+SCHEMA_VERSION = 6
 
 
 def machine_info() -> Dict:
@@ -124,13 +126,15 @@ def build_metrics(
     config: Optional[Dict] = None,
     reads: Optional[Dict] = None,
     label: str = "",
+    export: Optional[Dict] = None,
 ) -> Dict:
     """Assemble the full run manifest.
 
     ``profile`` is a :class:`~repro.core.profiling.PipelineProfile`;
     ``telemetry`` a :class:`~repro.obs.telemetry.Telemetry` whose
     run-scoped counter delta is recorded. ``reads`` may carry
-    ``n_reads`` / ``total_bases`` / ``n_mapped``.
+    ``n_reads`` / ``total_bases`` / ``n_mapped``; ``export`` the live
+    telemetry plane's config (``status_port`` / ``events_path``).
     """
     from ..eval.resources import peak_rss_bytes
 
@@ -155,6 +159,12 @@ def build_metrics(
         "batch": batch_summary(counters),
         "faults": telemetry.fault_summary(),
         "histograms": telemetry.histograms(),
+        "export": dict(export or {}),
+        "events": (
+            telemetry.events_summary()
+            if hasattr(telemetry, "events_summary")
+            else {}
+        ),
         "derived": derive_metrics(
             stages,
             counters,

@@ -10,10 +10,20 @@ path pays nothing: workers keep incrementing their lock-free shards
 and the heartbeat reads a snapshot at 0.5 Hz-ish, never the other way
 around.
 
+The sampling itself lives in :class:`repro.obs.export.RunSampler` — one
+point-in-time record producer shared with the in-run status endpoint
+(:mod:`repro.obs.statusd`), so ``/status`` and the heartbeat JSONL
+always agree field for field. The ETA comes from the sampler's
+sliding-window rate (current throughput, not the cumulative average —
+a slow warm-up chunk stops haunting the estimate after the window
+rolls past it) and is ``null`` whenever the window rate is zero or the
+total is unknown.
+
 Each beat emits (a) one human line through the ``repro.progress``
-logger (stderr) and (b), when a path is given, one JSON record to a
-heartbeat JSONL file stamped with the run id. The reporter always
-emits a final beat on :meth:`stop` — inside a ``finally`` this
+logger (stderr), (b), when a path is given, one JSON record to a
+heartbeat JSONL file stamped with the run id, and (c) a ``heartbeat``
+event on the global :data:`~repro.obs.events.EVENTS` bus. The reporter
+always emits a final beat on :meth:`stop` — inside a ``finally`` this
 guarantees at least one line and a joined thread whether the run
 succeeded, was interrupted (KeyboardInterrupt), or aborted on a fault.
 """
@@ -25,7 +35,8 @@ import threading
 import time
 from typing import Dict, Optional
 
-from .counters import COUNTERS, counter_delta
+from .events import EVENTS
+from .export import RunSampler
 from .logs import get_logger
 
 __all__ = ["ProgressReporter"]
@@ -39,7 +50,9 @@ class ProgressReporter:
     when the reporter starts. ``total_reads`` enables the ETA estimate
     (unknown for streamed inputs — ``eta_s`` is then ``null``).
     ``path`` appends one JSON record per beat; stderr logging happens
-    either way.
+    either way. ``sampler`` shares an existing
+    :class:`~repro.obs.export.RunSampler` (the status daemon's) instead
+    of building one at :meth:`start`.
     """
 
     def __init__(
@@ -48,6 +61,7 @@ class ProgressReporter:
         interval: float = 2.0,
         total_reads: Optional[int] = None,
         path: Optional[str] = None,
+        sampler: Optional[RunSampler] = None,
     ) -> None:
         if interval <= 0:
             raise ValueError(f"interval must be > 0: {interval}")
@@ -56,12 +70,10 @@ class ProgressReporter:
         self.total_reads = total_reads
         self.path = path
         self.beats = 0
+        self.sampler = sampler
         self._fh = None
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
-        self._t0 = 0.0
-        self._baseline: Dict[str, int] = {}
-        self._last = (0.0, 0)  # (elapsed, reads_done) of the previous beat
         self._log = get_logger("progress")
         self._lock = threading.Lock()
 
@@ -70,9 +82,10 @@ class ProgressReporter:
     def start(self) -> "ProgressReporter":
         if self._thread is not None:
             return self
-        self._t0 = time.monotonic()
-        if self.telemetry is None:
-            self._baseline = COUNTERS.totals()
+        if self.sampler is None:
+            self.sampler = RunSampler(
+                telemetry=self.telemetry, total_reads=self.total_reads
+            )
         if self.path:
             self._fh = open(self.path, "a")
         self._thread = threading.Thread(
@@ -102,48 +115,13 @@ class ProgressReporter:
 
     # -- sampling ------------------------------------------------------ #
 
-    def _counters(self) -> Dict[str, int]:
-        if self.telemetry is not None:
-            return self.telemetry.counters()
-        return counter_delta(COUNTERS.totals(), self._baseline)
-
     def sample(self, final: bool = False) -> Dict:
         """One heartbeat record, sampled from the shared registries."""
-        counters = self._counters()
-        elapsed = time.monotonic() - self._t0
-        done = int(counters.get("reads_done", 0))
-        cells = int(counters.get("dp_cells", 0))
-        rate = done / elapsed if elapsed > 0 else 0.0
-        last_t, last_done = self._last
-        dt = elapsed - last_t
-        interval_rate = (done - last_done) / dt if dt > 0 else 0.0
-        self._last = (elapsed, done)
-        eta: Optional[float] = None
-        if self.total_reads is not None and rate > 0:
-            eta = max(self.total_reads - done, 0) / rate
-        queues: Dict[str, float] = {}
-        quarantined = int(counters.get("fault.quarantined", 0))
-        if self.telemetry is not None:
-            for k, v in self.telemetry.gauges.snapshot().items():
-                if "queue" in k or k.endswith("reorder.reads.max"):
-                    queues[k] = v
-        record = {
-            "record": "progress",
-            "run_id": getattr(self.telemetry, "run_id", ""),
-            "final": bool(final),
-            "elapsed_s": elapsed,
-            "reads_done": done,
-            "total_reads": self.total_reads,
-            "reads_per_s": rate,
-            "interval_reads_per_s": interval_rate,
-            "dp_cells": cells,
-            # aggregate GCUPS: cell updates over wall-clock, all workers.
-            "gcups": cells / elapsed / 1e9 if elapsed > 0 else 0.0,
-            "quarantined": quarantined,
-            "queues": queues,
-            "eta_s": eta,
-        }
-        return record
+        if self.sampler is None:  # sampling before start(): fresh scope
+            self.sampler = RunSampler(
+                telemetry=self.telemetry, total_reads=self.total_reads
+            )
+        return self.sampler.sample(final=final)
 
     # -- emission ------------------------------------------------------ #
 
@@ -168,6 +146,15 @@ class ProgressReporter:
                 self._fh.write(json.dumps(rec, sort_keys=True))
                 self._fh.write("\n")
                 self._fh.flush()
+            EVENTS.emit(
+                "heartbeat",
+                run_id=rec["run_id"],
+                final=rec["final"],
+                reads_done=rec["reads_done"],
+                reads_per_s=rec["reads_per_s"],
+                gcups=rec["gcups"],
+                eta_s=rec["eta_s"],
+            )
 
     def _run(self) -> None:
         while not self._stop.wait(self.interval):

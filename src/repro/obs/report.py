@@ -25,6 +25,7 @@ __all__ = [
     "render_metrics_files",
     "compare_metrics",
     "render_compare",
+    "render_trajectory",
     "REPORT_FORMATS",
     "GATED_METRICS",
 ]
@@ -197,6 +198,15 @@ def render_metrics(manifests: Sequence[Dict]) -> str:
                 if isinstance(gauges[name], float)
                 else f"{name:<{width}}  {gauges[name]:>14}"
                 for name in sorted(gauges)
+            )
+        events = manifests[0].get("events") or {}
+        if events:
+            width = max(len(k) for k in events)
+            lines.append("")
+            lines.append(f"Events ({sum(events.values())})")
+            lines.extend(
+                f"{name:<{width}}  {events[name]:>14}"
+                for name in sorted(events)
             )
         faults = manifests[0].get("faults") or {}
         if faults.get("n_faults"):
@@ -430,4 +440,77 @@ def render_compare(cmp: Dict, fmt: str = "table") -> str:
         lines.append(
             "FAIL: regression in " + ", ".join(cmp["regressions"])
         )
+    return "\n".join(lines)
+
+
+# -- perf trajectory ---------------------------------------------------- #
+
+
+def render_trajectory(path: str, fmt: str = "table") -> str:
+    """Render a ``BENCH_trajectory.jsonl`` perf-trajectory file.
+
+    Each CI bench run appends one record
+    (:func:`benchmarks._common.append_trajectory`): bench name, commit,
+    timestamp, and headline numbers (reads/s, GCUPS, peak RSS). This
+    renders the accumulated history per bench, oldest first, so the
+    perf trend across PRs is one command away.
+    """
+    import time as _time
+
+    if fmt not in REPORT_FORMATS:
+        raise ValueError(
+            f"unknown report format {fmt!r}; expected one of {REPORT_FORMATS}"
+        )
+    records: List[Dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("record") == "bench":
+                records.append(rec)
+    if not records:
+        return "(no trajectory records)"
+    if fmt == "json":
+        return json.dumps(records, indent=2, sort_keys=True)
+    records.sort(key=lambda r: (r.get("bench", ""), r.get("created_unix", 0)))
+
+    def cells(rec: Dict) -> List[str]:
+        ts = rec.get("created_unix")
+        when = (
+            _time.strftime("%Y-%m-%d %H:%M", _time.gmtime(ts))
+            if ts
+            else "?"
+        )
+        rss = rec.get("peak_rss_bytes")
+        return [
+            str(rec.get("bench", "?")),
+            when,
+            str(rec.get("commit", ""))[:10] or "-",
+            f"{float(rec.get('reads_per_s', 0.0)):.2f}",
+            f"{float(rec.get('gcups', 0.0)):.4f}",
+            human_bytes(int(rss)) if rss else "-",
+        ]
+
+    header = ["bench", "when (UTC)", "commit", "reads/s", "GCUPS", "peak RSS"]
+    table = [cells(r) for r in records]
+    if fmt == "markdown":
+        lines = [
+            "| " + " | ".join(header) + " |",
+            "|---" * len(header) + "|",
+        ]
+        lines.extend("| " + " | ".join(row) + " |" for row in table)
+        return "\n".join(lines)
+    widths = [
+        max(len(header[i]), max(len(row[i]) for row in table))
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(f"{header[i]:<{widths[i]}}" for i in range(len(header)))
+    ]
+    lines.extend(
+        "  ".join(f"{row[i]:<{widths[i]}}" for i in range(len(header)))
+        for row in table
+    )
     return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""In-run status endpoint: a stdlib HTTP daemon over the live registries.
+
+ROADMAP item 2 (mapping-as-a-service) needs the progress/gauge
+registries exposed as a live status endpoint; this is that substrate.
+``map --status-port N`` (or :attr:`repro.api.MapOptions.status_port`)
+mounts a :class:`StatusServer` for the duration of the run: a
+``ThreadingHTTPServer`` on a daemon thread, bound to ``127.0.0.1``
+(``port=0`` asks the OS for a free port — the bound port is logged and
+available as :attr:`StatusServer.port`), serving:
+
+``GET /metrics``
+    The run's counters, gauges and histograms as OpenMetrics /
+    Prometheus text (:func:`repro.obs.export.render_openmetrics`) —
+    point a Prometheus scrape job straight at it.
+``GET /status``
+    One JSON document: the heartbeat record (reads done, rates, GCUPS,
+    sliding-window ETA, run_id), queue-depth gauges, batch occupancy
+    and fault counters (:func:`repro.obs.export.status_record`).
+``GET /events``
+    The recent tail of the structured event ring
+    (:data:`repro.obs.events.EVENTS`); ``?limit=N``, ``?kind=K`` and
+    ``?after_seq=S`` filter it.
+``GET /healthz``
+    ``200 ok`` while the server is up — a liveness probe.
+
+Requests *sample* the same lock-free shards the heartbeat samples; the
+mapping hot path is never touched, so scraping cannot slow a run (the
+overhead gate in ``benchmarks/bench_metrics_smoke.py`` holds this to
+<=2%). Works on all four backends: the process backends already merge
+worker counter/histogram deltas into the parent registries per
+completed chunk, so mid-run samples see live totals, not end-of-run
+ones.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlparse
+
+from .events import EVENTS
+from .export import OPENMETRICS_CONTENT_TYPE, RunSampler, render_openmetrics, status_record
+from .logs import get_logger
+
+__all__ = ["StatusServer"]
+
+
+class _StatusHandler(BaseHTTPRequestHandler):
+    """Routes one request against the server's sampler. Stateless."""
+
+    server_version = "manymap-statusd"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        route = url.path.rstrip("/") or "/"
+        if route == "/metrics":
+            sampler = self.server.sampler
+            body = render_openmetrics(
+                sampler.counters(), sampler.gauges(), sampler.histograms()
+            ).encode("utf-8")
+            self._reply(200, OPENMETRICS_CONTENT_TYPE, body)
+        elif route == "/status":
+            rec = status_record(self.server.sampler)
+            self._reply_json(200, rec)
+        elif route == "/events":
+            q = parse_qs(url.query)
+
+            def _int(key: str, default):
+                try:
+                    return int(q[key][0])
+                except (KeyError, IndexError, ValueError):
+                    return default
+
+            events = EVENTS.recent(
+                limit=_int("limit", 100),
+                kind=q.get("kind", [None])[0],
+                after_seq=_int("after_seq", 0),
+            )
+            self._reply_json(
+                200,
+                {
+                    "record": "events",
+                    "run_id": self.server.sampler.run_id,
+                    "seq": EVENTS.seq,
+                    "counts": EVENTS.counts(),
+                    "events": events,
+                },
+            )
+        elif route == "/" or route == "/healthz":
+            self._reply(200, "text/plain; charset=utf-8", b"ok\n")
+        else:
+            self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+
+    # -- plumbing ------------------------------------------------------ #
+
+    def _reply(self, code: int, ctype: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_json(self, code: int, doc) -> None:
+        body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+        self._reply(code, "application/json; charset=utf-8", body)
+
+    def log_message(self, fmt, *args) -> None:  # pragma: no cover
+        # Route access logs through our logger at debug, not stderr spam.
+        get_logger("statusd").debug("%s " + fmt, self.address_string(), *args)
+
+
+class StatusServer:
+    """The per-run HTTP status daemon; a context manager.
+
+    ``sampler`` is the run's shared :class:`RunSampler` (the same one
+    the progress heartbeat uses). ``port=0`` binds an OS-assigned free
+    port; read :attr:`port` (or :attr:`url`) after :meth:`start` for
+    the real one. Serving happens on daemon threads, so a crashed or
+    interrupted run never hangs on the server.
+    """
+
+    def __init__(
+        self,
+        sampler: Optional[RunSampler] = None,
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        if port < 0 or port > 65535:
+            raise ValueError(f"port must be in [0, 65535]: {port}")
+        self.sampler = sampler or RunSampler()
+        self._requested = (host, int(port))
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._log = get_logger("statusd")
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    @property
+    def port(self) -> int:
+        """The bound port (0 until :meth:`start`)."""
+        return self._httpd.server_address[1] if self._httpd else 0
+
+    @property
+    def url(self) -> str:
+        host = self._requested[0]
+        return f"http://{host}:{self.port}" if self._httpd else ""
+
+    def start(self) -> "StatusServer":
+        if self._httpd is not None:
+            return self
+        httpd = ThreadingHTTPServer(self._requested, _StatusHandler)
+        httpd.daemon_threads = True
+        httpd.sampler = self.sampler
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name="statusd",
+            daemon=True,
+            kwargs={"poll_interval": 0.1},
+        )
+        self._thread.start()
+        self._log.info("status server listening on %s", self.url)
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down and join the serving thread; idempotent."""
+        httpd, self._httpd = self._httpd, None
+        thread, self._thread = self._thread, None
+        if httpd is None:
+            return
+        httpd.shutdown()
+        if thread is not None:
+            thread.join()
+        httpd.server_close()
+
+    def __enter__(self) -> "StatusServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -44,6 +44,7 @@ import uuid
 from typing import Dict, Iterator, List, Optional
 
 from .counters import COUNTERS, counter_delta
+from .events import EVENTS
 from .gauges import GaugeSet
 from .hist import HISTOGRAMS, hist_delta, summarize
 
@@ -103,6 +104,7 @@ class Telemetry:
         self._sink_lock = threading.Lock()
         self._baseline = COUNTERS.totals()
         self._hist_baseline = HISTOGRAMS.snapshot()
+        self._events_baseline = EVENTS.counts()
 
     # -- spans --------------------------------------------------------- #
 
@@ -138,9 +140,26 @@ class Telemetry:
     # -- faults -------------------------------------------------------- #
 
     def record_faults(self, faults: List) -> None:
-        """Collect fault records shipped home with backend results."""
-        if faults:
-            self.faults.extend(faults)
+        """Collect fault records shipped home with backend results.
+
+        This is the parent-side choke point on every backend (serial,
+        threads, processes, streaming), so it also emits one ``fault``
+        event per record onto the global bus — worker-process buses are
+        process-local, but the fault stream still reaches the parent's
+        ``/events`` ring and JSONL sink this way.
+        """
+        if not faults:
+            return
+        self.faults.extend(faults)
+        for f in faults:
+            EVENTS.emit(
+                "fault",
+                run_id=self.run_id,
+                read=getattr(f, "read", ""),
+                action=getattr(f, "action", ""),
+                reason=getattr(f, "reason", ""),
+                attempts=getattr(f, "attempts", 0),
+            )
 
     def fault_summary(self) -> Dict:
         """The manifest's ``faults`` object (schema v3, additive)."""
@@ -168,9 +187,23 @@ class Telemetry:
     def histograms(self) -> Dict[str, Dict]:
         """Run-scoped histogram summaries (manifest ``histograms`` form:
         count/sum/min/max/mean, p50/p90/p99, raw log2 buckets)."""
-        return summarize(
-            hist_delta(HISTOGRAMS.snapshot(), self._hist_baseline)
-        )
+        return summarize(self.histograms_raw())
+
+    def histograms_raw(self) -> Dict[str, Dict]:
+        """Run-scoped histograms in serialized (``to_json``) form —
+        what the OpenMetrics exporter renders as cumulative buckets."""
+        return hist_delta(HISTOGRAMS.snapshot(), self._hist_baseline)
+
+    def events_summary(self) -> Dict[str, int]:
+        """Run-scoped per-kind event counts (manifest ``events`` object,
+        schema v6): the global bus's counts minus the construction-time
+        baseline."""
+        now = EVENTS.counts()
+        return {
+            k: v - self._events_baseline.get(k, 0)
+            for k, v in now.items()
+            if v - self._events_baseline.get(k, 0) > 0
+        }
 
     # -- output -------------------------------------------------------- #
 

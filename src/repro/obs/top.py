@@ -1,0 +1,238 @@
+"""``repro top``: a refreshing terminal dashboard for a mapping run.
+
+Two attachment modes, one renderer:
+
+* **Live**: ``repro top http://127.0.0.1:8765`` polls the run's
+  ``/status`` endpoint (:mod:`repro.obs.statusd`) every ``interval``
+  seconds and redraws. Exits when the endpoint stops answering (the
+  run finished and tore the server down).
+* **Tail**: ``repro top progress.jsonl`` follows a heartbeat JSONL
+  file written by ``map --progress --progress-file``; new beats redraw
+  the dashboard, the ``final`` beat ends it. Works on a file that is
+  still being written *or* after the fact (renders the last record).
+
+The dashboard shows what an operator actually watches: progress bar +
+ETA, reads/s (cumulative and current window), aggregate GCUPS, lane
+occupancy of the batched wavefront kernel, queue depths, and fault
+counts. Rendering is plain ANSI (cursor-home + clear-to-end), stdlib
+only, and degrades to sequential frames when stdout is not a TTY.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+
+__all__ = ["fetch_status", "render_dashboard", "run_top"]
+
+#: Poll cadence (seconds) when none is given.
+DEFAULT_INTERVAL = 1.0
+
+
+def _is_url(target: str) -> bool:
+    return target.startswith("http://") or target.startswith("https://")
+
+
+def fetch_status(url: str, timeout: float = 2.0) -> Dict:
+    """One ``/status`` document from a live run."""
+    base = url.rstrip("/")
+    if not base.endswith("/status"):
+        base = base + "/status"
+    with urllib.request.urlopen(base, timeout=timeout) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def _bar(done: int, total: Optional[int], width: int = 30) -> str:
+    if not total:
+        return "[" + "?" * width + "]"
+    frac = min(max(done / total, 0.0), 1.0)
+    fill = int(round(frac * width))
+    return "[" + "#" * fill + "-" * (width - fill) + f"] {100 * frac:5.1f}%"
+
+
+def _eta(rec: Dict) -> str:
+    eta = rec.get("eta_s")
+    if eta is None:
+        return "--"
+    eta = int(eta)
+    if eta >= 3600:
+        return f"{eta // 3600}h{(eta % 3600) // 60:02d}m"
+    if eta >= 60:
+        return f"{eta // 60}m{eta % 60:02d}s"
+    return f"{eta}s"
+
+
+def render_dashboard(rec: Dict, source: str = "") -> str:
+    """The dashboard frame for one status/heartbeat record."""
+    done = int(rec.get("reads_done", 0))
+    total = rec.get("total_reads")
+    lines = []
+    state = "done" if rec.get("final") else "running"
+    run_id = (rec.get("run_id") or "")[:12]
+    lines.append(
+        f"manymap top — {state}"
+        + (f" — run {run_id}" if run_id else "")
+        + (f" — {source}" if source else "")
+    )
+    lines.append("")
+    lines.append(
+        f"  reads    {_bar(done, total)}  {done}"
+        + (f" / {total}" if total else " / ?")
+        + f"   ETA {_eta(rec)}"
+    )
+    window = rec.get("window_reads_per_s")
+    lines.append(
+        f"  rate     {rec.get('reads_per_s', 0.0):10.1f} reads/s overall"
+        + (
+            f"   {window:10.1f} reads/s window"
+            if window is not None
+            else ""
+        )
+    )
+    lines.append(
+        f"  compute  {rec.get('gcups', 0.0):10.4f} GCUPS"
+        f"   {int(rec.get('dp_cells', 0)):,} DP cells"
+    )
+    batch = rec.get("batch") or {}
+    if batch:
+        lines.append(
+            f"  lanes    {batch.get('occupancy_pct', 0.0):9.1f}% occupancy"
+            f"   {batch.get('lanes', 0)} lanes"
+            f" ({batch.get('lanes_retired', 0)} retired early)"
+            f"   {batch.get('batched_jobs', 0)} batched"
+            f" / {batch.get('fallback_jobs', 0)} fallback jobs"
+        )
+    queues = rec.get("queues") or {}
+    if queues:
+        # "stream.work_queue.depth.max" -> "work_queue"
+        def _label(k: str) -> str:
+            parts = k.split(".")
+            return parts[-3] if len(parts) >= 3 else k
+
+        depth = "   ".join(
+            f"{_label(k)}={v:g}" for k, v in sorted(queues.items())
+        )
+        lines.append(f"  queues   {depth}")
+    faults = rec.get("faults") or {}
+    quarantined = int(rec.get("quarantined", 0))
+    if faults or quarantined:
+        parts = [f"{quarantined} quarantined"] + [
+            f"{v} {k}" for k, v in sorted(faults.items())
+            if k not in ("quarantined",)
+        ]
+        lines.append("  faults   " + ", ".join(parts))
+    lines.append(
+        f"  elapsed  {rec.get('elapsed_s', 0.0):10.1f}s"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def _draw(frame: str, tty: bool, out) -> None:
+    if tty:
+        out.write("\x1b[H\x1b[J")  # cursor home + clear to end
+    out.write(frame)
+    out.flush()
+
+
+def _top_url(target: str, interval: float, out, max_frames) -> int:
+    misses = 0
+    frames = 0
+    while max_frames is None or frames < max_frames:
+        try:
+            rec = fetch_status(target)
+            misses = 0
+        except (urllib.error.URLError, OSError, ValueError):
+            misses += 1
+            if frames == 0 and misses >= 3:
+                print(f"top: cannot reach {target}", file=sys.stderr)
+                return 1
+            if misses >= 3:
+                out.write("run ended (status endpoint gone)\n")
+                out.flush()
+                return 0
+            time.sleep(interval)
+            continue
+        frames += 1
+        _draw(render_dashboard(rec, source=target), out.isatty(), out)
+        if rec.get("final"):
+            return 0
+        time.sleep(interval)
+    return 0
+
+
+def _top_file(target: str, interval: float, out, max_frames) -> int:
+    if not os.path.exists(target):
+        print(f"top: no such file: {target}", file=sys.stderr)
+        return 1
+    last: Optional[Dict] = None
+    frames = 0
+    with open(target) as fh:
+        while max_frames is None or frames < max_frames:
+            line = fh.readline()
+            if line:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    continue  # half-written tail line; retry next pass
+                if rec.get("record") not in ("progress", "status"):
+                    continue
+                last = rec
+                frames += 1
+                _draw(render_dashboard(rec, source=target), out.isatty(), out)
+                if rec.get("final"):
+                    return 0
+                continue
+            # EOF: a finished file without a final beat renders what we
+            # have; a live file gets tailed.
+            if not _growing(fh, target):
+                if last is not None:
+                    return 0
+                print(
+                    f"top: no progress records in {target}", file=sys.stderr
+                )
+                return 1
+            time.sleep(interval)
+    if last is None:
+        print(f"top: no progress records in {target}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _growing(fh, path: str) -> bool:
+    """True while the writer may still append (file larger than read pos
+    or modified within the last 30s)."""
+    try:
+        st = os.stat(path)
+    except OSError:
+        return False
+    if st.st_size > fh.tell():
+        return True
+    return (time.time() - st.st_mtime) < 30.0
+
+
+def run_top(
+    target: str,
+    interval: float = DEFAULT_INTERVAL,
+    out=None,
+    max_frames: Optional[int] = None,
+) -> int:
+    """Entry point behind ``repro top``; returns the exit code.
+
+    ``target`` is a status URL (``http://...``) or a heartbeat JSONL
+    path. ``max_frames`` bounds the number of rendered frames (tests /
+    one-shot snapshots: ``--once`` maps to 1).
+    """
+    if interval <= 0:
+        raise ValueError(f"interval must be > 0: {interval}")
+    out = out or sys.stdout
+    if _is_url(target):
+        return _top_url(target, interval, out, max_frames)
+    return _top_file(target, interval, out, max_frames)

@@ -48,6 +48,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import SchedulerError
 from ..obs.counters import COUNTERS
+from ..obs.events import EVENTS
 from ..obs.hist import HISTOGRAMS, merge_hist_json
 from ..seq.records import SeqRecord
 
@@ -419,6 +420,13 @@ class PoolSupervisor:
                 ) from exc
             self._respawns += 1
             COUNTERS.inc("fault.respawns")
+            EVENTS.emit(
+                "pool.respawn",
+                generation=self._gen,
+                respawns=self._respawns,
+                budget=self._policy.max_respawns,
+                error=repr(exc),
+            )
             dead = self._pool
             self._pool = self._factory()
             self._gen += 1

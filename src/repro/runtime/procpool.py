@@ -50,6 +50,7 @@ from ..core.alignment import Alignment
 from ..errors import SchedulerError
 from ..index.store import load_index, save_index
 from ..obs.counters import COUNTERS, counter_delta
+from ..obs.events import EVENTS
 from ..obs.hist import HISTOGRAMS, hist_delta
 from ..obs.logs import current_level_name, set_run_id, setup_logging
 from ..obs.telemetry import Telemetry, read_span
@@ -351,17 +352,21 @@ def _map_reads_processes(
             ),
         )
 
-    def absorb(result) -> None:
+    def absorb(result, chunk_id: Optional[int] = None) -> None:
         indices, alns, stage_seconds, delta, hist_d, spans, faults = result
         for i, a in zip(indices, alns):
             results[i] = a
         for stage, sec in stage_seconds.items():
             stage_totals[stage] = stage_totals.get(stage, 0.0) + sec
+        # Live merge: the parent registries see this chunk's counter and
+        # histogram deltas now, so a mid-run /status or /metrics scrape
+        # reads current totals, not end-of-run ones.
         COUNTERS.merge(delta)
         HISTOGRAMS.merge(hist_d)
         if telemetry is not None:
             telemetry.extend(spans)
             telemetry.record_faults(faults)
+        EVENTS.emit("chunk.done", chunk=chunk_id, reads=len(indices))
 
     supervisor = PoolSupervisor(make_pool, _map_chunk, fault_policy, telemetry)
     try:
@@ -379,6 +384,9 @@ def _map_reads_processes(
                 [reads[i] for i in chunk.indices],
             )
             pending[supervisor.pool.submit(_map_chunk, payload)] = payload
+            EVENTS.emit(
+                "chunk.dispatched", chunk=chunk_id, reads=len(chunk.indices)
+            )
             return True
 
         def recover_break(first_payload, token) -> None:
@@ -390,12 +398,12 @@ def _map_reads_processes(
             for fut in list(pending):
                 payload = pending.pop(fut)
                 if fut.exception() is None:
-                    absorb(fut.result())
+                    absorb(fut.result(), payload[0])
                 else:
                     lost.append(payload)
             supervisor.handle_break(token)
             for payload in lost:
-                absorb(supervisor.run_chunk(payload))
+                absorb(supervisor.run_chunk(payload), payload[0])
 
         while len(pending) < max_inflight and submit_next():
             pass
@@ -407,7 +415,7 @@ def _map_reads_processes(
                 payload = pending.pop(fut)
                 exc = fut.exception()
                 if exc is None:
-                    absorb(fut.result())
+                    absorb(fut.result(), payload[0])
                 elif isinstance(exc, BrokenExecutor) and recover:
                     recover_break(payload, (supervisor.generation, exc))
                 else:

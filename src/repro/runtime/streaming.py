@@ -49,6 +49,7 @@ from ..core.aligner import Aligner
 from ..core.alignment import Alignment
 from ..errors import SchedulerError
 from ..obs.counters import COUNTERS, counter_delta
+from ..obs.events import EVENTS
 from ..obs.gauges import GaugeSet
 from ..obs.hist import HISTOGRAMS
 from ..obs.telemetry import Telemetry, read_span
@@ -461,6 +462,9 @@ def stream_map(
                 COUNTERS.merge(delta)
             if hist_d:
                 HISTOGRAMS.merge(hist_d)
+            # Parent-side absorb point: worker deltas are live in the
+            # registries from here, so /status and /metrics see them.
+            EVENTS.emit("chunk.done", chunk=chunk_id, reads=len(chunk))
             if telemetry is not None:
                 telemetry.extend(spans)
                 telemetry.record_faults(faults)

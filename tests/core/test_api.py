@@ -99,6 +99,8 @@ class TestSurfaceSnapshot:
             "fault_policy",
             "progress_interval",
             "progress_path",
+            "status_port",
+            "events_path",
         ]
         assert MapOptions() == MapOptions(
             backend="serial",

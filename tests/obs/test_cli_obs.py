@@ -3,6 +3,14 @@
 from __future__ import annotations
 
 import json
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
 from pathlib import Path
 
 import pytest
@@ -137,7 +145,7 @@ class TestTimelineAndProgress:
         )
         manifest = json.loads(metrics.read_text())
         assert validate(manifest, SCHEMA) == [], validate(manifest, SCHEMA)
-        assert manifest["schema_version"] == 5
+        assert manifest["schema_version"] == 6
         assert manifest["run_id"]
         hists = manifest["histograms"]
         assert hists["read.length"]["count"] == len(reads)
@@ -208,6 +216,135 @@ class TestTimelineAndProgress:
         assert loud.read_bytes() == plain.read_bytes()
 
 
+class TestStatusServerE2E:
+    """The live telemetry plane, end to end, against a real process.
+
+    One streaming run with process workers and ``--status-port 0``:
+    mid-run, ``/metrics`` must serve parseable OpenMetrics and
+    ``/status`` a monotonically increasing ``reads_done``; afterwards
+    the PAF must be byte-identical to a run with the status plane off.
+    """
+
+    N_READS = 48
+
+    @pytest.fixture(scope="class")
+    def corpus(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("statusd_e2e")
+        genome = generate_genome(
+            GenomeSpec(length=40_000, chromosomes=1), seed=7
+        )
+        sim = ReadSimulator.preset(genome, "pacbio")
+        sim.length_model = LengthModel(mean=800.0, sigma=0.4, max_length=3000)
+        reads = list(sim.simulate(self.N_READS, seed=8))
+        ref = root / "ref.fa"
+        fq = root / "reads.fq"
+        write_fasta(str(ref), genome.chromosomes)
+        write_fastq(str(fq), reads)
+        return str(ref), str(fq)
+
+    def _spawn(self, corpus, out_paf, *extra):
+        ref, fq = corpus
+        src = str(Path(__file__).parents[2] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "map", ref, fq,
+                "-o", str(out_paf), "--preset", "test",
+                "--stream", "-p", "2", "--chunk-reads", "4",
+                *extra,
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    def _await_url(self, proc, timeout=60.0):
+        """Parse the bound status URL from the run's stderr log."""
+        pattern = re.compile(r"listening on (http://127\.0\.0\.1:\d+)")
+        url = None
+        deadline = time.monotonic() + timeout
+        lines = []
+        while time.monotonic() < deadline:
+            line = proc.stderr.readline()
+            if not line:
+                break
+            lines.append(line)
+            m = pattern.search(line)
+            if m:
+                url = m.group(1)
+                break
+        assert url, "no status-server URL in stderr:\n" + "".join(lines)
+        # keep draining stderr so the child never blocks on the pipe
+        drain = threading.Thread(
+            target=lambda: proc.stderr.read(), daemon=True
+        )
+        drain.start()
+        return url
+
+    def test_status_plane_live_poll_and_byte_identity(self, corpus, tmp_path):
+        with_status = tmp_path / "with_status.paf"
+        proc = self._spawn(
+            corpus, with_status, "--status-port", "0",
+            "--events", str(tmp_path / "events.jsonl"),
+        )
+        try:
+            url = self._await_url(proc)
+            seen = []
+            metrics_body = None
+            while proc.poll() is None:
+                try:
+                    with urllib.request.urlopen(
+                        url + "/status", timeout=5
+                    ) as resp:
+                        seen.append(json.loads(resp.read())["reads_done"])
+                    if metrics_body is None:
+                        with urllib.request.urlopen(
+                            url + "/metrics", timeout=5
+                        ) as resp:
+                            assert resp.headers["Content-Type"].startswith(
+                                "application/openmetrics-text"
+                            )
+                            metrics_body = resp.read().decode()
+                except (urllib.error.URLError, OSError):
+                    pass  # server tearing down as the run finishes
+                time.sleep(0.05)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        # /status was reachable mid-run and counted monotonically.
+        assert seen, "never reached /status while the run was live"
+        assert seen == sorted(seen), seen
+        assert seen[-1] <= self.N_READS
+        # /metrics parsed as OpenMetrics exposition text.
+        assert metrics_body is not None
+        assert metrics_body.endswith("# EOF\n")
+        for line in metrics_body.splitlines():
+            if not line.startswith("#"):
+                name, value = line.rsplit(" ", 1)
+                assert name
+                float(value)
+
+        # The event stream recorded the run's chunk lifecycle.
+        events = [
+            json.loads(l)
+            for l in (tmp_path / "events.jsonl").read_text().splitlines()
+        ]
+        kinds = {e["kind"] for e in events}
+        assert "chunk.done" in kinds, kinds
+
+        # Byte-identity: the status plane must not perturb the output.
+        plain = tmp_path / "plain.paf"
+        proc = self._spawn(corpus, plain)
+        _, err = proc.communicate(timeout=300)
+        assert proc.returncode == 0, err
+        assert with_status.read_bytes() == plain.read_bytes()
+
+
 class TestReportCommand:
     def test_report_single(self, data, tmp_path, capsys):
         metrics = tmp_path / "m.json"
@@ -238,11 +375,62 @@ class TestReportCommand:
         _map(data, tmp_path, "-x", "test", "--metrics", str(metrics))
         assert main(["report", str(metrics), "--format", "json"]) == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["schema_version"] == 5
+        assert doc["schema_version"] == 6
         assert main(["report", str(metrics), "--format", "markdown"]) == 0
         out = capsys.readouterr().out
         assert "| Stage |" in out and "| GCUPS |" in out
         assert "| read.length |" in out  # histogram table rides along
+
+
+class TestTopCommand:
+    def test_top_once_on_heartbeat_file(self, data, tmp_path, capsys):
+        beats = tmp_path / "p.jsonl"
+        _map(
+            data, tmp_path, "-x", "test",
+            "--progress", "0.05", "--progress-file", str(beats),
+        )
+        assert main(["top", str(beats), "--once", "--interval", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "manymap top" in out and "reads" in out
+
+    def test_top_missing_file(self, tmp_path, capsys):
+        rc = main(["top", str(tmp_path / "nope.jsonl"), "--once"])
+        assert rc == 1
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestTrajectoryReport:
+    def _write(self, path, benches):
+        recs = [
+            {
+                "record": "bench",
+                "bench": b,
+                "created_unix": 1_754_000_000.0 + i,
+                "commit": "deadbeefcafe1234",
+                "reads_per_s": 10.0 * (i + 1),
+                "gcups": 0.5,
+                "peak_rss_bytes": 1 << 20,
+            }
+            for i, b in enumerate(benches)
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in recs))
+        return recs
+
+    def test_renders_table(self, tmp_path, capsys):
+        traj = tmp_path / "t.jsonl"
+        self._write(traj, ["wavefront", "metrics_smoke"])
+        assert main(["report", "--trajectory", str(traj)]) == 0
+        out = capsys.readouterr().out
+        assert "wavefront" in out and "metrics_smoke" in out
+        assert "deadbeefca" in out
+
+    def test_conflicts_with_positionals(self, tmp_path):
+        traj = tmp_path / "t.jsonl"
+        self._write(traj, ["wavefront"])
+        assert main(["report", str(traj), "--trajectory", str(traj)]) == 2
+
+    def test_missing_file(self, tmp_path):
+        assert main(["report", "--trajectory", str(tmp_path / "no.jsonl")]) == 1
 
 
 class TestCompareCLI:

@@ -1,0 +1,118 @@
+"""EventBus: ring bounds, per-kind counts, filters, and the JSONL sink."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.events import EVENTS, EventBus
+
+
+class TestEmit:
+    def test_record_shape(self):
+        bus = EventBus()
+        rec = bus.emit("dispatch.batch", bucket=256, lanes=8)
+        assert rec["record"] == "event"
+        assert rec["kind"] == "dispatch.batch"
+        assert rec["bucket"] == 256 and rec["lanes"] == 8
+        assert rec["seq"] == 1
+        assert rec["ts"] > 0
+
+    def test_seq_monotonic(self):
+        bus = EventBus()
+        seqs = [bus.emit("x")["seq"] for _ in range(5)]
+        assert seqs == [1, 2, 3, 4, 5]
+        assert bus.seq == 5
+
+    def test_ring_evicts_oldest(self):
+        bus = EventBus(capacity=3)
+        for i in range(10):
+            bus.emit("tick", i=i)
+        assert len(bus) == 3
+        assert [e["i"] for e in bus.recent()] == [7, 8, 9]
+
+    def test_counts_survive_eviction(self):
+        bus = EventBus(capacity=2)
+        for _ in range(5):
+            bus.emit("a")
+        bus.emit("b")
+        assert bus.counts() == {"a": 5, "b": 1}
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            EventBus(capacity=0)
+
+
+class TestRecent:
+    @pytest.fixture()
+    def bus(self):
+        bus = EventBus()
+        for i in range(6):
+            bus.emit("even" if i % 2 == 0 else "odd", i=i)
+        return bus
+
+    def test_oldest_first(self, bus):
+        assert [e["i"] for e in bus.recent()] == [0, 1, 2, 3, 4, 5]
+
+    def test_limit_keeps_newest(self, bus):
+        assert [e["i"] for e in bus.recent(limit=2)] == [4, 5]
+
+    def test_kind_filter(self, bus):
+        assert [e["i"] for e in bus.recent(kind="odd")] == [1, 3, 5]
+
+    def test_after_seq_skips_consumed(self, bus):
+        tail = bus.recent(after_seq=4)
+        assert [e["seq"] for e in tail] == [5, 6]
+
+    def test_filters_compose(self, bus):
+        assert [e["i"] for e in bus.recent(limit=1, kind="even")] == [4]
+
+
+class TestSink:
+    def test_events_mirrored_as_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus()
+        bus.emit("before.sink")  # not mirrored
+        bus.open_sink(str(path))
+        bus.emit("fault", read="r1", action="quarantine")
+        bus.emit("heartbeat", reads_done=4)
+        bus.close_sink()
+        recs = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [r["kind"] for r in recs] == ["fault", "heartbeat"]
+        assert recs[0]["read"] == "r1"
+
+    def test_close_idempotent(self, tmp_path):
+        bus = EventBus()
+        bus.open_sink(str(tmp_path / "e.jsonl"))
+        bus.close_sink()
+        bus.close_sink()  # no-op, no error
+
+    def test_reopen_replaces_sink(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        bus = EventBus()
+        bus.open_sink(str(a))
+        bus.emit("one")
+        bus.open_sink(str(b))
+        bus.emit("two")
+        bus.close_sink()
+        assert json.loads(a.read_text())["kind"] == "one"
+        assert json.loads(b.read_text())["kind"] == "two"
+
+    def test_ring_keeps_working_without_sink(self):
+        bus = EventBus()
+        bus.emit("x")
+        assert len(bus) == 1
+
+
+class TestGlobalBus:
+    def test_module_global_is_an_eventbus(self):
+        assert isinstance(EVENTS, EventBus)
+
+    def test_clear_drops_ring_and_counts(self):
+        bus = EventBus()
+        bus.emit("x")
+        bus.clear()
+        assert len(bus) == 0 and bus.counts() == {}
+        # seq keeps going: pollers never see it restart.
+        assert bus.emit("y")["seq"] == 2

@@ -1,0 +1,166 @@
+"""Export layer: OpenMetrics rendering and the shared RunSampler."""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.export import (
+    RunSampler,
+    metric_name,
+    render_openmetrics,
+    status_record,
+)
+from repro.obs.hist import Histogram
+
+
+def hist_json(values):
+    h = Histogram()
+    for v in values:
+        h.observe(v)
+    return h.to_json()
+
+
+class TestMetricName:
+    def test_dots_become_underscores(self):
+        assert metric_name("fault.quarantined") == "manymap_fault_quarantined"
+
+    def test_arbitrary_punctuation_sanitized(self):
+        assert metric_name("a-b/c d") == "manymap_a_b_c_d"
+
+    def test_digit_prefix_guarded(self):
+        assert metric_name("9lives", prefix="") == "_9lives"
+
+
+class TestRenderOpenmetrics:
+    def test_golden_counters_and_gauges(self):
+        text = render_openmetrics(
+            {"reads_done": 7, "dp_cells": 1234},
+            {"stream.queue.depth": 2.5},
+        )
+        assert text == (
+            "# TYPE manymap_dp_cells counter\n"
+            "manymap_dp_cells_total 1234\n"
+            "# TYPE manymap_reads_done counter\n"
+            "manymap_reads_done_total 7\n"
+            "# TYPE manymap_stream_queue_depth gauge\n"
+            "manymap_stream_queue_depth 2.5\n"
+            "# EOF\n"
+        )
+
+    def test_ends_with_eof(self):
+        assert render_openmetrics({}).endswith("# EOF\n")
+
+    def test_histogram_buckets_cumulative(self):
+        # 5 -> bucket le=8, 100 -> le=128, 0 -> zeros slot.
+        text = render_openmetrics({}, {}, {"lat": hist_json([5, 100, 0])})
+        lines = text.splitlines()
+        assert "# TYPE manymap_lat histogram" in lines
+        assert 'manymap_lat_bucket{le="8"} 2' in lines  # zeros fold in
+        assert 'manymap_lat_bucket{le="128"} 3' in lines
+        assert 'manymap_lat_bucket{le="+Inf"} 3' in lines
+        assert "manymap_lat_count 3" in lines
+        assert "manymap_lat_sum 105" in lines
+
+    def test_bucket_counts_monotone_and_close_at_count(self):
+        h = hist_json([0.5, 1.5, 3.0, 3.5, 100.0, 0.0, -1.0])
+        text = render_openmetrics({}, {}, {"h": h})
+        cums = []
+        for line in text.splitlines():
+            if line.startswith('manymap_h_bucket{le="') and "+Inf" not in line:
+                cums.append(int(line.rsplit(" ", 1)[1]))
+        assert cums == sorted(cums)
+        assert cums[-1] <= h["count"]
+        assert f"manymap_h_count {h['count']}" in text
+
+    def test_bucket_bounds_are_powers_of_two(self):
+        text = render_openmetrics({}, {}, {"h": hist_json([3.0])})
+        for line in text.splitlines():
+            if line.startswith('manymap_h_bucket{le="') and "+Inf" not in line:
+                bound = float(line.split('le="')[1].split('"')[0])
+                assert math.log2(bound) == int(math.log2(bound))
+
+    def test_integral_floats_render_without_dot(self):
+        text = render_openmetrics({}, {"g": 4.0})
+        assert "manymap_g 4\n" in text
+
+
+class TestRunSampler:
+    def test_self_baselined_counters(self):
+        from repro.obs.counters import COUNTERS
+
+        sampler = RunSampler()
+        COUNTERS.inc("test.export.delta", 3)
+        assert sampler.counters().get("test.export.delta") == 3
+        # a second sampler starts from the new baseline
+        assert "test.export.delta" not in RunSampler().counters()
+
+    def test_sample_record_shape(self):
+        rec = RunSampler(total_reads=10).sample()
+        assert rec["record"] == "progress"
+        assert rec["final"] is False
+        for key in (
+            "run_id", "elapsed_s", "reads_done", "total_reads", "reads_per_s",
+            "window_reads_per_s", "interval_reads_per_s", "dp_cells", "gcups",
+            "quarantined", "queues", "eta_s",
+        ):
+            assert key in rec, key
+
+    def test_eta_none_without_total(self):
+        assert RunSampler().sample()["eta_s"] is None
+
+    def test_eta_none_at_zero_rate(self):
+        assert RunSampler(total_reads=100).sample()["eta_s"] is None
+
+    def test_sliding_window_eta(self):
+        from repro.obs.counters import COUNTERS
+
+        sampler = RunSampler(total_reads=100)
+        COUNTERS.inc("reads_done", 50)
+        rec = sampler.sample()
+        assert rec["reads_done"] == 50
+        assert rec["window_reads_per_s"] > 0
+        assert rec["eta_s"] is not None and rec["eta_s"] >= 0
+
+    def test_window_rate_tracks_recent_not_cumulative(self):
+        from repro.obs.counters import COUNTERS
+
+        sampler = RunSampler(total_reads=1000, window=2)
+        COUNTERS.inc("reads_done", 10)
+        sampler.sample()
+        sampler.sample()  # window now [(t1,10),(t2,10)]: recent rate ~0
+        rec = sampler.sample(update=False)
+        assert rec["reads_per_s"] > 0  # cumulative average still positive
+        assert rec["eta_s"] is None  # window saw no new reads -> rate 0
+
+    def test_readonly_sample_does_not_advance_window(self):
+        sampler = RunSampler(total_reads=10)
+        before = list(sampler._window)
+        sampler.sample(update=False)
+        assert list(sampler._window) == before
+        sampler.sample(update=True)
+        assert len(sampler._window) == len(before) + 1
+
+    def test_final_flag_passes_through(self):
+        assert RunSampler().sample(final=True)["final"] is True
+
+    def test_run_id_empty_without_telemetry(self):
+        assert RunSampler().run_id == ""
+
+
+class TestStatusRecord:
+    def test_shape(self):
+        rec = status_record(RunSampler(total_reads=5))
+        assert rec["record"] == "status"
+        assert "batch" in rec and "faults" in rec
+        assert isinstance(rec["faults"], dict)
+
+    def test_fault_counters_stripped_of_prefix(self):
+        from repro.obs.counters import COUNTERS
+
+        sampler = RunSampler()
+        COUNTERS.inc("fault.quarantined", 2)
+        COUNTERS.inc("fault.retries", 1)
+        rec = status_record(sampler)
+        assert rec["faults"]["quarantined"] == 2
+        assert rec["faults"]["retries"] == 1
+        assert rec["quarantined"] == 2

@@ -1,0 +1,118 @@
+"""StatusServer: endpoint contracts over a live RunSampler."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.counters import COUNTERS
+from repro.obs.events import EVENTS
+from repro.obs.export import OPENMETRICS_CONTENT_TYPE, RunSampler
+from repro.obs.statusd import StatusServer
+
+
+@pytest.fixture()
+def server():
+    srv = StatusServer(sampler=RunSampler(total_reads=10), port=0).start()
+    yield srv
+    srv.stop()
+
+
+def get(server, path):
+    with urllib.request.urlopen(server.url + path, timeout=5) as resp:
+        return resp.status, resp.headers, resp.read().decode("utf-8")
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, _, body = get(server, "/healthz")
+        assert status == 200 and body == "ok\n"
+
+    def test_root_is_alias_for_healthz(self, server):
+        assert get(server, "/")[2] == "ok\n"
+
+    def test_metrics_openmetrics(self, server):
+        COUNTERS.inc("test.statusd.hits", 4)
+        status, headers, body = get(server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == OPENMETRICS_CONTENT_TYPE
+        assert body.endswith("# EOF\n")
+        assert "manymap_test_statusd_hits_total 4" in body
+        # every non-comment line is "name[{labels}] value"
+        for line in body.splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert name and float(value) >= 0
+
+    def test_status_json(self, server):
+        COUNTERS.inc("reads_done", 3)
+        status, headers, body = get(server, "/status")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        rec = json.loads(body)
+        assert rec["record"] == "status"
+        assert rec["reads_done"] == 3
+        assert rec["total_reads"] == 10
+        assert "batch" in rec and "faults" in rec
+
+    def test_events_endpoint(self, server):
+        EVENTS.emit("statusd.test", n=1)
+        EVENTS.emit("statusd.test", n=2)
+        doc = json.loads(get(server, "/events?kind=statusd.test")[2])
+        assert doc["record"] == "events"
+        assert [e["n"] for e in doc["events"]] == [1, 2]
+        assert doc["counts"]["statusd.test"] >= 2
+        assert doc["seq"] >= doc["events"][-1]["seq"]
+
+    def test_events_after_seq_and_limit(self, server):
+        first = EVENTS.emit("statusd.seq")["seq"]
+        EVENTS.emit("statusd.seq")
+        doc = json.loads(
+            get(server, f"/events?kind=statusd.seq&after_seq={first}")[2]
+        )
+        assert [e["seq"] for e in doc["events"]] == [first + 1]
+        doc = json.loads(get(server, "/events?limit=1")[2])
+        assert len(doc["events"]) == 1
+
+    def test_unknown_route_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(server, "/nope")
+        assert err.value.code == 404
+
+
+class TestLifecycle:
+    def test_port_zero_binds_free_port(self, server):
+        assert server.port > 0
+        assert server.url == f"http://127.0.0.1:{server.port}"
+
+    def test_port_validation(self):
+        with pytest.raises(ValueError):
+            StatusServer(port=-1)
+        with pytest.raises(ValueError):
+            StatusServer(port=70000)
+
+    def test_stop_idempotent(self):
+        srv = StatusServer(port=0).start()
+        srv.stop()
+        srv.stop()
+        assert srv.port == 0
+
+    def test_start_idempotent(self, server):
+        assert server.start() is server
+
+    def test_context_manager(self):
+        with StatusServer(port=0) as srv:
+            assert get(srv, "/healthz")[0] == 200
+            port = srv.port
+        with pytest.raises((urllib.error.URLError, OSError)):
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=1
+            )
+
+    def test_default_sampler_when_none_given(self):
+        srv = StatusServer(port=0)
+        assert isinstance(srv.sampler, RunSampler)

@@ -1,0 +1,164 @@
+"""repro top: dashboard rendering, file tailing, and live polling."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+
+import pytest
+
+from repro.obs.export import RunSampler
+from repro.obs.statusd import StatusServer
+from repro.obs.top import render_dashboard, run_top
+
+
+def beat(**over):
+    rec = {
+        "record": "progress",
+        "run_id": "abc123def456",
+        "final": False,
+        "elapsed_s": 12.5,
+        "reads_done": 40,
+        "total_reads": 100,
+        "reads_per_s": 3.2,
+        "window_reads_per_s": 4.1,
+        "interval_reads_per_s": 4.0,
+        "dp_cells": 1_500_000,
+        "gcups": 0.00012,
+        "quarantined": 0,
+        "queues": {},
+        "eta_s": 14.6,
+    }
+    rec.update(over)
+    return rec
+
+
+class TestRenderDashboard:
+    def test_core_lines(self):
+        frame = render_dashboard(beat(), source="p.jsonl")
+        assert "running" in frame and "abc123def456"[:12] in frame
+        assert "40 / 100" in frame
+        assert "ETA 14s" in frame
+        assert "3.2 reads/s overall" in frame
+        assert "4.1 reads/s window" in frame
+        assert "GCUPS" in frame and "1,500,000 DP cells" in frame
+        assert "p.jsonl" in frame
+
+    def test_final_shows_done(self):
+        assert "done" in render_dashboard(beat(final=True)).splitlines()[0]
+
+    def test_unknown_total(self):
+        frame = render_dashboard(beat(total_reads=None, eta_s=None))
+        assert "/ ?" in frame and "ETA --" in frame
+
+    def test_eta_formats(self):
+        assert "ETA 5s" in render_dashboard(beat(eta_s=5))
+        assert "ETA 2m05s" in render_dashboard(beat(eta_s=125))
+        assert "ETA 1h01m" in render_dashboard(beat(eta_s=3680))
+
+    def test_queues_and_faults_lines(self):
+        frame = render_dashboard(
+            beat(
+                queues={"stream.work_queue.depth.max": 3.0},
+                quarantined=2,
+                faults={"quarantined": 2, "retries": 1},
+            )
+        )
+        assert "queues" in frame and "work_queue=3" in frame
+        assert "2 quarantined" in frame and "1 retries" in frame
+
+    def test_batch_line(self):
+        frame = render_dashboard(
+            beat(
+                batch={
+                    "occupancy_pct": 87.5,
+                    "lanes": 64,
+                    "lanes_retired": 3,
+                    "batched_jobs": 10,
+                    "fallback_jobs": 2,
+                }
+            )
+        )
+        assert "87.5% occupancy" in frame
+        assert "10 batched / 2 fallback jobs" in frame
+
+
+class TestFileMode:
+    def write_beats(self, path, recs, stale=True):
+        with open(path, "w") as fh:
+            for r in recs:
+                fh.write(json.dumps(r) + "\n")
+        if stale:  # age the file so the tailer treats it as finished
+            old = time.time() - 120
+            os.utime(path, (old, old))
+
+    def test_renders_through_final_beat(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        self.write_beats(
+            path, [beat(reads_done=10), beat(reads_done=100, final=True)]
+        )
+        out = io.StringIO()
+        assert run_top(str(path), interval=0.01, out=out) == 0
+        assert "done" in out.getvalue()
+        assert "100 / 100" in out.getvalue()
+
+    def test_finished_file_without_final_beat(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        self.write_beats(path, [beat(reads_done=10)])
+        out = io.StringIO()
+        assert run_top(str(path), interval=0.01, out=out) == 0
+        assert "10 / 100" in out.getvalue()
+
+    def test_skips_garbage_and_foreign_records(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        with open(path, "w") as fh:
+            fh.write("not json\n")
+            fh.write(json.dumps({"record": "run", "run_id": "x"}) + "\n")
+            fh.write(json.dumps(beat(final=True)) + "\n")
+        out = io.StringIO()
+        assert run_top(str(path), interval=0.01, out=out) == 0
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert run_top(str(tmp_path / "nope.jsonl"), interval=0.01) == 1
+        assert "no such file" in capsys.readouterr().err
+
+    def test_empty_stale_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        self.write_beats(path, [])
+        assert run_top(str(path), interval=0.01, out=io.StringIO()) == 1
+        assert "no progress records" in capsys.readouterr().err
+
+    def test_once_renders_single_frame(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        self.write_beats(path, [beat(reads_done=1), beat(reads_done=2)])
+        out = io.StringIO()
+        assert run_top(str(path), interval=0.01, out=out, max_frames=1) == 0
+        assert out.getvalue().count("manymap top") == 1
+
+    def test_invalid_interval(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_top(str(tmp_path), interval=0)
+
+
+class TestUrlMode:
+    def test_polls_live_status_endpoint(self):
+        with StatusServer(sampler=RunSampler(total_reads=5), port=0) as srv:
+            out = io.StringIO()
+            rc = run_top(srv.url, interval=0.01, out=out, max_frames=2)
+        assert rc == 0
+        assert out.getvalue().count("manymap top") == 2
+        assert "running" in out.getvalue()
+
+    def test_unreachable_endpoint(self, capsys):
+        # A closed port: bind-then-release to find a free one.
+        import socket
+
+        s = socket.socket()
+        s.bind(("127.0.0.1", 0))
+        port = s.getsockname()[1]
+        s.close()
+        rc = run_top(f"http://127.0.0.1:{port}", interval=0.01)
+        assert rc == 1
+        assert "cannot reach" in capsys.readouterr().err
