@@ -1,0 +1,248 @@
+"""Serving-shape benchmark: the ``repro serve`` front-end under load.
+
+Boots an in-process :class:`~repro.serve.ServerThread` over one
+resident :class:`~repro.api.MappingSession` and drives it with 1 / 8 /
+32 concurrent HTTP clients (1 / 8 in ``--smoke`` mode), measuring
+requests/s and p50/p99 request latency per concurrency level against
+the one-shot in-process baseline. Three gates ride along:
+
+- **identity** — every served PAF line must match the one-shot
+  reference for the same read (order-normalized per read);
+- **coalescing** — at the highest concurrency the batcher must execute
+  fewer batches than it admitted requests (the adaptive batcher is the
+  whole point of the serving shape: concurrent small requests share
+  pooled DP batches);
+- **latency** — p99 request latency must sit within the server's
+  ``latency_target_ms`` at every level.
+
+Run standalone (CI smoke mode stays well under a minute):
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke
+
+or via pytest (``pytest benchmarks/bench_serve.py``). Emits
+``benchmarks/results/BENCH_serve.json`` plus the usual ``.txt`` table,
+and appends the headline numbers to ``BENCH_trajectory.jsonl``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional
+
+from _common import RESULTS_DIR, append_trajectory, emit
+
+from repro import api
+from repro.api import MapRequest, MappingSession, ServeConfig
+from repro.core.aligner import Aligner
+from repro.core.alignment import to_paf
+from repro.obs.counters import COUNTERS
+from repro.seq.genome import GenomeSpec, generate_genome
+from repro.serve import ServeClient, ServerThread
+from repro.sim.lengths import LengthModel
+from repro.sim.pbsim import ReadSimulator
+
+JSON_NAME = "BENCH_serve.json"
+
+#: the latency SLO the server adapts against — and the bench's p99
+#: gate. Generous for CI: pure-Python mapping on a shared runner.
+LATENCY_TARGET_MS = 20_000.0
+
+READS_PER_REQUEST = 2
+
+
+def build_workload(smoke: bool):
+    genome = generate_genome(
+        GenomeSpec(length=120_000 if smoke else 200_000, chromosomes=2),
+        seed=31,
+    )
+    sim = ReadSimulator.preset(genome, "pacbio")
+    sim.length_model = LengthModel(
+        mean=600.0 if smoke else 1200.0, sigma=0.4, max_length=3000
+    )
+    reads = list(sim.simulate(16 if smoke else 64, seed=32))
+    return Aligner(genome, preset="test"), reads
+
+
+def percentile(values: List[float], q: float) -> float:
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered) + 0.5) - 1))
+    return ordered[rank]
+
+
+def one_shot_reference(aligner, reads) -> Dict[str, List[str]]:
+    """read name -> sorted PAF lines from the one-shot path."""
+    results = api.map_reads(aligner, reads)
+    return {
+        read.name: sorted(to_paf(a) for a in alns)
+        for read, alns in zip(reads, results)
+    }
+
+
+def time_one_shot(session, reads) -> Dict:
+    t0 = time.perf_counter()
+    session.map_batch(reads)
+    wall = time.perf_counter() - t0
+    return {
+        "reads": len(reads),
+        "seconds": wall,
+        "reads_per_s": len(reads) / wall if wall > 0 else 0.0,
+    }
+
+
+def run_level(session, reads, reference, clients: int) -> Dict:
+    """One concurrency level against a fresh server; returns its row."""
+    requests = []
+    n_requests = max(clients, len(reads) // READS_PER_REQUEST)
+    for i in range(n_requests):
+        lo = (i * READS_PER_REQUEST) % len(reads)
+        chunk = reads[lo : lo + READS_PER_REQUEST] or reads[:1]
+        requests.append(MapRequest.make(chunk, request_id=f"c{clients}-{i}"))
+
+    config = ServeConfig(
+        latency_target_ms=LATENCY_TARGET_MS,
+        batch_timeout_ms=25.0,
+        max_batch_reads=64,
+    )
+    before = COUNTERS.totals()
+    with ServerThread(session, config) as st:
+        client = ServeClient(st.url, timeout_s=600.0)
+        latencies: List[float] = []
+        identity_ok = True
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            results = list(pool.map(client.map, requests))
+        wall = time.perf_counter() - t0
+    after = COUNTERS.totals()
+
+    n_reads = 0
+    for req, res in zip(requests, results):
+        assert res.ok, f"request {req.request_id} failed: {res.error}"
+        latencies.append(res.total_ms)
+        n_reads += len(res.paf)
+        for name, lines in zip(res.read_names, res.paf):
+            if sorted(lines) != reference[name]:
+                identity_ok = False
+
+    delta = lambda k: after.get(k, 0) - before.get(k, 0)  # noqa: E731
+    admitted, batches = delta("serve.admitted"), delta("serve.batches")
+    return {
+        "clients": clients,
+        "requests": len(requests),
+        "reads": n_reads,
+        "seconds": wall,
+        "rps": len(requests) / wall if wall > 0 else 0.0,
+        "reads_per_s": n_reads / wall if wall > 0 else 0.0,
+        "p50_ms": percentile(latencies, 0.50),
+        "p99_ms": percentile(latencies, 0.99),
+        "admitted": admitted,
+        "batches": batches,
+        "coalesced_batches": delta("serve.coalesced"),
+        "mean_requests_per_batch": admitted / batches if batches else 0.0,
+        "identity_ok": identity_ok,
+        "p99_within_target": percentile(latencies, 0.99)
+        <= LATENCY_TARGET_MS,
+    }
+
+
+def run_bench_serve(smoke: bool = False) -> Dict:
+    aligner, reads = build_workload(smoke)
+    reference = one_shot_reference(aligner, reads)
+    levels = [1, 8] if smoke else [1, 8, 32]
+    with MappingSession(aligner) as session:
+        one_shot = time_one_shot(session, reads)
+        rows = [
+            run_level(session, reads, reference, clients)
+            for clients in levels
+        ]
+
+    top = rows[-1]
+    res = {
+        "record": "bench_serve",
+        "smoke": smoke,
+        "latency_target_ms": LATENCY_TARGET_MS,
+        "one_shot": one_shot,
+        "levels": rows,
+        "identity_ok": all(r["identity_ok"] for r in rows),
+        "coalescing_ok": top["batches"] < top["admitted"],
+        "p99_ok": all(r["p99_within_target"] for r in rows),
+    }
+
+    lines = [
+        f"one-shot baseline: {one_shot['reads']} reads in "
+        f"{one_shot['seconds']:.2f}s ({one_shot['reads_per_s']:.1f} reads/s)",
+        "",
+        f"{'clients':>7} {'reqs':>5} {'rps':>7} {'p50 ms':>9} "
+        f"{'p99 ms':>9} {'batches':>8} {'req/batch':>9}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['clients']:>7} {r['requests']:>5} {r['rps']:>7.2f} "
+            f"{r['p50_ms']:>9.1f} {r['p99_ms']:>9.1f} "
+            f"{r['batches']:>8} {r['mean_requests_per_batch']:>9.2f}"
+        )
+    lines.append("")
+    lines.append(
+        f"identity={'OK' if res['identity_ok'] else 'FAIL'} "
+        f"coalescing={'OK' if res['coalescing_ok'] else 'FAIL'} "
+        f"(top level: {top['batches']} batches for {top['admitted']} "
+        f"requests) p99-gate={'OK' if res['p99_ok'] else 'FAIL'}"
+    )
+    emit("BENCH_serve", "\n".join(lines))
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / JSON_NAME, "w") as fh:
+        json.dump(res, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    append_trajectory(
+        "serve",
+        reads_per_s=top["reads_per_s"],
+        rps=top["rps"],
+        p50_ms=top["p50_ms"],
+        p99_ms=top["p99_ms"],
+        clients=top["clients"],
+        mean_requests_per_batch=top["mean_requests_per_batch"],
+    )
+    return res
+
+
+def test_bench_serve_smoke():
+    res = run_bench_serve(smoke=True)
+    assert res["identity_ok"], "served PAF diverged from one-shot"
+    assert res["coalescing_ok"], (
+        "no coalescing at the top concurrency level: "
+        f"{res['levels'][-1]['batches']} batches for "
+        f"{res['levels'][-1]['admitted']} requests"
+    )
+    assert res["p99_ok"], "p99 latency exceeded the serve target"
+    assert (RESULTS_DIR / JSON_NAME).exists()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--smoke", action="store_true", help="small fast workload")
+    args = ap.parse_args(argv)
+    res = run_bench_serve(smoke=args.smoke)
+    if not res["identity_ok"]:
+        print("ERROR: served PAF diverged from one-shot", file=sys.stderr)
+        return 1
+    if not res["coalescing_ok"]:
+        print(
+            "ERROR: no request coalescing at the top concurrency level",
+            file=sys.stderr,
+        )
+        return 1
+    if not res["p99_ok"]:
+        print(
+            f"ERROR: p99 latency exceeded {LATENCY_TARGET_MS}ms",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

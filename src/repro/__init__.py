@@ -51,7 +51,18 @@ from .core.driver import BatchDriver, ParallelDriver
 
 # The stable public mapping API (see repro.api's docstring)
 from . import api
-from .api import MapOptions, StreamStats, map_file, map_reads, open_index
+from .api import (
+    API_VERSION,
+    MapOptions,
+    MapRequest,
+    MapResult,
+    MappingSession,
+    ServeConfig,
+    StreamStats,
+    map_file,
+    map_reads,
+    open_index,
+)
 
 # Machine models
 from .machine.cpu import XEON_GOLD_5115
@@ -104,7 +115,12 @@ __all__ = [
     "BatchDriver",
     "ParallelDriver",
     "api",
+    "API_VERSION",
     "MapOptions",
+    "MapRequest",
+    "MapResult",
+    "MappingSession",
+    "ServeConfig",
     "StreamStats",
     "map_file",
     "map_reads",

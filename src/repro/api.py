@@ -1,25 +1,31 @@
-"""The stable public mapping API: ``open_index`` / ``map_reads`` / ``map_file``.
+"""The stable public mapping API: sessions, requests, and results.
 
-Everything a library consumer needs sits behind three calls and one
-options object::
+Everything a library consumer needs sits behind one session object,
+two convenience calls, and a handful of value objects::
 
     import repro
 
-    aligner = repro.open_index("ref.fa", "ref.mmi")       # or a Genome
+    # open the index once, map many times (what `repro serve` holds
+    # resident across requests):
+    with repro.MappingSession.open("ref.fa", "ref.mmi") as session:
+        results = session.map_reads(reads)
+        stats = session.map_file("reads.fq.gz", out)
+        result = session.map_request(repro.MapRequest.make(reads))
+
+    # the classic one-shot facade — now thin clients of the same
+    # session object:
+    aligner = repro.open_index("ref.fa", "ref.mmi")
     opts = repro.MapOptions(backend="streaming", workers=4)
-
-    # batch: results in input order, byte-identical across backends
     results = repro.api.map_reads(aligner, reads, opts)
-
-    # streaming: constant-memory file-to-file mapping
     with open("out.paf", "w") as out:
         stats = repro.api.map_file(aligner, "reads.fq.gz", out, opts)
 
-:class:`MapOptions` replaces the keyword sprawl previously duplicated
-across ``runtime/parallel.map_reads``, ``runtime/procpool``, the
-drivers, and the CLI — those entry points still work but delegate here
-(the two module-level functions emit :class:`DeprecationWarning`).
-Backends resolve through the registry in
+:class:`MapOptions` holds every knob of a mapping run;
+:class:`MapRequest` / :class:`MapResult` are the versioned
+request/response model shared by the one-shot path, the Python facade,
+and the ``repro serve`` front-end (:mod:`repro.serve`);
+:class:`ServeConfig` is the serving-shape companion (batching,
+admission, tenancy). Backends resolve through the registry in
 :mod:`repro.runtime.backends`, so ``MapOptions(backend=...)`` accepts
 exactly what the CLI's ``--backend`` flag does.
 
@@ -33,13 +39,15 @@ from __future__ import annotations
 import dataclasses
 import io
 import os
+import time
+import uuid
 from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .core.aligner import Aligner
 from .core.alignment import Alignment, sam_header, to_paf, to_sam
-from .errors import SchedulerError
+from .errors import ParseError, SchedulerError
 from .index.store import load_index
 from .runtime import backends as _backends
 from .runtime.faults import FaultPolicy, write_quarantine
@@ -49,12 +57,22 @@ from .seq.genome import Genome
 from .seq.records import SeqRecord
 
 __all__ = [
+    "API_VERSION",
     "MapOptions",
+    "MapRequest",
+    "MapResult",
+    "MappingSession",
+    "ServeConfig",
     "StreamStats",
     "open_index",
     "map_reads",
     "map_file",
 ]
+
+#: Version of the request/response wire model (:class:`MapRequest` /
+#: :class:`MapResult`). Bump on any incompatible field change; servers
+#: reject requests claiming a newer version than they speak.
+API_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -167,6 +185,272 @@ class MapOptions:
                 f"status_port must be in [0, 65535]: {self.status_port}"
             )
         return self
+
+
+#: ``MapRequest.on_error`` values: abort the whole request on the first
+#: failing read, or skip (quarantine) failing reads and keep the rest.
+REQUEST_ON_ERROR = ("abort", "skip")
+
+
+@dataclass(frozen=True)
+class MapRequest:
+    """One versioned mapping request: a named batch of reads to map.
+
+    The same value object flows through every entry point — built
+    directly in Python, decoded from the ``POST /map`` JSON body by
+    ``repro serve``, or synthesized by :meth:`make`. ``tenant`` scopes
+    fairness and quotas on the server; ``on_error`` picks per-request
+    fault semantics (``abort``: the request fails naming the first bad
+    read; ``skip``: bad reads are quarantined via
+    :mod:`repro.runtime.faults` and the rest of the request succeeds).
+    """
+
+    request_id: str
+    reads: Tuple[SeqRecord, ...]
+    tenant: str = "default"
+    with_cigar: bool = True
+    on_error: str = "abort"
+    api_version: int = API_VERSION
+
+    @classmethod
+    def make(
+        cls,
+        reads: Sequence[SeqRecord],
+        request_id: Optional[str] = None,
+        **kwargs,
+    ) -> "MapRequest":
+        """A request over ``reads`` with a generated id when none given."""
+        return cls(
+            request_id=request_id or uuid.uuid4().hex[:12],
+            reads=tuple(reads),
+            **kwargs,
+        ).validated()
+
+    @classmethod
+    def from_json(cls, doc: Dict) -> "MapRequest":
+        """Decode the wire form; raises :class:`ParseError` on bad input."""
+        if not isinstance(doc, dict):
+            raise ParseError(f"request body must be a JSON object, got "
+                             f"{type(doc).__name__}")
+        version = doc.get("api_version", API_VERSION)
+        if not isinstance(version, int) or version > API_VERSION:
+            raise ParseError(
+                f"api_version {version!r} is newer than this server's "
+                f"{API_VERSION}"
+            )
+        raw = doc.get("reads")
+        if not isinstance(raw, list) or not raw:
+            raise ParseError("request needs a non-empty 'reads' list")
+        reads: List[SeqRecord] = []
+        for i, rec in enumerate(raw):
+            if not isinstance(rec, dict):
+                raise ParseError(f"reads[{i}] must be an object")
+            name = str(rec.get("name") or f"read{i:04d}")
+            seq = rec.get("seq")
+            if not isinstance(seq, str) or not seq:
+                raise ParseError(f"reads[{i}] ({name}): missing 'seq'")
+            try:
+                reads.append(SeqRecord.from_str(name, seq))
+            except Exception as exc:
+                raise ParseError(f"reads[{i}] ({name}): {exc}") from exc
+        return cls(
+            request_id=str(doc.get("request_id") or uuid.uuid4().hex[:12]),
+            reads=tuple(reads),
+            tenant=str(doc.get("tenant") or "default"),
+            with_cigar=bool(doc.get("with_cigar", True)),
+            on_error=str(doc.get("on_error", "abort")),
+            api_version=version,
+        ).validated()
+
+    def to_json(self) -> Dict:
+        return {
+            "request_id": self.request_id,
+            "tenant": self.tenant,
+            "reads": [
+                {"name": r.name, "seq": r.seq} for r in self.reads
+            ],
+            "with_cigar": self.with_cigar,
+            "on_error": self.on_error,
+            "api_version": self.api_version,
+        }
+
+    def validated(self) -> "MapRequest":
+        if not self.request_id:
+            raise ParseError("request_id must be non-empty")
+        if not self.reads:
+            raise ParseError(f"request {self.request_id}: no reads")
+        if not self.tenant:
+            raise ParseError(f"request {self.request_id}: empty tenant")
+        if self.on_error not in REQUEST_ON_ERROR:
+            raise ParseError(
+                f"on_error must be one of {REQUEST_ON_ERROR}: "
+                f"{self.on_error!r}"
+            )
+        return self
+
+    @property
+    def n_reads(self) -> int:
+        return len(self.reads)
+
+    @property
+    def total_bases(self) -> int:
+        return sum(len(r) for r in self.reads)
+
+
+@dataclass(frozen=True)
+class MapResult:
+    """The response to one :class:`MapRequest`.
+
+    ``paf`` carries one tuple of PAF lines per read, in request order
+    (a read with no hits contributes an empty tuple) — byte-identical
+    to what the one-shot CLI writes for the same read. ``status`` is
+    ``"ok"`` or ``"error"``; an error result names the culprit in
+    ``error`` and carries no alignments. ``quarantined`` lists reads
+    absorbed by an ``on_error="skip"`` request. The timing fields are
+    filled by the server (zero on the one-shot path except ``map_ms``);
+    ``batch_id`` / ``batch_requests`` describe the coalesced batch this
+    request rode in.
+    """
+
+    request_id: str
+    status: str = "ok"
+    read_names: Tuple[str, ...] = ()
+    paf: Tuple[Tuple[str, ...], ...] = ()
+    quarantined: Tuple[str, ...] = ()
+    error: Optional[str] = None
+    batch_id: int = 0
+    batch_requests: int = 1
+    queue_ms: float = 0.0
+    map_ms: float = 0.0
+    total_ms: float = 0.0
+    api_version: int = API_VERSION
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def paf_lines(self) -> List[str]:
+        """All PAF lines of the request, flattened in read order."""
+        return [line for lines in self.paf for line in lines]
+
+    def replace(self, **changes) -> "MapResult":
+        return dataclasses.replace(self, **changes)
+
+    def to_json(self) -> Dict:
+        return {
+            "record": "map_result",
+            "request_id": self.request_id,
+            "status": self.status,
+            "reads": [
+                {"name": name, "paf": list(lines)}
+                for name, lines in zip(self.read_names, self.paf)
+            ],
+            "quarantined": list(self.quarantined),
+            "error": self.error,
+            "batch_id": self.batch_id,
+            "batch_requests": self.batch_requests,
+            "timing": {
+                "queue_ms": self.queue_ms,
+                "map_ms": self.map_ms,
+                "total_ms": self.total_ms,
+            },
+            "api_version": self.api_version,
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict) -> "MapResult":
+        if not isinstance(doc, dict) or doc.get("record") != "map_result":
+            raise ParseError("not a map_result document")
+        reads = doc.get("reads") or []
+        timing = doc.get("timing") or {}
+        return cls(
+            request_id=str(doc.get("request_id", "")),
+            status=str(doc.get("status", "error")),
+            read_names=tuple(str(r.get("name", "")) for r in reads),
+            paf=tuple(tuple(r.get("paf") or ()) for r in reads),
+            quarantined=tuple(doc.get("quarantined") or ()),
+            error=doc.get("error"),
+            batch_id=int(doc.get("batch_id", 0)),
+            batch_requests=int(doc.get("batch_requests", 1)),
+            queue_ms=float(timing.get("queue_ms", 0.0)),
+            map_ms=float(timing.get("map_ms", 0.0)),
+            total_ms=float(timing.get("total_ms", 0.0)),
+            api_version=int(doc.get("api_version", API_VERSION)),
+        )
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Every knob of a ``repro serve`` deployment, in one value object.
+
+    Batching: requests are coalesced until the batch holds
+    ``max_batch_reads`` reads (never splitting one request) or
+    ``batch_timeout_ms`` has passed since the first request arrived.
+    With ``adaptive_batching`` the live read target starts at a quarter
+    of the maximum and grows/shrinks between ``min_batch_reads`` and
+    ``max_batch_reads`` as the observed request p99 latency (over the
+    last ``latency_window`` requests) tracks ``latency_target_ms``.
+
+    Admission: at most ``max_queue_requests`` requests may be queued
+    (excess is shed with HTTP 429), at most ``tenant_quota`` may be
+    outstanding (queued + in flight) per tenant, and one request may
+    carry at most ``max_reads_per_request`` reads. ``batch_workers``
+    mapping threads execute batches concurrently. ``drain_timeout_s``
+    bounds the graceful SIGTERM drain before leftover requests are
+    failed with 503.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_batch_reads: int = 64
+    min_batch_reads: int = 4
+    batch_timeout_ms: float = 20.0
+    adaptive_batching: bool = True
+    latency_target_ms: float = 500.0
+    latency_window: int = 64
+    max_queue_requests: int = 256
+    max_reads_per_request: int = 512
+    tenant_quota: int = 64
+    batch_workers: int = 1
+    drain_timeout_s: float = 10.0
+
+    def replace(self, **changes) -> "ServeConfig":
+        return dataclasses.replace(self, **changes)
+
+    def validated(self) -> "ServeConfig":
+        if not (0 <= self.port <= 65535):
+            raise SchedulerError(f"port must be in [0, 65535]: {self.port}")
+        for name in (
+            "max_batch_reads",
+            "min_batch_reads",
+            "max_queue_requests",
+            "max_reads_per_request",
+            "tenant_quota",
+            "batch_workers",
+            "latency_window",
+        ):
+            if getattr(self, name) < 1:
+                raise SchedulerError(
+                    f"{name} must be >= 1: {getattr(self, name)}"
+                )
+        if self.min_batch_reads > self.max_batch_reads:
+            raise SchedulerError(
+                f"min_batch_reads {self.min_batch_reads} > "
+                f"max_batch_reads {self.max_batch_reads}"
+            )
+        for name in ("batch_timeout_ms", "latency_target_ms"):
+            if getattr(self, name) <= 0:
+                raise SchedulerError(
+                    f"{name} must be > 0: {getattr(self, name)}"
+                )
+        if self.drain_timeout_s < 0:
+            raise SchedulerError(
+                f"drain_timeout_s must be >= 0: {self.drain_timeout_s}"
+            )
+        return self
+
+    def to_json(self) -> Dict:
+        return dataclasses.asdict(self)
 
 
 def _resolve(
@@ -320,6 +604,277 @@ def open_index(
     return aligner
 
 
+class MappingSession:
+    """Open the index once, map many times.
+
+    The one mapping engine shared by every front-end: the module-level
+    :func:`map_reads` / :func:`map_file` facade functions, the CLI
+    one-shot path, and the ``repro serve`` batcher are all thin clients
+    of this class. The session pins an :class:`Aligner` (and thus its
+    mmap'd index) plus default :class:`MapOptions`; each call resolves
+    per-call overrides against those defaults, so a server can hold one
+    session resident and serve many requests without re-reading the
+    index.
+    """
+
+    def __init__(
+        self, aligner: Aligner, options: Optional[MapOptions] = None
+    ):
+        self.aligner = aligner
+        self.options = options or MapOptions()
+        self._closed = False
+        _apply_kernel(aligner, self.options)
+
+    @classmethod
+    def open(
+        cls,
+        reference: Union[Genome, str, os.PathLike],
+        index_path: Optional[Union[str, os.PathLike]] = None,
+        *,
+        preset: str = "map-pb",
+        engine: str = "manymap",
+        load_mode: str = "mmap",
+        options: Optional[MapOptions] = None,
+    ) -> "MappingSession":
+        """:func:`open_index` + session in one call."""
+        aligner = open_index(
+            reference,
+            index_path,
+            preset=preset,
+            engine=engine,
+            load_mode=load_mode,
+        )
+        return cls(aligner, options)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Mark the session closed; later map calls raise."""
+        self._closed = True
+
+    def __enter__(self) -> "MappingSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SchedulerError("MappingSession is closed")
+
+    def _opts(
+        self, options: Optional[MapOptions], overrides: dict
+    ) -> MapOptions:
+        return _resolve(options or self.options, overrides, self.aligner)
+
+    def map_reads(
+        self,
+        reads: Sequence[SeqRecord],
+        options: Optional[MapOptions] = None,
+        *,
+        profile=None,
+        telemetry=None,
+        **overrides,
+    ) -> List[List[Alignment]]:
+        """Map a read collection; results in input order on any backend.
+
+        ``overrides`` are applied on top of ``options`` (which defaults
+        to the session's options). ``profile`` / ``telemetry`` are the
+        usual :class:`~repro.core.profiling.PipelineProfile` /
+        :class:`~repro.obs.telemetry.Telemetry` collectors.
+        """
+        self._check_open()
+        opts = self._opts(options, overrides)
+        _apply_kernel(self.aligner, opts)
+        telemetry = _fault_telemetry(opts, telemetry)
+        with _live_plane(opts, telemetry, total_reads=len(reads)):
+            results = _backends.dispatch(
+                self.aligner, reads, opts, profile=profile,
+                telemetry=telemetry,
+            )
+        _finish_faults(opts, telemetry)
+        return results
+
+    def map_file(
+        self,
+        reads_path: Union[str, os.PathLike],
+        output: Optional[io.TextIOBase] = None,
+        options: Optional[MapOptions] = None,
+        *,
+        sam: bool = False,
+        profile=None,
+        telemetry=None,
+        **overrides,
+    ) -> StreamStats:
+        """Map a FASTA/FASTQ(.gz) file, writing PAF (or SAM) as it goes.
+
+        Every backend consumes the file through the shared streaming
+        reader (:func:`repro.seq.fasta.iter_reads`): the ``streaming``
+        backend runs the full overlapped pipeline with constant memory;
+        the batch backends read bounded batches of
+        ``chunk_reads × workers × 4`` reads at a time, so
+        ``chunk_reads`` bounds memory on every backend. Output lines
+        are written strictly in input order either way, so the bytes
+        are identical across backends. Returns the run's
+        :class:`StreamStats`.
+        """
+        self._check_open()
+        aligner = self.aligner
+        opts = self._opts(options, overrides)
+        _apply_kernel(aligner, opts)
+        telemetry = _fault_telemetry(opts, telemetry)
+
+        def write_header() -> None:
+            if sam and output is not None:
+                output.write(
+                    sam_header(aligner.index.names, aligner.index.lengths)
+                )
+                output.write("\n")
+
+        def emit(read: SeqRecord, alns: List[Alignment]) -> None:
+            if output is None:
+                return
+            for aln in alns:
+                output.write(to_sam(aln, read) if sam else to_paf(aln))
+                output.write("\n")
+
+        source = iter_reads(os.fspath(reads_path))
+        write_header()
+        if opts.backend == "streaming":
+            with _live_plane(opts, telemetry):
+                stats = stream_map(
+                    aligner,
+                    source,
+                    emit,
+                    workers=opts.workers,
+                    use_processes=opts.stream_processes,
+                    with_cigar=opts.with_cigar,
+                    longest_first=opts.longest_first,
+                    chunk_reads=opts.chunk_reads,
+                    chunk_bases=opts.chunk_bases,
+                    window_reads=opts.window_reads,
+                    queue_chunks=opts.queue_chunks,
+                    index_path=opts.index_path,
+                    profile=profile,
+                    telemetry=telemetry,
+                    fault_policy=opts.fault_policy,
+                )
+            _finish_faults(opts, telemetry)
+            return stats
+
+        # Batch backends: bounded batches through the same reader path.
+        from contextlib import nullcontext
+
+        def stage(name):
+            return (
+                profile.stage(name) if profile is not None else nullcontext()
+            )
+
+        stats = StreamStats()
+        batch_size = opts.chunk_reads * max(1, opts.workers) * 4
+        with _live_plane(opts, telemetry):
+            while True:
+                batch: List[SeqRecord] = []
+                with stage("Load Query"):
+                    for read in source:
+                        batch.append(read)
+                        if len(batch) >= batch_size:
+                            break
+                if not batch:
+                    break
+                stats.n_chunks += 1
+                results = _backends.dispatch(
+                    aligner, batch, opts, profile=profile,
+                    telemetry=telemetry,
+                )
+                with stage("Output"):
+                    for read, alns in zip(batch, results):
+                        emit(read, alns)
+                stats.n_reads += len(batch)
+                stats.total_bases += sum(len(r) for r in batch)
+                stats.n_mapped += sum(1 for alns in results if alns)
+                stats.n_alignments += sum(len(alns) for alns in results)
+                if len(batch) < batch_size:
+                    break
+        _finish_faults(opts, telemetry)
+        return stats
+
+    def map_batch(
+        self,
+        reads: Sequence[SeqRecord],
+        with_cigar: bool = True,
+    ) -> List[List[Alignment]]:
+        """Map reads in-process, pooling their base-level DP.
+
+        The serve batcher's hot path: one
+        :func:`repro.runtime.faults.map_chunk_reads` call feeds the
+        whole coalesced batch through the kernel-dispatch layer as
+        chunk-wide DP buckets (falling back to the per-read loop when
+        pooling does not apply). Errors propagate raw — callers that
+        must name the failing read re-run per read (mapping is
+        deterministic).
+        """
+        self._check_open()
+        from .runtime.faults import map_chunk_reads, map_one_read
+
+        pooled = map_chunk_reads(self.aligner, list(reads), with_cigar, None)
+        if pooled is not None:
+            return [alns for alns, _, _, _ in pooled]
+        return [
+            map_one_read(self.aligner, read, with_cigar, None)[0]
+            for read in reads
+        ]
+
+    def map_request(self, request: MapRequest) -> MapResult:
+        """Map one :class:`MapRequest` deterministically, alone.
+
+        The per-request fallback the server uses to isolate a poison
+        read after a pooled batch fails, and the one-process reference
+        path for clients that skip HTTP entirely. ``on_error="abort"``
+        returns an error result naming the first failing read;
+        ``on_error="skip"`` quarantines failing reads via
+        :mod:`repro.runtime.faults` and maps the rest.
+        """
+        self._check_open()
+        from .runtime.faults import map_one_read
+
+        request.validated()
+        t0 = time.perf_counter()
+        policy = (
+            FaultPolicy(on_error="skip", max_retries=0)
+            if request.on_error == "skip"
+            else None
+        )
+        paf: List[Tuple[str, ...]] = []
+        quarantined: List[str] = []
+        for read in request.reads:
+            try:
+                alns, _, _, fault = map_one_read(
+                    self.aligner, read, request.with_cigar, policy
+                )
+            except Exception as exc:  # abort mode: name the culprit
+                return MapResult(
+                    request_id=request.request_id,
+                    status="error",
+                    error=f"read {read.name!r}: {exc}",
+                    map_ms=(time.perf_counter() - t0) * 1000.0,
+                )
+            if fault is not None:
+                quarantined.append(read.name)
+                paf.append(())
+            else:
+                paf.append(tuple(to_paf(a) for a in alns))
+        return MapResult(
+            request_id=request.request_id,
+            read_names=tuple(r.name for r in request.reads),
+            paf=tuple(paf),
+            quarantined=tuple(quarantined),
+            map_ms=(time.perf_counter() - t0) * 1000.0,
+        )
+
+
 def map_reads(
     aligner: Aligner,
     reads: Sequence[SeqRecord],
@@ -331,21 +886,14 @@ def map_reads(
 ) -> List[List[Alignment]]:
     """Map a read collection; results in input order on any backend.
 
-    ``overrides`` are applied on top of ``options`` (e.g.
+    A thin client of :class:`MappingSession` — see
+    :meth:`MappingSession.map_reads`. ``overrides`` are applied on top
+    of ``options`` (e.g.
     ``map_reads(a, reads, backend="processes", workers=8)``).
-    ``profile`` / ``telemetry`` are the usual
-    :class:`~repro.core.profiling.PipelineProfile` /
-    :class:`~repro.obs.telemetry.Telemetry` collectors.
     """
-    opts = _resolve(options, overrides, aligner)
-    _apply_kernel(aligner, opts)
-    telemetry = _fault_telemetry(opts, telemetry)
-    with _live_plane(opts, telemetry, total_reads=len(reads)):
-        results = _backends.dispatch(
-            aligner, reads, opts, profile=profile, telemetry=telemetry
-        )
-    _finish_faults(opts, telemetry)
-    return results
+    return MappingSession(aligner).map_reads(
+        reads, options, profile=profile, telemetry=telemetry, **overrides
+    )
 
 
 def map_file(
@@ -361,87 +909,15 @@ def map_file(
 ) -> StreamStats:
     """Map a FASTA/FASTQ(.gz) file, writing PAF (or SAM) as it goes.
 
-    Every backend consumes the file through the shared streaming
-    reader (:func:`repro.seq.fasta.iter_reads`): the ``streaming``
-    backend runs the full overlapped pipeline with constant memory;
-    the batch backends read bounded batches of
-    ``chunk_reads × workers × 4`` reads at a time, so ``chunk_reads``
-    bounds memory on every backend. Output lines are written strictly
-    in input order either way, so the bytes are identical across
-    backends. Returns the run's :class:`StreamStats`.
+    A thin client of :class:`MappingSession` — see
+    :meth:`MappingSession.map_file`.
     """
-    opts = _resolve(options, overrides, aligner)
-    _apply_kernel(aligner, opts)
-    telemetry = _fault_telemetry(opts, telemetry)
-
-    def write_header() -> None:
-        if sam and output is not None:
-            output.write(
-                sam_header(aligner.index.names, aligner.index.lengths)
-            )
-            output.write("\n")
-
-    def emit(read: SeqRecord, alns: List[Alignment]) -> None:
-        if output is None:
-            return
-        for aln in alns:
-            output.write(to_sam(aln, read) if sam else to_paf(aln))
-            output.write("\n")
-
-    source = iter_reads(os.fspath(reads_path))
-    write_header()
-    if opts.backend == "streaming":
-        with _live_plane(opts, telemetry):
-            stats = stream_map(
-                aligner,
-                source,
-                emit,
-                workers=opts.workers,
-                use_processes=opts.stream_processes,
-                with_cigar=opts.with_cigar,
-                longest_first=opts.longest_first,
-                chunk_reads=opts.chunk_reads,
-                chunk_bases=opts.chunk_bases,
-                window_reads=opts.window_reads,
-                queue_chunks=opts.queue_chunks,
-                index_path=opts.index_path,
-                profile=profile,
-                telemetry=telemetry,
-                fault_policy=opts.fault_policy,
-            )
-        _finish_faults(opts, telemetry)
-        return stats
-
-    # Batch backends: bounded batches through the same reader path.
-    from contextlib import nullcontext
-
-    def stage(name):
-        return profile.stage(name) if profile is not None else nullcontext()
-
-    stats = StreamStats()
-    batch_size = opts.chunk_reads * max(1, opts.workers) * 4
-    with _live_plane(opts, telemetry):
-        while True:
-            batch: List[SeqRecord] = []
-            with stage("Load Query"):
-                for read in source:
-                    batch.append(read)
-                    if len(batch) >= batch_size:
-                        break
-            if not batch:
-                break
-            stats.n_chunks += 1
-            results = _backends.dispatch(
-                aligner, batch, opts, profile=profile, telemetry=telemetry
-            )
-            with stage("Output"):
-                for read, alns in zip(batch, results):
-                    emit(read, alns)
-            stats.n_reads += len(batch)
-            stats.total_bases += sum(len(r) for r in batch)
-            stats.n_mapped += sum(1 for alns in results if alns)
-            stats.n_alignments += sum(len(alns) for alns in results)
-            if len(batch) < batch_size:
-                break
-    _finish_faults(opts, telemetry)
-    return stats
+    return MappingSession(aligner).map_file(
+        reads_path,
+        output,
+        options,
+        sam=sam,
+        profile=profile,
+        telemetry=telemetry,
+        **overrides,
+    )

@@ -257,6 +257,69 @@ def _cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .api import MapOptions, MappingSession, ServeConfig, open_index
+    from .errors import ReproError
+    from .obs.events import EVENTS
+    from .obs.logs import get_logger, set_run_id
+    from .obs.telemetry import Telemetry
+    from .serve.server import MappingServer
+
+    log = get_logger("cli")
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            max_batch_reads=args.max_batch_reads,
+            min_batch_reads=args.min_batch_reads,
+            batch_timeout_ms=args.batch_timeout_ms,
+            adaptive_batching=not args.no_adaptive_batching,
+            latency_target_ms=args.latency_target_ms,
+            max_queue_requests=args.max_queue,
+            max_reads_per_request=args.max_reads_per_request,
+            tenant_quota=args.tenant_quota,
+            batch_workers=args.batch_workers,
+            drain_timeout_s=args.drain_timeout,
+        ).validated()
+    except ReproError as exc:
+        log.error("%s", exc)
+        return 2
+
+    options = MapOptions(kernel=args.kernel) if args.kernel else None
+    session = MappingSession(
+        open_index(
+            args.reference,
+            args.index,
+            preset=args.preset,
+            engine=args.engine,
+        ),
+        options,
+    )
+    telemetry = Telemetry()
+    set_run_id(telemetry.run_id)
+    if args.events:
+        EVENTS.open_sink(args.events)
+    server = MappingServer(session, config, telemetry)
+
+    async def _main() -> None:
+        await server.start()
+        server.install_signal_handlers()
+        # The bound port on stdout so scripts can capture port=0 binds.
+        print(f"serving on {server.url}", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - signal path races
+        pass
+    finally:
+        if args.events:
+            EVENTS.close_sink()
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .obs.logs import get_logger
     from .seq.fasta import write_fasta, write_fastq
@@ -542,6 +605,107 @@ def build_parser() -> argparse.ArgumentParser:
         "repro.testing.faults",
     )
     pm.set_defaults(fn=_cmd_map)
+
+    pv = sub.add_parser(
+        "serve",
+        parents=[common],
+        help="serve mapping over HTTP: resident index, adaptive "
+        "request batching, per-tenant admission control",
+    )
+    pv.add_argument("reference", help="reference FASTA")
+    pv.add_argument(
+        "-i", "--index", help="saved .mmi index to mmap (kept resident)"
+    )
+    pv.add_argument("-x", "--preset", default="map-pb", help="parameter preset")
+    pv.add_argument(
+        "--engine",
+        default="manymap",
+        choices=["manymap", "mm2", "scalar", "reference"],
+        help="base-level DP engine",
+    )
+    pv.add_argument(
+        "--kernel",
+        default=None,
+        choices=_kernel_choices(),
+        help="DP kernel-dispatch selection (see map --kernel)",
+    )
+    pv.add_argument("--host", default="127.0.0.1", help="bind address")
+    pv.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port; 0 asks the OS for a free one (default 8765)",
+    )
+    pv.add_argument(
+        "--max-batch-reads",
+        type=int,
+        default=64,
+        help="upper bound on reads coalesced into one mapping batch",
+    )
+    pv.add_argument(
+        "--min-batch-reads",
+        type=int,
+        default=4,
+        help="floor the adaptive batch target never shrinks below",
+    )
+    pv.add_argument(
+        "--batch-timeout-ms",
+        type=float,
+        default=20.0,
+        help="max wait for coalescing after the first queued request",
+    )
+    pv.add_argument(
+        "--no-adaptive-batching",
+        action="store_true",
+        help="pin the batch target at --max-batch-reads instead of "
+        "adapting it against observed p99 latency",
+    )
+    pv.add_argument(
+        "--latency-target-ms",
+        type=float,
+        default=500.0,
+        help="p99 request-latency target steering the adaptive batch "
+        "size (default 500)",
+    )
+    pv.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="admission queue bound; excess requests are shed with 429",
+    )
+    pv.add_argument(
+        "--max-reads-per-request",
+        type=int,
+        default=512,
+        help="largest accepted request (reads); bigger gets 400",
+    )
+    pv.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=64,
+        help="max outstanding requests per tenant before 429",
+    )
+    pv.add_argument(
+        "--batch-workers",
+        type=int,
+        default=1,
+        help="mapping worker threads executing batches (default 1)",
+    )
+    pv.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="graceful SIGTERM drain budget before queued requests "
+        "are failed with 503",
+    )
+    pv.add_argument(
+        "--events",
+        metavar="FILE",
+        help="mirror the structured event stream (batches, sheds, "
+        "drain) to FILE as JSONL",
+    )
+    pv.set_defaults(fn=_cmd_serve)
 
     ps = sub.add_parser(
         "simulate", parents=[common], help="generate synthetic genome + reads"

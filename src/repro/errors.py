@@ -20,11 +20,7 @@ class ParseError(ReproError):
 
 
 class IndexFormatError(ReproError):
-    """Problems building, saving, or loading a minimizer index.
-
-    Formerly named ``IndexError_``; that name is kept as a deprecated
-    module-level alias (importing it emits :class:`DeprecationWarning`).
-    """
+    """Problems building, saving, or loading a minimizer index."""
 
 
 class AlignmentError(ReproError):
@@ -47,16 +43,6 @@ class SimulationError(ReproError):
     """Invalid read-simulation parameters."""
 
 
-def __getattr__(name: str):
-    # PEP 562: keep the old `IndexError_` spelling importable, loudly.
-    if name == "IndexError_":
-        import warnings
-
-        warnings.warn(
-            "repro.errors.IndexError_ is deprecated; "
-            "use repro.errors.IndexFormatError",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return IndexFormatError
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+class ServeError(ReproError):
+    """Serving-plane failures: admission rejections, drain timeouts,
+    malformed requests reaching the batcher, client-side HTTP errors."""

@@ -229,12 +229,13 @@ OPENMETRICS_CONTENT_TYPE = (
 
 def status_record(sampler: RunSampler) -> Dict:
     """The ``/status`` JSON document: heartbeat + occupancy + faults."""
-    from .metrics import batch_summary
+    from .metrics import batch_summary, serve_summary
 
     counters = sampler.counters()
     rec = sampler.sample(update=False)
     rec["record"] = "status"
     rec["batch"] = batch_summary(counters)
+    rec["serve"] = serve_summary(counters, sampler.gauges())
     rec["faults"] = {
         k.split(".", 1)[1]: v
         for k, v in counters.items()

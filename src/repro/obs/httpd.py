@@ -1,0 +1,183 @@
+"""Shared HTTP plumbing for the in-process servers.
+
+Two front-ends serve HTTP out of a mapping process: the per-run status
+daemon (:mod:`repro.obs.statusd`, threaded ``http.server``) and the
+long-lived ``repro serve`` front-end (:mod:`repro.serve.server`,
+asyncio). Both mount the same observability surface and share the same
+bind-and-own-a-port lifecycle, so that lives here exactly once:
+
+:func:`obs_route`
+    The framework-neutral router for the observability endpoints —
+    ``/metrics`` (OpenMetrics), ``/status`` (JSON heartbeat),
+    ``/events`` (event-ring tail), ``/healthz`` and ``/`` (liveness).
+    It maps ``(path, query)`` to ``(code, content_type, body_bytes)``
+    and returns ``None`` for paths it does not own, so each server
+    layers its own routes (serve adds ``POST /map``) on top without
+    duplicating the scrape logic.
+
+:class:`DaemonHTTPServer`
+    The bind/port-0/daemon-thread lifecycle for ``http.server``-based
+    daemons: ``port=0`` asks the OS for a free port (read ``.port`` /
+    ``.url`` after ``start()``), serving happens on daemon threads, and
+    ``stop()`` is an idempotent shutdown+join. :class:`StatusServer
+    <repro.obs.statusd.StatusServer>` is this plus the obs routes; the
+    asyncio serve front-end reuses the same port-0 semantics through
+    ``asyncio.start_server`` but routes through :func:`obs_route` too.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs
+
+from .events import EVENTS
+from .export import (
+    OPENMETRICS_CONTENT_TYPE,
+    RunSampler,
+    render_openmetrics,
+    status_record,
+)
+from .logs import get_logger
+
+__all__ = [
+    "DaemonHTTPServer",
+    "json_reply",
+    "obs_route",
+    "text_reply",
+]
+
+TEXT_CONTENT_TYPE = "text/plain; charset=utf-8"
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+
+def text_reply(code: int, text: str) -> Tuple[int, str, bytes]:
+    return code, TEXT_CONTENT_TYPE, text.encode("utf-8")
+
+
+def json_reply(code: int, doc) -> Tuple[int, str, bytes]:
+    body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+    return code, JSON_CONTENT_TYPE, body
+
+
+def obs_route(
+    sampler: RunSampler, path: str, query: str = ""
+) -> Optional[Tuple[int, str, bytes]]:
+    """Route one GET against the observability surface.
+
+    Returns ``(status_code, content_type, body)`` for the endpoints
+    this surface owns, ``None`` for anything else (the caller serves
+    its own routes or a 404). ``sampler`` is the server's live
+    :class:`RunSampler`; requests sample the same lock-free shards the
+    progress heartbeat samples, so scraping never touches the mapping
+    hot path.
+    """
+    route = path.rstrip("/") or "/"
+    if route == "/metrics":
+        body = render_openmetrics(
+            sampler.counters(), sampler.gauges(), sampler.histograms()
+        ).encode("utf-8")
+        return 200, OPENMETRICS_CONTENT_TYPE, body
+    if route == "/status":
+        return json_reply(200, status_record(sampler))
+    if route == "/events":
+        q = parse_qs(query)
+
+        def _int(key: str, default):
+            try:
+                return int(q[key][0])
+            except (KeyError, IndexError, ValueError):
+                return default
+
+        events = EVENTS.recent(
+            limit=_int("limit", 100),
+            kind=q.get("kind", [None])[0],
+            after_seq=_int("after_seq", 0),
+        )
+        return json_reply(
+            200,
+            {
+                "record": "events",
+                "run_id": sampler.run_id,
+                "seq": EVENTS.seq,
+                "counts": EVENTS.counts(),
+                "events": events,
+            },
+        )
+    if route in ("/", "/healthz"):
+        return text_reply(200, "ok\n")
+    return None
+
+
+class DaemonHTTPServer:
+    """Own a ``ThreadingHTTPServer`` on a daemon thread; a context manager.
+
+    ``port=0`` binds an OS-assigned free port; read :attr:`port` (or
+    :attr:`url`) after :meth:`start` for the real one. Serving happens
+    on daemon threads, so a crashed or interrupted run never hangs on
+    the server. Subclasses pass their ``BaseHTTPRequestHandler`` class
+    and may attach shared state to the underlying server object in
+    :meth:`_configure`.
+    """
+
+    handler_class = None  # subclasses set this
+    log_name = "httpd"
+
+    def __init__(self, port: int = 0, host: str = "127.0.0.1") -> None:
+        if port < 0 or port > 65535:
+            raise ValueError(f"port must be in [0, 65535]: {port}")
+        self._requested = (host, int(port))
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._log = get_logger(self.log_name)
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    @property
+    def port(self) -> int:
+        """The bound port (0 until :meth:`start`)."""
+        return self._httpd.server_address[1] if self._httpd else 0
+
+    @property
+    def url(self) -> str:
+        host = self._requested[0]
+        return f"http://{host}:{self.port}" if self._httpd else ""
+
+    def _configure(self, httpd: ThreadingHTTPServer) -> None:
+        """Attach per-server state before the serving thread starts."""
+
+    def start(self) -> "DaemonHTTPServer":
+        if self._httpd is not None:
+            return self
+        httpd = ThreadingHTTPServer(self._requested, self.handler_class)
+        httpd.daemon_threads = True
+        self._configure(httpd)
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name=self.log_name,
+            daemon=True,
+            kwargs={"poll_interval": 0.1},
+        )
+        self._thread.start()
+        self._log.info("%s listening on %s", self.log_name, self.url)
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down and join the serving thread; idempotent."""
+        httpd, self._httpd = self._httpd, None
+        thread, self._thread = self._thread, None
+        if httpd is None:
+            return
+        httpd.shutdown()
+        if thread is not None:
+            thread.join()
+        httpd.server_close()
+
+    def __enter__(self) -> "DaemonHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

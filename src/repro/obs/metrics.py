@@ -31,6 +31,7 @@ __all__ = [
     "machine_info",
     "derive_metrics",
     "batch_summary",
+    "serve_summary",
     "build_metrics",
     "write_metrics",
     "load_metrics",
@@ -48,8 +49,11 @@ __all__ = [
 #: lanes, dispatch batched-vs-fallback split); v6 adds the optional
 #: ``export`` config block (live telemetry plane: status_port, events
 #: path) and the ``events`` summary (per-kind structured event counts
-#: from the run's event bus). v1-v5 manifests remain valid.
-SCHEMA_VERSION = 6
+#: from the run's event bus); v7 adds the optional ``serve`` object
+#: (the ``repro serve`` front-end: request/shed/batch totals, batch
+#: occupancy, queue-depth high water, per-tenant request counts).
+#: v1-v6 manifests remain valid.
+SCHEMA_VERSION = 7
 
 
 def machine_info() -> Dict:
@@ -120,6 +124,52 @@ def batch_summary(counters: Dict[str, int]) -> Dict:
     }
 
 
+def serve_summary(
+    counters: Dict[str, int], gauges: Optional[Dict[str, float]] = None
+) -> Dict:
+    """Serving-plane summary derived from ``serve.*`` counters/gauges.
+
+    Returns an empty dict when no serve front-end ran (no ``serve.*``
+    counters), so one-shot manifests carry an empty ``serve`` object
+    and the report renderer skips the Serving section. Batch occupancy
+    here is *request coalescing* (mean reads and requests per executed
+    batch), the serving-shape counterpart of the DP-lane occupancy in
+    :func:`batch_summary`.
+    """
+    requests = int(counters.get("serve.requests", 0))
+    batches = int(counters.get("serve.batches", 0))
+    if not requests and not batches:
+        return {}
+    gauges = gauges or {}
+    batch_reads = int(counters.get("serve.batch_reads", 0))
+    batch_requests = int(counters.get("serve.batch_requests", 0))
+    tenants = {
+        name[len("serve.tenant.") : -len(".requests")]: int(count)
+        for name, count in counters.items()
+        if name.startswith("serve.tenant.") and name.endswith(".requests")
+    }
+    return {
+        "requests": requests,
+        "admitted": int(counters.get("serve.admitted", 0)),
+        "ok": int(counters.get("serve.ok", 0)),
+        "errors": int(counters.get("serve.errors", 0)),
+        "shed": int(counters.get("serve.shed", 0)),
+        "shed_queue": int(counters.get("serve.shed.queue", 0)),
+        "shed_quota": int(counters.get("serve.shed.quota", 0)),
+        "shed_draining": int(counters.get("serve.shed.draining", 0)),
+        "batches": batches,
+        "coalesced_batches": int(counters.get("serve.coalesced", 0)),
+        "batch_reads": batch_reads,
+        "mean_reads_per_batch": batch_reads / batches if batches else 0.0,
+        "mean_requests_per_batch": (
+            batch_requests / batches if batches else 0.0
+        ),
+        "queue_depth_max": int(gauges.get("serve.queue.requests.max", 0)),
+        "batch_target_reads": int(gauges.get("serve.batch.target_reads", 0)),
+        "tenants": tenants,
+    }
+
+
 def build_metrics(
     profile,
     telemetry,
@@ -157,6 +207,7 @@ def build_metrics(
         "counters": counters,
         "gauges": telemetry.gauges.snapshot(),
         "batch": batch_summary(counters),
+        "serve": serve_summary(counters, telemetry.gauges.snapshot()),
         "faults": telemetry.fault_summary(),
         "histograms": telemetry.histograms(),
         "export": dict(export or {}),

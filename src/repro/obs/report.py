@@ -122,6 +122,44 @@ def _batch_lines(metrics: Dict) -> List[str]:
     return lines
 
 
+def _serve_lines(metrics: Dict) -> List[str]:
+    """``Serving`` section from the manifest's v7 ``serve`` object.
+
+    Pre-v7 manifests from a serving run still render: the summary is
+    recomputed from their ``serve.*`` counters.
+    """
+    from .metrics import serve_summary
+
+    serve = metrics.get("serve")
+    if serve is None:
+        serve = serve_summary(
+            metrics.get("counters", {}), metrics.get("gauges", {})
+        )
+    if not serve:
+        return []
+    lines = [
+        f"  {serve.get('requests', 0)} requests "
+        f"({serve.get('ok', 0)} ok, {serve.get('errors', 0)} error, "
+        f"{serve.get('shed', 0)} shed: "
+        f"{serve.get('shed_queue', 0)} queue / "
+        f"{serve.get('shed_quota', 0)} quota / "
+        f"{serve.get('shed_draining', 0)} draining)",
+        f"  {serve.get('batches', 0)} batches "
+        f"({serve.get('coalesced_batches', 0)} coalesced >1 request), "
+        f"{serve.get('mean_requests_per_batch', 0.0):.2f} requests and "
+        f"{serve.get('mean_reads_per_batch', 0.0):.1f} reads per batch",
+        f"  queue depth high-water {serve.get('queue_depth_max', 0)}, "
+        f"final batch target {serve.get('batch_target_reads', 0)} reads",
+    ]
+    tenants = serve.get("tenants") or {}
+    if tenants:
+        per = ", ".join(
+            f"{name}={tenants[name]}" for name in sorted(tenants)
+        )
+        lines.append(f"  tenants: {per}")
+    return lines
+
+
 def _histogram_table(histograms: Dict[str, Dict]) -> List[str]:
     """p50/p90/p99 table from a manifest's ``histograms`` object."""
     if not histograms:
@@ -183,6 +221,11 @@ def render_metrics(manifests: Sequence[Dict]) -> str:
             lines.append("")
             lines.append("Batching")
             lines.extend(batch_lines)
+        serve_lines = _serve_lines(manifests[0])
+        if serve_lines:
+            lines.append("")
+            lines.append("Serving")
+            lines.extend(serve_lines)
         hist_lines = _histogram_table(manifests[0].get("histograms") or {})
         if hist_lines:
             lines.append("")

@@ -23,6 +23,11 @@ available as :attr:`StatusServer.port`), serving:
 ``GET /healthz``
     ``200 ok`` while the server is up — a liveness probe.
 
+Routing and the daemon/bind/port-0 lifecycle are the shared
+:mod:`repro.obs.httpd` plumbing — the ``repro serve`` front-end mounts
+the same :func:`repro.obs.httpd.obs_route` surface on its own port, so
+a scrape job configured for one works unchanged against the other.
+
 Requests *sample* the same lock-free shards the heartbeat samples; the
 mapping hot path is never touched, so scraping cannot slow a run (the
 overhead gate in ``benchmarks/bench_metrics_smoke.py`` holds this to
@@ -34,14 +39,12 @@ ones.
 
 from __future__ import annotations
 
-import json
-import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from http.server import BaseHTTPRequestHandler
 from typing import Optional
-from urllib.parse import parse_qs, urlparse
+from urllib.parse import urlparse
 
-from .events import EVENTS
-from .export import OPENMETRICS_CONTENT_TYPE, RunSampler, render_openmetrics, status_record
+from .export import RunSampler
+from .httpd import DaemonHTTPServer, obs_route, text_reply
 from .logs import get_logger
 
 __all__ = ["StatusServer"]
@@ -55,44 +58,10 @@ class _StatusHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         url = urlparse(self.path)
-        route = url.path.rstrip("/") or "/"
-        if route == "/metrics":
-            sampler = self.server.sampler
-            body = render_openmetrics(
-                sampler.counters(), sampler.gauges(), sampler.histograms()
-            ).encode("utf-8")
-            self._reply(200, OPENMETRICS_CONTENT_TYPE, body)
-        elif route == "/status":
-            rec = status_record(self.server.sampler)
-            self._reply_json(200, rec)
-        elif route == "/events":
-            q = parse_qs(url.query)
-
-            def _int(key: str, default):
-                try:
-                    return int(q[key][0])
-                except (KeyError, IndexError, ValueError):
-                    return default
-
-            events = EVENTS.recent(
-                limit=_int("limit", 100),
-                kind=q.get("kind", [None])[0],
-                after_seq=_int("after_seq", 0),
-            )
-            self._reply_json(
-                200,
-                {
-                    "record": "events",
-                    "run_id": self.server.sampler.run_id,
-                    "seq": EVENTS.seq,
-                    "counts": EVENTS.counts(),
-                    "events": events,
-                },
-            )
-        elif route == "/" or route == "/healthz":
-            self._reply(200, "text/plain; charset=utf-8", b"ok\n")
-        else:
-            self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+        reply = obs_route(self.server.sampler, url.path, url.query)
+        if reply is None:
+            reply = text_reply(404, "not found\n")
+        self._reply(*reply)
 
     # -- plumbing ------------------------------------------------------ #
 
@@ -103,16 +72,12 @@ class _StatusHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _reply_json(self, code: int, doc) -> None:
-        body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
-        self._reply(code, "application/json; charset=utf-8", body)
-
     def log_message(self, fmt, *args) -> None:  # pragma: no cover
         # Route access logs through our logger at debug, not stderr spam.
         get_logger("statusd").debug("%s " + fmt, self.address_string(), *args)
 
 
-class StatusServer:
+class StatusServer(DaemonHTTPServer):
     """The per-run HTTP status daemon; a context manager.
 
     ``sampler`` is the run's shared :class:`RunSampler` (the same one
@@ -122,62 +87,24 @@ class StatusServer:
     interrupted run never hangs on the server.
     """
 
+    handler_class = _StatusHandler
+    log_name = "statusd"
+
     def __init__(
         self,
         sampler: Optional[RunSampler] = None,
         port: int = 0,
         host: str = "127.0.0.1",
     ) -> None:
-        if port < 0 or port > 65535:
-            raise ValueError(f"port must be in [0, 65535]: {port}")
+        super().__init__(port=port, host=host)
         self.sampler = sampler or RunSampler()
-        self._requested = (host, int(port))
-        self._httpd: Optional[ThreadingHTTPServer] = None
-        self._thread: Optional[threading.Thread] = None
-        self._log = get_logger("statusd")
 
-    # -- lifecycle ----------------------------------------------------- #
-
-    @property
-    def port(self) -> int:
-        """The bound port (0 until :meth:`start`)."""
-        return self._httpd.server_address[1] if self._httpd else 0
-
-    @property
-    def url(self) -> str:
-        host = self._requested[0]
-        return f"http://{host}:{self.port}" if self._httpd else ""
+    def _configure(self, httpd) -> None:
+        httpd.sampler = self.sampler
 
     def start(self) -> "StatusServer":
-        if self._httpd is not None:
-            return self
-        httpd = ThreadingHTTPServer(self._requested, _StatusHandler)
-        httpd.daemon_threads = True
-        httpd.sampler = self.sampler
-        self._httpd = httpd
-        self._thread = threading.Thread(
-            target=httpd.serve_forever,
-            name="statusd",
-            daemon=True,
-            kwargs={"poll_interval": 0.1},
-        )
-        self._thread.start()
-        self._log.info("status server listening on %s", self.url)
+        super().start()
         return self
-
-    def stop(self) -> None:
-        """Shut the listener down and join the serving thread; idempotent."""
-        httpd, self._httpd = self._httpd, None
-        thread, self._thread = self._thread, None
-        if httpd is None:
-            return
-        httpd.shutdown()
-        if thread is not None:
-            thread.join()
-        httpd.server_close()
 
     def __enter__(self) -> "StatusServer":
         return self.start()
-
-    def __exit__(self, *exc) -> None:
-        self.stop()

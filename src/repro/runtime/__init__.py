@@ -33,8 +33,8 @@ from .backends import (
     register_backend,
 )
 from .streaming import StreamStats, map_reads_streaming, stream_map
-from .parallel import BACKENDS, map_reads, parallel_map_reads
-from .procpool import ChunkPlan, map_reads_processes, plan_chunks
+from .parallel import BACKENDS, parallel_map_reads
+from .procpool import ChunkPlan, plan_chunks
 
 __all__ = [
     "make_batches",
@@ -63,9 +63,7 @@ __all__ = [
     "map_reads_streaming",
     "stream_map",
     "BACKENDS",
-    "map_reads",
     "parallel_map_reads",
     "ChunkPlan",
-    "map_reads_processes",
     "plan_chunks",
 ]

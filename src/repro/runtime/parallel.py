@@ -15,7 +15,6 @@ trace spans home with its results.
 
 from __future__ import annotations
 
-import warnings
 from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from threading import Lock
 from typing import Dict, List, Optional, Sequence
@@ -30,46 +29,6 @@ from .backends import backend_names
 #: Names accepted by the ``backend`` parameter — mirrors the backend
 #: registry (:mod:`repro.runtime.backends`), the single source of truth.
 BACKENDS = backend_names()
-
-
-def map_reads(
-    aligner: Aligner,
-    reads: Sequence[SeqRecord],
-    backend: str = "serial",
-    workers: int = 1,
-    with_cigar: bool = True,
-    longest_first: bool = True,
-    chunk_reads: int = 32,
-    chunk_bases: int = 1_000_000,
-    index_path: Optional[str] = None,
-    profile=None,
-    telemetry: Optional[Telemetry] = None,
-) -> List[List[Alignment]]:
-    """Deprecated kwarg-style entry point; use :func:`repro.api.map_reads`.
-
-    Delegates to the backend registry through the public facade so
-    behavior is identical; kept for source compatibility and emits a
-    :class:`DeprecationWarning`.
-    """
-    warnings.warn(
-        "repro.runtime.parallel.map_reads is deprecated; use "
-        "repro.api.map_reads with a MapOptions instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from ..api import MapOptions
-    from .backends import dispatch
-
-    options = MapOptions(
-        backend=backend,
-        workers=workers,
-        with_cigar=with_cigar,
-        longest_first=longest_first,
-        chunk_reads=chunk_reads,
-        chunk_bases=chunk_bases,
-        index_path=index_path,
-    ).validated()
-    return dispatch(aligner, reads, options, profile=profile, telemetry=telemetry)
 
 
 def parallel_map_reads(

@@ -67,7 +67,6 @@ from .faults import (
 __all__ = [
     "ChunkPlan",
     "plan_chunks",
-    "map_reads_processes",
 ]
 
 
@@ -219,50 +218,6 @@ def _map_chunk(
 
 # --------------------------------------------------------------------- #
 # Parent side
-
-
-def map_reads_processes(
-    aligner: Aligner,
-    reads: Sequence[SeqRecord],
-    processes: int = 2,
-    with_cigar: bool = True,
-    longest_first: bool = True,
-    chunk_reads: int = 32,
-    chunk_bases: int = 1_000_000,
-    index_path: Optional[str] = None,
-    max_inflight: Optional[int] = None,
-    mp_context=None,
-    profile=None,
-    telemetry: Optional[Telemetry] = None,
-) -> List[List[Alignment]]:
-    """Deprecated direct entry point; use :func:`repro.api.map_reads`.
-
-    Identical behavior (it calls the same implementation the
-    ``processes`` registry backend uses); kept for source
-    compatibility and emits a :class:`DeprecationWarning`.
-    """
-    import warnings
-
-    warnings.warn(
-        "repro.runtime.procpool.map_reads_processes is deprecated; use "
-        "repro.api.map_reads with MapOptions(backend='processes') instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _map_reads_processes(
-        aligner,
-        reads,
-        processes=processes,
-        with_cigar=with_cigar,
-        longest_first=longest_first,
-        chunk_reads=chunk_reads,
-        chunk_bases=chunk_bases,
-        index_path=index_path,
-        max_inflight=max_inflight,
-        mp_context=mp_context,
-        profile=profile,
-        telemetry=telemetry,
-    )
 
 
 def _map_reads_processes(

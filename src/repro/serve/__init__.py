@@ -1,0 +1,51 @@
+"""``repro serve`` — mapping as a service.
+
+A long-lived asyncio HTTP-JSON front-end over one resident
+:class:`repro.api.MappingSession`: the index is opened (mmap'd) once,
+then concurrent ``POST /map`` requests are admitted under per-tenant
+quotas, coalesced by an adaptive batcher into the same cross-read DP
+batches the one-shot CLI uses, and answered with per-request PAF.
+
+The package splits along the request's path through the server:
+
+:mod:`~repro.serve.admission`
+    Bounded queue + per-tenant fairness/quotas; sheds with 429.
+:mod:`~repro.serve.batcher`
+    Coalesces admitted requests under a latency target into
+    :meth:`MappingSession.map_batch <repro.api.MappingSession.map_batch>`
+    calls; grows/shrinks the batch read target against observed p99.
+:mod:`~repro.serve.server`
+    The asyncio HTTP front-end + graceful SIGTERM drain, with the
+    observability surface (:func:`repro.obs.httpd.obs_route`) mounted
+    on the same port.
+:mod:`~repro.serve.client`
+    A tiny stdlib client for tests, benchmarks and scripts.
+
+Wire model (:class:`repro.api.MapRequest` / ``MapResult``) and serving
+knobs (:class:`repro.api.ServeConfig`) live in :mod:`repro.api` — the
+server speaks exactly the objects the Python facade uses.
+"""
+
+from .admission import (
+    AdmissionQueue,
+    DrainingError,
+    QueueFullError,
+    RequestTooLargeError,
+    TenantQuotaError,
+)
+from .batcher import AdaptiveBatcher, BatchController
+from .client import ServeClient
+from .server import MappingServer, ServerThread
+
+__all__ = [
+    "AdmissionQueue",
+    "AdaptiveBatcher",
+    "BatchController",
+    "DrainingError",
+    "MappingServer",
+    "QueueFullError",
+    "RequestTooLargeError",
+    "ServeClient",
+    "ServerThread",
+    "TenantQuotaError",
+]

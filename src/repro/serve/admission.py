@@ -1,0 +1,293 @@
+"""Admission control: the bounded, tenant-fair request queue.
+
+Every ``POST /map`` passes through one :class:`AdmissionQueue` before
+any mapping work happens. Admission is where the server says *no*:
+
+- the queue holds at most ``max_queue_requests`` requests — excess is
+  shed immediately with :class:`QueueFullError` (HTTP 429), so a burst
+  degrades into fast rejections instead of unbounded memory growth;
+- each tenant may have at most ``tenant_quota`` requests outstanding
+  (queued + in flight) — one greedy client hits
+  :class:`TenantQuotaError` (429) while others keep flowing;
+- one request may carry at most ``max_reads_per_request`` reads
+  (:class:`RequestTooLargeError`, 400 — resubmit split);
+- a draining server admits nothing (:class:`DrainingError`, 503).
+
+Dequeue order is round-robin across tenants (FIFO within a tenant), so
+batch composition interleaves tenants fairly: with two active tenants
+each batch takes requests alternately, regardless of who queued more.
+Requests are never split across batches — the unit of admission is the
+unit of batching.
+
+Tickets carry a :class:`concurrent.futures.Future`; the asyncio server
+awaits it via ``asyncio.wrap_future`` while the batcher's worker
+threads resolve it, so the queue itself needs no event loop and is
+directly testable from synchronous code.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Dict, List, Optional
+
+from ..api import MapRequest, ServeConfig
+from ..errors import ServeError
+from ..obs.counters import COUNTERS
+
+__all__ = [
+    "AdmissionError",
+    "AdmissionQueue",
+    "DrainingError",
+    "QueueFullError",
+    "RequestTooLargeError",
+    "TenantQuotaError",
+    "Ticket",
+]
+
+
+class AdmissionError(ServeError):
+    """A request the server refused to admit; carries an HTTP status."""
+
+    http_status = 429
+
+
+class QueueFullError(AdmissionError):
+    """The admission queue is at ``max_queue_requests``."""
+
+    http_status = 429
+
+
+class TenantQuotaError(AdmissionError):
+    """The tenant is at ``tenant_quota`` outstanding requests."""
+
+    http_status = 429
+
+
+class RequestTooLargeError(AdmissionError):
+    """The request exceeds ``max_reads_per_request``."""
+
+    http_status = 400
+
+
+class DrainingError(AdmissionError):
+    """The server is draining and admits no new work."""
+
+    http_status = 503
+
+
+class Ticket:
+    """One admitted request: the unit flowing queue → batch → response."""
+
+    __slots__ = ("request", "enqueued_at", "future")
+
+    def __init__(self, request: MapRequest) -> None:
+        self.request = request
+        self.enqueued_at = time.perf_counter()
+        self.future: "Future" = Future()
+
+    @property
+    def queue_ms(self) -> float:
+        return (time.perf_counter() - self.enqueued_at) * 1000.0
+
+
+class AdmissionQueue:
+    """Bounded multi-tenant request queue with round-robin dequeue.
+
+    Thread-safe throughout; :meth:`submit` never blocks (it admits or
+    raises), the batcher blocks in :meth:`collect`. ``gauges`` is the
+    server telemetry's :class:`~repro.obs.gauges.GaugeSet` — queue
+    depth is mirrored there (``serve.queue.requests`` + its
+    ``\\*.max`` high-water) on every transition.
+    """
+
+    def __init__(self, config: ServeConfig, gauges=None) -> None:
+        self.config = config.validated()
+        self._gauges = gauges
+        self._cond = threading.Condition()
+        self._queues: Dict[str, List[Ticket]] = {}
+        self._rotation: List[str] = []  # round-robin tenant order
+        self._outstanding: Dict[str, int] = {}  # queued + in flight
+        self._queued = 0
+        self._draining = False
+        self._stopped = False
+
+    # -- the request side ---------------------------------------------- #
+
+    def submit(self, request: MapRequest) -> Ticket:
+        """Admit ``request`` or raise an :class:`AdmissionError`.
+
+        Sheds *before* touching the queue, so rejected requests cost
+        O(1) and never perturb queued work.
+        """
+        cfg = self.config
+        if request.n_reads > cfg.max_reads_per_request:
+            COUNTERS.inc("serve.shed.oversize")
+            raise RequestTooLargeError(
+                f"request {request.request_id}: {request.n_reads} reads "
+                f"> max_reads_per_request {cfg.max_reads_per_request}"
+            )
+        with self._cond:
+            if self._draining or self._stopped:
+                COUNTERS.inc("serve.shed.draining")
+                raise DrainingError("server is draining; retry elsewhere")
+            if self._queued >= cfg.max_queue_requests:
+                COUNTERS.inc("serve.shed.queue")
+                raise QueueFullError(
+                    f"admission queue full ({cfg.max_queue_requests})"
+                )
+            tenant = request.tenant
+            if self._outstanding.get(tenant, 0) >= cfg.tenant_quota:
+                COUNTERS.inc("serve.shed.quota")
+                raise TenantQuotaError(
+                    f"tenant {tenant!r} at quota ({cfg.tenant_quota} "
+                    f"outstanding)"
+                )
+            ticket = Ticket(request)
+            if tenant not in self._queues:
+                self._queues[tenant] = []
+                self._rotation.append(tenant)
+            self._queues[tenant].append(ticket)
+            self._outstanding[tenant] = self._outstanding.get(tenant, 0) + 1
+            self._queued += 1
+            self._sync_gauges()
+            self._cond.notify_all()
+        COUNTERS.inc("serve.admitted")
+        COUNTERS.inc(f"serve.tenant.{request.tenant}.requests")
+        return ticket
+
+    def done(self, ticket: Ticket) -> None:
+        """Mark a request finished (response sent): frees tenant quota."""
+        tenant = ticket.request.tenant
+        with self._cond:
+            left = self._outstanding.get(tenant, 0) - 1
+            if left > 0:
+                self._outstanding[tenant] = left
+            else:
+                self._outstanding.pop(tenant, None)
+            self._cond.notify_all()
+
+    # -- the batcher side ---------------------------------------------- #
+
+    def collect(
+        self, target_reads: int, timeout_s: float
+    ) -> List[Ticket]:
+        """Block for the next coalesced batch of tickets.
+
+        Waits for the first queued request, then keeps collecting until
+        the batch holds ``target_reads`` reads or ``timeout_s`` has
+        passed since that first request was seen — the classic
+        size-or-deadline batching rule. Dequeue is round-robin across
+        tenants; requests are never split (a request larger than the
+        target rides alone). Returns ``[]`` only when the queue is
+        stopped and empty — the batcher's exit signal.
+        """
+        with self._cond:
+            while self._queued == 0:
+                if self._stopped or self._draining:
+                    return []
+                self._cond.wait(0.05)
+            deadline = time.monotonic() + timeout_s
+            while self._queued_reads_locked() < target_reads:
+                left = deadline - time.monotonic()
+                if left <= 0 or self._stopped or self._draining:
+                    break
+                self._cond.wait(min(left, 0.05))
+            return self._pop_locked(target_reads)
+
+    def _queued_reads_locked(self) -> int:
+        return sum(
+            t.request.n_reads for q in self._queues.values() for t in q
+        )
+
+    def _pop_locked(self, target_reads: int) -> List[Ticket]:
+        batch: List[Ticket] = []
+        reads = 0
+        while self._queued:
+            progressed = False
+            for tenant in list(self._rotation):
+                queue = self._queues.get(tenant)
+                if not queue:
+                    continue
+                ticket = queue[0]
+                n = ticket.request.n_reads
+                if batch and reads + n > target_reads:
+                    continue  # keep whole requests; try other tenants
+                queue.pop(0)
+                if not queue:
+                    self._queues.pop(tenant, None)
+                    self._rotation.remove(tenant)
+                else:
+                    # rotate: this tenant goes to the back of the order.
+                    self._rotation.remove(tenant)
+                    self._rotation.append(tenant)
+                self._queued -= 1
+                batch.append(ticket)
+                reads += n
+                progressed = True
+                if reads >= target_reads:
+                    break
+            if not progressed or reads >= target_reads:
+                break
+        self._sync_gauges()
+        return batch
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def begin_drain(self) -> None:
+        """Stop admitting; queued work still gets batched and answered."""
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+
+    def stop(self) -> None:
+        """Drain + wake every waiter; :meth:`collect` returns [] when dry."""
+        with self._cond:
+            self._draining = True
+            self._stopped = True
+            self._cond.notify_all()
+
+    def fail_pending(self, exc: Exception) -> int:
+        """Resolve every still-queued ticket with ``exc`` (drain gave up)."""
+        with self._cond:
+            pending = [t for q in self._queues.values() for t in q]
+            self._queues.clear()
+            self._rotation.clear()
+            self._queued = 0
+            self._sync_gauges()
+        for ticket in pending:
+            if not ticket.future.done():
+                ticket.future.set_exception(exc)
+        return len(pending)
+
+    def wait_empty(self, timeout_s: float) -> bool:
+        """Block until the queue is empty (True) or the timeout passes."""
+        deadline = time.monotonic() + timeout_s
+        with self._cond:
+            while self._queued:
+                left = deadline - time.monotonic()
+                if left <= 0:
+                    return False
+                self._cond.wait(min(left, 0.05))
+            return True
+
+    @property
+    def depth(self) -> int:
+        with self._cond:
+            return self._queued
+
+    def outstanding(self, tenant: str) -> int:
+        with self._cond:
+            return self._outstanding.get(tenant, 0)
+
+    @property
+    def draining(self) -> bool:
+        with self._cond:
+            return self._draining
+
+    def _sync_gauges(self) -> None:
+        if self._gauges is None:
+            return
+        self._gauges.set("serve.queue.requests", self._queued)
+        self._gauges.high_water("serve.queue.requests.max", self._queued)

@@ -1,0 +1,275 @@
+"""The adaptive batcher: coalesced requests → pooled DP batches.
+
+The paper's throughput story (cross-read batched DP, PR 6) only pays
+off in a serving shape if concurrent small requests actually share
+wavefront batches. The :class:`AdaptiveBatcher` worker threads pull
+coalesced ticket batches off the :class:`~repro.serve.admission.
+AdmissionQueue` and execute each through one
+:meth:`MappingSession.map_batch <repro.api.MappingSession.map_batch>`
+call, so the kernel-dispatch layer sees every coalesced request's
+reads as one DP bucket population — dispatch batch count < request
+count is the measurable win (``serve.batches`` vs ``serve.admitted``).
+
+:class:`BatchController` governs *how much* to coalesce: with
+``adaptive_batching`` the live read target starts at a quarter of
+``max_batch_reads`` and multiplicatively grows while observed p99
+request latency (over the last ``latency_window`` requests) sits
+comfortably under ``latency_target_ms``, shrinking as soon as p99
+crosses it — the grow-gently/shrink-fast rule GPU batch schedulers
+use, bounded to ``[min_batch_reads, max_batch_reads]``.
+
+Fault isolation: a pooled batch runs with no fault policy, so a poison
+read raises out of the pooled call. The batch then falls back to
+per-request :meth:`MappingSession.map_request
+<repro.api.MappingSession.map_request>` reruns — mapping is
+deterministic, so only the poisoned request resolves to an error
+result (HTTP 400) while its batch neighbors still succeed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+from ..api import MappingSession, MapResult, ServeConfig
+from ..obs.counters import COUNTERS
+from ..obs.events import EVENTS
+from ..obs.hist import HISTOGRAMS
+from ..obs.logs import get_logger
+from .admission import AdmissionQueue, Ticket
+
+__all__ = ["AdaptiveBatcher", "BatchController"]
+
+
+class BatchController:
+    """The live batch-read target, adapted against observed p99 latency.
+
+    Thread-safe. With ``adaptive_batching=False`` the target is pinned
+    at ``max_batch_reads`` and :meth:`observe` is a no-op. Adaptation
+    waits out a short cooldown (a quarter window) between moves so one
+    slow batch cannot thrash the target.
+    """
+
+    GROW = 1.5
+    SHRINK = 0.5
+    #: grow only while p99 is below this fraction of the target.
+    HEADROOM = 0.8
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self._lock = threading.Lock()
+        self._latencies: List[float] = []  # ring of recent ms
+        self._since_change = 0
+        self._cooldown = max(4, config.latency_window // 4)
+        if config.adaptive_batching:
+            self._target = max(
+                config.min_batch_reads, config.max_batch_reads // 4
+            )
+        else:
+            self._target = config.max_batch_reads
+
+    @property
+    def target_reads(self) -> int:
+        with self._lock:
+            return self._target
+
+    def p99_ms(self) -> Optional[float]:
+        """p99 over the current window (None until any observation)."""
+        with self._lock:
+            if not self._latencies:
+                return None
+            ordered = sorted(self._latencies)
+            rank = max(0, int(0.99 * len(ordered)) - 1)
+            return ordered[min(rank + 1, len(ordered) - 1)]
+
+    def observe(self, latency_ms: float) -> None:
+        """Feed one request's total latency; maybe move the target."""
+        cfg = self.config
+        if not cfg.adaptive_batching:
+            return
+        with self._lock:
+            self._latencies.append(latency_ms)
+            if len(self._latencies) > cfg.latency_window:
+                del self._latencies[: -cfg.latency_window]
+            self._since_change += 1
+            if self._since_change < self._cooldown:
+                return
+        p99 = self.p99_ms()
+        if p99 is None:
+            return
+        with self._lock:
+            old = self._target
+            if p99 > cfg.latency_target_ms:
+                self._target = max(
+                    cfg.min_batch_reads, int(self._target * self.SHRINK)
+                )
+            elif p99 < cfg.latency_target_ms * self.HEADROOM:
+                self._target = min(
+                    cfg.max_batch_reads,
+                    max(self._target + 1, int(self._target * self.GROW)),
+                )
+            if self._target != old:
+                self._since_change = 0
+                EVENTS.emit(
+                    "serve.batch.resize",
+                    target_reads=self._target,
+                    was=old,
+                    p99_ms=round(p99, 3),
+                )
+
+
+class AdaptiveBatcher:
+    """``batch_workers`` threads turning ticket batches into results."""
+
+    def __init__(
+        self,
+        session: MappingSession,
+        queue: AdmissionQueue,
+        config: ServeConfig,
+        gauges=None,
+    ) -> None:
+        self.session = session
+        self.queue = queue
+        self.config = config
+        self.controller = BatchController(config)
+        self._gauges = gauges
+        self._threads: List[threading.Thread] = []
+        self._batch_lock = threading.Lock()
+        self._next_batch_id = 1
+        self._log = get_logger("serve.batcher")
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def start(self) -> "AdaptiveBatcher":
+        if self._threads:
+            return self
+        for i in range(self.config.batch_workers):
+            t = threading.Thread(
+                target=self._run, name=f"serve-batcher-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+        return self
+
+    def join(self, timeout_s: Optional[float] = None) -> bool:
+        """Join the workers (after ``queue.stop()``); True when all exited."""
+        deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        for t in self._threads:
+            left = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            t.join(left)
+        alive = any(t.is_alive() for t in self._threads)
+        if not alive:
+            self._threads = []
+        return not alive
+
+    # -- the worker loop ------------------------------------------------ #
+
+    def _run(self) -> None:
+        timeout_s = self.config.batch_timeout_ms / 1000.0
+        while True:
+            target = self.controller.target_reads
+            if self._gauges is not None:
+                self._gauges.set("serve.batch.target_reads", target)
+            tickets = self.queue.collect(target, timeout_s)
+            if not tickets:
+                return  # queue stopped/drained dry
+            try:
+                self._execute(tickets)
+            except Exception as exc:  # pragma: no cover - last resort
+                self._log.exception("batch execution failed")
+                for ticket in tickets:
+                    if not ticket.future.done():
+                        ticket.future.set_exception(exc)
+
+    def _execute(self, tickets: List[Ticket]) -> None:
+        with self._batch_lock:
+            batch_id = self._next_batch_id
+            self._next_batch_id += 1
+        n_reads = sum(t.request.n_reads for t in tickets)
+        t0 = time.perf_counter()
+        results = self._map_tickets(tickets)
+        map_ms = (time.perf_counter() - t0) * 1000.0
+
+        COUNTERS.inc("serve.batches")
+        COUNTERS.inc("serve.batch_requests", len(tickets))
+        COUNTERS.inc("serve.batch_reads", n_reads)
+        if len(tickets) > 1:
+            COUNTERS.inc("serve.coalesced")
+        HISTOGRAMS.observe("serve.batch.reads", float(n_reads))
+        EVENTS.emit(
+            "serve.batch",
+            batch_id=batch_id,
+            requests=len(tickets),
+            reads=n_reads,
+            map_ms=round(map_ms, 3),
+        )
+
+        for ticket, result in zip(tickets, results):
+            queue_ms = (t0 - ticket.enqueued_at) * 1000.0
+            total_ms = (time.perf_counter() - ticket.enqueued_at) * 1000.0
+            result = result.replace(
+                batch_id=batch_id,
+                batch_requests=len(tickets),
+                queue_ms=queue_ms,
+                map_ms=map_ms,
+                total_ms=total_ms,
+            )
+            COUNTERS.inc("serve.ok" if result.ok else "serve.errors")
+            HISTOGRAMS.observe("serve.latency_s", total_ms / 1000.0)
+            HISTOGRAMS.observe("serve.queue_wait_s", queue_ms / 1000.0)
+            self.controller.observe(total_ms)
+            self.queue.done(ticket)
+            if not ticket.future.done():
+                ticket.future.set_result(result)
+
+    def _map_tickets(self, tickets: List[Ticket]) -> List[MapResult]:
+        """One pooled DP pass; per-request rerun to isolate any poison."""
+        from ..core.alignment import to_paf
+
+        # Pooling requires one with_cigar setting; mixed batches run as
+        # homogeneous sub-groups under the same batch id.
+        groups: List[List[Ticket]] = []
+        for flag in (True, False):
+            group = [t for t in tickets if t.request.with_cigar is flag]
+            if group:
+                groups.append(group)
+
+        out = {}
+        for group in groups:
+            reads = [r for t in group for r in t.request.reads]
+            with_cigar = group[0].request.with_cigar
+            try:
+                if any(t.request.on_error == "skip" for t in group):
+                    # skip-mode requests need per-read fault absorption.
+                    raise _PerRequest()
+                alns = self.session.map_batch(reads, with_cigar=with_cigar)
+            except Exception:
+                # A poison read (or skip semantics): isolate per request.
+                for ticket in group:
+                    out[id(ticket)] = self.session.map_request(
+                        ticket.request
+                    )
+                continue
+            cursor = 0
+            for ticket in group:
+                req = ticket.request
+                per_read = alns[cursor : cursor + req.n_reads]
+                cursor += req.n_reads
+                out[id(ticket)] = MapResult(
+                    request_id=req.request_id,
+                    read_names=tuple(r.name for r in req.reads),
+                    paf=tuple(
+                        tuple(to_paf(a) for a in read_alns)
+                        for read_alns in per_read
+                    ),
+                )
+        return [out[id(t)] for t in tickets]
+
+
+class _PerRequest(Exception):
+    """Internal: force the per-request fallback path."""

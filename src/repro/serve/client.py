@@ -1,0 +1,96 @@
+"""A tiny stdlib client for the serve front-end.
+
+Used by the serve tests, ``benchmarks/bench_serve.py``, and anyone who
+wants to script against a running ``repro serve`` without pulling in an
+HTTP library: one blocking call per request over ``urllib``, speaking
+the versioned :class:`~repro.api.MapRequest` / ``MapResult`` wire
+model. Raise-on-shed is deliberate — 429/503 surface as
+:class:`ShedError` with the HTTP status attached, so load generators
+can count sheds without parsing bodies.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict
+
+from ..api import MapRequest, MapResult
+from ..errors import ServeError
+
+__all__ = ["ServeClient", "ShedError"]
+
+
+class ShedError(ServeError):
+    """The server refused the request (429 quota/queue or 503 drain)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    """Blocking HTTP client bound to one serve base URL."""
+
+    def __init__(self, url: str, timeout_s: float = 60.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def map(self, request: MapRequest) -> MapResult:
+        """POST one request; returns its result (even an error result).
+
+        HTTP 200/400 responses decode to :class:`MapResult` (a 400 is a
+        well-formed error result — poison reads land here); 429/503
+        raise :class:`ShedError`; anything else raises
+        :class:`~repro.errors.ServeError`.
+        """
+        body = json.dumps(request.to_json()).encode("utf-8")
+        req = urllib.request.Request(
+            self.url + "/map",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                doc = json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            payload = exc.read()
+            if exc.code in (429, 503):
+                raise ShedError(exc.code, payload.decode("utf-8", "replace"))
+            try:
+                doc = json.loads(payload)
+            except ValueError:
+                raise ServeError(
+                    f"HTTP {exc.code}: {payload[:200]!r}"
+                ) from exc
+            if doc.get("record") != "map_result":
+                raise ServeError(
+                    f"HTTP {exc.code}: {doc.get('error', doc)}"
+                ) from exc
+        return MapResult.from_json(doc)
+
+    # -- observability surface ------------------------------------------ #
+
+    def _get(self, path: str) -> bytes:
+        with urllib.request.urlopen(
+            self.url + path, timeout=self.timeout_s
+        ) as resp:
+            return resp.read()
+
+    def status(self) -> Dict:
+        return json.loads(self._get("/status"))
+
+    def metrics(self) -> str:
+        return self._get("/metrics").decode("utf-8")
+
+    def events(self, **params) -> Dict:
+        query = "&".join(f"{k}={v}" for k, v in params.items())
+        return json.loads(self._get("/events" + ("?" + query if query else "")))
+
+    def healthy(self) -> bool:
+        try:
+            return self._get("/healthz").strip() == b"ok"
+        except (urllib.error.URLError, ConnectionError):
+            return False

@@ -1,0 +1,339 @@
+"""The asyncio HTTP front-end: one resident session, many requests.
+
+:class:`MappingServer` binds one socket (``port=0`` asks the OS, as
+everywhere else in this codebase) and serves two surfaces on it:
+
+``POST /map``
+    A JSON :class:`~repro.api.MapRequest` body; the response is the
+    matching :class:`~repro.api.MapResult` document (HTTP 200 on
+    success, 400 for malformed/poisoned requests, 429 when shed by
+    admission, 503 while draining). The connection model is
+    deliberately boring — ``Connection: close``, one request per
+    connection — because request cost is dominated by mapping, not
+    connection setup, and it keeps the stdlib-only parser tiny.
+
+``GET /metrics`` / ``/status`` / ``/events`` / ``/healthz``
+    The exact observability surface the per-run status daemon serves
+    (:func:`repro.obs.httpd.obs_route` — shared router, same bytes), so
+    a Prometheus scrape job pointed at the serve port just works.
+
+Request flow: the event loop *only* parses HTTP and awaits ticket
+futures; all mapping happens on the batcher's worker threads. Graceful
+drain (SIGTERM/SIGINT): stop admitting (new requests see 503), let the
+batcher flush queued work for up to ``drain_timeout_s``, fail whatever
+is left, then close the socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from typing import Dict, Optional, Tuple
+
+from ..api import MappingSession, MapRequest, ServeConfig
+from ..errors import ParseError, ServeError
+from ..obs.counters import COUNTERS
+from ..obs.events import EVENTS
+from ..obs.export import RunSampler
+from ..obs.httpd import json_reply, obs_route, text_reply
+from ..obs.logs import get_logger
+from ..obs.telemetry import Telemetry
+from .admission import AdmissionError, AdmissionQueue, DrainingError
+from .batcher import AdaptiveBatcher
+
+__all__ = ["MappingServer", "ServerThread"]
+
+#: Refuse request bodies beyond this many bytes (64 MiB): a full
+#: ``max_reads_per_request`` of long reads fits comfortably below it.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class MappingServer:
+    """The ``repro serve`` daemon over one :class:`MappingSession`."""
+
+    def __init__(
+        self,
+        session: MappingSession,
+        config: Optional[ServeConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.session = session
+        self.config = (config or ServeConfig()).validated()
+        self.telemetry = telemetry or Telemetry()
+        self.sampler = RunSampler(self.telemetry)
+        self.queue = AdmissionQueue(self.config, gauges=self.telemetry.gauges)
+        self.batcher = AdaptiveBatcher(
+            session, self.queue, self.config, gauges=self.telemetry.gauges
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._draining = False
+        self._log = get_logger("serve")
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    @property
+    def port(self) -> int:
+        if self._server is None or not self._server.sockets:
+            return 0
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return (
+            f"http://{self.config.host}:{self.port}" if self._server else ""
+        )
+
+    async def start(self) -> "MappingServer":
+        if self._server is not None:
+            return self
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle, host=self.config.host, port=self.config.port
+        )
+        self.batcher.start()
+        EVENTS.emit("serve.start", url=self.url, run_id=self.telemetry.run_id)
+        self._log.info("serving on %s", self.url)
+        return self
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain (call from the loop thread)."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(self.shutdown())
+                )
+            except NotImplementedError:  # pragma: no cover - non-Unix
+                pass
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` completes."""
+        assert self._stopped is not None, "start() first"
+        await self._stopped.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: 503 new work, flush queued, close the socket."""
+        if self._server is None or self._draining:
+            return
+        self._draining = True
+        EVENTS.emit("serve.drain", queued=self.queue.depth)
+        self.queue.begin_drain()
+        loop = asyncio.get_running_loop()
+        drained = await loop.run_in_executor(
+            None, self.queue.wait_empty, self.config.drain_timeout_s
+        )
+        self.queue.stop()
+        failed = 0
+        if not drained:
+            failed = self.queue.fail_pending(
+                DrainingError("server shut down before this request ran")
+            )
+        await loop.run_in_executor(None, self.batcher.join, 5.0)
+        server, self._server = self._server, None
+        server.close()
+        await server.wait_closed()
+        EVENTS.emit("serve.stop", drained=bool(drained), failed=failed)
+        self._log.info(
+            "serve stopped (drained=%s, failed=%d)", drained, failed
+        )
+        if self._stopped is not None:
+            self._stopped.set()
+
+    # -- HTTP ----------------------------------------------------------- #
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            reply = await self._route(reader)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            writer.close()
+            return
+        except Exception as exc:  # pragma: no cover - parser last resort
+            self._log.exception("request handling failed")
+            reply = json_reply(500, {"error": str(exc)})
+        code, ctype, body = reply
+        head = (
+            f"HTTP/1.1 {code} {_REASONS.get(code, 'Unknown')}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except ConnectionError:  # pragma: no cover - client went away
+            pass
+        finally:
+            writer.close()
+
+    async def _route(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, str, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            return text_reply(400, "empty request\n")
+        parts = request_line.split()
+        if len(parts) < 2:
+            return text_reply(400, "malformed request line\n")
+        method, target = parts[0].upper(), parts[1]
+        path, _, query = target.partition("?")
+        headers = await self._read_headers(reader)
+
+        if method == "GET":
+            reply = obs_route(self.sampler, path, query)
+            return reply if reply is not None else text_reply(
+                404, "not found\n"
+            )
+        if method != "POST":
+            return text_reply(405, "method not allowed\n")
+        if path.rstrip("/") != "/map":
+            return text_reply(404, "not found\n")
+
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            return text_reply(400, "bad Content-Length\n")
+        if length <= 0:
+            return text_reply(400, "request body required\n")
+        if length > MAX_BODY_BYTES:
+            return text_reply(413, "request body too large\n")
+        body = await reader.readexactly(length)
+        return await self._handle_map(body)
+
+    @staticmethod
+    async def _read_headers(
+        reader: asyncio.StreamReader,
+    ) -> Dict[str, str]:
+        headers: Dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                return headers
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+    async def _handle_map(self, body: bytes) -> Tuple[int, str, bytes]:
+        COUNTERS.inc("serve.requests")
+        try:
+            doc = json.loads(body)
+        except ValueError as exc:
+            COUNTERS.inc("serve.errors")
+            return json_reply(400, {"error": f"invalid JSON: {exc}"})
+        try:
+            request = MapRequest.from_json(doc)
+        except ParseError as exc:
+            COUNTERS.inc("serve.errors")
+            return json_reply(400, {"error": str(exc)})
+        try:
+            ticket = self.queue.submit(request)
+        except AdmissionError as exc:
+            COUNTERS.inc("serve.shed")
+            return json_reply(
+                exc.http_status,
+                {
+                    "error": str(exc),
+                    "request_id": request.request_id,
+                    "shed": True,
+                },
+            )
+        try:
+            result = await asyncio.wrap_future(ticket.future)
+        except ServeError as exc:
+            status = getattr(exc, "http_status", 503)
+            return json_reply(
+                status, {"error": str(exc), "request_id": request.request_id}
+            )
+        return json_reply(200 if result.ok else 400, result.to_json())
+
+
+class ServerThread:
+    """A :class:`MappingServer` on a private loop in a daemon thread.
+
+    The in-process deployment shape used by tests and benchmarks (and
+    handy for notebooks): ``start()`` returns once the socket is bound,
+    ``stop()`` runs the same graceful drain the SIGTERM path runs.
+    """
+
+    def __init__(
+        self,
+        session: MappingSession,
+        config: Optional[ServeConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.server = MappingServer(session, config, telemetry)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def start(self, timeout_s: float = 10.0) -> "ServerThread":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run, name="serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout_s):
+            raise ServeError("serve thread failed to bind in time")
+        if self._error is not None:
+            raise ServeError(f"serve thread failed: {self._error}")
+        return self
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                await self.server.start()
+            except BaseException as exc:
+                self._error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            await self.server.serve_forever()
+
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        try:
+            loop.run_until_complete(main())
+        finally:
+            loop.close()
+
+    def stop(self, timeout_s: float = 30.0) -> None:
+        thread, self._thread = self._thread, None
+        if thread is None or self._loop is None:
+            return
+        fut = asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(), self._loop
+        )
+        try:
+            fut.result(timeout_s)
+        finally:
+            thread.join(timeout_s)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,8 +1,10 @@
-"""The public mapping API: surface snapshot, options, deprecation shims.
+"""The public mapping API: surface snapshot, options, sessions.
 
 ``repro.api`` is the stable contract — these tests pin its exact
-surface (names and signatures) so any change is deliberate, and verify
-that the legacy kwarg-style entry points still work but warn.
+surface (names and signatures) so any change is deliberate, verify the
+one-shot facade functions are true thin clients of
+:class:`~repro.api.MappingSession`, and prove the PR-3 deprecation
+shims are gone for good.
 """
 
 from __future__ import annotations
@@ -14,7 +16,7 @@ import pytest
 
 import repro
 from repro import api
-from repro.api import MapOptions
+from repro.api import MapOptions, MappingSession
 from repro.core.aligner import Aligner
 from repro.core.alignment import to_paf
 from repro.core.driver import ParallelDriver
@@ -35,17 +37,37 @@ def paf(results):
     return [to_paf(a) for alns in results for a in alns]
 
 
+def skeleton(fn) -> str:
+    """A signature with annotations stripped: name/default shape only."""
+    return str(
+        inspect.Signature(
+            [
+                p.replace(annotation=inspect.Parameter.empty)
+                for p in inspect.signature(fn).parameters.values()
+            ]
+        )
+    )
+
+
 class TestSurfaceSnapshot:
     """Changing anything here is an API break — do it on purpose."""
 
     def test_public_names(self):
         assert api.__all__ == [
+            "API_VERSION",
             "MapOptions",
+            "MapRequest",
+            "MapResult",
+            "MappingSession",
+            "ServeConfig",
             "StreamStats",
             "open_index",
             "map_reads",
             "map_file",
         ]
+
+    def test_api_version(self):
+        assert api.API_VERSION == 1
 
     def test_reexported_from_package_root(self):
         for name in api.__all__:
@@ -69,17 +91,30 @@ class TestSurfaceSnapshot:
         }
         for name, want in snapshot.items():
             fn = getattr(api, name)
-            sig = str(inspect.signature(fn))
-            # Strip annotations: compare the name/default skeleton only.
-            got = str(
-                inspect.Signature(
-                    [
-                        p.replace(annotation=inspect.Parameter.empty)
-                        for p in inspect.signature(fn).parameters.values()
-                    ]
-                )
-            )
-            assert got == want, f"{name}{sig}"
+            assert skeleton(fn) == want, f"{name}{inspect.signature(fn)}"
+
+    def test_session_signatures(self):
+        snapshot = {
+            "open": (
+                "(reference, index_path=None, *, preset='map-pb', "
+                "engine='manymap', load_mode='mmap', options=None)"
+            ),
+            "map_reads": (
+                "(self, reads, options=None, *, profile=None, "
+                "telemetry=None, **overrides)"
+            ),
+            "map_file": (
+                "(self, reads_path, output=None, options=None, *, "
+                "sam=False, profile=None, telemetry=None, **overrides)"
+            ),
+            "map_batch": "(self, reads, with_cigar=True)",
+            "map_request": "(self, request)",
+        }
+        for name, want in snapshot.items():
+            # class access binds the classmethod, so `cls` is gone and
+            # `self` stays for plain methods — exactly the shape pinned.
+            got = skeleton(getattr(MappingSession, name))
+            assert got == want, f"{name}{got}"
 
     def test_map_options_fields(self):
         assert [f.name for f in MapOptions.__dataclass_fields__.values()] == [
@@ -118,6 +153,45 @@ class TestSurfaceSnapshot:
             batch_buckets=None,
             fault_policy=None,
         )
+
+    def test_request_model_fields(self):
+        assert list(api.MapRequest.__dataclass_fields__) == [
+            "request_id",
+            "reads",
+            "tenant",
+            "with_cigar",
+            "on_error",
+            "api_version",
+        ]
+        assert list(api.MapResult.__dataclass_fields__) == [
+            "request_id",
+            "status",
+            "read_names",
+            "paf",
+            "quarantined",
+            "error",
+            "batch_id",
+            "batch_requests",
+            "queue_ms",
+            "map_ms",
+            "total_ms",
+            "api_version",
+        ]
+        assert list(api.ServeConfig.__dataclass_fields__) == [
+            "host",
+            "port",
+            "max_batch_reads",
+            "min_batch_reads",
+            "batch_timeout_ms",
+            "adaptive_batching",
+            "latency_target_ms",
+            "latency_window",
+            "max_queue_requests",
+            "max_reads_per_request",
+            "tenant_quota",
+            "batch_workers",
+            "drain_timeout_s",
+        ]
 
 
 class TestMapOptions:
@@ -177,29 +251,91 @@ class TestFacade:
         assert opts.backend == "serial"  # options object untouched
 
 
-class TestDeprecationShims:
-    def test_parallel_map_reads_warns_and_matches(self, setup):
-        from repro.runtime.parallel import map_reads as legacy
+class TestMappingSession:
+    """The facade functions are thin clients of one session object."""
 
+    def test_session_matches_facade(self, setup):
         aligner, reads = setup
-        serial = paf(api.map_reads(aligner, reads))
-        with pytest.warns(DeprecationWarning, match="repro.api.map_reads"):
-            got = legacy(aligner, reads, backend="threads", workers=2)
-        assert paf(got) == serial
-
-    def test_procpool_map_reads_processes_warns(self, setup, tmp_path):
-        from repro.index.store import save_index
-        from repro.runtime.procpool import map_reads_processes as legacy
-
-        aligner, reads = setup
-        idx = tmp_path / "ref.mmi"
-        save_index(aligner.index, idx)
-        serial = paf(api.map_reads(aligner, reads))
-        with pytest.warns(DeprecationWarning, match="MapOptions"):
-            got = legacy(
-                aligner, reads, processes=2, chunk_reads=3, index_path=str(idx)
+        with MappingSession(aligner) as session:
+            assert paf(session.map_reads(reads)) == paf(
+                api.map_reads(aligner, reads)
             )
-        assert paf(got) == serial
+
+    def test_session_open_matches_open_index(self, small_genome, setup):
+        _, reads = setup
+        with MappingSession.open(
+            small_genome, preset="test"
+        ) as session:
+            want = paf(
+                api.map_reads(api.open_index(small_genome, preset="test"), reads)
+            )
+            assert paf(session.map_reads(reads)) == want
+
+    def test_session_options_are_defaults(self, setup):
+        aligner, reads = setup
+        session = MappingSession(
+            aligner, MapOptions(backend="threads", workers=2)
+        )
+        assert paf(session.map_reads(reads)) == paf(
+            api.map_reads(aligner, reads)
+        )
+        # per-call override beats the session default
+        assert paf(session.map_reads(reads, backend="serial")) == paf(
+            api.map_reads(aligner, reads)
+        )
+
+    def test_map_batch_matches_per_read(self, setup):
+        aligner, reads = setup
+        session = MappingSession(aligner)
+        assert paf(session.map_batch(reads)) == paf(
+            api.map_reads(aligner, reads)
+        )
+
+    def test_closed_session_raises(self, setup):
+        aligner, reads = setup
+        session = MappingSession(aligner)
+        session.close()
+        assert session.closed
+        with pytest.raises(SchedulerError, match="closed"):
+            session.map_reads(reads)
+
+    def test_map_file_thin_client(self, setup, tmp_path):
+        from repro.seq.fasta import write_fastq
+
+        aligner, reads = setup
+        path = tmp_path / "reads.fq"
+        write_fastq(path, reads)
+        out_facade, out_session = io.StringIO(), io.StringIO()
+        stats = api.map_file(aligner, path, out_facade)
+        session_stats = MappingSession(aligner).map_file(path, out_session)
+        assert out_facade.getvalue() == out_session.getvalue()
+        assert stats.n_reads == session_stats.n_reads == len(reads)
+
+
+class TestShimRemoval:
+    """The PR-3 deprecation shims are gone; only repro.api remains."""
+
+    def test_parallel_map_reads_removed(self):
+        import repro.runtime as runtime
+        import repro.runtime.parallel as parallel
+
+        assert not hasattr(parallel, "map_reads")
+        assert "map_reads" not in runtime.__all__
+        assert hasattr(parallel, "parallel_map_reads")  # real impl stays
+
+    def test_procpool_map_reads_processes_removed(self):
+        import repro.runtime as runtime
+        import repro.runtime.procpool as procpool
+
+        assert not hasattr(procpool, "map_reads_processes")
+        assert "map_reads_processes" not in runtime.__all__
+        assert hasattr(procpool, "_map_reads_processes")  # real impl stays
+
+    def test_errors_index_alias_removed(self):
+        import repro.errors as errs
+
+        with pytest.raises(AttributeError):
+            errs.IndexError_
 
     def test_facade_does_not_warn(self, setup, recwarn):
         aligner, reads = setup

@@ -273,9 +273,10 @@ class TestChecksum:
         back = load_index(path, mode="buffered")
         assert (back.keys == index.keys).all()
 
-    def test_deprecated_alias_warns(self):
+    def test_deprecated_alias_removed(self):
+        """The PR-3 ``IndexError_`` shim is gone — only the real name."""
         import repro.errors as errs
 
-        with pytest.warns(DeprecationWarning, match="IndexFormatError"):
-            alias = errs.IndexError_
-        assert alias is IndexFormatError
+        with pytest.raises(AttributeError):
+            errs.IndexError_
+        assert errs.IndexFormatError is IndexFormatError

@@ -18,7 +18,7 @@ from repro.core.profiling import PipelineProfile
 from repro.obs.counters import drop_shape_dependent
 from repro.obs.hist import HISTOGRAMS
 from repro.obs.telemetry import Telemetry, read_span, worker_id
-from repro.runtime.parallel import map_reads
+from repro.api import map_reads
 from repro.seq.genome import GenomeSpec, generate_genome
 from repro.sim.lengths import LengthModel
 from repro.sim.pbsim import ReadSimulator

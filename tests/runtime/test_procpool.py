@@ -10,8 +10,9 @@ from repro.core.alignment import to_paf
 from repro.core.driver import ParallelDriver
 from repro.errors import ReproError, SchedulerError
 from repro.index.store import save_index
-from repro.runtime.parallel import BACKENDS, map_reads
-from repro.runtime.procpool import map_reads_processes, plan_chunks
+from repro.api import map_reads
+from repro.runtime.parallel import BACKENDS
+from repro.runtime.procpool import _map_reads_processes, plan_chunks
 from repro.sim.lengths import LengthModel
 from repro.sim.pbsim import ReadSimulator
 
@@ -121,23 +122,23 @@ class TestProcessBackend:
         bad = PoisonRecord("poison-pill", 500)
         batch = reads[:2] + [bad] + reads[2:4]
         with pytest.raises(SchedulerError, match="poison-pill"):
-            map_reads_processes(
+            _map_reads_processes(
                 aligner, batch, processes=2, chunk_reads=1, index_path=index_path
             )
 
     def test_bad_process_count(self, setup):
         aligner, reads, _ = setup
         with pytest.raises(SchedulerError):
-            map_reads_processes(aligner, reads, processes=0)
+            _map_reads_processes(aligner, reads, processes=0)
 
     def test_empty_input(self, setup):
         aligner, _, index_path = setup
-        assert map_reads_processes(aligner, [], processes=2, index_path=index_path) == []
+        assert _map_reads_processes(aligner, [], processes=2, index_path=index_path) == []
 
     def test_without_index_file_serializes_temp(self, setup, serial_paf):
         """index_path=None: the index is serialized once and shared."""
         aligner, reads, _ = setup
-        results = map_reads_processes(aligner, reads, processes=2, chunk_reads=4)
+        results = _map_reads_processes(aligner, reads, processes=2, chunk_reads=4)
         assert paf_lines(results) == serial_paf
 
     def test_config_round_trips_by_pickle(self, setup, small_genome):

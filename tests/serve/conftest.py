@@ -1,0 +1,74 @@
+"""Shared fixtures for the serve front-end tests.
+
+The mapping fixtures mirror ``tests/core/test_api.py`` (same simulator
+settings, same ``test`` preset over the session-scoped
+``small_genome``), so serve results are directly comparable with the
+one-shot API's. ``PoisonAligner`` is the fault-injection seam: a
+duck-typed aligner wrapper that raises for selected read names, which
+is the only way to get a read that *parses* on the wire but *fails*
+during mapping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import MappingSession
+from repro.core.aligner import Aligner
+from repro.sim.lengths import LengthModel
+from repro.sim.pbsim import ReadSimulator
+
+
+class PoisonAligner:
+    """Aligner wrapper raising for poisoned read names.
+
+    Duck-typed against the surface :class:`~repro.api.MappingSession`
+    actually uses (``seed_and_chain`` / ``align_plan`` /
+    ``align_plans``); it has no ``set_kernel``, which the session's
+    kernel plumbing treats as "nothing to configure".
+    """
+
+    def __init__(self, inner: Aligner, poison_names) -> None:
+        self._inner = inner
+        self._poison = set(poison_names)
+
+    def seed_and_chain(self, read):
+        if read.name in self._poison:
+            raise RuntimeError(f"poisoned read {read.name!r}")
+        return self._inner.seed_and_chain(read)
+
+    def align_plan(self, read, plan, with_cigar=True, max_secondary=0):
+        return self._inner.align_plan(
+            read, plan, with_cigar=with_cigar, max_secondary=max_secondary
+        )
+
+    def align_plans(self, items, with_cigar=True, max_secondary=0):
+        return self._inner.align_plans(
+            items, with_cigar=with_cigar, max_secondary=max_secondary
+        )
+
+
+@pytest.fixture(scope="package")
+def aligner(small_genome):
+    return Aligner(small_genome, preset="test")
+
+
+@pytest.fixture(scope="package")
+def sim_reads(small_genome):
+    sim = ReadSimulator.preset(small_genome, "pacbio")
+    sim.length_model = LengthModel(mean=500.0, sigma=0.4, max_length=1000)
+    return list(sim.simulate(16, seed=7))
+
+
+@pytest.fixture(scope="package")
+def session(aligner):
+    with MappingSession(aligner) as s:
+        yield s
+
+
+@pytest.fixture
+def poison_session(aligner):
+    def make(poison_names):
+        return MappingSession(PoisonAligner(aligner, poison_names))
+
+    return make

@@ -1,0 +1,169 @@
+"""Admission control: bounded queue, tenant quotas, fair dequeue, drain.
+
+All pure-threading unit tests — the :class:`AdmissionQueue` needs no
+event loop, so sheds and batching order are asserted synchronously.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import MapRequest, ServeConfig
+from repro.seq.records import SeqRecord
+from repro.serve import (
+    AdmissionQueue,
+    DrainingError,
+    QueueFullError,
+    RequestTooLargeError,
+    TenantQuotaError,
+)
+
+
+def request(n_reads=1, tenant="default", rid=None):
+    reads = [
+        SeqRecord.from_str(f"{tenant}-r{i}", "ACGTACGTACGT") for i in range(n_reads)
+    ]
+    return MapRequest.make(reads, request_id=rid, tenant=tenant)
+
+
+def queue(**changes):
+    defaults = dict(
+        max_queue_requests=4,
+        max_reads_per_request=4,
+        tenant_quota=4,
+        batch_timeout_ms=1000.0,
+    )
+    defaults.update(changes)
+    return AdmissionQueue(ServeConfig(**defaults))
+
+
+class TestSubmit:
+    def test_admit_and_collect(self):
+        q = queue()
+        ticket = q.submit(request(rid="one"))
+        assert q.depth == 1
+        batch = q.collect(target_reads=1, timeout_s=0.01)
+        assert [t.request.request_id for t in batch] == ["one"]
+        assert q.depth == 0
+        assert ticket.queue_ms >= 0.0
+
+    def test_queue_full_sheds(self):
+        q = queue(max_queue_requests=2)
+        q.submit(request())
+        q.submit(request())
+        with pytest.raises(QueueFullError) as exc:
+            q.submit(request())
+        assert exc.value.http_status == 429
+
+    def test_tenant_quota_sheds_only_the_greedy_tenant(self):
+        q = queue(tenant_quota=2)
+        q.submit(request(tenant="greedy"))
+        q.submit(request(tenant="greedy"))
+        with pytest.raises(TenantQuotaError) as exc:
+            q.submit(request(tenant="greedy"))
+        assert exc.value.http_status == 429
+        q.submit(request(tenant="polite"))  # other tenants keep flowing
+
+    def test_oversize_request_is_a_client_error(self):
+        q = queue(max_reads_per_request=2)
+        with pytest.raises(RequestTooLargeError) as exc:
+            q.submit(request(n_reads=3))
+        assert exc.value.http_status == 400
+        assert q.depth == 0  # shed before queueing
+
+    def test_done_frees_tenant_quota(self):
+        q = queue(tenant_quota=1)
+        ticket = q.submit(request(tenant="t"))
+        q.collect(target_reads=1, timeout_s=0.01)
+        with pytest.raises(TenantQuotaError):
+            q.submit(request(tenant="t"))  # still in flight
+        q.done(ticket)
+        assert q.outstanding("t") == 0
+        q.submit(request(tenant="t"))
+
+
+class TestCollect:
+    def test_round_robin_interleaves_tenants(self):
+        q = queue(max_queue_requests=8)
+        for i in range(4):
+            q.submit(request(tenant="a", rid=f"a{i}"))
+        q.submit(request(tenant="b", rid="b0"))
+        batch = q.collect(target_reads=3, timeout_s=0.01)
+        # tenant b's single request rides in the first batch even
+        # though tenant a queued four requests first.
+        assert [t.request.request_id for t in batch] == ["a0", "b0", "a1"]
+
+    def test_requests_are_never_split(self):
+        q = queue(max_queue_requests=8, max_reads_per_request=4)
+        q.submit(request(n_reads=3, rid="big"))
+        q.submit(request(n_reads=3, rid="big2"))
+        batch = q.collect(target_reads=4, timeout_s=0.01)
+        # 3 + 3 > 4: the second whole request waits for the next batch.
+        assert [t.request.request_id for t in batch] == ["big"]
+        assert q.depth == 1
+
+    def test_oversized_request_rides_alone(self):
+        q = queue(max_reads_per_request=4)
+        q.submit(request(n_reads=4, rid="jumbo"))
+        batch = q.collect(target_reads=2, timeout_s=0.01)
+        assert [t.request.request_id for t in batch] == ["jumbo"]
+
+    def test_collect_waits_for_target_or_timeout(self):
+        import time
+
+        q = queue()
+        q.submit(request())
+        t0 = time.monotonic()
+        batch = q.collect(target_reads=8, timeout_s=0.15)
+        waited = time.monotonic() - t0
+        assert len(batch) == 1
+        assert waited >= 0.1  # held for more reads until the deadline
+
+    def test_collect_returns_immediately_at_target(self):
+        import time
+
+        q = queue(max_queue_requests=8)
+        q.submit(request(n_reads=2))
+        q.submit(request(n_reads=2))
+        t0 = time.monotonic()
+        batch = q.collect(target_reads=4, timeout_s=5.0)
+        assert time.monotonic() - t0 < 1.0
+        assert sum(t.request.n_reads for t in batch) == 4
+
+
+class TestDrain:
+    def test_drain_rejects_new_but_flushes_queued(self):
+        q = queue()
+        q.submit(request(rid="queued"))
+        q.begin_drain()
+        with pytest.raises(DrainingError) as exc:
+            q.submit(request())
+        assert exc.value.http_status == 503
+        batch = q.collect(target_reads=8, timeout_s=5.0)  # no deadline wait
+        assert [t.request.request_id for t in batch] == ["queued"]
+        assert q.collect(target_reads=8, timeout_s=0.01) == []
+
+    def test_stop_wakes_collect_empty(self):
+        q = queue()
+        q.stop()
+        assert q.collect(target_reads=8, timeout_s=5.0) == []
+
+    def test_fail_pending_resolves_futures(self):
+        q = queue()
+        t1 = q.submit(request())
+        t2 = q.submit(request())
+        q.stop()
+        n = q.fail_pending(DrainingError("gave up"))
+        assert n == 2
+        assert q.depth == 0
+        for t in (t1, t2):
+            with pytest.raises(DrainingError):
+                t.future.result(timeout=0)
+
+    def test_wait_empty(self):
+        q = queue()
+        assert q.wait_empty(0.01)
+        q.submit(request())
+        assert not q.wait_empty(0.05)
+        q.collect(target_reads=1, timeout_s=0.01)
+        assert q.wait_empty(0.01)

@@ -1,0 +1,182 @@
+"""The adaptive batch controller and the batch execution path.
+
+Controller tests drive :meth:`BatchController.observe` with synthetic
+latencies; execution tests run :meth:`AdaptiveBatcher._execute`
+synchronously on collected tickets (no worker threads), so batch
+results, counters, and the poison fallback are asserted
+deterministically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import MapRequest, ServeConfig
+from repro.core.alignment import to_paf
+from repro.obs.counters import COUNTERS
+from repro.serve import AdaptiveBatcher, AdmissionQueue, BatchController
+
+
+def controller(**changes):
+    defaults = dict(
+        min_batch_reads=4,
+        max_batch_reads=64,
+        latency_target_ms=100.0,
+        latency_window=8,
+    )
+    defaults.update(changes)
+    return BatchController(ServeConfig(**defaults))
+
+
+class TestBatchController:
+    def test_initial_target_is_quarter_of_max(self):
+        assert controller().target_reads == 16
+        assert controller(max_batch_reads=8).target_reads == 4  # min clamp
+
+    def test_pinned_when_not_adaptive(self):
+        ctl = controller(adaptive_batching=False)
+        assert ctl.target_reads == 64
+        for _ in range(32):
+            ctl.observe(10_000.0)
+        assert ctl.target_reads == 64
+
+    def test_shrinks_when_p99_over_target(self):
+        ctl = controller()  # cooldown = max(4, 8 // 4) = 4
+        for _ in range(4):
+            ctl.observe(500.0)
+        assert ctl.target_reads == 8  # 16 * 0.5
+        for _ in range(4):
+            ctl.observe(500.0)
+        assert ctl.target_reads == 4  # floor at min_batch_reads
+        for _ in range(8):
+            ctl.observe(500.0)
+        assert ctl.target_reads == 4
+
+    def test_grows_with_headroom_and_clamps_at_max(self):
+        ctl = controller()
+        for _ in range(64):  # p99 well under 0.8 * target
+            ctl.observe(5.0)
+        assert ctl.target_reads == 64
+
+    def test_dead_zone_holds_target(self):
+        # p99 between 0.8*target and target: neither grow nor shrink.
+        ctl = controller()
+        for _ in range(32):
+            ctl.observe(90.0)
+        assert ctl.target_reads == 16
+
+    def test_cooldown_spaces_moves(self):
+        ctl = controller()
+        for _ in range(3):
+            ctl.observe(500.0)
+        assert ctl.target_reads == 16  # not enough observations yet
+        ctl.observe(500.0)
+        assert ctl.target_reads == 8
+
+    def test_p99_tracks_window(self):
+        ctl = controller(adaptive_batching=False, latency_window=4)
+        assert ctl.p99_ms() is None
+        ctl = controller(latency_window=4)
+        for ms in (10.0, 20.0, 30.0, 1000.0):
+            ctl.observe(ms)
+        assert ctl.p99_ms() == 1000.0
+        for _ in range(4):  # old spike ages out of the window
+            ctl.observe(10.0)
+        assert ctl.p99_ms() == 10.0
+
+
+@pytest.fixture
+def executed(session, sim_reads):
+    """Run one coalesced 3-request batch through _execute synchronously."""
+    cfg = ServeConfig(adaptive_batching=False, max_batch_reads=64)
+    queue = AdmissionQueue(cfg)
+    batcher = AdaptiveBatcher(session, queue, cfg)
+    requests = [
+        MapRequest.make(sim_reads[0:2], request_id="q0"),
+        MapRequest.make(sim_reads[2:4], request_id="q1", tenant="other"),
+        MapRequest.make(sim_reads[4:6], request_id="q2", with_cigar=False),
+    ]
+    tickets = [queue.submit(r) for r in requests]
+    before = COUNTERS.totals()
+    batcher._execute(queue.collect(target_reads=64, timeout_s=0.01))
+    delta = {
+        k: v - before.get(k, 0) for k, v in COUNTERS.totals().items()
+    }
+    return requests, tickets, delta
+
+
+class TestExecute:
+    def test_results_match_per_request_reference(self, executed, session):
+        requests, tickets, _ = executed
+        for req, ticket in zip(requests, tickets):
+            got = ticket.future.result(timeout=5)
+            want = session.map_request(req)
+            assert got.ok
+            assert got.request_id == req.request_id
+            assert got.read_names == want.read_names
+            assert got.paf == want.paf
+
+    def test_batch_annotations(self, executed):
+        _, tickets, _ = executed
+        results = [t.future.result(timeout=5) for t in tickets]
+        assert {r.batch_id for r in results} == {results[0].batch_id}
+        assert all(r.batch_requests == 3 for r in results)
+        assert all(r.total_ms >= r.map_ms >= 0.0 for r in results)
+
+    def test_counters(self, executed):
+        _, _, delta = executed
+        assert delta.get("serve.batches") == 1
+        assert delta.get("serve.batch_requests") == 3
+        assert delta.get("serve.batch_reads") == 6
+        assert delta.get("serve.coalesced") == 1
+        assert delta.get("serve.ok") == 3
+        assert not delta.get("serve.errors")
+
+    def test_no_cigar_request_honoured(self, executed):
+        _, tickets, _ = executed
+        res = tickets[2].future.result(timeout=5)
+        for lines in res.paf:
+            for line in lines:
+                assert "cg:Z:" not in line
+
+
+class TestPoisonFallback:
+    def test_poison_request_errors_neighbors_survive(
+        self, poison_session, session, sim_reads
+    ):
+        psession = poison_session({sim_reads[2].name})
+        cfg = ServeConfig(adaptive_batching=False, max_batch_reads=64)
+        queue = AdmissionQueue(cfg)
+        batcher = AdaptiveBatcher(psession, queue, cfg)
+        good = MapRequest.make(sim_reads[0:2], request_id="good")
+        bad = MapRequest.make(sim_reads[2:4], request_id="bad")
+        t_good, t_bad = queue.submit(good), queue.submit(bad)
+        batcher._execute(queue.collect(target_reads=64, timeout_s=0.01))
+
+        res_bad = t_bad.future.result(timeout=5)
+        assert not res_bad.ok
+        assert sim_reads[2].name in res_bad.error
+        assert "poisoned" in res_bad.error
+
+        res_good = t_good.future.result(timeout=5)
+        assert res_good.ok
+        assert res_good.batch_requests == 2  # same batch as the poison
+        assert res_good.paf == session.map_request(good).paf
+
+    def test_skip_mode_quarantines_inside_the_request(
+        self, poison_session, session, sim_reads
+    ):
+        psession = poison_session({sim_reads[1].name})
+        cfg = ServeConfig(adaptive_batching=False, max_batch_reads=64)
+        queue = AdmissionQueue(cfg)
+        batcher = AdaptiveBatcher(psession, queue, cfg)
+        req = MapRequest.make(sim_reads[0:3], on_error="skip")
+        ticket = queue.submit(req)
+        batcher._execute(queue.collect(target_reads=64, timeout_s=0.01))
+        res = ticket.future.result(timeout=5)
+        assert res.ok
+        assert res.quarantined == (sim_reads[1].name,)
+        assert res.paf[1] == ()  # the poisoned read maps to nothing
+        assert res.paf[0] == session.map_request(
+            MapRequest.make(sim_reads[0:1])
+        ).paf[0]

@@ -1,0 +1,142 @@
+"""The versioned request/response wire model: MapRequest / MapResult /
+ServeConfig round trips, validation, and version gating."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    API_VERSION,
+    MapRequest,
+    MapResult,
+    ServeConfig,
+)
+from repro.errors import ParseError, SchedulerError
+from repro.seq.records import SeqRecord
+
+
+def reads(n=2, length=40):
+    return [
+        SeqRecord.from_str(f"r{i}", "ACGT" * (length // 4)) for i in range(n)
+    ]
+
+
+class TestMapRequest:
+    def test_make_generates_id(self):
+        req = MapRequest.make(reads())
+        assert req.request_id
+        assert req.tenant == "default"
+        assert req.n_reads == 2
+        assert req.total_bases == 80
+        assert req.api_version == API_VERSION
+
+    def test_json_round_trip(self):
+        req = MapRequest.make(
+            reads(3), request_id="abc", tenant="team-a", on_error="skip"
+        )
+        back = MapRequest.from_json(req.to_json())
+        assert back.request_id == "abc"
+        assert back.tenant == "team-a"
+        assert back.on_error == "skip"
+        assert [r.name for r in back.reads] == [r.name for r in req.reads]
+        assert [r.seq for r in back.reads] == [r.seq for r in req.reads]
+
+    def test_frozen(self):
+        req = MapRequest.make(reads())
+        with pytest.raises(Exception):
+            req.tenant = "other"  # type: ignore[misc]
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            "not a dict",
+            {},
+            {"reads": []},
+            {"reads": "nope"},
+            {"reads": [{"name": "r0"}]},  # missing seq
+            {"reads": [{"name": "r0", "seq": ""}]},
+            {"reads": [{"name": "r0", "seq": "XYZ!!"}]},  # bad alphabet
+        ],
+    )
+    def test_from_json_rejects_garbage(self, doc):
+        with pytest.raises(ParseError):
+            MapRequest.from_json(doc)
+
+    def test_from_json_rejects_newer_version(self):
+        doc = MapRequest.make(reads()).to_json()
+        doc["api_version"] = API_VERSION + 1
+        with pytest.raises(ParseError, match="newer"):
+            MapRequest.from_json(doc)
+
+    def test_validated_rejects_bad_on_error(self):
+        with pytest.raises(ParseError, match="on_error"):
+            MapRequest.make(reads(), on_error="explode")
+
+    def test_validated_rejects_empty_reads(self):
+        with pytest.raises(ParseError, match="no reads"):
+            MapRequest(request_id="x", reads=()).validated()
+
+
+class TestMapResult:
+    def test_round_trip(self):
+        res = MapResult(
+            request_id="abc",
+            read_names=("r0", "r1"),
+            paf=(("line0a", "line0b"), ()),
+            quarantined=("r1",),
+            batch_id=7,
+            batch_requests=3,
+            queue_ms=1.5,
+            map_ms=20.0,
+            total_ms=22.5,
+        )
+        back = MapResult.from_json(res.to_json())
+        assert back == res
+        assert back.ok
+        assert back.paf_lines() == ["line0a", "line0b"]
+
+    def test_error_result(self):
+        res = MapResult(request_id="abc", status="error", error="boom")
+        assert not res.ok
+        assert MapResult.from_json(res.to_json()).error == "boom"
+
+    def test_from_json_rejects_non_result(self):
+        with pytest.raises(ParseError):
+            MapResult.from_json({"record": "something_else"})
+
+
+class TestServeConfig:
+    def test_defaults_validate(self):
+        cfg = ServeConfig().validated()
+        assert cfg.port == 0
+        assert cfg.min_batch_reads <= cfg.max_batch_reads
+
+    def test_replace(self):
+        cfg = ServeConfig().replace(max_batch_reads=128)
+        assert cfg.max_batch_reads == 128
+        assert ServeConfig().max_batch_reads == 64
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"port": -1},
+            {"port": 70000},
+            {"max_batch_reads": 0},
+            {"min_batch_reads": 0},
+            {"min_batch_reads": 99, "max_batch_reads": 8},
+            {"batch_timeout_ms": 0},
+            {"latency_target_ms": -5},
+            {"max_queue_requests": 0},
+            {"tenant_quota": 0},
+            {"batch_workers": 0},
+            {"drain_timeout_s": -1},
+        ],
+    )
+    def test_validated_bounds(self, changes):
+        with pytest.raises(SchedulerError):
+            ServeConfig(**changes).validated()
+
+    def test_to_json_is_plain(self):
+        doc = ServeConfig().to_json()
+        assert doc["max_batch_reads"] == 64
+        assert doc["host"] == "127.0.0.1"

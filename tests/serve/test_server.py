@@ -1,0 +1,259 @@
+"""End-to-end tests of the ``repro serve`` HTTP front-end.
+
+A real :class:`~repro.serve.ServerThread` is bound to a loopback port
+(port 0, OS-assigned) for each test; clients are real HTTP clients
+(:class:`~repro.serve.ServeClient` over urllib), so these tests cover
+the wire format, concurrency, coalescing, shedding, drain, and poison
+isolation exactly as an external caller sees them.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import api
+from repro.api import MapRequest, ServeConfig
+from repro.core.alignment import to_paf
+from repro.obs.counters import COUNTERS
+from repro.serve import ServeClient, ServerThread
+from repro.serve.client import ShedError
+
+
+def serve_config(**changes):
+    defaults = dict(
+        adaptive_batching=False,
+        max_batch_reads=64,
+        batch_timeout_ms=200.0,
+    )
+    defaults.update(changes)
+    return ServeConfig(**defaults)
+
+
+def one_shot_paf(aligner, reads):
+    """The one-shot CLI reference: read name -> sorted PAF lines."""
+    results = api.map_reads(aligner, reads)
+    return {
+        read.name: sorted(to_paf(a) for a in alns)
+        for read, alns in zip(reads, results)
+    }
+
+
+def served_paf(result):
+    return {
+        name: sorted(lines)
+        for name, lines in zip(result.read_names, result.paf)
+    }
+
+
+class TestEndToEnd:
+    def test_concurrent_clients_match_one_shot(
+        self, session, aligner, sim_reads
+    ):
+        """The acceptance test: 8 concurrent clients, byte-identical
+        PAF vs the one-shot path, with measured coalescing."""
+        requests = [
+            MapRequest.make(sim_reads[2 * i : 2 * i + 2], request_id=f"c{i}")
+            for i in range(8)
+        ]
+        want = one_shot_paf(aligner, sim_reads)
+        before = COUNTERS.totals()
+        with ServerThread(session, serve_config()) as st:
+            client = ServeClient(st.url)
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                results = list(pool.map(client.map, requests))
+        after = COUNTERS.totals()
+
+        got = {}
+        for req, res in zip(requests, results):
+            assert res.ok, res.error
+            assert res.request_id == req.request_id
+            got.update(served_paf(res))
+        assert got == {r.name: want[r.name] for r in sim_reads}
+
+        admitted = after["serve.admitted"] - before.get("serve.admitted", 0)
+        batches = after["serve.batches"] - before.get("serve.batches", 0)
+        coalesced = after.get("serve.coalesced", 0) - before.get(
+            "serve.coalesced", 0
+        )
+        assert admitted == 8
+        assert batches < admitted  # requests actually shared batches
+        assert coalesced >= 1
+        assert all(r.batch_requests >= 1 for r in results)
+        assert any(r.batch_requests > 1 for r in results)
+
+    def test_sequential_requests_round_trip(self, session, sim_reads):
+        with ServerThread(
+            session, serve_config(batch_timeout_ms=10.0)
+        ) as st:
+            client = ServeClient(st.url)
+            for i in range(3):
+                req = MapRequest.make(sim_reads[i : i + 1])
+                res = client.map(req)
+                assert res.ok
+                assert res.read_names == (sim_reads[i].name,)
+
+
+class TestShedding:
+    def test_queue_full_returns_429(self, session, sim_reads):
+        cfg = serve_config(
+            max_queue_requests=1,
+            batch_timeout_ms=2000.0,
+            max_batch_reads=64,
+            min_batch_reads=4,
+        )
+        with ServerThread(session, cfg) as st:
+            client = ServeClient(st.url)
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                first = pool.submit(
+                    client.map, MapRequest.make(sim_reads[0:1])
+                )
+                time.sleep(0.3)  # first request now occupies the queue
+                with pytest.raises(ShedError) as exc:
+                    client.map(MapRequest.make(sim_reads[1:2]))
+                assert exc.value.status == 429
+                assert first.result(timeout=10).ok
+
+    def test_tenant_quota_returns_429(self, session, sim_reads):
+        cfg = serve_config(tenant_quota=1, batch_timeout_ms=2000.0)
+        with ServerThread(session, cfg) as st:
+            client = ServeClient(st.url)
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                first = pool.submit(
+                    client.map,
+                    MapRequest.make(sim_reads[0:1], tenant="greedy"),
+                )
+                time.sleep(0.3)
+                with pytest.raises(ShedError) as exc:
+                    client.map(MapRequest.make(sim_reads[1:2], tenant="greedy"))
+                assert exc.value.status == 429
+                # another tenant is admitted into the same window
+                other = pool.submit(
+                    client.map,
+                    MapRequest.make(sim_reads[2:3], tenant="polite"),
+                )
+                assert first.result(timeout=10).ok
+                assert other.result(timeout=10).ok
+
+    def test_oversize_request_returns_400(self, session, sim_reads):
+        cfg = serve_config(max_reads_per_request=2)
+        with ServerThread(session, cfg) as st:
+            client = ServeClient(st.url)
+            with pytest.raises(Exception) as exc:
+                client.map(MapRequest.make(sim_reads[0:3]))
+            assert "max_reads_per_request" in str(exc.value)
+
+
+class TestDrain:
+    def test_draining_server_returns_503(self, session, sim_reads):
+        with ServerThread(session, serve_config()) as st:
+            client = ServeClient(st.url)
+            st.server.queue.begin_drain()
+            with pytest.raises(ShedError) as exc:
+                client.map(MapRequest.make(sim_reads[0:1]))
+            assert exc.value.status == 503
+
+    def test_stop_flushes_queued_work_early(self, session, sim_reads):
+        # A 5 s batch window would hold this lone request; graceful
+        # drain flushes it as soon as stop() is called.
+        cfg = serve_config(batch_timeout_ms=5000.0)
+        st = ServerThread(session, cfg).start()
+        client = ServeClient(st.url)
+        t0 = time.monotonic()
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            fut = pool.submit(client.map, MapRequest.make(sim_reads[0:1]))
+            time.sleep(0.3)
+            st.stop()
+            res = fut.result(timeout=10)
+        assert res.ok
+        assert time.monotonic() - t0 < 4.0  # did not wait out the window
+
+
+class TestPoison:
+    def test_poison_request_400s_neighbor_succeeds(
+        self, poison_session, session, aligner, sim_reads
+    ):
+        psession = poison_session({sim_reads[2].name})
+        good = MapRequest.make(sim_reads[0:2], request_id="good")
+        bad = MapRequest.make(sim_reads[2:4], request_id="bad")
+        with ServerThread(
+            psession, serve_config(batch_timeout_ms=500.0)
+        ) as st:
+            client = ServeClient(st.url)
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                res_good, res_bad = list(pool.map(client.map, [good, bad]))
+
+        assert not res_bad.ok  # arrived as HTTP 400, decoded to a result
+        assert sim_reads[2].name in res_bad.error
+        assert res_good.ok
+        assert res_good.batch_requests == 2  # shared a batch with the poison
+        assert served_paf(res_good) == {
+            r.name: one_shot_paf(aligner, sim_reads)[r.name]
+            for r in sim_reads[0:2]
+        }
+
+
+class TestHttpSurface:
+    def test_obs_endpoints_on_serve_port(self, session, sim_reads):
+        with ServerThread(
+            session, serve_config(batch_timeout_ms=10.0)
+        ) as st:
+            client = ServeClient(st.url)
+            assert client.healthy()
+            res = client.map(MapRequest.make(sim_reads[0:2]))
+            assert res.ok
+            metrics = client.metrics()
+            assert "manymap_serve_batches" in metrics
+            status = client.status()
+            assert status["record"] == "status"
+            assert status["serve"].get("batches", 0) >= 1
+            events = client.events(kind="serve.batch")
+            assert events["events"], events
+
+    def test_bad_requests(self, session):
+        with ServerThread(
+            session, serve_config(batch_timeout_ms=10.0)
+        ) as st:
+            url = st.url
+
+            def post(path, body):
+                req = urllib.request.Request(
+                    url + path, data=body, method="POST"
+                )
+                try:
+                    with urllib.request.urlopen(req, timeout=10) as resp:
+                        return resp.status
+                except urllib.error.HTTPError as exc:
+                    return exc.code
+
+            assert post("/map", b"this is not json") == 400
+            assert post("/map", json.dumps({"reads": []}).encode()) == 400
+            assert post("/nope", b"{}") == 404
+            assert post("/map", b"") == 400  # no body
+            req = urllib.request.Request(url + "/map", method="PUT")
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(req, timeout=10)
+            assert exc.value.code == 405
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(url + "/missing", timeout=10)
+            assert exc.value.code == 404
+
+    def test_rejects_newer_api_version(self, session, sim_reads):
+        with ServerThread(
+            session, serve_config(batch_timeout_ms=10.0)
+        ) as st:
+            doc = MapRequest.make(sim_reads[0:1]).to_json()
+            doc["api_version"] = api.API_VERSION + 1
+            req = urllib.request.Request(
+                st.url + "/map",
+                data=json.dumps(doc).encode(),
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(req, timeout=10)
+            assert exc.value.code == 400
