@@ -19,11 +19,25 @@ TRAJECTORY_NAME = "BENCH_trajectory.jsonl"
 
 def emit(name: str, text: str) -> str:
     """Print a result block and persist it to benchmarks/results/."""
+    from repro.utils.fsio import atomic_write
+
     RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"{name}.txt"
-    path.write_text(text + "\n")
+    atomic_write(RESULTS_DIR / f"{name}.txt", text + "\n")
     print(f"\n{'=' * 70}\n{name}\n{'=' * 70}\n{text}")
     return text
+
+
+def write_json(path, obj) -> int:
+    """Atomically persist a ``BENCH_*.json`` result document.
+
+    Same fsync+rename discipline as every other run artifact
+    (``repro.utils.fsio.atomic_write``): a crash mid-bench leaves the
+    previous result or the new one, never a torn JSON a CI gate would
+    half-parse.
+    """
+    from repro.utils.fsio import atomic_write_json
+
+    return atomic_write_json(path, obj)
 
 
 def ratio(a: float, b: float) -> float:

@@ -33,7 +33,7 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from _common import RESULTS_DIR, emit
+from _common import RESULTS_DIR, emit, write_json
 
 from bench_metrics_smoke import _workload
 from repro.core.aligner import Aligner
@@ -92,7 +92,7 @@ def run_compare(
         # Injected self-test runs must not clobber the real artifact.
         emit("BENCH_compare", render_compare(cmp))
         out_dir.mkdir(exist_ok=True)
-        (out_dir / JSON_NAME).write_text(json.dumps(result, indent=2) + "\n")
+        write_json(out_dir / JSON_NAME, result)
     else:
         print(render_compare(cmp))
     return result

@@ -27,7 +27,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from _common import RESULTS_DIR, emit, ratio
+from _common import RESULTS_DIR, emit, ratio, write_json
 
 from repro import api
 from repro.core.aligner import Aligner
@@ -125,7 +125,7 @@ def run_fault_overhead(
     ]
     emit("BENCH_fault_overhead", "\n".join(table))
     out_dir.mkdir(exist_ok=True)
-    (out_dir / JSON_NAME).write_text(json.dumps(result, indent=2) + "\n")
+    write_json(out_dir / JSON_NAME, result)
     return result
 
 

@@ -39,7 +39,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from _common import RESULTS_DIR, append_trajectory, emit, ratio
+from _common import RESULTS_DIR, append_trajectory, emit, ratio, write_json
 
 from repro import api
 from repro.core.aligner import Aligner
@@ -251,7 +251,7 @@ def run_metrics_smoke(smoke: bool = True, out_dir: Path = RESULTS_DIR) -> Dict:
     )
     emit("BENCH_metrics_smoke", report)
     out_dir.mkdir(exist_ok=True)
-    (out_dir / JSON_NAME).write_text(json.dumps(result, indent=2) + "\n")
+    write_json(out_dir / JSON_NAME, result)
     append_trajectory(
         "metrics_smoke",
         reads_per_s=serial["derived"]["reads_per_sec"],

@@ -29,7 +29,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from _common import RESULTS_DIR, append_trajectory, emit, ratio
+from _common import RESULTS_DIR, append_trajectory, emit, ratio, write_json
 
 from repro.core.aligner import Aligner
 from repro.core.alignment import to_paf
@@ -148,7 +148,7 @@ def run_scaling(
         f"({os.cpu_count()} CPU core(s) visible)"
     )
     emit("BENCH_parallel_scaling", "\n".join(table))
-    (out_dir / JSON_NAME).write_text(json.dumps(result, indent=2) + "\n")
+    write_json(out_dir / JSON_NAME, result)
     best = max(rows, key=lambda r: r["reads_per_sec"]) if rows else {}
     append_trajectory(
         "parallel_scaling",

@@ -1,0 +1,201 @@
+"""Journaling overhead gate: durable runs must not tax the clean path.
+
+The durability layer promises pay-for-use: a run without ``--run-dir``
+is untouched (the chaos hook is one attribute check), and a *durable*
+run that never crashes pays only the commit cadence — an fsync of the
+output plus one fsynced journal record every ``commit_reads`` reads.
+This bench times file-to-file mapping plain vs journaled (serial
+backend, min-of-N wall clock) and gates the journaled/plain ratio at
+<2% (or a small absolute floor for sub-millisecond noise on smoke
+workloads). It also asserts the committed ``output.paf`` is
+byte-identical to the plain run's output — durability must never
+change the bytes.
+
+Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_resume_overhead.py --smoke
+
+or via pytest. Emits ``benchmarks/results/BENCH_resume_overhead.json``
+and the usual ``.txt`` table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from _common import RESULTS_DIR, append_trajectory, emit, ratio, write_json
+
+from repro import api
+from repro.api import MapOptions
+from repro.core.aligner import Aligner
+from repro.seq.fasta import write_fastq
+from repro.seq.genome import GenomeSpec, generate_genome
+from repro.sim.lengths import LengthModel
+from repro.sim.pbsim import ReadSimulator
+
+JSON_NAME = "BENCH_resume_overhead.json"
+
+#: relative gate: journaled clean run <= 2% over the plain run.
+MAX_RATIO = 1.02
+#: absolute slack for smoke-sized workloads where 2% is sub-millisecond.
+ABS_SLACK_S = 0.05
+#: durable-commit cadence under test (small enough that a smoke run
+#: commits several times — we want to *pay* the fsyncs, not dodge them).
+COMMIT_READS = 4
+
+
+def _workload(smoke: bool, scratch: Path):
+    genome = generate_genome(
+        GenomeSpec(length=40_000 if smoke else 150_000, chromosomes=1),
+        seed=31,
+    )
+    sim = ReadSimulator.preset(genome, "pacbio")
+    sim.length_model = LengthModel(
+        mean=700.0 if smoke else 1500.0, sigma=0.4, max_length=3000
+    )
+    reads = list(sim.simulate(12 if smoke else 40, seed=37))
+    reads_path = scratch / "reads.fq"
+    write_fastq(str(reads_path), reads)
+    return Aligner(genome, preset="test"), reads_path, len(reads)
+
+
+def _best_of(n: int, fn) -> float:
+    best = float("inf")
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_resume_overhead(
+    smoke: bool = True, repeats: int = 3, out_dir: Path = RESULTS_DIR
+) -> Dict:
+    """Time clean file-to-file mapping plain vs through the journal."""
+    scratch = Path(tempfile.mkdtemp(prefix="bench_resume_"))
+    try:
+        aligner, reads_path, n_reads = _workload(smoke, scratch)
+        plain_out = scratch / "plain.paf"
+        run_dir = scratch / "run"
+
+        def map_plain():
+            with open(plain_out, "w") as out:
+                api.map_file(aligner, reads_path, out, MapOptions())
+
+        def map_journaled():
+            # A fresh run dir each repeat: resuming a completed run
+            # would skip the mapping we are trying to time.
+            shutil.rmtree(run_dir, ignore_errors=True)
+            api.map_file(
+                aligner,
+                reads_path,
+                None,
+                MapOptions(
+                    run_dir=str(run_dir), commit_reads=COMMIT_READS
+                ),
+            )
+
+        # Warm up caches/interpreter state once before timing.
+        map_plain()
+
+        t_plain = _best_of(repeats, map_plain)
+        t_journal = _best_of(repeats, map_journaled)
+        rel = ratio(t_journal, t_plain)
+        within = (
+            t_journal <= t_plain * MAX_RATIO
+            or t_journal - t_plain <= ABS_SLACK_S
+        )
+        identical = (
+            plain_out.read_bytes() == (run_dir / "output.paf").read_bytes()
+        )
+        commits = sum(
+            1
+            for line in (run_dir / "journal.jsonl").read_text().splitlines()
+            if '"t":"commit"' in line
+        )
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    result = {
+        "benchmark": "resume_overhead",
+        "smoke": smoke,
+        "repeats": repeats,
+        "n_reads": n_reads,
+        "commit_reads": COMMIT_READS,
+        "commits": commits,
+        "seconds_plain": t_plain,
+        "seconds_journaled": t_journal,
+        "overhead_ratio": rel,
+        "max_ratio": MAX_RATIO,
+        "abs_slack_s": ABS_SLACK_S,
+        "within_gate": within,
+        "paf_identical": identical,
+    }
+
+    table = [
+        "Clean-path overhead of the write-ahead journal (serial "
+        f"backend, best of {repeats})",
+        "",
+        f"{'mode':<32}{'seconds':>12}{'ratio':>10}",
+        f"{'plain (no --run-dir)':<32}{t_plain:>12.4f}{1.0:>10.3f}",
+        f"{'journaled (commit every ' + str(COMMIT_READS) + ')':<32}"
+        f"{t_journal:>12.4f}{rel:>10.3f}",
+        "",
+        f"commits per run: {commits}",
+        f"gate: ratio <= {MAX_RATIO} (or +{ABS_SLACK_S}s abs) -> "
+        f"{'PASS' if within else 'FAIL'}",
+        f"committed output identical to plain run: {identical}",
+    ]
+    emit("BENCH_resume_overhead", "\n".join(table))
+    out_dir.mkdir(exist_ok=True)
+    write_json(out_dir / JSON_NAME, result)
+    append_trajectory(
+        "resume_overhead",
+        reads_per_s=n_reads / t_journal if t_journal else 0.0,
+        overhead_ratio=rel,
+        commits=commits,
+    )
+    return result
+
+
+def test_resume_overhead():
+    """CI gate: journaling costs <2% on the clean (uninterrupted) path."""
+    res = run_resume_overhead(smoke=True)
+    assert res["paf_identical"], "journaled run changed the output bytes"
+    assert res["commits"] >= 2, "workload too small to exercise commits"
+    assert res["within_gate"], (
+        f"journaling overhead {res['overhead_ratio']:.3f}x exceeds "
+        f"{MAX_RATIO}x gate "
+        f"({res['seconds_plain']:.4f}s -> {res['seconds_journaled']:.4f}s)"
+    )
+    assert (RESULTS_DIR / JSON_NAME).exists()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--smoke", action="store_true", help="small fast workload")
+    ap.add_argument("--repeats", type=int, default=3)
+    args = ap.parse_args(argv)
+    res = run_resume_overhead(smoke=args.smoke, repeats=args.repeats)
+    if not res["paf_identical"]:
+        print("ERROR: journaled run changed output bytes", file=sys.stderr)
+        return 1
+    if not res["within_gate"]:
+        print(
+            f"ERROR: overhead ratio {res['overhead_ratio']:.3f} exceeds "
+            f"{MAX_RATIO}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

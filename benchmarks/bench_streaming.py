@@ -37,7 +37,7 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from _common import RESULTS_DIR, emit, ratio
+from _common import RESULTS_DIR, emit, ratio, write_json
 
 JSON_NAME = "BENCH_streaming.json"
 SRC_DIR = Path(__file__).resolve().parent.parent / "src"
@@ -168,7 +168,7 @@ def run_streaming(smoke: bool = False, out_dir: Path = RESULTS_DIR) -> Dict:
         " (streaming memory is flat in input size)"
     )
     emit("BENCH_streaming", "\n".join(lines))
-    (out_dir / JSON_NAME).write_text(json.dumps(result, indent=2) + "\n")
+    write_json(out_dir / JSON_NAME, result)
     return result
 
 

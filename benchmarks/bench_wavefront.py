@@ -31,7 +31,7 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from _common import RESULTS_DIR, append_trajectory, emit, ratio
+from _common import RESULTS_DIR, append_trajectory, emit, ratio, write_json
 
 from repro.core.aligner import Aligner
 from repro.core.alignment import to_paf
@@ -222,7 +222,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         result["compare"] = cmp
     emit("BENCH_wavefront", text)
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / JSON_NAME).write_text(json.dumps(result, indent=2) + "\n")
+    write_json(RESULTS_DIR / JSON_NAME, result)
     wave = result["rows"][1]
     append_trajectory(
         "wavefront",

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import dataclasses
 import io
+import itertools
 import os
 import time
 import uuid
@@ -126,6 +127,14 @@ class MapOptions:
     ``events_path`` — mirror the run's structured event stream
     (dispatch decisions, pool respawns, faults, heartbeats — the
     :data:`repro.obs.events.EVENTS` ring) to this JSONL file.
+    ``run_dir`` — make the run durable: write output and a write-ahead
+    journal (:mod:`repro.runtime.journal`) into this directory, with
+    an fsynced commit every ``commit_reads`` reads, so a killed run
+    can be resumed byte-identically. ``resume`` — continue the run in
+    ``run_dir`` from its last verified commit instead of requiring a
+    fresh directory (``manymap resume`` sets this). Both apply to
+    :func:`map_file` only (the journal checkpoints a *file* corpus);
+    ``run_dir=None`` (default) journals nothing and costs nothing.
     """
 
     backend: str = "serial"
@@ -146,6 +155,9 @@ class MapOptions:
     progress_path: Optional[str] = None
     status_port: Optional[int] = None
     events_path: Optional[str] = None
+    run_dir: Optional[str] = None
+    resume: bool = False
+    commit_reads: int = 256
 
     def replace(self, **changes) -> "MapOptions":
         """A copy with ``changes`` applied (unknown names: TypeError)."""
@@ -184,6 +196,12 @@ class MapOptions:
             raise SchedulerError(
                 f"status_port must be in [0, 65535]: {self.status_port}"
             )
+        if self.commit_reads < 1:
+            raise SchedulerError(
+                f"commit_reads must be >= 1: {self.commit_reads}"
+            )
+        if self.resume and not self.run_dir:
+            raise SchedulerError("resume=True needs run_dir to be set")
         return self
 
 
@@ -203,6 +221,10 @@ class MapRequest:
     fault semantics (``abort``: the request fails naming the first bad
     read; ``skip``: bad reads are quarantined via
     :mod:`repro.runtime.faults` and the rest of the request succeeds).
+    ``timeout_ms`` is the caller's per-request deadline: the server
+    answers 504 instead of mapping (or instead of returning a result
+    computed after the deadline) once that many milliseconds have
+    passed since admission; ``None`` means wait forever.
     """
 
     request_id: str
@@ -210,6 +232,7 @@ class MapRequest:
     tenant: str = "default"
     with_cigar: bool = True
     on_error: str = "abort"
+    timeout_ms: Optional[float] = None
     api_version: int = API_VERSION
 
     @classmethod
@@ -253,12 +276,21 @@ class MapRequest:
                 reads.append(SeqRecord.from_str(name, seq))
             except Exception as exc:
                 raise ParseError(f"reads[{i}] ({name}): {exc}") from exc
+        timeout_ms = doc.get("timeout_ms")
+        if timeout_ms is not None:
+            try:
+                timeout_ms = float(timeout_ms)
+            except (TypeError, ValueError) as exc:
+                raise ParseError(
+                    f"timeout_ms must be a number: {timeout_ms!r}"
+                ) from exc
         return cls(
             request_id=str(doc.get("request_id") or uuid.uuid4().hex[:12]),
             reads=tuple(reads),
             tenant=str(doc.get("tenant") or "default"),
             with_cigar=bool(doc.get("with_cigar", True)),
             on_error=str(doc.get("on_error", "abort")),
+            timeout_ms=timeout_ms,
             api_version=version,
         ).validated()
 
@@ -271,6 +303,7 @@ class MapRequest:
             ],
             "with_cigar": self.with_cigar,
             "on_error": self.on_error,
+            "timeout_ms": self.timeout_ms,
             "api_version": self.api_version,
         }
 
@@ -285,6 +318,11 @@ class MapRequest:
             raise ParseError(
                 f"on_error must be one of {REQUEST_ON_ERROR}: "
                 f"{self.on_error!r}"
+            )
+        if self.timeout_ms is not None and self.timeout_ms <= 0:
+            raise ParseError(
+                f"request {self.request_id}: timeout_ms must be > 0: "
+                f"{self.timeout_ms}"
             )
         return self
 
@@ -719,6 +757,14 @@ class MappingSession:
         are written strictly in input order either way, so the bytes
         are identical across backends. Returns the run's
         :class:`StreamStats`.
+
+        With ``options.run_dir`` the run is durable: output goes to
+        ``RUN_DIR/output.paf`` through the write-ahead journal
+        (:mod:`repro.runtime.journal`, fsynced commit every
+        ``commit_reads`` reads), the ``output`` handle is ignored, and
+        ``options.resume=True`` continues a killed run from its last
+        verified commit — skipping the committed reads on the way in,
+        so the final bytes are identical to an uninterrupted run.
         """
         self._check_open()
         aligner = self.aligner
@@ -726,24 +772,94 @@ class MappingSession:
         _apply_kernel(aligner, opts)
         telemetry = _fault_telemetry(opts, telemetry)
 
+        journal = None
+        if opts.run_dir:
+            from .runtime.journal import RunJournal
+
+            journal = RunJournal(
+                opts.run_dir,
+                identity={
+                    "reads": os.path.abspath(os.fspath(reads_path)),
+                    "sam": bool(sam),
+                    "with_cigar": bool(opts.with_cigar),
+                    "preset": getattr(aligner.preset, "name", None),
+                    "engine": getattr(aligner, "engine_name", None),
+                },
+                commit_reads=opts.commit_reads,
+                resume=opts.resume,
+            )
+
         def write_header() -> None:
-            if sam and output is not None:
-                output.write(
-                    sam_header(aligner.index.names, aligner.index.lengths)
-                )
-                output.write("\n")
+            if not sam:
+                return
+            text = (
+                sam_header(aligner.index.names, aligner.index.lengths) + "\n"
+            )
+            if journal is not None:
+                if journal.offset == 0:  # fresh run, not a resume
+                    journal.write_text(text)
+                    journal.commit()
+            elif output is not None:
+                output.write(text)
+
+        # Write-time fault injection (disk_full / torn_write): the
+        # sink consults the injector with the read name and payload.
+        injector = getattr(opts.fault_policy, "injector", None)
+        on_write = getattr(injector, "on_write", None)
 
         def emit(read: SeqRecord, alns: List[Alignment]) -> None:
+            if journal is not None:
+                text = "".join(
+                    (to_sam(aln, read) if sam else to_paf(aln)) + "\n"
+                    for aln in alns
+                )
+                if on_write is not None:
+                    on_write(read.name, fh=journal.output_handle,
+                             payload=text)
+                journal.write_text(text)
+                journal.read_done()
+                return
             if output is None:
                 return
+            if on_write is not None:
+                on_write(read.name, fh=output, payload=None)
             for aln in alns:
                 output.write(to_sam(aln, read) if sam else to_paf(aln))
                 output.write("\n")
 
         source = iter_reads(os.fspath(reads_path))
+        if journal is not None and journal.reads_done:
+            # Committed reads re-map to the same bytes; don't re-map them.
+            source = itertools.islice(source, journal.reads_done, None)
+        try:
+            stats = self._run_map_file(
+                source, emit, write_header, opts, journal,
+                profile=profile, telemetry=telemetry,
+            )
+        except BaseException:
+            if journal is not None:
+                journal.close()  # keep the last commit; no completion
+            raise
+        if journal is not None:
+            journal.complete()
+            stats.journal = journal.summary()
+            if telemetry is not None:
+                # journal.* lands in the run-scoped counter delta, so
+                # the metrics manifest and report see commit activity.
+                telemetry.absorb(dict(journal.counters))
+        return stats
+
+    def _run_map_file(
+        self, source, emit, write_header, opts, journal, *,
+        profile=None, telemetry=None,
+    ) -> StreamStats:
+        """The backend split of :meth:`map_file`, journal-agnostic."""
+        from .runtime.journal import journal_events
+
+        aligner = self.aligner
         write_header()
         if opts.backend == "streaming":
-            with _live_plane(opts, telemetry):
+            with _live_plane(opts, telemetry), journal_events(journal):
                 stats = stream_map(
                     aligner,
                     source,
@@ -774,7 +890,7 @@ class MappingSession:
 
         stats = StreamStats()
         batch_size = opts.chunk_reads * max(1, opts.workers) * 4
-        with _live_plane(opts, telemetry):
+        with _live_plane(opts, telemetry), journal_events(journal):
             while True:
                 batch: List[SeqRecord] = []
                 with stage("Load Query"):

@@ -21,6 +21,7 @@ run manifest and ``map --trace FILE`` a per-read span JSONL (see
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -91,6 +92,12 @@ def _cmd_map(args: argparse.Namespace) -> int:
     if args.threads < 1 or args.processes < 1 or args.chunk_reads < 1:
         log.error("--threads, --processes and --chunk-reads must be >= 1")
         return 2
+    if args.commit_reads < 1:
+        log.error("--commit-reads must be >= 1")
+        return 2
+    if args.resume and not args.run_dir:
+        log.error("--resume needs --run-dir (or use `manymap resume DIR`)")
+        return 2
     resolved = _resolve_map_backend(args)
     if resolved is None:
         log.error("--stream conflicts with --backend %s", args.backend)
@@ -155,26 +162,73 @@ def _cmd_map(args: argparse.Namespace) -> int:
         progress_path=args.progress_file,
         status_port=args.status_port,
         events_path=args.events,
+        run_dir=args.run_dir,
+        resume=bool(args.resume),
+        commit_reads=args.commit_reads,
     )
-    out = open(args.output, "w") if args.output else sys.stdout
+
+    from contextlib import nullcontext
+
+    from .errors import ReproError
+    from .utils.fsio import atomic_output, atomic_write, atomic_write_json
+
+    if args.run_dir and not args.resume:
+        # Record how to re-invoke this run so `manymap resume DIR`
+        # can rebuild the exact command (minus --resume) later.
+        os.makedirs(args.run_dir, exist_ok=True)
+        argv = list(getattr(args, "raw_argv", []) or [])
+        if argv and argv[0] == "map":
+            argv = argv[1:]
+        atomic_write_json(
+            os.path.join(args.run_dir, "cmdline.json"), {"argv": argv}
+        )
+
+    if args.run_dir:
+        # Durable mode: output goes through the run journal; -o (if
+        # given) is published from the committed file afterwards.
+        out_cm = nullcontext(None)
+    elif args.output:
+        # Atomic: the target appears only when the run succeeds — a
+        # crashed run never leaves a truncated PAF behind.
+        out_cm = atomic_output(args.output)
+    else:
+        out_cm = nullcontext(sys.stdout)
     try:
         # Every backend consumes the reads file through the same
         # bounded iterator inside map_file, so --chunk-reads caps
         # memory whether or not --stream is in play.
-        stats = map_file(
-            aligner,
-            args.reads,
-            out,
-            options,
-            sam=bool(args.sam),
-            profile=profile,
-            telemetry=telemetry,
-        )
+        with out_cm as out:
+            stats = map_file(
+                aligner,
+                args.reads,
+                out,
+                options,
+                sam=bool(args.sam),
+                profile=profile,
+                telemetry=telemetry,
+            )
+    except ReproError as exc:
+        log.error("%s", exc)
+        return 2
     finally:
         telemetry.close_trace()
-        if args.output:
-            out.close()
     log.info("mapped %d/%d reads", stats.n_mapped, stats.n_reads)
+    if args.run_dir:
+        committed = os.path.join(args.run_dir, "output.paf")
+        j = stats.journal or {}
+        if j.get("resumed"):
+            log.info(
+                "resumed: skipped %d committed read(s), truncated %d "
+                "torn byte(s)",
+                j.get("reads_skipped", 0),
+                j.get("truncated_bytes", 0),
+            )
+        if args.output:
+            with open(committed, "rb") as fh:
+                atomic_write(args.output, fh.read())
+            log.info("published committed output -> %s", args.output)
+        else:
+            log.info("committed output -> %s", committed)
     if policy is not None:
         quarantined = [
             f for f in telemetry.faults if f.action == "quarantined"
@@ -231,6 +285,8 @@ def _cmd_map(args: argparse.Namespace) -> int:
                 "on_error": args.on_error,
                 "max_retries": args.max_retries,
                 "read_timeout": args.read_timeout,
+                "run_dir": args.run_dir,
+                "commit_reads": args.commit_reads,
             },
             export={
                 k: v
@@ -246,6 +302,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
                 "n_mapped": stats.n_mapped,
             },
             label=profile.label,
+            journal=stats.journal,
         )
         write_metrics(args.metrics, manifest)
         log.info(
@@ -255,6 +312,41 @@ def _cmd_map(args: argparse.Namespace) -> int:
             args.metrics,
         )
     return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    """Re-invoke the recorded ``map`` command with ``--resume`` set.
+
+    ``map --run-dir`` stores its argv in ``DIR/cmdline.json``; this
+    replays it against the same run dir, so a crashed run continues
+    with exactly the options that started it (the journal additionally
+    refuses any output-affecting drift).
+    """
+    import json
+
+    from .obs.logs import get_logger
+
+    log = get_logger("cli")
+    path = os.path.join(args.run_dir, "cmdline.json")
+    try:
+        with open(path) as fh:
+            argv = list(json.load(fh)["argv"])
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        log.error(
+            "cannot read %s (%s); re-run the original command with "
+            "`manymap map ... --run-dir %s --resume` instead",
+            path,
+            exc,
+            args.run_dir,
+        )
+        return 2
+    argv = [a for a in argv if a != "--resume"]
+    parsed = build_parser().parse_args(["map"] + argv)
+    parsed.resume = True
+    parsed.run_dir = args.run_dir  # the dir may have moved; trust ours
+    parsed.raw_argv = ["map"] + argv
+    parsed.log_level = getattr(args, "log_level", parsed.log_level)
+    return _cmd_map(parsed)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -301,7 +393,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     set_run_id(telemetry.run_id)
     if args.events:
         EVENTS.open_sink(args.events)
-    server = MappingServer(session, config, telemetry)
+    request_journal = None
+    if args.journal:
+        from .serve.journal import RequestJournal
+
+        request_journal = RequestJournal(args.journal)
+    server = MappingServer(
+        session, config, telemetry, request_journal=request_journal
+    )
 
     async def _main() -> None:
         await server.start()
@@ -317,6 +416,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if args.events:
             EVENTS.close_sink()
+        if request_journal is not None:
+            request_journal.close()
     return 0
 
 
@@ -604,7 +705,42 @@ def build_parser() -> argparse.ArgumentParser:
         "(read/kind/times) injected by read name; see "
         "repro.testing.faults",
     )
+    pm.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        help="make the run durable: write output and a write-ahead "
+        "journal into DIR (fsynced commit every --commit-reads reads) "
+        "so a killed run can be resumed byte-identically with "
+        "`manymap resume DIR`; -o (if given) is published atomically "
+        "from the committed output at the end",
+    )
+    pm.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue the journaled run in --run-dir from its last "
+        "verified commit instead of starting fresh",
+    )
+    pm.add_argument(
+        "--commit-reads",
+        type=int,
+        default=256,
+        metavar="N",
+        help="durable-commit cadence for --run-dir: fsync output + "
+        "journal every N reads (default 256); smaller = less re-mapped "
+        "after a crash, more fsyncs",
+    )
     pm.set_defaults(fn=_cmd_map)
+
+    pz = sub.add_parser(
+        "resume",
+        parents=[common],
+        help="resume a killed `map --run-dir` run from its directory",
+    )
+    pz.add_argument(
+        "run_dir",
+        help="the --run-dir of the interrupted `manymap map` run",
+    )
+    pz.set_defaults(fn=_cmd_resume)
 
     pv = sub.add_parser(
         "serve",
@@ -705,6 +841,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="mirror the structured event stream (batches, sheds, "
         "drain) to FILE as JSONL",
     )
+    pv.add_argument(
+        "--journal",
+        metavar="DIR",
+        help="journal admitted requests durably in DIR and, on "
+        "restart, replay any the previous process died before "
+        "answering (results land in DIR/replayed.jsonl)",
+    )
     pv.set_defaults(fn=_cmd_serve)
 
     ps = sub.add_parser(
@@ -796,7 +939,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     from .obs.logs import setup_logging
 
-    args = build_parser().parse_args(argv)
+    raw = list(argv if argv is not None else sys.argv[1:])
+    args = build_parser().parse_args(raw)
+    args.raw_argv = raw  # verbatim, for `map --run-dir`'s cmdline.json
     setup_logging(getattr(args, "log_level", "info"))
     return args.fn(args)
 

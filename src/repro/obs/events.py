@@ -64,6 +64,7 @@ class EventBus:
         self._counts: Dict[str, int] = {}
         self._seq = 0
         self._sink = None
+        self._listeners: List = []
 
     # -- emission ------------------------------------------------------ #
 
@@ -85,6 +86,15 @@ class EventBus:
             if sink is not None:
                 sink.write(json.dumps(rec, sort_keys=True))
                 sink.write("\n")
+            listeners = list(self._listeners) if self._listeners else None
+        if listeners:
+            # Outside the lock: a listener may itself emit, or do IO
+            # (the run journal mirrors chunk lifecycle into its WAL).
+            for fn in listeners:
+                try:
+                    fn(rec)
+                except Exception:
+                    pass  # a broken listener must not break the runtime
         return rec
 
     # -- reading ------------------------------------------------------- #
@@ -145,6 +155,26 @@ class EventBus:
             old, self._sink = self._sink, None
         if old is not None:
             old.close()
+
+    # -- listeners ----------------------------------------------------- #
+
+    def add_listener(self, fn) -> None:
+        """Call ``fn(record)`` for every subsequent event.
+
+        Listeners run outside the bus lock, after the event is stored;
+        exceptions they raise are swallowed. Used by the run journal to
+        mirror chunk lifecycle into the write-ahead log.
+        """
+        with self._lock:
+            self._listeners.append(fn)
+
+    def remove_listener(self, fn) -> None:
+        """Detach a listener added by :meth:`add_listener`; idempotent."""
+        with self._lock:
+            try:
+                self._listeners.remove(fn)
+            except ValueError:
+                pass
 
     # -- test/bench helpers -------------------------------------------- #
 

@@ -32,6 +32,7 @@ __all__ = [
     "derive_metrics",
     "batch_summary",
     "serve_summary",
+    "journal_summary",
     "build_metrics",
     "write_metrics",
     "load_metrics",
@@ -51,9 +52,12 @@ __all__ = [
 #: path) and the ``events`` summary (per-kind structured event counts
 #: from the run's event bus); v7 adds the optional ``serve`` object
 #: (the ``repro serve`` front-end: request/shed/batch totals, batch
-#: occupancy, queue-depth high water, per-tenant request counts).
-#: v1-v6 manifests remain valid.
-SCHEMA_VERSION = 7
+#: occupancy, queue-depth high water, per-tenant request counts);
+#: v8 adds the optional ``journal`` object (durable runs: commit
+#: count, resume/skip/truncation tallies, committed output bytes and
+#: rolling CRC from the write-ahead journal). v1-v7 manifests remain
+#: valid.
+SCHEMA_VERSION = 8
 
 
 def machine_info() -> Dict:
@@ -157,6 +161,7 @@ def serve_summary(
         "shed_queue": int(counters.get("serve.shed.queue", 0)),
         "shed_quota": int(counters.get("serve.shed.quota", 0)),
         "shed_draining": int(counters.get("serve.shed.draining", 0)),
+        "replayed": int(counters.get("serve.replayed", 0)),
         "batches": batches,
         "coalesced_batches": int(counters.get("serve.coalesced", 0)),
         "batch_reads": batch_reads,
@@ -170,6 +175,17 @@ def serve_summary(
     }
 
 
+def journal_summary(journal: Optional[Dict]) -> Dict:
+    """The manifest's ``journal`` object (schema v8).
+
+    ``journal`` is :meth:`repro.runtime.journal.RunJournal.summary`
+    (``StreamStats.journal``) or ``None``; non-durable runs carry an
+    empty ``journal`` object and the report renderer skips the
+    Durability section.
+    """
+    return dict(journal or {})
+
+
 def build_metrics(
     profile,
     telemetry,
@@ -177,6 +193,7 @@ def build_metrics(
     reads: Optional[Dict] = None,
     label: str = "",
     export: Optional[Dict] = None,
+    journal: Optional[Dict] = None,
 ) -> Dict:
     """Assemble the full run manifest.
 
@@ -184,7 +201,9 @@ def build_metrics(
     ``telemetry`` a :class:`~repro.obs.telemetry.Telemetry` whose
     run-scoped counter delta is recorded. ``reads`` may carry
     ``n_reads`` / ``total_bases`` / ``n_mapped``; ``export`` the live
-    telemetry plane's config (``status_port`` / ``events_path``).
+    telemetry plane's config (``status_port`` / ``events_path``);
+    ``journal`` the durable run's journal summary
+    (``StreamStats.journal``).
     """
     from ..eval.resources import peak_rss_bytes
 
@@ -208,6 +227,7 @@ def build_metrics(
         "gauges": telemetry.gauges.snapshot(),
         "batch": batch_summary(counters),
         "serve": serve_summary(counters, telemetry.gauges.snapshot()),
+        "journal": journal_summary(journal),
         "faults": telemetry.fault_summary(),
         "histograms": telemetry.histograms(),
         "export": dict(export or {}),
@@ -230,9 +250,13 @@ def build_metrics(
 
 
 def write_metrics(path: str, metrics: Dict) -> None:
-    with open(path, "w") as fh:
-        json.dump(metrics, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    # Atomic: a crash mid-dump must not leave a torn manifest that a
+    # report/compare gate would half-parse.
+    from ..utils.fsio import atomic_write
+
+    atomic_write(
+        path, json.dumps(metrics, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def load_metrics(path: str) -> Dict:

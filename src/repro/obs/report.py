@@ -160,6 +160,33 @@ def _serve_lines(metrics: Dict) -> List[str]:
     return lines
 
 
+def _journal_lines(metrics: Dict) -> List[str]:
+    """``Durability`` section from the manifest's v8 ``journal`` object."""
+    journal = metrics.get("journal")
+    if not journal:
+        return []
+    lines = [
+        f"  run dir {journal.get('run_dir', '?')}: "
+        f"{journal.get('reads_done', 0)} reads committed in "
+        f"{journal.get('commits', 0)} commits "
+        f"(every {journal.get('commit_reads', 0)} reads), "
+        f"{si(journal.get('output_bytes', 0))}B output "
+        f"crc32={journal.get('output_crc32', 0):#010x}",
+    ]
+    if journal.get("resumed"):
+        lines.append(
+            f"  resumed: skipped {journal.get('reads_skipped', 0)} "
+            f"committed reads, truncated "
+            f"{journal.get('truncated_bytes', 0)} torn bytes"
+        )
+    lines.append(
+        "  completed"
+        if journal.get("completed")
+        else "  NOT completed (interrupted — resume with `manymap resume`)"
+    )
+    return lines
+
+
 def _histogram_table(histograms: Dict[str, Dict]) -> List[str]:
     """p50/p90/p99 table from a manifest's ``histograms`` object."""
     if not histograms:
@@ -226,6 +253,11 @@ def render_metrics(manifests: Sequence[Dict]) -> str:
             lines.append("")
             lines.append("Serving")
             lines.extend(serve_lines)
+        journal_lines = _journal_lines(manifests[0])
+        if journal_lines:
+            lines.append("")
+            lines.append("Durability")
+            lines.extend(journal_lines)
         hist_lines = _histogram_table(manifests[0].get("histograms") or {})
         if hist_lines:
             lines.append("")

@@ -244,7 +244,9 @@ def write_timeline(
     doc = build_timeline(
         spans, faults, run_id=run_id, gauges=gauges, label=label
     )
-    with open(path, "w") as fh:
+    from ..utils.fsio import atomic_output
+
+    with atomic_output(path) as fh:
         json.dump(doc, fh)
         fh.write("\n")
     return len(doc["traceEvents"])

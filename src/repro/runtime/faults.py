@@ -531,14 +531,18 @@ def write_quarantine(
     reads.
     """
     from ..seq.fasta import write_fastq
+    from ..utils.fsio import atomic_output
 
     records = [
         f.record
         for f in faults
         if f.action == "quarantined" and f.record is not None
     ]
-    write_fastq(path, records)
-    with open(f"{path}.reasons.jsonl", "w") as fh:
+    # Both sidecars commit atomically: a crash mid-write must not leave
+    # a torn FASTQ that a re-map pass would half-ingest.
+    with atomic_output(path) as fh:
+        write_fastq(fh, records)
+    with atomic_output(f"{path}.reasons.jsonl") as fh:
         for f in faults:
             rec = f.to_json()
             if run_id:

@@ -73,7 +73,11 @@ _WORKER_DONE = object()
 
 @dataclass
 class StreamStats:
-    """What flowed through one :func:`stream_map` run."""
+    """What flowed through one :func:`stream_map` run.
+
+    ``journal`` carries the run journal's summary when the run was
+    durable (``MapOptions.run_dir``); ``None`` otherwise.
+    """
 
     n_reads: int = 0
     total_bases: int = 0
@@ -81,6 +85,7 @@ class StreamStats:
     n_alignments: int = 0
     n_chunks: int = 0
     n_windows: int = 0
+    journal: Optional[Dict] = None
 
 
 @dataclass
@@ -518,6 +523,10 @@ def stream_map(
                 t.join()
             raise
     finally:
+        from ..testing import chaos as _chaos_mod
+
+        if _chaos_mod.ARMED:
+            _chaos_mod.chaos_point("stream.drain")
         if supervisor is not None:
             supervisor.shutdown()
         if tmp_index is not None:

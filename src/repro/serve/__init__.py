@@ -28,24 +28,30 @@ server speaks exactly the objects the Python facade uses.
 
 from .admission import (
     AdmissionQueue,
+    DeadlineError,
     DrainingError,
     QueueFullError,
     RequestTooLargeError,
     TenantQuotaError,
 )
 from .batcher import AdaptiveBatcher, BatchController
-from .client import ServeClient
+from .client import RetryPolicy, ServeClient, ShedError
+from .journal import RequestJournal
 from .server import MappingServer, ServerThread
 
 __all__ = [
     "AdmissionQueue",
     "AdaptiveBatcher",
     "BatchController",
+    "DeadlineError",
     "DrainingError",
     "MappingServer",
     "QueueFullError",
+    "RequestJournal",
     "RequestTooLargeError",
+    "RetryPolicy",
     "ServeClient",
     "ServerThread",
+    "ShedError",
     "TenantQuotaError",
 ]

@@ -39,6 +39,7 @@ from ..obs.counters import COUNTERS
 __all__ = [
     "AdmissionError",
     "AdmissionQueue",
+    "DeadlineError",
     "DrainingError",
     "QueueFullError",
     "RequestTooLargeError",
@@ -77,19 +78,45 @@ class DrainingError(AdmissionError):
     http_status = 503
 
 
+class DeadlineError(ServeError):
+    """The request's ``timeout_ms`` deadline passed before its result.
+
+    Raised by the batcher — *not* at admission — so it is a plain
+    :class:`~repro.errors.ServeError` (the request was admitted and
+    counted; it just took too long). HTTP 504.
+    """
+
+    http_status = 504
+
+
 class Ticket:
     """One admitted request: the unit flowing queue → batch → response."""
 
-    __slots__ = ("request", "enqueued_at", "future")
+    __slots__ = ("request", "enqueued_at", "deadline", "future")
 
     def __init__(self, request: MapRequest) -> None:
         self.request = request
         self.enqueued_at = time.perf_counter()
+        timeout_ms = getattr(request, "timeout_ms", None)
+        #: absolute ``perf_counter`` deadline, or None (wait forever).
+        self.deadline = (
+            None
+            if timeout_ms is None
+            else self.enqueued_at + timeout_ms / 1000.0
+        )
         self.future: "Future" = Future()
 
     @property
     def queue_ms(self) -> float:
         return (time.perf_counter() - self.enqueued_at) * 1000.0
+
+    @property
+    def expired(self) -> bool:
+        """True once the request's deadline has passed."""
+        return (
+            self.deadline is not None
+            and time.perf_counter() > self.deadline
+        )
 
 
 class AdmissionQueue:

@@ -37,7 +37,7 @@ from ..obs.counters import COUNTERS
 from ..obs.events import EVENTS
 from ..obs.hist import HISTOGRAMS
 from ..obs.logs import get_logger
-from .admission import AdmissionQueue, Ticket
+from .admission import AdmissionQueue, DeadlineError, Ticket
 
 __all__ = ["AdaptiveBatcher", "BatchController"]
 
@@ -187,6 +187,18 @@ class AdaptiveBatcher:
                         ticket.future.set_exception(exc)
 
     def _execute(self, tickets: List[Ticket]) -> None:
+        # Deadline check *before* spending DP time: a request that
+        # already waited past its timeout_ms gets its 504 now instead
+        # of slowing the batch for everyone else.
+        live: List[Ticket] = []
+        for ticket in tickets:
+            if ticket.expired:
+                self._expire(ticket, where="queued")
+            else:
+                live.append(ticket)
+        tickets = live
+        if not tickets:
+            return
         with self._batch_lock:
             batch_id = self._next_batch_id
             self._next_batch_id += 1
@@ -210,6 +222,12 @@ class AdaptiveBatcher:
         )
 
         for ticket, result in zip(tickets, results):
+            if ticket.expired:
+                # The batch finished, but past this request's deadline:
+                # the caller has already given up — answer 504, never a
+                # stale success.
+                self._expire(ticket, where="executed")
+                continue
             queue_ms = (t0 - ticket.enqueued_at) * 1000.0
             total_ms = (time.perf_counter() - ticket.enqueued_at) * 1000.0
             result = result.replace(
@@ -226,6 +244,26 @@ class AdaptiveBatcher:
             self.queue.done(ticket)
             if not ticket.future.done():
                 ticket.future.set_result(result)
+
+    def _expire(self, ticket: Ticket, where: str) -> None:
+        """Resolve an overdue ticket with a 504 :class:`DeadlineError`."""
+        req = ticket.request
+        COUNTERS.inc("serve.deadline")
+        EVENTS.emit(
+            "serve.deadline",
+            request_id=req.request_id,
+            tenant=req.tenant,
+            timeout_ms=req.timeout_ms,
+            where=where,
+        )
+        self.queue.done(ticket)
+        if not ticket.future.done():
+            ticket.future.set_exception(
+                DeadlineError(
+                    f"request {req.request_id}: deadline of "
+                    f"{req.timeout_ms:g} ms exceeded ({where})"
+                )
+            )
 
     def _map_tickets(self, tickets: List[Ticket]) -> List[MapResult]:
         """One pooled DP pass; per-request rerun to isolate any poison."""

@@ -7,35 +7,116 @@ the versioned :class:`~repro.api.MapRequest` / ``MapResult`` wire
 model. Raise-on-shed is deliberate — 429/503 surface as
 :class:`ShedError` with the HTTP status attached, so load generators
 can count sheds without parsing bodies.
+
+Retries: construct with a :class:`RetryPolicy` and :meth:`ServeClient.
+map` absorbs the transient failure modes a well-behaved client should —
+HTTP 429 (quota/queue shed), 503 (drain), and connection resets —
+with exponential backoff and *full jitter* (the AWS rule: sleep a
+uniform random fraction of the exponentially-growing cap, so a
+thundering herd of retriers decorrelates instead of re-colliding).
+A server-sent ``Retry-After`` header overrides the computed delay,
+and a per-call wall-clock budget bounds the total time one ``map``
+call may spend retrying. Non-transient failures (400 poison results,
+unexpected statuses) are never retried.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import time
 import urllib.error
 import urllib.request
-from typing import Dict
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
 
 from ..api import MapRequest, MapResult
 from ..errors import ServeError
 
-__all__ = ["ServeClient", "ShedError"]
+__all__ = ["RetryPolicy", "ServeClient", "ShedError"]
 
 
 class ShedError(ServeError):
-    """The server refused the request (429 quota/queue or 503 drain)."""
+    """The server refused the request (429 quota/queue or 503 drain).
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after_s`` carries the server's ``Retry-After`` header
+    (seconds) when one was sent, else ``None``.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after_s: Optional[float] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after_s = retry_after_s
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How :meth:`ServeClient.map` retries transient failures.
+
+    ``max_attempts`` counts the *total* tries (1 = no retry). Delay
+    before retry ``n`` (1-based) is ``uniform(0, min(max_delay_s,
+    base_delay_s * 2**(n-1)))`` — exponential backoff, full jitter —
+    unless the server named a longer wait via ``Retry-After``, which
+    wins (capped at ``max_delay_s``). ``budget_s`` bounds the whole
+    call: once elapsed time plus the next sleep would exceed it, the
+    last error is raised instead. ``retry_statuses`` lists the HTTP
+    codes considered transient; connection-level failures (reset,
+    refused, EOF mid-response) always qualify.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    budget_s: float = 30.0
+    retry_statuses: Tuple[int, ...] = (429, 503)
+
+    def validated(self) -> "RetryPolicy":
+        if self.max_attempts < 1:
+            raise ServeError(
+                f"max_attempts must be >= 1: {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ServeError("retry delays must be >= 0")
+        if self.budget_s <= 0:
+            raise ServeError(f"budget_s must be > 0: {self.budget_s}")
+        return self
+
+    def delay_s(
+        self, attempt: int, rng: Callable[[], float]
+    ) -> float:
+        """Full-jitter backoff before retry ``attempt`` (1-based)."""
+        cap = min(self.max_delay_s, self.base_delay_s * (2 ** (attempt - 1)))
+        return rng() * cap
 
 
 class ServeClient:
-    """Blocking HTTP client bound to one serve base URL."""
+    """Blocking HTTP client bound to one serve base URL.
 
-    def __init__(self, url: str, timeout_s: float = 60.0) -> None:
+    ``retry`` enables transparent retries on :meth:`map`; ``sleep``
+    and ``rng`` are injectable for deterministic tests (``rng`` must
+    return uniform floats in [0, 1)).
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout_s: float = 60.0,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[Callable[[], float]] = None,
+    ) -> None:
         self.url = url.rstrip("/")
         self.timeout_s = timeout_s
+        self.retry = retry.validated() if retry is not None else None
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.random
+        #: attempts spent by the most recent :meth:`map` call.
+        self.last_attempts = 0
 
     def map(self, request: MapRequest) -> MapResult:
         """POST one request; returns its result (even an error result).
@@ -43,8 +124,39 @@ class ServeClient:
         HTTP 200/400 responses decode to :class:`MapResult` (a 400 is a
         well-formed error result — poison reads land here); 429/503
         raise :class:`ShedError`; anything else raises
-        :class:`~repro.errors.ServeError`.
+        :class:`~repro.errors.ServeError`. With a :class:`RetryPolicy`,
+        sheds and connection failures are retried under the policy's
+        attempt/budget limits before the final error escapes.
         """
+        policy = self.retry
+        self.last_attempts = 1
+        if policy is None:
+            return self._map_once(request)
+        t0 = time.monotonic()
+        attempt = 1
+        while True:
+            retry_after: Optional[float] = None
+            try:
+                self.last_attempts = attempt
+                return self._map_once(request)
+            except ShedError as exc:
+                if exc.status not in policy.retry_statuses:
+                    raise
+                retry_after = exc.retry_after_s
+                err: Exception = exc
+            except (urllib.error.URLError, ConnectionError) as exc:
+                err = exc
+            if attempt >= policy.max_attempts:
+                raise err
+            delay = policy.delay_s(attempt, self._rng)
+            if retry_after is not None:
+                delay = max(delay, min(retry_after, policy.max_delay_s))
+            if (time.monotonic() - t0) + delay > policy.budget_s:
+                raise err
+            self._sleep(delay)
+            attempt += 1
+
+    def _map_once(self, request: MapRequest) -> MapResult:
         body = json.dumps(request.to_json()).encode("utf-8")
         req = urllib.request.Request(
             self.url + "/map",
@@ -58,7 +170,11 @@ class ServeClient:
         except urllib.error.HTTPError as exc:
             payload = exc.read()
             if exc.code in (429, 503):
-                raise ShedError(exc.code, payload.decode("utf-8", "replace"))
+                raise ShedError(
+                    exc.code,
+                    payload.decode("utf-8", "replace"),
+                    retry_after_s=_retry_after_s(exc.headers),
+                )
             try:
                 doc = json.loads(payload)
             except ValueError:
@@ -94,3 +210,21 @@ class ServeClient:
             return self._get("/healthz").strip() == b"ok"
         except (urllib.error.URLError, ConnectionError):
             return False
+
+
+def _retry_after_s(headers) -> Optional[float]:
+    """Parse a delta-seconds ``Retry-After`` header (None when absent).
+
+    HTTP-date forms are ignored — the serve front-end only ever sends
+    delta-seconds, and a misparsed date must not become a huge sleep.
+    """
+    if headers is None:
+        return None
+    raw = headers.get("Retry-After")
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value >= 0 else None

@@ -1,0 +1,153 @@
+"""Journal-backed request replay: crash recovery for ``manymap serve``.
+
+A serve process that dies mid-flight (OOM, node loss, ``kill -9``)
+used to take every admitted-but-unanswered request with it — the
+client sees a dead connection and has no idea whether its work ran.
+With ``manymap serve --journal DIR`` every admitted request is
+journaled durably *before* it is batched, and marked done once its
+HTTP response is sent; on the next start the server replays the
+admitted-but-not-done remainder through the resident session and
+parks the results in ``DIR/replayed.jsonl`` for the operator (the
+original connections are gone — mapping is deterministic, so a client
+that retried got identical bytes anyway).
+
+Record framing reuses the run journal's CRC-per-line JSONL
+(:class:`repro.runtime.journal.JournalFile`), so a torn tail from the
+crash is detected and ignored, not replayed:
+
+``request.admitted``
+    fsynced before the request enters the batcher; carries the full
+    wire-form request (it must survive the process).
+``request.done``
+    appended (unfsynced — losing one merely replays a deterministic,
+    idempotent request) when the response goes out, any status: a
+    request the client got an *answer* for, even a 4xx/5xx, is not
+    replayed.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+from ..api import MapRequest, MappingSession
+from ..obs.counters import COUNTERS
+from ..obs.events import EVENTS
+from ..obs.logs import get_logger
+from ..runtime.journal import JournalFile
+
+__all__ = ["RequestJournal", "replay_pending", "REQUESTS_NAME", "REPLAYED_NAME"]
+
+REQUESTS_NAME = "requests.jsonl"
+REPLAYED_NAME = "replayed.jsonl"
+
+
+class RequestJournal:
+    """Durable admitted/done lifecycle records for one serve deployment.
+
+    Thread-safe (the asyncio handler and batcher workers both touch
+    it). Append-only across restarts: one file accumulates the
+    deployment's whole request history, and :meth:`pending` folds it
+    into the set a restart must replay.
+    """
+
+    def __init__(self, journal_dir: str) -> None:
+        self.dir = os.fspath(journal_dir)
+        os.makedirs(self.dir, exist_ok=True)
+        self.path = os.path.join(self.dir, REQUESTS_NAME)
+        self.replayed_path = os.path.join(self.dir, REPLAYED_NAME)
+        self._lock = threading.Lock()
+        self._journal = JournalFile(self.path)
+
+    def admitted(self, request: MapRequest) -> None:
+        """Record (durably) that ``request`` entered the batcher."""
+        with self._lock:
+            self._journal.append(
+                {
+                    "t": "request.admitted",
+                    "ts": time.time(),
+                    "request_id": request.request_id,
+                    "tenant": request.tenant,
+                    "request": request.to_json(),
+                },
+                sync=True,
+            )
+
+    def done(self, request_id: str, status: str) -> None:
+        """Record that ``request_id`` was answered (any status)."""
+        with self._lock:
+            self._journal.append(
+                {
+                    "t": "request.done",
+                    "ts": time.time(),
+                    "request_id": request_id,
+                    "status": status,
+                }
+            )
+
+    def pending(self) -> List[Dict]:
+        """Admitted-but-unanswered request documents, in admission order."""
+        records, _ = JournalFile.replay(self.path)
+        admitted: Dict[str, Dict] = {}
+        order: List[str] = []
+        for rec in records:
+            rid = rec.get("request_id")
+            if not rid:
+                continue
+            if rec.get("t") == "request.admitted":
+                if rid not in admitted:
+                    order.append(rid)
+                admitted[rid] = rec.get("request") or {}
+            elif rec.get("t") == "request.done":
+                if rid in admitted:
+                    order.remove(rid)
+                    del admitted[rid]
+        return [admitted[rid] for rid in order]
+
+    def close(self) -> None:
+        self._journal.close()
+
+
+def replay_pending(
+    journal: RequestJournal, session: MappingSession
+) -> int:
+    """Map every pending request; results land in ``replayed.jsonl``.
+
+    Called before the server starts admitting new traffic. Each
+    replayed request is marked done (status prefixed ``replayed:``) so
+    a crash *during* replay resumes where it left off, and its full
+    ``MapResult`` document is appended to ``DIR/replayed.jsonl``. A
+    request document that no longer parses is marked done as
+    ``replayed:unparseable`` rather than wedging the restart loop.
+    Returns the number of requests replayed.
+    """
+    import json
+
+    log = get_logger("serve.journal")
+    pending = journal.pending()
+    if not pending:
+        return 0
+    n = 0
+    with open(journal.replayed_path, "a", encoding="utf-8") as out:
+        for doc in pending:
+            try:
+                request = MapRequest.from_json(doc)
+            except Exception as exc:
+                rid = str(doc.get("request_id", "?")) if isinstance(
+                    doc, dict
+                ) else "?"
+                log.warning("replay: dropping unparseable %s: %s", rid, exc)
+                journal.done(rid, "replayed:unparseable")
+                continue
+            result = session.map_request(request)
+            out.write(json.dumps(result.to_json(), sort_keys=True) + "\n")
+            out.flush()
+            journal.done(request.request_id, f"replayed:{result.status}")
+            COUNTERS.inc("serve.replayed")
+            n += 1
+        os.fsync(out.fileno())
+    EVENTS.emit("serve.replay", replayed=n)
+    log.info("replayed %d pending request(s) from %s", n, journal.path)
+    return n

@@ -58,7 +58,13 @@ _REASONS = {
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
+
+#: delta-seconds ``Retry-After`` sent with every 429/503 so
+#: well-behaved clients (:class:`repro.serve.client.RetryPolicy`)
+#: back off instead of hammering a shedding server.
+RETRY_AFTER_S = 1
 
 
 class MappingServer:
@@ -69,10 +75,15 @@ class MappingServer:
         session: MappingSession,
         config: Optional[ServeConfig] = None,
         telemetry: Optional[Telemetry] = None,
+        request_journal=None,
     ) -> None:
         self.session = session
         self.config = (config or ServeConfig()).validated()
         self.telemetry = telemetry or Telemetry()
+        #: optional :class:`repro.serve.journal.RequestJournal`;
+        #: admitted requests are journaled durably and replayed by the
+        #: next start() if this process dies before answering them.
+        self.request_journal = request_journal
         self.sampler = RunSampler(self.telemetry)
         self.queue = AdmissionQueue(self.config, gauges=self.telemetry.gauges)
         self.batcher = AdaptiveBatcher(
@@ -100,6 +111,15 @@ class MappingServer:
     async def start(self) -> "MappingServer":
         if self._server is not None:
             return self
+        if self.request_journal is not None:
+            # Crash recovery before any new traffic: answer what the
+            # previous process left admitted-but-unanswered.
+            from .journal import replay_pending
+
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                None, replay_pending, self.request_journal, self.session
+            )
         self._stopped = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle, host=self.config.host, port=self.config.port
@@ -167,10 +187,16 @@ class MappingServer:
             self._log.exception("request handling failed")
             reply = json_reply(500, {"error": str(exc)})
         code, ctype, body = reply
+        extra = (
+            f"Retry-After: {RETRY_AFTER_S}\r\n"
+            if code in (429, 503)
+            else ""
+        )
         head = (
             f"HTTP/1.1 {code} {_REASONS.get(code, 'Unknown')}\r\n"
             f"Content-Type: {ctype}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n\r\n"
         ).encode("latin-1")
         try:
@@ -251,13 +277,20 @@ class MappingServer:
                     "shed": True,
                 },
             )
+        if self.request_journal is not None:
+            self.request_journal.admitted(request)
         try:
             result = await asyncio.wrap_future(ticket.future)
         except ServeError as exc:
             status = getattr(exc, "http_status", 503)
+            if self.request_journal is not None:
+                # The client got an answer (an error one): not replayed.
+                self.request_journal.done(request.request_id, f"http:{status}")
             return json_reply(
                 status, {"error": str(exc), "request_id": request.request_id}
             )
+        if self.request_journal is not None:
+            self.request_journal.done(request.request_id, result.status)
         return json_reply(200 if result.ok else 400, result.to_json())
 
 
@@ -274,8 +307,11 @@ class ServerThread:
         session: MappingSession,
         config: Optional[ServeConfig] = None,
         telemetry: Optional[Telemetry] = None,
+        request_journal=None,
     ) -> None:
-        self.server = MappingServer(session, config, telemetry)
+        self.server = MappingServer(
+            session, config, telemetry, request_journal=request_journal
+        )
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()

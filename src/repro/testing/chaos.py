@@ -1,0 +1,335 @@
+"""The kill-9 chaos harness: seeded crash points + resume assertions.
+
+Crash-safety is only real if it is *tested* at the exact instants that
+matter: between writing output bytes and journaling their commit,
+halfway through a journal append, after the output fsync but before
+the journal fsync, while the streaming pipeline drains. Timing-based
+kills cannot hit those windows reproducibly, so the durability layer
+is instrumented with named **chaos points** — one
+:func:`chaos_point` call per interesting instant — and this module
+turns an environment variable into deterministic mayhem at the n-th
+occurrence of a named point:
+
+``MANYMAP_CHAOS="kill@journal.commit.fsync:2"``
+    SIGKILL the process the 2nd time that point is reached (a real
+    ``kill -9``: no cleanup handlers, no flushes — exactly what a node
+    loss looks like).
+``MANYMAP_CHAOS="enospc@output.write:3"``
+    raise ``OSError(ENOSPC)`` there (disk full).
+``MANYMAP_CHAOS="torn@journal.append:1"``
+    write only *half* of the pending payload to the hooked file
+    handle, flush it, then SIGKILL — a torn write frozen onto disk.
+
+Multiple directives separate with commas. Occurrence counters are
+per-process, so a resumed run (a fresh process without the env var)
+runs clean.
+
+The harness half (:class:`ChaosRun`) wraps the subprocess choreography
+the identity tests and the CI chaos job share: run ``manymap map``
+with a chaos spec, assert the process actually died by SIGKILL, run
+``manymap resume``, and hand back the artifacts for byte-identity
+assertions. Instrumented points (see :mod:`repro.runtime.journal` and
+:mod:`repro.utils.fsio`):
+
+========================  ====================================================
+point                     instant
+========================  ====================================================
+``output.write``          before appending one read's PAF lines (mid-chunk)
+``output.fsync``          before fsyncing the output segment
+``journal.append``        before appending any journal record
+``journal.commit.fsync``  before fsyncing the commit record (output already
+                          durable — the re-map-tail window)
+``stream.drain``          while the streaming pipeline shuts down
+``atomic.write``          before an :func:`~repro.utils.fsio.atomic_write`
+``atomic.fsync``          before its fsync
+``atomic.rename``         before its rename
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import signal
+import subprocess
+import sys
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CHAOS_ENV",
+    "ARMED",
+    "chaos_point",
+    "parse_spec",
+    "reset",
+    "seeded_schedule",
+    "ChaosRun",
+    "KILL_POINTS",
+]
+
+#: the environment variable carrying the chaos spec.
+CHAOS_ENV = "MANYMAP_CHAOS"
+
+#: chaos-point names a seeded kill schedule draws from. Ordered so a
+#: seed maps to a stable schedule across runs and machines.
+KILL_POINTS = (
+    "output.write",
+    "output.fsync",
+    "journal.append",
+    "journal.commit.fsync",
+)
+
+ACTIONS = ("kill", "enospc", "torn")
+
+#: fast-path flag: False until a spec is parsed from the environment,
+#: so instrumented hot paths pay one attribute read when chaos is off.
+ARMED = bool(os.environ.get(CHAOS_ENV))
+
+_lock = threading.Lock()
+_directives: Optional[Dict[str, List[Tuple[str, int]]]] = None
+_hits: Dict[str, int] = {}
+
+
+def parse_spec(spec: str) -> Dict[str, List[Tuple[str, int]]]:
+    """Parse ``action@point:nth[,action@point:nth...]`` directives."""
+    out: Dict[str, List[Tuple[str, int]]] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            action, _, rest = part.partition("@")
+            point, _, nth = rest.rpartition(":")
+            n = int(nth)
+        except ValueError as exc:
+            raise ValueError(f"bad chaos directive {part!r}") from exc
+        if action not in ACTIONS or not point or n < 1:
+            raise ValueError(
+                f"bad chaos directive {part!r}: want "
+                f"ACTION@POINT:NTH with ACTION in {ACTIONS} and NTH >= 1"
+            )
+        out.setdefault(point, []).append((action, n))
+    return out
+
+
+def reset() -> None:
+    """Re-read the environment and zero occurrence counters (tests)."""
+    global ARMED, _directives
+    with _lock:
+        _directives = None
+        _hits.clear()
+        ARMED = bool(os.environ.get(CHAOS_ENV))
+
+
+def chaos_point(name: str, fh=None, payload=None) -> None:
+    """Declare one crash-relevant instant; acts when a directive matches.
+
+    ``fh``/``payload`` give the ``torn`` action something to tear: the
+    file handle about to be written and the bytes (or str) that were
+    going to be written in full.
+    """
+    global _directives
+    if not ARMED:
+        return
+    with _lock:
+        if _directives is None:
+            _directives = parse_spec(os.environ.get(CHAOS_ENV, ""))
+        todo = _directives.get(name)
+        if not todo:
+            return
+        _hits[name] = _hits.get(name, 0) + 1
+        hit = _hits[name]
+    for action, nth in todo:
+        if hit != nth:
+            continue
+        if action == "kill":
+            _die()
+        if action == "enospc":
+            raise OSError(
+                errno.ENOSPC,
+                f"No space left on device (chaos injection at {name})",
+            )
+        if action == "torn":
+            _tear(fh, payload)
+            _die()
+    return
+
+
+def _die() -> None:  # pragma: no cover - the process dies here
+    os.kill(os.getpid(), signal.SIGKILL)
+    # SIGKILL is not deliverable to ourselves synchronously on every
+    # platform; make absolutely sure no cleanup code runs either way.
+    os._exit(137)
+
+
+def _tear(fh, payload) -> None:  # pragma: no cover - followed by _die
+    if fh is None or payload is None:
+        return
+    data = payload.encode("utf-8") if isinstance(payload, str) else payload
+    half = data[: max(1, len(data) // 2)]
+    try:
+        if hasattr(fh, "buffer"):  # text handle over a binary buffer
+            fh.flush()
+            fh.buffer.write(half)
+            fh.buffer.flush()
+        elif isinstance(fh.mode, str) and "b" not in fh.mode:
+            fh.write(half.decode("utf-8", "ignore"))
+            fh.flush()
+        else:
+            fh.write(half)
+            fh.flush()
+        os.fsync(fh.fileno())
+    except (OSError, ValueError):
+        pass
+
+
+def seeded_schedule(
+    seed: int, n_points: int = 4, max_nth: int = 3
+) -> List[str]:
+    """A deterministic kill schedule: ``n_points`` chaos directives.
+
+    A tiny LCG (not :mod:`random`, so the schedule is stable across
+    Python versions) walks the :data:`KILL_POINTS` space. The property
+    test runs one kill+resume cycle per directive and asserts identity
+    for each.
+    """
+    state = (seed * 2654435761 + 1) & 0xFFFFFFFF
+    out: List[str] = []
+    seen = set()
+    while len(out) < n_points:
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        point = KILL_POINTS[state % len(KILL_POINTS)]
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        nth = 1 + state % max_nth
+        directive = f"kill@{point}:{nth}"
+        if directive in seen:
+            continue
+        seen.add(directive)
+        out.append(directive)
+    return out
+
+
+@dataclass
+class ChaosResult:
+    """What one kill+resume cycle produced."""
+
+    directive: str
+    kill_returncode: int
+    killed: bool
+    resume_returncode: int
+    resume_stderr: str
+    run_dir: str
+
+    @property
+    def output_path(self) -> str:
+        return os.path.join(self.run_dir, "output.paf")
+
+    def output_bytes(self) -> bytes:
+        with open(self.output_path, "rb") as fh:
+            return fh.read()
+
+
+@dataclass
+class ChaosRun:
+    """Subprocess choreography for one resumable mapping workload.
+
+    ``map_args`` is everything after ``manymap map`` *except*
+    ``--run-dir`` (the harness owns run dirs). :meth:`baseline` runs
+    uninterrupted once; :meth:`kill_and_resume` runs the same command
+    under a chaos directive, asserts the SIGKILL landed, resumes, and
+    returns the :class:`ChaosResult` for identity assertions.
+    """
+
+    map_args: Sequence[str]
+    workdir: str
+    timeout_s: float = 120.0
+    env: Dict[str, str] = field(default_factory=dict)
+    _n: int = 0
+
+    def _base_env(self) -> Dict[str, str]:
+        env = dict(os.environ)
+        env.pop(CHAOS_ENV, None)
+        env.update(self.env)
+        src = os.path.join(os.path.dirname(__file__), "..", "..")
+        env["PYTHONPATH"] = os.path.abspath(src) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        return env
+
+    def _cmd(self, run_dir: str, resume: bool = False) -> List[str]:
+        if resume:
+            return [sys.executable, "-m", "repro.cli", "resume", run_dir]
+        return [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "map",
+            *self.map_args,
+            "--run-dir",
+            run_dir,
+        ]
+
+    def _fresh_dir(self, tag: str) -> str:
+        self._n += 1
+        path = os.path.join(self.workdir, f"run-{tag}-{self._n:03d}")
+        return path
+
+    def _run(self, cmd: List[str], env: Dict[str, str], log: str) -> int:
+        """Run ``cmd``, stderr/stdout to ``log``; returns the exit code.
+
+        Output goes to a *file*, not a pipe: a SIGKILLed parent can
+        leave orphaned pool workers holding the pipe's write end, which
+        would stall a ``communicate()``-style read forever. ``wait``
+        returns the moment the parent itself dies.
+        """
+        with open(log, "ab") as sink:
+            proc = subprocess.Popen(
+                cmd, env=env, stdout=sink, stderr=sink
+            )
+            try:
+                return proc.wait(timeout=self.timeout_s)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+                raise
+
+    def baseline(self) -> bytes:
+        """One uninterrupted run; returns the committed PAF bytes."""
+        run_dir = self._fresh_dir("clean")
+        os.makedirs(run_dir, exist_ok=True)
+        log = os.path.join(run_dir, "map.log")
+        rc = self._run(self._cmd(run_dir), self._base_env(), log)
+        if rc != 0:
+            with open(log) as fh:
+                raise RuntimeError(
+                    f"baseline run failed rc={rc}:\n{fh.read()}"
+                )
+        with open(os.path.join(run_dir, "output.paf"), "rb") as fh:
+            return fh.read()
+
+    def kill_and_resume(self, directive: str) -> ChaosResult:
+        """Run under ``directive``, then resume; no identity assert here."""
+        run_dir = self._fresh_dir("chaos")
+        os.makedirs(run_dir, exist_ok=True)
+        env = self._base_env()
+        env[CHAOS_ENV] = directive
+        rc_kill = self._run(
+            self._cmd(run_dir), env, os.path.join(run_dir, "map.log")
+        )
+        killed = rc_kill in (-signal.SIGKILL, 137)
+        env.pop(CHAOS_ENV, None)
+        resume_log = os.path.join(run_dir, "resume.log")
+        rc_resume = self._run(
+            self._cmd(run_dir, resume=True), env, resume_log
+        )
+        with open(resume_log) as fh:
+            resume_stderr = fh.read()
+        return ChaosResult(
+            directive=directive,
+            kill_returncode=rc_kill,
+            killed=killed,
+            resume_returncode=rc_resume,
+            resume_stderr=resume_stderr,
+            run_dir=run_dir,
+        )

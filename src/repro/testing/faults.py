@@ -29,10 +29,27 @@ Fault kinds:
     killing the worker mid-chunk; outside a pool worker it degrades to
     a ``RuntimeError`` so the serial/thread backends (and pytest
     itself) survive the same spec file.
+``disk_full``
+    raises ``OSError(ENOSPC)`` at *output-write* time for the named
+    read (the :meth:`FaultInjector.on_write` hook, called by the
+    ``map_file`` output sink) — the run dies mid-write exactly like a
+    full disk, which is what the atomic-write and journal layers must
+    survive. Resume after clearing the spec (disk freed) completes.
+``torn_write``
+    writes *half* of the read's output payload to the sink, flushes
+    it, then SIGKILLs the process — a torn write frozen onto disk at
+    a byte position no clean shutdown would ever produce. The journal
+    CRC recovery must detect and truncate it.
+
+``disk_full`` / ``torn_write`` fire on the first ``times`` writes of
+the read *per process* (default: every write), counted in module
+state — a resumed process starts fresh, like a real machine after the
+incident.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import time
@@ -47,7 +64,13 @@ __all__ = ["FaultSpec", "FaultInjector", "load_faults", "POOL_WORKER_ENV"]
 #: ``crash`` faults only hard-kill when it is present.
 POOL_WORKER_ENV = "MANYMAP_POOL_WORKER"
 
-KINDS = ("parse", "error", "flaky", "slow", "crash")
+KINDS = (
+    "parse", "error", "flaky", "slow", "crash", "disk_full", "torn_write",
+)
+
+#: write-time kinds, consulted by :meth:`FaultInjector.on_write`
+#: (the map_file output sink), not by per-read mapping attempts.
+WRITE_KINDS = ("disk_full", "torn_write")
 
 #: default attempt budget per kind; ``None`` means every attempt.
 _DEFAULT_TIMES: Dict[str, Optional[int]] = {
@@ -56,7 +79,13 @@ _DEFAULT_TIMES: Dict[str, Optional[int]] = {
     "crash": None,
     "flaky": 1,
     "slow": 1,
+    "disk_full": None,
+    "torn_write": None,
 }
+
+#: per-process write-fault occurrence counts (read name -> hits);
+#: deliberately module-level so the frozen injector stays picklable.
+_WRITE_HITS: Dict[str, int] = {}
 
 
 @dataclass(frozen=True)
@@ -101,7 +130,7 @@ class FaultInjector:
     def on_map(self, read_name: str, attempt: int) -> None:
         """Called by ``map_one_read`` before every mapping attempt."""
         spec = self.spec_for(read_name)
-        if spec is None:
+        if spec is None or spec.kind in WRITE_KINDS:
             return
         limit = (
             spec.times if spec.times is not None else _DEFAULT_TIMES[spec.kind]
@@ -126,6 +155,34 @@ class FaultInjector:
         raise RuntimeError(
             spec.message or f"injected {spec.kind} fault for {read_name!r}"
         )
+
+    def on_write(self, read_name: str, fh=None, payload=None) -> None:
+        """Called by the ``map_file`` output sink before a read's write.
+
+        ``fh`` is the sink file handle and ``payload`` the full text
+        about to be written — what ``torn_write`` needs to freeze a
+        half-written record onto disk before killing the process.
+        """
+        spec = self.spec_for(read_name)
+        if spec is None or spec.kind not in WRITE_KINDS:
+            return
+        limit = (
+            spec.times if spec.times is not None else _DEFAULT_TIMES[spec.kind]
+        )
+        hits = _WRITE_HITS[read_name] = _WRITE_HITS.get(read_name, 0) + 1
+        if limit is not None and hits > limit:
+            return
+        if spec.kind == "disk_full":
+            raise OSError(
+                errno.ENOSPC,
+                spec.message
+                or f"No space left on device (injected for {read_name!r})",
+            )
+        # torn_write: reuse the chaos module's tear-then-die machinery.
+        from .chaos import _die, _tear
+
+        _tear(fh, payload)
+        _die()
 
 
 def load_faults(path: str) -> FaultInjector:

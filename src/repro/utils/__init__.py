@@ -1,8 +1,9 @@
-"""Small shared utilities: timers, RNG plumbing, size formatting."""
+"""Small shared utilities: timers, RNG plumbing, size formatting, atomic IO."""
 
 from .timers import StageTimer, Timer, timed
 from .rng import as_rng, spawn_rngs
 from .fmt import human_bytes, human_count, si
+from .fsio import atomic_output, atomic_write, atomic_write_json, fsync_path
 
 __all__ = [
     "StageTimer",
@@ -13,4 +14,8 @@ __all__ = [
     "human_bytes",
     "human_count",
     "si",
+    "atomic_write",
+    "atomic_write_json",
+    "atomic_output",
+    "fsync_path",
 ]

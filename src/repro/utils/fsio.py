@@ -1,0 +1,166 @@
+"""Crash-safe filesystem writes: one atomic-commit path for artifacts.
+
+Every durable artifact this codebase produces — PAF output, metrics
+manifests, quarantine sidecars, ``BENCH_*.json`` results — used to be
+an ``open(path, "w")`` away from a torn file: a crash (or ``kill -9``,
+or ENOSPC) mid-write leaves a half-written JSON document or a PAF file
+that ends mid-line, and a consumer cannot tell truncation from
+completion. This module is the single choke point that fixes that:
+
+:func:`atomic_write`
+    write-to-temp + flush + ``fsync`` + ``os.replace`` in the target's
+    directory, so the path either holds the old content or the complete
+    new content — never a prefix.
+:func:`atomic_output`
+    the streaming variant: a context manager yielding a real file
+    handle (write as much as you like, e.g. a multi-GB PAF stream);
+    the rename happens only on clean exit, and the temp file is removed
+    on error, so the target is never torn.
+
+Crash-consistency hooks: both paths call
+:func:`repro.testing.chaos.chaos_point` at their write/fsync/rename
+steps, which is how the chaos harness injects ``kill -9``, ENOSPC, and
+torn writes exactly there. With the chaos env unset the hook is one
+module-attribute check.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from typing import Iterator, Union
+
+__all__ = [
+    "atomic_write",
+    "atomic_write_json",
+    "atomic_output",
+    "fsync_path",
+]
+
+
+def _chaos(point: str, fh=None, payload=None) -> None:
+    """The chaos-injection hook; free when no chaos spec is armed."""
+    from ..testing import chaos
+
+    if chaos.ARMED:
+        chaos.chaos_point(point, fh=fh, payload=payload)
+
+
+def _fsync_dir(path: str) -> None:
+    """Best-effort directory fsync so the rename itself is durable."""
+    try:
+        fd = os.open(os.path.dirname(os.path.abspath(path)) or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def fsync_path(path: str) -> None:
+    """fsync an existing file by path (used after in-place truncates)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write(
+    path: Union[str, os.PathLike],
+    data: Union[str, bytes],
+    fsync: bool = True,
+) -> int:
+    """Write ``data`` to ``path`` atomically; returns bytes written.
+
+    The temp file lives in the target's directory (same filesystem, so
+    ``os.replace`` is atomic), is flushed and fsynced before the
+    rename, and is cleaned up if anything raises — a crash at any point
+    leaves either the previous content or the full new content at
+    ``path``, plus at worst a stray ``.tmp`` neighbor.
+    """
+    path = os.fspath(path)
+    payload = data.encode("utf-8") if isinstance(data, str) else data
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            _chaos("atomic.write", fh=fh, payload=payload)
+            fh.write(payload)
+            fh.flush()
+            if fsync:
+                _chaos("atomic.fsync", fh=fh)
+                os.fsync(fh.fileno())
+        _chaos("atomic.rename")
+        os.replace(tmp, path)
+        if fsync:
+            _fsync_dir(path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return len(payload)
+
+
+def atomic_write_json(
+    path: Union[str, os.PathLike],
+    obj,
+    fsync: bool = True,
+    **dump_kwargs,
+) -> int:
+    """JSON-serialize ``obj`` and :func:`atomic_write` it (+ newline)."""
+    dump_kwargs.setdefault("indent", 2)
+    return atomic_write(
+        path, json.dumps(obj, **dump_kwargs) + "\n", fsync=fsync
+    )
+
+
+@contextmanager
+def atomic_output(
+    path: Union[str, os.PathLike], fsync: bool = True
+) -> Iterator[io.TextIOBase]:
+    """A text file handle whose content reaches ``path`` only on success.
+
+    Stream any amount of output into the yielded handle; on clean exit
+    it is flushed, fsynced, and renamed over ``path`` in one atomic
+    step. If the block raises, the temp file is deleted and ``path`` is
+    untouched — so a failed run never leaves a truncated artifact
+    masquerading as a complete one.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    fh = os.fdopen(fd, "w", encoding="utf-8", newline="")
+    try:
+        yield fh
+        fh.flush()
+        if fsync:
+            _chaos("atomic.fsync", fh=fh)
+            os.fsync(fh.fileno())
+        fh.close()
+        _chaos("atomic.rename")
+        os.replace(tmp, path)
+        if fsync:
+            _fsync_dir(path)
+    except BaseException:
+        try:
+            fh.close()
+        except OSError:
+            pass
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -136,6 +136,9 @@ class TestSurfaceSnapshot:
             "progress_path",
             "status_port",
             "events_path",
+            "run_dir",
+            "resume",
+            "commit_reads",
         ]
         assert MapOptions() == MapOptions(
             backend="serial",
@@ -161,6 +164,7 @@ class TestSurfaceSnapshot:
             "tenant",
             "with_cigar",
             "on_error",
+            "timeout_ms",
             "api_version",
         ]
         assert list(api.MapResult.__dataclass_fields__) == [

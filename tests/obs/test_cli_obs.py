@@ -145,7 +145,7 @@ class TestTimelineAndProgress:
         )
         manifest = json.loads(metrics.read_text())
         assert validate(manifest, SCHEMA) == [], validate(manifest, SCHEMA)
-        assert manifest["schema_version"] == 7
+        assert manifest["schema_version"] == 8
         assert manifest["run_id"]
         hists = manifest["histograms"]
         assert hists["read.length"]["count"] == len(reads)
@@ -375,7 +375,7 @@ class TestReportCommand:
         _map(data, tmp_path, "-x", "test", "--metrics", str(metrics))
         assert main(["report", str(metrics), "--format", "json"]) == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["schema_version"] == 7
+        assert doc["schema_version"] == 8
         assert main(["report", str(metrics), "--format", "markdown"]) == 0
         out = capsys.readouterr().out
         assert "| Stage |" in out and "| GCUPS |" in out

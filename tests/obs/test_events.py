@@ -105,6 +105,43 @@ class TestSink:
         assert len(bus) == 1
 
 
+class TestListeners:
+    def test_listener_sees_every_emit(self):
+        bus = EventBus()
+        seen = []
+        bus.add_listener(seen.append)
+        bus.emit("a", i=1)
+        bus.emit("b", i=2)
+        assert [r["kind"] for r in seen] == ["a", "b"]
+        assert seen[0]["i"] == 1
+
+    def test_remove_listener_stops_delivery(self):
+        bus = EventBus()
+        seen = []
+        bus.add_listener(seen.append)
+        bus.emit("a")
+        bus.remove_listener(seen.append)
+        bus.emit("b")
+        assert [r["kind"] for r in seen] == ["a"]
+
+    def test_remove_unknown_listener_is_noop(self):
+        EventBus().remove_listener(lambda rec: None)
+
+    def test_raising_listener_does_not_break_emit(self):
+        bus = EventBus()
+        seen = []
+
+        def bad(rec):
+            raise RuntimeError("listener bug")
+
+        bus.add_listener(bad)
+        bus.add_listener(seen.append)
+        rec = bus.emit("x")
+        assert rec["kind"] == "x"
+        assert len(bus) == 1
+        assert [r["kind"] for r in seen] == ["x"]
+
+
 class TestGlobalBus:
     def test_module_global_is_an_eventbus(self):
         assert isinstance(EVENTS, EventBus)

@@ -1,0 +1,131 @@
+"""Unit tests for the chaos-injection module (`repro.testing.chaos`).
+
+These cover the spec language, the per-process occurrence counters,
+the injectable (non-lethal) actions, and the seeded kill schedule the
+resume property test draws from. The lethal actions (``kill``,
+``torn``) are exercised for real — in subprocesses — by
+``tests/integration/test_resume.py``.
+"""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.testing import chaos
+
+
+@pytest.fixture(autouse=True)
+def clean_chaos(monkeypatch):
+    """Every test starts and ends with chaos disarmed."""
+    monkeypatch.delenv(chaos.CHAOS_ENV, raising=False)
+    chaos.reset()
+    yield
+    chaos.reset()
+
+
+class TestParseSpec:
+    def test_single_directive(self):
+        assert chaos.parse_spec("kill@output.write:3") == {
+            "output.write": [("kill", 3)]
+        }
+
+    def test_multiple_directives(self):
+        spec = "kill@output.write:1, enospc@journal.append:2"
+        assert chaos.parse_spec(spec) == {
+            "output.write": [("kill", 1)],
+            "journal.append": [("enospc", 2)],
+        }
+
+    def test_two_directives_same_point(self):
+        spec = "enospc@output.write:1,enospc@output.write:3"
+        assert chaos.parse_spec(spec) == {
+            "output.write": [("enospc", 1), ("enospc", 3)]
+        }
+
+    def test_empty_spec(self):
+        assert chaos.parse_spec("") == {}
+        assert chaos.parse_spec(" , ") == {}
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "kill@point",  # no :nth
+            "kill@point:zero",  # non-integer nth
+            "kill@point:0",  # nth < 1
+            "explode@point:1",  # unknown action
+            "kill@:1",  # empty point
+        ],
+    )
+    def test_bad_directives_raise(self, bad):
+        with pytest.raises(ValueError):
+            chaos.parse_spec(bad)
+
+
+class TestChaosPoint:
+    def test_disarmed_is_noop(self):
+        assert chaos.ARMED is False
+        chaos.chaos_point("output.write")  # nothing happens
+
+    def test_enospc_fires_on_nth_occurrence(self, monkeypatch):
+        monkeypatch.setenv(chaos.CHAOS_ENV, "enospc@output.write:3")
+        chaos.reset()
+        assert chaos.ARMED is True
+        chaos.chaos_point("output.write")  # 1st
+        chaos.chaos_point("output.write")  # 2nd
+        with pytest.raises(OSError) as err:
+            chaos.chaos_point("output.write")  # 3rd
+        assert err.value.errno == errno.ENOSPC
+        # Only the nth occurrence acts; the 4th passes again.
+        chaos.chaos_point("output.write")
+
+    def test_other_points_unaffected(self, monkeypatch):
+        monkeypatch.setenv(chaos.CHAOS_ENV, "enospc@output.write:1")
+        chaos.reset()
+        chaos.chaos_point("journal.append")
+        chaos.chaos_point("output.fsync")
+
+    def test_reset_rereads_environment(self, monkeypatch):
+        monkeypatch.setenv(chaos.CHAOS_ENV, "enospc@p:1")
+        chaos.reset()
+        with pytest.raises(OSError):
+            chaos.chaos_point("p")
+        monkeypatch.delenv(chaos.CHAOS_ENV)
+        chaos.reset()
+        assert chaos.ARMED is False
+        chaos.chaos_point("p")  # disarmed again
+
+    def test_tear_writes_half_the_payload(self, tmp_path):
+        path = tmp_path / "torn.bin"
+        with open(path, "wb") as fh:
+            chaos._tear(fh, b"0123456789")
+        assert path.read_bytes() == b"01234"
+
+    def test_tear_handles_text_handles_and_none(self, tmp_path):
+        path = tmp_path / "torn.txt"
+        with open(path, "w") as fh:
+            chaos._tear(fh, "abcdef")
+        assert path.read_text() == "abc"
+        chaos._tear(None, b"x")  # nothing to tear: no-op
+
+
+class TestSeededSchedule:
+    def test_deterministic(self):
+        assert chaos.seeded_schedule(7) == chaos.seeded_schedule(7)
+
+    def test_seeds_differ(self):
+        schedules = {tuple(chaos.seeded_schedule(s)) for s in range(8)}
+        assert len(schedules) > 1
+
+    def test_directives_are_valid_and_unique(self):
+        for seed in range(5):
+            sched = chaos.seeded_schedule(seed, n_points=4, max_nth=3)
+            assert len(sched) == 4
+            assert len(set(sched)) == 4
+            for directive in sched:
+                parsed = chaos.parse_spec(directive)
+                (point, [(action, nth)]) = next(iter(parsed.items()))
+                assert point in chaos.KILL_POINTS
+                assert action == "kill"
+                assert 1 <= nth <= 3

@@ -1,0 +1,335 @@
+"""Unit tests for the write-ahead journal (`repro.runtime.journal`).
+
+Everything here runs in-process against real files in ``tmp_path`` —
+record CRC framing, torn-tail replay, the WAL commit protocol, and the
+recovery pass (identity check, commit verification, torn-output
+truncation). The subprocess kill-9 matrix lives in
+``tests/integration/test_resume.py``; these tests pin the mechanisms
+it relies on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+
+import pytest
+
+from repro.obs.events import EVENTS
+from repro.runtime.journal import (
+    JOURNAL_NAME,
+    JOURNAL_VERSION,
+    JournalError,
+    JournalFile,
+    RunJournal,
+    decode_record,
+    encode_record,
+    journal_events,
+)
+
+IDENTITY = {
+    "reads": "/data/reads.fq",
+    "sam": False,
+    "with_cigar": True,
+    "preset": "test",
+    "engine": "numpy",
+}
+
+
+def make_journal(run_dir, **kwargs):
+    kwargs.setdefault("identity", IDENTITY)
+    kwargs.setdefault("commit_reads", 2)
+    return RunJournal(str(run_dir), **kwargs)
+
+
+class TestRecordFraming:
+    def test_round_trip(self):
+        rec = {"t": "commit", "reads": 7, "offset": 123, "crc32": 99}
+        line = encode_record(rec)
+        assert line.endswith(b"\n")
+        back = decode_record(line.rstrip(b"\n"))
+        assert back == rec
+
+    def test_crc_is_over_canonical_form(self):
+        # Same record, two key orders: identical encoding.
+        a = encode_record({"x": 1, "y": 2})
+        b = encode_record({"y": 2, "x": 1})
+        assert a == b
+
+    def test_flipped_byte_detected(self):
+        line = encode_record({"t": "commit", "reads": 3}).rstrip(b"\n")
+        corrupt = line.replace(b'"reads":3', b'"reads":4')
+        assert decode_record(corrupt) is None
+
+    @pytest.mark.parametrize(
+        "junk",
+        [b"", b"not json", b'{"no": "crc"}', b'["list", 1]', b'"str"'],
+    )
+    def test_garbage_rejected(self, junk):
+        assert decode_record(junk) is None
+
+
+class TestJournalFile:
+    def test_append_replay(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        jf = JournalFile(path)
+        jf.append({"t": "a", "n": 1})
+        jf.append({"t": "b", "n": 2}, sync=True)
+        jf.close()
+        records, torn = JournalFile.replay(path)
+        assert [r["t"] for r in records] == ["a", "b"]
+        assert torn == 0
+
+    def test_replay_missing_file(self, tmp_path):
+        records, torn = JournalFile.replay(str(tmp_path / "absent"))
+        assert records == [] and torn == 0
+
+    def test_torn_tail_stops_replay(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        jf = JournalFile(path)
+        jf.append({"t": "a"})
+        jf.append({"t": "b"})
+        jf.close()
+        # A mid-append crash: half a record frozen at the tail.
+        whole = encode_record({"t": "c", "big": "x" * 64})
+        with open(path, "ab") as fh:
+            fh.write(whole[: len(whole) // 2])
+        records, torn = JournalFile.replay(path)
+        assert [r["t"] for r in records] == ["a", "b"]
+        assert torn == 1
+
+    def test_nothing_after_torn_record_is_trusted(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with open(path, "wb") as fh:
+            fh.write(encode_record({"t": "a"}))
+            fh.write(b"garbage line\n")
+            fh.write(encode_record({"t": "late"}))  # unknown provenance
+        records, torn = JournalFile.replay(path)
+        assert [r["t"] for r in records] == ["a"]
+        assert torn == 1
+
+
+class TestFreshRun:
+    def test_run_start_header(self, tmp_path):
+        j = make_journal(tmp_path / "run")
+        j.close()
+        records, _ = JournalFile.replay(j.journal_path)
+        head = records[0]
+        assert head["t"] == "run_start"
+        assert head["v"] == JOURNAL_VERSION
+        assert head["identity"] == IDENTITY
+        assert head["commit_reads"] == 2
+
+    def test_commit_cadence(self, tmp_path):
+        j = make_journal(tmp_path / "run", commit_reads=2)
+        for i in range(5):
+            j.write_text(f"line{i}\n")
+            j.read_done()
+        j.close()  # crash-equivalent: no final commit
+        commits = [
+            r
+            for r in JournalFile.replay(j.journal_path)[0]
+            if r["t"] == "commit"
+        ]
+        assert [c["reads"] for c in commits] == [2, 4]
+        # offsets and CRCs are cumulative and verifiable.
+        with open(j.output_path, "rb") as fh:
+            data = fh.read()
+        for c in commits:
+            assert zlib.crc32(data[: c["offset"]]) == c["crc32"]
+
+    def test_complete_commits_the_tail(self, tmp_path):
+        j = make_journal(tmp_path / "run", commit_reads=2)
+        for i in range(5):
+            j.write_text(f"line{i}\n")
+            j.read_done()
+        j.complete()
+        records, _ = JournalFile.replay(j.journal_path)
+        assert records[-1]["t"] == "complete"
+        assert records[-1]["reads"] == 5
+        assert records[-2]["t"] == "commit" and records[-2]["reads"] == 5
+        assert j.summary()["completed"] is True
+
+    def test_commit_skips_when_nothing_new(self, tmp_path):
+        j = make_journal(tmp_path / "run")
+        j.write_text("x\n")
+        j.read_done()
+        j.read_done()  # commit fires at cadence 2
+        before = j.counters["journal.commits"]
+        j.commit()
+        j.commit()
+        assert j.counters["journal.commits"] == before
+        j.close()
+
+    def test_refuses_existing_journal_without_resume(self, tmp_path):
+        make_journal(tmp_path / "run").close()
+        with pytest.raises(JournalError, match="resume"):
+            make_journal(tmp_path / "run")
+
+    def test_refuses_resume_without_journal(self, tmp_path):
+        with pytest.raises(JournalError, match="nothing to resume"):
+            make_journal(tmp_path / "fresh", resume=True)
+
+    def test_commit_reads_validated(self, tmp_path):
+        with pytest.raises(JournalError):
+            make_journal(tmp_path / "run", commit_reads=0)
+
+
+class TestRecovery:
+    def interrupted(self, tmp_path, n_committed=4, n_torn=1):
+        """A run dir killed after ``n_committed`` reads committed plus
+        ``n_torn`` uncommitted reads' output frozen on disk."""
+        j = make_journal(tmp_path / "run", commit_reads=2)
+        for i in range(n_committed + n_torn):
+            j.write_text(f"read{i}: " + "p" * 20 + "\n")
+            j.read_done()
+        # Simulate the crash: flush output (bytes on disk) but the
+        # post-commit tail never got a commit record.
+        j._out.flush()
+        j.close()
+        return tmp_path / "run"
+
+    def test_resume_restores_committed_state(self, tmp_path):
+        run = self.interrupted(tmp_path, n_committed=4, n_torn=1)
+        j = make_journal(run, resume=True)
+        assert j.resumed
+        assert j.reads_done == 4
+        assert j.truncated_bytes == len("read4: " + "p" * 20 + "\n")
+        assert os.path.getsize(j.output_path) == j.offset
+        j.close()
+
+    def test_resumed_run_completes_identically(self, tmp_path):
+        # Reference: one uninterrupted run.
+        ref = make_journal(tmp_path / "ref", commit_reads=2)
+        for i in range(6):
+            ref.write_text(f"read{i}: " + "p" * 20 + "\n")
+            ref.read_done()
+        ref.complete()
+        want = open(ref.output_path, "rb").read()
+
+        run = self.interrupted(tmp_path, n_committed=4, n_torn=1)
+        j = make_journal(run, resume=True)
+        for i in range(j.reads_done, 6):
+            j.write_text(f"read{i}: " + "p" * 20 + "\n")
+            j.read_done()
+        j.complete()
+        assert open(j.output_path, "rb").read() == want
+
+    def test_identity_mismatch_refused(self, tmp_path):
+        run = self.interrupted(tmp_path)
+        changed = dict(IDENTITY, preset="map-pb")
+        with pytest.raises(JournalError, match="identity mismatch"):
+            RunJournal(str(run), identity=changed, resume=True)
+
+    def test_version_mismatch_refused(self, tmp_path):
+        run = tmp_path / "run"
+        run.mkdir()
+        with open(run / JOURNAL_NAME, "wb") as fh:
+            fh.write(
+                encode_record(
+                    {
+                        "t": "run_start",
+                        "v": JOURNAL_VERSION + 1,
+                        "commit_reads": 2,
+                        "identity": IDENTITY,
+                    }
+                )
+            )
+        with pytest.raises(JournalError, match="version"):
+            make_journal(run, resume=True)
+
+    def test_headerless_journal_refused(self, tmp_path):
+        run = tmp_path / "run"
+        run.mkdir()
+        with open(run / JOURNAL_NAME, "wb") as fh:
+            fh.write(encode_record({"t": "commit", "reads": 1}))
+        with pytest.raises(JournalError, match="run_start"):
+            make_journal(run, resume=True)
+
+    def test_corrupted_output_falls_back_to_earlier_commit(self, tmp_path):
+        run = self.interrupted(tmp_path, n_committed=4, n_torn=0)
+        # Flip a byte inside the *second* committed region: its CRC no
+        # longer matches, so recovery trusts only the first commit.
+        with open(run / "output.paf", "r+b") as fh:
+            fh.seek(-2, os.SEEK_END)
+            fh.write(b"X")
+        j = make_journal(run, resume=True)
+        assert j.reads_done == 2
+        assert os.path.getsize(j.output_path) == j.offset
+        j.close()
+
+    def test_output_shorter_than_commit_falls_back(self, tmp_path):
+        run = self.interrupted(tmp_path, n_committed=4, n_torn=0)
+        size = os.path.getsize(run / "output.paf")
+        with open(run / "output.paf", "r+b") as fh:
+            fh.truncate(size - 5)
+        j = make_journal(run, resume=True)
+        assert j.reads_done == 2
+        j.close()
+
+    def test_missing_output_restarts_from_zero(self, tmp_path):
+        run = self.interrupted(tmp_path, n_committed=4, n_torn=0)
+        os.unlink(run / "output.paf")
+        j = make_journal(run, resume=True)
+        assert j.reads_done == 0 and j.offset == 0
+        j.close()
+
+    def test_resume_record_appended(self, tmp_path):
+        run = self.interrupted(tmp_path, n_committed=2, n_torn=1)
+        j = make_journal(run, resume=True)
+        j.close()
+        records, _ = JournalFile.replay(j.journal_path)
+        res = [r for r in records if r["t"] == "resume"]
+        assert len(res) == 1
+        assert res[0]["reads"] == 2
+        assert res[0]["truncated"] > 0
+
+    def test_read_header(self, tmp_path):
+        run = self.interrupted(tmp_path)
+        head = RunJournal.read_header(str(run))
+        assert head["t"] == "run_start"
+        assert head["identity"] == IDENTITY
+        with pytest.raises(JournalError):
+            RunJournal.read_header(str(tmp_path))
+
+
+class TestSummaryAndEvents:
+    def test_summary_shape(self, tmp_path):
+        j = make_journal(tmp_path / "run")
+        j.write_text("a\n")
+        j.read_done()
+        j.complete()
+        s = j.summary()
+        assert s["run_dir"] == j.run_dir
+        assert s["reads_done"] == 1
+        assert s["output_bytes"] == 2
+        assert s["output_crc32"] == zlib.crc32(b"a\n")
+        assert s["resumed"] is False
+        assert s["completed"] is True
+        json.dumps(s)  # manifest-safe
+
+    def test_journal_events_mirrors_chunk_lifecycle(self, tmp_path):
+        j = make_journal(tmp_path / "run")
+        with journal_events(j):
+            EVENTS.emit("chunk.done", chunk=3, reads=128)
+            EVENTS.emit("heartbeat", reads_done=10)  # not mirrored
+        EVENTS.emit("chunk.done", chunk=4)  # after detach: not mirrored
+        j.close()
+        notes = [
+            r
+            for r in JournalFile.replay(j.journal_path)[0]
+            if r["t"] == "note"
+        ]
+        assert len(notes) == 1
+        assert notes[0]["event"] == "chunk.done"
+        assert notes[0]["chunk"] == 3
+
+    def test_journal_events_none_is_noop(self):
+        with journal_events(None):
+            EVENTS.emit("chunk.done", chunk=1)
+
+    def test_note_after_close_is_dropped(self, tmp_path):
+        j = make_journal(tmp_path / "run")
+        j.close()
+        j.note("chunk.done", chunk=9)  # late event: swallowed

@@ -1,0 +1,187 @@
+"""Per-request deadlines: ``MapRequest.timeout_ms`` → HTTP 504.
+
+Covers the wire model (round-trip + validation), the ticket's deadline
+arithmetic, both batcher expiry sites (before the batch runs and after
+a batch that finished too late), and the end-to-end 504 an HTTP caller
+sees — pinned so the deadline contract can't silently regress.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.api import MapRequest, MappingSession, ServeConfig
+from repro.errors import ParseError, ServeError
+from repro.obs.counters import COUNTERS
+from repro.serve import ServeClient, ServerThread
+from repro.serve.admission import AdmissionQueue, DeadlineError, Ticket
+from repro.serve.batcher import AdaptiveBatcher
+from repro.seq.records import SeqRecord
+
+
+def serve_config(**changes):
+    defaults = dict(
+        adaptive_batching=False,
+        max_batch_reads=64,
+        batch_timeout_ms=200.0,
+    )
+    defaults.update(changes)
+    return ServeConfig(**defaults)
+
+
+class SlowAligner:
+    """Duck-typed aligner wrapper that stalls every seed/chain call."""
+
+    def __init__(self, inner, delay_s):
+        self._inner = inner
+        self._delay_s = delay_s
+
+    def seed_and_chain(self, read):
+        time.sleep(self._delay_s)
+        return self._inner.seed_and_chain(read)
+
+    def align_plan(self, read, plan, with_cigar=True, max_secondary=0):
+        return self._inner.align_plan(
+            read, plan, with_cigar=with_cigar, max_secondary=max_secondary
+        )
+
+    def align_plans(self, items, with_cigar=True, max_secondary=0):
+        return self._inner.align_plans(
+            items, with_cigar=with_cigar, max_secondary=max_secondary
+        )
+
+
+class TestWireModel:
+    def test_timeout_round_trips(self):
+        req = MapRequest.make(
+            [SeqRecord.from_str("r", "ACGT")], timeout_ms=1500.0
+        )
+        back = MapRequest.from_json(req.to_json())
+        assert back.timeout_ms == 1500.0
+
+    def test_default_is_no_deadline(self):
+        req = MapRequest.make([SeqRecord.from_str("r", "ACGT")])
+        assert req.timeout_ms is None
+        assert MapRequest.from_json(req.to_json()).timeout_ms is None
+
+    @pytest.mark.parametrize("bad", [0, -5, -0.001])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ParseError):
+            MapRequest.make(
+                [SeqRecord.from_str("r", "ACGT")], timeout_ms=bad
+            )
+
+    def test_from_json_rejects_non_numeric(self):
+        doc = MapRequest.make([SeqRecord.from_str("r", "ACGT")]).to_json()
+        doc["timeout_ms"] = "soon"
+        with pytest.raises(ParseError):
+            MapRequest.from_json(doc)
+
+
+class TestTicketDeadline:
+    def test_no_timeout_never_expires(self):
+        ticket = Ticket(MapRequest.make([SeqRecord.from_str("r", "ACGT")]))
+        assert ticket.deadline is None
+        assert not ticket.expired
+
+    def test_expires_after_timeout(self):
+        ticket = Ticket(
+            MapRequest.make(
+                [SeqRecord.from_str("r", "ACGT")], timeout_ms=10.0
+            )
+        )
+        assert not ticket.expired
+        time.sleep(0.03)
+        assert ticket.expired
+
+    def test_deadline_error_is_504(self):
+        assert DeadlineError.http_status == 504
+        assert issubclass(DeadlineError, ServeError)
+
+
+class TestBatcherExpiry:
+    def test_expired_in_queue_gets_504_without_mapping(
+        self, session, sim_reads
+    ):
+        cfg = serve_config(batch_timeout_ms=50.0)
+        queue = AdmissionQueue(cfg)
+        batcher = AdaptiveBatcher(session, queue, cfg)
+        before = COUNTERS.totals().get("serve.deadline", 0)
+        ticket = queue.submit(
+            MapRequest.make(sim_reads[:1], timeout_ms=1.0)
+        )
+        time.sleep(0.02)  # deadline passes while still queued
+        batcher.start()
+        try:
+            with pytest.raises(DeadlineError) as err:
+                ticket.future.result(timeout=10.0)
+        finally:
+            queue.stop()
+            batcher.join(5.0)
+        assert "queued" in str(err.value)
+        assert COUNTERS.totals().get("serve.deadline", 0) == before + 1
+        assert queue.outstanding("default") == 0  # quota freed
+
+    def test_batch_finished_too_late_gets_504(self, aligner, sim_reads):
+        cfg = serve_config()
+        queue = AdmissionQueue(cfg)
+        with MappingSession(SlowAligner(aligner, 0.1)) as slow:
+            batcher = AdaptiveBatcher(slow, queue, cfg)
+            ticket = queue.submit(
+                MapRequest.make(sim_reads[:1], timeout_ms=40.0)
+            )
+            tickets = queue.collect(
+                cfg.max_batch_reads, timeout_s=0.001
+            )
+            assert tickets == [ticket]
+            batcher._execute(tickets)  # mapping overruns the deadline
+        with pytest.raises(DeadlineError) as err:
+            ticket.future.result(timeout=1.0)
+        assert "executed" in str(err.value)
+
+    def test_untimed_neighbor_still_succeeds(self, session, sim_reads):
+        cfg = serve_config(batch_timeout_ms=30.0)
+        queue = AdmissionQueue(cfg)
+        batcher = AdaptiveBatcher(session, queue, cfg)
+        doomed = queue.submit(
+            MapRequest.make(sim_reads[:1], timeout_ms=1.0, request_id="dd")
+        )
+        healthy = queue.submit(
+            MapRequest.make(sim_reads[1:2], request_id="hh")
+        )
+        time.sleep(0.02)
+        batcher.start()
+        try:
+            result = healthy.future.result(timeout=10.0)
+            with pytest.raises(DeadlineError):
+                doomed.future.result(timeout=10.0)
+        finally:
+            queue.stop()
+            batcher.join(5.0)
+        assert result.ok
+        assert result.request_id == "hh"
+
+
+class TestEndToEnd:
+    def test_http_504_over_the_wire(self, session, sim_reads):
+        cfg = serve_config(batch_timeout_ms=300.0)
+        with ServerThread(session, cfg) as st:
+            client = ServeClient(st.url)
+            with pytest.raises(ServeError) as err:
+                client.map(
+                    MapRequest.make(sim_reads[:1], timeout_ms=20.0)
+                )
+        msg = str(err.value)
+        assert "504" in msg
+        assert "deadline" in msg
+
+    def test_request_without_timeout_is_unaffected(self, session, sim_reads):
+        with ServerThread(
+            session, serve_config(batch_timeout_ms=10.0)
+        ) as st:
+            result = ServeClient(st.url).map(
+                MapRequest.make(sim_reads[:1])
+            )
+        assert result.ok

@@ -1,0 +1,178 @@
+"""Tests for journal-backed request replay (``serve --journal``).
+
+The unit layer drives :class:`~repro.serve.journal.RequestJournal`
+directly (admitted/done fold, restart persistence, replay through a
+real :class:`~repro.api.MappingSession`); the end-to-end layer stages
+a "crashed" journal — an admitted record with no done — and asserts a
+fresh :class:`~repro.serve.ServerThread` replays it before serving,
+then leaves nothing behind for the *next* restart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.api import MapRequest, ServeConfig
+from repro.obs.counters import COUNTERS
+from repro.serve import RequestJournal, ServeClient, ServerThread
+from repro.serve.journal import REPLAYED_NAME, replay_pending
+
+
+@pytest.fixture
+def journal(tmp_path):
+    j = RequestJournal(str(tmp_path / "svc"))
+    yield j
+    j.close()
+
+
+def make_request(sim_reads, lo, hi, **kw):
+    return MapRequest.make(sim_reads[lo:hi], **kw)
+
+
+class TestRequestJournal:
+    def test_pending_folds_admitted_minus_done(self, journal, sim_reads):
+        reqs = [make_request(sim_reads, i, i + 1) for i in range(3)]
+        for req in reqs:
+            journal.admitted(req)
+        journal.done(reqs[1].request_id, "ok")
+        pending = journal.pending()
+        assert [d["request_id"] for d in pending] == [
+            reqs[0].request_id,
+            reqs[2].request_id,
+        ]
+        # The journaled document is the full wire form.
+        assert pending[0] == reqs[0].to_json()
+
+    def test_done_before_admitted_is_ignored(self, journal, sim_reads):
+        req = make_request(sim_reads, 0, 1)
+        journal.done(req.request_id, "ok")
+        journal.admitted(req)
+        assert [d["request_id"] for d in journal.pending()] == [
+            req.request_id
+        ]
+
+    def test_pending_survives_reopen(self, tmp_path, sim_reads):
+        req = make_request(sim_reads, 0, 2)
+        first = RequestJournal(str(tmp_path / "svc"))
+        first.admitted(req)
+        first.close()
+        second = RequestJournal(str(tmp_path / "svc"))
+        try:
+            assert [d["request_id"] for d in second.pending()] == [
+                req.request_id
+            ]
+        finally:
+            second.close()
+
+    def test_empty_journal_has_no_pending(self, journal):
+        assert journal.pending() == []
+
+
+class TestReplayPending:
+    def test_replays_and_marks_done(self, journal, session, sim_reads):
+        reqs = [make_request(sim_reads, 0, 2), make_request(sim_reads, 2, 3)]
+        for req in reqs:
+            journal.admitted(req)
+        before = COUNTERS.totals().get("serve.replayed", 0)
+
+        assert replay_pending(journal, session) == 2
+
+        assert journal.pending() == []
+        assert COUNTERS.totals().get("serve.replayed", 0) == before + 2
+        with open(journal.replayed_path) as fh:
+            docs = [json.loads(line) for line in fh]
+        assert [d["request_id"] for d in docs] == [
+            r.request_id for r in reqs
+        ]
+        for req, doc in zip(reqs, docs):
+            want = session.map_request(req)
+            assert doc["status"] == want.status
+            assert doc["reads"] == [
+                {"name": name, "paf": list(lines)}
+                for name, lines in zip(want.read_names, want.paf)
+            ]
+
+    def test_replayed_results_match_direct_mapping(
+        self, journal, session, sim_reads
+    ):
+        req = make_request(sim_reads, 0, 4)
+        journal.admitted(req)
+        replay_pending(journal, session)
+        with open(journal.replayed_path) as fh:
+            doc = json.loads(fh.readline())
+        assert [r["name"] for r in doc["reads"]] == list(
+            session.map_request(req).read_names
+        )
+
+    def test_nothing_pending_is_a_noop(self, journal, session, tmp_path):
+        assert replay_pending(journal, session) == 0
+        assert not os.path.exists(journal.replayed_path)
+
+    def test_unparseable_document_is_dropped_not_wedged(
+        self, journal, session, sim_reads
+    ):
+        # A document that decodes but no longer parses as a MapRequest
+        # (e.g. written by a newer build) must not wedge the restart
+        # loop: it is marked done and the rest still replays.
+        journal._journal.append(
+            {
+                "t": "request.admitted",
+                "request_id": "broken",
+                "request": {"request_id": "broken", "reads": "nope"},
+            },
+            sync=True,
+        )
+        good = make_request(sim_reads, 0, 1)
+        journal.admitted(good)
+
+        assert replay_pending(journal, session) == 1
+        assert journal.pending() == []
+        with open(journal.replayed_path) as fh:
+            docs = [json.loads(line) for line in fh]
+        assert [d["request_id"] for d in docs] == [good.request_id]
+
+
+class TestServerIntegration:
+    CFG = dict(
+        adaptive_batching=False, max_batch_reads=64, batch_timeout_ms=50.0
+    )
+
+    def test_restart_replays_crashed_requests(
+        self, tmp_path, session, sim_reads
+    ):
+        jdir = str(tmp_path / "svc")
+        orphan = make_request(sim_reads, 0, 2)
+        staging = RequestJournal(jdir)
+        staging.admitted(orphan)  # admitted, never answered: a "crash"
+        staging.close()
+
+        journal = RequestJournal(jdir)
+        st = ServerThread(
+            session, ServeConfig(**self.CFG), request_journal=journal
+        )
+        try:
+            with st:
+                # Replay ran before the socket opened.
+                replayed = os.path.join(jdir, REPLAYED_NAME)
+                with open(replayed) as fh:
+                    docs = [json.loads(line) for line in fh]
+                assert [d["request_id"] for d in docs] == [
+                    orphan.request_id
+                ]
+                assert docs[0]["status"] == "ok"
+                # Live traffic is journaled admitted->done.
+                live = make_request(sim_reads, 2, 3)
+                res = ServeClient(st.url).map(live)
+                assert res.ok
+        finally:
+            journal.close()
+
+        # Everything was answered: the next restart replays nothing.
+        after = RequestJournal(jdir)
+        try:
+            assert after.pending() == []
+        finally:
+            after.close()

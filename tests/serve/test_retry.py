@@ -1,0 +1,258 @@
+"""Client retry-with-backoff against a flaky fake server.
+
+The fake server is a real stdlib HTTP server on a loopback port that
+replays a *script* of outcomes — shed (429/503, optionally with
+``Retry-After``), connection reset, or a well-formed ``map_result`` —
+so every transient-failure shape the retry policy must absorb is
+exercised over a real socket. Sleeps and jitter are injected
+(recorded, not slept), so the suite is fast and deterministic.
+"""
+
+from __future__ import annotations
+
+import http.server
+import json
+import threading
+
+import pytest
+
+from repro.api import MapRequest, MapResult
+from repro.errors import ServeError
+from repro.serve.client import RetryPolicy, ServeClient, ShedError
+from repro.seq.records import SeqRecord
+
+
+def request():
+    return MapRequest.make(
+        [SeqRecord.from_str("r1", "ACGTACGTACGT")], request_id="req1"
+    )
+
+
+def ok_doc():
+    return MapResult(
+        request_id="req1", read_names=("r1",), paf=(("r1\t12\tpafline",),)
+    ).to_json()
+
+
+class FlakyHandler(http.server.BaseHTTPRequestHandler):
+    """Replays ``server.script`` one entry per request."""
+
+    def do_POST(self):  # noqa: N802 - stdlib casing
+        self.rfile.read(int(self.headers.get("Content-Length", "0")))
+        script = self.server.script  # type: ignore[attr-defined]
+        step = script.pop(0) if script else ("ok",)
+        kind = step[0]
+        self.server.hits.append(kind)  # type: ignore[attr-defined]
+        if kind == "reset":
+            # Slam the connection: the client sees a reset/EOF.
+            self.connection.close()
+            return
+        if kind == "shed":
+            _, status, retry_after = step
+            body = b'{"error": "shed"}'
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            if retry_after is not None:
+                self.send_header("Retry-After", str(retry_after))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        body = json.dumps(ok_doc()).encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):  # quiet
+        pass
+
+
+class FlakyServer:
+    """Context manager running :class:`FlakyHandler` on a free port."""
+
+    def __init__(self, script):
+        self.httpd = http.server.HTTPServer(("127.0.0.1", 0), FlakyHandler)
+        self.httpd.script = list(script)
+        self.httpd.hits = []
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, daemon=True
+        )
+
+    @property
+    def url(self):
+        host, port = self.httpd.server_address
+        return f"http://{host}:{port}"
+
+    @property
+    def hits(self):
+        return self.httpd.hits
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self._thread.join(5.0)
+
+
+def client(url, script_sleeps=None, **policy_kw):
+    """A ServeClient with recorded (not slept) backoff delays."""
+    sleeps = script_sleeps if script_sleeps is not None else []
+    return (
+        ServeClient(
+            url,
+            timeout_s=5.0,
+            retry=RetryPolicy(**policy_kw),
+            sleep=sleeps.append,
+            rng=lambda: 0.5,
+        ),
+        sleeps,
+    )
+
+
+class TestRetrySucceeds:
+    def test_recovers_after_429_and_503(self):
+        script = [("shed", 429, None), ("shed", 503, None), ("ok",)]
+        with FlakyServer(script) as srv:
+            cli, sleeps = client(srv.url, max_attempts=4)
+            result = cli.map(request())
+        assert result.ok
+        assert result.request_id == "req1"
+        assert cli.last_attempts == 3
+        assert srv.hits == ["shed", "shed", "ok"]
+        assert len(sleeps) == 2
+
+    def test_recovers_after_connection_reset(self):
+        with FlakyServer([("reset",), ("ok",)]) as srv:
+            cli, sleeps = client(srv.url, max_attempts=3)
+            result = cli.map(request())
+        assert result.ok
+        assert cli.last_attempts == 2
+        assert len(sleeps) == 1
+
+    def test_exponential_backoff_with_jitter(self):
+        script = [("shed", 429, None)] * 3 + [("ok",)]
+        with FlakyServer(script) as srv:
+            cli, sleeps = client(
+                srv.url, max_attempts=5, base_delay_s=0.1, max_delay_s=10.0
+            )
+            assert cli.map(request()).ok
+        # rng pinned at 0.5: delays are half the exponential caps.
+        assert sleeps == pytest.approx([0.05, 0.1, 0.2])
+
+    def test_retry_after_header_wins_over_backoff(self):
+        script = [("shed", 429, 0.75), ("ok",)]
+        with FlakyServer(script) as srv:
+            cli, sleeps = client(
+                srv.url, max_attempts=3, base_delay_s=0.01, budget_s=30.0
+            )
+            assert cli.map(request()).ok
+        assert sleeps == [0.75]
+
+    def test_retry_after_capped_at_max_delay(self):
+        script = [("shed", 503, 3600), ("ok",)]
+        with FlakyServer(script) as srv:
+            cli, sleeps = client(
+                srv.url, max_attempts=3, max_delay_s=2.0, budget_s=30.0
+            )
+            assert cli.map(request()).ok
+        assert sleeps == [2.0]
+
+
+class TestRetryGivesUp:
+    def test_attempt_budget_exhausted(self):
+        script = [("shed", 429, None)] * 10
+        with FlakyServer(script) as srv:
+            cli, _ = client(srv.url, max_attempts=3)
+            with pytest.raises(ShedError) as err:
+                cli.map(request())
+        assert err.value.status == 429
+        assert len(srv.hits) == 3
+
+    def test_wallclock_budget_exhausted(self):
+        # A Retry-After the budget can't afford: fail fast, no sleep.
+        script = [("shed", 503, 500), ("ok",)]
+        with FlakyServer(script) as srv:
+            cli, sleeps = client(
+                srv.url, max_attempts=5, max_delay_s=1000.0, budget_s=2.0
+            )
+            with pytest.raises(ShedError):
+                cli.map(request())
+        assert sleeps == []
+
+    def test_400_result_is_not_retried(self):
+        # A poison result is a well-formed answer, not a transient.
+        doc = MapResult(
+            request_id="req1", status="error", error="poison"
+        ).to_json()
+        body = json.dumps(doc).encode()
+        script = [("shed", 429, None)]  # would be consumed by a retry
+
+        class PoisonHandler(FlakyHandler):
+            def do_POST(self):  # noqa: N802
+                self.rfile.read(
+                    int(self.headers.get("Content-Length", "0"))
+                )
+                self.server.hits.append("poison")
+                self.send_response(400)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):
+                pass
+
+        httpd = http.server.HTTPServer(("127.0.0.1", 0), PoisonHandler)
+        httpd.script, httpd.hits = script, []
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = httpd.server_address
+            cli, sleeps = client(f"http://{host}:{port}", max_attempts=4)
+            result = cli.map(request())
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(5.0)
+        assert not result.ok
+        assert result.error == "poison"
+        assert httpd.hits == ["poison"]  # exactly one attempt
+        assert sleeps == []
+
+    def test_no_policy_means_no_retry(self):
+        with FlakyServer([("shed", 429, None), ("ok",)]) as srv:
+            cli = ServeClient(srv.url, timeout_s=5.0)
+            with pytest.raises(ShedError):
+                cli.map(request())
+        assert srv.hits == ["shed"]
+
+
+class TestRetryPolicy:
+    def test_full_jitter_delay_shape(self):
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=1.0)
+        assert policy.delay_s(1, lambda: 1.0) == pytest.approx(0.1)
+        assert policy.delay_s(3, lambda: 1.0) == pytest.approx(0.4)
+        assert policy.delay_s(10, lambda: 1.0) == pytest.approx(1.0)  # capped
+        assert policy.delay_s(4, lambda: 0.0) == 0.0  # jitter floor
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"max_attempts": 0},
+            {"base_delay_s": -1.0},
+            {"budget_s": 0.0},
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(ServeError):
+            RetryPolicy(**bad).validated()
+
+    def test_shed_error_carries_retry_after(self):
+        err = ShedError(429, "shed", retry_after_s=1.5)
+        assert err.status == 429
+        assert err.retry_after_s == 1.5

@@ -1,0 +1,99 @@
+"""Atomic artifact writes (`repro.utils.fsio`).
+
+The durability contract under test: a path written through
+``atomic_write`` / ``atomic_output`` holds either its previous content
+or the complete new content — never a prefix — and a failed write
+leaves no torn file behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.utils import atomic_output, atomic_write, atomic_write_json, fsync_path
+
+
+class TestAtomicWrite:
+    def test_writes_bytes_and_str(self, tmp_path):
+        p = tmp_path / "a.txt"
+        assert atomic_write(p, "héllo\n") == len("héllo\n".encode())
+        assert p.read_text() == "héllo\n"
+        atomic_write(p, b"\x00\x01")
+        assert p.read_bytes() == b"\x00\x01"
+
+    def test_replaces_existing_content(self, tmp_path):
+        p = tmp_path / "a.txt"
+        p.write_text("old")
+        atomic_write(p, "new")
+        assert p.read_text() == "new"
+
+    def test_no_temp_litter_on_success(self, tmp_path):
+        atomic_write(tmp_path / "a.txt", "data")
+        assert sorted(os.listdir(tmp_path)) == ["a.txt"]
+
+    def test_json_variant(self, tmp_path):
+        p = tmp_path / "m.json"
+        atomic_write_json(p, {"b": 1, "a": [2, 3]}, sort_keys=True)
+        assert json.loads(p.read_text()) == {"a": [2, 3], "b": 1}
+        assert p.read_text().endswith("\n")
+
+    def test_failed_write_preserves_old_content(self, tmp_path, monkeypatch):
+        p = tmp_path / "a.txt"
+        p.write_text("precious")
+        monkeypatch.setenv("MANYMAP_CHAOS", "enospc@atomic.write:1")
+        from repro.testing import chaos
+
+        chaos.reset()
+        try:
+            with pytest.raises(OSError):
+                atomic_write(p, "half-written garbage")
+        finally:
+            monkeypatch.delenv("MANYMAP_CHAOS")
+            chaos.reset()
+        assert p.read_text() == "precious"
+        assert sorted(os.listdir(tmp_path)) == ["a.txt"]  # temp removed
+
+
+class TestAtomicOutput:
+    def test_streamed_content_lands_atomically(self, tmp_path):
+        p = tmp_path / "out.paf"
+        with atomic_output(p) as fh:
+            fh.write("line1\n")
+            # mid-stream: the target must not exist yet (or hold old
+            # content) — the handle writes to a temp neighbor.
+            assert not p.exists()
+            fh.write("line2\n")
+        assert p.read_text() == "line1\nline2\n"
+
+    def test_error_leaves_target_untouched(self, tmp_path):
+        p = tmp_path / "out.paf"
+        p.write_text("previous run\n")
+        with pytest.raises(RuntimeError):
+            with atomic_output(p) as fh:
+                fh.write("partial")
+                raise RuntimeError("crash mid-stream")
+        assert p.read_text() == "previous run\n"
+        assert sorted(os.listdir(tmp_path)) == ["out.paf"]
+
+    def test_error_with_no_previous_file_leaves_nothing(self, tmp_path):
+        p = tmp_path / "out.paf"
+        with pytest.raises(ValueError):
+            with atomic_output(p) as fh:
+                fh.write("partial")
+                raise ValueError("boom")
+        assert not p.exists()
+        assert os.listdir(tmp_path) == []
+
+
+class TestFsyncPath:
+    def test_existing_file(self, tmp_path):
+        p = tmp_path / "f"
+        p.write_text("x")
+        fsync_path(str(p))  # no error
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            fsync_path(str(tmp_path / "absent"))
