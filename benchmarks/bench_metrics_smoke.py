@@ -64,6 +64,11 @@ MAX_HIST_OVERHEAD_PCT = 2.0
 MAX_STATUS_RATIO = 1.02
 STATUS_ABS_SLACK_S = 0.05
 
+#: tracing gate (same convention): tracing-on wall must stay within 2%
+#: of tracing-off — OR within the same absolute scheduler-noise slack.
+MAX_TRACING_RATIO = 1.02
+TRACING_ABS_SLACK_S = 0.05
+
 
 def _best_of(n: int, fn) -> float:
     best = float("inf")
@@ -159,6 +164,38 @@ def time_status_overhead(aligner, reads, repeats: int = 3) -> Dict:
     }
 
 
+def time_tracing_overhead(aligner, reads, repeats: int = 3) -> Dict:
+    """Tracing-on vs off wall clock over the same mapping run.
+
+    The tracer is strictly opt-in; when ``MapOptions.tracing`` is set,
+    every chunk and kernel bucket opens a span and the store runs its
+    tail-sampling decision per request. All of that happens at call
+    granularity (never per DP cell), so full head-sampling must stay
+    within the ratio-or-absolute-slack convention used by the status
+    gate above.
+    """
+    from repro.obs.tracing import TraceConfig
+
+    api.map_reads(aligner, reads)  # warm-up
+    t_off = _best_of(repeats, lambda: api.map_reads(aligner, reads))
+    cfg = TraceConfig(sample=1.0, slowest_pct=100.0)
+    t_on = _best_of(
+        repeats, lambda: api.map_reads(aligner, reads, tracing=cfg)
+    )
+    within = (
+        t_on <= t_off * MAX_TRACING_RATIO
+        or t_on - t_off <= TRACING_ABS_SLACK_S
+    )
+    return {
+        "seconds_off": t_off,
+        "seconds_on": t_on,
+        "overhead_ratio": ratio(t_on, t_off),
+        "max_ratio": MAX_TRACING_RATIO,
+        "abs_slack_s": TRACING_ABS_SLACK_S,
+        "within_gate": within,
+    }
+
+
 def _workload(smoke: bool):
     genome = generate_genome(
         GenomeSpec(length=40_000 if smoke else 120_000, chromosomes=1),
@@ -217,6 +254,9 @@ def run_metrics_smoke(smoke: bool = True, out_dir: Path = RESULTS_DIR) -> Dict:
     status_overhead = time_status_overhead(
         Aligner(genome, preset="test"), reads
     )
+    tracing_overhead = time_tracing_overhead(
+        Aligner(genome, preset="test"), reads
+    )
     result = {
         "benchmark": "metrics_smoke",
         "smoke": smoke,
@@ -225,6 +265,7 @@ def run_metrics_smoke(smoke: bool = True, out_dir: Path = RESULTS_DIR) -> Dict:
         "histograms_present": hists_present,
         "histogram_overhead": overhead,
         "status_overhead": status_overhead,
+        "tracing_overhead": tracing_overhead,
         "manifest": serial,
         "manifest_processes": procs,
     }
@@ -248,6 +289,11 @@ def run_metrics_smoke(smoke: bool = True, out_dir: Path = RESULTS_DIR) -> Dict:
         f"({status_overhead['overhead_ratio']:.3f}x; gate <= "
         f"{MAX_STATUS_RATIO}x or {STATUS_ABS_SLACK_S}s slack) -> "
         f"{'PASS' if status_overhead['within_gate'] else 'FAIL'}"
+        f"\ntracing overhead: {tracing_overhead['seconds_off']:.4f}s "
+        f"off -> {tracing_overhead['seconds_on']:.4f}s on "
+        f"({tracing_overhead['overhead_ratio']:.3f}x; gate <= "
+        f"{MAX_TRACING_RATIO}x or {TRACING_ABS_SLACK_S}s slack) -> "
+        f"{'PASS' if tracing_overhead['within_gate'] else 'FAIL'}"
     )
     emit("BENCH_metrics_smoke", report)
     out_dir.mkdir(exist_ok=True)
@@ -289,6 +335,12 @@ def test_metrics_smoke():
         f"({so['seconds_off']:.4f}s -> {so['seconds_on']:.4f}s), over "
         f"the {MAX_STATUS_RATIO}x / {STATUS_ABS_SLACK_S}s gate"
     )
+    to = res["tracing_overhead"]
+    assert to["within_gate"], (
+        f"tracing costs {to['overhead_ratio']:.3f}x "
+        f"({to['seconds_off']:.4f}s -> {to['seconds_on']:.4f}s), over "
+        f"the {MAX_TRACING_RATIO}x / {TRACING_ABS_SLACK_S}s gate"
+    )
     assert (RESULTS_DIR / JSON_NAME).exists()
 
 
@@ -327,6 +379,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             "ERROR: status-server overhead "
             f"{res['status_overhead']['overhead_ratio']:.3f}x exceeds "
             f"{MAX_STATUS_RATIO}x (+{STATUS_ABS_SLACK_S}s slack)",
+            file=sys.stderr,
+        )
+        return 1
+    if not res["tracing_overhead"]["within_gate"]:
+        print(
+            "ERROR: tracing overhead "
+            f"{res['tracing_overhead']['overhead_ratio']:.3f}x exceeds "
+            f"{MAX_TRACING_RATIO}x (+{TRACING_ABS_SLACK_S}s slack)",
             file=sys.stderr,
         )
         return 1

@@ -37,6 +37,7 @@ import numpy as np
 from ..errors import AlignmentError
 from ..obs.counters import COUNTERS
 from ..obs.events import EVENTS
+from ..obs.tracing import TRACER
 from .batch_kernel import align_batch
 from .diff_scalar import align_diff_scalar
 from .dp_reference import align_reference
@@ -322,20 +323,42 @@ class KernelDispatch:
                     _fall(i, "thin_bucket")
                 continue
             n_batches = 0
-            for sub in self._split(bidxs, cap, path):
-                out = spec.batch_fn(
-                    [jobs[i].target for i in sub],
-                    [jobs[i].query for i in sub],
-                    self.scoring,
-                    mode,
-                    path,
-                    zdrop,
-                    self._bands(jobs, sub),
-                )
-                for i, res in zip(sub, out):
-                    results[i] = res
-                COUNTERS.inc("dispatch.batches")
-                n_batches += 1
+            with TRACER.span(
+                "kernel.bucket",
+                kernel=spec.name,
+                mode=mode,
+                path=path,
+                bucket=cap,
+            ) as sp:
+                cells = 0
+                for sub in self._split(bidxs, cap, path):
+                    out = spec.batch_fn(
+                        [jobs[i].target for i in sub],
+                        [jobs[i].query for i in sub],
+                        self.scoring,
+                        mode,
+                        path,
+                        zdrop,
+                        self._bands(jobs, sub),
+                    )
+                    for i, res in zip(sub, out):
+                        results[i] = res
+                        if sp is not None:
+                            cells += res.cells
+                    COUNTERS.inc("dispatch.batches")
+                    n_batches += 1
+                if sp is not None:
+                    # Occupancy: how full the padded (cap x lanes) DP
+                    # matrix really was with job cells.
+                    used = sum(jobs[i].size for i in bidxs)
+                    sp.attrs.update(
+                        lanes=len(bidxs),
+                        batches=n_batches,
+                        dp_cells=cells,
+                        occupancy_pct=round(
+                            100.0 * used / (cap * len(bidxs)), 1
+                        ),
+                    )
             COUNTERS.inc("dispatch.batched_jobs", len(bidxs))
             EVENTS.emit(
                 "dispatch.batch",
@@ -357,8 +380,14 @@ class KernelDispatch:
                 jobs=len(singles),
                 reasons=fallback_reasons,
             )
-        for i in singles:
-            results[i] = self._run_single(jobs[i])
+            with TRACER.span(
+                "kernel.fallback",
+                kernel=spec.name,
+                mode=mode,
+                jobs=len(singles),
+            ):
+                for i in singles:
+                    results[i] = self._run_single(jobs[i])
 
     def _bands(
         self, jobs: Sequence[DPJob], sub: List[int]

@@ -50,6 +50,7 @@ from .core.aligner import Aligner
 from .core.alignment import Alignment, sam_header, to_paf, to_sam
 from .errors import ParseError, SchedulerError
 from .index.store import load_index
+from .obs.tracing import TRACER, TraceConfig, TraceContext, TraceStore
 from .runtime import backends as _backends
 from .runtime.faults import FaultPolicy, write_quarantine
 from .runtime.streaming import StreamStats, stream_map
@@ -135,6 +136,11 @@ class MapOptions:
     fresh directory (``manymap resume`` sets this). Both apply to
     :func:`map_file` only (the journal checkpoints a *file* corpus);
     ``run_dir=None`` (default) journals nothing and costs nothing.
+    ``tracing`` — a :class:`repro.obs.tracing.TraceConfig`: give the
+    run a request-scoped trace plane (one root trace, per-chunk spans,
+    per-bucket kernel spans) with tail-based sampling and an optional
+    on-disk trace store; ``None`` (default) traces nothing and the
+    instrumentation points cost one branch each.
     """
 
     backend: str = "serial"
@@ -158,6 +164,7 @@ class MapOptions:
     run_dir: Optional[str] = None
     resume: bool = False
     commit_reads: int = 256
+    tracing: Optional[TraceConfig] = None
 
     def replace(self, **changes) -> "MapOptions":
         """A copy with ``changes`` applied (unknown names: TypeError)."""
@@ -202,6 +209,11 @@ class MapOptions:
             )
         if self.resume and not self.run_dir:
             raise SchedulerError("resume=True needs run_dir to be set")
+        if self.tracing is not None:
+            try:
+                self.tracing.validated()
+            except ValueError as exc:
+                raise SchedulerError(str(exc)) from exc
         return self
 
 
@@ -225,6 +237,11 @@ class MapRequest:
     answers 504 instead of mapping (or instead of returning a result
     computed after the deadline) once that many milliseconds have
     passed since admission; ``None`` means wait forever.
+    ``trace`` is an optional :class:`repro.obs.tracing.TraceContext`:
+    when set (by :class:`repro.serve.client.ServeClient` with tracing
+    on, or by any caller that wants to stitch the server's spans into
+    its own trace), the server joins that trace instead of starting a
+    fresh one and echoes the ``trace_id`` in the result.
     """
 
     request_id: str
@@ -233,6 +250,7 @@ class MapRequest:
     with_cigar: bool = True
     on_error: str = "abort"
     timeout_ms: Optional[float] = None
+    trace: Optional[TraceContext] = None
     api_version: int = API_VERSION
 
     @classmethod
@@ -284,6 +302,12 @@ class MapRequest:
                 raise ParseError(
                     f"timeout_ms must be a number: {timeout_ms!r}"
                 ) from exc
+        trace = doc.get("trace")
+        if trace is not None:
+            try:
+                trace = TraceContext.from_json(trace)
+            except ValueError as exc:
+                raise ParseError(f"bad trace context: {exc}") from exc
         return cls(
             request_id=str(doc.get("request_id") or uuid.uuid4().hex[:12]),
             reads=tuple(reads),
@@ -291,6 +315,7 @@ class MapRequest:
             with_cigar=bool(doc.get("with_cigar", True)),
             on_error=str(doc.get("on_error", "abort")),
             timeout_ms=timeout_ms,
+            trace=trace,
             api_version=version,
         ).validated()
 
@@ -304,6 +329,7 @@ class MapRequest:
             "with_cigar": self.with_cigar,
             "on_error": self.on_error,
             "timeout_ms": self.timeout_ms,
+            "trace": self.trace.to_json() if self.trace else None,
             "api_version": self.api_version,
         }
 
@@ -347,7 +373,9 @@ class MapResult:
     absorbed by an ``on_error="skip"`` request. The timing fields are
     filled by the server (zero on the one-shot path except ``map_ms``);
     ``batch_id`` / ``batch_requests`` describe the coalesced batch this
-    request rode in.
+    request rode in. ``trace_id`` names the request's distributed
+    trace when the server ran with tracing enabled (fetch the span
+    tree at ``GET /trace/<id>``); empty otherwise.
     """
 
     request_id: str
@@ -361,6 +389,7 @@ class MapResult:
     queue_ms: float = 0.0
     map_ms: float = 0.0
     total_ms: float = 0.0
+    trace_id: str = ""
     api_version: int = API_VERSION
 
     @property
@@ -392,6 +421,7 @@ class MapResult:
                 "map_ms": self.map_ms,
                 "total_ms": self.total_ms,
             },
+            "trace_id": self.trace_id,
             "api_version": self.api_version,
         }
 
@@ -413,6 +443,7 @@ class MapResult:
             queue_ms=float(timing.get("queue_ms", 0.0)),
             map_ms=float(timing.get("map_ms", 0.0)),
             total_ms=float(timing.get("total_ms", 0.0)),
+            trace_id=str(doc.get("trace_id") or ""),
             api_version=int(doc.get("api_version", API_VERSION)),
         )
 
@@ -436,6 +467,13 @@ class ServeConfig:
     mapping threads execute batches concurrently. ``drain_timeout_s``
     bounds the graceful SIGTERM drain before leftover requests are
     failed with 503.
+
+    ``tracing`` (a :class:`repro.obs.tracing.TraceConfig`) turns on
+    per-request distributed tracing: every admitted request becomes a
+    root→admission→batch→kernel span tree, tail-sampled into a bounded
+    :class:`repro.obs.tracing.TraceStore` and served at
+    ``GET /trace/<id>`` / ``GET /traces?slowest=N``; ``None``
+    (default) traces nothing.
     """
 
     host: str = "127.0.0.1"
@@ -451,6 +489,7 @@ class ServeConfig:
     tenant_quota: int = 64
     batch_workers: int = 1
     drain_timeout_s: float = 10.0
+    tracing: Optional[TraceConfig] = None
 
     def replace(self, **changes) -> "ServeConfig":
         return dataclasses.replace(self, **changes)
@@ -485,6 +524,11 @@ class ServeConfig:
             raise SchedulerError(
                 f"drain_timeout_s must be >= 0: {self.drain_timeout_s}"
             )
+        if self.tracing is not None:
+            try:
+                self.tracing.validated()
+            except ValueError as exc:
+                raise SchedulerError(str(exc)) from exc
         return self
 
     def to_json(self) -> Dict:
@@ -563,7 +607,44 @@ def _finish_faults(opts: MapOptions, telemetry) -> None:
 
 
 @contextmanager
-def _live_plane(opts: MapOptions, telemetry, total_reads: Optional[int] = None):
+def _trace_plane(opts: MapOptions, label: str = "map_file"):
+    """The run's request-scoped trace plane, or a no-op context.
+
+    Yields ``(store, root)``: a :class:`repro.obs.tracing.TraceStore`
+    and the run's root span, with the root's context made ambient on
+    the calling thread so per-chunk and per-bucket kernel spans nest
+    under it. The root is finished (and tail-sampled into the store)
+    on exit, with ``status="error"`` when the run raised.
+    """
+    cfg = opts.tracing
+    if cfg is None or not cfg.enabled:
+        yield None, None
+        return
+    store = TraceStore(cfg)
+    TRACER.enable()
+    root = TRACER.start_span(
+        f"run.{label}",
+        sampled=store.head_sampled(),
+        attrs={"backend": opts.backend, "workers": opts.workers},
+    )
+    try:
+        with TRACER.use(root.ctx):
+            yield store, root
+    except BaseException:
+        store.finish(root, status="error")
+        TRACER.disable()
+        raise
+    store.finish(root, status="ok")
+    TRACER.disable()
+
+
+@contextmanager
+def _live_plane(
+    opts: MapOptions,
+    telemetry,
+    total_reads: Optional[int] = None,
+    traces: Optional[TraceStore] = None,
+):
     """The run's live telemetry plane, or a no-op context.
 
     One shared :class:`repro.obs.export.RunSampler` feeds both the
@@ -590,7 +671,7 @@ def _live_plane(opts: MapOptions, telemetry, total_reads: Optional[int] = None):
             from .obs.statusd import StatusServer
 
             server = StatusServer(
-                sampler=sampler, port=opts.status_port
+                sampler=sampler, port=opts.status_port, traces=traces
             ).start()
         if want_progress:
             from .obs.progress import ProgressReporter
@@ -727,11 +808,14 @@ class MappingSession:
         opts = self._opts(options, overrides)
         _apply_kernel(self.aligner, opts)
         telemetry = _fault_telemetry(opts, telemetry)
-        with _live_plane(opts, telemetry, total_reads=len(reads)):
-            results = _backends.dispatch(
-                self.aligner, reads, opts, profile=profile,
-                telemetry=telemetry,
-            )
+        with _trace_plane(opts, label="map_reads") as (tstore, _root):
+            with _live_plane(
+                opts, telemetry, total_reads=len(reads), traces=tstore
+            ):
+                results = _backends.dispatch(
+                    self.aligner, reads, opts, profile=profile,
+                    telemetry=telemetry,
+                )
         _finish_faults(opts, telemetry)
         return results
 
@@ -831,11 +915,13 @@ class MappingSession:
         if journal is not None and journal.reads_done:
             # Committed reads re-map to the same bytes; don't re-map them.
             source = itertools.islice(source, journal.reads_done, None)
+        tstore = None
         try:
-            stats = self._run_map_file(
-                source, emit, write_header, opts, journal,
-                profile=profile, telemetry=telemetry,
-            )
+            with _trace_plane(opts, label="map_file") as (tstore, _root):
+                stats = self._run_map_file(
+                    source, emit, write_header, opts, journal,
+                    profile=profile, telemetry=telemetry, traces=tstore,
+                )
         except BaseException:
             if journal is not None:
                 journal.close()  # keep the last commit; no completion
@@ -847,11 +933,13 @@ class MappingSession:
                 # journal.* lands in the run-scoped counter delta, so
                 # the metrics manifest and report see commit activity.
                 telemetry.absorb(dict(journal.counters))
+        if tstore is not None:
+            stats.tracing = tstore.summary()
         return stats
 
     def _run_map_file(
         self, source, emit, write_header, opts, journal, *,
-        profile=None, telemetry=None,
+        profile=None, telemetry=None, traces=None,
     ) -> StreamStats:
         """The backend split of :meth:`map_file`, journal-agnostic."""
         from .runtime.journal import journal_events
@@ -859,7 +947,8 @@ class MappingSession:
         aligner = self.aligner
         write_header()
         if opts.backend == "streaming":
-            with _live_plane(opts, telemetry), journal_events(journal):
+            with _live_plane(opts, telemetry, traces=traces), \
+                    journal_events(journal):
                 stats = stream_map(
                     aligner,
                     source,
@@ -890,7 +979,8 @@ class MappingSession:
 
         stats = StreamStats()
         batch_size = opts.chunk_reads * max(1, opts.workers) * 4
-        with _live_plane(opts, telemetry), journal_events(journal):
+        with _live_plane(opts, telemetry, traces=traces), \
+                journal_events(journal):
             while True:
                 batch: List[SeqRecord] = []
                 with stage("Load Query"):
@@ -901,10 +991,13 @@ class MappingSession:
                 if not batch:
                     break
                 stats.n_chunks += 1
-                results = _backends.dispatch(
-                    aligner, batch, opts, profile=profile,
-                    telemetry=telemetry,
-                )
+                with TRACER.span(
+                    "chunk", chunk=stats.n_chunks, reads=len(batch)
+                ):
+                    results = _backends.dispatch(
+                        aligner, batch, opts, profile=profile,
+                        telemetry=telemetry,
+                    )
                 with stage("Output"):
                     for read, alns in zip(batch, results):
                         emit(read, alns)
@@ -935,13 +1028,18 @@ class MappingSession:
         self._check_open()
         from .runtime.faults import map_chunk_reads, map_one_read
 
-        pooled = map_chunk_reads(self.aligner, list(reads), with_cigar, None)
-        if pooled is not None:
-            return [alns for alns, _, _, _ in pooled]
-        return [
-            map_one_read(self.aligner, read, with_cigar, None)[0]
-            for read in reads
-        ]
+        with TRACER.span("session.map_batch", reads=len(reads)) as sp:
+            pooled = map_chunk_reads(
+                self.aligner, list(reads), with_cigar, None
+            )
+            if pooled is not None:
+                return [alns for alns, _, _, _ in pooled]
+            if sp is not None:
+                sp.attrs["pooled"] = False
+            return [
+                map_one_read(self.aligner, read, with_cigar, None)[0]
+                for read in reads
+            ]
 
     def map_request(self, request: MapRequest) -> MapResult:
         """Map one :class:`MapRequest` deterministically, alone.
@@ -965,23 +1063,28 @@ class MappingSession:
         )
         paf: List[Tuple[str, ...]] = []
         quarantined: List[str] = []
-        for read in request.reads:
-            try:
-                alns, _, _, fault = map_one_read(
-                    self.aligner, read, request.with_cigar, policy
-                )
-            except Exception as exc:  # abort mode: name the culprit
-                return MapResult(
-                    request_id=request.request_id,
-                    status="error",
-                    error=f"read {read.name!r}: {exc}",
-                    map_ms=(time.perf_counter() - t0) * 1000.0,
-                )
-            if fault is not None:
-                quarantined.append(read.name)
-                paf.append(())
-            else:
-                paf.append(tuple(to_paf(a) for a in alns))
+        with TRACER.span(
+            "session.map_request", reads=request.n_reads
+        ) as sp:
+            for read in request.reads:
+                try:
+                    alns, _, _, fault = map_one_read(
+                        self.aligner, read, request.with_cigar, policy
+                    )
+                except Exception as exc:  # abort mode: name the culprit
+                    if sp is not None:
+                        sp.status = "error"
+                    return MapResult(
+                        request_id=request.request_id,
+                        status="error",
+                        error=f"read {read.name!r}: {exc}",
+                        map_ms=(time.perf_counter() - t0) * 1000.0,
+                    )
+                if fault is not None:
+                    quarantined.append(read.name)
+                    paf.append(())
+                else:
+                    paf.append(tuple(to_paf(a) for a in alns))
         return MapResult(
             request_id=request.request_id,
             read_names=tuple(r.name for r in request.reads),

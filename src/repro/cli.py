@@ -9,6 +9,8 @@ Subcommands mirror the minimap2 workflow on synthetic data:
   Table 2-style stage breakdown with GCUPS/counter footers.
 * ``top``      — refreshing terminal dashboard over a live run's
   ``--status-port`` endpoint or a ``--progress-file`` JSONL.
+* ``trace``    — render kept request traces (``--trace-dir`` or a live
+  obs endpoint) as span trees with self-time attribution.
 * ``bench``    — print a modeled paper table/figure (the measured +
   asserted versions live in ``benchmarks/``).
 
@@ -54,6 +56,57 @@ def _kernel_choices() -> List[str]:
     from .align.dispatch import kernel_names
 
     return kernel_names() + ["none"]
+
+
+def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared request-tracing flags (``map`` and ``serve``)."""
+    parser.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        help="enable request-scoped tracing and keep sampled traces "
+        "as trace-<id>.json files in DIR (render with `manymap trace "
+        "DIR`); tracing is also on (in-memory only) when either "
+        "sampling knob below is given",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="head-sampling fraction in [0,1] (default 1.0); errored/"
+        "shed/deadline traces are always kept regardless",
+    )
+    parser.add_argument(
+        "--trace-slowest",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="also keep the slowest PCT%% of requests even when head-"
+        "sampled out (tail-based sampling, default 5)",
+    )
+
+
+def _trace_config(args: argparse.Namespace):
+    """``--trace-dir/--trace-sample/--trace-slowest`` as a TraceConfig.
+
+    ``None`` (tracing off) unless at least one of the three flags was
+    given; unspecified knobs take the TraceConfig defaults.
+    """
+    if (
+        args.trace_dir is None
+        and args.trace_sample is None
+        and args.trace_slowest is None
+    ):
+        return None
+    from .obs.tracing import TraceConfig
+
+    return TraceConfig(
+        dir=args.trace_dir,
+        sample=1.0 if args.trace_sample is None else args.trace_sample,
+        slowest_pct=(
+            5.0 if args.trace_slowest is None else args.trace_slowest
+        ),
+    )
 
 
 def _resolve_map_backend(args: argparse.Namespace):
@@ -165,6 +218,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
         run_dir=args.run_dir,
         resume=bool(args.resume),
         commit_reads=args.commit_reads,
+        tracing=_trace_config(args),
     )
 
     from contextlib import nullcontext
@@ -250,6 +304,13 @@ def _cmd_map(args: argparse.Namespace) -> int:
         log.info(
             "wrote %d trace spans -> %s", telemetry.span_count, args.trace
         )
+    if stats.tracing:
+        log.info(
+            "kept %d/%d request trace(s)%s",
+            stats.tracing.get("kept", 0),
+            stats.tracing.get("started", 0),
+            f" -> {args.trace_dir}" if args.trace_dir else "",
+        )
     if args.timeline:
         from .obs.telemetry import iter_trace
         from .obs.timeline import write_timeline
@@ -303,6 +364,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
             },
             label=profile.label,
             journal=stats.journal,
+            tracing=stats.tracing,
         )
         write_metrics(args.metrics, manifest)
         log.info(
@@ -374,6 +436,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             tenant_quota=args.tenant_quota,
             batch_workers=args.batch_workers,
             drain_timeout_s=args.drain_timeout,
+            tracing=_trace_config(args),
         ).validated()
     except ReproError as exc:
         log.error("%s", exc)
@@ -418,6 +481,76 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             EVENTS.close_sink()
         if request_journal is not None:
             request_journal.close()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Render kept request traces as span trees with self-time.
+
+    ``target`` is either a live obs endpoint URL (the serve port or a
+    ``map --status-port`` daemon — ``/traces`` is queried for the
+    slowest kept traces) or a ``--trace-dir`` directory of
+    ``trace-<id>.json`` files.
+    """
+    import json
+    import urllib.request
+
+    from .obs.logs import get_logger
+    from .obs.tracing import render_trace_tree, trace_chrome
+
+    log = get_logger("cli")
+    target = args.target
+
+    def _fetch(url: str):
+        with urllib.request.urlopen(url, timeout=10.0) as resp:
+            return json.loads(resp.read())
+
+    docs: List[dict] = []
+    if target.startswith(("http://", "https://")):
+        base = target.rstrip("/")
+        try:
+            if args.id:
+                docs = [_fetch(f"{base}/trace/{args.id}")]
+            else:
+                listing = _fetch(f"{base}/traces?slowest={args.slowest}")
+                docs = [
+                    _fetch(f"{base}/trace/{t['trace_id']}")
+                    for t in listing.get("traces", [])
+                ]
+        except (OSError, ValueError, KeyError) as exc:
+            log.error("cannot fetch traces from %s: %s", base, exc)
+            return 2
+    else:
+        if not os.path.isdir(target):
+            log.error("no such trace dir (or URL): %s", target)
+            return 2
+        from glob import glob
+
+        for path in sorted(glob(os.path.join(target, "trace-*.json"))):
+            try:
+                with open(path) as fh:
+                    docs.append(json.load(fh))
+            except (OSError, ValueError) as exc:
+                log.warning("skipping unreadable trace %s: %s", path, exc)
+        if args.id:
+            docs = [d for d in docs if d.get("trace_id") == args.id]
+        else:
+            docs.sort(key=lambda d: -float(d.get("duration_ms", 0.0)))
+            docs = docs[: args.slowest]
+    if not docs:
+        log.error("no kept traces at %s", target)
+        return 1
+    if args.chrome:
+        from .utils.fsio import atomic_write_json
+
+        atomic_write_json(args.chrome, trace_chrome(docs[0]))
+        log.info(
+            "wrote Chrome trace for %s -> %s",
+            docs[0].get("trace_id", "?"),
+            args.chrome,
+        )
+    for doc in docs:
+        print(render_trace_tree(doc))
     return 0
 
 
@@ -729,6 +862,7 @@ def build_parser() -> argparse.ArgumentParser:
         "journal every N reads (default 256); smaller = less re-mapped "
         "after a crash, more fsyncs",
     )
+    _add_trace_flags(pm)
     pm.set_defaults(fn=_cmd_map)
 
     pz = sub.add_parser(
@@ -848,7 +982,34 @@ def build_parser() -> argparse.ArgumentParser:
         "restart, replay any the previous process died before "
         "answering (results land in DIR/replayed.jsonl)",
     )
+    _add_trace_flags(pv)
     pv.set_defaults(fn=_cmd_serve)
+
+    ptr = sub.add_parser(
+        "trace",
+        parents=[common],
+        help="render kept request traces as span trees",
+    )
+    ptr.add_argument(
+        "target",
+        help="a --trace-dir directory of trace-<id>.json files, or a "
+        "live obs endpoint URL (the serve port or map --status-port)",
+    )
+    ptr.add_argument("--id", help="render one specific trace by id")
+    ptr.add_argument(
+        "--slowest",
+        type=int,
+        default=5,
+        metavar="N",
+        help="render the N slowest kept traces (default 5)",
+    )
+    ptr.add_argument(
+        "--chrome",
+        metavar="FILE",
+        help="also export the first rendered trace as a Chrome-trace/"
+        "Perfetto JSON (open in chrome://tracing or ui.perfetto.dev)",
+    )
+    ptr.set_defaults(fn=_cmd_trace)
 
     ps = sub.add_parser(
         "simulate", parents=[common], help="generate synthetic genome + reads"

@@ -35,6 +35,10 @@ every run of our pipeline produce the same evidence:
 * :mod:`~repro.obs.report` — ``manymap report``: Table 2-style
   comparison of one or more manifests, plus the ``--compare``
   perf-regression gate.
+* :mod:`~repro.obs.tracing` — request-scoped distributed tracing:
+  causally-linked spans across the serve → batch → kernel path,
+  tail-based sampling (errors/sheds + slowest-k%), a bounded on-disk
+  trace store serving ``GET /trace/<id>``, and OpenMetrics exemplars.
 * :mod:`~repro.obs.logs` — structured stderr logging with per-worker
   and per-run prefixes.
 * :mod:`~repro.obs.schema` — stdlib JSON-schema-subset validation of
@@ -79,7 +83,21 @@ from .report import (
 )
 from .schema import SchemaError, assert_valid, validate
 from .telemetry import Telemetry, iter_trace, read_span, worker_id
-from .timeline import build_timeline, trace_events, write_timeline
+from .timeline import (
+    build_timeline,
+    chrome_document,
+    trace_events,
+    write_timeline,
+)
+from .tracing import (
+    TRACER,
+    TraceConfig,
+    TraceContext,
+    Tracer,
+    TraceStore,
+    render_trace_tree,
+    trace_chrome,
+)
 
 __all__ = [
     "COUNTERS",
@@ -123,6 +141,14 @@ __all__ = [
     "read_span",
     "worker_id",
     "build_timeline",
+    "chrome_document",
     "trace_events",
     "write_timeline",
+    "TRACER",
+    "TraceConfig",
+    "TraceContext",
+    "Tracer",
+    "TraceStore",
+    "render_trace_tree",
+    "trace_chrome",
 ]

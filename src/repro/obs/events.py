@@ -63,6 +63,7 @@ class EventBus:
         self._ring: "deque[Dict]" = deque(maxlen=capacity)
         self._counts: Dict[str, int] = {}
         self._seq = 0
+        self._dropped = 0
         self._sink = None
         self._listeners: List = []
 
@@ -80,6 +81,14 @@ class EventBus:
         with self._lock:
             self._seq += 1
             rec["seq"] = self._seq
+            if len(self._ring) >= self.capacity:
+                # The deque will overwrite its oldest entry: that event
+                # is lost to pollers. Count the loss so it is visible
+                # (`events.dropped` in /metrics and the manifest).
+                self._dropped += 1
+                dropped_now = True
+            else:
+                dropped_now = False
             self._ring.append(rec)
             self._counts[kind] = self._counts.get(kind, 0) + 1
             sink = self._sink
@@ -87,6 +96,10 @@ class EventBus:
                 sink.write(json.dumps(rec, sort_keys=True))
                 sink.write("\n")
             listeners = list(self._listeners) if self._listeners else None
+        if dropped_now:
+            from .counters import COUNTERS
+
+            COUNTERS.inc("events.dropped")
         if listeners:
             # Outside the lock: a listener may itself emit, or do IO
             # (the run journal mirrors chunk lifecycle into its WAL).
@@ -130,6 +143,12 @@ class EventBus:
         """Sequence number of the most recent event (0 when none)."""
         with self._lock:
             return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten off the back of the ring (lost to pollers)."""
+        with self._lock:
+            return self._dropped
 
     def __len__(self) -> int:
         with self._lock:
@@ -183,6 +202,7 @@ class EventBus:
         with self._lock:
             self._ring.clear()
             self._counts.clear()
+            self._dropped = 0
 
 
 #: The process-global bus every instrumented module emits into.

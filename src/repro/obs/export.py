@@ -183,8 +183,16 @@ def _fmt(value: float) -> str:
     return repr(f)
 
 
-def _hist_lines(name: str, h: Dict, lines: list) -> None:
-    """One serialized histogram as a cumulative-``le`` family."""
+def _hist_lines(
+    name: str, h: Dict, lines: list, exemplars: Optional[Dict] = None
+) -> None:
+    """One serialized histogram as a cumulative-``le`` family.
+
+    ``exemplars`` maps a bucket's log2 exponent to ``(value, trace_id,
+    unix_ts)``; a matching bucket line gets the OpenMetrics exemplar
+    suffix (``# {trace_id="..."} value ts``), linking that latency
+    bucket to a concrete kept trace.
+    """
     lines.append(f"# TYPE {name} histogram")
     count = int(h.get("count", 0))
     # The zeros slot holds values <= 0, which are below every positive
@@ -192,9 +200,14 @@ def _hist_lines(name: str, h: Dict, lines: list) -> None:
     cum = int(h.get("zeros", 0))
     for e in sorted(int(k) for k in (h.get("buckets") or {})):
         cum += int(h["buckets"][str(e)])
-        lines.append(
-            f'{name}_bucket{{le="{_fmt(math.ldexp(1.0, e))}"}} {cum}'
-        )
+        line = f'{name}_bucket{{le="{_fmt(math.ldexp(1.0, e))}"}} {cum}'
+        ex = exemplars.get(e) if exemplars else None
+        if ex is not None:
+            value, trace_id, ts = ex
+            line += (
+                f' # {{trace_id="{trace_id}"}} {_fmt(value)} {_fmt(ts)}'
+            )
+        lines.append(line)
     lines.append(f'{name}_bucket{{le="+Inf"}} {count}')
     lines.append(f"{name}_count {count}")
     lines.append(f"{name}_sum {_fmt(h.get('sum', 0.0))}")
@@ -204,8 +217,16 @@ def render_openmetrics(
     counters: Dict[str, int],
     gauges: Optional[Dict[str, float]] = None,
     histograms: Optional[Dict[str, Dict]] = None,
+    exemplars: Optional[Dict[str, Dict]] = None,
 ) -> str:
-    """Render registry snapshots as OpenMetrics text (ends in ``# EOF``)."""
+    """Render registry snapshots as OpenMetrics text (ends in ``# EOF``).
+
+    ``exemplars`` (as returned by
+    :meth:`repro.obs.tracing.Tracer.exemplars`) attaches per-bucket
+    trace-id exemplars to matching histogram families — the serve
+    plane passes the live tracer's snapshot so a p99 bucket names a
+    trace you can fetch at ``GET /trace/<id>``.
+    """
     lines: list = []
     for key in sorted(counters):
         name = metric_name(key)
@@ -216,7 +237,12 @@ def render_openmetrics(
         lines.append(f"# TYPE {name} gauge")
         lines.append(f"{name} {_fmt(gauges[key])}")
     for key in sorted(histograms or {}):
-        _hist_lines(metric_name(key), histograms[key], lines)
+        _hist_lines(
+            metric_name(key),
+            histograms[key],
+            lines,
+            exemplars=(exemplars or {}).get(key),
+        )
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
 

@@ -63,7 +63,7 @@ def json_reply(code: int, doc) -> Tuple[int, str, bytes]:
 
 
 def obs_route(
-    sampler: RunSampler, path: str, query: str = ""
+    sampler: RunSampler, path: str, query: str = "", traces=None
 ) -> Optional[Tuple[int, str, bytes]]:
     """Route one GET against the observability surface.
 
@@ -73,15 +73,55 @@ def obs_route(
     :class:`RunSampler`; requests sample the same lock-free shards the
     progress heartbeat samples, so scraping never touches the mapping
     hot path.
+
+    ``traces`` (a :class:`repro.obs.tracing.TraceStore`, optional)
+    adds the tracing surface: ``GET /traces?slowest=N`` lists kept
+    traces, ``GET /trace/<id>`` returns one span tree
+    (``?format=chrome`` for a Chrome-trace document), ``/metrics``
+    gains OpenMetrics exemplars linking latency buckets to trace ids,
+    and ``/status`` grows a ``tracing`` block.
     """
     route = path.rstrip("/") or "/"
     if route == "/metrics":
+        from .tracing import TRACER
+
         body = render_openmetrics(
-            sampler.counters(), sampler.gauges(), sampler.histograms()
+            sampler.counters(),
+            sampler.gauges(),
+            sampler.histograms(),
+            exemplars=TRACER.exemplars() if traces is not None else None,
         ).encode("utf-8")
         return 200, OPENMETRICS_CONTENT_TYPE, body
     if route == "/status":
-        return json_reply(200, status_record(sampler))
+        rec = status_record(sampler)
+        if traces is not None:
+            rec["tracing"] = traces.summary()
+        return json_reply(200, rec)
+    if traces is not None and route == "/traces":
+        q = parse_qs(query)
+        try:
+            n = int(q.get("slowest", ["10"])[0])
+        except (IndexError, ValueError):
+            n = 10
+        return json_reply(
+            200,
+            {
+                "record": "traces",
+                "summary": traces.summary(),
+                "traces": traces.slowest(n),
+            },
+        )
+    if traces is not None and route.startswith("/trace/"):
+        trace_id = route[len("/trace/"):]
+        doc = traces.get(trace_id)
+        if doc is None:
+            return json_reply(404, {"error": f"no trace {trace_id!r}"})
+        fmt = parse_qs(query).get("format", [""])[0]
+        if fmt == "chrome":
+            from .tracing import trace_chrome
+
+            return json_reply(200, trace_chrome(doc))
+        return json_reply(200, doc)
     if route == "/events":
         q = parse_qs(query)
 
@@ -103,6 +143,7 @@ def obs_route(
                 "run_id": sampler.run_id,
                 "seq": EVENTS.seq,
                 "counts": EVENTS.counts(),
+                "dropped": EVENTS.dropped,
                 "events": events,
             },
         )

@@ -55,9 +55,12 @@ __all__ = [
 #: occupancy, queue-depth high water, per-tenant request counts);
 #: v8 adds the optional ``journal`` object (durable runs: commit
 #: count, resume/skip/truncation tallies, committed output bytes and
-#: rolling CRC from the write-ahead journal). v1-v7 manifests remain
-#: valid.
-SCHEMA_VERSION = 8
+#: rolling CRC from the write-ahead journal); v9 adds the optional
+#: ``tracing`` object (request-scoped tracing: traces started / kept /
+#: dropped by the tail sampler, sampling config, trace-store dir) and
+#: the ``events.dropped`` counter (ring evictions). v1-v8 manifests
+#: remain valid.
+SCHEMA_VERSION = 9
 
 
 def machine_info() -> Dict:
@@ -194,6 +197,7 @@ def build_metrics(
     label: str = "",
     export: Optional[Dict] = None,
     journal: Optional[Dict] = None,
+    tracing: Optional[Dict] = None,
 ) -> Dict:
     """Assemble the full run manifest.
 
@@ -203,7 +207,8 @@ def build_metrics(
     ``n_reads`` / ``total_bases`` / ``n_mapped``; ``export`` the live
     telemetry plane's config (``status_port`` / ``events_path``);
     ``journal`` the durable run's journal summary
-    (``StreamStats.journal``).
+    (``StreamStats.journal``); ``tracing`` the trace store's
+    :meth:`~repro.obs.tracing.TraceStore.summary` (schema v9).
     """
     from ..eval.resources import peak_rss_bytes
 
@@ -228,6 +233,7 @@ def build_metrics(
         "batch": batch_summary(counters),
         "serve": serve_summary(counters, telemetry.gauges.snapshot()),
         "journal": journal_summary(journal),
+        "tracing": dict(tracing or {}),
         "faults": telemetry.fault_summary(),
         "histograms": telemetry.histograms(),
         "export": dict(export or {}),

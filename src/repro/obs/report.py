@@ -528,7 +528,9 @@ def render_trajectory(path: str, fmt: str = "table") -> str:
     (:func:`benchmarks._common.append_trajectory`): bench name, commit,
     timestamp, and headline numbers (reads/s, GCUPS, peak RSS). This
     renders the accumulated history per bench, oldest first, so the
-    perf trend across PRs is one command away.
+    perf trend across PRs is one command away. Serving benches also
+    carry ``rps``/``p99_ms``; those columns appear whenever at least
+    one record has them (``-`` for records that do not).
     """
     import time as _time
 
@@ -550,6 +552,14 @@ def render_trajectory(path: str, fmt: str = "table") -> str:
     if fmt == "json":
         return json.dumps(records, indent=2, sort_keys=True)
     records.sort(key=lambda r: (r.get("bench", ""), r.get("created_unix", 0)))
+    # Serving benches (bench_serve.py) append rps/p99_ms alongside the
+    # mapping headline numbers; render those columns only when at
+    # least one record carries them, so map-only trajectories keep
+    # their familiar shape.
+    has_serve = any(
+        r.get("rps") is not None or r.get("p99_ms") is not None
+        for r in records
+    )
 
     def cells(rec: Dict) -> List[str]:
         ts = rec.get("created_unix")
@@ -559,7 +569,7 @@ def render_trajectory(path: str, fmt: str = "table") -> str:
             else "?"
         )
         rss = rec.get("peak_rss_bytes")
-        return [
+        row = [
             str(rec.get("bench", "?")),
             when,
             str(rec.get("commit", ""))[:10] or "-",
@@ -567,8 +577,16 @@ def render_trajectory(path: str, fmt: str = "table") -> str:
             f"{float(rec.get('gcups', 0.0)):.4f}",
             human_bytes(int(rss)) if rss else "-",
         ]
+        if has_serve:
+            rps = rec.get("rps")
+            p99 = rec.get("p99_ms")
+            row.append(f"{float(rps):.1f}" if rps is not None else "-")
+            row.append(f"{float(p99):.1f}" if p99 is not None else "-")
+        return row
 
     header = ["bench", "when (UTC)", "commit", "reads/s", "GCUPS", "peak RSS"]
+    if has_serve:
+        header += ["rps", "p99 ms"]
     table = [cells(r) for r in records]
     if fmt == "markdown":
         lines = [

@@ -58,7 +58,12 @@ class _StatusHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         url = urlparse(self.path)
-        reply = obs_route(self.server.sampler, url.path, url.query)
+        reply = obs_route(
+            self.server.sampler,
+            url.path,
+            url.query,
+            traces=getattr(self.server, "traces", None),
+        )
         if reply is None:
             reply = text_reply(404, "not found\n")
         self._reply(*reply)
@@ -95,12 +100,17 @@ class StatusServer(DaemonHTTPServer):
         sampler: Optional[RunSampler] = None,
         port: int = 0,
         host: str = "127.0.0.1",
+        traces=None,
     ) -> None:
         super().__init__(port=port, host=host)
         self.sampler = sampler or RunSampler()
+        #: optional :class:`repro.obs.tracing.TraceStore` — mounts
+        #: ``/trace/<id>`` and ``/traces`` on this daemon when set.
+        self.traces = traces
 
     def _configure(self, httpd) -> None:
         httpd.sampler = self.sampler
+        httpd.traces = self.traces
 
     def start(self) -> "StatusServer":
         super().start()

@@ -22,7 +22,7 @@ from __future__ import annotations
 import json
 from typing import Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["trace_events", "build_timeline", "write_timeline"]
+__all__ = ["chrome_document", "trace_events", "build_timeline", "write_timeline"]
 
 #: Stage keys inside a span record, in execution order.
 _STAGES = ("seed_chain", "align")
@@ -212,6 +212,30 @@ def trace_events(
     return out
 
 
+def chrome_document(
+    events: Iterable[Dict],
+    run_id: str = "",
+    label: str = "",
+    **other,
+) -> Dict:
+    """Wrap trace events in the standard Chrome-trace envelope.
+
+    Shared by the per-run timeline exporter here and the per-trace
+    exporter in :func:`repro.obs.tracing.trace_chrome`, so both emit
+    documents with identical ``displayTimeUnit``/``otherData`` shape.
+    """
+    return {
+        "traceEvents": list(events),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "tool": "manymap",
+            "run_id": run_id,
+            "label": label,
+            **other,
+        },
+    }
+
+
 def build_timeline(
     spans: Iterable[Dict],
     faults: Iterable = (),
@@ -220,16 +244,12 @@ def build_timeline(
     label: str = "",
 ) -> Dict:
     """The full trace-event JSON document (Perfetto-loadable)."""
-    return {
-        "traceEvents": trace_events(spans, faults, label=label),
-        "displayTimeUnit": "ms",
-        "otherData": {
-            "tool": "manymap",
-            "run_id": run_id,
-            "label": label,
-            "gauges": dict(gauges or {}),
-        },
-    }
+    return chrome_document(
+        trace_events(spans, faults, label=label),
+        run_id=run_id,
+        label=label,
+        gauges=dict(gauges or {}),
+    )
 
 
 def write_timeline(

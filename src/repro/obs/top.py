@@ -14,7 +14,11 @@ Two attachment modes, one renderer:
 The dashboard shows what an operator actually watches: progress bar +
 ETA, reads/s (cumulative and current window), aggregate GCUPS, lane
 occupancy of the batched wavefront kernel, queue depths, and fault
-counts. Rendering is plain ANSI (cursor-home + clear-to-end), stdlib
+counts. When the ``/status`` document carries a ``serve`` block (the
+endpoint belongs to a ``manymap serve`` front-end) a serving panel is
+added — request totals, the ok/error/shed split (sheds broken down by
+queue/quota/drain), request-coalescing means and the queue-depth high
+water — plus kept/started trace counts when tracing is on. Rendering is plain ANSI (cursor-home + clear-to-end), stdlib
 only, and degrades to sequential frames when stdout is not a TTY.
 """
 
@@ -106,6 +110,36 @@ def render_dashboard(rec: Dict, source: str = "") -> str:
             f" ({batch.get('lanes_retired', 0)} retired early)"
             f"   {batch.get('batched_jobs', 0)} batched"
             f" / {batch.get('fallback_jobs', 0)} fallback jobs"
+        )
+    serve = rec.get("serve") or {}
+    if serve:
+        shed = int(serve.get("shed", 0))
+        shed_bits = (
+            f" (queue {serve.get('shed_queue', 0)}"
+            f" / quota {serve.get('shed_quota', 0)}"
+            f" / drain {serve.get('shed_draining', 0)})"
+            if shed
+            else ""
+        )
+        lines.append(
+            f"  serve    {serve.get('requests', 0)} requests"
+            f"   {serve.get('ok', 0)} ok"
+            f" / {serve.get('errors', 0)} err"
+            f" / {shed} shed{shed_bits}"
+        )
+        lines.append(
+            f"  batches  {serve.get('batches', 0)} executed"
+            f"   {serve.get('mean_requests_per_batch', 0.0):.1f} req"
+            f" / {serve.get('mean_reads_per_batch', 0.0):.1f} reads"
+            " per batch"
+            f"   queue depth max {serve.get('queue_depth_max', 0)}"
+        )
+    tracing = rec.get("tracing") or {}
+    if tracing:
+        lines.append(
+            f"  traces   {tracing.get('kept', 0)} kept"
+            f" / {tracing.get('started', 0)} started"
+            f" ({tracing.get('dropped', 0)} sampled out)"
         )
     queues = rec.get("queues") or {}
     if queues:

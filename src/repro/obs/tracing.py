@@ -1,0 +1,836 @@
+"""Request-scoped distributed tracing with tail-based sampling.
+
+The aggregate planes (counters, histograms, events) answer "how much"
+— this module answers "where did *this* request's time go". Every
+admitted ``POST /map`` request (and, with ``map --trace-dir``, every
+``map_file`` run) becomes one **trace**: a tree of causally-linked
+**spans** (``trace_id``/``span_id``/``parent_id``) covering admission
+wait, batch coalescing/execution and per-bucket kernel dispatch, so a
+p99 regression can be followed from the HTTP front door down to the
+DP lanes that paid for it.
+
+Span model
+    :class:`TraceContext` is the immutable propagation token (what
+    travels on the wire inside :class:`repro.api.MapRequest`);
+    :class:`Span` is one timed node. Durations come from
+    ``time.perf_counter`` (monotonic); the wall-clock ``ts`` anchor is
+    derived once per span so exported traces line up with log
+    timestamps.
+
+Hot-path cost
+    The global :class:`Tracer` is refcount-enabled. While disabled
+    every instrumentation point is one attribute read and a branch.
+    While enabled, finished spans are appended to a **per-thread
+    buffer** (registered once under a lock, then plain ``list.append``
+    — the same lock-free sharding idiom as
+    :mod:`repro.obs.counters`), and drained only when a trace
+    completes. The ``bench_metrics_smoke.py`` overhead gate holds the
+    end-to-end cost to <=2%.
+
+Tail-based sampling
+    Head sampling alone keeps the wrong traces: the interesting ones
+    are the failures and the outliers you could not predict at the
+    front door. :class:`TraceStore` buffers each trace until its root
+    span completes and then keeps it if (a) the trace did not end
+    ``ok`` (errors, sheds, expired deadlines are kept at 100%), (b) it
+    won the configured head-sample coin flip, or (c) its duration
+    lands in the slowest-``k``% of a sliding window. Kept traces live
+    in a bounded in-memory map and, when a directory is configured,
+    as one ``trace-<id>.json`` file each (oldest evicted first).
+
+Surfaces
+    ``GET /trace/<id>`` (span tree JSON, ``?format=chrome`` for a
+    Chrome-trace document reusing :mod:`repro.obs.timeline`
+    conventions) and ``GET /traces?slowest=N`` are mounted on both
+    observability daemons via :func:`repro.obs.httpd.obs_route`;
+    ``manymap trace RUN_OR_URL`` renders the tree with self-time
+    attribution; OpenMetrics exemplars on the serve latency histogram
+    link p99 buckets to trace ids.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import random
+import threading
+import time
+import uuid
+from collections import OrderedDict, deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Span",
+    "TraceConfig",
+    "TraceContext",
+    "TraceStore",
+    "Tracer",
+    "TRACER",
+    "render_trace_tree",
+    "trace_chrome",
+]
+
+
+def _new_id() -> str:
+    """A 16-hex-digit id; unique enough for spans, cheap to compare."""
+
+    return uuid.uuid4().hex[:16]
+
+
+# --------------------------------------------------------------------- #
+# propagation token
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The immutable token that links spans into one trace.
+
+    ``trace_id`` names the trace; ``span_id`` is the would-be parent
+    of any child span created under this context (``None`` for a
+    capture root that has no parent span). ``sampled`` carries the
+    *head*-sampling decision made at the root so every hop agrees —
+    tail sampling can still keep an unsampled trace if it errors or
+    lands in the slowest-k%.
+    """
+
+    trace_id: str
+    span_id: Optional[str] = None
+    sampled: bool = True
+
+    def child(self, span_id: str) -> "TraceContext":
+        return replace(self, span_id=span_id)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "sampled": bool(self.sampled),
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, Any]) -> "TraceContext":
+        if not isinstance(doc, dict):
+            raise ValueError("trace context must be an object")
+        trace_id = doc.get("trace_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            raise ValueError("trace context needs a non-empty trace_id")
+        span_id = doc.get("span_id")
+        if span_id is not None and not isinstance(span_id, str):
+            raise ValueError("trace context span_id must be a string")
+        return cls(
+            trace_id=trace_id,
+            span_id=span_id,
+            sampled=bool(doc.get("sampled", True)),
+        )
+
+
+# --------------------------------------------------------------------- #
+# spans
+# --------------------------------------------------------------------- #
+
+
+class Span:
+    """One timed node of a trace. Mutable until :meth:`Tracer.end_span`."""
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "ts",
+        "start",
+        "dur_s",
+        "status",
+        "sampled",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        name: str,
+        ts: float,
+        start: float,
+        sampled: bool = True,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.ts = ts  # wall-clock anchor (unix seconds) of span start
+        self.start = start  # perf_counter at span start
+        self.dur_s = 0.0
+        self.status = "ok"
+        self.sampled = sampled
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+
+    @property
+    def ctx(self) -> TraceContext:
+        return TraceContext(self.trace_id, self.span_id, self.sampled)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "record": "span",
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "ts": self.ts,
+            "dur_s": self.dur_s,
+            "status": self.status,
+            "attrs": self.attrs,
+        }
+
+
+# --------------------------------------------------------------------- #
+# the tracer
+# --------------------------------------------------------------------- #
+
+
+class _CapturedSpans:
+    """Result box for :meth:`Tracer.capture`."""
+
+    __slots__ = ("spans",)
+
+    def __init__(self) -> None:
+        self.spans: List[Dict[str, Any]] = []
+
+
+class Tracer:
+    """Span factory + lock-free per-thread span buffers.
+
+    ``clock``/``wall``/``rng`` are injectable so tail-sampling and
+    span-timing tests are deterministic. The global :data:`TRACER`
+    uses the real clocks.
+    """
+
+    PENDING_MAX = 1024  # completed-but-unclaimed traces kept at most
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        wall: Callable[[], float] = time.time,
+        rng: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.clock = clock
+        self.wall = wall
+        self.rng = rng or random.random
+        self._lock = threading.Lock()
+        self._refs = 0
+        self._on = False
+        self._local = threading.local()
+        self._buffers: List[List[Dict[str, Any]]] = []
+        # finished spans moved out of thread buffers, keyed by trace_id
+        self._pending: Dict[str, List[Dict[str, Any]]] = {}
+        # (hist_name, log2 bucket exponent) -> (value, trace_id, unix ts)
+        self._exemplars: Dict[Tuple[str, int], Tuple[float, str, float]] = {}
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    @property
+    def enabled(self) -> bool:
+        return self._on
+
+    def enable(self) -> None:
+        """Refcounted: every plane (serve, map run) that wants spans
+        calls enable() on start and disable() on shutdown."""
+
+        with self._lock:
+            self._refs += 1
+            self._on = True
+
+    def disable(self) -> None:
+        with self._lock:
+            self._refs = max(0, self._refs - 1)
+            self._on = self._refs > 0
+            if not self._on:
+                self._drain_locked()
+                self._pending.clear()
+                self._exemplars.clear()
+
+    def new_id(self) -> str:
+        return _new_id()
+
+    # -- per-thread buffer (counters.py sharding idiom) ---------------- #
+
+    def _buf(self) -> List[Dict[str, Any]]:
+        buf = getattr(self._local, "buf", None)
+        if buf is None:
+            buf = []
+            with self._lock:
+                self._buffers.append(buf)
+            self._local.buf = buf
+        return buf
+
+    def _drain_locked(self) -> None:
+        """Move finished spans from every thread buffer into _pending.
+
+        Writers only ever append; we copy the first ``n`` items and
+        delete exactly those, so a concurrent append is never lost.
+        """
+
+        for buf in self._buffers:
+            n = len(buf)
+            if not n:
+                continue
+            items = buf[:n]
+            del buf[:n]
+            for rec in items:
+                self._pending.setdefault(rec["trace_id"], []).append(rec)
+        while len(self._pending) > self.PENDING_MAX:
+            self._pending.pop(next(iter(self._pending)))
+
+    def take(self, trace_id: str) -> List[Dict[str, Any]]:
+        """Claim every finished span of ``trace_id`` (across threads)."""
+
+        with self._lock:
+            self._drain_locked()
+            return self._pending.pop(trace_id, [])
+
+    # -- span creation ------------------------------------------------- #
+
+    def start_span(
+        self,
+        name: str,
+        parent: Optional[TraceContext] = None,
+        trace_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        sampled: bool = True,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        """Open a span; explicit ids win over ``parent``'s."""
+
+        if parent is not None:
+            trace_id = trace_id or parent.trace_id
+            if parent_id is None:
+                parent_id = parent.span_id
+            sampled = parent.sampled
+        return Span(
+            trace_id=trace_id or _new_id(),
+            span_id=_new_id(),
+            parent_id=parent_id,
+            name=name,
+            ts=self.wall(),
+            start=self.clock(),
+            sampled=sampled,
+            attrs=attrs,
+        )
+
+    def end_span(self, span: Span, status: Optional[str] = None) -> Dict[str, Any]:
+        """Close a span and park it in this thread's buffer."""
+
+        span.dur_s = max(0.0, self.clock() - span.start)
+        if status is not None:
+            span.status = status
+        rec = span.to_json()
+        self._buf().append(rec)
+        return rec
+
+    def record(
+        self,
+        name: str,
+        ctx: Optional[TraceContext],
+        start: float,
+        end: float,
+        status: str = "ok",
+        **attrs: Any,
+    ) -> Optional[Dict[str, Any]]:
+        """Emit an already-timed span (perf_counter domain) under ctx."""
+
+        if not self._on or ctx is None:
+            return None
+        now_perf = self.clock()
+        rec = {
+            "record": "span",
+            "trace_id": ctx.trace_id,
+            "span_id": _new_id(),
+            "parent_id": ctx.span_id,
+            "name": name,
+            "ts": self.wall() - (now_perf - start),
+            "dur_s": max(0.0, end - start),
+            "status": status,
+            "attrs": attrs,
+        }
+        self._buf().append(rec)
+        return rec
+
+    # -- ambient (thread-local) context -------------------------------- #
+
+    def current(self) -> Optional[TraceContext]:
+        return getattr(self._local, "ctx", None)
+
+    @contextmanager
+    def use(self, ctx: Optional[TraceContext]) -> Iterator[None]:
+        """Make ``ctx`` the ambient parent for :meth:`span` on this thread."""
+
+        prev = getattr(self._local, "ctx", None)
+        self._local.ctx = ctx
+        try:
+            yield
+        finally:
+            self._local.ctx = prev
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Optional[Span]]:
+        """Child span of the ambient context; no-op (yields ``None``)
+        when tracing is off or no trace is in flight on this thread."""
+
+        ctx = self.current() if self._on else None
+        if ctx is None:
+            yield None
+            return
+        sp = self.start_span(name, parent=ctx, attrs=attrs)
+        prev = self._local.ctx
+        self._local.ctx = sp.ctx
+        try:
+            yield sp
+        except BaseException:
+            self._local.ctx = prev
+            self.end_span(sp, status="error")
+            raise
+        self._local.ctx = prev
+        self.end_span(sp)
+
+    # -- capture + graft (the batcher's span-sharing machinery) -------- #
+
+    @contextmanager
+    def capture(self) -> Iterator[_CapturedSpans]:
+        """Collect the spans emitted on this thread (and its ambient
+        context) under a throwaway trace, for grafting elsewhere.
+
+        The batcher executes one pooled batch for many requests; it
+        captures the kernel spans once and grafts a copy into every
+        member trace so each kept trace is self-contained.
+        """
+
+        box = _CapturedSpans()
+        if not self._on:
+            yield box
+            return
+        tid = "cap-" + _new_id()
+        prev = getattr(self._local, "ctx", None)
+        self._local.ctx = TraceContext(tid, None, True)
+        try:
+            yield box
+        finally:
+            self._local.ctx = prev
+            box.spans = self.take(tid)
+
+    def graft(
+        self,
+        spans: Iterable[Dict[str, Any]],
+        trace_id: str,
+        parent_id: Optional[str],
+    ) -> List[Dict[str, Any]]:
+        """Copy captured spans into ``trace_id``: fresh span ids,
+        internal parent links remapped, roots re-parented under
+        ``parent_id``."""
+
+        spans = list(spans)
+        if not spans:
+            return []
+        idmap = {rec["span_id"]: _new_id() for rec in spans}
+        out: List[Dict[str, Any]] = []
+        for rec in spans:
+            new = dict(rec)
+            new["attrs"] = dict(rec.get("attrs") or {})
+            new["trace_id"] = trace_id
+            new["span_id"] = idmap[rec["span_id"]]
+            new["parent_id"] = idmap.get(rec.get("parent_id"), parent_id)
+            out.append(new)
+        self._buf().extend(out)
+        return out
+
+    # -- exemplars ------------------------------------------------------ #
+
+    def exemplar(self, hist: str, value: float, trace_id: str) -> None:
+        """Remember (hist, bucket) -> latest trace id, for OpenMetrics
+        exemplars. Bucketing mirrors :func:`repro.obs.hist._bucket`."""
+
+        if not self._on or not trace_id:
+            return
+        exp = 0 if value <= 0.0 else math.frexp(value)[1]
+        with self._lock:
+            self._exemplars[(hist, exp)] = (float(value), trace_id, self.wall())
+
+    def exemplars(self) -> Dict[str, Dict[int, Tuple[float, str, float]]]:
+        """Snapshot: hist name -> {bucket exponent: (value, trace_id, ts)}."""
+
+        out: Dict[str, Dict[int, Tuple[float, str, float]]] = {}
+        with self._lock:
+            for (hist, exp), val in self._exemplars.items():
+                out.setdefault(hist, {})[exp] = val
+        return out
+
+
+TRACER = Tracer()
+"""The process-global tracer every instrumentation point uses."""
+
+
+# --------------------------------------------------------------------- #
+# configuration
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Tracing knobs, shared by ``MapOptions.tracing`` and
+    ``ServeConfig.tracing``. Frozen and picklable (it crosses process
+    boundaries inside ``MapOptions``).
+
+    ``sample`` is the *head* rate applied to traces that finish ``ok``
+    and are not slow; errored/shed/deadline-expired traces and the
+    slowest-``slowest_pct``% (sliding window) are always kept.
+    """
+
+    enabled: bool = True
+    dir: Optional[str] = None  # on-disk store; None = in-memory only
+    sample: float = 1.0  # head-sample rate for fast, clean traces
+    slowest_pct: float = 5.0  # tail: always keep the slowest k%
+    max_traces: int = 256  # kept-trace bound (memory and disk)
+
+    def validated(self) -> "TraceConfig":
+        if not (0.0 <= float(self.sample) <= 1.0):
+            raise ValueError("tracing sample must be in [0, 1]")
+        if not (0.0 <= float(self.slowest_pct) <= 100.0):
+            raise ValueError("tracing slowest_pct must be in [0, 100]")
+        if int(self.max_traces) < 1:
+            raise ValueError("tracing max_traces must be >= 1")
+        return self
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "enabled": bool(self.enabled),
+            "dir": self.dir,
+            "sample": float(self.sample),
+            "slowest_pct": float(self.slowest_pct),
+            "max_traces": int(self.max_traces),
+        }
+
+
+# --------------------------------------------------------------------- #
+# the tail-sampling trace store
+# --------------------------------------------------------------------- #
+
+
+class TraceStore:
+    """Completed-trace sink: tail-based sampling + bounded retention.
+
+    One store per plane (a serve instance, or a ``map_file`` run).
+    :meth:`finish` closes a root span, applies the keep/drop decision
+    and — for kept traces — assembles the trace document, bounds the
+    in-memory map and mirrors it to ``config.dir`` when set.
+    """
+
+    WINDOW = 256  # recent root durations feeding the slowest-k% cut
+
+    def __init__(self, config: TraceConfig, tracer: Optional[Tracer] = None) -> None:
+        self.config = config.validated()
+        self.tracer = tracer or TRACER
+        self._lock = threading.Lock()
+        self._traces: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._durations: deque = deque(maxlen=self.WINDOW)
+        self.started = 0
+        self.kept = 0
+        self.dropped = 0
+        if self.config.dir:
+            os.makedirs(self.config.dir, exist_ok=True)
+
+    # -- sampling ------------------------------------------------------- #
+
+    def head_sampled(self) -> bool:
+        """The root-creation coin flip, propagated with the context."""
+
+        s = float(self.config.sample)
+        if s >= 1.0:
+            return True
+        if s <= 0.0:
+            return False
+        return self.tracer.rng() < s
+
+    def _slow_locked(self, dur_s: float) -> bool:
+        pct = float(self.config.slowest_pct)
+        if pct <= 0.0:
+            return False
+        if pct >= 100.0:
+            return True
+        window = sorted(self._durations)
+        # Keep if dur lands at or above the (100-pct) percentile of the
+        # recent window (the window already includes this duration).
+        idx = int(math.ceil(len(window) * (1.0 - pct / 100.0)))
+        idx = min(max(idx - 1, 0), len(window) - 1)
+        return dur_s >= window[idx] and dur_s > 0.0
+
+    # -- completion ----------------------------------------------------- #
+
+    def finish(self, root: Optional[Span], status: str = "ok") -> bool:
+        """Close ``root``, decide keep/drop, store if kept.
+
+        Returns True when the trace was retained. The trace's spans
+        are always drained from the tracer either way (dropped traces
+        must not leak buffer memory).
+        """
+
+        if root is None:
+            return False
+        self.tracer.end_span(root, status=status)
+        dur = root.dur_s
+        with self._lock:
+            self.started += 1
+            self._durations.append(dur)
+            keep = status != "ok" or root.sampled or self._slow_locked(dur)
+            if not keep:
+                self.dropped += 1
+        spans = self.tracer.take(root.trace_id)
+        if not keep:
+            return False
+        spans.sort(key=lambda rec: rec.get("ts", 0.0))
+        doc = {
+            "record": "trace",
+            "trace_id": root.trace_id,
+            "root": root.name,
+            "status": status,
+            "ts": root.ts,
+            "duration_ms": dur * 1000.0,
+            "n_spans": len(spans),
+            "spans": spans,
+        }
+        evicted: List[str] = []
+        with self._lock:
+            self.kept += 1
+            self._traces[root.trace_id] = doc
+            while len(self._traces) > int(self.config.max_traces):
+                evicted.append(self._traces.popitem(last=False)[0])
+        if self.config.dir:
+            self._write(doc)
+            for tid in evicted:
+                try:
+                    os.unlink(os.path.join(self.config.dir, "trace-%s.json" % tid))
+                except OSError:
+                    pass
+        return True
+
+    def _write(self, doc: Dict[str, Any]) -> None:
+        from ..utils.fsio import atomic_write_json
+
+        path = os.path.join(self.config.dir, "trace-%s.json" % doc["trace_id"])
+        try:
+            atomic_write_json(path, doc, fsync=False)
+        except OSError:  # a full disk must never kill the serving plane
+            pass
+
+    # -- queries -------------------------------------------------------- #
+
+    def get(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            doc = self._traces.get(trace_id)
+        if doc is not None:
+            return doc
+        if self.config.dir:  # evicted from memory but maybe still on disk
+            import json
+
+            path = os.path.join(self.config.dir, "trace-%s.json" % trace_id)
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    return json.load(fh)
+            except (OSError, ValueError):
+                return None
+        return None
+
+    def slowest(self, n: int = 10) -> List[Dict[str, Any]]:
+        """Summaries of the ``n`` slowest kept traces, slowest first."""
+
+        with self._lock:
+            docs = list(self._traces.values())
+        docs.sort(key=lambda d: d.get("duration_ms", 0.0), reverse=True)
+        return [
+            {
+                "trace_id": d["trace_id"],
+                "root": d.get("root", ""),
+                "status": d.get("status", "ok"),
+                "ts": d.get("ts", 0.0),
+                "duration_ms": d.get("duration_ms", 0.0),
+                "n_spans": d.get("n_spans", 0),
+            }
+            for d in docs[: max(0, int(n))]
+        ]
+
+    def summary(self) -> Dict[str, Any]:
+        """The manifest/``/status`` ``tracing`` block."""
+
+        with self._lock:
+            return {
+                "enabled": True,
+                "started": self.started,
+                "kept": self.kept,
+                "dropped": self.dropped,
+                "sample": float(self.config.sample),
+                "slowest_pct": float(self.config.slowest_pct),
+                "max_traces": int(self.config.max_traces),
+                "dir": self.config.dir or "",
+            }
+
+
+# --------------------------------------------------------------------- #
+# rendering: span tree + Chrome trace
+# --------------------------------------------------------------------- #
+
+
+def _index_spans(
+    spans: List[Dict[str, Any]],
+) -> Tuple[List[Dict[str, Any]], Dict[Optional[str], List[Dict[str, Any]]]]:
+    """(roots, children-by-parent); children sorted by wall ts."""
+
+    ids = {rec.get("span_id") for rec in spans}
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    roots: List[Dict[str, Any]] = []
+    for rec in spans:
+        parent = rec.get("parent_id")
+        if parent in ids:
+            children.setdefault(parent, []).append(rec)
+        else:
+            roots.append(rec)
+    for kids in children.values():
+        kids.sort(key=lambda r: r.get("ts", 0.0))
+    roots.sort(key=lambda r: r.get("ts", 0.0))
+    return roots, children
+
+
+def _self_ms(rec: Dict[str, Any], children: Dict[Optional[str], List[Dict[str, Any]]]) -> float:
+    kids = children.get(rec.get("span_id"), [])
+    child_s = sum(k.get("dur_s", 0.0) for k in kids)
+    return max(0.0, rec.get("dur_s", 0.0) - child_s) * 1000.0
+
+
+def _fmt_attrs(attrs: Dict[str, Any], limit: int = 6) -> str:
+    parts = []
+    for key in sorted(attrs)[:limit]:
+        val = attrs[key]
+        if isinstance(val, float):
+            val = "%.3g" % val
+        parts.append("%s=%s" % (key, val))
+    return " ".join(parts)
+
+
+def render_trace_tree(doc: Dict[str, Any]) -> str:
+    """ASCII span tree with per-span self-time attribution."""
+
+    spans = list(doc.get("spans", []))
+    lines = [
+        "trace %s  root=%s  status=%s  duration=%.2f ms  spans=%d"
+        % (
+            doc.get("trace_id", "?"),
+            doc.get("root", "?"),
+            doc.get("status", "?"),
+            doc.get("duration_ms", 0.0),
+            len(spans),
+        )
+    ]
+    if not spans:
+        lines.append("  (no spans)")
+        return "\n".join(lines)
+    roots, children = _index_spans(spans)
+
+    def walk(rec: Dict[str, Any], prefix: str, is_last: bool) -> None:
+        branch = "└─ " if is_last else "├─ "
+        dur_ms = rec.get("dur_s", 0.0) * 1000.0
+        self_ms = _self_ms(rec, children)
+        status = rec.get("status", "ok")
+        line = "%s%s%-22s %9.2f ms  (self %8.2f ms)" % (
+            prefix,
+            branch,
+            rec.get("name", "?"),
+            dur_ms,
+            self_ms,
+        )
+        if status != "ok":
+            line += "  [%s]" % status
+        attrs = _fmt_attrs(rec.get("attrs") or {})
+        if attrs:
+            line += "  " + attrs
+        lines.append(line)
+        kids = children.get(rec.get("span_id"), [])
+        ext = "   " if is_last else "│  "
+        for i, kid in enumerate(kids):
+            walk(kid, prefix + ext, i == len(kids) - 1)
+
+    for i, root in enumerate(roots):
+        walk(root, "", i == len(roots) - 1)
+    return "\n".join(lines)
+
+
+def trace_chrome(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """One trace as a Chrome-trace document (``chrome://tracing`` /
+    Perfetto), following :mod:`repro.obs.timeline` conventions: ``X``
+    complete slices in microseconds rebased to the earliest span, one
+    lane ("thread") per tree depth, ``M`` metadata naming the lanes."""
+
+    from .timeline import chrome_document
+
+    spans = list(doc.get("spans", []))
+    roots, children = _index_spans(spans)
+    t0 = min((rec.get("ts", 0.0) for rec in spans), default=0.0)
+    events: List[Dict[str, Any]] = []
+    depths: Dict[str, int] = {}
+
+    def walk(rec: Dict[str, Any], depth: int) -> None:
+        depths.setdefault(rec.get("name", "span"), depth)
+        args = dict(rec.get("attrs") or {})
+        args["span_id"] = rec.get("span_id")
+        if rec.get("status", "ok") != "ok":
+            args["status"] = rec.get("status")
+        events.append(
+            {
+                "name": rec.get("name", "span"),
+                "cat": "trace",
+                "ph": "X",
+                "pid": 0,
+                "tid": depth,
+                "ts": max(0.0, (rec.get("ts", 0.0) - t0)) * 1e6,
+                "dur": max(0.0, rec.get("dur_s", 0.0)) * 1e6,
+                "args": args,
+            }
+        )
+        for kid in children.get(rec.get("span_id"), []):
+            walk(kid, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    # Clamp each lane non-decreasing (clock skew across threads).
+    prev_end: Dict[int, float] = {}
+    for ev in sorted(events, key=lambda e: (e["tid"], e["ts"])):
+        floor = prev_end.get(ev["tid"], 0.0)
+        if ev["ts"] < floor:
+            ev["ts"] = floor
+        prev_end[ev["tid"]] = ev["ts"] + ev["dur"]
+    meta: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "args": {"name": "manymap trace %s" % doc.get("trace_id", "?")},
+        }
+    ]
+    for depth in sorted({ev["tid"] for ev in events}):
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": depth,
+                "args": {"name": "depth %d" % depth},
+            }
+        )
+    return chrome_document(
+        meta + sorted(events, key=lambda e: e["ts"]),
+        run_id=doc.get("trace_id", ""),
+        label=doc.get("root", ""),
+        status=doc.get("status", "ok"),
+        duration_ms=doc.get("duration_ms", 0.0),
+    )

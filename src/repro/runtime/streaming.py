@@ -76,7 +76,9 @@ class StreamStats:
     """What flowed through one :func:`stream_map` run.
 
     ``journal`` carries the run journal's summary when the run was
-    durable (``MapOptions.run_dir``); ``None`` otherwise.
+    durable (``MapOptions.run_dir``); ``None`` otherwise. ``tracing``
+    carries the trace store's summary when request-scoped tracing was
+    on (``MapOptions.tracing``); ``None`` otherwise.
     """
 
     n_reads: int = 0
@@ -86,6 +88,7 @@ class StreamStats:
     n_chunks: int = 0
     n_windows: int = 0
     journal: Optional[Dict] = None
+    tracing: Optional[Dict] = None
 
 
 @dataclass

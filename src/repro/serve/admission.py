@@ -35,6 +35,7 @@ from typing import Dict, List, Optional
 from ..api import MapRequest, ServeConfig
 from ..errors import ServeError
 from ..obs.counters import COUNTERS
+from ..obs.tracing import TRACER, TraceContext
 
 __all__ = [
     "AdmissionError",
@@ -90,12 +91,22 @@ class DeadlineError(ServeError):
 
 
 class Ticket:
-    """One admitted request: the unit flowing queue → batch → response."""
+    """One admitted request: the unit flowing queue → batch → response.
 
-    __slots__ = ("request", "enqueued_at", "deadline", "future")
+    ``trace`` is the request's root span context (None when tracing is
+    off): the queue emits the ``admission.queue`` wait span under it at
+    dequeue, the batcher parents its batch/kernel spans under it.
+    """
 
-    def __init__(self, request: MapRequest) -> None:
+    __slots__ = ("request", "enqueued_at", "deadline", "future", "trace")
+
+    def __init__(
+        self,
+        request: MapRequest,
+        trace: Optional[TraceContext] = None,
+    ) -> None:
         self.request = request
+        self.trace = trace
         self.enqueued_at = time.perf_counter()
         timeout_ms = getattr(request, "timeout_ms", None)
         #: absolute ``perf_counter`` deadline, or None (wait forever).
@@ -142,11 +153,16 @@ class AdmissionQueue:
 
     # -- the request side ---------------------------------------------- #
 
-    def submit(self, request: MapRequest) -> Ticket:
+    def submit(
+        self,
+        request: MapRequest,
+        trace: Optional[TraceContext] = None,
+    ) -> Ticket:
         """Admit ``request`` or raise an :class:`AdmissionError`.
 
         Sheds *before* touching the queue, so rejected requests cost
-        O(1) and never perturb queued work.
+        O(1) and never perturb queued work. ``trace`` is the request's
+        root span context, carried on the ticket for the batcher.
         """
         cfg = self.config
         if request.n_reads > cfg.max_reads_per_request:
@@ -171,7 +187,7 @@ class AdmissionQueue:
                     f"tenant {tenant!r} at quota ({cfg.tenant_quota} "
                     f"outstanding)"
                 )
-            ticket = Ticket(request)
+            ticket = Ticket(request, trace=trace)
             if tenant not in self._queues:
                 self._queues[tenant] = []
                 self._rotation.append(tenant)
@@ -221,7 +237,20 @@ class AdmissionQueue:
                 if left <= 0 or self._stopped or self._draining:
                     break
                 self._cond.wait(min(left, 0.05))
-            return self._pop_locked(target_reads)
+            batch = self._pop_locked(target_reads)
+            depth_after = self._queued
+        now = time.perf_counter()
+        for ticket in batch:
+            if ticket.trace is not None:
+                TRACER.record(
+                    "admission.queue",
+                    ticket.trace,
+                    ticket.enqueued_at,
+                    now,
+                    tenant=ticket.request.tenant,
+                    depth_after=depth_after,
+                )
+        return batch
 
     def _queued_reads_locked(self) -> int:
         return sum(

@@ -37,6 +37,7 @@ from ..obs.counters import COUNTERS
 from ..obs.events import EVENTS
 from ..obs.hist import HISTOGRAMS
 from ..obs.logs import get_logger
+from ..obs.tracing import TRACER
 from .admission import AdmissionQueue, DeadlineError, Ticket
 
 __all__ = ["AdaptiveBatcher", "BatchController"]
@@ -203,9 +204,40 @@ class AdaptiveBatcher:
             batch_id = self._next_batch_id
             self._next_batch_id += 1
         n_reads = sum(t.request.n_reads for t in tickets)
+        traced = [t for t in tickets if t.trace is not None]
         t0 = time.perf_counter()
-        results = self._map_tickets(tickets)
-        map_ms = (time.perf_counter() - t0) * 1000.0
+        if traced:
+            # Execute under a capture so the pooled run's kernel spans
+            # are collected once, then grafted into every member trace.
+            with TRACER.capture() as captured:
+                results = self._map_tickets(tickets)
+        else:
+            results = self._map_tickets(tickets)
+        t1 = time.perf_counter()
+        map_ms = (t1 - t0) * 1000.0
+        if traced:
+            # Every coalesced member gets its own serve.batch span, all
+            # linked by one shared `batch_span` uid (plus batch_id), so
+            # each kept trace is self-contained yet provably shared.
+            link = TRACER.new_id()
+            for ticket in traced:
+                bspan = TRACER.record(
+                    "serve.batch",
+                    ticket.trace,
+                    t0,
+                    t1,
+                    batch_id=batch_id,
+                    batch_span=link,
+                    requests=len(tickets),
+                    reads=n_reads,
+                    coalesced=len(tickets) > 1,
+                )
+                if bspan is not None and captured.spans:
+                    TRACER.graft(
+                        captured.spans,
+                        ticket.trace.trace_id,
+                        bspan["span_id"],
+                    )
 
         COUNTERS.inc("serve.batches")
         COUNTERS.inc("serve.batch_requests", len(tickets))
@@ -239,6 +271,14 @@ class AdaptiveBatcher:
             )
             COUNTERS.inc("serve.ok" if result.ok else "serve.errors")
             HISTOGRAMS.observe("serve.latency_s", total_ms / 1000.0)
+            if ticket.trace is not None:
+                # OpenMetrics exemplar: this latency bucket's freshest
+                # trace id, scraped alongside the histogram itself.
+                TRACER.exemplar(
+                    "serve.latency_s",
+                    total_ms / 1000.0,
+                    ticket.trace.trace_id,
+                )
             HISTOGRAMS.observe("serve.queue_wait_s", queue_ms / 1000.0)
             self.controller.observe(total_ms)
             self.queue.done(ticket)
@@ -288,10 +328,14 @@ class AdaptiveBatcher:
                 alns = self.session.map_batch(reads, with_cigar=with_cigar)
             except Exception:
                 # A poison read (or skip semantics): isolate per request.
+                # Each rerun runs under its own ticket's trace context,
+                # so its span lands in that request's trace — not in the
+                # shared batch capture.
                 for ticket in group:
-                    out[id(ticket)] = self.session.map_request(
-                        ticket.request
-                    )
+                    with TRACER.use(ticket.trace):
+                        out[id(ticket)] = self.session.map_request(
+                            ticket.request
+                        )
                 continue
             cursor = 0
             for ticket in group:

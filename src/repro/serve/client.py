@@ -22,6 +22,7 @@ unexpected statuses) are never retried.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import random
 import time
@@ -32,6 +33,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from ..api import MapRequest, MapResult
 from ..errors import ServeError
+from ..obs.tracing import TRACER, TraceContext
 
 __all__ = ["RetryPolicy", "ServeClient", "ShedError"]
 
@@ -100,6 +102,13 @@ class ServeClient:
     ``retry`` enables transparent retries on :meth:`map`; ``sleep``
     and ``rng`` are injectable for deterministic tests (``rng`` must
     return uniform floats in [0, 1)).
+
+    ``trace=True`` attaches a fresh
+    :class:`~repro.obs.tracing.TraceContext` to every request that
+    does not already carry one, so a tracing-enabled server links its
+    spans under the client's trace id. Retries reuse the *same*
+    trace_id with a *new* span_id per attempt — the attempts are
+    distinct causal parents inside one logical trace.
     """
 
     def __init__(
@@ -109,12 +118,14 @@ class ServeClient:
         retry: Optional[RetryPolicy] = None,
         sleep: Callable[[float], None] = time.sleep,
         rng: Optional[Callable[[], float]] = None,
+        trace: bool = False,
     ) -> None:
         self.url = url.rstrip("/")
         self.timeout_s = timeout_s
         self.retry = retry.validated() if retry is not None else None
         self._sleep = sleep
         self._rng = rng if rng is not None else random.random
+        self.trace = trace
         #: attempts spent by the most recent :meth:`map` call.
         self.last_attempts = 0
 
@@ -130,6 +141,7 @@ class ServeClient:
         """
         policy = self.retry
         self.last_attempts = 1
+        request = self._with_trace(request, attempt=1)
         if policy is None:
             return self._map_once(request)
         t0 = time.monotonic()
@@ -155,6 +167,30 @@ class ServeClient:
                 raise err
             self._sleep(delay)
             attempt += 1
+            request = self._with_trace(request, attempt=attempt)
+
+    def _with_trace(self, request: MapRequest, attempt: int) -> MapRequest:
+        """Attach/refresh the request's trace context for one attempt.
+
+        Same ``trace_id`` across attempts (it names the logical
+        request); a fresh ``span_id`` per retry (each attempt is its
+        own causal parent on the server). A caller-supplied context is
+        honored as-is on the first attempt.
+        """
+        if not self.trace:
+            return request
+        ctx = request.trace
+        if ctx is None:
+            ctx = TraceContext(
+                trace_id=TRACER.new_id(),
+                span_id=TRACER.new_id(),
+                sampled=True,
+            )
+        elif attempt > 1:
+            ctx = dataclasses.replace(ctx, span_id=TRACER.new_id())
+        else:
+            return request
+        return dataclasses.replace(request, trace=ctx)
 
     def _map_once(self, request: MapRequest) -> MapResult:
         body = json.dumps(request.to_json()).encode("utf-8")
@@ -204,6 +240,17 @@ class ServeClient:
     def events(self, **params) -> Dict:
         query = "&".join(f"{k}={v}" for k, v in params.items())
         return json.loads(self._get("/events" + ("?" + query if query else "")))
+
+    def traces(self, slowest: int = 10) -> Dict:
+        """``GET /traces?slowest=N`` — kept-trace summaries."""
+        return json.loads(self._get(f"/traces?slowest={int(slowest)}"))
+
+    def get_trace(self, trace_id: str, chrome: bool = False) -> Dict:
+        """``GET /trace/<id>`` — one trace's span tree (or Chrome doc)."""
+        path = f"/trace/{trace_id}"
+        if chrome:
+            path += "?format=chrome"
+        return json.loads(self._get(path))
 
     def healthy(self) -> bool:
         try:

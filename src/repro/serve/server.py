@@ -40,6 +40,7 @@ from ..obs.export import RunSampler
 from ..obs.httpd import json_reply, obs_route, text_reply
 from ..obs.logs import get_logger
 from ..obs.telemetry import Telemetry
+from ..obs.tracing import TRACER, TraceStore
 from .admission import AdmissionError, AdmissionQueue, DrainingError
 from .batcher import AdaptiveBatcher
 
@@ -85,6 +86,12 @@ class MappingServer:
         #: next start() if this process dies before answering them.
         self.request_journal = request_journal
         self.sampler = RunSampler(self.telemetry)
+        #: tail-sampling trace store (None unless ``config.tracing``).
+        self.traces: Optional[TraceStore] = (
+            TraceStore(self.config.tracing)
+            if self.config.tracing is not None and self.config.tracing.enabled
+            else None
+        )
         self.queue = AdmissionQueue(self.config, gauges=self.telemetry.gauges)
         self.batcher = AdaptiveBatcher(
             session, self.queue, self.config, gauges=self.telemetry.gauges
@@ -124,6 +131,8 @@ class MappingServer:
         self._server = await asyncio.start_server(
             self._handle, host=self.config.host, port=self.config.port
         )
+        if self.traces is not None:
+            TRACER.enable()
         self.batcher.start()
         EVENTS.emit("serve.start", url=self.url, run_id=self.telemetry.run_id)
         self._log.info("serving on %s", self.url)
@@ -163,6 +172,8 @@ class MappingServer:
                 DrainingError("server shut down before this request ran")
             )
         await loop.run_in_executor(None, self.batcher.join, 5.0)
+        if self.traces is not None:
+            TRACER.disable()
         server, self._server = self._server, None
         server.close()
         await server.wait_closed()
@@ -221,7 +232,7 @@ class MappingServer:
         headers = await self._read_headers(reader)
 
         if method == "GET":
-            reply = obs_route(self.sampler, path, query)
+            reply = obs_route(self.sampler, path, query, traces=self.traces)
             return reply if reply is not None else text_reply(
                 404, "not found\n"
             )
@@ -265,18 +276,22 @@ class MappingServer:
         except ParseError as exc:
             COUNTERS.inc("serve.errors")
             return json_reply(400, {"error": str(exc)})
+        root = self._trace_root(request)
         try:
-            ticket = self.queue.submit(request)
+            ticket = self.queue.submit(
+                request, trace=root.ctx if root is not None else None
+            )
         except AdmissionError as exc:
             COUNTERS.inc("serve.shed")
-            return json_reply(
-                exc.http_status,
-                {
-                    "error": str(exc),
-                    "request_id": request.request_id,
-                    "shed": True,
-                },
-            )
+            payload = {
+                "error": str(exc),
+                "request_id": request.request_id,
+                "shed": True,
+            }
+            if root is not None:
+                payload["trace_id"] = root.trace_id
+                self.traces.finish(root, status="shed")
+            return json_reply(exc.http_status, payload)
         if self.request_journal is not None:
             self.request_journal.admitted(request)
         try:
@@ -286,12 +301,47 @@ class MappingServer:
             if self.request_journal is not None:
                 # The client got an answer (an error one): not replayed.
                 self.request_journal.done(request.request_id, f"http:{status}")
-            return json_reply(
-                status, {"error": str(exc), "request_id": request.request_id}
-            )
+            payload = {"error": str(exc), "request_id": request.request_id}
+            if root is not None:
+                payload["trace_id"] = root.trace_id
+                self.traces.finish(
+                    root, status="deadline" if status == 504 else "error"
+                )
+            return json_reply(status, payload)
         if self.request_journal is not None:
             self.request_journal.done(request.request_id, result.status)
+        if root is not None:
+            result = result.replace(trace_id=root.trace_id)
+            self.traces.finish(
+                root, status="ok" if result.ok else "error"
+            )
         return json_reply(200 if result.ok else 400, result.to_json())
+
+    def _trace_root(self, request: MapRequest):
+        """Open the request's root span (None when tracing is off).
+
+        A client-supplied :class:`~repro.obs.tracing.TraceContext`
+        joins the caller's trace — its trace_id and head-sampling
+        decision are honored; otherwise a fresh trace starts with this
+        store's head-sample coin flip.
+        """
+        if self.traces is None:
+            return None
+        ctx = request.trace
+        return TRACER.start_span(
+            "serve.request",
+            trace_id=ctx.trace_id if ctx is not None else None,
+            parent_id=ctx.span_id if ctx is not None else None,
+            sampled=(
+                ctx.sampled if ctx is not None
+                else self.traces.head_sampled()
+            ),
+            attrs={
+                "request_id": request.request_id,
+                "tenant": request.tenant,
+                "reads": request.n_reads,
+            },
+        )
 
 
 class ServerThread:

@@ -139,6 +139,7 @@ class TestSurfaceSnapshot:
             "run_dir",
             "resume",
             "commit_reads",
+            "tracing",
         ]
         assert MapOptions() == MapOptions(
             backend="serial",
@@ -165,6 +166,7 @@ class TestSurfaceSnapshot:
             "with_cigar",
             "on_error",
             "timeout_ms",
+            "trace",
             "api_version",
         ]
         assert list(api.MapResult.__dataclass_fields__) == [
@@ -179,6 +181,7 @@ class TestSurfaceSnapshot:
             "queue_ms",
             "map_ms",
             "total_ms",
+            "trace_id",
             "api_version",
         ]
         assert list(api.ServeConfig.__dataclass_fields__) == [
@@ -195,6 +198,7 @@ class TestSurfaceSnapshot:
             "tenant_quota",
             "batch_workers",
             "drain_timeout_s",
+            "tracing",
         ]
 
 

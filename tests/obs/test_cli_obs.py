@@ -145,7 +145,7 @@ class TestTimelineAndProgress:
         )
         manifest = json.loads(metrics.read_text())
         assert validate(manifest, SCHEMA) == [], validate(manifest, SCHEMA)
-        assert manifest["schema_version"] == 8
+        assert manifest["schema_version"] == 9
         assert manifest["run_id"]
         hists = manifest["histograms"]
         assert hists["read.length"]["count"] == len(reads)
@@ -375,7 +375,7 @@ class TestReportCommand:
         _map(data, tmp_path, "-x", "test", "--metrics", str(metrics))
         assert main(["report", str(metrics), "--format", "json"]) == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["schema_version"] == 8
+        assert doc["schema_version"] == 9
         assert main(["report", str(metrics), "--format", "markdown"]) == 0
         out = capsys.readouterr().out
         assert "| Stage |" in out and "| GCUPS |" in out
@@ -423,6 +423,29 @@ class TestTrajectoryReport:
         out = capsys.readouterr().out
         assert "wavefront" in out and "metrics_smoke" in out
         assert "deadbeefca" in out
+
+    def test_serve_columns_appear_when_any_record_has_them(
+        self, tmp_path, capsys
+    ):
+        traj = tmp_path / "t.jsonl"
+        recs = self._write(traj, ["wavefront", "serve_smoke"])
+        recs[1]["rps"] = 42.5
+        recs[1]["p99_ms"] = 18.25
+        traj.write_text("".join(json.dumps(r) + "\n" for r in recs))
+        assert main(["report", "--trajectory", str(traj)]) == 0
+        out = capsys.readouterr().out
+        assert "rps" in out and "p99 ms" in out
+        assert "42.5" in out and "18.2" in out
+        # the map-only record renders "-" in the serve columns
+        wavefront_row = next(l for l in out.splitlines() if "wavefront" in l)
+        assert wavefront_row.rstrip("| ").endswith("-")
+
+    def test_no_serve_columns_for_map_only_history(self, tmp_path, capsys):
+        traj = tmp_path / "t.jsonl"
+        self._write(traj, ["wavefront"])
+        assert main(["report", "--trajectory", str(traj)]) == 0
+        out = capsys.readouterr().out
+        assert "rps" not in out and "p99 ms" not in out
 
     def test_conflicts_with_positionals(self, tmp_path):
         traj = tmp_path / "t.jsonl"

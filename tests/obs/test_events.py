@@ -39,6 +39,31 @@ class TestEmit:
         bus.emit("b")
         assert bus.counts() == {"a": 5, "b": 1}
 
+    def test_dropped_counts_ring_evictions(self):
+        from repro.obs.counters import COUNTERS
+
+        bus = EventBus(capacity=3)
+        before = COUNTERS.totals().get("events.dropped", 0)
+        for i in range(10):
+            bus.emit("tick", i=i)
+        assert bus.dropped == 7
+        after = COUNTERS.totals().get("events.dropped", 0)
+        assert after - before == 7
+
+    def test_dropped_zero_until_full(self):
+        bus = EventBus(capacity=8)
+        for _ in range(8):
+            bus.emit("x")
+        assert bus.dropped == 0
+
+    def test_clear_resets_dropped(self):
+        bus = EventBus(capacity=1)
+        bus.emit("a")
+        bus.emit("b")
+        assert bus.dropped == 1
+        bus.clear()
+        assert bus.dropped == 0
+
     def test_capacity_validated(self):
         with pytest.raises(ValueError):
             EventBus(capacity=0)

@@ -84,6 +84,49 @@ class TestRenderDashboard:
         assert "87.5% occupancy" in frame
         assert "10 batched / 2 fallback jobs" in frame
 
+    def test_serve_panel(self):
+        frame = render_dashboard(
+            beat(
+                serve={
+                    "requests": 20,
+                    "ok": 15,
+                    "errors": 1,
+                    "shed": 4,
+                    "shed_queue": 2,
+                    "shed_quota": 1,
+                    "shed_draining": 1,
+                    "batches": 6,
+                    "mean_requests_per_batch": 2.5,
+                    "mean_reads_per_batch": 12.0,
+                    "queue_depth_max": 7,
+                }
+            )
+        )
+        assert "20 requests" in frame
+        assert "15 ok / 1 err / 4 shed" in frame
+        assert "(queue 2 / quota 1 / drain 1)" in frame
+        assert "6 executed" in frame
+        assert "2.5 req / 12.0 reads per batch" in frame
+        assert "queue depth max 7" in frame
+
+    def test_serve_panel_hides_shed_split_when_clean(self):
+        frame = render_dashboard(
+            beat(serve={"requests": 3, "ok": 3, "shed": 0, "batches": 2})
+        )
+        assert "3 ok / 0 err / 0 shed" in frame
+        assert "(queue" not in frame
+
+    def test_tracing_line(self):
+        frame = render_dashboard(
+            beat(tracing={"kept": 4, "started": 20, "dropped": 16})
+        )
+        assert "4 kept / 20 started (16 sampled out)" in frame
+
+    def test_no_serve_panel_for_map_runs(self):
+        frame = render_dashboard(beat())
+        assert "serve" not in frame
+        assert "traces" not in frame
+
 
 class TestFileMode:
     def write_beats(self, path, recs, stale=True):

@@ -388,7 +388,7 @@ class TestManifestAndReport:
         )
         driver.run(reads)
         manifest = driver.metrics()
-        assert manifest["schema_version"] == 8
+        assert manifest["schema_version"] == 9
         assert manifest["config"]["on_error"] == "skip"
         faults = manifest["faults"]
         assert faults["n_faults"] == len(faults["quarantined"]) + len(

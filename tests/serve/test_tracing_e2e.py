@@ -1,0 +1,275 @@
+"""End-to-end tests of request-scoped tracing through the serve plane.
+
+A real :class:`~repro.serve.ServerThread` with ``ServeConfig.tracing``
+set, driven by real HTTP clients: every response must carry its
+``trace_id``, ``GET /trace/<id>`` must return the consistent
+root → admission → batch → kernel span tree, coalesced requests must
+share (link to) one batch execution, tail-based sampling must keep the
+deadline-expired trace while head-sampling out the fast clean ones —
+and the mapped PAF must be byte-identical to a tracing-off run.
+"""
+
+from __future__ import annotations
+
+import urllib.error
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import MapRequest, ServeConfig
+from repro.errors import ServeError
+from repro.obs.tracing import TRACER
+from repro.serve import ServeClient, ServerThread
+from repro.serve.client import RetryPolicy, ShedError
+
+
+def serve_config(**changes):
+    defaults = dict(
+        adaptive_batching=False,
+        max_batch_reads=64,
+        batch_timeout_ms=200.0,
+    )
+    defaults.update(changes)
+    return ServeConfig(**defaults)
+
+
+def tracing_config(**changes):
+    from repro.obs.tracing import TraceConfig
+
+    defaults = dict(sample=1.0, slowest_pct=5.0)
+    defaults.update(changes)
+    return TraceConfig(**defaults)
+
+
+def span_index(doc):
+    spans = doc["spans"]
+    by_id = {s["span_id"]: s for s in spans}
+    children = {}
+    for s in spans:
+        children.setdefault(s["parent_id"], []).append(s)
+    return by_id, children
+
+
+class TestTracedServe:
+    def test_concurrent_requests_trace_the_full_path(
+        self, session, sim_reads
+    ):
+        """The acceptance test: 8 concurrent traced requests."""
+        cfg = serve_config(tracing=tracing_config())
+        requests = [
+            MapRequest.make(sim_reads[2 * i : 2 * i + 2], request_id=f"t{i}")
+            for i in range(8)
+        ]
+        with ServerThread(session, cfg) as st:
+            client = ServeClient(st.url, trace=True)
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                results = list(pool.map(client.map, requests))
+            assert all(r.ok for r in results)
+            # Every response names its trace.
+            assert all(r.trace_id for r in results)
+            assert len({r.trace_id for r in results}) == 8
+
+            listing = client.traces(slowest=20)
+            assert listing["summary"]["kept"] == 8
+            kept_ids = {t["trace_id"] for t in listing["traces"]}
+            assert kept_ids == {r.trace_id for r in results}
+            # Slowest-first ordering.
+            durs = [t["duration_ms"] for t in listing["traces"]]
+            assert durs == sorted(durs, reverse=True)
+
+            batch_links = []
+            for res in results:
+                doc = client.get_trace(res.trace_id)
+                by_id, children = span_index(doc)
+                names = [s["name"] for s in doc["spans"]]
+                # One consistent tree: root -> admission + batch ->
+                # session -> kernel spans.
+                roots = [
+                    s for s in doc["spans"]
+                    if s["parent_id"] not in by_id
+                ]
+                assert [r["name"] for r in roots] == ["serve.request"]
+                root = roots[0]
+                kid_names = {
+                    s["name"] for s in children.get(root["span_id"], [])
+                }
+                assert "admission.queue" in kid_names
+                assert "serve.batch" in kid_names
+                assert "session.map_batch" in names
+                assert any(
+                    n in ("kernel.bucket", "kernel.fallback")
+                    for n in names
+                )
+                # kernel spans hang below the batch execution span.
+                batch = next(
+                    s for s in doc["spans"] if s["name"] == "serve.batch"
+                )
+                sess = next(
+                    s
+                    for s in doc["spans"]
+                    if s["name"] == "session.map_batch"
+                )
+                assert sess["parent_id"] == batch["span_id"]
+                kernels = [
+                    s
+                    for s in doc["spans"]
+                    if s["name"].startswith("kernel.")
+                ]
+                assert kernels
+                assert all(
+                    k["parent_id"] == sess["span_id"] for k in kernels
+                )
+                bucket_attrs = [
+                    k["attrs"]
+                    for k in kernels
+                    if k["name"] == "kernel.bucket"
+                ]
+                for attrs in bucket_attrs:
+                    assert attrs["lanes"] >= 1
+                    assert attrs["dp_cells"] > 0
+                    assert 0.0 < attrs["occupancy_pct"] <= 100.0
+                batch_links.append(batch["attrs"]["batch_span"])
+            # Coalesced requests link to the *same* batch execution:
+            # fewer distinct batch ids than requests, and the requests
+            # in one batch agree on the link uid.
+            assert len(set(batch_links)) < len(batch_links)
+
+    def test_paf_identical_with_tracing_off(self, session, sim_reads):
+        req = MapRequest.make(sim_reads[:4], request_id="same")
+        with ServerThread(session, serve_config()) as st:
+            plain = ServeClient(st.url).map(req)
+        with ServerThread(
+            session, serve_config(tracing=tracing_config())
+        ) as st:
+            traced = ServeClient(st.url, trace=True).map(req)
+        assert plain.ok and traced.ok
+        assert traced.paf == plain.paf
+        assert traced.read_names == plain.read_names
+        assert plain.trace_id == ""
+        assert traced.trace_id
+
+    def test_tail_sampling_keeps_deadline_drops_fast(
+        self, session, sim_reads
+    ):
+        """sample=0, slowest_pct=0: clean fast traces are dropped;
+        the deadline-expired one is retained at 100%."""
+        cfg = serve_config(
+            batch_timeout_ms=300.0,
+            tracing=tracing_config(sample=0.0, slowest_pct=0.0),
+        )
+        with ServerThread(session, cfg) as st:
+            client = ServeClient(st.url)
+            with pytest.raises(ServeError) as err:
+                client.map(MapRequest.make(sim_reads[:1], timeout_ms=20.0))
+            assert "504" in str(err.value)
+            fast = client.map(MapRequest.make(sim_reads[1:2]))
+            assert fast.ok
+            listing = client.traces(slowest=10)
+        summary = listing["summary"]
+        assert summary["started"] == 2
+        assert summary["kept"] == 1
+        assert summary["dropped"] == 1
+        (kept,) = listing["traces"]
+        assert kept["status"] == "deadline"
+        # Only the deadline trace is fetchable; the fast clean one was
+        # head-sampled out of the store.
+        assert fast.trace_id not in {t["trace_id"] for t in listing["traces"]}
+
+    def test_unsampled_response_still_carries_trace_id(
+        self, session, sim_reads
+    ):
+        """Responses name their trace id even when the store drops the
+        trace — the id is how a client correlates logs either way."""
+        cfg = serve_config(
+            tracing=tracing_config(sample=0.0, slowest_pct=0.0)
+        )
+        with ServerThread(session, cfg) as st:
+            client = ServeClient(st.url)
+            res = client.map(MapRequest.make(sim_reads[:1]))
+            assert res.ok
+            assert res.trace_id
+            with pytest.raises(urllib.error.HTTPError) as err:
+                client.get_trace(res.trace_id)
+            assert err.value.code == 404
+
+    def test_tracer_disabled_after_shutdown(self, session, sim_reads):
+        cfg = serve_config(tracing=tracing_config())
+        with ServerThread(session, cfg) as st:
+            ServeClient(st.url, trace=True).map(
+                MapRequest.make(sim_reads[:1])
+            )
+            assert TRACER.enabled
+        assert not TRACER.enabled
+
+    def test_shed_trace_is_kept(self, session, sim_reads):
+        cfg = serve_config(
+            max_queue_requests=1,
+            batch_timeout_ms=1000.0,
+            tracing=tracing_config(sample=0.0, slowest_pct=0.0),
+        )
+        with ServerThread(session, cfg) as st:
+            client = ServeClient(st.url)
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                first = pool.submit(
+                    client.map, MapRequest.make(sim_reads[0:1])
+                )
+                import time
+
+                time.sleep(0.3)
+                with pytest.raises(ShedError):
+                    client.map(MapRequest.make(sim_reads[1:2]))
+                assert first.result(timeout=10).ok
+            listing = client.traces(slowest=10)
+        statuses = [t["status"] for t in listing["traces"]]
+        assert statuses == ["shed"]
+
+
+class TestClientTracePropagation:
+    def test_retries_share_trace_id_with_fresh_span_ids(self, sim_reads):
+        """Satellite: retrying attempts are one logical trace — same
+        trace_id, new span_id per attempt."""
+        seen = []
+
+        client = ServeClient(
+            "http://127.0.0.1:1",  # never dialed; _map_once is stubbed
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.0),
+            sleep=lambda s: None,
+            trace=True,
+        )
+
+        def fake_map_once(request):
+            seen.append(request.trace)
+            if len(seen) < 3:
+                raise ShedError(503, "draining")
+            from repro.api import MapResult
+
+            return MapResult(request_id=request.request_id, status="ok")
+
+        client._map_once = fake_map_once
+        result = client.map(
+            MapRequest.make(sim_reads[:1], request_id="r")
+        )
+        assert result.ok
+        assert client.last_attempts == 3
+        assert len(seen) == 3
+        assert all(ctx is not None for ctx in seen)
+        assert len({ctx.trace_id for ctx in seen}) == 1
+        assert len({ctx.span_id for ctx in seen}) == 3
+
+    def test_caller_context_honored_verbatim_first_attempt(
+        self, sim_reads
+    ):
+        from repro.obs.tracing import TraceContext
+
+        client = ServeClient("http://127.0.0.1:1", trace=True)
+        ctx = TraceContext("mine", "root-span", sampled=False)
+        got = client._with_trace(
+            MapRequest.make(sim_reads[:1], trace=ctx), attempt=1
+        )
+        assert got.trace is ctx
+
+    def test_trace_disabled_leaves_request_alone(self, sim_reads):
+        client = ServeClient("http://127.0.0.1:1")
+        req = MapRequest.make(sim_reads[:1])
+        assert client._with_trace(req, attempt=1) is req
+        assert req.trace is None
